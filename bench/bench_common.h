@@ -1,0 +1,84 @@
+#ifndef SCHOLARRANK_BENCH_BENCH_COMMON_H_
+#define SCHOLARRANK_BENCH_BENCH_COMMON_H_
+
+/// Shared plumbing for the experiment harnesses. Every bench binary
+/// regenerates one table or figure of the reconstructed evaluation
+/// (DESIGN.md, per-experiment index) and prints both a human-readable table
+/// and, below it, the same data as CSV for plotting.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/registry.h"
+#include "data/dataset.h"
+#include "data/profiles.h"
+#include "data/synthetic.h"
+#include "eval/benchmark_sets.h"
+#include "util/logging.h"
+
+namespace scholar {
+namespace bench {
+
+/// Dataset sizes used throughout the evaluation. Chosen so the full bench
+/// suite finishes in minutes on one core while keeping >10^6 citations per
+/// corpus (large enough for stable power-law structure).
+inline constexpr size_t kAMinerArticles = 60000;
+inline constexpr size_t kMagArticles = 80000;
+
+/// The ranker roster of the main quality tables, in presentation order.
+/// The last entry is the paper's full method.
+inline const std::vector<std::string>& Roster() {
+  // Intentionally leaked: avoids a static non-trivial destructor.
+  static const std::vector<std::string>& roster = *new std::vector<std::string>{
+      "cc",     "age_cc",     "pagerank",  "hits",
+      "katz",   "sceas",      "venuerank", "citerank",
+      "futurerank", "twpr",   "ens_pagerank", "ens_twpr"};
+  return roster;
+}
+
+/// Builds the evaluation corpus for one profile ("aminer" or "mag").
+inline Corpus MakeBenchCorpus(const std::string& profile, size_t articles) {
+  Result<SyntheticOptions> options =
+      ProfileByName(profile, articles, /*seed=*/20180416);
+  SCHOLAR_CHECK_OK(options.status());
+  Result<Corpus> corpus = GenerateSyntheticCorpus(*options, profile);
+  SCHOLAR_CHECK_OK(corpus.status());
+  return std::move(corpus).value();
+}
+
+/// Standard evaluation suite (200k ground-truth pairs, 5-year recency
+/// window, 2% award fraction).
+inline EvalSuite MakeBenchSuite(const Corpus& corpus) {
+  EvalSuiteOptions options;
+  options.num_pairs = 200000;
+  Result<EvalSuite> suite = BuildEvalSuite(corpus, options);
+  SCHOLAR_CHECK_OK(suite.status());
+  return std::move(suite).value();
+}
+
+/// Runs one registry ranker against a corpus + suite.
+inline RankerEvaluation EvaluateByName(const std::string& name,
+                                       const Corpus& corpus,
+                                       const EvalSuite& suite,
+                                       const Config& config = Config()) {
+  Result<std::shared_ptr<const Ranker>> ranker = MakeRanker(name, config);
+  SCHOLAR_CHECK_OK(ranker.status());
+  Result<RankerEvaluation> eval = EvaluateRanker(corpus, **ranker, suite);
+  SCHOLAR_CHECK_OK(eval.status());
+  return std::move(eval).value();
+}
+
+/// Prints the experiment banner.
+inline void Banner(const char* experiment, const char* description) {
+  std::printf("==============================================================="
+              "=\n%s — %s\n"
+              "================================================================"
+              "\n",
+              experiment, description);
+}
+
+}  // namespace bench
+}  // namespace scholar
+
+#endif  // SCHOLARRANK_BENCH_BENCH_COMMON_H_

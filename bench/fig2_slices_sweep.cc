@@ -1,0 +1,30 @@
+/// Figure 2 — sensitivity of the ensemble to the number of time slices k.
+/// k = 1 degenerates to the (normalized) base ranker on the full network.
+#include "bench_common.h"
+
+#include "util/string_util.h"
+
+using namespace scholar;
+using namespace scholar::bench;
+
+int main() {
+  Banner("Figure 2", "ensemble slice-count (k) sensitivity, aminer profile");
+  Corpus corpus = MakeBenchCorpus("aminer", kAMinerArticles);
+  EvalSuite suite = MakeBenchSuite(corpus);
+
+  std::printf("%-6s %14s %14s %12s\n", "k", "ens overall", "ens recent",
+              "iterations");
+  std::string csv = "k,ens_overall,ens_recent,iterations\n";
+  for (int k : {1, 2, 4, 6, 8, 10, 12, 16}) {
+    Config config;
+    config.SetInt("num_slices", k);
+    RankerEvaluation ens = EvaluateByName("ens_twpr", corpus, suite, config);
+    std::printf("%-6d %14.4f %14.4f %12d\n", k, ens.overall_accuracy,
+                ens.recent_accuracy, ens.iterations);
+    csv += std::to_string(k) + "," + FormatDouble(ens.overall_accuracy, 4) +
+           "," + FormatDouble(ens.recent_accuracy, 4) + "," +
+           std::to_string(ens.iterations) + "\n";
+  }
+  std::printf("\n[csv]\n%s", csv.c_str());
+  return 0;
+}

@@ -1,0 +1,101 @@
+/// Figure 4 — scalability: wall time of graph construction and of each
+/// ranker as the corpus grows. Rankers are linear in the edge count per
+/// iteration; the ensemble pays roughly (number of snapshots)/2 extra
+/// passes over accumulative subgraphs.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_common.h"
+
+using namespace scholar;
+using namespace scholar::bench;
+
+namespace {
+
+/// Corpora are cached across benchmark registrations so generation cost is
+/// paid once per size.
+const Corpus& CachedCorpus(size_t articles) {
+  static std::map<size_t, Corpus>* cache = new std::map<size_t, Corpus>();
+  auto it = cache->find(articles);
+  if (it == cache->end()) {
+    it = cache->emplace(articles, MakeBenchCorpus("aminer", articles)).first;
+  }
+  return it->second;
+}
+
+void BM_GenerateCorpus(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  SyntheticOptions options = AMinerLikeProfile(n);
+  for (auto _ : state) {
+    Result<Corpus> corpus = GenerateSyntheticCorpus(options, "scale");
+    SCHOLAR_CHECK_OK(corpus.status());
+    benchmark::DoNotOptimize(corpus->num_citations());
+  }
+  state.counters["articles"] = static_cast<double>(n);
+}
+
+void RunRanker(benchmark::State& state, const std::string& name) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Corpus& corpus = CachedCorpus(n);
+  auto ranker = MakeRanker(name).value();
+  RankContext ctx;
+  ctx.graph = &corpus.graph;
+  ctx.authors = &corpus.authors;
+  int iterations = 0;
+  for (auto _ : state) {
+    auto result = ranker->Rank(ctx);
+    SCHOLAR_CHECK_OK(result.status());
+    iterations = result->iterations;
+    benchmark::DoNotOptimize(result->scores.data());
+  }
+  state.counters["articles"] = static_cast<double>(n);
+  state.counters["edges"] = static_cast<double>(corpus.num_citations());
+  state.counters["power_iters"] = iterations;
+}
+
+void BM_CitationCount(benchmark::State& state) { RunRanker(state, "cc"); }
+void BM_PageRank(benchmark::State& state) { RunRanker(state, "pagerank"); }
+void BM_Twpr(benchmark::State& state) { RunRanker(state, "twpr"); }
+void BM_FutureRank(benchmark::State& state) { RunRanker(state, "futurerank"); }
+void BM_EnsTwpr(benchmark::State& state) { RunRanker(state, "ens_twpr"); }
+
+constexpr int64_t kSizes[] = {10000, 20000, 40000, 80000, 160000};
+
+void RegisterAll() {
+  for (int64_t n : kSizes) {
+    benchmark::RegisterBenchmark("BM_GenerateCorpus", BM_GenerateCorpus)
+        ->Arg(n)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark("BM_CitationCount", BM_CitationCount)
+        ->Arg(n)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark("BM_PageRank", BM_PageRank)
+        ->Arg(n)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark("BM_Twpr", BM_Twpr)
+        ->Arg(n)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark("BM_FutureRank", BM_FutureRank)
+        ->Arg(n)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark("BM_EnsTwpr", BM_EnsTwpr)
+        ->Arg(n)
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,57 @@
+/// Figure 5 — robustness to citation sparsity: keep a random fraction of
+/// citations and measure (a) how stable each ranker's ordering is relative
+/// to its full-graph ordering (Kendall tau), and (b) how much ground-truth
+/// accuracy survives.
+#include "bench_common.h"
+
+#include "eval/metrics.h"
+#include "graph/time_slicer.h"
+#include "rank/ranker.h"
+#include "util/string_util.h"
+
+using namespace scholar;
+using namespace scholar::bench;
+
+int main() {
+  Banner("Figure 5", "robustness to citation sparsity (aminer profile)");
+  Corpus corpus = MakeBenchCorpus("aminer", kAMinerArticles);
+  EvalSuite suite = MakeBenchSuite(corpus);
+
+  const std::vector<std::string> methods = {"cc", "pagerank", "twpr",
+                                            "ens_twpr"};
+  // Full-graph reference orderings.
+  std::vector<std::vector<double>> reference;
+  for (const std::string& name : methods) {
+    auto ranker = MakeRanker(name).value();
+    reference.push_back(ranker->Rank(corpus.graph).value().scores);
+  }
+
+  std::printf("%-10s", "kept");
+  for (const std::string& name : methods) {
+    std::printf(" %9s-t %9s-a", name.c_str(), name.c_str());
+  }
+  std::printf("   (t = Kendall tau vs full graph, a = pairwise accuracy)\n");
+  std::string csv = "kept_fraction";
+  for (const std::string& name : methods) {
+    csv += "," + name + "_tau," + name + "_accuracy";
+  }
+  csv += "\n";
+
+  for (double kept : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+    CitationGraph sparse = SampleEdges(corpus.graph, kept, /*seed=*/7);
+    std::printf("%-10.1f", kept);
+    csv += FormatDouble(kept, 1);
+    for (size_t i = 0; i < methods.size(); ++i) {
+      auto ranker = MakeRanker(methods[i]).value();
+      auto scores = ranker->Rank(sparse).value().scores;
+      double tau = KendallTau(scores, reference[i]).value();
+      double acc = PairwiseAccuracy(scores, suite.overall_pairs).value();
+      std::printf(" %11.4f %11.4f", tau, acc);
+      csv += "," + FormatDouble(tau, 4) + "," + FormatDouble(acc, 4);
+    }
+    std::printf("\n");
+    csv += "\n";
+  }
+  std::printf("\n[csv]\n%s", csv.c_str());
+  return 0;
+}

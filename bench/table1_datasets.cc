@@ -1,0 +1,41 @@
+/// Table 1 — dataset statistics of the two evaluation corpora (the
+/// synthetic stand-ins for AMiner and MAG; see DESIGN.md substitutions).
+#include "bench_common.h"
+
+#include "graph/graph_stats.h"
+#include "util/string_util.h"
+
+using namespace scholar;
+using namespace scholar::bench;
+
+int main() {
+  Banner("Table 1", "dataset statistics");
+  std::printf("%-10s %12s %12s %12s %8s %8s %10s %8s %8s\n", "dataset",
+              "articles", "citations", "refs/art", "years", "venues",
+              "max-cites", "gini", "alpha");
+  std::string csv = "dataset,articles,citations,mean_refs,year_min,year_max,"
+                    "venues,max_in_degree,gini,powerlaw_alpha\n";
+  for (const auto& [profile, size] :
+       {std::pair<std::string, size_t>{"aminer", kAMinerArticles},
+        {"mag", kMagArticles}}) {
+    Corpus corpus = MakeBenchCorpus(profile, size);
+    GraphStats s = ComputeGraphStats(corpus.graph);
+    std::printf("%-10s %12s %12s %12.2f %4d-%-4d %8zu %10zu %8.3f %8.2f\n",
+                profile.c_str(),
+                FormatWithCommas(static_cast<int64_t>(s.num_nodes)).c_str(),
+                FormatWithCommas(static_cast<int64_t>(s.num_edges)).c_str(),
+                s.mean_out_degree, s.min_year, s.max_year,
+                corpus.venue_names.size(), s.max_in_degree, s.in_degree_gini,
+                s.in_degree_powerlaw_alpha);
+    csv += profile + "," + std::to_string(s.num_nodes) + "," +
+           std::to_string(s.num_edges) + "," +
+           FormatDouble(s.mean_out_degree, 2) + "," +
+           std::to_string(s.min_year) + "," + std::to_string(s.max_year) +
+           "," + std::to_string(corpus.venue_names.size()) + "," +
+           std::to_string(s.max_in_degree) + "," +
+           FormatDouble(s.in_degree_gini, 3) + "," +
+           FormatDouble(s.in_degree_powerlaw_alpha, 2) + "\n";
+  }
+  std::printf("\n[csv]\n%s", csv.c_str());
+  return 0;
+}

@@ -1,0 +1,82 @@
+/// Table 2 — the main result: query-independent ranking quality of every
+/// method on both datasets. Pairwise accuracy (with a 95% bootstrap CI)
+/// against ground truth is the headline metric; NDCG@100 / MAP against the
+/// award benchmark and Spearman against latent impact are reported
+/// alongside, plus a paired sign-test p-value against the paper's full
+/// method (ens_twpr).
+#include "bench_common.h"
+
+#include "eval/significance.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+using namespace scholar;
+using namespace scholar::bench;
+
+int main() {
+  Banner("Table 2", "overall ranking quality (pairwise accuracy & friends)");
+  std::string csv =
+      "dataset,ranker,pairwise_accuracy,ci_lo,ci_hi,ndcg_awards_100,"
+      "map_awards,spearman_truth,p_vs_ens_twpr,iterations,seconds\n";
+  for (const auto& [profile, size] :
+       {std::pair<std::string, size_t>{"aminer", kAMinerArticles},
+        {"mag", kMagArticles}}) {
+    Corpus corpus = MakeBenchCorpus(profile, size);
+    EvalSuite suite = MakeBenchSuite(corpus);
+    RankContext ctx;
+    ctx.graph = &corpus.graph;
+    ctx.authors = &corpus.authors;
+    ctx.venues = &corpus.venues;
+
+    // Rank everything once, keeping raw scores for the significance tests.
+    std::vector<std::vector<double>> all_scores;
+    std::vector<RankerEvaluation> evals;
+    for (const std::string& name : Roster()) {
+      auto ranker = MakeRanker(name).value();
+      WallTimer timer;
+      auto result = ranker->Rank(ctx);
+      SCHOLAR_CHECK_OK(result.status());
+      auto eval =
+          EvaluateScores(corpus, name, result->scores, suite).value();
+      eval.iterations = result->iterations;
+      eval.seconds = timer.ElapsedSeconds();
+      evals.push_back(eval);
+      all_scores.push_back(std::move(result->scores));
+    }
+    const std::vector<double>& full_method = all_scores.back();
+
+    std::printf("\n--- %s (%zu articles, %zu citations) ---\n",
+                profile.c_str(), corpus.num_articles(),
+                corpus.num_citations());
+    std::printf("%-14s %9s %17s %9s %8s %9s %12s %6s %7s\n", "ranker",
+                "pair-acc", "95% CI", "ndcg@100", "map", "spearman",
+                "p(vs ens)", "iters", "sec");
+    for (size_t i = 0; i < evals.size(); ++i) {
+      const RankerEvaluation& e = evals[i];
+      BootstrapInterval ci =
+          BootstrapPairwiseAccuracy(all_scores[i], suite.overall_pairs)
+              .value();
+      double p = 1.0;
+      if (i + 1 < evals.size()) {
+        p = ComparePairwise(full_method, all_scores[i], suite.overall_pairs)
+                .value()
+                .p_value;
+      }
+      std::printf("%-14s %9.4f  [%6.4f, %6.4f] %9.4f %8.4f %9.4f %12.2e "
+                  "%6d %7.2f\n",
+                  e.ranker.c_str(), e.overall_accuracy, ci.lo, ci.hi,
+                  e.ndcg_awards_100, e.map_awards, e.spearman_truth, p,
+                  e.iterations, e.seconds);
+      csv += profile + "," + e.ranker + "," +
+             FormatDouble(e.overall_accuracy, 4) + "," +
+             FormatDouble(ci.lo, 4) + "," + FormatDouble(ci.hi, 4) + "," +
+             FormatDouble(e.ndcg_awards_100, 4) + "," +
+             FormatDouble(e.map_awards, 4) + "," +
+             FormatDouble(e.spearman_truth, 4) + "," +
+             FormatDouble(p, 6) + "," + std::to_string(e.iterations) + "," +
+             FormatDouble(e.seconds, 3) + "\n";
+    }
+  }
+  std::printf("\n[csv]\n%s", csv.c_str());
+  return 0;
+}

@@ -1,0 +1,37 @@
+/// Table 3 — ranking quality restricted to recently published articles (the
+/// paper's motivating case: static metrics have had no time to accumulate
+/// evidence for them). Reports pairwise accuracy over pairs where both
+/// articles are from the last 5 years, and over same-publication-year pairs.
+#include "bench_common.h"
+
+#include "util/string_util.h"
+
+using namespace scholar;
+using namespace scholar::bench;
+
+int main() {
+  Banner("Table 3", "quality on recent articles (last 5 years)");
+  std::string csv =
+      "dataset,ranker,recent_accuracy,same_year_accuracy,overall_accuracy\n";
+  for (const auto& [profile, size] :
+       {std::pair<std::string, size_t>{"aminer", kAMinerArticles},
+        {"mag", kMagArticles}}) {
+    Corpus corpus = MakeBenchCorpus(profile, size);
+    EvalSuite suite = MakeBenchSuite(corpus);
+    std::printf("\n--- %s (recent = %d onward) ---\n", profile.c_str(),
+                suite.recent_cutoff);
+    std::printf("%-14s %12s %12s %12s\n", "ranker", "recent-acc",
+                "same-yr-acc", "overall-acc");
+    for (const std::string& name : Roster()) {
+      RankerEvaluation e = EvaluateByName(name, corpus, suite);
+      std::printf("%-14s %12.4f %12.4f %12.4f\n", name.c_str(),
+                  e.recent_accuracy, e.same_year_accuracy,
+                  e.overall_accuracy);
+      csv += profile + "," + name + "," + FormatDouble(e.recent_accuracy, 4) +
+             "," + FormatDouble(e.same_year_accuracy, 4) + "," +
+             FormatDouble(e.overall_accuracy, 4) + "\n";
+    }
+  }
+  std::printf("\n[csv]\n%s", csv.c_str());
+  return 0;
+}

@@ -1,0 +1,104 @@
+/// Reading-list builder — the paper's motivating application: a newcomer to
+/// a field asks "which articles should I read?", a query-independent
+/// question that citation counts answer badly for anything recent.
+///
+/// Compares the GLOBAL top-k under citation counting vs the time-aware
+/// ensemble: counting fills the list with old classics; the ensemble
+/// produces a list that spans eras while picking articles that are
+/// top-of-their-generation.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "core/registry.h"
+#include "data/profiles.h"
+#include "data/synthetic.h"
+#include "rank/ranker.h"
+#include "util/logging.h"
+
+using namespace scholar;
+
+namespace {
+
+/// Percentile of each article's true impact within its own publication
+/// year — the era-fair quality yardstick.
+std::vector<double> WithinYearTruth(const Corpus& corpus) {
+  std::map<Year, std::vector<NodeId>> by_year;
+  for (NodeId v = 0; v < corpus.num_articles(); ++v) {
+    by_year[corpus.graph.year(v)].push_back(v);
+  }
+  std::vector<double> pct(corpus.num_articles(), 0.0);
+  for (auto& [year, cohort] : by_year) {
+    std::vector<double> q;
+    q.reserve(cohort.size());
+    for (NodeId v : cohort) q.push_back(corpus.true_impact[v]);
+    std::vector<double> p = MidrankPercentiles(q);
+    for (size_t i = 0; i < cohort.size(); ++i) pct[cohort[i]] = p[i];
+  }
+  return pct;
+}
+
+void DescribeList(const char* label, const Corpus& corpus,
+                  const std::vector<NodeId>& picks,
+                  const std::vector<double>& truth_pct) {
+  Year newest = corpus.graph.min_year(), oldest = corpus.graph.max_year();
+  double quality = 0.0;
+  size_t recent = 0;
+  const Year cutoff = corpus.graph.max_year() - 9;
+  for (NodeId v : picks) {
+    newest = std::max(newest, corpus.graph.year(v));
+    oldest = std::min(oldest, corpus.graph.year(v));
+    quality += truth_pct[v];
+    if (corpus.graph.year(v) >= cutoff) ++recent;
+  }
+  std::printf("%-22s years %d-%d, %2zu/%zu from the last decade, "
+              "mean within-era quality %.1f%%\n",
+              label, oldest, newest, recent, picks.size(),
+              100.0 * quality / picks.size());
+}
+
+}  // namespace
+
+int main() {
+  Corpus corpus =
+      GenerateSyntheticCorpus(AMinerLikeProfile(30000), "library").value();
+
+  auto ens_twpr = MakeRanker("ens_twpr").value();
+  auto cc = MakeRanker("cc").value();
+  RankContext ctx;
+  ctx.graph = &corpus.graph;
+  ctx.authors = &corpus.authors;
+  std::vector<double> ens_scores = ens_twpr->Rank(ctx).value().scores;
+  std::vector<double> cc_scores = cc->Rank(ctx).value().scores;
+  std::vector<double> truth_pct = WithinYearTruth(corpus);
+
+  constexpr size_t kListSize = 30;
+  std::vector<NodeId> ens_list = TopK(ens_scores, kListSize);
+  std::vector<NodeId> cc_list = TopK(cc_scores, kListSize);
+
+  std::printf("Global top-%zu reading list (%zu-article corpus, %d-%d)\n\n",
+              kListSize, corpus.num_articles(), corpus.graph.min_year(),
+              corpus.graph.max_year());
+  DescribeList("citation count:", corpus, cc_list, truth_pct);
+  DescribeList("ens_twpr (paper):", corpus, ens_list, truth_pct);
+
+  std::printf("\nens_twpr's picks, newest first "
+              "(within-era true-impact percentile in brackets):\n");
+  std::vector<NodeId> by_year = ens_list;
+  std::sort(by_year.begin(), by_year.end(), [&](NodeId a, NodeId b) {
+    if (corpus.graph.year(a) != corpus.graph.year(b)) {
+      return corpus.graph.year(a) > corpus.graph.year(b);
+    }
+    return a < b;
+  });
+  for (NodeId v : by_year) {
+    std::printf("  #%-6u %d  %4zu citations  [%5.1f%%]\n", v,
+                corpus.graph.year(v), corpus.graph.InDegree(v),
+                100.0 * truth_pct[v]);
+  }
+  std::printf("\nThe counting list never leaves the corpus's early decades; "
+              "the ensemble list\ncovers every era and still picks "
+              "top-of-generation articles.\n");
+  return 0;
+}

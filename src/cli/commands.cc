@@ -1,0 +1,251 @@
+#include "cli/commands.h"
+
+#include <ostream>
+
+#include "core/registry.h"
+#include "core/scholar_ranker.h"
+#include "data/ground_truth.h"
+#include "data/profiles.h"
+#include "data/synthetic.h"
+#include "eval/benchmark_sets.h"
+#include "graph/components.h"
+#include "graph/graph_io.h"
+#include "graph/graph_stats.h"
+#include "util/string_util.h"
+
+namespace scholar {
+namespace cli {
+namespace {
+
+/// Writes the corpus to every requested output key; counts how many fired.
+Status WriteOutputs(const Corpus& corpus, const Config& config,
+                    std::ostream* out, size_t* outputs_written) {
+  *outputs_written = 0;
+  if (config.Has("out_aminer")) {
+    SCHOLAR_ASSIGN_OR_RETURN(std::string path, config.GetString("out_aminer"));
+    SCHOLAR_RETURN_NOT_OK(WriteAMinerCorpusFile(corpus, path));
+    *out << "wrote AMiner text: " << path << "\n";
+    ++*outputs_written;
+  }
+  if (config.Has("out_articles") || config.Has("out_citations")) {
+    if (!config.Has("out_articles") || !config.Has("out_citations")) {
+      return Status::InvalidArgument(
+          "TSV output needs both out_articles= and out_citations=");
+    }
+    SCHOLAR_ASSIGN_OR_RETURN(std::string articles,
+                             config.GetString("out_articles"));
+    SCHOLAR_ASSIGN_OR_RETURN(std::string citations,
+                             config.GetString("out_citations"));
+    SCHOLAR_RETURN_NOT_OK(WriteTsvCorpusFiles(corpus, articles, citations));
+    *out << "wrote TSV: " << articles << " + " << citations << "\n";
+    ++*outputs_written;
+  }
+  if (config.Has("out_graph")) {
+    SCHOLAR_ASSIGN_OR_RETURN(std::string path, config.GetString("out_graph"));
+    SCHOLAR_RETURN_NOT_OK(WriteGraphBinaryFile(corpus.graph, path));
+    *out << "wrote binary graph: " << path << "\n";
+    ++*outputs_written;
+  }
+  return Status::OK();
+}
+
+Result<Corpus> GenerateFromConfig(const Config& config) {
+  const std::string profile = config.GetStringOr("profile", "aminer");
+  const int64_t n = config.GetIntOr("n", 20000);
+  if (n <= 0) return Status::InvalidArgument("n must be positive");
+  const uint64_t seed =
+      static_cast<uint64_t>(config.GetIntOr("seed", 20180416));
+  SCHOLAR_ASSIGN_OR_RETURN(
+      SyntheticOptions options,
+      ProfileByName(profile, static_cast<size_t>(n), seed));
+  return GenerateSyntheticCorpus(options, profile);
+}
+
+}  // namespace
+
+Result<Corpus> LoadCorpus(const Config& config) {
+  if (config.Has("aminer")) {
+    SCHOLAR_ASSIGN_OR_RETURN(std::string path, config.GetString("aminer"));
+    return ReadAMinerCorpusFile(path);
+  }
+  if (config.Has("articles") || config.Has("citations")) {
+    if (!config.Has("articles") || !config.Has("citations")) {
+      return Status::InvalidArgument(
+          "TSV input needs both articles= and citations=");
+    }
+    SCHOLAR_ASSIGN_OR_RETURN(std::string articles,
+                             config.GetString("articles"));
+    SCHOLAR_ASSIGN_OR_RETURN(std::string citations,
+                             config.GetString("citations"));
+    return ReadTsvCorpusFiles(articles, citations);
+  }
+  if (config.Has("profile") || config.Has("n")) {
+    return GenerateFromConfig(config);
+  }
+  return Status::InvalidArgument(
+      "no corpus input: pass aminer=<path>, articles=+citations=<paths>, or "
+      "profile=<aminer|mag> n=<count>");
+}
+
+Status RunGenerate(const Config& config, std::ostream* out) {
+  SCHOLAR_ASSIGN_OR_RETURN(Corpus corpus, GenerateFromConfig(config));
+  *out << "generated '" << corpus.name << "': " << corpus.num_articles()
+       << " articles, " << corpus.num_citations() << " citations\n";
+  size_t outputs = 0;
+  SCHOLAR_RETURN_NOT_OK(WriteOutputs(corpus, config, out, &outputs));
+  if (outputs == 0) {
+    return Status::InvalidArgument(
+        "no output requested: pass out_aminer=, out_articles=+out_citations=,"
+        " or out_graph=");
+  }
+  return Status::OK();
+}
+
+Status RunStats(const Config& config, std::ostream* out) {
+  SCHOLAR_ASSIGN_OR_RETURN(Corpus corpus, LoadCorpus(config));
+  GraphStats stats = ComputeGraphStats(corpus.graph);
+  *out << "corpus: " << corpus.name << "\n" << ToString(stats);
+  ComponentStats components = ComputeWeakComponents(corpus.graph);
+  *out << "weak components:  " << components.num_components << "\n"
+       << "giant component:  " << components.giant_size << " ("
+       << FormatDouble(corpus.num_articles() == 0
+                           ? 0.0
+                           : 100.0 * static_cast<double>(components.giant_size) /
+                                 static_cast<double>(corpus.num_articles()),
+                       1)
+       << "%)\n"
+       << "isolated:         " << components.num_isolated << "\n";
+  if (corpus.has_authors()) {
+    *out << "authors:          " << corpus.authors.num_authors() << "\n";
+  }
+  if (!corpus.venue_names.empty()) {
+    *out << "venues:           " << corpus.venue_names.size() << "\n";
+  }
+  return Status::OK();
+}
+
+Status RunRank(const Config& config, std::ostream* out) {
+  SCHOLAR_ASSIGN_OR_RETURN(Corpus corpus, LoadCorpus(config));
+  SCHOLAR_ASSIGN_OR_RETURN(ScholarRanker ranker,
+                           ScholarRanker::Create(config));
+  SCHOLAR_ASSIGN_OR_RETURN(RankingOutput ranking,
+                           ranker.RankCorpus(corpus));
+  const int64_t top = config.GetIntOr("top", 50);
+  if (top < 0) return Status::InvalidArgument("top must be >= 0");
+  const size_t limit =
+      top == 0 ? corpus.num_articles() : static_cast<size_t>(top);
+
+  *out << "node_id,year,citations,score,rank\n";
+  for (NodeId id : ranking.Top(limit)) {
+    *out << id << "," << corpus.graph.year(id) << ","
+         << corpus.graph.InDegree(id) << ","
+         << FormatDouble(ranking.scores[id], 8) << "," << ranking.ranks[id]
+         << "\n";
+  }
+  return Status::OK();
+}
+
+Status RunEval(const Config& config, std::ostream* out) {
+  SCHOLAR_ASSIGN_OR_RETURN(Corpus corpus, GenerateFromConfig(config));
+  if (!corpus.has_ground_truth()) {
+    return Status::FailedPrecondition("eval needs a synthetic corpus");
+  }
+  EvalSuiteOptions suite_options;
+  suite_options.num_pairs =
+      static_cast<size_t>(config.GetIntOr("pairs", 50000));
+  SCHOLAR_ASSIGN_OR_RETURN(EvalSuite suite,
+                           BuildEvalSuite(corpus, suite_options));
+
+  std::vector<std::string> rankers;
+  if (config.Has("rankers")) {
+    SCHOLAR_ASSIGN_OR_RETURN(std::string list, config.GetString("rankers"));
+    for (auto name : Split(list, ',')) {
+      if (!Trim(name).empty()) rankers.emplace_back(Trim(name));
+    }
+  } else {
+    rankers = KnownRankerNames();
+  }
+
+  *out << "ranker,overall_accuracy,recent_accuracy,same_year_accuracy,"
+          "spearman,iterations,seconds\n";
+  for (const std::string& name : rankers) {
+    SCHOLAR_ASSIGN_OR_RETURN(std::shared_ptr<const Ranker> ranker,
+                             MakeRanker(name, config));
+    SCHOLAR_ASSIGN_OR_RETURN(RankerEvaluation eval,
+                             EvaluateRanker(corpus, *ranker, suite));
+    *out << name << "," << FormatDouble(eval.overall_accuracy, 4) << ","
+         << FormatDouble(eval.recent_accuracy, 4) << ","
+         << FormatDouble(eval.same_year_accuracy, 4) << ","
+         << FormatDouble(eval.spearman_truth, 4) << "," << eval.iterations
+         << "," << FormatDouble(eval.seconds, 3) << "\n";
+  }
+  return Status::OK();
+}
+
+Status RunConvert(const Config& config, std::ostream* out) {
+  SCHOLAR_ASSIGN_OR_RETURN(Corpus corpus, LoadCorpus(config));
+  size_t outputs = 0;
+  SCHOLAR_RETURN_NOT_OK(WriteOutputs(corpus, config, out, &outputs));
+  if (outputs == 0) {
+    return Status::InvalidArgument("no output requested (out_aminer=, "
+                                   "out_articles=+out_citations=, out_graph=)");
+  }
+  return Status::OK();
+}
+
+std::string UsageText() {
+  return "scholar_cli <command> [key=value ...]\n"
+         "\n"
+         "commands:\n"
+         "  generate   synthesize a corpus; profile=aminer|mag n=<count>\n"
+         "             seed=<s>, outputs: out_aminer= | out_articles= +\n"
+         "             out_citations= | out_graph=\n"
+         "  stats      graph statistics; input: aminer= | articles= +\n"
+         "             citations= | profile= n=\n"
+         "  rank       rank a corpus; same inputs plus ranker=<name>,\n"
+         "             algorithm keys (sigma=, num_slices=, ...), top=<k>\n"
+         "  eval       benchmark rankers on a synthetic corpus;\n"
+         "             rankers=<a,b,...> pairs=<count>\n"
+         "  convert    read one format, write others (generate's out_*)\n"
+         "  help       this text\n";
+}
+
+int Main(int argc, const char* const* argv, std::ostream* out,
+         std::ostream* err) {
+  if (argc < 2) {
+    *err << UsageText();
+    return 2;
+  }
+  const std::string command = argv[1];
+  Result<Config> config = Config::FromArgs(argc - 2, argv + 2);
+  if (!config.ok()) {
+    *err << "error: " << config.status().ToString() << "\n";
+    return 2;
+  }
+  Status status;
+  if (command == "generate") {
+    status = RunGenerate(*config, out);
+  } else if (command == "stats") {
+    status = RunStats(*config, out);
+  } else if (command == "rank") {
+    status = RunRank(*config, out);
+  } else if (command == "eval") {
+    status = RunEval(*config, out);
+  } else if (command == "convert") {
+    status = RunConvert(*config, out);
+  } else if (command == "help" || command == "--help" || command == "-h") {
+    *out << UsageText();
+    return 0;
+  } else {
+    *err << "unknown command '" << command << "'\n" << UsageText();
+    return 2;
+  }
+  if (!status.ok()) {
+    *err << "error: " << status.ToString() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace cli
+}  // namespace scholar

@@ -1,0 +1,55 @@
+#ifndef SCHOLARRANK_CLI_COMMANDS_H_
+#define SCHOLARRANK_CLI_COMMANDS_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/config.h"
+#include "util/status.h"
+
+namespace scholar {
+namespace cli {
+
+/// Loads a corpus as directed by config keys, in priority order:
+///   aminer=<path>                      AMiner V8 text file
+///   articles=<path> citations=<path>   TSV pair
+///   profile=<aminer|mag> n=<count> [seed=<s>]   synthetic generation
+Result<Corpus> LoadCorpus(const Config& config);
+
+/// `generate`: synthesize a corpus and write it out.
+/// Keys: profile, n, seed, plus outputs: out_aminer=<path> and/or
+/// out_articles=<path> out_citations=<path> and/or out_graph=<path>
+/// (native binary). At least one output is required.
+Status RunGenerate(const Config& config, std::ostream* out);
+
+/// `stats`: print graph statistics and component structure of a corpus.
+Status RunStats(const Config& config, std::ostream* out);
+
+/// `rank`: rank a corpus and emit "node_id,year,citations,score,rank" CSV.
+/// Keys: corpus inputs (see LoadCorpus), ranker=<name> and its parameters,
+/// top=<k> (0 = all rows, default 50).
+Status RunRank(const Config& config, std::ostream* out);
+
+/// `eval`: benchmark rankers on a synthetic corpus with ground truth.
+/// Keys: profile/n/seed, rankers=<comma list> (default: all known),
+/// pairs=<count>.
+Status RunEval(const Config& config, std::ostream* out);
+
+/// `convert`: read a corpus in one format and write it in others (same
+/// output keys as `generate`).
+Status RunConvert(const Config& config, std::ostream* out);
+
+/// Dispatches argv[1] to a command; `help` / unknown prints usage.
+/// Returns the process exit code.
+int Main(int argc, const char* const* argv, std::ostream* out,
+         std::ostream* err);
+
+/// The usage text.
+std::string UsageText();
+
+}  // namespace cli
+}  // namespace scholar
+
+#endif  // SCHOLARRANK_CLI_COMMANDS_H_

@@ -1,0 +1,54 @@
+#include "core/scholar_ranker.h"
+
+#include <utility>
+
+#include "core/registry.h"
+
+namespace scholar {
+
+std::vector<NodeId> RankingOutput::Top(size_t k) const {
+  return TopK(scores, k);
+}
+
+Result<ScholarRanker> ScholarRanker::Create(const Config& config) {
+  const std::string name = config.GetStringOr("ranker", "ens_twpr");
+  SCHOLAR_ASSIGN_OR_RETURN(std::shared_ptr<const Ranker> ranker,
+                           MakeRanker(name, config));
+  return ScholarRanker(std::move(ranker));
+}
+
+Result<ScholarRanker> ScholarRanker::CreateDefault() {
+  return Create(Config());
+}
+
+namespace {
+
+Result<RankingOutput> ToOutput(Result<RankResult> result) {
+  SCHOLAR_ASSIGN_OR_RETURN(RankResult r, std::move(result));
+  RankingOutput out;
+  out.ranks = ScoresToRanks(r.scores);
+  out.percentiles = RankPercentiles(r.scores);
+  out.scores = std::move(r.scores);
+  out.iterations = r.iterations;
+  out.converged = r.converged;
+  return out;
+}
+
+}  // namespace
+
+Result<RankingOutput> ScholarRanker::RankCorpus(const Corpus& corpus) const {
+  RankContext ctx;
+  ctx.graph = &corpus.graph;
+  if (corpus.has_authors()) ctx.authors = &corpus.authors;
+  if (!corpus.venues.empty()) ctx.venues = &corpus.venues;
+  return ToOutput(ranker_->Rank(ctx));
+}
+
+Result<RankingOutput> ScholarRanker::RankGraph(
+    const CitationGraph& graph) const {
+  RankContext ctx;
+  ctx.graph = &graph;
+  return ToOutput(ranker_->Rank(ctx));
+}
+
+}  // namespace scholar

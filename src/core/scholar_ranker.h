@@ -1,0 +1,69 @@
+#ifndef SCHOLARRANK_CORE_SCHOLAR_RANKER_H_
+#define SCHOLARRANK_CORE_SCHOLAR_RANKER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "rank/ranker.h"
+#include "util/config.h"
+#include "util/status.h"
+
+namespace scholar {
+
+/// Scores plus every derived view callers usually need.
+struct RankingOutput {
+  /// Raw scores (higher = more important).
+  std::vector<double> scores;
+  /// Dense ranks, 0 = best.
+  std::vector<uint32_t> ranks;
+  /// Rank percentiles in (0, 1], 1 = best.
+  std::vector<double> percentiles;
+  int iterations = 0;
+  bool converged = true;
+
+  /// The k best articles, best first.
+  std::vector<NodeId> Top(size_t k) const;
+};
+
+/// The library facade: one object that turns a corpus into a
+/// query-independent ranking, configured entirely by key=value pairs.
+///
+///   Config config;
+///   config.Set("ranker", "ens_twpr");
+///   config.SetDouble("sigma", 0.4);
+///   SCHOLAR_ASSIGN_OR_RETURN(auto ranker, ScholarRanker::Create(config));
+///   SCHOLAR_ASSIGN_OR_RETURN(auto out, ranker.RankCorpus(corpus));
+///
+/// The default ranker is the paper's full method, ens_twpr.
+class ScholarRanker {
+ public:
+  /// Builds from config; the "ranker" key picks the algorithm (see
+  /// MakeRanker in core/registry.h for names and parameters).
+  static Result<ScholarRanker> Create(const Config& config);
+
+  /// Default configuration (ens_twpr with paper defaults).
+  static Result<ScholarRanker> CreateDefault();
+
+  /// Ranks all articles of `corpus` (author data is passed through when
+  /// present, so FutureRank-based configurations work too).
+  Result<RankingOutput> RankCorpus(const Corpus& corpus) const;
+
+  /// Ranks a bare graph (no author data).
+  Result<RankingOutput> RankGraph(const CitationGraph& graph) const;
+
+  /// The underlying algorithm.
+  const Ranker& ranker() const { return *ranker_; }
+  std::string name() const { return ranker_->name(); }
+
+ private:
+  explicit ScholarRanker(std::shared_ptr<const Ranker> ranker)
+      : ranker_(std::move(ranker)) {}
+
+  std::shared_ptr<const Ranker> ranker_;
+};
+
+}  // namespace scholar
+
+#endif  // SCHOLARRANK_CORE_SCHOLAR_RANKER_H_

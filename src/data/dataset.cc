@@ -1,0 +1,369 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <unordered_map>
+#include <utility>
+
+#include "graph/graph_builder.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace scholar {
+
+Status Corpus::ConsistencyCheck() const {
+  const size_t n = graph.num_nodes();
+  auto check_size = [n](size_t got, const char* field) -> Status {
+    if (got != 0 && got != n) {
+      return Status::Corruption(std::string(field) + " has " +
+                                std::to_string(got) + " entries, graph has " +
+                                std::to_string(n) + " nodes");
+    }
+    return Status::OK();
+  };
+  SCHOLAR_RETURN_NOT_OK(check_size(external_ids.size(), "external_ids"));
+  SCHOLAR_RETURN_NOT_OK(check_size(venues.size(), "venues"));
+  SCHOLAR_RETURN_NOT_OK(check_size(titles.size(), "titles"));
+  SCHOLAR_RETURN_NOT_OK(check_size(true_impact.size(), "true_impact"));
+  if (authors.num_papers() != 0 && authors.num_papers() != n) {
+    return Status::Corruption("authors map covers " +
+                              std::to_string(authors.num_papers()) +
+                              " papers, graph has " + std::to_string(n));
+  }
+  for (int32_t v : venues) {
+    if (v < -1 || v >= static_cast<int32_t>(venue_names.size())) {
+      return Status::Corruption("venue index " + std::to_string(v) +
+                                " out of range");
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// One partially parsed AMiner record.
+struct AMinerRecord {
+  std::string title;
+  std::vector<std::string> author_names;
+  Year year = kUnknownYear;
+  std::string venue;
+  int64_t index = -1;
+  std::vector<int64_t> refs;
+  bool has_any_field = false;
+};
+
+Status FlushRecord(AMinerRecord* rec, std::vector<AMinerRecord>* out) {
+  if (!rec->has_any_field) return Status::OK();
+  if (rec->index < 0) {
+    return Status::Corruption("AMiner record without #index (title: '" +
+                              rec->title + "')");
+  }
+  out->push_back(std::move(*rec));
+  *rec = AMinerRecord();
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Corpus> ReadAMinerCorpus(std::istream* in, const std::string& name) {
+  std::vector<AMinerRecord> records;
+  AMinerRecord current;
+  std::string line;
+  while (std::getline(*in, line)) {
+    std::string_view sv = Trim(line);
+    if (sv.empty()) {
+      SCHOLAR_RETURN_NOT_OK(FlushRecord(&current, &records));
+      continue;
+    }
+    if (StartsWith(sv, "#index")) {
+      // A new #index while the current record already has one starts a new
+      // record even without a separating blank line.
+      if (current.index >= 0) {
+        SCHOLAR_RETURN_NOT_OK(FlushRecord(&current, &records));
+      }
+      SCHOLAR_ASSIGN_OR_RETURN(current.index, ParseInt64(sv.substr(6)));
+      current.has_any_field = true;
+    } else if (StartsWith(sv, "#*")) {
+      current.title = std::string(Trim(sv.substr(2)));
+      current.has_any_field = true;
+    } else if (StartsWith(sv, "#@")) {
+      for (auto a : Split(sv.substr(2), ';')) {
+        std::string_view t = Trim(a);
+        if (!t.empty()) current.author_names.emplace_back(t);
+      }
+      current.has_any_field = true;
+    } else if (StartsWith(sv, "#t")) {
+      SCHOLAR_ASSIGN_OR_RETURN(int64_t y, ParseInt64(sv.substr(2)));
+      current.year = static_cast<Year>(y);
+      current.has_any_field = true;
+    } else if (StartsWith(sv, "#c")) {
+      current.venue = std::string(Trim(sv.substr(2)));
+      current.has_any_field = true;
+    } else if (StartsWith(sv, "#%")) {
+      SCHOLAR_ASSIGN_OR_RETURN(int64_t ref, ParseInt64(sv.substr(2)));
+      current.refs.push_back(ref);
+      current.has_any_field = true;
+    }
+    // Unknown tags (#!, abstract, ...) are ignored.
+  }
+  SCHOLAR_RETURN_NOT_OK(FlushRecord(&current, &records));
+  if (records.empty()) return Status::Corruption("no AMiner records found");
+
+  // External index -> dense id.
+  std::unordered_map<int64_t, NodeId> dense;
+  dense.reserve(records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    auto [it, inserted] =
+        dense.emplace(records[i].index, static_cast<NodeId>(i));
+    if (!inserted) {
+      return Status::Corruption("duplicate #index " +
+                                std::to_string(records[i].index));
+    }
+  }
+
+  // Year fallback: records without #t get the corpus minimum year.
+  Year min_year = std::numeric_limits<Year>::max();
+  bool any_year = false;
+  for (const auto& r : records) {
+    if (r.year != kUnknownYear) {
+      min_year = std::min(min_year, r.year);
+      any_year = true;
+    }
+  }
+  if (!any_year) min_year = 0;
+
+  Corpus corpus;
+  corpus.name = name;
+  GraphBuilder builder;
+  std::unordered_map<std::string, int32_t> venue_index;
+  std::unordered_map<std::string, AuthorId> author_index;
+  std::vector<std::vector<AuthorId>> author_lists(records.size());
+  size_t dropped_refs = 0;
+
+  for (size_t i = 0; i < records.size(); ++i) {
+    const AMinerRecord& r = records[i];
+    builder.AddNode(r.year == kUnknownYear ? min_year : r.year);
+    corpus.external_ids.push_back(static_cast<uint64_t>(r.index));
+    corpus.titles.push_back(r.title);
+    if (r.venue.empty()) {
+      corpus.venues.push_back(-1);
+    } else {
+      auto [it, inserted] = venue_index.emplace(
+          r.venue, static_cast<int32_t>(corpus.venue_names.size()));
+      if (inserted) corpus.venue_names.push_back(r.venue);
+      corpus.venues.push_back(it->second);
+    }
+    for (const std::string& a : r.author_names) {
+      auto it = author_index.emplace(a, static_cast<AuthorId>(author_index.size()))
+                    .first;
+      author_lists[i].push_back(it->second);
+    }
+  }
+  for (size_t i = 0; i < records.size(); ++i) {
+    for (int64_t ref : records[i].refs) {
+      auto it = dense.find(ref);
+      if (it == dense.end()) {
+        ++dropped_refs;
+        continue;
+      }
+      SCHOLAR_RETURN_NOT_OK(
+          builder.AddEdge(static_cast<NodeId>(i), it->second));
+    }
+  }
+  if (dropped_refs > 0) {
+    SCHOLAR_LOG(kWarning) << "dropped " << dropped_refs
+                          << " references to articles outside the file";
+  }
+  SCHOLAR_ASSIGN_OR_RETURN(corpus.graph, std::move(builder).Build());
+  corpus.authors = PaperAuthors::FromLists(author_lists);
+  SCHOLAR_RETURN_NOT_OK(corpus.ConsistencyCheck());
+  return corpus;
+}
+
+Result<Corpus> ReadAMinerCorpusFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open: " + path);
+  return ReadAMinerCorpus(&in, path);
+}
+
+Status WriteAMinerCorpus(const Corpus& corpus, std::ostream* out) {
+  SCHOLAR_RETURN_NOT_OK(corpus.ConsistencyCheck());
+  // Author names are not stored in Corpus; synthesize stable names from
+  // author ids so the format round-trips structurally.
+  for (NodeId i = 0; i < corpus.graph.num_nodes(); ++i) {
+    if (!corpus.titles.empty() && !corpus.titles[i].empty()) {
+      *out << "#* " << corpus.titles[i] << "\n";
+    }
+    if (corpus.has_authors()) {
+      auto span = corpus.authors.AuthorsOf(i);
+      if (!span.empty()) {
+        *out << "#@ ";
+        for (size_t a = 0; a < span.size(); ++a) {
+          if (a > 0) *out << ";";
+          *out << "author_" << span[a];
+        }
+        *out << "\n";
+      }
+    }
+    *out << "#t " << corpus.graph.year(i) << "\n";
+    if (!corpus.venues.empty() && corpus.venues[i] >= 0) {
+      *out << "#c " << corpus.venue_names[corpus.venues[i]] << "\n";
+    }
+    uint64_t ext = corpus.external_ids.empty() ? i : corpus.external_ids[i];
+    *out << "#index " << ext << "\n";
+    for (NodeId ref : corpus.graph.References(i)) {
+      uint64_t ref_ext =
+          corpus.external_ids.empty() ? ref : corpus.external_ids[ref];
+      *out << "#% " << ref_ext << "\n";
+    }
+    *out << "\n";
+  }
+  if (!*out) return Status::IOError("AMiner write failed");
+  return Status::OK();
+}
+
+Status WriteAMinerCorpusFile(const Corpus& corpus, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  return WriteAMinerCorpus(corpus, &out);
+}
+
+Result<Corpus> ReadTsvCorpus(std::istream* articles, std::istream* citations,
+                             const std::string& name) {
+  struct Row {
+    Year year;
+    std::string venue;
+    std::vector<std::string> author_names;
+  };
+  std::map<int64_t, Row> rows;
+  std::string line;
+  while (std::getline(*articles, line)) {
+    if (Trim(line).empty() || line[0] == '#') continue;
+    auto fields = Split(line, '\t');
+    if (fields.size() < 2) {
+      return Status::Corruption("articles.tsv row needs >=2 fields: '" +
+                                line + "'");
+    }
+    SCHOLAR_ASSIGN_OR_RETURN(int64_t id, ParseInt64(fields[0]));
+    SCHOLAR_ASSIGN_OR_RETURN(int64_t year, ParseInt64(fields[1]));
+    Row row;
+    row.year = static_cast<Year>(year);
+    if (fields.size() >= 3) row.venue = std::string(Trim(fields[2]));
+    if (fields.size() >= 4) {
+      for (auto a : Split(fields[3], ';')) {
+        std::string_view t = Trim(a);
+        if (!t.empty()) row.author_names.emplace_back(t);
+      }
+    }
+    if (!rows.emplace(id, std::move(row)).second) {
+      return Status::Corruption("duplicate article id " + std::to_string(id));
+    }
+  }
+  const size_t n = rows.size();
+  if (n == 0) return Status::Corruption("articles.tsv is empty");
+  // Require dense ids 0..n-1 (rows is ordered, so check ends).
+  if (rows.begin()->first != 0 ||
+      rows.rbegin()->first != static_cast<int64_t>(n) - 1) {
+    return Status::Corruption("article ids must be dense 0..n-1");
+  }
+
+  Corpus corpus;
+  corpus.name = name;
+  GraphBuilder builder;
+  std::unordered_map<std::string, int32_t> venue_index;
+  std::unordered_map<std::string, AuthorId> author_index;
+  std::vector<std::vector<AuthorId>> author_lists(n);
+  for (const auto& [id, row] : rows) {
+    builder.AddNode(row.year);
+    if (row.venue.empty()) {
+      corpus.venues.push_back(-1);
+    } else {
+      auto [it, inserted] = venue_index.emplace(
+          row.venue, static_cast<int32_t>(corpus.venue_names.size()));
+      if (inserted) corpus.venue_names.push_back(row.venue);
+      corpus.venues.push_back(it->second);
+    }
+    for (const std::string& a : row.author_names) {
+      auto it = author_index.emplace(a, static_cast<AuthorId>(author_index.size()))
+                    .first;
+      author_lists[static_cast<size_t>(id)].push_back(it->second);
+    }
+  }
+
+  while (std::getline(*citations, line)) {
+    if (Trim(line).empty() || line[0] == '#') continue;
+    auto fields = Split(line, '\t');
+    if (fields.size() != 2) {
+      return Status::Corruption("citations.tsv row needs 2 fields: '" + line +
+                                "'");
+    }
+    SCHOLAR_ASSIGN_OR_RETURN(int64_t u, ParseInt64(fields[0]));
+    SCHOLAR_ASSIGN_OR_RETURN(int64_t v, ParseInt64(fields[1]));
+    if (u < 0 || v < 0 || u >= static_cast<int64_t>(n) ||
+        v >= static_cast<int64_t>(n)) {
+      return Status::Corruption("citation endpoint out of range: '" + line +
+                                "'");
+    }
+    SCHOLAR_RETURN_NOT_OK(
+        builder.AddEdge(static_cast<NodeId>(u), static_cast<NodeId>(v)));
+  }
+  SCHOLAR_ASSIGN_OR_RETURN(corpus.graph, std::move(builder).Build());
+  corpus.authors = PaperAuthors::FromLists(author_lists);
+  SCHOLAR_RETURN_NOT_OK(corpus.ConsistencyCheck());
+  return corpus;
+}
+
+Result<Corpus> ReadTsvCorpusFiles(const std::string& articles_path,
+                                  const std::string& citations_path) {
+  std::ifstream articles(articles_path);
+  if (!articles) return Status::IOError("cannot open: " + articles_path);
+  std::ifstream citations(citations_path);
+  if (!citations) return Status::IOError("cannot open: " + citations_path);
+  return ReadTsvCorpus(&articles, &citations, articles_path);
+}
+
+Status WriteTsvCorpus(const Corpus& corpus, std::ostream* articles,
+                      std::ostream* citations) {
+  SCHOLAR_RETURN_NOT_OK(corpus.ConsistencyCheck());
+  for (NodeId i = 0; i < corpus.graph.num_nodes(); ++i) {
+    *articles << i << '\t' << corpus.graph.year(i) << '\t';
+    if (!corpus.venues.empty() && corpus.venues[i] >= 0) {
+      *articles << corpus.venue_names[corpus.venues[i]];
+    }
+    *articles << '\t';
+    if (corpus.has_authors()) {
+      auto span = corpus.authors.AuthorsOf(i);
+      for (size_t a = 0; a < span.size(); ++a) {
+        if (a > 0) *articles << ';';
+        *articles << "author_" << span[a];
+      }
+    }
+    *articles << '\n';
+  }
+  for (NodeId u = 0; u < corpus.graph.num_nodes(); ++u) {
+    for (NodeId v : corpus.graph.References(u)) {
+      *citations << u << '\t' << v << '\n';
+    }
+  }
+  if (!*articles || !*citations) return Status::IOError("TSV write failed");
+  return Status::OK();
+}
+
+Status WriteTsvCorpusFiles(const Corpus& corpus,
+                           const std::string& articles_path,
+                           const std::string& citations_path) {
+  std::ofstream articles(articles_path);
+  if (!articles) {
+    return Status::IOError("cannot open for writing: " + articles_path);
+  }
+  std::ofstream citations(citations_path);
+  if (!citations) {
+    return Status::IOError("cannot open for writing: " + citations_path);
+  }
+  return WriteTsvCorpus(corpus, &articles, &citations);
+}
+
+}  // namespace scholar

@@ -1,0 +1,106 @@
+#include "data/ground_truth.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "util/rng.h"
+
+namespace scholar {
+
+Result<std::vector<EvalPair>> SampleGroundTruthPairs(
+    const Corpus& corpus, const PairSamplingOptions& options) {
+  if (!corpus.has_ground_truth()) {
+    return Status::FailedPrecondition("corpus has no ground-truth impact");
+  }
+  if (options.margin < 0.0) {
+    return Status::InvalidArgument("margin must be >= 0");
+  }
+  const size_t n = corpus.num_articles();
+
+  // Candidate pool honoring the year filter.
+  std::vector<NodeId> pool;
+  pool.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    if (options.min_year == kUnknownYear ||
+        corpus.graph.year(v) >= options.min_year) {
+      pool.push_back(v);
+    }
+  }
+  if (pool.size() < 2) {
+    return Status::InvalidArgument(
+        "fewer than 2 articles satisfy the year filter");
+  }
+
+  // For same-year pairs, group the pool by year up front.
+  std::map<Year, std::vector<NodeId>> by_year;
+  if (options.same_year_only) {
+    for (NodeId v : pool) by_year[corpus.graph.year(v)].push_back(v);
+  }
+
+  Rng rng(options.seed);
+  std::vector<EvalPair> pairs;
+  pairs.reserve(options.num_pairs);
+  const size_t max_attempts = options.num_pairs * 200 + 1000;
+  size_t attempts = 0;
+  while (pairs.size() < options.num_pairs && attempts < max_attempts) {
+    ++attempts;
+    NodeId a, b;
+    if (options.same_year_only) {
+      NodeId probe = pool[rng.NextBounded(pool.size())];
+      const std::vector<NodeId>& cohort = by_year[corpus.graph.year(probe)];
+      if (cohort.size() < 2) continue;
+      a = cohort[rng.NextBounded(cohort.size())];
+      b = cohort[rng.NextBounded(cohort.size())];
+    } else {
+      a = pool[rng.NextBounded(pool.size())];
+      b = pool[rng.NextBounded(pool.size())];
+    }
+    if (a == b) continue;
+    const double qa = corpus.true_impact[a];
+    const double qb = corpus.true_impact[b];
+    if (qa >= (1.0 + options.margin) * qb) {
+      pairs.push_back({a, b});
+    } else if (qb >= (1.0 + options.margin) * qa) {
+      pairs.push_back({b, a});
+    }
+  }
+  return pairs;
+}
+
+Result<AwardBenchmark> BuildAwardBenchmark(const Corpus& corpus,
+                                           double top_fraction) {
+  if (!corpus.has_ground_truth()) {
+    return Status::FailedPrecondition("corpus has no ground-truth impact");
+  }
+  if (top_fraction <= 0.0 || top_fraction > 1.0) {
+    return Status::InvalidArgument("top_fraction must be in (0, 1]");
+  }
+  const size_t n = corpus.num_articles();
+  std::map<Year, std::vector<NodeId>> by_year;
+  for (NodeId v = 0; v < n; ++v) by_year[corpus.graph.year(v)].push_back(v);
+
+  AwardBenchmark bench;
+  bench.is_award.assign(n, false);
+  for (auto& [year, cohort] : by_year) {
+    const size_t take = std::max<size_t>(
+        1, static_cast<size_t>(top_fraction * cohort.size()));
+    std::partial_sort(cohort.begin(),
+                      cohort.begin() + std::min(take, cohort.size()),
+                      cohort.end(), [&](NodeId x, NodeId y) {
+                        if (corpus.true_impact[x] != corpus.true_impact[y]) {
+                          return corpus.true_impact[x] >
+                                 corpus.true_impact[y];
+                        }
+                        return x < y;
+                      });
+    for (size_t i = 0; i < std::min(take, cohort.size()); ++i) {
+      bench.awards.push_back(cohort[i]);
+      bench.is_award[cohort[i]] = true;
+    }
+  }
+  std::sort(bench.awards.begin(), bench.awards.end());
+  return bench;
+}
+
+}  // namespace scholar

@@ -1,0 +1,58 @@
+#ifndef SCHOLARRANK_DATA_GROUND_TRUTH_H_
+#define SCHOLARRANK_DATA_GROUND_TRUTH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace scholar {
+
+/// One labeled comparison: ground truth says `better` should outrank
+/// `worse`.
+struct EvalPair {
+  NodeId better;
+  NodeId worse;
+};
+
+/// How ground-truth pairs are sampled from a corpus's latent impact.
+struct PairSamplingOptions {
+  size_t num_pairs = 100000;
+  /// Required relative impact gap: q(better) >= (1 + margin) * q(worse).
+  /// The margin removes near-ties that even a perfect ranker could not
+  /// order, mirroring how expert-labeled benchmarks only contain pairs the
+  /// labelers were confident about.
+  double margin = 0.1;
+  /// When set (!= kUnknownYear), both articles must be published in or
+  /// after this year — used for the "recent articles" experiment.
+  Year min_year = kUnknownYear;
+  /// When true, both articles of a pair are drawn from the same publication
+  /// year, isolating quality from age.
+  bool same_year_only = false;
+  uint64_t seed = 7;
+};
+
+/// Samples labeled pairs. Requires corpus.has_ground_truth(). Rejection
+/// sampling caps attempts at 200x num_pairs; fewer pairs are returned when
+/// the margin filter is too strict for the corpus.
+Result<std::vector<EvalPair>> SampleGroundTruthPairs(
+    const Corpus& corpus, const PairSamplingOptions& options);
+
+/// "Award articles" benchmark: per publication year, the top `top_fraction`
+/// of that cohort by latent impact (at least one per non-empty year). Mimics
+/// best-paper / test-of-time award lists used as ground truth in the paper.
+struct AwardBenchmark {
+  /// All award article ids.
+  std::vector<NodeId> awards;
+  /// Per-node membership flag (size = num articles).
+  std::vector<bool> is_award;
+};
+
+Result<AwardBenchmark> BuildAwardBenchmark(const Corpus& corpus,
+                                           double top_fraction = 0.02);
+
+}  // namespace scholar
+
+#endif  // SCHOLARRANK_DATA_GROUND_TRUTH_H_

@@ -1,0 +1,65 @@
+#include "data/profiles.h"
+
+#include "util/string_util.h"
+
+namespace scholar {
+
+SyntheticOptions AMinerLikeProfile(size_t num_articles, uint64_t seed) {
+  SyntheticOptions o;
+  o.num_articles = num_articles;
+  o.start_year = 1980;
+  o.num_years = 30;
+  o.growth_rate = 1.08;
+  o.mean_references = 12.0;
+  o.impact_sigma = 1.0;
+  o.pref_attach_weight = 0.5;
+  o.fitness_weight = 0.3;
+  o.recency_tau = 6.0;
+  o.discernment = 0.6;
+  o.noise_article_fraction = 0.15;
+  o.noise_refs_multiplier = 2.5;
+  o.noise_quality_factor = 0.3;
+  o.num_venues = 200;
+  o.venue_zipf = 1.05;
+  o.venue_impact_boost = 0.5;
+  o.mean_authors = 2.8;
+  o.new_author_prob = 0.35;
+  o.seed = seed;
+  return o;
+}
+
+SyntheticOptions MagLikeProfile(size_t num_articles, uint64_t seed) {
+  SyntheticOptions o;
+  o.num_articles = num_articles;
+  o.start_year = 1975;
+  o.num_years = 40;
+  o.growth_rate = 1.12;
+  o.mean_references = 18.0;
+  o.impact_sigma = 1.3;
+  o.pref_attach_weight = 0.55;
+  o.fitness_weight = 0.25;
+  o.recency_tau = 4.5;
+  // MAG-style corpora are broader and dirtier than curated CS collections.
+  o.discernment = 0.5;
+  o.noise_article_fraction = 0.2;
+  o.noise_refs_multiplier = 3.0;
+  o.noise_quality_factor = 0.3;
+  o.num_venues = 800;
+  o.venue_zipf = 1.2;
+  o.venue_impact_boost = 0.4;
+  o.mean_authors = 3.4;
+  o.new_author_prob = 0.4;
+  o.seed = seed;
+  return o;
+}
+
+Result<SyntheticOptions> ProfileByName(const std::string& name,
+                                       size_t num_articles, uint64_t seed) {
+  const std::string lower = ToLower(name);
+  if (lower == "aminer") return AMinerLikeProfile(num_articles, seed);
+  if (lower == "mag") return MagLikeProfile(num_articles, seed);
+  return Status::NotFound("unknown profile '" + name +
+                          "' (expected 'aminer' or 'mag')");
+}
+
+}  // namespace scholar

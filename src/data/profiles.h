@@ -1,0 +1,25 @@
+#ifndef SCHOLARRANK_DATA_PROFILES_H_
+#define SCHOLARRANK_DATA_PROFILES_H_
+
+#include <string>
+
+#include "data/synthetic.h"
+
+namespace scholar {
+
+/// Generator profile mimicking the AMiner computer-science citation network
+/// used in the paper: ~30 years of publications, moderate exponential
+/// growth, medium reference lists.
+SyntheticOptions AMinerLikeProfile(size_t num_articles, uint64_t seed = 12345);
+
+/// Profile mimicking a Microsoft Academic Graph slice: faster growth, more
+/// venues, longer reference lists, heavier-tailed impact distribution.
+SyntheticOptions MagLikeProfile(size_t num_articles, uint64_t seed = 54321);
+
+/// Looks up a profile by name ("aminer" or "mag").
+Result<SyntheticOptions> ProfileByName(const std::string& name,
+                                       size_t num_articles, uint64_t seed);
+
+}  // namespace scholar
+
+#endif  // SCHOLARRANK_DATA_PROFILES_H_

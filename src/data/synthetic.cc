@@ -1,0 +1,288 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace scholar {
+namespace {
+
+/// Poisson sample via Knuth's method (fine for the small means used here).
+size_t SamplePoisson(Rng* rng, double lambda) {
+  if (lambda <= 0.0) return 0;
+  const double limit = std::exp(-lambda);
+  double product = rng->NextDouble();
+  size_t count = 0;
+  while (product > limit) {
+    ++count;
+    product *= rng->NextDouble();
+  }
+  return count;
+}
+
+Status ValidateOptions(const SyntheticOptions& o) {
+  if (o.num_articles == 0) {
+    return Status::InvalidArgument("num_articles must be > 0");
+  }
+  if (o.num_years <= 0) {
+    return Status::InvalidArgument("num_years must be > 0");
+  }
+  if (o.growth_rate <= 0.0) {
+    return Status::InvalidArgument("growth_rate must be > 0");
+  }
+  if (o.pref_attach_weight < 0.0 || o.fitness_weight < 0.0 ||
+      o.pref_attach_weight + o.fitness_weight > 1.0 + 1e-12) {
+    return Status::InvalidArgument(
+        "mixture weights must be non-negative with pa + fitness <= 1");
+  }
+  if (o.recency_tau <= 0.0) {
+    return Status::InvalidArgument("recency_tau must be > 0");
+  }
+  if (o.discernment < 0.0 || o.discernment > 1.0) {
+    return Status::InvalidArgument("discernment must be in [0, 1]");
+  }
+  if (o.noise_article_fraction < 0.0 || o.noise_article_fraction > 1.0) {
+    return Status::InvalidArgument("noise_article_fraction must be in [0, 1]");
+  }
+  if (o.noise_refs_multiplier < 0.0) {
+    return Status::InvalidArgument("noise_refs_multiplier must be >= 0");
+  }
+  if (o.noise_quality_factor <= 0.0 || o.noise_quality_factor > 1.0) {
+    return Status::InvalidArgument("noise_quality_factor must be in (0, 1]");
+  }
+  if (o.num_venues == 0) {
+    return Status::InvalidArgument("num_venues must be > 0");
+  }
+  if (o.mean_authors < 1.0) {
+    return Status::InvalidArgument("mean_authors must be >= 1");
+  }
+  return Status::OK();
+}
+
+/// Number of new articles per year: proportional to growth_rate^i, scaled so
+/// the total is exactly num_articles and every year has at least one.
+std::vector<size_t> PerYearCounts(const SyntheticOptions& o) {
+  std::vector<double> weights(o.num_years);
+  double total = 0.0;
+  for (int i = 0; i < o.num_years; ++i) {
+    weights[i] = std::pow(o.growth_rate, i);
+    total += weights[i];
+  }
+  std::vector<size_t> counts(o.num_years, 1);
+  size_t assigned = static_cast<size_t>(o.num_years);
+  // Largest-remainder allocation of the articles beyond the 1-per-year
+  // floor.
+  if (assigned >= o.num_articles) {
+    // Degenerate: fewer articles than years; pile everything at the end.
+    std::fill(counts.begin(), counts.end(), 0);
+    counts.back() = o.num_articles;
+    return counts;
+  }
+  const size_t remaining = o.num_articles - assigned;
+  size_t given = 0;
+  for (int i = 0; i < o.num_years; ++i) {
+    size_t extra = static_cast<size_t>(remaining * weights[i] / total);
+    counts[i] += extra;
+    given += extra;
+  }
+  // Rounding residue goes to the most recent years.
+  for (int i = o.num_years - 1; given < remaining; i = (i + o.num_years - 1) % o.num_years) {
+    ++counts[i];
+    ++given;
+  }
+  return counts;
+}
+
+}  // namespace
+
+Result<Corpus> GenerateSyntheticCorpus(const SyntheticOptions& o,
+                                       const std::string& name) {
+  SCHOLAR_RETURN_NOT_OK(ValidateOptions(o));
+  Rng rng(o.seed);
+
+  // Venue prestige: log-normal, index 0 most popular (popularity is zipf in
+  // the venue index, prestige correlates with popularity rank mildly via
+  // sorting).
+  std::vector<double> venue_prestige(o.num_venues);
+  for (double& p : venue_prestige) p = rng.NextLogNormal(0.0, 0.8);
+  std::sort(venue_prestige.rbegin(), venue_prestige.rend());
+
+  const std::vector<size_t> per_year = PerYearCounts(o);
+
+  Corpus corpus;
+  corpus.name = name;
+  GraphBuilder builder;
+  corpus.true_impact.reserve(o.num_articles);
+  corpus.venues.reserve(o.num_articles);
+
+  // Reference sampling state.
+  // endpoint_list implements preferential attachment: every article appears
+  // once at creation plus once per citation received, so a uniform draw is
+  // proportional to (in-degree + 1).
+  std::vector<NodeId> endpoint_list;
+  endpoint_list.reserve(o.num_articles * 8);
+  // Per completed year: article id range and a fitness-weighted sampler.
+  struct YearBlock {
+    NodeId first;
+    NodeId count;
+    std::unique_ptr<DiscreteSampler> by_impact;
+  };
+  std::vector<YearBlock> year_blocks;
+
+  // Author state: rich-get-richer productivity.
+  std::vector<std::vector<AuthorId>> author_lists;
+  author_lists.reserve(o.num_articles);
+  std::vector<AuthorId> author_endpoint_list;
+  AuthorId next_author = 0;
+
+  std::vector<NodeId> refs_buffer;
+  std::unordered_set<NodeId> refs_seen;
+
+  NodeId next_id = 0;
+  for (int yi = 0; yi < o.num_years; ++yi) {
+    const Year year = o.start_year + yi;
+    const NodeId year_first = next_id;
+    // Reference budget ramps from 50% to 100% of mean_references.
+    const double year_mean_refs =
+        o.mean_references *
+        (0.5 + 0.5 * static_cast<double>(yi) /
+                   std::max(1, o.num_years - 1));
+    std::vector<double> year_impacts;
+    year_impacts.reserve(per_year[yi]);
+
+    for (size_t a = 0; a < per_year[yi]; ++a, ++next_id) {
+      const NodeId u = builder.AddNode(year);
+      SCHOLAR_CHECK_EQ(u, next_id);
+
+      // Venue and latent impact.
+      const int32_t venue =
+          static_cast<int32_t>(rng.NextZipf(o.num_venues, o.venue_zipf));
+      const bool is_noise_article =
+          rng.NextBernoulli(o.noise_article_fraction);
+      const double q =
+          rng.NextLogNormal(0.0, o.impact_sigma) *
+          std::pow(venue_prestige[venue], o.venue_impact_boost) *
+          (is_noise_article ? o.noise_quality_factor : 1.0);
+      corpus.venues.push_back(venue);
+      corpus.true_impact.push_back(q);
+      year_impacts.push_back(q);
+
+      // Authors.
+      const size_t num_authors = 1 + SamplePoisson(&rng, o.mean_authors - 1.0);
+      std::vector<AuthorId> article_authors;
+      for (size_t s = 0; s < num_authors; ++s) {
+        AuthorId author;
+        if (author_endpoint_list.empty() ||
+            rng.NextBernoulli(o.new_author_prob)) {
+          author = next_author++;
+        } else {
+          author = author_endpoint_list[rng.NextBounded(
+              author_endpoint_list.size())];
+        }
+        if (std::find(article_authors.begin(), article_authors.end(),
+                      author) == article_authors.end()) {
+          article_authors.push_back(author);
+          author_endpoint_list.push_back(author);
+        }
+      }
+      author_lists.push_back(std::move(article_authors));
+
+      // References. Only articles created before this one are candidates.
+      if (u == 0) {
+        endpoint_list.push_back(u);
+        continue;
+      }
+      const double mean_refs_here =
+          is_noise_article ? year_mean_refs * o.noise_refs_multiplier
+                           : year_mean_refs;
+      const size_t target_refs =
+          std::min<size_t>(SamplePoisson(&rng, mean_refs_here), u);
+      refs_buffer.clear();
+      refs_seen.clear();
+      size_t attempts = 0;
+      const size_t max_attempts = target_refs * 12 + 24;
+      // A discerning (high-q) article directs more of its references
+      // through the fitness channel; q/(q+1) maps quality into (0,1) with
+      // value 0.5 at the log-normal median.
+      const double focus = q / (q + 1.0);
+      double fitness_prob =
+          o.fitness_weight *
+          ((1.0 - o.discernment) + 2.0 * o.discernment * focus);
+      fitness_prob = std::min(fitness_prob, 0.98 - o.pref_attach_weight);
+      while (refs_buffer.size() < target_refs && attempts < max_attempts) {
+        ++attempts;
+        NodeId v = kInvalidNode;
+        if (is_noise_article) {
+          // Indiscriminate citer: half canonical name-dropping (fame-
+          // proportional, i.e., preferential attachment over the full
+          // history) and half uniform padding. Both channels ignore
+          // quality and spread over all ages, unlike genuine fitness
+          // citations which concentrate on recent work.
+          if (rng.NextBernoulli(0.5)) {
+            v = endpoint_list[rng.NextBounded(endpoint_list.size())];
+          } else {
+            v = static_cast<NodeId>(rng.NextBounded(u));
+          }
+          if (v >= u || !refs_seen.insert(v).second) continue;
+          refs_buffer.push_back(v);
+          continue;
+        }
+        const double coin = rng.NextDouble();
+        if (coin < o.pref_attach_weight) {
+          v = endpoint_list[rng.NextBounded(endpoint_list.size())];
+        } else if (coin < o.pref_attach_weight + fitness_prob &&
+                   !year_blocks.empty()) {
+          // Recency-biased year, then impact-biased article within it.
+          const double age = rng.NextExponential(1.0 / o.recency_tau);
+          int back = static_cast<int>(age) + 1;  // completed years only
+          int target_year_index = yi - back;
+          if (target_year_index < 0) target_year_index = 0;
+          if (target_year_index >= static_cast<int>(year_blocks.size())) {
+            target_year_index = static_cast<int>(year_blocks.size()) - 1;
+          }
+          const YearBlock& block = year_blocks[target_year_index];
+          if (block.count > 0) {
+            v = block.first +
+                static_cast<NodeId>(block.by_impact->Sample(&rng));
+          }
+        } else {
+          v = static_cast<NodeId>(rng.NextBounded(u));
+        }
+        if (v == kInvalidNode || v >= u) continue;  // same-year-later or bad
+        if (!refs_seen.insert(v).second) continue;
+        refs_buffer.push_back(v);
+      }
+      for (NodeId v : refs_buffer) {
+        SCHOLAR_RETURN_NOT_OK(builder.AddEdge(u, v));
+        endpoint_list.push_back(v);
+      }
+      endpoint_list.push_back(u);
+    }
+
+    // Seal this year for fitness-based sampling by later years.
+    YearBlock block;
+    block.first = year_first;
+    block.count = next_id - year_first;
+    if (block.count > 0) {
+      block.by_impact = std::make_unique<DiscreteSampler>(year_impacts);
+    }
+    year_blocks.push_back(std::move(block));
+  }
+
+  SCHOLAR_ASSIGN_OR_RETURN(corpus.graph, std::move(builder).Build());
+  corpus.authors = PaperAuthors::FromLists(author_lists);
+  for (size_t v = 0; v < o.num_venues; ++v) {
+    corpus.venue_names.push_back("venue_" + std::to_string(v));
+  }
+  SCHOLAR_RETURN_NOT_OK(corpus.ConsistencyCheck());
+  return corpus;
+}
+
+}  // namespace scholar

@@ -1,0 +1,94 @@
+#ifndef SCHOLARRANK_DATA_SYNTHETIC_H_
+#define SCHOLARRANK_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace scholar {
+
+/// Parameters of the synthetic scholarly-corpus generator.
+///
+/// The generator grows a citation network year by year with the three forces
+/// that shape real citation data (and that the paper's rankers exploit):
+///
+///   * preferential attachment — already-cited articles attract more
+///     citations (power-law in-degree),
+///   * latent fitness — each article has a hidden impact q (log-normal,
+///     venue-correlated) that biases citations toward genuinely good work;
+///     q doubles as evaluation ground truth,
+///   * recency — references concentrate on recent literature
+///     (exponentially decaying citation-age distribution).
+///
+/// Articles are created in chronological order, so NodeIds are
+/// non-decreasing in publication year.
+struct SyntheticOptions {
+  size_t num_articles = 50000;
+  Year start_year = 1980;
+  int num_years = 30;
+  /// Per-year multiplicative growth of the publication rate.
+  double growth_rate = 1.08;
+
+  /// Mean reference-list length in the final year. Earlier years ramp
+  /// linearly from half this value (reference lists grew historically).
+  double mean_references = 12.0;
+
+  /// Log-normal sigma of the latent impact q (heavier tail = starker
+  /// quality differences).
+  double impact_sigma = 1.0;
+
+  /// Mixture weights of the reference-sampling process; the remainder
+  /// (1 - pa - fitness) is uniform over existing articles. Must satisfy
+  /// pa, fitness >= 0 and pa + fitness <= 1.
+  double pref_attach_weight = 0.5;
+  double fitness_weight = 0.3;
+
+  /// Mean citation age, in years, for the recency-driven draws.
+  double recency_tau = 6.0;
+
+  /// How strongly a citing article's own quality focuses its reference
+  /// list on genuinely good work (0 = everyone cites alike, 1 = high-impact
+  /// articles are far more fitness-directed while weak articles cite
+  /// near-randomly). This is what makes citations from important articles
+  /// carry more evidence — the property PageRank-style propagation
+  /// exploits on real citation data.
+  double discernment = 0.6;
+
+  /// Fraction of articles that are indiscriminate mass-citers (low-tier
+  /// surveys, citation-padded manuscripts): their reference lists are
+  /// `noise_refs_multiplier` times longer, their targets are chosen
+  /// uniformly at random over all existing articles, and their own latent
+  /// impact is scaled by `noise_quality_factor`. This models the citation
+  /// noise that makes counting-based metrics fragile on real corpora —
+  /// propagation-based rankers discount these votes (low citer importance,
+  /// huge out-degree), counting cannot.
+  double noise_article_fraction = 0.15;
+  double noise_refs_multiplier = 2.5;
+  double noise_quality_factor = 0.3;
+
+  size_t num_venues = 200;
+  /// Zipf exponent of venue popularity (larger = few venues dominate).
+  double venue_zipf = 1.05;
+  /// Exponent coupling an article's q to its venue's prestige
+  /// (0 = independent).
+  double venue_impact_boost = 0.5;
+
+  /// Mean number of authors per article (>= 1).
+  double mean_authors = 2.8;
+  /// Probability that an author slot introduces a brand-new author rather
+  /// than reusing a productive one.
+  double new_author_prob = 0.35;
+
+  uint64_t seed = 12345;
+};
+
+/// Generates a corpus. Deterministic in `options` (including seed).
+/// Errors: invalid mixture weights, non-positive sizes.
+Result<Corpus> GenerateSyntheticCorpus(const SyntheticOptions& options,
+                                       const std::string& name);
+
+}  // namespace scholar
+
+#endif  // SCHOLARRANK_DATA_SYNTHETIC_H_

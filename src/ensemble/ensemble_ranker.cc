@@ -1,0 +1,226 @@
+#include "ensemble/ensemble_ranker.h"
+
+#include <cmath>
+#include <utility>
+
+#include "graph/time_slicer.h"
+#include "util/logging.h"
+
+namespace scholar {
+
+Result<EnsembleCombiner> EnsembleCombinerFromString(const std::string& name) {
+  if (name == "mean") return EnsembleCombiner::kMean;
+  if (name == "recency") return EnsembleCombiner::kRecencyWeighted;
+  return Status::InvalidArgument("unknown combiner '" + name + "'");
+}
+
+std::string EnsembleCombinerToString(EnsembleCombiner combiner) {
+  switch (combiner) {
+    case EnsembleCombiner::kMean:
+      return "mean";
+    case EnsembleCombiner::kRecencyWeighted:
+      return "recency";
+  }
+  return "unknown";
+}
+
+Result<NormalizationScope> NormalizationScopeFromString(
+    const std::string& name) {
+  if (name == "snapshot") return NormalizationScope::kSnapshot;
+  if (name == "cohort") return NormalizationScope::kSliceCohort;
+  if (name == "year") return NormalizationScope::kYearCohort;
+  return Status::InvalidArgument("unknown normalization scope '" + name +
+                                 "'");
+}
+
+std::string NormalizationScopeToString(NormalizationScope scope) {
+  switch (scope) {
+    case NormalizationScope::kSnapshot:
+      return "snapshot";
+    case NormalizationScope::kSliceCohort:
+      return "cohort";
+    case NormalizationScope::kYearCohort:
+      return "year";
+  }
+  return "unknown";
+}
+
+EnsembleRanker::EnsembleRanker(std::shared_ptr<const Ranker> base,
+                               EnsembleOptions options)
+    : base_(std::move(base)), options_(options) {
+  SCHOLAR_CHECK(base_ != nullptr);
+}
+
+std::string EnsembleRanker::name() const { return "ens_" + base_->name(); }
+
+Result<RankResult> EnsembleRanker::RankImpl(const RankContext& ctx) const {
+  return RankWithDetails(ctx, nullptr);
+}
+
+Result<RankResult> EnsembleRanker::RankWithDetails(
+    const RankContext& ctx, std::vector<SnapshotDetail>* details) const {
+  SCHOLAR_RETURN_NOT_OK(ValidateContext(ctx, /*requires_authors=*/false));
+  if (options_.num_slices < 1) {
+    return Status::InvalidArgument("num_slices must be >= 1");
+  }
+  if (options_.combiner == EnsembleCombiner::kRecencyWeighted &&
+      (options_.gamma <= 0.0 || options_.gamma > 1.0)) {
+    return Status::InvalidArgument("gamma must be in (0, 1]");
+  }
+  const CitationGraph& g = *ctx.graph;
+  if (g.num_nodes() == 0) return RankResult{};
+
+  if (options_.window < 0) {
+    return Status::InvalidArgument("window must be >= 0 (0 = all snapshots)");
+  }
+  SCHOLAR_ASSIGN_OR_RETURN(
+      std::vector<Year> boundaries,
+      ComputeSliceBoundaries(g, options_.num_slices, options_.partition));
+  const size_t k = boundaries.size();
+
+  // First snapshot containing each article: the first boundary at or after
+  // its publication year.
+  std::vector<size_t> first_snapshot(g.num_nodes(), 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const Year y = g.year(v);
+    size_t f = 0;
+    while (f < k && boundaries[f] < y) ++f;
+    first_snapshot[v] = f;
+  }
+
+  std::vector<double> accumulated(g.num_nodes(), 0.0);
+  std::vector<double> weight_sum(g.num_nodes(), 0.0);
+  // Raw scores of the previous snapshot, scattered to parent ids; feeds the
+  // warm start of the next (accumulative, therefore larger) snapshot.
+  std::vector<double> parent_scores;
+
+  RankResult result;
+  result.converged = true;
+  for (size_t i = 0; i < k; ++i) {
+    Snapshot snap = ExtractSnapshot(g, boundaries[i]);
+    if (snap.graph.num_nodes() == 0) continue;
+
+    PaperAuthors snap_authors;
+    std::vector<int32_t> snap_venues;
+    RankContext sub_ctx;
+    sub_ctx.graph = &snap.graph;
+    sub_ctx.now_year = boundaries[i];
+    if (ctx.authors != nullptr) {
+      snap_authors = RestrictAuthorsToSnapshot(*ctx.authors, snap.to_parent);
+      sub_ctx.authors = &snap_authors;
+    }
+    if (ctx.venues != nullptr) {
+      snap_venues.reserve(snap.to_parent.size());
+      for (NodeId parent : snap.to_parent) {
+        snap_venues.push_back((*ctx.venues)[parent]);
+      }
+      sub_ctx.venues = &snap_venues;
+    }
+
+    std::vector<double> initial;
+    if (options_.warm_start && !parent_scores.empty()) {
+      // Nodes new to this snapshot start at the mean previous score.
+      initial.resize(snap.graph.num_nodes());
+      double total = 0.0;
+      size_t known = 0;
+      for (NodeId s = 0; s < snap.graph.num_nodes(); ++s) {
+        const double prev = parent_scores[snap.to_parent[s]];
+        if (prev > 0.0) {
+          total += prev;
+          ++known;
+        }
+      }
+      const double fallback =
+          known > 0 ? total / static_cast<double>(known)
+                    : 1.0 / static_cast<double>(snap.graph.num_nodes());
+      for (NodeId s = 0; s < snap.graph.num_nodes(); ++s) {
+        const double prev = parent_scores[snap.to_parent[s]];
+        initial[s] = prev > 0.0 ? prev : fallback;
+      }
+      sub_ctx.initial_scores = &initial;
+    }
+
+    SCHOLAR_ASSIGN_OR_RETURN(RankResult sub, base_->Rank(sub_ctx));
+    if (options_.warm_start) {
+      parent_scores.assign(g.num_nodes(), 0.0);
+      for (NodeId s = 0; s < snap.graph.num_nodes(); ++s) {
+        parent_scores[snap.to_parent[s]] = sub.scores[s];
+      }
+    }
+    result.iterations += sub.iterations;
+    result.converged = result.converged && sub.converged;
+    result.final_residual =
+        std::max(result.final_residual, sub.final_residual);
+    if (details != nullptr) {
+      details->push_back({boundaries[i], snap.graph.num_nodes(),
+                          snap.graph.num_edges(), sub.iterations});
+    }
+
+    std::vector<double> normalized;
+    if (options_.scope == NormalizationScope::kSnapshot) {
+      normalized = NormalizeScores(sub.scores, options_.normalizer);
+    } else {
+      // Normalize each generation separately: gather the snapshot nodes of
+      // every group (time slice or publication year), normalize within the
+      // group, and scatter back.
+      normalized.assign(sub.scores.size(), 0.0);
+      const bool by_year = options_.scope == NormalizationScope::kYearCohort;
+      const Year min_year = g.min_year();
+      const size_t num_groups =
+          by_year ? static_cast<size_t>(g.max_year() - min_year) + 1 : k;
+      std::vector<std::vector<NodeId>> groups(num_groups);
+      for (NodeId s = 0; s < snap.graph.num_nodes(); ++s) {
+        const NodeId parent = snap.to_parent[s];
+        const size_t key =
+            by_year ? static_cast<size_t>(g.year(parent) - min_year)
+                    : first_snapshot[parent];
+        groups[key].push_back(s);
+      }
+      std::vector<double> group_scores;
+      for (const std::vector<NodeId>& group : groups) {
+        if (group.empty()) continue;
+        group_scores.clear();
+        for (NodeId s : group) group_scores.push_back(sub.scores[s]);
+        std::vector<double> group_norm =
+            NormalizeScores(group_scores, options_.normalizer);
+        for (size_t t = 0; t < group.size(); ++t) {
+          normalized[group[t]] = group_norm[t];
+        }
+      }
+    }
+    const double weight =
+        options_.combiner == EnsembleCombiner::kMean
+            ? 1.0
+            : std::pow(options_.gamma, static_cast<double>(k - 1 - i));
+    for (NodeId s = 0; s < snap.graph.num_nodes(); ++s) {
+      const NodeId parent = snap.to_parent[s];
+      if (options_.window > 0 &&
+          i >= first_snapshot[parent] + static_cast<size_t>(options_.window)) {
+        continue;  // beyond this article's contemporary window
+      }
+      accumulated[parent] += weight * normalized[s];
+      weight_sum[parent] += weight;
+    }
+  }
+
+  result.scores.resize(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    // Every article appears in at least the final snapshot, so the weight
+    // sum is positive; the guard keeps degenerate subclasses safe.
+    result.scores[v] =
+        weight_sum[v] > 0.0 ? accumulated[v] / weight_sum[v] : 0.0;
+  }
+  return result;
+}
+
+PaperAuthors RestrictAuthorsToSnapshot(const PaperAuthors& parent,
+                                       const std::vector<NodeId>& to_parent) {
+  std::vector<std::vector<AuthorId>> lists(to_parent.size());
+  for (size_t i = 0; i < to_parent.size(); ++i) {
+    auto span = parent.AuthorsOf(to_parent[i]);
+    lists[i].assign(span.begin(), span.end());
+  }
+  return PaperAuthors::FromLists(lists);
+}
+
+}  // namespace scholar

@@ -1,0 +1,72 @@
+#include "ensemble/normalizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rank/ranker.h"
+
+namespace scholar {
+
+Result<NormalizerKind> NormalizerKindFromString(const std::string& name) {
+  if (name == "max") return NormalizerKind::kMax;
+  if (name == "sum") return NormalizerKind::kSum;
+  if (name == "percentile") return NormalizerKind::kRankPercentile;
+  if (name == "zscore") return NormalizerKind::kZScore;
+  return Status::InvalidArgument("unknown normalizer '" + name + "'");
+}
+
+std::string NormalizerKindToString(NormalizerKind kind) {
+  switch (kind) {
+    case NormalizerKind::kMax:
+      return "max";
+    case NormalizerKind::kSum:
+      return "sum";
+    case NormalizerKind::kRankPercentile:
+      return "percentile";
+    case NormalizerKind::kZScore:
+      return "zscore";
+  }
+  return "unknown";
+}
+
+std::vector<double> NormalizeScores(const std::vector<double>& scores,
+                                    NormalizerKind kind) {
+  const size_t n = scores.size();
+  if (n == 0) return {};
+  switch (kind) {
+    case NormalizerKind::kMax: {
+      double mx = *std::max_element(scores.begin(), scores.end());
+      if (mx <= 0.0) return scores;
+      std::vector<double> out(n);
+      for (size_t i = 0; i < n; ++i) out[i] = scores[i] / mx;
+      return out;
+    }
+    case NormalizerKind::kSum: {
+      double sum = 0.0;
+      for (double s : scores) sum += s;
+      if (sum <= 0.0) return scores;
+      std::vector<double> out(n);
+      for (size_t i = 0; i < n; ++i) out[i] = scores[i] / sum;
+      return out;
+    }
+    case NormalizerKind::kRankPercentile:
+      return MidrankPercentiles(scores);
+    case NormalizerKind::kZScore: {
+      double mean = 0.0;
+      for (double s : scores) mean += s;
+      mean /= static_cast<double>(n);
+      double var = 0.0;
+      for (double s : scores) var += (s - mean) * (s - mean);
+      var /= static_cast<double>(n);
+      double sd = std::sqrt(var);
+      std::vector<double> out(n, 0.0);
+      if (sd > 0.0) {
+        for (size_t i = 0; i < n; ++i) out[i] = (scores[i] - mean) / sd;
+      }
+      return out;
+    }
+  }
+  return scores;
+}
+
+}  // namespace scholar

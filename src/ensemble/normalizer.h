@@ -1,0 +1,41 @@
+#ifndef SCHOLARRANK_ENSEMBLE_NORMALIZER_H_
+#define SCHOLARRANK_ENSEMBLE_NORMALIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace scholar {
+
+/// How raw per-snapshot scores are made comparable across snapshots of very
+/// different sizes before the ensemble combines them.
+enum class NormalizerKind {
+  /// Divide by the maximum score: best article -> 1.
+  kMax,
+  /// Divide by the sum (scores become a distribution). Sensitive to
+  /// snapshot size; kept mainly for the ablation study.
+  kSum,
+  /// Replace each score by its midrank percentile in (0, 1]; best -> 1,
+  /// ties share the average percentile of their positions. Scale-free and
+  /// robust to the heavy-tailed score distributions PageRank produces (the
+  /// huge exact-tie group of uncited articles maps to one shared value
+  /// instead of an arbitrary spread). The paper-faithful default.
+  kRankPercentile,
+  /// Standard z-score: (x - mean) / stddev. Can be negative.
+  kZScore,
+};
+
+/// Parses "max" / "sum" / "percentile" / "zscore".
+Result<NormalizerKind> NormalizerKindFromString(const std::string& name);
+std::string NormalizerKindToString(NormalizerKind kind);
+
+/// Applies `kind` to `scores`. Degenerate inputs (all-equal, all-zero,
+/// empty) are handled gracefully: kMax/kSum leave zeros, kZScore yields
+/// zeros, kRankPercentile still produces the deterministic percentile grid.
+std::vector<double> NormalizeScores(const std::vector<double>& scores,
+                                    NormalizerKind kind);
+
+}  // namespace scholar
+
+#endif  // SCHOLARRANK_ENSEMBLE_NORMALIZER_H_

@@ -1,0 +1,34 @@
+#ifndef SCHOLARRANK_ENSEMBLE_TIME_PARTITIONER_H_
+#define SCHOLARRANK_ENSEMBLE_TIME_PARTITIONER_H_
+
+#include <vector>
+
+#include "graph/citation_graph.h"
+#include "util/status.h"
+
+namespace scholar {
+
+/// How slice boundaries are placed along the publication-time axis.
+enum class PartitionStrategy {
+  /// Boundaries split [min_year, max_year] into equal-length year spans.
+  kEqualSpan,
+  /// Boundaries are chosen so each slice adds roughly the same number of
+  /// articles (better for corpora with exponential growth, where the last
+  /// years dominate).
+  kEqualCount,
+};
+
+/// Computes `num_slices` strictly increasing boundary years
+/// T_1 < ... < T_k with T_k = max_year. Snapshot i is the subgraph of
+/// articles with year <= T_i (boundaries are inclusive).
+///
+/// Fewer than `num_slices` boundaries are returned when the graph spans
+/// fewer distinct years than requested (never more, never duplicates).
+/// Errors: empty graph or num_slices < 1.
+Result<std::vector<Year>> ComputeSliceBoundaries(const CitationGraph& graph,
+                                                 int num_slices,
+                                                 PartitionStrategy strategy);
+
+}  // namespace scholar
+
+#endif  // SCHOLARRANK_ENSEMBLE_TIME_PARTITIONER_H_

@@ -1,0 +1,86 @@
+#include "eval/benchmark_sets.h"
+
+#include <utility>
+
+#include "eval/metrics.h"
+#include "util/timer.h"
+
+namespace scholar {
+
+Result<EvalSuite> BuildEvalSuite(const Corpus& corpus,
+                                 const EvalSuiteOptions& options) {
+  if (!corpus.has_ground_truth()) {
+    return Status::FailedPrecondition("corpus has no ground truth");
+  }
+  EvalSuite suite;
+  suite.recent_cutoff = corpus.graph.max_year() -
+                        static_cast<Year>(options.recent_window_years) + 1;
+
+  PairSamplingOptions pair_options;
+  pair_options.num_pairs = options.num_pairs;
+  pair_options.margin = options.margin;
+  pair_options.seed = options.seed;
+  SCHOLAR_ASSIGN_OR_RETURN(suite.overall_pairs,
+                           SampleGroundTruthPairs(corpus, pair_options));
+
+  pair_options.min_year = suite.recent_cutoff;
+  pair_options.seed = options.seed + 1;
+  SCHOLAR_ASSIGN_OR_RETURN(suite.recent_pairs,
+                           SampleGroundTruthPairs(corpus, pair_options));
+
+  pair_options.min_year = kUnknownYear;
+  pair_options.same_year_only = true;
+  pair_options.seed = options.seed + 2;
+  SCHOLAR_ASSIGN_OR_RETURN(suite.same_year_pairs,
+                           SampleGroundTruthPairs(corpus, pair_options));
+
+  SCHOLAR_ASSIGN_OR_RETURN(
+      suite.awards, BuildAwardBenchmark(corpus, options.award_top_fraction));
+  return suite;
+}
+
+Result<RankerEvaluation> EvaluateScores(const Corpus& corpus,
+                                        const std::string& ranker_name,
+                                        const std::vector<double>& scores,
+                                        const EvalSuite& suite) {
+  RankerEvaluation eval;
+  eval.ranker = ranker_name;
+  SCHOLAR_ASSIGN_OR_RETURN(eval.overall_accuracy,
+                           PairwiseAccuracy(scores, suite.overall_pairs));
+  SCHOLAR_ASSIGN_OR_RETURN(eval.recent_accuracy,
+                           PairwiseAccuracy(scores, suite.recent_pairs));
+  SCHOLAR_ASSIGN_OR_RETURN(eval.same_year_accuracy,
+                           PairwiseAccuracy(scores, suite.same_year_pairs));
+
+  std::vector<double> award_relevance(corpus.num_articles(), 0.0);
+  for (NodeId v : suite.awards.awards) award_relevance[v] = 1.0;
+  SCHOLAR_ASSIGN_OR_RETURN(eval.ndcg_awards_100,
+                           NdcgAtK(scores, award_relevance, 100));
+  SCHOLAR_ASSIGN_OR_RETURN(eval.map_awards,
+                           AveragePrecision(scores, suite.awards.is_award));
+  SCHOLAR_ASSIGN_OR_RETURN(eval.spearman_truth,
+                           SpearmanRho(scores, corpus.true_impact));
+  return eval;
+}
+
+Result<RankerEvaluation> EvaluateRanker(const Corpus& corpus,
+                                        const Ranker& ranker,
+                                        const EvalSuite& suite) {
+  RankContext ctx;
+  ctx.graph = &corpus.graph;
+  if (corpus.has_authors()) ctx.authors = &corpus.authors;
+  if (!corpus.venues.empty()) ctx.venues = &corpus.venues;
+
+  WallTimer timer;
+  SCHOLAR_ASSIGN_OR_RETURN(RankResult result, ranker.Rank(ctx));
+  const double seconds = timer.ElapsedSeconds();
+
+  SCHOLAR_ASSIGN_OR_RETURN(
+      RankerEvaluation eval,
+      EvaluateScores(corpus, ranker.name(), result.scores, suite));
+  eval.iterations = result.iterations;
+  eval.seconds = seconds;
+  return eval;
+}
+
+}  // namespace scholar

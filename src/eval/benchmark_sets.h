@@ -1,0 +1,66 @@
+#ifndef SCHOLARRANK_EVAL_BENCHMARK_SETS_H_
+#define SCHOLARRANK_EVAL_BENCHMARK_SETS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/ground_truth.h"
+#include "rank/ranker.h"
+#include "util/status.h"
+
+namespace scholar {
+
+/// Knobs of the standard evaluation suite used across experiments.
+struct EvalSuiteOptions {
+  size_t num_pairs = 100000;
+  double margin = 0.1;
+  /// "Recent" means published within this many years of the corpus maximum
+  /// (Table 3's restriction).
+  int recent_window_years = 5;
+  double award_top_fraction = 0.02;
+  uint64_t seed = 7;
+};
+
+/// All ground-truth material for one corpus, derived once and reused across
+/// rankers so every method is judged on the identical pairs.
+struct EvalSuite {
+  std::vector<EvalPair> overall_pairs;
+  std::vector<EvalPair> recent_pairs;
+  std::vector<EvalPair> same_year_pairs;
+  AwardBenchmark awards;
+  Year recent_cutoff = kUnknownYear;
+};
+
+/// Builds the suite. Requires corpus.has_ground_truth().
+Result<EvalSuite> BuildEvalSuite(const Corpus& corpus,
+                                 const EvalSuiteOptions& options);
+
+/// One ranker's scorecard on a suite.
+struct RankerEvaluation {
+  std::string ranker;
+  double overall_accuracy = 0.0;    ///< Pairwise accuracy, all pairs.
+  double recent_accuracy = 0.0;     ///< Pairs among recent articles only.
+  double same_year_accuracy = 0.0;  ///< Pairs within one publication year.
+  double ndcg_awards_100 = 0.0;     ///< NDCG@100 against award articles.
+  double map_awards = 0.0;          ///< Average precision of award recovery.
+  double spearman_truth = 0.0;      ///< Correlation with latent impact.
+  int iterations = 0;
+  double seconds = 0.0;             ///< Wall time of the Rank() call.
+};
+
+/// Runs `ranker` on the corpus and scores it against the suite.
+Result<RankerEvaluation> EvaluateRanker(const Corpus& corpus,
+                                        const Ranker& ranker,
+                                        const EvalSuite& suite);
+
+/// Like EvaluateRanker but reuses precomputed scores (for callers that need
+/// the raw scores too).
+Result<RankerEvaluation> EvaluateScores(const Corpus& corpus,
+                                        const std::string& ranker_name,
+                                        const std::vector<double>& scores,
+                                        const EvalSuite& suite);
+
+}  // namespace scholar
+
+#endif  // SCHOLARRANK_EVAL_BENCHMARK_SETS_H_

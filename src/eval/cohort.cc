@@ -1,0 +1,50 @@
+#include "eval/cohort.h"
+
+#include <algorithm>
+#include <map>
+
+#include "rank/ranker.h"
+
+namespace scholar {
+
+std::vector<CohortStats> PercentilesByYear(
+    const CitationGraph& graph, const std::vector<double>& scores) {
+  std::vector<double> percentiles = RankPercentiles(scores);
+  std::map<Year, std::vector<double>> by_year;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    by_year[graph.year(v)].push_back(percentiles[v]);
+  }
+  std::vector<CohortStats> cohorts;
+  cohorts.reserve(by_year.size());
+  for (auto& [year, values] : by_year) {
+    CohortStats c;
+    c.year = year;
+    c.count = values.size();
+    double sum = 0.0;
+    for (double p : values) sum += p;
+    c.mean_percentile = sum / static_cast<double>(values.size());
+    std::nth_element(values.begin(), values.begin() + values.size() / 2,
+                     values.end());
+    c.median_percentile = values[values.size() / 2];
+    cohorts.push_back(c);
+  }
+  return cohorts;
+}
+
+double RecencyBiasSlope(const std::vector<CohortStats>& cohorts) {
+  if (cohorts.size() < 2) return 0.0;
+  const double n = static_cast<double>(cohorts.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (const CohortStats& c : cohorts) {
+    const double x = static_cast<double>(c.year);
+    sx += x;
+    sy += c.mean_percentile;
+    sxx += x * x;
+    sxy += x * c.mean_percentile;
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) return 0.0;
+  return (n * sxy - sx * sy) / denom;
+}
+
+}  // namespace scholar

@@ -1,0 +1,36 @@
+#ifndef SCHOLARRANK_EVAL_COHORT_H_
+#define SCHOLARRANK_EVAL_COHORT_H_
+
+#include <vector>
+
+#include "graph/citation_graph.h"
+
+namespace scholar {
+
+/// Per-publication-year summary of how a ranker treats that cohort.
+/// The recency-bias figure (Fig. 3) plots mean_percentile against year: an
+/// unbiased ranker is flat at 0.5; classic PageRank slopes down steeply for
+/// recent years.
+struct CohortStats {
+  Year year = kUnknownYear;
+  size_t count = 0;
+  /// Mean rank percentile of the cohort under the evaluated scores
+  /// (1 = best article, 1/n = worst).
+  double mean_percentile = 0.0;
+  /// Median rank percentile of the cohort.
+  double median_percentile = 0.0;
+};
+
+/// Groups articles by publication year and summarizes their rank
+/// percentiles under `scores`. Years are returned ascending.
+std::vector<CohortStats> PercentilesByYear(const CitationGraph& graph,
+                                           const std::vector<double>& scores);
+
+/// Slope of a least-squares fit of mean cohort percentile against year — a
+/// single-number recency-bias index (0 = age-neutral, negative = biased
+/// against recent articles). Returns 0 for fewer than 2 cohorts.
+double RecencyBiasSlope(const std::vector<CohortStats>& cohorts);
+
+}  // namespace scholar
+
+#endif  // SCHOLARRANK_EVAL_COHORT_H_

@@ -1,0 +1,209 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <string>
+
+#include "rank/ranker.h"
+
+namespace scholar {
+namespace {
+
+Status CheckSameSize(const std::vector<double>& a,
+                     const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("vector sizes differ: " +
+                                   std::to_string(a.size()) + " vs " +
+                                   std::to_string(b.size()));
+  }
+  if (a.size() < 2) {
+    return Status::InvalidArgument("need at least 2 items");
+  }
+  return Status::OK();
+}
+
+/// Counts inversions in `v` with merge sort; v is consumed.
+uint64_t CountInversions(std::vector<uint32_t>* v) {
+  const size_t n = v->size();
+  std::vector<uint32_t> buffer(n);
+  uint64_t inversions = 0;
+  for (size_t width = 1; width < n; width *= 2) {
+    for (size_t lo = 0; lo + width < n; lo += 2 * width) {
+      const size_t mid = lo + width;
+      const size_t hi = std::min(lo + 2 * width, n);
+      size_t i = lo, j = mid, k = lo;
+      while (i < mid && j < hi) {
+        if ((*v)[i] <= (*v)[j]) {
+          buffer[k++] = (*v)[i++];
+        } else {
+          inversions += mid - i;
+          buffer[k++] = (*v)[j++];
+        }
+      }
+      while (i < mid) buffer[k++] = (*v)[i++];
+      while (j < hi) buffer[k++] = (*v)[j++];
+      std::copy(buffer.begin() + lo, buffer.begin() + hi, v->begin() + lo);
+    }
+  }
+  return inversions;
+}
+
+/// Fractional (midrank) ranks: equal values share the average of their
+/// positions; rank 1 = smallest value.
+std::vector<double> FractionalRanks(const std::vector<double>& v) {
+  const size_t n = v.size();
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](uint32_t x, uint32_t y) { return v[x] < v[y]; });
+  std::vector<double> ranks(n);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && v[order[j + 1]] == v[order[i]]) ++j;
+    const double mid = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t t = i; t <= j; ++t) ranks[order[t]] = mid;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+Result<double> PairwiseAccuracy(const std::vector<double>& scores,
+                                const std::vector<EvalPair>& pairs) {
+  if (pairs.empty()) return Status::InvalidArgument("no evaluation pairs");
+  double correct = 0.0;
+  for (const EvalPair& p : pairs) {
+    if (p.better >= scores.size() || p.worse >= scores.size()) {
+      return Status::InvalidArgument("pair references node beyond " +
+                                     std::to_string(scores.size()));
+    }
+    if (scores[p.better] > scores[p.worse]) {
+      correct += 1.0;
+    } else if (scores[p.better] == scores[p.worse]) {
+      correct += 0.5;
+    }
+  }
+  return correct / static_cast<double>(pairs.size());
+}
+
+Result<double> KendallTau(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  SCHOLAR_RETURN_NOT_OK(CheckSameSize(a, b));
+  const size_t n = a.size();
+  // Order items by a (desc, ties by index), then count inversions of b's
+  // rank sequence in that order.
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](uint32_t x, uint32_t y) { return a[x] > a[y]; });
+  std::vector<uint32_t> b_ranks = ScoresToRanks(b);
+  std::vector<uint32_t> sequence(n);
+  for (size_t i = 0; i < n; ++i) sequence[i] = b_ranks[order[i]];
+  const uint64_t inversions = CountInversions(&sequence);
+  const double total_pairs = static_cast<double>(n) * (n - 1) / 2.0;
+  return 1.0 - 2.0 * static_cast<double>(inversions) / total_pairs;
+}
+
+Result<double> SpearmanRho(const std::vector<double>& a,
+                           const std::vector<double>& b) {
+  SCHOLAR_RETURN_NOT_OK(CheckSameSize(a, b));
+  std::vector<double> ra = FractionalRanks(a);
+  std::vector<double> rb = FractionalRanks(b);
+  const double n = static_cast<double>(a.size());
+  double mean = (n + 1.0) / 2.0;
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double da = ra[i] - mean;
+    const double db = rb[i] - mean;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va == 0.0 || vb == 0.0) {
+    return Status::InvalidArgument("constant input has undefined Spearman");
+  }
+  return cov / std::sqrt(va * vb);
+}
+
+Result<double> NdcgAtK(const std::vector<double>& scores,
+                       const std::vector<double>& relevance, size_t k) {
+  if (scores.size() != relevance.size()) {
+    return Status::InvalidArgument("scores/relevance size mismatch");
+  }
+  if (k == 0) return Status::InvalidArgument("k must be > 0");
+  k = std::min(k, scores.size());
+
+  std::vector<NodeId> by_score = TopK(scores, k);
+  double dcg = 0.0;
+  for (size_t i = 0; i < by_score.size(); ++i) {
+    dcg += relevance[by_score[i]] / std::log2(static_cast<double>(i) + 2.0);
+  }
+
+  std::vector<double> ideal = relevance;
+  std::partial_sort(ideal.begin(), ideal.begin() + k, ideal.end(),
+                    std::greater<double>());
+  double idcg = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    idcg += ideal[i] / std::log2(static_cast<double>(i) + 2.0);
+  }
+  if (idcg == 0.0) return 0.0;
+  return dcg / idcg;
+}
+
+Result<double> PrecisionAtK(const std::vector<double>& scores,
+                            const std::vector<bool>& relevant, size_t k) {
+  if (scores.size() != relevant.size()) {
+    return Status::InvalidArgument("scores/relevant size mismatch");
+  }
+  if (k == 0) return Status::InvalidArgument("k must be > 0");
+  k = std::min(k, scores.size());
+  std::vector<NodeId> top = TopK(scores, k);
+  size_t hits = 0;
+  for (NodeId v : top) {
+    if (relevant[v]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+Result<double> RecallAtK(const std::vector<double>& scores,
+                         const std::vector<bool>& relevant, size_t k) {
+  if (scores.size() != relevant.size()) {
+    return Status::InvalidArgument("scores/relevant size mismatch");
+  }
+  if (k == 0) return Status::InvalidArgument("k must be > 0");
+  const size_t total =
+      static_cast<size_t>(std::count(relevant.begin(), relevant.end(), true));
+  if (total == 0) return 0.0;
+  k = std::min(k, scores.size());
+  std::vector<NodeId> top = TopK(scores, k);
+  size_t hits = 0;
+  for (NodeId v : top) {
+    if (relevant[v]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(total);
+}
+
+Result<double> AveragePrecision(const std::vector<double>& scores,
+                                const std::vector<bool>& relevant) {
+  if (scores.size() != relevant.size()) {
+    return Status::InvalidArgument("scores/relevant size mismatch");
+  }
+  const size_t total =
+      static_cast<size_t>(std::count(relevant.begin(), relevant.end(), true));
+  if (total == 0) return 0.0;
+  std::vector<NodeId> order = TopK(scores, scores.size());
+  double ap = 0.0;
+  size_t hits = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (relevant[order[i]]) {
+      ++hits;
+      ap += static_cast<double>(hits) / static_cast<double>(i + 1);
+    }
+  }
+  return ap / static_cast<double>(total);
+}
+
+}  // namespace scholar

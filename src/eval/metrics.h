@@ -1,0 +1,50 @@
+#ifndef SCHOLARRANK_EVAL_METRICS_H_
+#define SCHOLARRANK_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/ground_truth.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace scholar {
+
+/// Fraction of ground-truth pairs ordered correctly by `scores`
+/// (score[better] > score[worse]); exact ties count 0.5. The paper's main
+/// quality metric. Errors: empty pair list or out-of-range node ids.
+Result<double> PairwiseAccuracy(const std::vector<double>& scores,
+                                const std::vector<EvalPair>& pairs);
+
+/// Kendall tau-a rank correlation in [-1, 1] between two score vectors of
+/// equal length (>= 2). Ties are broken deterministically by index before
+/// counting inversions (O(n log n) merge sort).
+Result<double> KendallTau(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+/// Spearman rank correlation with fractional (midrank) tie handling.
+Result<double> SpearmanRho(const std::vector<double>& a,
+                           const std::vector<double>& b);
+
+/// NDCG@k: `scores` induce the ranking, `relevance` holds per-item gains
+/// (>= 0). Standard log2 discount, gain = relevance (not exponentiated).
+/// Returns 0 when no item has positive relevance.
+Result<double> NdcgAtK(const std::vector<double>& scores,
+                       const std::vector<double>& relevance, size_t k);
+
+/// Precision@k over a binary relevance mask.
+Result<double> PrecisionAtK(const std::vector<double>& scores,
+                            const std::vector<bool>& relevant, size_t k);
+
+/// Recall@k over a binary relevance mask (0 when nothing is relevant).
+Result<double> RecallAtK(const std::vector<double>& scores,
+                         const std::vector<bool>& relevant, size_t k);
+
+/// Average precision of the full ranking against a binary relevance mask
+/// (the per-query quantity averaged by MAP).
+Result<double> AveragePrecision(const std::vector<double>& scores,
+                                const std::vector<bool>& relevant);
+
+}  // namespace scholar
+
+#endif  // SCHOLARRANK_EVAL_METRICS_H_

@@ -1,0 +1,108 @@
+#include "eval/significance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "eval/metrics.h"
+#include "util/rng.h"
+
+namespace scholar {
+namespace {
+
+/// Correctness credit of one pair under one score vector (1, 0.5 tie, 0).
+double PairCredit(const std::vector<double>& scores, const EvalPair& p) {
+  if (scores[p.better] > scores[p.worse]) return 1.0;
+  if (scores[p.better] == scores[p.worse]) return 0.5;
+  return 0.0;
+}
+
+/// Exact two-sided binomial sign-test p-value for `k` successes out of `n`
+/// under p = 1/2: 2 * min(P[X <= min(k, n-k)], 0.5).
+double ExactSignTest(size_t k, size_t n) {
+  if (n == 0) return 1.0;
+  const size_t tail = std::min(k, n - k);
+  // Cumulative binomial P[X <= tail] with log-space terms for stability.
+  double cumulative = 0.0;
+  double log_choose = 0.0;  // log C(n, 0)
+  const double log_half_n = static_cast<double>(n) * std::log(0.5);
+  for (size_t i = 0; i <= tail; ++i) {
+    if (i > 0) {
+      log_choose += std::log(static_cast<double>(n - i + 1)) -
+                    std::log(static_cast<double>(i));
+    }
+    cumulative += std::exp(log_choose + log_half_n);
+  }
+  return std::min(1.0, 2.0 * cumulative);
+}
+
+/// Normal-approximation two-sided sign test with continuity correction.
+double ApproxSignTest(size_t k, size_t n) {
+  const double mean = static_cast<double>(n) / 2.0;
+  const double sd = std::sqrt(static_cast<double>(n)) / 2.0;
+  double z = (std::abs(static_cast<double>(k) - mean) - 0.5) / sd;
+  z = std::max(0.0, z);
+  // Two-sided tail of the standard normal via erfc.
+  return std::erfc(z / std::sqrt(2.0));
+}
+
+}  // namespace
+
+Result<BootstrapInterval> BootstrapPairwiseAccuracy(
+    const std::vector<double>& scores, const std::vector<EvalPair>& pairs,
+    const BootstrapOptions& options) {
+  if (options.num_resamples < 2) {
+    return Status::InvalidArgument("num_resamples must be >= 2");
+  }
+  if (options.confidence <= 0.0 || options.confidence >= 1.0) {
+    return Status::InvalidArgument("confidence must be in (0, 1)");
+  }
+  BootstrapInterval interval;
+  SCHOLAR_ASSIGN_OR_RETURN(interval.point, PairwiseAccuracy(scores, pairs));
+
+  // Per-pair credits once; resamples only index into them.
+  std::vector<double> credits(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    credits[i] = PairCredit(scores, pairs[i]);
+  }
+
+  Rng rng(options.seed);
+  std::vector<double> estimates(options.num_resamples);
+  for (int r = 0; r < options.num_resamples; ++r) {
+    double sum = 0.0;
+    for (size_t i = 0; i < credits.size(); ++i) {
+      sum += credits[rng.NextBounded(credits.size())];
+    }
+    estimates[r] = sum / static_cast<double>(credits.size());
+  }
+  std::sort(estimates.begin(), estimates.end());
+  const double alpha = (1.0 - options.confidence) / 2.0;
+  const size_t lo_idx = static_cast<size_t>(alpha * (estimates.size() - 1));
+  const size_t hi_idx =
+      static_cast<size_t>((1.0 - alpha) * (estimates.size() - 1));
+  interval.lo = estimates[lo_idx];
+  interval.hi = estimates[hi_idx];
+  return interval;
+}
+
+Result<PairedComparison> ComparePairwise(const std::vector<double>& scores_a,
+                                         const std::vector<double>& scores_b,
+                                         const std::vector<EvalPair>& pairs) {
+  if (scores_a.size() != scores_b.size()) {
+    return Status::InvalidArgument("score vectors differ in size");
+  }
+  PairedComparison cmp;
+  SCHOLAR_ASSIGN_OR_RETURN(cmp.accuracy_a, PairwiseAccuracy(scores_a, pairs));
+  SCHOLAR_ASSIGN_OR_RETURN(cmp.accuracy_b, PairwiseAccuracy(scores_b, pairs));
+  for (const EvalPair& p : pairs) {
+    const bool a_right = scores_a[p.better] > scores_a[p.worse];
+    const bool b_right = scores_b[p.better] > scores_b[p.worse];
+    if (a_right && !b_right) ++cmp.a_only;
+    if (b_right && !a_right) ++cmp.b_only;
+  }
+  const size_t discordant = cmp.a_only + cmp.b_only;
+  cmp.p_value = discordant < 20 ? ExactSignTest(cmp.a_only, discordant)
+                                : ApproxSignTest(cmp.a_only, discordant);
+  return cmp;
+}
+
+}  // namespace scholar

@@ -1,0 +1,56 @@
+#ifndef SCHOLARRANK_EVAL_SIGNIFICANCE_H_
+#define SCHOLARRANK_EVAL_SIGNIFICANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/ground_truth.h"
+#include "util/status.h"
+
+namespace scholar {
+
+/// Bootstrap confidence interval for the pairwise accuracy of one score
+/// vector over a pair benchmark.
+struct BootstrapInterval {
+  double point = 0.0;   ///< Accuracy on the full pair set.
+  double lo = 0.0;      ///< Lower percentile bound.
+  double hi = 0.0;      ///< Upper percentile bound.
+};
+
+struct BootstrapOptions {
+  int num_resamples = 200;
+  /// Two-sided coverage; 0.95 reports the [2.5%, 97.5%] percentiles.
+  double confidence = 0.95;
+  uint64_t seed = 1234;
+};
+
+/// Percentile bootstrap over the evaluation pairs (resampling pairs with
+/// replacement). Errors: empty pairs, bad options.
+Result<BootstrapInterval> BootstrapPairwiseAccuracy(
+    const std::vector<double>& scores, const std::vector<EvalPair>& pairs,
+    const BootstrapOptions& options = {});
+
+/// Paired comparison of two rankers on the same pair benchmark.
+struct PairedComparison {
+  double accuracy_a = 0.0;
+  double accuracy_b = 0.0;
+  /// Pairs ranker A orders correctly and B does not.
+  size_t a_only = 0;
+  /// Pairs ranker B orders correctly and A does not.
+  size_t b_only = 0;
+  /// Two-sided sign-test p-value of "A and B are equally accurate"
+  /// (normal approximation to the binomial for a_only + b_only >= 20,
+  /// exact binomial otherwise).
+  double p_value = 1.0;
+};
+
+/// Sign test over the discordant pairs (the standard paired significance
+/// test for pairwise-accuracy comparisons; ties on either side are
+/// excluded, as in McNemar's test).
+Result<PairedComparison> ComparePairwise(const std::vector<double>& scores_a,
+                                         const std::vector<double>& scores_b,
+                                         const std::vector<EvalPair>& pairs);
+
+}  // namespace scholar
+
+#endif  // SCHOLARRANK_EVAL_SIGNIFICANCE_H_

@@ -1,0 +1,91 @@
+#ifndef SCHOLARRANK_GRAPH_BIPARTITE_H_
+#define SCHOLARRANK_GRAPH_BIPARTITE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace scholar {
+
+/// Dense author index (0..num_authors-1), scoped to one PaperAuthors map.
+using AuthorId = uint32_t;
+
+/// Paper-author bipartite incidence in CSR form, used by FutureRank.
+///
+/// Immutable after FromLists(). Both directions are materialized: authors of
+/// a paper, and papers of an author.
+class PaperAuthors {
+ public:
+  PaperAuthors() = default;
+
+  /// Builds from per-paper author lists. `lists.size()` defines the number
+  /// of papers; author ids may be sparse, the maximum defines
+  /// num_authors()-1.
+  static PaperAuthors FromLists(
+      const std::vector<std::vector<AuthorId>>& lists) {
+    PaperAuthors pa;
+    const size_t n = lists.size();
+    pa.paper_offsets_.assign(n + 1, 0);
+    AuthorId max_author = 0;
+    bool any = false;
+    for (size_t p = 0; p < n; ++p) {
+      pa.paper_offsets_[p + 1] = pa.paper_offsets_[p] + lists[p].size();
+      for (AuthorId a : lists[p]) {
+        pa.paper_authors_.push_back(a);
+        if (a > max_author) max_author = a;
+        any = true;
+      }
+    }
+    pa.num_authors_ = any ? static_cast<size_t>(max_author) + 1 : 0;
+
+    pa.author_offsets_.assign(pa.num_authors_ + 1, 0);
+    for (AuthorId a : pa.paper_authors_) ++pa.author_offsets_[a + 1];
+    for (size_t i = 1; i <= pa.num_authors_; ++i) {
+      pa.author_offsets_[i] += pa.author_offsets_[i - 1];
+    }
+    std::vector<uint64_t> cursor(pa.author_offsets_.begin(),
+                                 pa.author_offsets_.end() - 1);
+    pa.author_papers_.resize(pa.paper_authors_.size());
+    for (size_t p = 0; p < n; ++p) {
+      for (uint64_t e = pa.paper_offsets_[p]; e < pa.paper_offsets_[p + 1];
+           ++e) {
+        AuthorId a = pa.paper_authors_[e];
+        pa.author_papers_[cursor[a]++] = static_cast<NodeId>(p);
+      }
+    }
+    return pa;
+  }
+
+  size_t num_papers() const { return paper_offsets_.size() - 1; }
+  size_t num_authors() const { return num_authors_; }
+  size_t num_links() const { return paper_authors_.size(); }
+
+  /// Authors of paper `p`, in insertion order.
+  std::span<const AuthorId> AuthorsOf(NodeId p) const {
+    return {paper_authors_.data() + paper_offsets_[p],
+            paper_offsets_[p + 1] - paper_offsets_[p]};
+  }
+
+  /// Papers of author `a`, sorted by paper id.
+  std::span<const NodeId> PapersOf(AuthorId a) const {
+    return {author_papers_.data() + author_offsets_[a],
+            author_offsets_[a + 1] - author_offsets_[a]};
+  }
+
+  size_t PaperCount(AuthorId a) const {
+    return author_offsets_[a + 1] - author_offsets_[a];
+  }
+
+ private:
+  std::vector<uint64_t> paper_offsets_{0};
+  std::vector<AuthorId> paper_authors_;
+  std::vector<uint64_t> author_offsets_{0};
+  std::vector<NodeId> author_papers_;
+  size_t num_authors_ = 0;
+};
+
+}  // namespace scholar
+
+#endif  // SCHOLARRANK_GRAPH_BIPARTITE_H_

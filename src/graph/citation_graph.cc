@@ -1,0 +1,69 @@
+#include "graph/citation_graph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace scholar {
+
+size_t CitationGraph::CountDangling() const {
+  size_t count = 0;
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    if (IsDangling(u)) ++count;
+  }
+  return count;
+}
+
+bool CitationGraph::HasEdge(NodeId u, NodeId v) const {
+  auto refs = References(u);
+  return std::binary_search(refs.begin(), refs.end(), v);
+}
+
+CitationGraph CitationGraph::FromCsr(std::vector<Year> years,
+                                     std::vector<EdgeId> out_offsets,
+                                     std::vector<NodeId> out_neighbors) {
+  const size_t n = years.size();
+  SCHOLAR_CHECK_EQ(out_offsets.size(), n + 1);
+  SCHOLAR_CHECK_EQ(out_offsets.front(), 0u);
+  SCHOLAR_CHECK_EQ(out_offsets.back(), out_neighbors.size());
+
+  CitationGraph g;
+  g.years_ = std::move(years);
+  g.out_offsets_ = std::move(out_offsets);
+  g.out_neighbors_ = std::move(out_neighbors);
+
+  // Build reverse adjacency by counting sort: stable, O(n + m), and yields
+  // sorted in-neighbor lists because forward edges are scanned in order of
+  // ascending source.
+  std::vector<EdgeId> in_degree(n + 1, 0);
+  for (NodeId v : g.out_neighbors_) {
+    SCHOLAR_CHECK_LT(v, n);
+    ++in_degree[v + 1];
+  }
+  g.in_offsets_.assign(n + 1, 0);
+  for (size_t i = 1; i <= n; ++i) {
+    g.in_offsets_[i] = g.in_offsets_[i - 1] + in_degree[i];
+  }
+  g.in_neighbors_.resize(g.out_neighbors_.size());
+  std::vector<EdgeId> cursor(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
+  for (NodeId u = 0; u < n; ++u) {
+    for (EdgeId e = g.out_offsets_[u]; e < g.out_offsets_[u + 1]; ++e) {
+      NodeId v = g.out_neighbors_[e];
+      g.in_neighbors_[cursor[v]++] = u;
+    }
+  }
+
+  if (n > 0) {
+    auto [mn, mx] = std::minmax_element(g.years_.begin(), g.years_.end());
+    g.min_year_ = *mn;
+    g.max_year_ = *mx;
+  }
+  return g;
+}
+
+bool CitationGraph::operator==(const CitationGraph& other) const {
+  return years_ == other.years_ && out_offsets_ == other.out_offsets_ &&
+         out_neighbors_ == other.out_neighbors_;
+}
+
+}  // namespace scholar

@@ -1,0 +1,100 @@
+#ifndef SCHOLARRANK_GRAPH_CITATION_GRAPH_H_
+#define SCHOLARRANK_GRAPH_CITATION_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace scholar {
+
+/// Immutable directed citation network in compressed-sparse-row form.
+///
+/// An edge `u -> v` means "article u cites article v". Both forward
+/// (references) and reverse (citations received) adjacency are materialized,
+/// and every node carries its publication year, because every ranker in this
+/// library needs year-aware traversal in both directions.
+///
+/// Construct via GraphBuilder (validating) or the internal FromCsr factory
+/// (trusted, used by TimeSlicer and the binary loader). Copyable and movable;
+/// copies share nothing.
+class CitationGraph {
+ public:
+  /// Empty graph.
+  CitationGraph() = default;
+
+  size_t num_nodes() const { return years_.size(); }
+  size_t num_edges() const { return out_neighbors_.size(); }
+
+  /// Publication year of `u`.
+  Year year(NodeId u) const { return years_[u]; }
+
+  /// All publication years, indexed by node.
+  const std::vector<Year>& years() const { return years_; }
+
+  /// Earliest / latest publication year; kUnknownYear when the graph is
+  /// empty.
+  Year min_year() const { return min_year_; }
+  Year max_year() const { return max_year_; }
+
+  /// Articles cited by `u` (its reference list), sorted ascending.
+  std::span<const NodeId> References(NodeId u) const {
+    return {out_neighbors_.data() + out_offsets_[u],
+            out_offsets_[u + 1] - out_offsets_[u]};
+  }
+
+  /// Articles citing `v`, sorted ascending.
+  std::span<const NodeId> Citers(NodeId v) const {
+    return {in_neighbors_.data() + in_offsets_[v],
+            in_offsets_[v + 1] - in_offsets_[v]};
+  }
+
+  /// Number of references made by `u` (out-degree).
+  size_t OutDegree(NodeId u) const {
+    return out_offsets_[u + 1] - out_offsets_[u];
+  }
+
+  /// Number of citations received by `v` (in-degree).
+  size_t InDegree(NodeId v) const {
+    return in_offsets_[v + 1] - in_offsets_[v];
+  }
+
+  /// True when `u` cites no one (a "dangling" node for random walks).
+  bool IsDangling(NodeId u) const { return OutDegree(u) == 0; }
+
+  /// Number of dangling nodes.
+  size_t CountDangling() const;
+
+  /// True when edge u->v exists (binary search over u's references).
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  /// Raw CSR access for algorithms that iterate all edges linearly.
+  const std::vector<EdgeId>& out_offsets() const { return out_offsets_; }
+  const std::vector<NodeId>& out_neighbors() const { return out_neighbors_; }
+  const std::vector<EdgeId>& in_offsets() const { return in_offsets_; }
+  const std::vector<NodeId>& in_neighbors() const { return in_neighbors_; }
+
+  /// Trusted constructor from prebuilt forward CSR; computes the reverse
+  /// adjacency and year range. Offsets/neighbors must be consistent;
+  /// adjacency lists must be sorted. Aborts on malformed shape (programmer
+  /// error), does not validate edge ordering.
+  static CitationGraph FromCsr(std::vector<Year> years,
+                               std::vector<EdgeId> out_offsets,
+                               std::vector<NodeId> out_neighbors);
+
+  bool operator==(const CitationGraph& other) const;
+
+ private:
+  std::vector<Year> years_;
+  std::vector<EdgeId> out_offsets_{0};
+  std::vector<NodeId> out_neighbors_;
+  std::vector<EdgeId> in_offsets_{0};
+  std::vector<NodeId> in_neighbors_;
+  Year min_year_ = kUnknownYear;
+  Year max_year_ = kUnknownYear;
+};
+
+}  // namespace scholar
+
+#endif  // SCHOLARRANK_GRAPH_CITATION_GRAPH_H_

@@ -1,0 +1,47 @@
+#include "graph/components.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace scholar {
+
+ComponentStats ComputeWeakComponents(const CitationGraph& graph) {
+  const size_t n = graph.num_nodes();
+  ComponentStats stats;
+  stats.labels.assign(n, UINT32_MAX);
+
+  std::deque<NodeId> frontier;
+  for (NodeId root = 0; root < n; ++root) {
+    if (stats.labels[root] != UINT32_MAX) continue;
+    const uint32_t label = static_cast<uint32_t>(stats.num_components++);
+    size_t size = 0;
+    stats.labels[root] = label;
+    frontier.push_back(root);
+    while (!frontier.empty()) {
+      NodeId u = frontier.front();
+      frontier.pop_front();
+      ++size;
+      for (NodeId v : graph.References(u)) {
+        if (stats.labels[v] == UINT32_MAX) {
+          stats.labels[v] = label;
+          frontier.push_back(v);
+        }
+      }
+      for (NodeId v : graph.Citers(u)) {
+        if (stats.labels[v] == UINT32_MAX) {
+          stats.labels[v] = label;
+          frontier.push_back(v);
+        }
+      }
+    }
+    stats.sizes.push_back(size);
+    if (size == 1) ++stats.num_isolated;
+  }
+  if (!stats.sizes.empty()) {
+    stats.giant_size =
+        *std::max_element(stats.sizes.begin(), stats.sizes.end());
+  }
+  return stats;
+}
+
+}  // namespace scholar

@@ -1,0 +1,34 @@
+#ifndef SCHOLARRANK_GRAPH_COMPONENTS_H_
+#define SCHOLARRANK_GRAPH_COMPONENTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/citation_graph.h"
+
+namespace scholar {
+
+/// Weakly connected components of a citation network (edge direction
+/// ignored). Citation datasets are dominated by one giant component; the
+/// size of the giant component and the count of isolated articles are
+/// standard dataset-quality statistics (Table 1 material).
+struct ComponentStats {
+  size_t num_components = 0;
+  /// Component label per node, in [0, num_components); labels are assigned
+  /// in discovery order (BFS from node 0 upward).
+  std::vector<uint32_t> labels;
+  /// Nodes per component, indexed by label.
+  std::vector<size_t> sizes;
+  /// Size of the largest component (0 for an empty graph).
+  size_t giant_size = 0;
+  /// Number of isolated articles (no citations in either direction).
+  size_t num_isolated = 0;
+};
+
+/// Computes weakly connected components with an iterative BFS
+/// (O(nodes + edges), no recursion — safe for multi-million-node graphs).
+ComponentStats ComputeWeakComponents(const CitationGraph& graph);
+
+}  // namespace scholar
+
+#endif  // SCHOLARRANK_GRAPH_COMPONENTS_H_

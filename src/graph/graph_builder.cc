@@ -1,0 +1,74 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+#include <string>
+
+namespace scholar {
+
+NodeId GraphBuilder::AddNode(Year year) {
+  years_.push_back(year);
+  return static_cast<NodeId>(years_.size() - 1);
+}
+
+NodeId GraphBuilder::AddNodes(size_t count, Year year) {
+  NodeId first = static_cast<NodeId>(years_.size());
+  years_.insert(years_.end(), count, year);
+  return first;
+}
+
+Status GraphBuilder::AddEdge(NodeId u, NodeId v) {
+  if (u >= years_.size() || v >= years_.size()) {
+    return Status::InvalidArgument(
+        "edge (" + std::to_string(u) + "," + std::to_string(v) +
+        ") references a node beyond " + std::to_string(years_.size()));
+  }
+  if (u == v) {
+    if (options_.drop_self_loops) return Status::OK();
+    return Status::InvalidArgument("self-citation at node " +
+                                   std::to_string(u));
+  }
+  if (options_.forbid_backward_time_edges && years_[u] < years_[v]) {
+    return Status::InvalidArgument(
+        "time-travel citation: node " + std::to_string(u) + " (year " +
+        std::to_string(years_[u]) + ") cites node " + std::to_string(v) +
+        " (year " + std::to_string(years_[v]) + ")");
+  }
+  edges_.emplace_back(u, v);
+  return Status::OK();
+}
+
+Status GraphBuilder::AddEdges(
+    const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  for (const auto& [u, v] : edges) {
+    SCHOLAR_RETURN_NOT_OK(AddEdge(u, v));
+  }
+  return Status::OK();
+}
+
+Result<CitationGraph> GraphBuilder::Build() && {
+  std::sort(edges_.begin(), edges_.end());
+  if (options_.dedup_parallel_edges) {
+    edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  } else {
+    auto dup = std::adjacent_find(edges_.begin(), edges_.end());
+    if (dup != edges_.end()) {
+      return Status::InvalidArgument(
+          "duplicate citation (" + std::to_string(dup->first) + "," +
+          std::to_string(dup->second) + ")");
+    }
+  }
+
+  const size_t n = years_.size();
+  std::vector<EdgeId> offsets(n + 1, 0);
+  for (const auto& [u, v] : edges_) ++offsets[u + 1];
+  for (size_t i = 1; i <= n; ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<NodeId> neighbors(edges_.size());
+  // edges_ is sorted by (u, v), so a linear copy yields sorted rows.
+  for (size_t i = 0; i < edges_.size(); ++i) neighbors[i] = edges_[i].second;
+
+  return CitationGraph::FromCsr(std::move(years_), std::move(offsets),
+                                std::move(neighbors));
+}
+
+}  // namespace scholar

@@ -1,0 +1,206 @@
+#include "graph/graph_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "util/string_util.h"
+
+namespace scholar {
+namespace {
+
+constexpr char kTextSignature[] = "#scholarrank-graph-v1";
+constexpr char kBinaryMagic[4] = {'S', 'R', 'G', '1'};
+
+/// Reads the next content line (skipping blanks and comments) into *line.
+bool NextContentLine(std::istream* in, std::string* line) {
+  while (std::getline(*in, *line)) {
+    std::string_view trimmed = Trim(*line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    *line = std::string(trimmed);
+    return true;
+  }
+  return false;
+}
+
+template <typename T>
+void WriteRaw(std::ostream* out, const T& value) {
+  out->write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+void WriteRawVector(std::ostream* out, const std::vector<T>& v) {
+  if (!v.empty()) {
+    out->write(reinterpret_cast<const char*>(v.data()),
+               static_cast<std::streamsize>(v.size() * sizeof(T)));
+  }
+}
+
+template <typename T>
+bool ReadRaw(std::istream* in, T* value) {
+  in->read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(*in);
+}
+
+template <typename T>
+bool ReadRawVector(std::istream* in, size_t count, std::vector<T>* v) {
+  // Chunked reads so that a corrupted (absurdly large) count fails with a
+  // truncation error once the stream runs dry, instead of attempting one
+  // giant allocation up front (which would throw bad_alloc).
+  constexpr size_t kChunkElements = size_t{1} << 20;
+  v->clear();
+  while (v->size() < count) {
+    const size_t batch = std::min(kChunkElements, count - v->size());
+    const size_t old_size = v->size();
+    v->resize(old_size + batch);
+    in->read(reinterpret_cast<char*>(v->data() + old_size),
+             static_cast<std::streamsize>(batch * sizeof(T)));
+    if (!*in) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status WriteGraphText(const CitationGraph& graph, std::ostream* out) {
+  *out << kTextSignature << "\n"
+       << graph.num_nodes() << " " << graph.num_edges() << "\n";
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    *out << graph.year(u) << "\n";
+  }
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    for (NodeId v : graph.References(u)) {
+      *out << u << " " << v << "\n";
+    }
+  }
+  if (!*out) return Status::IOError("write failed");
+  return Status::OK();
+}
+
+Status WriteGraphTextFile(const CitationGraph& graph,
+                          const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  return WriteGraphText(graph, &out);
+}
+
+Result<CitationGraph> ReadGraphText(std::istream* in) {
+  std::string line;
+  if (!std::getline(*in, line) || Trim(line) != kTextSignature) {
+    return Status::Corruption("missing signature line '" +
+                              std::string(kTextSignature) + "'");
+  }
+  if (!NextContentLine(in, &line)) {
+    return Status::Corruption("missing node/edge count line");
+  }
+  auto counts = SplitSkipEmpty(line, ' ');
+  if (counts.size() != 2) {
+    return Status::Corruption("bad count line: '" + line + "'");
+  }
+  SCHOLAR_ASSIGN_OR_RETURN(int64_t n, ParseInt64(counts[0]));
+  SCHOLAR_ASSIGN_OR_RETURN(int64_t m, ParseInt64(counts[1]));
+  if (n < 0 || m < 0) return Status::Corruption("negative counts");
+
+  GraphBuilder builder(GraphBuilder::Options{
+      .dedup_parallel_edges = false, .drop_self_loops = false});
+  for (int64_t i = 0; i < n; ++i) {
+    if (!NextContentLine(in, &line)) {
+      return Status::Corruption("truncated year section at node " +
+                                std::to_string(i));
+    }
+    SCHOLAR_ASSIGN_OR_RETURN(int64_t year, ParseInt64(line));
+    builder.AddNode(static_cast<Year>(year));
+  }
+  for (int64_t e = 0; e < m; ++e) {
+    if (!NextContentLine(in, &line)) {
+      return Status::Corruption("truncated edge section at edge " +
+                                std::to_string(e));
+    }
+    auto fields = SplitSkipEmpty(line, ' ');
+    if (fields.size() != 2) {
+      return Status::Corruption("bad edge line: '" + line + "'");
+    }
+    SCHOLAR_ASSIGN_OR_RETURN(int64_t u, ParseInt64(fields[0]));
+    SCHOLAR_ASSIGN_OR_RETURN(int64_t v, ParseInt64(fields[1]));
+    if (u < 0 || v < 0) return Status::Corruption("negative node id");
+    SCHOLAR_RETURN_NOT_OK(builder.AddEdge(static_cast<NodeId>(u),
+                                          static_cast<NodeId>(v)));
+  }
+  return std::move(builder).Build();
+}
+
+Result<CitationGraph> ReadGraphTextFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open: " + path);
+  return ReadGraphText(&in);
+}
+
+Status WriteGraphBinary(const CitationGraph& graph, std::ostream* out) {
+  out->write(kBinaryMagic, sizeof(kBinaryMagic));
+  uint64_t n = graph.num_nodes();
+  uint64_t m = graph.num_edges();
+  WriteRaw(out, n);
+  WriteRaw(out, m);
+  WriteRawVector(out, graph.years());
+  WriteRawVector(out, graph.out_offsets());
+  WriteRawVector(out, graph.out_neighbors());
+  if (!*out) return Status::IOError("binary write failed");
+  return Status::OK();
+}
+
+Status WriteGraphBinaryFile(const CitationGraph& graph,
+                            const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  return WriteGraphBinary(graph, &out);
+}
+
+Result<CitationGraph> ReadGraphBinary(std::istream* in) {
+  char magic[4];
+  in->read(magic, sizeof(magic));
+  if (!*in || std::memcmp(magic, kBinaryMagic, sizeof(magic)) != 0) {
+    return Status::Corruption("bad binary graph magic");
+  }
+  uint64_t n = 0, m = 0;
+  if (!ReadRaw(in, &n) || !ReadRaw(in, &m)) {
+    return Status::Corruption("truncated binary header");
+  }
+  // Plausibility bound (2^38 elements ≈ 1 TiB of payload) so that a
+  // corrupted header cannot drive unbounded allocation.
+  constexpr uint64_t kMaxElements = uint64_t{1} << 38;
+  if (n > kMaxElements || m > kMaxElements) {
+    return Status::Corruption("implausible binary header counts");
+  }
+  std::vector<Year> years;
+  std::vector<EdgeId> offsets;
+  std::vector<NodeId> neighbors;
+  if (!ReadRawVector(in, n, &years) || !ReadRawVector(in, n + 1, &offsets) ||
+      !ReadRawVector(in, m, &neighbors)) {
+    return Status::Corruption("truncated binary payload");
+  }
+  if (offsets.empty() || offsets.front() != 0 || offsets.back() != m) {
+    return Status::Corruption("inconsistent binary offsets");
+  }
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i] < offsets[i - 1]) {
+      return Status::Corruption("non-monotone binary offsets");
+    }
+  }
+  for (NodeId v : neighbors) {
+    if (v >= n) return Status::Corruption("binary neighbor id out of range");
+  }
+  return CitationGraph::FromCsr(std::move(years), std::move(offsets),
+                                std::move(neighbors));
+}
+
+Result<CitationGraph> ReadGraphBinaryFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open: " + path);
+  return ReadGraphBinary(&in);
+}
+
+}  // namespace scholar

@@ -1,0 +1,39 @@
+#ifndef SCHOLARRANK_GRAPH_GRAPH_IO_H_
+#define SCHOLARRANK_GRAPH_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/citation_graph.h"
+#include "util/status.h"
+
+namespace scholar {
+
+/// Native text format, line-oriented and diff-friendly:
+///
+///   #scholarrank-graph-v1
+///   <num_nodes> <num_edges>
+///   <year of node 0>
+///   ...                      (num_nodes lines)
+///   <src> <dst>              (num_edges lines, "src cites dst")
+///
+/// Comments ('#' at line start, after the signature) and blank lines are
+/// ignored.
+Status WriteGraphText(const CitationGraph& graph, std::ostream* out);
+Status WriteGraphTextFile(const CitationGraph& graph,
+                          const std::string& path);
+Result<CitationGraph> ReadGraphText(std::istream* in);
+Result<CitationGraph> ReadGraphTextFile(const std::string& path);
+
+/// Compact binary format (little-endian, host-width assumptions documented
+/// in the header record): magic "SRG1", then counts, then raw arrays.
+/// ~10x smaller and ~50x faster to load than the text format.
+Status WriteGraphBinary(const CitationGraph& graph, std::ostream* out);
+Status WriteGraphBinaryFile(const CitationGraph& graph,
+                            const std::string& path);
+Result<CitationGraph> ReadGraphBinary(std::istream* in);
+Result<CitationGraph> ReadGraphBinaryFile(const std::string& path);
+
+}  // namespace scholar
+
+#endif  // SCHOLARRANK_GRAPH_GRAPH_IO_H_

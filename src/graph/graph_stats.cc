@@ -1,0 +1,87 @@
+#include "graph/graph_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace scholar {
+
+GraphStats ComputeGraphStats(const CitationGraph& graph) {
+  GraphStats s;
+  s.num_nodes = graph.num_nodes();
+  s.num_edges = graph.num_edges();
+  s.min_year = graph.min_year();
+  s.max_year = graph.max_year();
+  if (s.num_nodes == 0) return s;
+
+  std::vector<size_t> in_degrees(s.num_nodes);
+  for (NodeId u = 0; u < s.num_nodes; ++u) {
+    size_t out_d = graph.OutDegree(u);
+    size_t in_d = graph.InDegree(u);
+    in_degrees[u] = in_d;
+    if (out_d == 0) ++s.num_dangling;
+    if (in_d == 0) ++s.num_uncited;
+    s.max_out_degree = std::max(s.max_out_degree, out_d);
+    s.max_in_degree = std::max(s.max_in_degree, in_d);
+    ++s.year_histogram[graph.year(u)];
+  }
+  s.mean_out_degree = static_cast<double>(s.num_edges) / s.num_nodes;
+  s.mean_in_degree = s.mean_out_degree;
+
+  // Gini over in-degrees: G = (2 * sum_i i*x_(i) / (n * sum x)) - (n+1)/n.
+  std::sort(in_degrees.begin(), in_degrees.end());
+  double total = 0.0, weighted = 0.0;
+  for (size_t i = 0; i < in_degrees.size(); ++i) {
+    total += static_cast<double>(in_degrees[i]);
+    weighted += static_cast<double>(i + 1) * in_degrees[i];
+  }
+  if (total > 0.0) {
+    double n = static_cast<double>(s.num_nodes);
+    s.in_degree_gini = (2.0 * weighted) / (n * total) - (n + 1.0) / n;
+  }
+
+  // Hill estimator for the tail exponent: alpha = 1 + k / sum(ln(d_i/d_min)).
+  constexpr size_t kTailMin = 5;
+  double log_sum = 0.0;
+  size_t tail_count = 0;
+  for (size_t d : in_degrees) {
+    if (d >= kTailMin) {
+      log_sum += std::log(static_cast<double>(d) / (kTailMin - 0.5));
+      ++tail_count;
+    }
+  }
+  if (tail_count >= 10 && log_sum > 0.0) {
+    s.in_degree_powerlaw_alpha = 1.0 + static_cast<double>(tail_count) / log_sum;
+  }
+  return s;
+}
+
+std::vector<size_t> InDegreeHistogram(const CitationGraph& graph) {
+  std::vector<size_t> hist;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    size_t d = graph.InDegree(v);
+    if (d >= hist.size()) hist.resize(d + 1, 0);
+    ++hist[d];
+  }
+  return hist;
+}
+
+std::string ToString(const GraphStats& s) {
+  std::ostringstream out;
+  out << "nodes:            " << FormatWithCommas(static_cast<int64_t>(s.num_nodes)) << "\n"
+      << "edges:            " << FormatWithCommas(static_cast<int64_t>(s.num_edges)) << "\n"
+      << "years:            " << s.min_year << ".." << s.max_year << "\n"
+      << "dangling:         " << FormatWithCommas(static_cast<int64_t>(s.num_dangling)) << "\n"
+      << "uncited:          " << FormatWithCommas(static_cast<int64_t>(s.num_uncited)) << "\n"
+      << "mean refs/paper:  " << FormatDouble(s.mean_out_degree, 2) << "\n"
+      << "max in-degree:    " << s.max_in_degree << "\n"
+      << "max out-degree:   " << s.max_out_degree << "\n"
+      << "in-degree gini:   " << FormatDouble(s.in_degree_gini, 3) << "\n"
+      << "powerlaw alpha:   " << FormatDouble(s.in_degree_powerlaw_alpha, 2)
+      << "\n";
+  return out.str();
+}
+
+}  // namespace scholar

@@ -1,0 +1,44 @@
+#ifndef SCHOLARRANK_GRAPH_GRAPH_STATS_H_
+#define SCHOLARRANK_GRAPH_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/citation_graph.h"
+
+namespace scholar {
+
+/// Summary statistics of a citation network (Table 1 material).
+struct GraphStats {
+  size_t num_nodes = 0;
+  size_t num_edges = 0;
+  Year min_year = kUnknownYear;
+  Year max_year = kUnknownYear;
+  size_t num_dangling = 0;          ///< Articles with an empty reference list.
+  size_t num_uncited = 0;           ///< Articles with zero citations.
+  double mean_out_degree = 0.0;     ///< Mean references per article.
+  double mean_in_degree = 0.0;      ///< Mean citations per article.
+  size_t max_in_degree = 0;
+  size_t max_out_degree = 0;
+  double in_degree_gini = 0.0;      ///< Citation-concentration Gini in [0,1].
+  /// Estimated power-law exponent of the in-degree tail (Hill / MLE over
+  /// degrees >= 5); 0 when too few cited nodes.
+  double in_degree_powerlaw_alpha = 0.0;
+  /// Articles per publication year.
+  std::map<Year, size_t> year_histogram;
+};
+
+/// Computes all statistics in one pass (plus one sort for the Gini).
+GraphStats ComputeGraphStats(const CitationGraph& graph);
+
+/// In-degree histogram: result[d] = number of nodes with in-degree d.
+std::vector<size_t> InDegreeHistogram(const CitationGraph& graph);
+
+/// Multi-line human-readable rendering.
+std::string ToString(const GraphStats& stats);
+
+}  // namespace scholar
+
+#endif  // SCHOLARRANK_GRAPH_GRAPH_STATS_H_

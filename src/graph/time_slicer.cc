@@ -1,0 +1,84 @@
+#include "graph/time_slicer.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace scholar {
+namespace {
+
+Snapshot ExtractByMask(const CitationGraph& parent,
+                       const std::vector<bool>& keep) {
+  const size_t n = parent.num_nodes();
+  Snapshot snap;
+  snap.from_parent.assign(n, kInvalidNode);
+
+  size_t kept = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    if (keep[u]) {
+      snap.from_parent[u] = static_cast<NodeId>(kept++);
+      snap.to_parent.push_back(u);
+    }
+  }
+
+  std::vector<Year> years(kept);
+  std::vector<EdgeId> offsets(kept + 1, 0);
+  std::vector<NodeId> neighbors;
+  Year max_year = kUnknownYear;
+  for (size_t i = 0; i < kept; ++i) {
+    NodeId pu = snap.to_parent[i];
+    years[i] = parent.year(pu);
+    max_year = std::max(max_year, years[i]);
+    for (NodeId pv : parent.References(pu)) {
+      if (keep[pv]) neighbors.push_back(snap.from_parent[pv]);
+    }
+    offsets[i + 1] = neighbors.size();
+  }
+  // Parent rows are sorted by parent id and the mapping is monotone, so
+  // snapshot rows remain sorted.
+  snap.graph = CitationGraph::FromCsr(std::move(years), std::move(offsets),
+                                      std::move(neighbors));
+  snap.boundary_year = max_year;
+  return snap;
+}
+
+}  // namespace
+
+Snapshot ExtractSnapshot(const CitationGraph& parent, Year boundary_year) {
+  std::vector<bool> keep(parent.num_nodes());
+  for (NodeId u = 0; u < parent.num_nodes(); ++u) {
+    keep[u] = parent.year(u) <= boundary_year;
+  }
+  Snapshot snap = ExtractByMask(parent, keep);
+  snap.boundary_year = boundary_year;
+  return snap;
+}
+
+Snapshot ExtractInducedSubgraph(const CitationGraph& parent,
+                                const std::vector<bool>& mask) {
+  SCHOLAR_CHECK_EQ(mask.size(), parent.num_nodes());
+  return ExtractByMask(parent, mask);
+}
+
+CitationGraph SampleEdges(const CitationGraph& parent, double keep_fraction,
+                          uint64_t seed) {
+  SCHOLAR_CHECK_GE(keep_fraction, 0.0);
+  SCHOLAR_CHECK_LE(keep_fraction, 1.0);
+  Rng rng(seed);
+  const size_t n = parent.num_nodes();
+  std::vector<EdgeId> offsets(n + 1, 0);
+  std::vector<NodeId> neighbors;
+  neighbors.reserve(
+      static_cast<size_t>(keep_fraction * parent.num_edges()) + 16);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : parent.References(u)) {
+      if (rng.NextBernoulli(keep_fraction)) neighbors.push_back(v);
+    }
+    offsets[u + 1] = neighbors.size();
+  }
+  return CitationGraph::FromCsr(std::vector<Year>(parent.years()),
+                                std::move(offsets), std::move(neighbors));
+}
+
+}  // namespace scholar

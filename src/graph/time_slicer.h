@@ -1,0 +1,43 @@
+#ifndef SCHOLARRANK_GRAPH_TIME_SLICER_H_
+#define SCHOLARRANK_GRAPH_TIME_SLICER_H_
+
+#include <vector>
+
+#include "graph/citation_graph.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace scholar {
+
+/// One accumulative temporal snapshot: the subgraph induced by every article
+/// published in or before `boundary_year`, with node-id mappings back to the
+/// parent graph.
+struct Snapshot {
+  CitationGraph graph;
+  Year boundary_year = kUnknownYear;
+  /// snapshot node id -> parent node id (size = graph.num_nodes()).
+  std::vector<NodeId> to_parent;
+  /// parent node id -> snapshot node id, kInvalidNode when absent
+  /// (size = parent num_nodes()).
+  std::vector<NodeId> from_parent;
+};
+
+/// Extracts the snapshot of `parent` at `boundary_year`. Nodes keep their
+/// relative order, so snapshot ids are monotone in parent ids.
+Snapshot ExtractSnapshot(const CitationGraph& parent, Year boundary_year);
+
+/// Extracts the subgraph induced by an arbitrary keep-mask (true = keep).
+/// `mask.size()` must equal `parent.num_nodes()`. `boundary_year` of the
+/// result is the maximum year among kept nodes.
+Snapshot ExtractInducedSubgraph(const CitationGraph& parent,
+                                const std::vector<bool>& mask);
+
+/// Returns a copy of `parent` keeping each edge independently with
+/// probability `keep_fraction` (deterministic in `seed`). Node set is
+/// unchanged. Used by the sparsity-robustness experiment (Fig. 5).
+CitationGraph SampleEdges(const CitationGraph& parent, double keep_fraction,
+                          uint64_t seed);
+
+}  // namespace scholar
+
+#endif  // SCHOLARRANK_GRAPH_TIME_SLICER_H_

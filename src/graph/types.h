@@ -1,0 +1,28 @@
+#ifndef SCHOLARRANK_GRAPH_TYPES_H_
+#define SCHOLARRANK_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace scholar {
+
+/// Dense article index within one CitationGraph (0..n-1).
+using NodeId = uint32_t;
+
+/// Dense edge index within one CitationGraph (0..m-1).
+using EdgeId = uint64_t;
+
+/// Publication time, in whole years (e.g., 1998). The library only assumes
+/// years are totally ordered integers; finer granularities can be encoded by
+/// scaling (e.g., months since epoch).
+using Year = int32_t;
+
+/// Sentinel for "no node" (absent in a snapshot, unknown mapping, ...).
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Sentinel for "unknown publication year".
+inline constexpr Year kUnknownYear = std::numeric_limits<Year>::min();
+
+}  // namespace scholar
+
+#endif  // SCHOLARRANK_GRAPH_TYPES_H_

@@ -1,0 +1,66 @@
+#include "rank/author_rank.h"
+
+#include <algorithm>
+#include <string>
+
+#include "rank/ranker.h"
+
+namespace scholar {
+
+Result<std::vector<double>> RankAuthors(
+    const PaperAuthors& authors, const std::vector<double>& article_scores,
+    AuthorAggregation aggregation) {
+  if (article_scores.size() != authors.num_papers()) {
+    return Status::InvalidArgument(
+        "article_scores covers " + std::to_string(article_scores.size()) +
+        " articles, author map covers " +
+        std::to_string(authors.num_papers()));
+  }
+  std::vector<double> scores(authors.num_authors(), 0.0);
+
+  switch (aggregation) {
+    case AuthorAggregation::kSum:
+      for (AuthorId a = 0; a < authors.num_authors(); ++a) {
+        for (NodeId p : authors.PapersOf(a)) scores[a] += article_scores[p];
+      }
+      break;
+    case AuthorAggregation::kMean:
+      for (AuthorId a = 0; a < authors.num_authors(); ++a) {
+        auto papers = authors.PapersOf(a);
+        if (papers.empty()) continue;
+        double sum = 0.0;
+        for (NodeId p : papers) sum += article_scores[p];
+        scores[a] = sum / static_cast<double>(papers.size());
+      }
+      break;
+    case AuthorAggregation::kFractionalSum:
+      for (NodeId p = 0; p < authors.num_papers(); ++p) {
+        auto coauthors = authors.AuthorsOf(p);
+        if (coauthors.empty()) continue;
+        const double share =
+            article_scores[p] / static_cast<double>(coauthors.size());
+        for (AuthorId a : coauthors) scores[a] += share;
+      }
+      break;
+    case AuthorAggregation::kHLike: {
+      std::vector<double> percentiles = MidrankPercentiles(article_scores);
+      for (AuthorId a = 0; a < authors.num_authors(); ++a) {
+        auto papers = authors.PapersOf(a);
+        std::vector<double> own;
+        own.reserve(papers.size());
+        for (NodeId p : papers) own.push_back(percentiles[p]);
+        std::sort(own.rbegin(), own.rend());
+        size_t h = 0;
+        while (h < own.size() &&
+               own[h] >= 1.0 - static_cast<double>(h + 1) / 1000.0) {
+          ++h;
+        }
+        scores[a] = static_cast<double>(h);
+      }
+      break;
+    }
+  }
+  return scores;
+}
+
+}  // namespace scholar

@@ -1,0 +1,37 @@
+#ifndef SCHOLARRANK_RANK_AUTHOR_RANK_H_
+#define SCHOLARRANK_RANK_AUTHOR_RANK_H_
+
+#include <vector>
+
+#include "graph/bipartite.h"
+#include "util/status.h"
+
+namespace scholar {
+
+/// How a scholar's article scores are folded into one author score.
+enum class AuthorAggregation {
+  /// Sum of article scores (rewards volume and impact).
+  kSum,
+  /// Mean of article scores (pure per-article quality).
+  kMean,
+  /// Sum of per-article shares: each article's score is split equally among
+  /// its coauthors first. Avoids double-counting heavily coauthored work;
+  /// the default.
+  kFractionalSum,
+  /// h-index-style: the largest h such that the author has h articles with
+  /// score-percentile >= 1 - h/1000 (a smooth stand-in for citation counts
+  /// in percentile space).
+  kHLike,
+};
+
+/// Derives author-level scores from article-level scores — the "ranking
+/// scholars" companion application of article ranking. `article_scores`
+/// must cover authors.num_papers() articles. Returns one score per author
+/// id (authors with no papers score 0).
+Result<std::vector<double>> RankAuthors(const PaperAuthors& authors,
+                                        const std::vector<double>& article_scores,
+                                        AuthorAggregation aggregation);
+
+}  // namespace scholar
+
+#endif  // SCHOLARRANK_RANK_AUTHOR_RANK_H_

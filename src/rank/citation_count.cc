@@ -1,0 +1,34 @@
+#include "rank/citation_count.h"
+
+#include <algorithm>
+
+namespace scholar {
+
+Result<RankResult> CitationCountRanker::RankImpl(const RankContext& ctx) const {
+  SCHOLAR_RETURN_NOT_OK(ValidateContext(ctx, /*requires_authors=*/false));
+  const CitationGraph& g = *ctx.graph;
+  RankResult result;
+  result.scores.resize(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    result.scores[v] = static_cast<double>(g.InDegree(v));
+  }
+  return result;
+}
+
+Result<RankResult> AgeNormalizedCitationCountRanker::RankImpl(const RankContext& ctx) const {
+  SCHOLAR_RETURN_NOT_OK(ValidateContext(ctx, /*requires_authors=*/false));
+  const CitationGraph& g = *ctx.graph;
+  const Year now = ctx.EffectiveNow();
+  RankResult result;
+  result.scores.resize(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    // Age is clamped below at 1 year so same-year articles are not divided
+    // by zero (and future-dated articles, which occur in dirty data, do not
+    // get a negative divisor).
+    double age = std::max(1, now - g.year(v) + 1);
+    result.scores[v] = static_cast<double>(g.InDegree(v)) / age;
+  }
+  return result;
+}
+
+}  // namespace scholar

@@ -1,0 +1,29 @@
+#ifndef SCHOLARRANK_RANK_CITATION_COUNT_H_
+#define SCHOLARRANK_RANK_CITATION_COUNT_H_
+
+#include <string>
+
+#include "rank/ranker.h"
+
+namespace scholar {
+
+/// Raw citation count (in-degree). The simplest and most widely used
+/// query-independent baseline.
+class CitationCountRanker : public Ranker {
+ public:
+  std::string name() const override { return "cc"; }
+  Result<RankResult> RankImpl(const RankContext& ctx) const override;
+};
+
+/// Citation count divided by article age in years:
+/// score(v) = in_degree(v) / (now - t(v) + 1). A cheap recency correction
+/// used as an additional baseline.
+class AgeNormalizedCitationCountRanker : public Ranker {
+ public:
+  std::string name() const override { return "age_cc"; }
+  Result<RankResult> RankImpl(const RankContext& ctx) const override;
+};
+
+}  // namespace scholar
+
+#endif  // SCHOLARRANK_RANK_CITATION_COUNT_H_

@@ -1,0 +1,37 @@
+#include "rank/citerank.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace scholar {
+
+CiteRankRanker::CiteRankRanker(CiteRankOptions options) : options_(options) {}
+
+Result<RankResult> CiteRankRanker::RankImpl(const RankContext& ctx) const {
+  SCHOLAR_RETURN_NOT_OK(ValidateContext(ctx, /*requires_authors=*/false));
+  if (options_.tau <= 0.0) {
+    return Status::InvalidArgument("tau must be > 0, got " +
+                                   std::to_string(options_.tau));
+  }
+  const CitationGraph& g = *ctx.graph;
+  if (g.num_nodes() == 0) return RankResult{};
+
+  const Year now = ctx.EffectiveNow();
+  std::vector<double> jump(g.num_nodes());
+  double total = 0.0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const double age = std::max(0, now - g.year(v));
+    jump[v] = std::exp(-age / options_.tau);
+    total += jump[v];
+  }
+  for (double& j : jump) j /= total;
+
+  const std::vector<double> no_initial;
+  return WeightedPowerIteration(
+      g, /*edge_weights=*/{}, jump, options_.power,
+      ctx.initial_scores != nullptr ? *ctx.initial_scores : no_initial);
+}
+
+}  // namespace scholar

@@ -1,0 +1,37 @@
+#ifndef SCHOLARRANK_RANK_CITERANK_H_
+#define SCHOLARRANK_RANK_CITERANK_H_
+
+#include <string>
+
+#include "rank/pagerank.h"
+#include "rank/ranker.h"
+
+namespace scholar {
+
+/// CiteRank (Walker, Xie, Yan & Maslov, 2007) — a time-aware PageRank
+/// baseline: the walk restarts at article v with probability proportional to
+/// exp(-(now - t(v)) / tau), modelling readers who start from recent papers
+/// and follow references backwards. Edge weights are uniform.
+struct CiteRankOptions {
+  /// Characteristic decay time of the restart distribution, in years.
+  /// Walker et al. report tau ≈ 2.6 years for physics.
+  double tau = 2.6;
+  PowerIterationOptions power = {};
+};
+
+class CiteRankRanker : public Ranker {
+ public:
+  explicit CiteRankRanker(CiteRankOptions options = {});
+
+  std::string name() const override { return "citerank"; }
+  Result<RankResult> RankImpl(const RankContext& ctx) const override;
+
+  const CiteRankOptions& options() const { return options_; }
+
+ private:
+  CiteRankOptions options_;
+};
+
+}  // namespace scholar
+
+#endif  // SCHOLARRANK_RANK_CITERANK_H_

@@ -1,0 +1,50 @@
+#ifndef SCHOLARRANK_RANK_FUTURERANK_H_
+#define SCHOLARRANK_RANK_FUTURERANK_H_
+
+#include <string>
+
+#include "rank/ranker.h"
+
+namespace scholar {
+
+/// FutureRank (Sayyadi & Getoor, 2009) — a heterogeneous baseline that
+/// predicts future impact by coupling three signals:
+///   * structural: PageRank-style propagation over the citation network,
+///   * social: mutual reinforcement with author scores over the
+///     paper-author bipartite graph,
+///   * temporal: a personalization term favouring recent articles,
+///     time(v) ∝ exp(-rho * (now - t(v))).
+///
+/// Update rule per iteration (all vectors renormalized to sum 1):
+///   r_a  =  Σ_{p ∈ papers(a)} s_p / |authors(p)|
+///   s_v  =  alpha * Σ_{u cites v} s_u / outdeg(u)
+///         + beta  * Σ_{a ∈ authors(v)} r_a / |papers(a)|
+///         + gamma * time_v
+///         + (1 - alpha - beta - gamma) / n
+struct FutureRankOptions {
+  double alpha = 0.4;  ///< Citation-structure weight.
+  double beta = 0.1;   ///< Author-authority weight.
+  double gamma = 0.4;  ///< Recency-personalization weight.
+  double rho = 0.62;   ///< Recency decay rate (Sayyadi & Getoor's value).
+  double tolerance = 1e-10;
+  int max_iterations = 200;
+};
+
+class FutureRankRanker : public Ranker {
+ public:
+  explicit FutureRankRanker(FutureRankOptions options = {});
+
+  std::string name() const override { return "futurerank"; }
+
+  /// Requires ctx.authors; returns InvalidArgument otherwise.
+  Result<RankResult> RankImpl(const RankContext& ctx) const override;
+
+  const FutureRankOptions& options() const { return options_; }
+
+ private:
+  FutureRankOptions options_;
+};
+
+}  // namespace scholar
+
+#endif  // SCHOLARRANK_RANK_FUTURERANK_H_

@@ -1,0 +1,55 @@
+#ifndef SCHOLARRANK_RANK_GAUSS_SEIDEL_H_
+#define SCHOLARRANK_RANK_GAUSS_SEIDEL_H_
+
+#include <vector>
+
+#include "graph/citation_graph.h"
+#include "rank/pagerank.h"
+
+namespace scholar {
+
+/// Gauss-Seidel solver for the (weighted) PageRank linear system
+///
+///   (I - d·P^T) s = (1 - d)·j + d·(dangling mass)·j
+///
+/// Unlike Jacobi-style power iteration, each sweep uses already-updated
+/// in-sweep values — the classic efficiency trick for PageRank at scale
+/// (cf. Arasu et al., "PageRank computation and the structure of the
+/// web"). Citation graphs are especially friendly: node ids ascend with
+/// publication year and citations point backwards in time, so a
+/// descending-id sweep propagates fresh values along almost every edge and
+/// the solve becomes near-direct (measured: residual 1e-8 after ~16 sweeps
+/// where power iteration needs ~64; see bench/fig6_convergence).
+///
+/// Note on dangling nodes: the dangling mass term couples every equation,
+/// so it is refreshed once per sweep from the current iterate (lagged);
+/// the fixed point is identical to WeightedPowerIteration's.
+///
+/// Same contract as WeightedPowerIteration: empty `edge_weights` = uniform,
+/// empty `jump` = uniform, optional warm start. Scores are renormalized to
+/// sum to 1 on return.
+Result<RankResult> GaussSeidelPageRank(
+    const CitationGraph& graph, const std::vector<double>& edge_weights,
+    const std::vector<double>& jump, const PowerIterationOptions& options,
+    const std::vector<double>& initial_scores = {});
+
+/// PageRank via Gauss-Seidel; drop-in replacement for PageRankRanker where
+/// iteration count matters more than exact per-iteration reproducibility.
+class GaussSeidelPageRankRanker : public Ranker {
+ public:
+  explicit GaussSeidelPageRankRanker(PowerIterationOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "pagerank_gs"; }
+
+  const PowerIterationOptions& options() const { return options_; }
+
+ private:
+  Result<RankResult> RankImpl(const RankContext& ctx) const override;
+
+  PowerIterationOptions options_;
+};
+
+}  // namespace scholar
+
+#endif  // SCHOLARRANK_RANK_GAUSS_SEIDEL_H_

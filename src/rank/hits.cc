@@ -1,0 +1,80 @@
+#include "rank/hits.h"
+
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace scholar {
+namespace {
+
+/// L2-normalizes in place; returns the norm before normalization.
+double NormalizeL2(std::vector<double>* v) {
+  double sq = 0.0;
+  for (double x : *v) sq += x * x;
+  double norm = std::sqrt(sq);
+  if (norm > 0.0) {
+    for (double& x : *v) x /= norm;
+  }
+  return norm;
+}
+
+}  // namespace
+
+HitsRanker::HitsRanker(HitsOptions options) : options_(options) {}
+
+Result<HitsRanker::HubsAndAuthorities> HitsRanker::RankBoth(
+    const CitationGraph& g) const {
+  if (options_.max_iterations <= 0) {
+    return Status::InvalidArgument("max_iterations must be positive");
+  }
+  const size_t n = g.num_nodes();
+  HubsAndAuthorities out;
+  out.authorities.assign(n, n > 0 ? 1.0 / std::sqrt(static_cast<double>(n))
+                                  : 0.0);
+  out.hubs = out.authorities;
+  if (n == 0) return out;
+
+  std::vector<double> prev_auth(n);
+  out.converged = false;
+  for (int iter = 1; iter <= options_.max_iterations; ++iter) {
+    prev_auth = out.authorities;
+    // Authority(v) = sum of hub(u) over citers u.
+    for (NodeId v = 0; v < n; ++v) {
+      double acc = 0.0;
+      for (NodeId u : g.Citers(v)) acc += out.hubs[u];
+      out.authorities[v] = acc;
+    }
+    NormalizeL2(&out.authorities);
+    // Hub(u) = sum of authority(v) over references v.
+    for (NodeId u = 0; u < n; ++u) {
+      double acc = 0.0;
+      for (NodeId v : g.References(u)) acc += out.authorities[v];
+      out.hubs[u] = acc;
+    }
+    NormalizeL2(&out.hubs);
+
+    double residual = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      residual += std::abs(out.authorities[v] - prev_auth[v]);
+    }
+    out.iterations = iter;
+    if (residual < options_.tolerance) {
+      out.converged = true;
+      break;
+    }
+  }
+  return out;
+}
+
+Result<RankResult> HitsRanker::RankImpl(const RankContext& ctx) const {
+  SCHOLAR_RETURN_NOT_OK(ValidateContext(ctx, /*requires_authors=*/false));
+  SCHOLAR_ASSIGN_OR_RETURN(HubsAndAuthorities both, RankBoth(*ctx.graph));
+  RankResult result;
+  result.scores = std::move(both.authorities);
+  result.iterations = both.iterations;
+  result.converged = both.converged;
+  return result;
+}
+
+}  // namespace scholar

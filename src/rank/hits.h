@@ -1,0 +1,42 @@
+#ifndef SCHOLARRANK_RANK_HITS_H_
+#define SCHOLARRANK_RANK_HITS_H_
+
+#include <string>
+
+#include "rank/ranker.h"
+
+namespace scholar {
+
+/// HITS (Kleinberg, 1999) on the citation digraph. Authority of an article
+/// is the sum of the hub scores of its citers; hub of an article is the sum
+/// of the authorities it cites. Scores are L2-normalized each round. The
+/// ranker reports authority scores (the natural notion of article
+/// importance).
+struct HitsOptions {
+  double tolerance = 1e-10;
+  int max_iterations = 200;
+};
+
+class HitsRanker : public Ranker {
+ public:
+  explicit HitsRanker(HitsOptions options = {});
+
+  std::string name() const override { return "hits"; }
+  Result<RankResult> RankImpl(const RankContext& ctx) const override;
+
+  /// Full output including hub scores, for callers that want both sides.
+  struct HubsAndAuthorities {
+    std::vector<double> authorities;
+    std::vector<double> hubs;
+    int iterations = 0;
+    bool converged = true;
+  };
+  Result<HubsAndAuthorities> RankBoth(const CitationGraph& graph) const;
+
+ private:
+  HitsOptions options_;
+};
+
+}  // namespace scholar
+
+#endif  // SCHOLARRANK_RANK_HITS_H_

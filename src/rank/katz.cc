@@ -1,0 +1,69 @@
+#include "rank/katz.h"
+
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace scholar {
+
+KatzRanker::KatzRanker(KatzOptions options) : options_(options) {}
+
+Result<RankResult> KatzRanker::RankImpl(const RankContext& ctx) const {
+  SCHOLAR_RETURN_NOT_OK(ValidateContext(ctx, /*requires_authors=*/false));
+  if (options_.alpha <= 0.0 || options_.alpha >= 1.0) {
+    return Status::InvalidArgument("alpha must be in (0, 1), got " +
+                                   std::to_string(options_.alpha));
+  }
+  if (options_.max_iterations <= 0) {
+    return Status::InvalidArgument("max_iterations must be positive");
+  }
+  const CitationGraph& g = *ctx.graph;
+  const size_t n = g.num_nodes();
+  if (n == 0) return RankResult{};
+
+  // s <- alpha * A^T (s + 1): each citation u->v contributes
+  // alpha * (s(u) + 1) to v.
+  std::vector<double> scores(n, 0.0);
+  std::vector<double> next(n);
+  RankResult result;
+  result.converged = false;
+  // Divergence guard: if the total mass exceeds this, alpha is beyond the
+  // spectral radius and the series cannot converge.
+  const double mass_limit = 1e12 * static_cast<double>(n);
+  for (int iter = 1; iter <= options_.max_iterations; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (NodeId u = 0; u < n; ++u) {
+      const double contribution = options_.alpha * (scores[u] + 1.0);
+      for (NodeId v : g.References(u)) next[v] += contribution;
+    }
+    double residual = 0.0;
+    double mass = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      residual += std::abs(next[v] - scores[v]);
+      mass += next[v];
+    }
+    scores.swap(next);
+    result.iterations = iter;
+    result.final_residual = residual;
+    if (mass > mass_limit) {
+      return Status::FailedPrecondition(
+          "Katz diverged: alpha=" + std::to_string(options_.alpha) +
+          " exceeds 1/lambda_max of this citation network");
+    }
+    if (residual < options_.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  // L1-normalize so scores are comparable across graphs.
+  double total = 0.0;
+  for (double s : scores) total += s;
+  if (total > 0.0) {
+    for (double& s : scores) s /= total;
+  }
+  result.scores = std::move(scores);
+  return result;
+}
+
+}  // namespace scholar

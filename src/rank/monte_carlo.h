@@ -1,0 +1,47 @@
+#ifndef SCHOLARRANK_RANK_MONTE_CARLO_H_
+#define SCHOLARRANK_RANK_MONTE_CARLO_H_
+
+#include <cstdint>
+#include <string>
+
+#include "rank/ranker.h"
+
+namespace scholar {
+
+/// Monte Carlo PageRank (Avrachenkov et al., 2007, "Monte Carlo methods in
+/// PageRank computation"): launch R random walks from every article; each
+/// step follows a uniformly random reference with probability d and
+/// terminates otherwise (dangling articles always terminate). The visit
+/// frequency of every node estimates its PageRank up to normalization.
+///
+/// Why it is here: a single pass over R·n short walks approximates the
+/// ranking without any convergence loop, walks parallelize trivially, and
+/// accuracy degrades gracefully with R — the standard cheap-refresh path
+/// for web-scale graphs. Top ranks converge first (high-score nodes are
+/// visited most), so small R already orders the head of the ranking well.
+struct MonteCarloOptions {
+  /// Walks started per article. Estimation error of a node's score scales
+  /// ~1/sqrt(R·n·score).
+  int walks_per_node = 10;
+  /// Continuation probability (PageRank damping).
+  double damping = 0.85;
+  uint64_t seed = 99;
+};
+
+class MonteCarloPageRankRanker : public Ranker {
+ public:
+  explicit MonteCarloPageRankRanker(MonteCarloOptions options = {});
+
+  std::string name() const override { return "pagerank_mc"; }
+
+  const MonteCarloOptions& options() const { return options_; }
+
+ private:
+  Result<RankResult> RankImpl(const RankContext& ctx) const override;
+
+  MonteCarloOptions options_;
+};
+
+}  // namespace scholar
+
+#endif  // SCHOLARRANK_RANK_MONTE_CARLO_H_

@@ -1,0 +1,160 @@
+#include "rank/pagerank.h"
+
+#include <cmath>
+#include <string>
+#include <utility>
+
+namespace scholar {
+
+std::vector<double> ExtendScoresForGrownGraph(
+    const std::vector<double>& old_scores, size_t new_num_nodes) {
+  std::vector<double> scores(new_num_nodes, 0.0);
+  if (new_num_nodes == 0) return scores;
+  double total = 0.0;
+  const size_t copied = std::min(old_scores.size(), new_num_nodes);
+  for (size_t i = 0; i < copied; ++i) {
+    scores[i] = std::max(0.0, old_scores[i]);
+    total += scores[i];
+  }
+  if (total <= 0.0) {
+    std::fill(scores.begin(), scores.end(),
+              1.0 / static_cast<double>(new_num_nodes));
+    return scores;
+  }
+  const double mean = total / static_cast<double>(copied);
+  for (size_t i = copied; i < new_num_nodes; ++i) scores[i] = mean;
+  double new_total = total + mean * static_cast<double>(new_num_nodes - copied);
+  for (double& s : scores) s /= new_total;
+  return scores;
+}
+
+Result<RankResult> WeightedPowerIteration(
+    const CitationGraph& graph, const std::vector<double>& edge_weights,
+    const std::vector<double>& jump, const PowerIterationOptions& options,
+    const std::vector<double>& initial_scores) {
+  const size_t n = graph.num_nodes();
+  const size_t m = graph.num_edges();
+  if (options.damping < 0.0 || options.damping >= 1.0) {
+    return Status::InvalidArgument("damping must be in [0,1), got " +
+                                   std::to_string(options.damping));
+  }
+  if (options.max_iterations <= 0) {
+    return Status::InvalidArgument("max_iterations must be positive");
+  }
+  if (!edge_weights.empty() && edge_weights.size() != m) {
+    return Status::InvalidArgument(
+        "edge_weights size " + std::to_string(edge_weights.size()) +
+        " != num_edges " + std::to_string(m));
+  }
+  if (!jump.empty()) {
+    if (jump.size() != n) {
+      return Status::InvalidArgument("jump size " +
+                                     std::to_string(jump.size()) +
+                                     " != num_nodes " + std::to_string(n));
+    }
+    double sum = 0.0;
+    for (double j : jump) {
+      if (j < 0.0) return Status::InvalidArgument("negative jump probability");
+      sum += j;
+    }
+    if (std::abs(sum - 1.0) > 1e-6) {
+      return Status::InvalidArgument("jump vector sums to " +
+                                     std::to_string(sum) + ", expected 1");
+    }
+  }
+  if (n == 0) return RankResult{};
+
+  // Per-edge transition probabilities: weight / row sum. Rows whose weights
+  // sum to zero are dangling.
+  std::vector<double> transition(m);
+  std::vector<bool> dangling(n, false);
+  for (NodeId u = 0; u < n; ++u) {
+    const EdgeId begin = graph.out_offsets()[u];
+    const EdgeId end = graph.out_offsets()[u + 1];
+    double row_sum = 0.0;
+    for (EdgeId e = begin; e < end; ++e) {
+      double w = edge_weights.empty() ? 1.0 : edge_weights[e];
+      if (w < 0.0) return Status::InvalidArgument("negative edge weight");
+      row_sum += w;
+    }
+    if (row_sum <= 0.0) {
+      dangling[u] = true;
+      continue;
+    }
+    for (EdgeId e = begin; e < end; ++e) {
+      double w = edge_weights.empty() ? 1.0 : edge_weights[e];
+      transition[e] = w / row_sum;
+    }
+  }
+
+  if (!initial_scores.empty() && initial_scores.size() != n) {
+    return Status::InvalidArgument(
+        "initial_scores size " + std::to_string(initial_scores.size()) +
+        " != num_nodes " + std::to_string(n));
+  }
+
+  const double uniform = 1.0 / static_cast<double>(n);
+  std::vector<double> scores(n, uniform);
+  if (!initial_scores.empty()) {
+    double total = 0.0;
+    bool valid = true;
+    for (double s : initial_scores) {
+      if (s < 0.0) {
+        valid = false;
+        break;
+      }
+      total += s;
+    }
+    if (valid && total > 0.0) {
+      for (NodeId v = 0; v < n; ++v) scores[v] = initial_scores[v] / total;
+    }
+  }
+  std::vector<double> next(n, 0.0);
+
+  RankResult result;
+  result.converged = false;
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    double dangling_mass = 0.0;
+    std::fill(next.begin(), next.end(), 0.0);
+    for (NodeId u = 0; u < n; ++u) {
+      if (dangling[u]) {
+        dangling_mass += scores[u];
+        continue;
+      }
+      const double su = scores[u];
+      const EdgeId begin = graph.out_offsets()[u];
+      const EdgeId end = graph.out_offsets()[u + 1];
+      for (EdgeId e = begin; e < end; ++e) {
+        next[graph.out_neighbors()[e]] += su * transition[e];
+      }
+    }
+    const double teleport =
+        options.damping * dangling_mass + (1.0 - options.damping);
+    double residual = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      double jv = jump.empty() ? uniform : jump[v];
+      double nv = options.damping * next[v] + teleport * jv;
+      residual += std::abs(nv - scores[v]);
+      next[v] = nv;
+    }
+    scores.swap(next);
+    result.iterations = iter;
+    result.final_residual = residual;
+    if (residual < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.scores = std::move(scores);
+  return result;
+}
+
+Result<RankResult> PageRankRanker::RankImpl(const RankContext& ctx) const {
+  SCHOLAR_RETURN_NOT_OK(ValidateContext(ctx, /*requires_authors=*/false));
+  const std::vector<double> no_initial;
+  return WeightedPowerIteration(
+      *ctx.graph, /*edge_weights=*/{}, /*jump=*/{}, options_,
+      ctx.initial_scores != nullptr ? *ctx.initial_scores : no_initial);
+}
+
+}  // namespace scholar

@@ -1,0 +1,71 @@
+#ifndef SCHOLARRANK_RANK_PAGERANK_H_
+#define SCHOLARRANK_RANK_PAGERANK_H_
+
+#include <string>
+#include <vector>
+
+#include "rank/ranker.h"
+
+namespace scholar {
+
+/// Shared knobs of all power-iteration rankers.
+struct PowerIterationOptions {
+  /// Probability of following a citation (1 - teleport probability).
+  double damping = 0.85;
+  /// Stop when the L1 change between successive score vectors drops below
+  /// this.
+  double tolerance = 1e-10;
+  int max_iterations = 200;
+};
+
+/// Core solver shared by PageRank, TWPR and CiteRank.
+///
+/// Computes the stationary distribution of the damped random walk
+///
+///   s <- d * P^T s + (d * dangling_mass + (1 - d)) * jump
+///
+/// where row u of P distributes u's score over its references proportionally
+/// to `edge_weights` (aligned with graph.out_neighbors(); pass empty for
+/// uniform weights), and `jump` is a probability vector (pass empty for
+/// uniform). A node whose weighted out-degree is zero is treated as
+/// dangling: its entire score is redistributed through `jump`.
+///
+/// Errors: negative edge weights, wrong array sizes, or a `jump` that does
+/// not sum to ~1.
+///
+/// `initial_scores` (optional, pass empty for the uniform default) seeds the
+/// iteration — e.g. with the scores of a smaller snapshot of the same graph
+/// — which reduces iteration counts without changing the fixed point. It is
+/// L1-renormalized internally; non-positive-mass inputs fall back to
+/// uniform.
+Result<RankResult> WeightedPowerIteration(
+    const CitationGraph& graph, const std::vector<double>& edge_weights,
+    const std::vector<double>& jump, const PowerIterationOptions& options,
+    const std::vector<double>& initial_scores = {});
+
+/// Pads a score vector from a smaller prefix-snapshot of a graph up to
+/// `new_num_nodes` (new articles get the mean existing score) — the warm
+/// start for incremental re-ranking after a corpus grows. Returns a uniform
+/// vector when `old_scores` is empty or has non-positive mass.
+std::vector<double> ExtendScoresForGrownGraph(
+    const std::vector<double>& old_scores, size_t new_num_nodes);
+
+/// Classic PageRank on the citation network (score flows from a paper to its
+/// references). The canonical structural baseline in the paper.
+class PageRankRanker : public Ranker {
+ public:
+  explicit PageRankRanker(PowerIterationOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "pagerank"; }
+  Result<RankResult> RankImpl(const RankContext& ctx) const override;
+
+  const PowerIterationOptions& options() const { return options_; }
+
+ private:
+  PowerIterationOptions options_;
+};
+
+}  // namespace scholar
+
+#endif  // SCHOLARRANK_RANK_PAGERANK_H_

@@ -1,0 +1,103 @@
+#include "rank/ranker.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace scholar {
+
+Ranker::~Ranker() = default;
+
+namespace {
+
+/// Node ids sorted by descending score, ties by ascending id.
+std::vector<NodeId> SortedByScore(const std::vector<double>& scores) {
+  std::vector<NodeId> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return scores[a] > scores[b];
+  });
+  return order;
+}
+
+}  // namespace
+
+std::vector<uint32_t> ScoresToRanks(const std::vector<double>& scores) {
+  std::vector<NodeId> order = SortedByScore(scores);
+  std::vector<uint32_t> ranks(scores.size());
+  for (uint32_t r = 0; r < order.size(); ++r) ranks[order[r]] = r;
+  return ranks;
+}
+
+std::vector<double> RankPercentiles(const std::vector<double>& scores) {
+  const size_t n = scores.size();
+  std::vector<double> pct(n, 0.0);
+  if (n == 0) return pct;
+  std::vector<NodeId> order = SortedByScore(scores);
+  for (size_t r = 0; r < n; ++r) {
+    pct[order[r]] = static_cast<double>(n - r) / static_cast<double>(n);
+  }
+  return pct;
+}
+
+std::vector<double> MidrankPercentiles(const std::vector<double>& scores) {
+  const size_t n = scores.size();
+  std::vector<double> pct(n, 0.0);
+  if (n == 0) return pct;
+  std::vector<NodeId> order = SortedByScore(scores);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    // 1-based positions i+1 .. j+1 share their average position.
+    const double mid_pos = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    const double shared = (static_cast<double>(n) - mid_pos + 1.0) / static_cast<double>(n);
+    for (size_t t = i; t <= j; ++t) pct[order[t]] = shared;
+    i = j + 1;
+  }
+  return pct;
+}
+
+std::vector<NodeId> TopK(const std::vector<double>& scores, size_t k) {
+  std::vector<NodeId> order = SortedByScore(scores);
+  if (order.size() > k) order.resize(k);
+  return order;
+}
+
+Status ValidateContext(const RankContext& ctx, bool requires_authors,
+                       bool requires_venues) {
+  if (ctx.graph == nullptr) {
+    return Status::InvalidArgument("RankContext.graph is null");
+  }
+  if (requires_authors) {
+    if (ctx.authors == nullptr) {
+      return Status::InvalidArgument(
+          "this ranker requires a paper-author map (RankContext.authors)");
+    }
+    if (ctx.authors->num_papers() != ctx.graph->num_nodes()) {
+      return Status::InvalidArgument(
+          "author map covers " + std::to_string(ctx.authors->num_papers()) +
+          " papers but graph has " + std::to_string(ctx.graph->num_nodes()));
+    }
+  }
+  if (requires_venues) {
+    if (ctx.venues == nullptr) {
+      return Status::InvalidArgument(
+          "this ranker requires per-article venues (RankContext.venues)");
+    }
+    if (ctx.venues->size() != ctx.graph->num_nodes()) {
+      return Status::InvalidArgument(
+          "venue vector covers " + std::to_string(ctx.venues->size()) +
+          " articles but graph has " +
+          std::to_string(ctx.graph->num_nodes()));
+    }
+  }
+  if (ctx.initial_scores != nullptr &&
+      ctx.initial_scores->size() != ctx.graph->num_nodes()) {
+    return Status::InvalidArgument(
+        "initial_scores has " + std::to_string(ctx.initial_scores->size()) +
+        " entries but graph has " + std::to_string(ctx.graph->num_nodes()));
+  }
+  return Status::OK();
+}
+
+}  // namespace scholar

@@ -1,0 +1,108 @@
+#ifndef SCHOLARRANK_RANK_RANKER_H_
+#define SCHOLARRANK_RANK_RANKER_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/bipartite.h"
+#include "graph/citation_graph.h"
+#include "util/status.h"
+
+namespace scholar {
+
+/// Everything a ranker may consume. Only `graph` is mandatory; rankers that
+/// need more (FutureRank needs `authors`) return InvalidArgument when it is
+/// missing, so that capability mismatches surface as Status, not crashes.
+struct RankContext {
+  const CitationGraph* graph = nullptr;
+  /// Optional paper-author map; `authors->num_papers()` must equal
+  /// `graph->num_nodes()` when present.
+  const PaperAuthors* authors = nullptr;
+  /// Optional per-article venue index (-1 = unknown); size must equal
+  /// `graph->num_nodes()` when present. Required by VenueRank.
+  const std::vector<int32_t>* venues = nullptr;
+  /// "Current" year for recency terms; defaults to graph->max_year().
+  Year now_year = kUnknownYear;
+  /// Optional warm-start hint: a previous score vector for (a supergraph
+  /// of) this graph. Iterative rankers may seed their power iteration from
+  /// it to converge in fewer rounds; it never changes the fixed point.
+  /// Size must equal `graph->num_nodes()` when present.
+  const std::vector<double>* initial_scores = nullptr;
+
+  /// now_year with the default applied.
+  Year EffectiveNow() const {
+    return now_year == kUnknownYear ? graph->max_year() : now_year;
+  }
+};
+
+/// Output of one ranking run.
+struct RankResult {
+  /// Importance score per node; higher is more important. For random-walk
+  /// rankers the scores form a probability distribution (sum to 1).
+  std::vector<double> scores;
+  /// Power-iteration rounds used; 0 for closed-form rankers.
+  int iterations = 0;
+  /// L1 change of the final iteration; 0 for closed-form rankers.
+  double final_residual = 0.0;
+  /// False when max_iterations was hit before reaching tolerance.
+  bool converged = true;
+};
+
+/// A query-independent article ranker.
+///
+/// Implementations are immutable after construction (all parameters are
+/// constructor arguments) and therefore safe to reuse across graphs and
+/// across threads.
+class Ranker {
+ public:
+  virtual ~Ranker();
+
+  /// Stable identifier ("pagerank", "twpr", ...), used by the registry and
+  /// in experiment output.
+  virtual std::string name() const = 0;
+
+  /// Ranks all articles of `ctx.graph`.
+  Result<RankResult> Rank(const RankContext& ctx) const {
+    return RankImpl(ctx);
+  }
+
+  /// Convenience overload for graph-only rankers.
+  Result<RankResult> Rank(const CitationGraph& graph) const {
+    RankContext ctx;
+    ctx.graph = &graph;
+    return RankImpl(ctx);
+  }
+
+ private:
+  /// The algorithm. Implementations validate the context themselves (see
+  /// ValidateContext).
+  virtual Result<RankResult> RankImpl(const RankContext& ctx) const = 0;
+};
+
+/// Dense ranks (0 = best) from scores, descending; ties broken by node id so
+/// results are deterministic.
+std::vector<uint32_t> ScoresToRanks(const std::vector<double>& scores);
+
+/// Rank percentiles in (0, 1]: best article -> 1.0, worst -> 1/n. Ties
+/// broken by node id.
+std::vector<double> RankPercentiles(const std::vector<double>& scores);
+
+/// Midrank percentiles: tied scores share the average percentile of their
+/// positions (so equal scores map to equal percentiles). Use this wherever
+/// percentiles feed further computation — deterministic id tie-breaking
+/// would otherwise inject a systematic bias into the large tie groups that
+/// PageRank-style scores produce (e.g., all uncited articles tie exactly).
+std::vector<double> MidrankPercentiles(const std::vector<double>& scores);
+
+/// Indices of the k highest-scoring articles, best first (deterministic tie
+/// break by node id).
+std::vector<NodeId> TopK(const std::vector<double>& scores, size_t k);
+
+/// Validates a context (non-null graph, optional-field shapes). Shared by
+/// ranker implementations.
+Status ValidateContext(const RankContext& ctx, bool requires_authors,
+                       bool requires_venues = false);
+
+}  // namespace scholar
+
+#endif  // SCHOLARRANK_RANK_RANKER_H_

@@ -1,0 +1,61 @@
+#include "rank/sceas.h"
+
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace scholar {
+
+SceasRanker::SceasRanker(SceasOptions options) : options_(options) {}
+
+Result<RankResult> SceasRanker::RankImpl(const RankContext& ctx) const {
+  SCHOLAR_RETURN_NOT_OK(ValidateContext(ctx, /*requires_authors=*/false));
+  if (options_.a <= 1.0) {
+    return Status::InvalidArgument(
+        "a must be > 1 for the SceasRank iteration to contract, got " +
+        std::to_string(options_.a));
+  }
+  if (options_.b < 0.0) {
+    return Status::InvalidArgument("b must be >= 0");
+  }
+  if (options_.max_iterations <= 0) {
+    return Status::InvalidArgument("max_iterations must be positive");
+  }
+  const CitationGraph& g = *ctx.graph;
+  const size_t n = g.num_nodes();
+  if (n == 0) return RankResult{};
+
+  std::vector<double> scores(n, 0.0);
+  std::vector<double> next(n);
+  RankResult result;
+  result.converged = false;
+  for (int iter = 1; iter <= options_.max_iterations; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (NodeId u = 0; u < n; ++u) {
+      auto refs = g.References(u);
+      if (refs.empty()) continue;
+      const double share = (scores[u] + options_.b) /
+                           (options_.a * static_cast<double>(refs.size()));
+      for (NodeId v : refs) next[v] += share;
+    }
+    double residual = 0.0;
+    for (NodeId v = 0; v < n; ++v) residual += std::abs(next[v] - scores[v]);
+    scores.swap(next);
+    result.iterations = iter;
+    result.final_residual = residual;
+    if (residual < options_.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  double total = 0.0;
+  for (double s : scores) total += s;
+  if (total > 0.0) {
+    for (double& s : scores) s /= total;
+  }
+  result.scores = std::move(scores);
+  return result;
+}
+
+}  // namespace scholar

@@ -1,0 +1,66 @@
+#include "rank/time_weighted_pagerank.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace scholar {
+
+TimeWeightedPageRank::TimeWeightedPageRank(TwprOptions options)
+    : options_(options) {}
+
+std::vector<double> TimeWeightedPageRank::ComputeEdgeWeights(
+    const CitationGraph& graph, double sigma) {
+  std::vector<double> weights(graph.num_edges());
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    const Year tu = graph.year(u);
+    const EdgeId begin = graph.out_offsets()[u];
+    const EdgeId end = graph.out_offsets()[u + 1];
+    for (EdgeId e = begin; e < end; ++e) {
+      const Year tv = graph.year(graph.out_neighbors()[e]);
+      const double gap = std::max(0, tu - tv);
+      weights[e] = std::exp(-sigma * gap);
+    }
+  }
+  return weights;
+}
+
+std::vector<double> TimeWeightedPageRank::ComputeRecencyJump(
+    const CitationGraph& graph, double rho, Year now) {
+  const size_t n = graph.num_nodes();
+  std::vector<double> jump(n);
+  double total = 0.0;
+  for (NodeId v = 0; v < n; ++v) {
+    const double age = std::max(0, now - graph.year(v));
+    jump[v] = std::exp(-rho * age);
+    total += jump[v];
+  }
+  if (total > 0.0) {
+    for (double& j : jump) j /= total;
+  }
+  return jump;
+}
+
+Result<RankResult> TimeWeightedPageRank::RankImpl(const RankContext& ctx) const {
+  SCHOLAR_RETURN_NOT_OK(ValidateContext(ctx, /*requires_authors=*/false));
+  if (options_.sigma < 0.0) {
+    return Status::InvalidArgument("sigma must be >= 0, got " +
+                                   std::to_string(options_.sigma));
+  }
+  if (options_.recency_jump && options_.rho < 0.0) {
+    return Status::InvalidArgument("rho must be >= 0, got " +
+                                   std::to_string(options_.rho));
+  }
+  const CitationGraph& g = *ctx.graph;
+  std::vector<double> weights = ComputeEdgeWeights(g, options_.sigma);
+  std::vector<double> jump;
+  if (options_.recency_jump && g.num_nodes() > 0) {
+    jump = ComputeRecencyJump(g, options_.rho, ctx.EffectiveNow());
+  }
+  const std::vector<double> no_initial;
+  return WeightedPowerIteration(
+      g, weights, jump, options_.power,
+      ctx.initial_scores != nullptr ? *ctx.initial_scores : no_initial);
+}
+
+}  // namespace scholar

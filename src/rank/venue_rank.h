@@ -1,0 +1,45 @@
+#ifndef SCHOLARRANK_RANK_VENUE_RANK_H_
+#define SCHOLARRANK_RANK_VENUE_RANK_H_
+
+#include <string>
+#include <vector>
+
+#include "rank/ranker.h"
+
+namespace scholar {
+
+/// Venue-reinforced ranking — the venue-based heterogeneous baseline:
+/// articles and venues reinforce each other, so a lightly-cited article in
+/// a prestigious venue inherits part of the venue's standing (the signal
+/// editors/reviewers contribute before any citations arrive):
+///
+///   prestige(j) = mean over articles of venue j of ñ(article)
+///   s(i)        = lambda · ñ_cite(i) + (1 - lambda) · prestige(venue(i))
+///
+/// where ñ_cite is the midrank-percentile of age-normalized citation counts
+/// and ñ re-percentiles s each round. Articles without a venue (-1) use the
+/// global mean prestige. Requires RankContext.venues.
+struct VenueRankOptions {
+  /// Weight of the article's own citation evidence vs its venue prior.
+  double lambda = 0.7;
+  /// Reinforcement rounds (prestige and scores stabilize quickly).
+  int iterations = 10;
+};
+
+class VenueRankRanker : public Ranker {
+ public:
+  explicit VenueRankRanker(VenueRankOptions options = {});
+
+  std::string name() const override { return "venuerank"; }
+
+  const VenueRankOptions& options() const { return options_; }
+
+ private:
+  Result<RankResult> RankImpl(const RankContext& ctx) const override;
+
+  VenueRankOptions options_;
+};
+
+}  // namespace scholar
+
+#endif  // SCHOLARRANK_RANK_VENUE_RANK_H_

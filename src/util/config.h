@@ -1,0 +1,61 @@
+#ifndef SCHOLARRANK_UTIL_CONFIG_H_
+#define SCHOLARRANK_UTIL_CONFIG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace scholar {
+
+/// Flat key=value configuration with typed accessors.
+///
+/// Used to parameterize rankers, generators and experiments from command
+/// lines ("--sigma=0.4") or config files (one `key = value` per line,
+/// '#' comments). Keys are case-sensitive.
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses "--key=value" / "key=value" tokens; unknown formats are errors.
+  static Result<Config> FromArgs(int argc, const char* const* argv);
+
+  /// Parses config-file text (one assignment per line, '#' comments).
+  static Result<Config> FromString(std::string_view text);
+
+  void Set(const std::string& key, std::string value);
+  void SetInt(const std::string& key, int64_t value);
+  void SetDouble(const std::string& key, double value);
+  void SetBool(const std::string& key, bool value);
+
+  bool Has(const std::string& key) const;
+
+  /// Typed getters: return `fallback` when the key is absent, a Status when
+  /// the key is present but malformed (via the *OrDie variants, abort).
+  Result<std::string> GetString(const std::string& key) const;
+  Result<int64_t> GetInt(const std::string& key) const;
+  Result<double> GetDouble(const std::string& key) const;
+  Result<bool> GetBool(const std::string& key) const;
+
+  std::string GetStringOr(const std::string& key,
+                          const std::string& fallback) const;
+  int64_t GetIntOr(const std::string& key, int64_t fallback) const;
+  double GetDoubleOr(const std::string& key, double fallback) const;
+  bool GetBoolOr(const std::string& key, bool fallback) const;
+
+  /// All keys in lexicographic order.
+  std::vector<std::string> Keys() const;
+
+  /// Serializes to config-file syntax (stable key order).
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace scholar
+
+#endif  // SCHOLARRANK_UTIL_CONFIG_H_

@@ -1,0 +1,88 @@
+#include "util/csv.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace scholar {
+
+void CsvWriter::Header(const std::vector<std::string>& columns) {
+  SCHOLAR_CHECK(!header_written_) << "Header() called twice";
+  SCHOLAR_CHECK_EQ(rows_written_, 0u) << "Header() after Row()";
+  header_written_ = true;
+  WriteRow(columns);
+  --rows_written_;  // Header does not count as a data row.
+}
+
+CsvWriter::RowBuilder::~RowBuilder() { writer_->WriteRow(fields_); }
+
+CsvWriter::RowBuilder& CsvWriter::RowBuilder::Add(const std::string& v) {
+  fields_.push_back(v);
+  return *this;
+}
+
+CsvWriter::RowBuilder& CsvWriter::RowBuilder::Add(double v) {
+  fields_.push_back(FormatDouble(v, 6));
+  return *this;
+}
+
+CsvWriter::RowBuilder& CsvWriter::RowBuilder::Add(int64_t v) {
+  fields_.push_back(std::to_string(v));
+  return *this;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) *out_ << ',';
+    *out_ << Escape(fields[i]);
+  }
+  *out_ << '\n';
+  ++rows_written_;
+}
+
+std::string CsvWriter::Escape(const std::string& field) {
+  bool needs_quotes = field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+Result<std::vector<std::string>> ParseCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      if (!current.empty()) {
+        return Status::Corruption("quote in unquoted CSV field: " + line);
+      }
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (in_quotes) return Status::Corruption("unterminated quote: " + line);
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+}  // namespace scholar

@@ -1,0 +1,65 @@
+#ifndef SCHOLARRANK_UTIL_CSV_H_
+#define SCHOLARRANK_UTIL_CSV_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace scholar {
+
+/// Streams rows of comma-separated values with RFC-4180 quoting. Used by the
+/// benchmark harnesses to emit table/figure data that plots directly.
+class CsvWriter {
+ public:
+  /// Writes to `out`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream* out) : out_(out) {}
+
+  /// Emits the header row. Call at most once, before any Row().
+  void Header(const std::vector<std::string>& columns);
+
+  /// Starts a row builder.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(CsvWriter* writer) : writer_(writer) {}
+    ~RowBuilder();
+
+    RowBuilder(const RowBuilder&) = delete;
+    RowBuilder& operator=(const RowBuilder&) = delete;
+
+    RowBuilder& Add(const std::string& v);
+    RowBuilder& Add(const char* v) { return Add(std::string(v)); }
+    RowBuilder& Add(double v);
+    RowBuilder& Add(int64_t v);
+    RowBuilder& Add(uint64_t v) { return Add(static_cast<int64_t>(v)); }
+    RowBuilder& Add(int v) { return Add(static_cast<int64_t>(v)); }
+
+   private:
+    CsvWriter* writer_;
+    std::vector<std::string> fields_;
+  };
+
+  RowBuilder Row() { return RowBuilder(this); }
+
+  /// Number of data rows written so far (header excluded).
+  size_t rows_written() const { return rows_written_; }
+
+ private:
+  friend class RowBuilder;
+  void WriteRow(const std::vector<std::string>& fields);
+  static std::string Escape(const std::string& field);
+
+  std::ostream* out_;
+  bool header_written_ = false;
+  size_t rows_written_ = 0;
+};
+
+/// Parses one CSV line into fields, honoring double-quote escaping.
+/// Multi-line (embedded newline) fields are not supported.
+Result<std::vector<std::string>> ParseCsvLine(const std::string& line);
+
+}  // namespace scholar
+
+#endif  // SCHOLARRANK_UTIL_CSV_H_

@@ -1,0 +1,85 @@
+#ifndef SCHOLARRANK_UTIL_LOGGING_H_
+#define SCHOLARRANK_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace scholar {
+
+/// Severity of a log record. kFatal aborts the process after logging.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Global minimum severity; records below it are discarded. Default kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// One log record, emitted on destruction. Not part of the public API; use
+/// the SCHOLAR_LOG / SCHOLAR_CHECK macros.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a disabled log statement's stream expression.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace scholar
+
+#define SCHOLAR_LOG_ENABLED(level) \
+  (::scholar::LogLevel::level >= ::scholar::GetLogLevel())
+
+/// Streams a log record: SCHOLAR_LOG(kInfo) << "built graph n=" << n;
+#define SCHOLAR_LOG(level)                                              \
+  if (!SCHOLAR_LOG_ENABLED(level)) {                                    \
+  } else                                                                \
+    ::scholar::internal::LogMessage(::scholar::LogLevel::level,         \
+                                    __FILE__, __LINE__)                 \
+        .stream()
+
+/// Aborts with a message when `condition` is false. Always enabled; use for
+/// programmer-error invariants, not for recoverable input validation (those
+/// return Status).
+#define SCHOLAR_CHECK(condition)                                        \
+  if (condition) {                                                      \
+  } else                                                                \
+    ::scholar::internal::LogMessage(::scholar::LogLevel::kFatal,        \
+                                    __FILE__, __LINE__)                 \
+            .stream()                                                   \
+        << "Check failed: " #condition " "
+
+#define SCHOLAR_CHECK_OP(a, b, op) SCHOLAR_CHECK((a)op(b))
+#define SCHOLAR_CHECK_EQ(a, b) SCHOLAR_CHECK_OP(a, b, ==)
+#define SCHOLAR_CHECK_NE(a, b) SCHOLAR_CHECK_OP(a, b, !=)
+#define SCHOLAR_CHECK_LT(a, b) SCHOLAR_CHECK_OP(a, b, <)
+#define SCHOLAR_CHECK_LE(a, b) SCHOLAR_CHECK_OP(a, b, <=)
+#define SCHOLAR_CHECK_GT(a, b) SCHOLAR_CHECK_OP(a, b, >)
+#define SCHOLAR_CHECK_GE(a, b) SCHOLAR_CHECK_OP(a, b, >=)
+
+/// Aborts when a Status-returning expression fails. For call sites where
+/// failure is a programming error (e.g., in tests and benchmarks).
+#define SCHOLAR_CHECK_OK(expr)                                     \
+  do {                                                             \
+    ::scholar::Status _st = (expr);                                \
+    SCHOLAR_CHECK(_st.ok()) << _st.ToString();                     \
+  } while (0)
+
+#endif  // SCHOLARRANK_UTIL_LOGGING_H_

@@ -1,0 +1,174 @@
+#ifndef SCHOLARRANK_UTIL_STATUS_H_
+#define SCHOLARRANK_UTIL_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace scholar {
+
+/// Machine-readable category of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIOError,
+  kCorruption,
+  kNotImplemented,
+  kInternal,
+};
+
+/// Human-readable name of a status code ("OK", "InvalidArgument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail without a payload.
+///
+/// Follows the RocksDB/Arrow idiom: library functions return Status (or
+/// Result<T>) instead of throwing; callers propagate with
+/// SCHOLAR_RETURN_NOT_OK.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result of an operation that yields a T on success.
+///
+/// Holds either a value or a non-OK Status. Accessing the value of a failed
+/// Result aborts the process (programming error), mirroring
+/// arrow::Result<T>.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : repr_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Failure status, or OK when a value is present.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    AbortIfNotOk();
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    AbortIfNotOk();
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    AbortIfNotOk();
+    return std::move(std::get<T>(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when this Result holds an error.
+  T ValueOr(T fallback) const {
+    if (ok()) return std::get<T>(repr_);
+    return fallback;
+  }
+
+ private:
+  void AbortIfNotOk() const;
+
+  std::variant<T, Status> repr_;
+};
+
+namespace internal {
+[[noreturn]] void AbortOnBadResultAccess(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::AbortIfNotOk() const {
+  if (!ok()) internal::AbortOnBadResultAccess(std::get<Status>(repr_));
+}
+
+}  // namespace scholar
+
+/// Propagates a non-OK Status out of the current function.
+#define SCHOLAR_RETURN_NOT_OK(expr)                 \
+  do {                                              \
+    ::scholar::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+/// Evaluates a Result<T> expression; assigns the value or propagates the
+/// failure Status. Usage: SCHOLAR_ASSIGN_OR_RETURN(auto g, LoadGraph(path));
+#define SCHOLAR_ASSIGN_OR_RETURN(lhs, rexpr)                    \
+  SCHOLAR_ASSIGN_OR_RETURN_IMPL(                                \
+      SCHOLAR_STATUS_CONCAT(_result_, __LINE__), lhs, rexpr)
+
+#define SCHOLAR_STATUS_CONCAT_INNER(a, b) a##b
+#define SCHOLAR_STATUS_CONCAT(a, b) SCHOLAR_STATUS_CONCAT_INNER(a, b)
+#define SCHOLAR_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+#endif  // SCHOLARRANK_UTIL_STATUS_H_

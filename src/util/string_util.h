@@ -1,0 +1,46 @@
+#ifndef SCHOLARRANK_UTIL_STRING_UTIL_H_
+#define SCHOLARRANK_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace scholar {
+
+/// Splits `s` on `sep`; empty fields are preserved ("a,,b" -> 3 fields).
+std::vector<std::string_view> Split(std::string_view s, char sep);
+
+/// Splits and drops empty fields ("a  b" on ' ' -> {"a","b"}).
+std::vector<std::string_view> SplitSkipEmpty(std::string_view s, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Joins elements with `sep` ("a", "b" -> "a,b").
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strict integer parse of the whole string (optional leading '-').
+Result<int64_t> ParseInt64(std::string_view s);
+
+/// Strict double parse of the whole string.
+Result<double> ParseDouble(std::string_view s);
+
+/// Lower-cases ASCII letters.
+std::string ToLower(std::string_view s);
+
+/// Formats a double with `digits` significant decimal places, no trailing
+/// exponent ("0.8123").
+std::string FormatDouble(double v, int digits = 4);
+
+/// Thousands-separated integer ("1,247,753").
+std::string FormatWithCommas(int64_t v);
+
+}  // namespace scholar
+
+#endif  // SCHOLARRANK_UTIL_STRING_UTIL_H_

@@ -1,0 +1,75 @@
+#include "rank/author_rank.h"
+
+#include <gtest/gtest.h>
+
+namespace scholar {
+namespace {
+
+// 4 papers: p0 by a0; p1 by a0,a1; p2 by a1; p3 by a2.
+PaperAuthors Map() { return PaperAuthors::FromLists({{0}, {0, 1}, {1}, {2}}); }
+
+TEST(AuthorRankTest, SumAggregation) {
+  std::vector<double> article = {1.0, 2.0, 3.0, 4.0};
+  auto scores = RankAuthors(Map(), article, AuthorAggregation::kSum).value();
+  ASSERT_EQ(scores.size(), 3u);
+  EXPECT_DOUBLE_EQ(scores[0], 3.0);  // p0 + p1
+  EXPECT_DOUBLE_EQ(scores[1], 5.0);  // p1 + p2
+  EXPECT_DOUBLE_EQ(scores[2], 4.0);  // p3
+}
+
+TEST(AuthorRankTest, MeanAggregation) {
+  std::vector<double> article = {1.0, 2.0, 3.0, 4.0};
+  auto scores = RankAuthors(Map(), article, AuthorAggregation::kMean).value();
+  EXPECT_DOUBLE_EQ(scores[0], 1.5);
+  EXPECT_DOUBLE_EQ(scores[1], 2.5);
+  EXPECT_DOUBLE_EQ(scores[2], 4.0);
+}
+
+TEST(AuthorRankTest, FractionalSumSplitsCoauthoredWork) {
+  std::vector<double> article = {1.0, 2.0, 3.0, 4.0};
+  auto scores =
+      RankAuthors(Map(), article, AuthorAggregation::kFractionalSum).value();
+  EXPECT_DOUBLE_EQ(scores[0], 1.0 + 1.0);  // p0 full + half of p1
+  EXPECT_DOUBLE_EQ(scores[1], 1.0 + 3.0);  // half of p1 + p2
+  EXPECT_DOUBLE_EQ(scores[2], 4.0);
+  // Fractional sums conserve total score mass.
+  EXPECT_DOUBLE_EQ(scores[0] + scores[1] + scores[2], 10.0);
+}
+
+TEST(AuthorRankTest, HLikeCountsStrongPapers) {
+  // Author 1's best paper tops the corpus (percentile 1.0 >= 0.999), so h
+  // reaches 1; author 2's only paper is mid-pack, so h stays 0.
+  std::vector<double> article = {0.1, 0.9, 0.95, 0.2};
+  auto scores =
+      RankAuthors(Map(), article, AuthorAggregation::kHLike).value();
+  EXPECT_GE(scores[1], 1.0);
+  EXPECT_DOUBLE_EQ(scores[2], 0.0);
+  EXPECT_GT(scores[1], scores[0]);
+}
+
+TEST(AuthorRankTest, SizeMismatchRejected) {
+  std::vector<double> article = {1.0};  // map has 4 papers
+  EXPECT_TRUE(RankAuthors(Map(), article, AuthorAggregation::kSum)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(AuthorRankTest, EmptyMap) {
+  PaperAuthors empty;
+  auto scores =
+      RankAuthors(empty, {}, AuthorAggregation::kFractionalSum).value();
+  EXPECT_TRUE(scores.empty());
+}
+
+TEST(AuthorRankTest, AuthorWithoutPapersScoresZero) {
+  // Author id 5 exists (sparse ids) but has no papers.
+  PaperAuthors pa = PaperAuthors::FromLists({{5}});
+  auto scores =
+      RankAuthors(pa, {2.0}, AuthorAggregation::kSum).value();
+  ASSERT_EQ(scores.size(), 6u);
+  EXPECT_DOUBLE_EQ(scores[5], 2.0);
+  EXPECT_DOUBLE_EQ(scores[0], 0.0);
+}
+
+}  // namespace
+}  // namespace scholar

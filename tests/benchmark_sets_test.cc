@@ -1,0 +1,103 @@
+#include "eval/benchmark_sets.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "rank/citation_count.h"
+#include "rank/pagerank.h"
+
+namespace scholar {
+namespace {
+
+Corpus TestCorpus() {
+  SyntheticOptions o;
+  o.num_articles = 2500;
+  o.num_years = 12;
+  o.seed = 21;
+  return GenerateSyntheticCorpus(o, "suite").value();
+}
+
+EvalSuiteOptions SmallSuiteOptions() {
+  EvalSuiteOptions o;
+  o.num_pairs = 3000;
+  return o;
+}
+
+TEST(EvalSuiteTest, BuildsAllComponents) {
+  Corpus corpus = TestCorpus();
+  EvalSuite suite = BuildEvalSuite(corpus, SmallSuiteOptions()).value();
+  EXPECT_EQ(suite.overall_pairs.size(), 3000u);
+  EXPECT_FALSE(suite.recent_pairs.empty());
+  EXPECT_FALSE(suite.same_year_pairs.empty());
+  EXPECT_FALSE(suite.awards.awards.empty());
+  EXPECT_EQ(suite.recent_cutoff, corpus.graph.max_year() - 4);
+}
+
+TEST(EvalSuiteTest, RequiresGroundTruth) {
+  Corpus corpus = TestCorpus();
+  corpus.true_impact.clear();
+  EXPECT_EQ(BuildEvalSuite(corpus, SmallSuiteOptions()).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(EvaluateScoresTest, OracleScoresAreNearPerfect) {
+  Corpus corpus = TestCorpus();
+  EvalSuite suite = BuildEvalSuite(corpus, SmallSuiteOptions()).value();
+  // The latent impact itself must score ~1.0 accuracy by construction.
+  RankerEvaluation eval =
+      EvaluateScores(corpus, "oracle", corpus.true_impact, suite).value();
+  EXPECT_DOUBLE_EQ(eval.overall_accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(eval.recent_accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(eval.same_year_accuracy, 1.0);
+  EXPECT_NEAR(eval.spearman_truth, 1.0, 1e-9);
+  EXPECT_GT(eval.map_awards, 0.5);
+}
+
+TEST(EvaluateScoresTest, InvertedOracleIsNearZero) {
+  Corpus corpus = TestCorpus();
+  EvalSuite suite = BuildEvalSuite(corpus, SmallSuiteOptions()).value();
+  std::vector<double> inverted(corpus.true_impact.size());
+  for (size_t i = 0; i < inverted.size(); ++i) {
+    inverted[i] = -corpus.true_impact[i];
+  }
+  RankerEvaluation eval =
+      EvaluateScores(corpus, "inv", inverted, suite).value();
+  EXPECT_DOUBLE_EQ(eval.overall_accuracy, 0.0);
+  EXPECT_NEAR(eval.spearman_truth, -1.0, 1e-9);
+}
+
+TEST(EvaluateRankerTest, RunsRealRankers) {
+  Corpus corpus = TestCorpus();
+  EvalSuite suite = BuildEvalSuite(corpus, SmallSuiteOptions()).value();
+  RankerEvaluation cc =
+      EvaluateRanker(corpus, CitationCountRanker(), suite).value();
+  RankerEvaluation pr =
+      EvaluateRanker(corpus, PageRankRanker(), suite).value();
+  EXPECT_EQ(cc.ranker, "cc");
+  EXPECT_EQ(pr.ranker, "pagerank");
+  // A structural ranker beats coin flipping on fitness-driven data.
+  EXPECT_GT(cc.overall_accuracy, 0.55);
+  EXPECT_GT(pr.overall_accuracy, 0.55);
+  EXPECT_GT(pr.iterations, 0);
+  EXPECT_GE(pr.seconds, 0.0);
+  EXPECT_GE(pr.ndcg_awards_100, 0.0);
+  EXPECT_LE(pr.ndcg_awards_100, 1.0);
+}
+
+TEST(EvaluateScoresTest, AllMetricsWithinBounds) {
+  Corpus corpus = TestCorpus();
+  EvalSuite suite = BuildEvalSuite(corpus, SmallSuiteOptions()).value();
+  RankerEvaluation eval =
+      EvaluateRanker(corpus, CitationCountRanker(), suite).value();
+  for (double m : {eval.overall_accuracy, eval.recent_accuracy,
+                   eval.same_year_accuracy, eval.ndcg_awards_100,
+                   eval.map_awards}) {
+    EXPECT_GE(m, 0.0);
+    EXPECT_LE(m, 1.0);
+  }
+  EXPECT_GE(eval.spearman_truth, -1.0);
+  EXPECT_LE(eval.spearman_truth, 1.0);
+}
+
+}  // namespace
+}  // namespace scholar

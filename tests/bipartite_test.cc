@@ -1,0 +1,74 @@
+#include "graph/bipartite.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace scholar {
+namespace {
+
+TEST(PaperAuthorsTest, EmptyMap) {
+  PaperAuthors pa = PaperAuthors::FromLists({});
+  EXPECT_EQ(pa.num_papers(), 0u);
+  EXPECT_EQ(pa.num_authors(), 0u);
+  EXPECT_EQ(pa.num_links(), 0u);
+}
+
+TEST(PaperAuthorsTest, PapersWithoutAuthors) {
+  PaperAuthors pa = PaperAuthors::FromLists({{}, {}, {}});
+  EXPECT_EQ(pa.num_papers(), 3u);
+  EXPECT_EQ(pa.num_authors(), 0u);
+  EXPECT_TRUE(pa.AuthorsOf(1).empty());
+}
+
+TEST(PaperAuthorsTest, ForwardLookup) {
+  PaperAuthors pa = PaperAuthors::FromLists({{0, 1}, {1}, {2, 0}});
+  EXPECT_EQ(pa.num_papers(), 3u);
+  EXPECT_EQ(pa.num_authors(), 3u);
+  EXPECT_EQ(pa.num_links(), 5u);
+  auto a0 = pa.AuthorsOf(0);
+  ASSERT_EQ(a0.size(), 2u);
+  EXPECT_EQ(a0[0], 0u);
+  EXPECT_EQ(a0[1], 1u);
+}
+
+TEST(PaperAuthorsTest, ReverseLookupIsTranspose) {
+  PaperAuthors pa = PaperAuthors::FromLists({{0, 1}, {1}, {2, 0}});
+  auto p0 = pa.PapersOf(0);
+  ASSERT_EQ(p0.size(), 2u);
+  EXPECT_EQ(p0[0], 0u);
+  EXPECT_EQ(p0[1], 2u);
+  auto p1 = pa.PapersOf(1);
+  ASSERT_EQ(p1.size(), 2u);
+  EXPECT_EQ(p1[0], 0u);
+  EXPECT_EQ(p1[1], 1u);
+  EXPECT_EQ(pa.PaperCount(2), 1u);
+}
+
+TEST(PaperAuthorsTest, SparseAuthorIdsCreateGaps) {
+  // Author 5 is the only author used; ids 0..4 exist but have no papers.
+  PaperAuthors pa = PaperAuthors::FromLists({{5}});
+  EXPECT_EQ(pa.num_authors(), 6u);
+  EXPECT_EQ(pa.PaperCount(5), 1u);
+  EXPECT_EQ(pa.PaperCount(0), 0u);
+  EXPECT_TRUE(pa.PapersOf(3).empty());
+}
+
+TEST(PaperAuthorsTest, LinkCountsConsistent) {
+  std::vector<std::vector<AuthorId>> lists = {
+      {0, 2}, {1}, {0, 1, 2}, {}, {2}};
+  PaperAuthors pa = PaperAuthors::FromLists(lists);
+  size_t via_papers = 0;
+  for (NodeId p = 0; p < pa.num_papers(); ++p) {
+    via_papers += pa.AuthorsOf(p).size();
+  }
+  size_t via_authors = 0;
+  for (AuthorId a = 0; a < pa.num_authors(); ++a) {
+    via_authors += pa.PapersOf(a).size();
+  }
+  EXPECT_EQ(via_papers, pa.num_links());
+  EXPECT_EQ(via_authors, pa.num_links());
+}
+
+}  // namespace
+}  // namespace scholar

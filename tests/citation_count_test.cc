@@ -1,0 +1,69 @@
+#include "rank/citation_count.h"
+
+#include <gtest/gtest.h>
+#include "test_util.h"
+
+namespace scholar {
+namespace {
+
+using testing_util::MakeGraph;
+using testing_util::MakeTinyGraph;
+
+TEST(CitationCountTest, ScoresEqualInDegrees) {
+  CitationGraph g = MakeTinyGraph();
+  RankResult r = CitationCountRanker().Rank(g).value();
+  ASSERT_EQ(r.scores.size(), 5u);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_DOUBLE_EQ(r.scores[v], static_cast<double>(g.InDegree(v)));
+  }
+  EXPECT_EQ(r.iterations, 0);
+}
+
+TEST(CitationCountTest, EmptyGraph) {
+  RankResult r = CitationCountRanker().Rank(CitationGraph()).value();
+  EXPECT_TRUE(r.scores.empty());
+}
+
+TEST(AgeCcTest, DividesByAge) {
+  // Node 0 (2000, 2 citations), node 2 (2002, 2 citations). now = 2004.
+  CitationGraph g = MakeTinyGraph();
+  RankResult r = AgeNormalizedCitationCountRanker().Rank(g).value();
+  EXPECT_DOUBLE_EQ(r.scores[0], 2.0 / 5.0);  // age 5
+  EXPECT_DOUBLE_EQ(r.scores[2], 2.0 / 3.0);  // age 3
+  EXPECT_GT(r.scores[2], r.scores[0]);
+}
+
+TEST(AgeCcTest, SameYearArticleUsesAgeOne) {
+  CitationGraph g = MakeGraph({2004, 2004}, {{1, 0}});
+  RankResult r = AgeNormalizedCitationCountRanker().Rank(g).value();
+  EXPECT_DOUBLE_EQ(r.scores[0], 1.0);
+}
+
+TEST(AgeCcTest, FutureDatedArticleClampedToAgeOne) {
+  // Dirty data: article dated beyond now_year must not divide by <= 0.
+  CitationGraph g = MakeGraph({2000, 2030}, {{0, 1}});
+  AgeNormalizedCitationCountRanker ranker;
+  RankContext ctx;
+  ctx.graph = &g;
+  ctx.now_year = 2005;
+  RankResult r = ranker.Rank(ctx).value();
+  EXPECT_DOUBLE_EQ(r.scores[1], 1.0);
+}
+
+TEST(AgeCcTest, NowYearOverride) {
+  CitationGraph g = MakeGraph({2000}, {});
+  AgeNormalizedCitationCountRanker ranker;
+  RankContext ctx;
+  ctx.graph = &g;
+  ctx.now_year = 2009;
+  RankResult r = ranker.Rank(ctx).value();
+  EXPECT_DOUBLE_EQ(r.scores[0], 0.0);  // zero citations stay zero
+}
+
+TEST(CitationCountTest, NamesAreStable) {
+  EXPECT_EQ(CitationCountRanker().name(), "cc");
+  EXPECT_EQ(AgeNormalizedCitationCountRanker().name(), "age_cc");
+}
+
+}  // namespace
+}  // namespace scholar

@@ -1,0 +1,140 @@
+#include "graph/citation_graph.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include <gtest/gtest.h>
+#include "test_util.h"
+
+namespace scholar {
+namespace {
+
+using testing_util::MakeRandomGraph;
+using testing_util::MakeTinyGraph;
+
+TEST(CitationGraphTest, TinyGraphShape) {
+  CitationGraph g = MakeTinyGraph();
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(g.min_year(), 2000);
+  EXPECT_EQ(g.max_year(), 2004);
+}
+
+TEST(CitationGraphTest, ReferencesAndCiters) {
+  CitationGraph g = MakeTinyGraph();
+  auto refs3 = g.References(3);
+  ASSERT_EQ(refs3.size(), 2u);
+  EXPECT_EQ(refs3[0], 0u);
+  EXPECT_EQ(refs3[1], 2u);
+
+  auto citers2 = g.Citers(2);
+  ASSERT_EQ(citers2.size(), 2u);
+  EXPECT_EQ(citers2[0], 3u);
+  EXPECT_EQ(citers2[1], 4u);
+
+  EXPECT_TRUE(g.References(0).empty());
+  EXPECT_TRUE(g.Citers(4).empty());
+}
+
+TEST(CitationGraphTest, DegreesAndDangling) {
+  CitationGraph g = MakeTinyGraph();
+  EXPECT_EQ(g.InDegree(0), 2u);
+  EXPECT_EQ(g.OutDegree(0), 0u);
+  EXPECT_TRUE(g.IsDangling(0));
+  EXPECT_TRUE(g.IsDangling(1));
+  EXPECT_FALSE(g.IsDangling(2));
+  EXPECT_EQ(g.CountDangling(), 2u);
+}
+
+TEST(CitationGraphTest, HasEdge) {
+  CitationGraph g = MakeTinyGraph();
+  EXPECT_TRUE(g.HasEdge(2, 0));
+  EXPECT_TRUE(g.HasEdge(4, 3));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_FALSE(g.HasEdge(2, 3));
+}
+
+TEST(CitationGraphTest, EmptyGraph) {
+  CitationGraph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.CountDangling(), 0u);
+}
+
+TEST(CitationGraphTest, EqualityComparesStructure) {
+  CitationGraph a = MakeTinyGraph();
+  CitationGraph b = MakeTinyGraph();
+  EXPECT_EQ(a, b);
+  CitationGraph c = testing_util::MakeGraph({2000, 2001}, {{1, 0}});
+  EXPECT_FALSE(a == c);
+}
+
+TEST(CitationGraphTest, FromCsrSingleNode) {
+  CitationGraph g = CitationGraph::FromCsr({1999}, {0, 0}, {});
+  EXPECT_EQ(g.num_nodes(), 1u);
+  EXPECT_EQ(g.min_year(), 1999);
+  EXPECT_EQ(g.max_year(), 1999);
+  EXPECT_TRUE(g.IsDangling(0));
+}
+
+/// Property suite over random graphs: the reverse adjacency must be the
+/// exact transpose of the forward adjacency.
+class CitationGraphPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  CitationGraph graph_ = MakeRandomGraph(300, 4.0, 1990, 15, GetParam());
+};
+
+TEST_P(CitationGraphPropertyTest, DegreeSumsMatchEdgeCount) {
+  size_t out_sum = 0, in_sum = 0;
+  for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
+    out_sum += graph_.OutDegree(u);
+    in_sum += graph_.InDegree(u);
+  }
+  EXPECT_EQ(out_sum, graph_.num_edges());
+  EXPECT_EQ(in_sum, graph_.num_edges());
+}
+
+TEST_P(CitationGraphPropertyTest, CitersIsTransposeOfReferences) {
+  std::set<std::pair<NodeId, NodeId>> forward, backward;
+  for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
+    for (NodeId v : graph_.References(u)) forward.emplace(u, v);
+    for (NodeId w : graph_.Citers(u)) backward.emplace(w, u);
+  }
+  EXPECT_EQ(forward, backward);
+}
+
+TEST_P(CitationGraphPropertyTest, AdjacencySorted) {
+  for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
+    auto refs = graph_.References(u);
+    EXPECT_TRUE(std::is_sorted(refs.begin(), refs.end()));
+    auto citers = graph_.Citers(u);
+    EXPECT_TRUE(std::is_sorted(citers.begin(), citers.end()));
+  }
+}
+
+TEST_P(CitationGraphPropertyTest, HasEdgeAgreesWithReferences) {
+  for (NodeId u = 0; u < graph_.num_nodes(); u += 17) {
+    for (NodeId v = 0; v < graph_.num_nodes(); v += 13) {
+      auto refs = graph_.References(u);
+      bool expected = std::find(refs.begin(), refs.end(), v) != refs.end();
+      EXPECT_EQ(graph_.HasEdge(u, v), expected) << u << "->" << v;
+    }
+  }
+}
+
+TEST_P(CitationGraphPropertyTest, YearRangeIsTight) {
+  Year mn = graph_.year(0), mx = graph_.year(0);
+  for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
+    mn = std::min(mn, graph_.year(u));
+    mx = std::max(mx, graph_.year(u));
+  }
+  EXPECT_EQ(graph_.min_year(), mn);
+  EXPECT_EQ(graph_.max_year(), mx);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, CitationGraphPropertyTest,
+                         ::testing::Values(1, 2, 3, 17, 99));
+
+}  // namespace
+}  // namespace scholar

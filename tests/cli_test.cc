@@ -1,0 +1,149 @@
+#include "cli/commands.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace scholar {
+namespace cli {
+namespace {
+
+Config Cfg(std::initializer_list<std::pair<std::string, std::string>> kv) {
+  Config config;
+  for (const auto& [k, v] : kv) config.Set(k, v);
+  return config;
+}
+
+TEST(CliLoadCorpusTest, SyntheticByProfile) {
+  Corpus corpus =
+      LoadCorpus(Cfg({{"profile", "aminer"}, {"n", "500"}})).value();
+  EXPECT_EQ(corpus.num_articles(), 500u);
+  EXPECT_TRUE(corpus.has_ground_truth());
+}
+
+TEST(CliLoadCorpusTest, NoInputIsError) {
+  EXPECT_TRUE(LoadCorpus(Config()).status().IsInvalidArgument());
+}
+
+TEST(CliLoadCorpusTest, HalfTsvInputIsError) {
+  EXPECT_TRUE(
+      LoadCorpus(Cfg({{"articles", "/tmp/x.tsv"}})).status()
+          .IsInvalidArgument());
+}
+
+TEST(CliGenerateTest, WritesRequestedOutputs) {
+  const std::string dir = ::testing::TempDir();
+  std::ostringstream out;
+  Status s = RunGenerate(Cfg({{"profile", "aminer"},
+                              {"n", "300"},
+                              {"out_articles", dir + "/a.tsv"},
+                              {"out_citations", dir + "/c.tsv"},
+                              {"out_graph", dir + "/g.bin"}}),
+                         &out);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_NE(out.str().find("generated"), std::string::npos);
+  // The written TSV loads back.
+  Corpus corpus = LoadCorpus(Cfg({{"articles", dir + "/a.tsv"},
+                                  {"citations", dir + "/c.tsv"}}))
+                      .value();
+  EXPECT_EQ(corpus.num_articles(), 300u);
+}
+
+TEST(CliGenerateTest, NoOutputIsError) {
+  std::ostringstream out;
+  EXPECT_TRUE(RunGenerate(Cfg({{"profile", "aminer"}, {"n", "100"}}), &out)
+                  .IsInvalidArgument());
+}
+
+TEST(CliStatsTest, PrintsKeyNumbers) {
+  std::ostringstream out;
+  Status s = RunStats(Cfg({{"profile", "aminer"}, {"n", "400"}}), &out);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_NE(out.str().find("nodes"), std::string::npos);
+  EXPECT_NE(out.str().find("400"), std::string::npos);
+  EXPECT_NE(out.str().find("giant component"), std::string::npos);
+}
+
+TEST(CliRankTest, EmitsCsvRows) {
+  std::ostringstream out;
+  Status s = RunRank(Cfg({{"profile", "aminer"},
+                          {"n", "400"},
+                          {"ranker", "pagerank"},
+                          {"top", "5"}}),
+                     &out);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  const std::string text = out.str();
+  EXPECT_NE(text.find("node_id,year,citations,score,rank"),
+            std::string::npos);
+  // Header + 5 rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 6);
+}
+
+TEST(CliRankTest, UnknownRankerPropagates) {
+  std::ostringstream out;
+  EXPECT_TRUE(RunRank(Cfg({{"profile", "aminer"},
+                           {"n", "100"},
+                           {"ranker", "wat"}}),
+                      &out)
+                  .IsNotFound());
+}
+
+TEST(CliEvalTest, EvaluatesSelectedRankers) {
+  std::ostringstream out;
+  Status s = RunEval(Cfg({{"profile", "aminer"},
+                          {"n", "800"},
+                          {"pairs", "2000"},
+                          {"rankers", "cc,pagerank"}}),
+                     &out);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  const std::string text = out.str();
+  EXPECT_NE(text.find("cc,"), std::string::npos);
+  EXPECT_NE(text.find("pagerank,"), std::string::npos);
+  EXPECT_EQ(text.find("twpr,"), std::string::npos);
+}
+
+TEST(CliConvertTest, TsvToAMinerRoundTrip) {
+  const std::string dir = ::testing::TempDir();
+  std::ostringstream out;
+  ASSERT_TRUE(RunGenerate(Cfg({{"profile", "aminer"},
+                               {"n", "200"},
+                               {"out_articles", dir + "/r.tsv"},
+                               {"out_citations", dir + "/rc.tsv"}}),
+                          &out)
+                  .ok());
+  Status s = RunConvert(Cfg({{"articles", dir + "/r.tsv"},
+                             {"citations", dir + "/rc.tsv"},
+                             {"out_aminer", dir + "/r.aminer"}}),
+                        &out);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  Corpus corpus = LoadCorpus(Cfg({{"aminer", dir + "/r.aminer"}})).value();
+  EXPECT_EQ(corpus.num_articles(), 200u);
+}
+
+TEST(CliMainTest, DispatchAndExitCodes) {
+  std::ostringstream out, err;
+  const char* help[] = {"scholar_cli", "help"};
+  EXPECT_EQ(Main(2, help, &out, &err), 0);
+  EXPECT_NE(out.str().find("commands:"), std::string::npos);
+
+  const char* unknown[] = {"scholar_cli", "frobnicate"};
+  EXPECT_EQ(Main(2, unknown, &out, &err), 2);
+
+  const char* none[] = {"scholar_cli"};
+  EXPECT_EQ(Main(1, none, &out, &err), 2);
+
+  const char* bad_args[] = {"scholar_cli", "stats", "--oops"};
+  EXPECT_EQ(Main(3, bad_args, &out, &err), 2);
+
+  const char* failing[] = {"scholar_cli", "stats", "aminer=/nope.txt"};
+  EXPECT_EQ(Main(3, failing, &out, &err), 1);
+
+  std::ostringstream good_out;
+  const char* good[] = {"scholar_cli", "stats", "profile=aminer", "n=300"};
+  EXPECT_EQ(Main(4, good, &good_out, &err), 0);
+  EXPECT_NE(good_out.str().find("nodes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cli
+}  // namespace scholar

@@ -1,0 +1,66 @@
+#include "eval/cohort.h"
+
+#include <gtest/gtest.h>
+#include "test_util.h"
+
+namespace scholar {
+namespace {
+
+using testing_util::MakeGraph;
+
+TEST(CohortTest, GroupsByYearAscending) {
+  CitationGraph g = MakeGraph({2001, 2000, 2001, 2002}, {});
+  std::vector<double> scores = {0.4, 0.9, 0.2, 0.6};
+  auto cohorts = PercentilesByYear(g, scores);
+  ASSERT_EQ(cohorts.size(), 3u);
+  EXPECT_EQ(cohorts[0].year, 2000);
+  EXPECT_EQ(cohorts[0].count, 1u);
+  EXPECT_EQ(cohorts[1].year, 2001);
+  EXPECT_EQ(cohorts[1].count, 2u);
+  EXPECT_EQ(cohorts[2].year, 2002);
+}
+
+TEST(CohortTest, PercentileValues) {
+  // Scores: node1 best (pct 1.0), node3 (0.75), node0 (0.5), node2 (0.25).
+  CitationGraph g = MakeGraph({2001, 2000, 2001, 2002}, {});
+  std::vector<double> scores = {0.4, 0.9, 0.2, 0.6};
+  auto cohorts = PercentilesByYear(g, scores);
+  EXPECT_DOUBLE_EQ(cohorts[0].mean_percentile, 1.0);           // {node1}
+  EXPECT_DOUBLE_EQ(cohorts[1].mean_percentile, (0.5 + 0.25) / 2);
+  EXPECT_DOUBLE_EQ(cohorts[2].mean_percentile, 0.75);
+}
+
+TEST(CohortTest, MedianOfSingletonEqualsValue) {
+  CitationGraph g = MakeGraph({2000}, {});
+  auto cohorts = PercentilesByYear(g, {0.5});
+  EXPECT_DOUBLE_EQ(cohorts[0].median_percentile, 1.0);
+}
+
+TEST(RecencyBiasSlopeTest, FlatCurveHasZeroSlope) {
+  std::vector<CohortStats> cohorts(5);
+  for (int i = 0; i < 5; ++i) {
+    cohorts[i].year = 2000 + i;
+    cohorts[i].mean_percentile = 0.5;
+  }
+  EXPECT_NEAR(RecencyBiasSlope(cohorts), 0.0, 1e-12);
+}
+
+TEST(RecencyBiasSlopeTest, DecliningCurveIsNegative) {
+  std::vector<CohortStats> cohorts(5);
+  for (int i = 0; i < 5; ++i) {
+    cohorts[i].year = 2000 + i;
+    cohorts[i].mean_percentile = 0.8 - 0.1 * i;
+  }
+  EXPECT_NEAR(RecencyBiasSlope(cohorts), -0.1, 1e-12);
+}
+
+TEST(RecencyBiasSlopeTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(RecencyBiasSlope({}), 0.0);
+  std::vector<CohortStats> one(1);
+  one[0].year = 2000;
+  one[0].mean_percentile = 0.5;
+  EXPECT_DOUBLE_EQ(RecencyBiasSlope(one), 0.0);
+}
+
+}  // namespace
+}  // namespace scholar

@@ -1,0 +1,74 @@
+#include "graph/components.h"
+
+#include <gtest/gtest.h>
+#include "test_util.h"
+
+namespace scholar {
+namespace {
+
+using testing_util::MakeGraph;
+using testing_util::MakeRandomGraph;
+using testing_util::MakeTinyGraph;
+
+TEST(ComponentsTest, EmptyGraph) {
+  ComponentStats s = ComputeWeakComponents(CitationGraph());
+  EXPECT_EQ(s.num_components, 0u);
+  EXPECT_EQ(s.giant_size, 0u);
+}
+
+TEST(ComponentsTest, TinyGraphIsOneComponent) {
+  ComponentStats s = ComputeWeakComponents(MakeTinyGraph());
+  EXPECT_EQ(s.num_components, 1u);
+  EXPECT_EQ(s.giant_size, 5u);
+  EXPECT_EQ(s.num_isolated, 0u);
+}
+
+TEST(ComponentsTest, DisconnectedPieces) {
+  // {0,1} linked, {2,3} linked, {4} isolated.
+  CitationGraph g = MakeGraph({2000, 2000, 2000, 2000, 2000},
+                              {{1, 0}, {3, 2}});
+  ComponentStats s = ComputeWeakComponents(g);
+  EXPECT_EQ(s.num_components, 3u);
+  EXPECT_EQ(s.giant_size, 2u);
+  EXPECT_EQ(s.num_isolated, 1u);
+  EXPECT_EQ(s.labels[0], s.labels[1]);
+  EXPECT_EQ(s.labels[2], s.labels[3]);
+  EXPECT_NE(s.labels[0], s.labels[2]);
+  EXPECT_NE(s.labels[4], s.labels[0]);
+}
+
+TEST(ComponentsTest, DirectionIsIgnored) {
+  // 0 -> 1 and 2 -> 1: weakly one component despite no directed path
+  // between 0 and 2.
+  CitationGraph g = MakeGraph({2000, 2000, 2000}, {{0, 1}, {2, 1}});
+  ComponentStats s = ComputeWeakComponents(g);
+  EXPECT_EQ(s.num_components, 1u);
+}
+
+TEST(ComponentsTest, SizesSumToNodeCount) {
+  CitationGraph g = MakeRandomGraph(500, 1.0, 1990, 10, 11);
+  ComponentStats s = ComputeWeakComponents(g);
+  size_t total = 0;
+  for (size_t size : s.sizes) total += size;
+  EXPECT_EQ(total, g.num_nodes());
+  EXPECT_EQ(s.sizes.size(), s.num_components);
+}
+
+TEST(ComponentsTest, LabelsAreConsistentWithEdges) {
+  CitationGraph g = MakeRandomGraph(300, 2.0, 1990, 10, 13);
+  ComponentStats s = ComputeWeakComponents(g);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.References(u)) {
+      EXPECT_EQ(s.labels[u], s.labels[v]);
+    }
+  }
+}
+
+TEST(ComponentsTest, DenseRandomGraphHasGiantComponent) {
+  CitationGraph g = MakeRandomGraph(1000, 5.0, 1990, 10, 17);
+  ComponentStats s = ComputeWeakComponents(g);
+  EXPECT_GT(s.giant_size, 900u);
+}
+
+}  // namespace
+}  // namespace scholar

@@ -1,0 +1,260 @@
+#include "ensemble/ensemble_ranker.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "eval/cohort.h"
+#include "rank/citation_count.h"
+#include "rank/pagerank.h"
+#include "rank/time_weighted_pagerank.h"
+#include "test_util.h"
+
+namespace scholar {
+namespace {
+
+using testing_util::MakeRandomGraph;
+using testing_util::MakeTinyGraph;
+
+std::shared_ptr<const Ranker> PageRank() {
+  return std::make_shared<PageRankRanker>();
+}
+
+TEST(EnsembleRankerTest, NameDerivesFromBase) {
+  EnsembleRanker ens(PageRank());
+  EXPECT_EQ(ens.name(), "ens_pagerank");
+}
+
+TEST(EnsembleRankerTest, SingleSliceMatchesNormalizedBase) {
+  CitationGraph g = MakeRandomGraph(200, 4, 1990, 10, 3);
+  EnsembleOptions o;
+  o.num_slices = 1;
+  o.normalizer = NormalizerKind::kRankPercentile;
+  o.scope = NormalizationScope::kSnapshot;
+  EnsembleRanker ens(PageRank(), o);
+  RankResult ens_result = ens.Rank(g).value();
+  RankResult base_result = PageRankRanker().Rank(g).value();
+  std::vector<double> expected = MidrankPercentiles(base_result.scores);
+  ASSERT_EQ(ens_result.scores.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(ens_result.scores[i], expected[i], 1e-12);
+  }
+}
+
+TEST(EnsembleRankerTest, ScoresInUnitIntervalWithPercentile) {
+  CitationGraph g = MakeRandomGraph(300, 4, 1985, 20, 5);
+  EnsembleOptions o;
+  o.num_slices = 5;
+  EnsembleRanker ens(PageRank(), o);
+  RankResult r = ens.Rank(g).value();
+  for (double s : r.scores) {
+    EXPECT_GT(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(EnsembleRankerTest, ReportsSnapshotDetails) {
+  CitationGraph g = MakeRandomGraph(300, 4, 1985, 20, 5);
+  EnsembleOptions o;
+  o.num_slices = 4;
+  EnsembleRanker ens(PageRank(), o);
+  std::vector<EnsembleRanker::SnapshotDetail> details;
+  RankContext ctx;
+  ctx.graph = &g;
+  RankResult r = ens.RankWithDetails(ctx, &details).value();
+  ASSERT_EQ(details.size(), 4u);
+  // Snapshots are accumulative: sizes must be non-decreasing.
+  for (size_t i = 1; i < details.size(); ++i) {
+    EXPECT_GE(details[i].num_nodes, details[i - 1].num_nodes);
+    EXPECT_GE(details[i].num_edges, details[i - 1].num_edges);
+    EXPECT_GT(details[i].boundary_year, details[i - 1].boundary_year);
+  }
+  EXPECT_EQ(details.back().num_nodes, g.num_nodes());
+  EXPECT_EQ(r.iterations,
+            details[0].iterations + details[1].iterations +
+                details[2].iterations + details[3].iterations);
+}
+
+TEST(EnsembleRankerTest, ReducesRecencyBiasOfPageRank) {
+  SyntheticOptions opts;
+  opts.num_articles = 4000;
+  opts.num_years = 16;
+  opts.seed = 3;
+  Corpus corpus = GenerateSyntheticCorpus(opts, "bias").value();
+
+  RankResult pr = PageRankRanker().Rank(corpus.graph).value();
+  EnsembleOptions o;
+  o.num_slices = 8;
+  EnsembleRanker ens(PageRank(), o);
+  RankResult ens_result = ens.Rank(corpus.graph).value();
+
+  const double pr_slope =
+      RecencyBiasSlope(PercentilesByYear(corpus.graph, pr.scores));
+  const double ens_slope =
+      RecencyBiasSlope(PercentilesByYear(corpus.graph, ens_result.scores));
+  // PageRank is biased against recent cohorts (negative slope); the
+  // cohort-normalized ensemble must be at least twice as flat.
+  EXPECT_LT(pr_slope, 0.0);
+  EXPECT_LT(std::abs(ens_slope), std::abs(pr_slope) * 0.5);
+}
+
+TEST(EnsembleRankerTest, RecencyWeightedCombinerLeansOnLateSnapshots) {
+  CitationGraph g = MakeRandomGraph(400, 4, 1985, 20, 7);
+  EnsembleOptions mean_o;
+  mean_o.num_slices = 6;
+  mean_o.combiner = EnsembleCombiner::kMean;
+  EnsembleOptions rec_o = mean_o;
+  rec_o.combiner = EnsembleCombiner::kRecencyWeighted;
+  rec_o.gamma = 0.5;
+  RankResult mean_r = EnsembleRanker(PageRank(), mean_o).Rank(g).value();
+  RankResult rec_r = EnsembleRanker(PageRank(), rec_o).Rank(g).value();
+  // Different combiners must actually change the scores.
+  bool any_diff = false;
+  for (size_t i = 0; i < mean_r.scores.size(); ++i) {
+    if (std::abs(mean_r.scores[i] - rec_r.scores[i]) > 1e-9) {
+      any_diff = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+  // gamma=1 recency weighting degenerates to the mean.
+  EnsembleOptions gamma1 = rec_o;
+  gamma1.gamma = 1.0;
+  RankResult g1 = EnsembleRanker(PageRank(), gamma1).Rank(g).value();
+  for (size_t i = 0; i < mean_r.scores.size(); ++i) {
+    EXPECT_NEAR(g1.scores[i], mean_r.scores[i], 1e-12);
+  }
+}
+
+TEST(EnsembleRankerTest, ScopeChangesScores) {
+  CitationGraph g = MakeRandomGraph(400, 4, 1985, 20, 13);
+  EnsembleOptions cohort_o;
+  cohort_o.num_slices = 6;
+  cohort_o.scope = NormalizationScope::kSliceCohort;
+  EnsembleOptions snap_o = cohort_o;
+  snap_o.scope = NormalizationScope::kSnapshot;
+  RankResult cohort_r = EnsembleRanker(PageRank(), cohort_o).Rank(g).value();
+  RankResult snap_r = EnsembleRanker(PageRank(), snap_o).Rank(g).value();
+  EXPECT_NE(cohort_r.scores, snap_r.scores);
+}
+
+TEST(EnsembleRankerTest, CohortScopeRemovesBiasBetterThanSnapshotScope) {
+  SyntheticOptions opts;
+  opts.num_articles = 4000;
+  opts.num_years = 16;
+  opts.seed = 3;
+  Corpus corpus = GenerateSyntheticCorpus(opts, "scope").value();
+  EnsembleOptions cohort_o;
+  cohort_o.num_slices = 8;
+  EnsembleOptions snap_o = cohort_o;
+  snap_o.scope = NormalizationScope::kSnapshot;
+  auto cohort_scores =
+      EnsembleRanker(PageRank(), cohort_o).Rank(corpus.graph).value().scores;
+  auto snap_scores =
+      EnsembleRanker(PageRank(), snap_o).Rank(corpus.graph).value().scores;
+  double cohort_slope =
+      RecencyBiasSlope(PercentilesByYear(corpus.graph, cohort_scores));
+  double snap_slope =
+      RecencyBiasSlope(PercentilesByYear(corpus.graph, snap_scores));
+  EXPECT_LT(std::abs(cohort_slope), std::abs(snap_slope));
+}
+
+TEST(EnsembleRankerTest, WindowLimitsContributingSnapshots) {
+  CitationGraph g = MakeRandomGraph(400, 4, 1985, 20, 17);
+  EnsembleOptions all_o;
+  all_o.num_slices = 6;
+  all_o.window = 0;
+  EnsembleOptions w1_o = all_o;
+  w1_o.window = 1;
+  RankResult all_r = EnsembleRanker(PageRank(), all_o).Rank(g).value();
+  RankResult w1_r = EnsembleRanker(PageRank(), w1_o).Rank(g).value();
+  EXPECT_NE(all_r.scores, w1_r.scores);
+  // A huge window is equivalent to window = 0 (all snapshots).
+  EnsembleOptions big_o = all_o;
+  big_o.window = 1000;
+  RankResult big_r = EnsembleRanker(PageRank(), big_o).Rank(g).value();
+  EXPECT_EQ(all_r.scores, big_r.scores);
+}
+
+TEST(EnsembleRankerTest, NegativeWindowRejected) {
+  EnsembleOptions o;
+  o.window = -1;
+  EXPECT_TRUE(EnsembleRanker(PageRank(), o)
+                  .Rank(MakeTinyGraph())
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ScopeStringsTest, RoundTrip) {
+  EXPECT_EQ(NormalizationScopeFromString("cohort").value(),
+            NormalizationScope::kSliceCohort);
+  EXPECT_EQ(NormalizationScopeFromString("snapshot").value(),
+            NormalizationScope::kSnapshot);
+  EXPECT_TRUE(NormalizationScopeFromString("?").status().IsInvalidArgument());
+  EXPECT_EQ(NormalizationScopeToString(NormalizationScope::kSliceCohort),
+            "cohort");
+}
+
+TEST(EnsembleRankerTest, ValidatesOptions) {
+  CitationGraph g = MakeTinyGraph();
+  EnsembleOptions o;
+  o.num_slices = 0;
+  EXPECT_TRUE(
+      EnsembleRanker(PageRank(), o).Rank(g).status().IsInvalidArgument());
+  o = EnsembleOptions();
+  o.combiner = EnsembleCombiner::kRecencyWeighted;
+  o.gamma = 0.0;
+  EXPECT_TRUE(
+      EnsembleRanker(PageRank(), o).Rank(g).status().IsInvalidArgument());
+  o.gamma = 1.5;
+  EXPECT_TRUE(
+      EnsembleRanker(PageRank(), o).Rank(g).status().IsInvalidArgument());
+}
+
+TEST(EnsembleRankerTest, EmptyGraph) {
+  RankResult r = EnsembleRanker(PageRank()).Rank(CitationGraph()).value();
+  EXPECT_TRUE(r.scores.empty());
+}
+
+TEST(EnsembleRankerTest, WorksWithCitationCountBase) {
+  CitationGraph g = MakeRandomGraph(200, 3, 1990, 10, 9);
+  EnsembleRanker ens(std::make_shared<CitationCountRanker>());
+  RankResult r = ens.Rank(g).value();
+  EXPECT_EQ(r.scores.size(), g.num_nodes());
+  EXPECT_EQ(r.iterations, 0);
+}
+
+TEST(EnsembleRankerTest, TwprBaseConverges) {
+  CitationGraph g = MakeRandomGraph(300, 4, 1985, 20, 11);
+  EnsembleRanker ens(std::make_shared<TimeWeightedPageRank>());
+  RankResult r = ens.Rank(g).value();
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(r.iterations, 0);
+}
+
+TEST(RestrictAuthorsTest, KeepsOnlySnapshotPapers) {
+  PaperAuthors parent = PaperAuthors::FromLists({{0}, {1}, {0, 2}, {2}});
+  // Snapshot keeps parent papers 1 and 2.
+  PaperAuthors sub = RestrictAuthorsToSnapshot(parent, {1, 2});
+  EXPECT_EQ(sub.num_papers(), 2u);
+  auto a0 = sub.AuthorsOf(0);
+  ASSERT_EQ(a0.size(), 1u);
+  EXPECT_EQ(a0[0], 1u);
+  auto a1 = sub.AuthorsOf(1);
+  ASSERT_EQ(a1.size(), 2u);
+  EXPECT_EQ(a1[0], 0u);
+  EXPECT_EQ(a1[1], 2u);
+}
+
+TEST(EnsembleCombinerTest, StringRoundTrip) {
+  EXPECT_EQ(EnsembleCombinerFromString("mean").value(),
+            EnsembleCombiner::kMean);
+  EXPECT_EQ(EnsembleCombinerFromString("recency").value(),
+            EnsembleCombiner::kRecencyWeighted);
+  EXPECT_TRUE(EnsembleCombinerFromString("?").status().IsInvalidArgument());
+  EXPECT_EQ(EnsembleCombinerToString(EnsembleCombiner::kMean), "mean");
+}
+
+}  // namespace
+}  // namespace scholar

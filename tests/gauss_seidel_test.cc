@@ -1,0 +1,134 @@
+#include "rank/gauss_seidel.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "rank/time_weighted_pagerank.h"
+#include "test_util.h"
+
+namespace scholar {
+namespace {
+
+using testing_util::MakeGraph;
+using testing_util::MakeRandomGraph;
+using testing_util::MakeTinyGraph;
+
+TEST(GaussSeidelTest, MatchesPowerIterationFixedPoint) {
+  CitationGraph g = MakeRandomGraph(500, 5, 1985, 20, 3);
+  PowerIterationOptions o;
+  o.tolerance = 1e-12;
+  RankResult power = WeightedPowerIteration(g, {}, {}, o).value();
+  RankResult gs = GaussSeidelPageRank(g, {}, {}, o).value();
+  ASSERT_EQ(power.scores.size(), gs.scores.size());
+  for (size_t i = 0; i < power.scores.size(); ++i) {
+    EXPECT_NEAR(power.scores[i], gs.scores[i], 1e-8);
+  }
+}
+
+TEST(GaussSeidelTest, ConvergesInFewerSweeps) {
+  CitationGraph g = MakeRandomGraph(2000, 6, 1985, 25, 5);
+  PowerIterationOptions o;
+  o.tolerance = 1e-10;
+  RankResult power = WeightedPowerIteration(g, {}, {}, o).value();
+  RankResult gs = GaussSeidelPageRank(g, {}, {}, o).value();
+  EXPECT_TRUE(gs.converged);
+  EXPECT_LT(gs.iterations, power.iterations);
+}
+
+TEST(GaussSeidelTest, WeightedSystemAgrees) {
+  CitationGraph g = MakeRandomGraph(300, 4, 1985, 20, 7);
+  std::vector<double> weights =
+      TimeWeightedPageRank::ComputeEdgeWeights(g, 0.4);
+  PowerIterationOptions o;
+  o.tolerance = 1e-12;
+  RankResult power = WeightedPowerIteration(g, weights, {}, o).value();
+  RankResult gs = GaussSeidelPageRank(g, weights, {}, o).value();
+  for (size_t i = 0; i < power.scores.size(); ++i) {
+    EXPECT_NEAR(power.scores[i], gs.scores[i], 1e-8);
+  }
+}
+
+TEST(GaussSeidelTest, CustomJumpAgrees) {
+  CitationGraph g = MakeRandomGraph(200, 3, 1990, 10, 9);
+  std::vector<double> jump(g.num_nodes(), 0.0);
+  // Mass concentrated on the newest quarter.
+  size_t start = g.num_nodes() * 3 / 4;
+  for (size_t v = start; v < g.num_nodes(); ++v) {
+    jump[v] = 1.0 / static_cast<double>(g.num_nodes() - start);
+  }
+  PowerIterationOptions o;
+  o.tolerance = 1e-12;
+  RankResult power = WeightedPowerIteration(g, {}, jump, o).value();
+  RankResult gs = GaussSeidelPageRank(g, {}, jump, o).value();
+  for (size_t i = 0; i < power.scores.size(); ++i) {
+    EXPECT_NEAR(power.scores[i], gs.scores[i], 1e-8);
+  }
+}
+
+TEST(GaussSeidelTest, ScoresFormDistribution) {
+  RankResult r = GaussSeidelPageRank(MakeTinyGraph(), {}, {},
+                                     PowerIterationOptions{})
+                     .value();
+  EXPECT_NEAR(std::accumulate(r.scores.begin(), r.scores.end(), 0.0), 1.0,
+              1e-9);
+}
+
+TEST(GaussSeidelTest, WarmStartKeepsFixedPoint) {
+  CitationGraph g = MakeRandomGraph(300, 4, 1985, 20, 11);
+  PowerIterationOptions o;
+  RankResult cold = GaussSeidelPageRank(g, {}, {}, o).value();
+  RankResult warm =
+      GaussSeidelPageRank(g, {}, {}, o, cold.scores).value();
+  EXPECT_LE(warm.iterations, 3);
+  for (size_t i = 0; i < cold.scores.size(); ++i) {
+    EXPECT_NEAR(cold.scores[i], warm.scores[i], 1e-8);
+  }
+}
+
+TEST(GaussSeidelTest, RankerInterface) {
+  GaussSeidelPageRankRanker ranker;
+  EXPECT_EQ(ranker.name(), "pagerank_gs");
+  RankResult r = ranker.Rank(MakeTinyGraph()).value();
+  EXPECT_EQ(r.scores.size(), 5u);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(GaussSeidelTest, ValidatesInputs) {
+  CitationGraph g = MakeTinyGraph();
+  PowerIterationOptions o;
+  o.damping = 1.0;
+  EXPECT_TRUE(GaussSeidelPageRank(g, {}, {}, o).status().IsInvalidArgument());
+  o = PowerIterationOptions();
+  EXPECT_TRUE(GaussSeidelPageRank(g, {1.0}, {}, o)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(GaussSeidelPageRank(g, {}, {0.5, 0.5}, o)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(GaussSeidelTest, EmptyGraph) {
+  RankResult r =
+      GaussSeidelPageRank(CitationGraph(), {}, {}, PowerIterationOptions{})
+          .value();
+  EXPECT_TRUE(r.scores.empty());
+}
+
+TEST(GaussSeidelTest, DanglingHeavyGraphAgrees) {
+  // Star with many dangling leaves stresses the lagged dangling-mass term.
+  std::vector<Year> years(40, 2000);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId u = 1; u < 40; u += 2) edges.push_back({u, 0});
+  CitationGraph g = MakeGraph(years, edges);
+  PowerIterationOptions o;
+  o.tolerance = 1e-13;
+  RankResult power = WeightedPowerIteration(g, {}, {}, o).value();
+  RankResult gs = GaussSeidelPageRank(g, {}, {}, o).value();
+  for (size_t i = 0; i < power.scores.size(); ++i) {
+    EXPECT_NEAR(power.scores[i], gs.scores[i], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace scholar

@@ -1,0 +1,137 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+namespace scholar {
+namespace {
+
+TEST(GraphBuilderTest, EmptyBuild) {
+  GraphBuilder builder;
+  CitationGraph g = std::move(builder).Build().value();
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.min_year(), kUnknownYear);
+}
+
+TEST(GraphBuilderTest, NodesGetSequentialIds) {
+  GraphBuilder builder;
+  EXPECT_EQ(builder.AddNode(2000), 0u);
+  EXPECT_EQ(builder.AddNode(2001), 1u);
+  EXPECT_EQ(builder.AddNodes(3, 2002), 2u);
+  EXPECT_EQ(builder.num_nodes(), 5u);
+  CitationGraph g = std::move(builder).Build().value();
+  EXPECT_EQ(g.year(0), 2000);
+  EXPECT_EQ(g.year(4), 2002);
+  EXPECT_EQ(g.min_year(), 2000);
+  EXPECT_EQ(g.max_year(), 2002);
+}
+
+TEST(GraphBuilderTest, BasicEdges) {
+  GraphBuilder builder;
+  builder.AddNodes(3, 2000);
+  ASSERT_TRUE(builder.AddEdge(2, 0).ok());
+  ASSERT_TRUE(builder.AddEdge(2, 1).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 0).ok());
+  CitationGraph g = std::move(builder).Build().value();
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.OutDegree(2), 2u);
+  EXPECT_EQ(g.InDegree(0), 2u);
+  EXPECT_TRUE(g.HasEdge(2, 0));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+}
+
+TEST(GraphBuilderTest, EdgeToUnknownNodeFails) {
+  GraphBuilder builder;
+  builder.AddNodes(2, 2000);
+  EXPECT_TRUE(builder.AddEdge(0, 5).IsInvalidArgument());
+  EXPECT_TRUE(builder.AddEdge(5, 0).IsInvalidArgument());
+}
+
+TEST(GraphBuilderTest, SelfLoopsDroppedByDefault) {
+  GraphBuilder builder;
+  builder.AddNodes(2, 2000);
+  ASSERT_TRUE(builder.AddEdge(1, 1).ok());  // dropped silently
+  ASSERT_TRUE(builder.AddEdge(1, 0).ok());
+  CitationGraph g = std::move(builder).Build().value();
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(GraphBuilderTest, SelfLoopsRejectedWhenConfigured) {
+  GraphBuilder builder(GraphBuilder::Options{.drop_self_loops = false});
+  builder.AddNodes(2, 2000);
+  EXPECT_TRUE(builder.AddEdge(1, 1).IsInvalidArgument());
+}
+
+TEST(GraphBuilderTest, ParallelEdgesDedupedByDefault) {
+  GraphBuilder builder;
+  builder.AddNodes(2, 2000);
+  ASSERT_TRUE(builder.AddEdge(1, 0).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 0).ok());
+  CitationGraph g = std::move(builder).Build().value();
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(GraphBuilderTest, ParallelEdgesRejectedWhenConfigured) {
+  GraphBuilder builder(
+      GraphBuilder::Options{.dedup_parallel_edges = false});
+  builder.AddNodes(2, 2000);
+  ASSERT_TRUE(builder.AddEdge(1, 0).ok());
+  ASSERT_TRUE(builder.AddEdge(1, 0).ok());
+  EXPECT_TRUE(std::move(builder).Build().status().IsInvalidArgument());
+}
+
+TEST(GraphBuilderTest, BackwardTimeEdgesAllowedByDefault) {
+  GraphBuilder builder;
+  builder.AddNode(2000);
+  builder.AddNode(2010);
+  // Article 0 (2000) citing article 1 (2010): dirty but accepted.
+  EXPECT_TRUE(builder.AddEdge(0, 1).ok());
+  CitationGraph g = std::move(builder).Build().value();
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(GraphBuilderTest, BackwardTimeEdgesRejectedWhenConfigured) {
+  GraphBuilder builder(
+      GraphBuilder::Options{.forbid_backward_time_edges = true});
+  builder.AddNode(2000);
+  builder.AddNode(2010);
+  EXPECT_TRUE(builder.AddEdge(0, 1).IsInvalidArgument());
+  EXPECT_TRUE(builder.AddEdge(1, 0).ok());   // forward in time
+  builder.AddNode(2010);
+  EXPECT_TRUE(builder.AddEdge(2, 1).ok());   // same year is fine
+}
+
+TEST(GraphBuilderTest, AdjacencyListsAreSorted) {
+  GraphBuilder builder;
+  builder.AddNodes(5, 2000);
+  ASSERT_TRUE(builder.AddEdge(4, 3).ok());
+  ASSERT_TRUE(builder.AddEdge(4, 0).ok());
+  ASSERT_TRUE(builder.AddEdge(4, 2).ok());
+  CitationGraph g = std::move(builder).Build().value();
+  auto refs = g.References(4);
+  EXPECT_TRUE(std::is_sorted(refs.begin(), refs.end()));
+  ASSERT_EQ(refs.size(), 3u);
+  EXPECT_EQ(refs[0], 0u);
+  EXPECT_EQ(refs[2], 3u);
+}
+
+TEST(GraphBuilderTest, AddEdgesBulk) {
+  GraphBuilder builder;
+  builder.AddNodes(4, 2000);
+  ASSERT_TRUE(builder.AddEdges({{1, 0}, {2, 0}, {3, 1}}).ok());
+  EXPECT_EQ(builder.num_pending_edges(), 3u);
+  CitationGraph g = std::move(builder).Build().value();
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST(GraphBuilderTest, AddEdgesBulkStopsOnFirstError) {
+  GraphBuilder builder;
+  builder.AddNodes(2, 2000);
+  EXPECT_TRUE(builder.AddEdges({{1, 0}, {9, 0}}).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace scholar

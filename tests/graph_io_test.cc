@@ -1,0 +1,129 @@
+#include "graph/graph_io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+#include "test_util.h"
+
+namespace scholar {
+namespace {
+
+using testing_util::MakeRandomGraph;
+using testing_util::MakeTinyGraph;
+
+TEST(GraphTextIoTest, RoundTripTiny) {
+  CitationGraph g = MakeTinyGraph();
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteGraphText(g, &buffer).ok());
+  CitationGraph back = ReadGraphText(&buffer).value();
+  EXPECT_EQ(back, g);
+}
+
+TEST(GraphTextIoTest, RoundTripEmpty) {
+  CitationGraph g;
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteGraphText(g, &buffer).ok());
+  CitationGraph back = ReadGraphText(&buffer).value();
+  EXPECT_EQ(back.num_nodes(), 0u);
+}
+
+TEST(GraphTextIoTest, IgnoresCommentsAndBlankLines) {
+  std::stringstream in(
+      "#scholarrank-graph-v1\n"
+      "# a comment\n"
+      "2 1\n"
+      "\n"
+      "2000\n"
+      "# another\n"
+      "2001\n"
+      "1 0\n");
+  CitationGraph g = ReadGraphText(&in).value();
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.HasEdge(1, 0));
+}
+
+TEST(GraphTextIoTest, RejectsMissingSignature) {
+  std::stringstream in("2 0\n2000\n2001\n");
+  EXPECT_TRUE(ReadGraphText(&in).status().IsCorruption());
+}
+
+TEST(GraphTextIoTest, RejectsTruncatedYears) {
+  std::stringstream in("#scholarrank-graph-v1\n3 0\n2000\n");
+  EXPECT_TRUE(ReadGraphText(&in).status().IsCorruption());
+}
+
+TEST(GraphTextIoTest, RejectsTruncatedEdges) {
+  std::stringstream in("#scholarrank-graph-v1\n2 2\n2000\n2001\n1 0\n");
+  EXPECT_TRUE(ReadGraphText(&in).status().IsCorruption());
+}
+
+TEST(GraphTextIoTest, RejectsOutOfRangeEdge) {
+  std::stringstream in("#scholarrank-graph-v1\n2 1\n2000\n2001\n1 7\n");
+  EXPECT_FALSE(ReadGraphText(&in).ok());
+}
+
+TEST(GraphTextIoTest, RejectsMalformedEdgeLine) {
+  std::stringstream in("#scholarrank-graph-v1\n2 1\n2000\n2001\n1 0 9\n");
+  EXPECT_TRUE(ReadGraphText(&in).status().IsCorruption());
+}
+
+TEST(GraphBinaryIoTest, RoundTripTiny) {
+  CitationGraph g = MakeTinyGraph();
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(WriteGraphBinary(g, &buffer).ok());
+  CitationGraph back = ReadGraphBinary(&buffer).value();
+  EXPECT_EQ(back, g);
+}
+
+TEST(GraphBinaryIoTest, RejectsBadMagic) {
+  std::stringstream buffer("XXXXjunkjunkjunk");
+  EXPECT_TRUE(ReadGraphBinary(&buffer).status().IsCorruption());
+}
+
+TEST(GraphBinaryIoTest, RejectsTruncatedPayload) {
+  CitationGraph g = MakeTinyGraph();
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(WriteGraphBinary(g, &buffer).ok());
+  std::string data = buffer.str();
+  data.resize(data.size() / 2);
+  std::stringstream truncated(data,
+                              std::ios::in | std::ios::out | std::ios::binary);
+  EXPECT_TRUE(ReadGraphBinary(&truncated).status().IsCorruption());
+}
+
+TEST(GraphIoFileTest, FileRoundTripBothFormats) {
+  CitationGraph g = MakeRandomGraph(100, 3.0, 1995, 8, 5);
+  const std::string text_path = ::testing::TempDir() + "/g.txt";
+  const std::string bin_path = ::testing::TempDir() + "/g.bin";
+  ASSERT_TRUE(WriteGraphTextFile(g, text_path).ok());
+  ASSERT_TRUE(WriteGraphBinaryFile(g, bin_path).ok());
+  EXPECT_EQ(ReadGraphTextFile(text_path).value(), g);
+  EXPECT_EQ(ReadGraphBinaryFile(bin_path).value(), g);
+}
+
+TEST(GraphIoFileTest, MissingFileIsIOError) {
+  EXPECT_TRUE(ReadGraphTextFile("/nonexistent/g.txt").status().IsIOError());
+  EXPECT_TRUE(ReadGraphBinaryFile("/nonexistent/g.bin").status().IsIOError());
+}
+
+class GraphIoPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GraphIoPropertyTest, TextAndBinaryAgree) {
+  CitationGraph g = MakeRandomGraph(150, 4.0, 1990, 12, GetParam());
+  std::stringstream text_buf, bin_buf(std::ios::in | std::ios::out |
+                                      std::ios::binary);
+  ASSERT_TRUE(WriteGraphText(g, &text_buf).ok());
+  ASSERT_TRUE(WriteGraphBinary(g, &bin_buf).ok());
+  CitationGraph from_text = ReadGraphText(&text_buf).value();
+  CitationGraph from_bin = ReadGraphBinary(&bin_buf).value();
+  EXPECT_EQ(from_text, g);
+  EXPECT_EQ(from_bin, g);
+  EXPECT_EQ(from_text, from_bin);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphIoPropertyTest,
+                         ::testing::Values(1, 7, 23, 101));
+
+}  // namespace
+}  // namespace scholar

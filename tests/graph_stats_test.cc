@@ -1,0 +1,89 @@
+#include "graph/graph_stats.h"
+
+#include <gtest/gtest.h>
+#include "test_util.h"
+
+namespace scholar {
+namespace {
+
+using testing_util::MakeGraph;
+using testing_util::MakeRandomGraph;
+using testing_util::MakeTinyGraph;
+
+TEST(GraphStatsTest, EmptyGraph) {
+  GraphStats s = ComputeGraphStats(CitationGraph());
+  EXPECT_EQ(s.num_nodes, 0u);
+  EXPECT_EQ(s.num_edges, 0u);
+  EXPECT_EQ(s.min_year, kUnknownYear);
+}
+
+TEST(GraphStatsTest, TinyGraphCounts) {
+  GraphStats s = ComputeGraphStats(MakeTinyGraph());
+  EXPECT_EQ(s.num_nodes, 5u);
+  EXPECT_EQ(s.num_edges, 6u);
+  EXPECT_EQ(s.min_year, 2000);
+  EXPECT_EQ(s.max_year, 2004);
+  EXPECT_EQ(s.num_dangling, 2u);  // nodes 0 and 1
+  EXPECT_EQ(s.num_uncited, 1u);   // node 4
+  EXPECT_DOUBLE_EQ(s.mean_out_degree, 6.0 / 5.0);
+  EXPECT_EQ(s.max_in_degree, 2u);
+  EXPECT_EQ(s.max_out_degree, 2u);
+}
+
+TEST(GraphStatsTest, YearHistogram) {
+  CitationGraph g = MakeGraph({2000, 2000, 2001}, {});
+  GraphStats s = ComputeGraphStats(g);
+  ASSERT_EQ(s.year_histogram.size(), 2u);
+  EXPECT_EQ(s.year_histogram.at(2000), 2u);
+  EXPECT_EQ(s.year_histogram.at(2001), 1u);
+}
+
+TEST(GraphStatsTest, GiniZeroForUniformDegrees) {
+  // Ring-like structure: everyone has in-degree exactly 1.
+  CitationGraph g = MakeGraph({2000, 2000, 2000, 2000},
+                              {{1, 0}, {2, 1}, {3, 2}, {0, 3}});
+  GraphStats s = ComputeGraphStats(g);
+  EXPECT_NEAR(s.in_degree_gini, 0.0, 1e-12);
+}
+
+TEST(GraphStatsTest, GiniHighForStarGraph) {
+  // Node 0 receives everything.
+  std::vector<Year> years(50, 2000);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId u = 1; u < 50; ++u) edges.push_back({u, 0});
+  GraphStats s = ComputeGraphStats(MakeGraph(years, edges));
+  EXPECT_GT(s.in_degree_gini, 0.9);
+}
+
+TEST(GraphStatsTest, GiniIsZeroWhenNoEdges) {
+  GraphStats s = ComputeGraphStats(MakeGraph({2000, 2001}, {}));
+  EXPECT_DOUBLE_EQ(s.in_degree_gini, 0.0);
+}
+
+TEST(InDegreeHistogramTest, CountsPerDegree) {
+  CitationGraph g = MakeTinyGraph();
+  // In-degrees: node0=2, node1=1, node2=2, node3=1, node4=0.
+  std::vector<size_t> hist = InDegreeHistogram(g);
+  ASSERT_EQ(hist.size(), 3u);
+  EXPECT_EQ(hist[0], 1u);
+  EXPECT_EQ(hist[1], 2u);
+  EXPECT_EQ(hist[2], 2u);
+}
+
+TEST(InDegreeHistogramTest, SumsToNodeCount) {
+  CitationGraph g = MakeRandomGraph(400, 5.0, 1990, 10, 21);
+  std::vector<size_t> hist = InDegreeHistogram(g);
+  size_t total = 0;
+  for (size_t c : hist) total += c;
+  EXPECT_EQ(total, g.num_nodes());
+}
+
+TEST(GraphStatsTest, ToStringMentionsKeyNumbers) {
+  std::string text = ToString(ComputeGraphStats(MakeTinyGraph()));
+  EXPECT_NE(text.find("nodes"), std::string::npos);
+  EXPECT_NE(text.find("5"), std::string::npos);
+  EXPECT_NE(text.find("6"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scholar

@@ -1,0 +1,147 @@
+#include "data/ground_truth.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace scholar {
+namespace {
+
+Corpus SmallCorpus() {
+  SyntheticOptions o;
+  o.num_articles = 2000;
+  o.num_years = 10;
+  o.seed = 11;
+  return GenerateSyntheticCorpus(o, "gt").value();
+}
+
+TEST(SamplePairsTest, PairsRespectMargin) {
+  Corpus corpus = SmallCorpus();
+  PairSamplingOptions o;
+  o.num_pairs = 500;
+  o.margin = 0.25;
+  auto pairs = SampleGroundTruthPairs(corpus, o).value();
+  ASSERT_EQ(pairs.size(), 500u);
+  for (const EvalPair& p : pairs) {
+    EXPECT_GE(corpus.true_impact[p.better],
+              1.25 * corpus.true_impact[p.worse]);
+  }
+}
+
+TEST(SamplePairsTest, DeterministicInSeed) {
+  Corpus corpus = SmallCorpus();
+  PairSamplingOptions o;
+  o.num_pairs = 100;
+  auto a = SampleGroundTruthPairs(corpus, o).value();
+  auto b = SampleGroundTruthPairs(corpus, o).value();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].better, b[i].better);
+    EXPECT_EQ(a[i].worse, b[i].worse);
+  }
+}
+
+TEST(SamplePairsTest, YearFilterRestrictsBothSides) {
+  Corpus corpus = SmallCorpus();
+  PairSamplingOptions o;
+  o.num_pairs = 300;
+  o.min_year = corpus.graph.max_year() - 2;
+  auto pairs = SampleGroundTruthPairs(corpus, o).value();
+  ASSERT_FALSE(pairs.empty());
+  for (const EvalPair& p : pairs) {
+    EXPECT_GE(corpus.graph.year(p.better), o.min_year);
+    EXPECT_GE(corpus.graph.year(p.worse), o.min_year);
+  }
+}
+
+TEST(SamplePairsTest, SameYearPairsShareAYear) {
+  Corpus corpus = SmallCorpus();
+  PairSamplingOptions o;
+  o.num_pairs = 300;
+  o.same_year_only = true;
+  auto pairs = SampleGroundTruthPairs(corpus, o).value();
+  ASSERT_FALSE(pairs.empty());
+  for (const EvalPair& p : pairs) {
+    EXPECT_EQ(corpus.graph.year(p.better), corpus.graph.year(p.worse));
+  }
+}
+
+TEST(SamplePairsTest, RequiresGroundTruth) {
+  Corpus corpus = SmallCorpus();
+  corpus.true_impact.clear();
+  EXPECT_TRUE(SampleGroundTruthPairs(corpus, {}).status().code() ==
+              StatusCode::kFailedPrecondition);
+}
+
+TEST(SamplePairsTest, RejectsNegativeMargin) {
+  Corpus corpus = SmallCorpus();
+  PairSamplingOptions o;
+  o.margin = -0.5;
+  EXPECT_TRUE(SampleGroundTruthPairs(corpus, o).status().IsInvalidArgument());
+}
+
+TEST(SamplePairsTest, ImpossibleYearFilterFails) {
+  Corpus corpus = SmallCorpus();
+  PairSamplingOptions o;
+  o.min_year = corpus.graph.max_year() + 100;
+  EXPECT_TRUE(SampleGroundTruthPairs(corpus, o).status().IsInvalidArgument());
+}
+
+TEST(AwardBenchmarkTest, EveryYearGetsAtLeastOneAward) {
+  Corpus corpus = SmallCorpus();
+  AwardBenchmark bench = BuildAwardBenchmark(corpus, 0.02).value();
+  std::set<Year> award_years;
+  for (NodeId v : bench.awards) award_years.insert(corpus.graph.year(v));
+  std::set<Year> all_years;
+  for (NodeId v = 0; v < corpus.num_articles(); ++v) {
+    all_years.insert(corpus.graph.year(v));
+  }
+  EXPECT_EQ(award_years, all_years);
+}
+
+TEST(AwardBenchmarkTest, AwardsAreTopImpactWithinTheirYear) {
+  Corpus corpus = SmallCorpus();
+  AwardBenchmark bench = BuildAwardBenchmark(corpus, 0.05).value();
+  // No non-award article may strictly dominate an award article of the same
+  // year.
+  for (NodeId v = 0; v < corpus.num_articles(); ++v) {
+    if (!bench.is_award[v]) continue;
+    for (NodeId w = 0; w < corpus.num_articles(); ++w) {
+      if (bench.is_award[w] ||
+          corpus.graph.year(w) != corpus.graph.year(v)) {
+        continue;
+      }
+      EXPECT_LE(corpus.true_impact[w], corpus.true_impact[v]);
+    }
+    break;  // one award article is enough for this O(n^2) spot check
+  }
+}
+
+TEST(AwardBenchmarkTest, FractionControlsSize) {
+  Corpus corpus = SmallCorpus();
+  AwardBenchmark small = BuildAwardBenchmark(corpus, 0.01).value();
+  AwardBenchmark large = BuildAwardBenchmark(corpus, 0.10).value();
+  EXPECT_LT(small.awards.size(), large.awards.size());
+  // ~1% and ~10% of 2000 articles (plus per-year minimums).
+  EXPECT_NEAR(static_cast<double>(large.awards.size()), 200.0, 30.0);
+}
+
+TEST(AwardBenchmarkTest, MaskMatchesList) {
+  Corpus corpus = SmallCorpus();
+  AwardBenchmark bench = BuildAwardBenchmark(corpus, 0.03).value();
+  size_t mask_count = 0;
+  for (bool b : bench.is_award) mask_count += b;
+  EXPECT_EQ(mask_count, bench.awards.size());
+  for (NodeId v : bench.awards) EXPECT_TRUE(bench.is_award[v]);
+}
+
+TEST(AwardBenchmarkTest, RejectsBadFraction) {
+  Corpus corpus = SmallCorpus();
+  EXPECT_TRUE(BuildAwardBenchmark(corpus, 0.0).status().IsInvalidArgument());
+  EXPECT_TRUE(BuildAwardBenchmark(corpus, 1.5).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace scholar

@@ -1,0 +1,88 @@
+#include "rank/hits.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+#include "test_util.h"
+
+namespace scholar {
+namespace {
+
+using testing_util::MakeGraph;
+using testing_util::MakeRandomGraph;
+using testing_util::MakeTinyGraph;
+
+double L2Norm(const std::vector<double>& v) {
+  double sq = 0.0;
+  for (double x : v) sq += x * x;
+  return std::sqrt(sq);
+}
+
+TEST(HitsTest, AuthoritiesAreL2Normalized) {
+  RankResult r = HitsRanker().Rank(MakeTinyGraph()).value();
+  EXPECT_NEAR(L2Norm(r.scores), 1.0, 1e-9);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(HitsTest, StarCenterIsTheAuthority) {
+  std::vector<Year> years(10, 2000);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId u = 1; u < 10; ++u) edges.push_back({u, 0});
+  RankResult r = HitsRanker().Rank(MakeGraph(years, edges)).value();
+  for (NodeId v = 1; v < 10; ++v) EXPECT_GT(r.scores[0], r.scores[v]);
+}
+
+TEST(HitsTest, HubsAndAuthoritiesSeparateOnBipartiteGraph) {
+  // Hubs 0,1 cite authorities 2,3: hubs get zero authority.
+  CitationGraph g = MakeGraph({2000, 2000, 1999, 1999},
+                              {{0, 2}, {0, 3}, {1, 2}, {1, 3}});
+  HitsRanker ranker;
+  auto both = ranker.RankBoth(g).value();
+  EXPECT_NEAR(both.authorities[0], 0.0, 1e-9);
+  EXPECT_NEAR(both.authorities[1], 0.0, 1e-9);
+  EXPECT_GT(both.authorities[2], 0.5);
+  EXPECT_NEAR(both.hubs[2], 0.0, 1e-9);
+  EXPECT_GT(both.hubs[0], 0.5);
+  // Symmetry: the two hubs tie, the two authorities tie.
+  EXPECT_NEAR(both.hubs[0], both.hubs[1], 1e-9);
+  EXPECT_NEAR(both.authorities[2], both.authorities[3], 1e-9);
+}
+
+TEST(HitsTest, EmptyGraph) {
+  RankResult r = HitsRanker().Rank(CitationGraph()).value();
+  EXPECT_TRUE(r.scores.empty());
+}
+
+TEST(HitsTest, EdgelessGraphStaysAtInitialVector) {
+  CitationGraph g = MakeGraph({2000, 2001}, {});
+  RankResult r = HitsRanker().Rank(g).value();
+  // No reinforcement possible; authority collapses to zero after one
+  // multiply, and normalization keeps it there.
+  EXPECT_NEAR(r.scores[0], 0.0, 1e-9);
+  EXPECT_NEAR(r.scores[1], 0.0, 1e-9);
+}
+
+TEST(HitsTest, MoreCitedMeansMoreAuthority) {
+  CitationGraph g = MakeGraph({2000, 2000, 2001, 2001, 2001},
+                              {{2, 0}, {3, 0}, {4, 0}, {4, 1}});
+  RankResult r = HitsRanker().Rank(g).value();
+  EXPECT_GT(r.scores[0], r.scores[1]);
+}
+
+TEST(HitsTest, RejectsNonPositiveIterations) {
+  HitsOptions o;
+  o.max_iterations = 0;
+  EXPECT_TRUE(
+      HitsRanker(o).Rank(MakeTinyGraph()).status().IsInvalidArgument());
+}
+
+TEST(HitsTest, DeterministicOnRandomGraph) {
+  CitationGraph g = MakeRandomGraph(200, 4, 1990, 10, 17);
+  RankResult a = HitsRanker().Rank(g).value();
+  RankResult b = HitsRanker().Rank(g).value();
+  EXPECT_EQ(a.scores, b.scores);
+  EXPECT_NEAR(L2Norm(a.scores), 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace scholar

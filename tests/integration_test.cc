@@ -1,0 +1,119 @@
+/// End-to-end pipeline tests: generate a realistic corpus, run the paper's
+/// method and the baselines, and check the paper's qualitative claims at
+/// small scale (the bench harness re-checks them at full scale).
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "core/scholar_ranker.h"
+#include "data/profiles.h"
+#include "data/synthetic.h"
+#include "eval/benchmark_sets.h"
+#include "eval/cohort.h"
+#include "graph/graph_io.h"
+
+namespace scholar {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SyntheticOptions o = AMinerLikeProfile(6000, /*seed=*/99);
+    corpus_ = new Corpus(GenerateSyntheticCorpus(o, "integration").value());
+    EvalSuiteOptions so;
+    so.num_pairs = 20000;
+    suite_ = new EvalSuite(BuildEvalSuite(*corpus_, so).value());
+  }
+  static void TearDownTestSuite() {
+    delete corpus_;
+    delete suite_;
+    corpus_ = nullptr;
+    suite_ = nullptr;
+  }
+
+  static RankerEvaluation Evaluate(const std::string& name) {
+    auto ranker = MakeRanker(name).value();
+    return EvaluateRanker(*corpus_, *ranker, *suite_).value();
+  }
+
+  static Corpus* corpus_;
+  static EvalSuite* suite_;
+};
+
+Corpus* IntegrationTest::corpus_ = nullptr;
+EvalSuite* IntegrationTest::suite_ = nullptr;
+
+TEST_F(IntegrationTest, AllRankersBeatCoinFlipOverall) {
+  for (const std::string& name : KnownRankerNames()) {
+    RankerEvaluation eval = Evaluate(name);
+    EXPECT_GT(eval.overall_accuracy, 0.55) << name;
+  }
+}
+
+TEST_F(IntegrationTest, EnsembleTwprImprovesOnPlainPageRank) {
+  // The paper's headline claim: the time-aware ensemble fixes the recency
+  // blindness of static PageRank — a large overall-accuracy gain without
+  // giving up accuracy among recent articles.
+  RankerEvaluation pr = Evaluate("pagerank");
+  RankerEvaluation ens_twpr = Evaluate("ens_twpr");
+  EXPECT_GT(ens_twpr.overall_accuracy, pr.overall_accuracy + 0.02);
+  EXPECT_GE(ens_twpr.recent_accuracy, pr.recent_accuracy - 0.005);
+}
+
+TEST_F(IntegrationTest, EnsembleTwprBeatsCitationCount) {
+  RankerEvaluation cc = Evaluate("cc");
+  RankerEvaluation ens_twpr = Evaluate("ens_twpr");
+  EXPECT_GT(ens_twpr.overall_accuracy, cc.overall_accuracy + 0.02);
+  EXPECT_GT(ens_twpr.recent_accuracy, cc.recent_accuracy);
+}
+
+TEST_F(IntegrationTest, EnsembleTwprBeatsEveryPaperBaselineOverall) {
+  RankerEvaluation ens_twpr = Evaluate("ens_twpr");
+  for (const char* baseline :
+       {"cc", "pagerank", "hits", "citerank", "futurerank"}) {
+    RankerEvaluation eval = Evaluate(baseline);
+    EXPECT_GT(ens_twpr.overall_accuracy, eval.overall_accuracy) << baseline;
+  }
+}
+
+TEST_F(IntegrationTest, EnsembleFlattensAgeBias) {
+  auto pr = MakeRanker("pagerank").value()->Rank(corpus_->graph).value();
+  auto ens = MakeRanker("ens_twpr").value()->Rank(corpus_->graph).value();
+  double pr_slope =
+      RecencyBiasSlope(PercentilesByYear(corpus_->graph, pr.scores));
+  double ens_slope =
+      RecencyBiasSlope(PercentilesByYear(corpus_->graph, ens.scores));
+  EXPECT_LT(std::abs(ens_slope), std::abs(pr_slope));
+}
+
+TEST_F(IntegrationTest, GraphSurvivesSerializationUnderRanking) {
+  // Serialize -> reload -> identical ranking, across both formats.
+  const std::string path = ::testing::TempDir() + "/integration.bin";
+  ASSERT_TRUE(WriteGraphBinaryFile(corpus_->graph, path).ok());
+  CitationGraph reloaded = ReadGraphBinaryFile(path).value();
+  auto ranker = MakeRanker("twpr").value();
+  auto original = ranker->Rank(corpus_->graph).value();
+  auto roundtrip = ranker->Rank(reloaded).value();
+  EXPECT_EQ(original.scores, roundtrip.scores);
+}
+
+TEST_F(IntegrationTest, FacadeAgreesWithRegistry) {
+  Config config;
+  config.Set("ranker", "ens_twpr");
+  ScholarRanker facade = ScholarRanker::Create(config).value();
+  RankingOutput out = facade.RankCorpus(*corpus_).value();
+  auto direct = MakeRanker("ens_twpr").value();
+  RankContext ctx;
+  ctx.graph = &corpus_->graph;
+  ctx.authors = &corpus_->authors;
+  auto direct_result = direct->Rank(ctx).value();
+  EXPECT_EQ(out.scores, direct_result.scores);
+}
+
+TEST_F(IntegrationTest, TwprIsAtLeastAsGoodAsPageRankOnRecent) {
+  RankerEvaluation pr = Evaluate("pagerank");
+  RankerEvaluation twpr = Evaluate("twpr");
+  EXPECT_GE(twpr.recent_accuracy, pr.recent_accuracy - 0.01);
+}
+
+}  // namespace
+}  // namespace scholar

@@ -1,0 +1,180 @@
+#include "eval/metrics.h"
+
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace scholar {
+namespace {
+
+TEST(PairwiseAccuracyTest, PerfectAndInverted) {
+  std::vector<double> scores = {0.9, 0.5, 0.1};
+  std::vector<EvalPair> pairs = {{0, 1}, {0, 2}, {1, 2}};
+  EXPECT_DOUBLE_EQ(PairwiseAccuracy(scores, pairs).value(), 1.0);
+  std::vector<EvalPair> inverted = {{1, 0}, {2, 0}, {2, 1}};
+  EXPECT_DOUBLE_EQ(PairwiseAccuracy(scores, inverted).value(), 0.0);
+}
+
+TEST(PairwiseAccuracyTest, TiesCountHalf) {
+  std::vector<double> scores = {0.5, 0.5};
+  std::vector<EvalPair> pairs = {{0, 1}};
+  EXPECT_DOUBLE_EQ(PairwiseAccuracy(scores, pairs).value(), 0.5);
+}
+
+TEST(PairwiseAccuracyTest, MixedFraction) {
+  std::vector<double> scores = {0.9, 0.1, 0.5, 0.5};
+  std::vector<EvalPair> pairs = {{0, 1}, {1, 2}, {2, 3}, {3, 0}};
+  // correct, wrong, tie (0.5), wrong -> 1.5/4
+  EXPECT_DOUBLE_EQ(PairwiseAccuracy(scores, pairs).value(), 0.375);
+}
+
+TEST(PairwiseAccuracyTest, Errors) {
+  EXPECT_TRUE(
+      PairwiseAccuracy({0.1}, {}).status().IsInvalidArgument());
+  EXPECT_TRUE(PairwiseAccuracy({0.1}, {{0, 5}}).status().IsInvalidArgument());
+}
+
+TEST(KendallTauTest, IdenticalIsOne) {
+  std::vector<double> a = {0.1, 0.7, 0.3, 0.9};
+  EXPECT_NEAR(KendallTau(a, a).value(), 1.0, 1e-12);
+}
+
+TEST(KendallTauTest, ReversedIsMinusOne) {
+  std::vector<double> a = {1, 2, 3, 4};
+  std::vector<double> b = {4, 3, 2, 1};
+  EXPECT_NEAR(KendallTau(a, b).value(), -1.0, 1e-12);
+}
+
+TEST(KendallTauTest, KnownSmallExample) {
+  // a-order: [0,1,2,3]; b values reorder 2 and 3 -> one discordant pair of
+  // 6 total: tau = 1 - 2*(1/6) = 2/3.
+  std::vector<double> a = {4, 3, 2, 1};
+  std::vector<double> b = {4, 3, 1, 2};
+  EXPECT_NEAR(KendallTau(a, b).value(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(KendallTauTest, Symmetry) {
+  std::vector<double> a = {0.5, 0.1, 0.9, 0.3, 0.7};
+  std::vector<double> b = {0.2, 0.8, 0.4, 0.6, 0.0};
+  EXPECT_NEAR(KendallTau(a, b).value(), KendallTau(b, a).value(), 1e-12);
+}
+
+TEST(KendallTauTest, ErrorsOnMismatchOrTiny) {
+  EXPECT_TRUE(KendallTau({1, 2}, {1}).status().IsInvalidArgument());
+  EXPECT_TRUE(KendallTau({1}, {1}).status().IsInvalidArgument());
+}
+
+TEST(SpearmanTest, PerfectMonotoneIsOne) {
+  std::vector<double> a = {1, 2, 3, 4, 5};
+  std::vector<double> b = {10, 20, 30, 40, 50};
+  EXPECT_NEAR(SpearmanRho(a, b).value(), 1.0, 1e-12);
+}
+
+TEST(SpearmanTest, ReversedIsMinusOne) {
+  std::vector<double> a = {1, 2, 3};
+  std::vector<double> b = {9, 5, 1};
+  EXPECT_NEAR(SpearmanRho(a, b).value(), -1.0, 1e-12);
+}
+
+TEST(SpearmanTest, TiesUseMidranks) {
+  // Classic example with ties; verify against hand computation.
+  std::vector<double> a = {1, 2, 2, 4};   // ranks 1, 2.5, 2.5, 4
+  std::vector<double> b = {1, 2, 3, 4};   // ranks 1, 2, 3, 4
+  // Pearson of (1,2.5,2.5,4) vs (1,2,3,4): cov=4.5, va=4.5, vb=5 ->
+  // rho = 4.5/sqrt(22.5) = 0.94868...
+  EXPECT_NEAR(SpearmanRho(a, b).value(), 4.5 / std::sqrt(22.5), 1e-12);
+}
+
+TEST(SpearmanTest, ConstantInputRejected) {
+  EXPECT_TRUE(SpearmanRho({1, 1, 1}, {1, 2, 3}).status().IsInvalidArgument());
+}
+
+TEST(NdcgTest, PerfectRankingIsOne) {
+  std::vector<double> scores = {0.9, 0.5, 0.1};
+  std::vector<double> rel = {3.0, 2.0, 0.0};
+  EXPECT_NEAR(NdcgAtK(scores, rel, 3).value(), 1.0, 1e-12);
+}
+
+TEST(NdcgTest, KnownValue) {
+  // Ranking puts the irrelevant item first.
+  std::vector<double> scores = {0.9, 0.5, 0.1};
+  std::vector<double> rel = {0.0, 1.0, 1.0};
+  // DCG = 0/log2(2) + 1/log2(3) + 1/log2(4) = 0.63093 + 0.5
+  // IDCG = 1/log2(2) + 1/log2(3) = 1 + 0.63093
+  const double dcg = 1.0 / std::log2(3.0) + 0.5;
+  const double idcg = 1.0 + 1.0 / std::log2(3.0);
+  EXPECT_NEAR(NdcgAtK(scores, rel, 3).value(), dcg / idcg, 1e-12);
+}
+
+TEST(NdcgTest, KTruncates) {
+  std::vector<double> scores = {0.9, 0.5, 0.1};
+  std::vector<double> rel = {0.0, 0.0, 1.0};
+  // Top-2 contains no relevant item.
+  EXPECT_DOUBLE_EQ(NdcgAtK(scores, rel, 2).value(), 0.0);
+}
+
+TEST(NdcgTest, ZeroRelevanceGivesZero) {
+  EXPECT_DOUBLE_EQ(NdcgAtK({0.5, 0.1}, {0.0, 0.0}, 2).value(), 0.0);
+}
+
+TEST(NdcgTest, Errors) {
+  EXPECT_TRUE(NdcgAtK({0.5}, {0.1, 0.2}, 1).status().IsInvalidArgument());
+  EXPECT_TRUE(NdcgAtK({0.5}, {0.1}, 0).status().IsInvalidArgument());
+}
+
+TEST(PrecisionRecallTest, KnownValues) {
+  std::vector<double> scores = {0.9, 0.7, 0.5, 0.3};
+  std::vector<bool> rel = {true, false, true, false};
+  EXPECT_DOUBLE_EQ(PrecisionAtK(scores, rel, 1).value(), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(scores, rel, 2).value(), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(scores, rel, 4).value(), 0.5);
+  EXPECT_DOUBLE_EQ(RecallAtK(scores, rel, 1).value(), 0.5);
+  EXPECT_DOUBLE_EQ(RecallAtK(scores, rel, 3).value(), 1.0);
+}
+
+TEST(PrecisionRecallTest, NoRelevantItems) {
+  std::vector<bool> rel = {false, false};
+  EXPECT_DOUBLE_EQ(RecallAtK({0.5, 0.1}, rel, 2).value(), 0.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK({0.5, 0.1}, rel, 2).value(), 0.0);
+}
+
+TEST(AveragePrecisionTest, PerfectRanking) {
+  std::vector<double> scores = {0.9, 0.8, 0.1, 0.05};
+  std::vector<bool> rel = {true, true, false, false};
+  EXPECT_DOUBLE_EQ(AveragePrecision(scores, rel).value(), 1.0);
+}
+
+TEST(AveragePrecisionTest, KnownValue) {
+  // Relevant at positions 1 and 3 of the ranking: AP = (1/1 + 2/3) / 2.
+  std::vector<double> scores = {0.9, 0.7, 0.5};
+  std::vector<bool> rel = {true, false, true};
+  EXPECT_NEAR(AveragePrecision(scores, rel).value(), (1.0 + 2.0 / 3.0) / 2.0,
+              1e-12);
+}
+
+TEST(AveragePrecisionTest, NoRelevantIsZero) {
+  EXPECT_DOUBLE_EQ(AveragePrecision({0.5, 0.2}, {false, false}).value(), 0.0);
+}
+
+class MetricsRandomSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MetricsRandomSweep, TauAndSpearmanAgreeOnSign) {
+  // Random score vectors: tau and rho must have the same sign when both are
+  // far from zero.
+  srand(GetParam());
+  std::vector<double> a(60), b(60);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = (rand() % 1000) / 1000.0;
+    b[i] = 0.7 * a[i] + 0.3 * ((rand() % 1000) / 1000.0);  // correlated
+  }
+  double tau = KendallTau(a, b).value();
+  double rho = SpearmanRho(a, b).value();
+  EXPECT_GT(tau, 0.2);
+  EXPECT_GT(rho, 0.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricsRandomSweep,
+                         ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace scholar

@@ -1,0 +1,109 @@
+#include "rank/monte_carlo.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "rank/pagerank.h"
+#include "test_util.h"
+
+namespace scholar {
+namespace {
+
+using testing_util::MakeGraph;
+using testing_util::MakeRandomGraph;
+using testing_util::MakeTinyGraph;
+
+TEST(MonteCarloTest, ScoresFormDistribution) {
+  MonteCarloPageRankRanker ranker;
+  RankResult r = ranker.Rank(MakeTinyGraph()).value();
+  EXPECT_NEAR(std::accumulate(r.scores.begin(), r.scores.end(), 0.0), 1.0,
+              1e-12);
+  for (double s : r.scores) EXPECT_GT(s, 0.0);
+}
+
+TEST(MonteCarloTest, DeterministicInSeed) {
+  CitationGraph g = MakeRandomGraph(200, 4, 1990, 10, 3);
+  MonteCarloOptions o;
+  o.seed = 5;
+  RankResult a = MonteCarloPageRankRanker(o).Rank(g).value();
+  RankResult b = MonteCarloPageRankRanker(o).Rank(g).value();
+  EXPECT_EQ(a.scores, b.scores);
+  o.seed = 6;
+  RankResult c = MonteCarloPageRankRanker(o).Rank(g).value();
+  EXPECT_NE(a.scores, c.scores);
+}
+
+TEST(MonteCarloTest, ApproximatesExactPageRank) {
+  CitationGraph g = MakeRandomGraph(400, 5, 1985, 15, 7);
+  RankResult exact = PageRankRanker().Rank(g).value();
+  MonteCarloOptions o;
+  o.walks_per_node = 100;
+  RankResult approx = MonteCarloPageRankRanker(o).Rank(g).value();
+  double rho = SpearmanRho(exact.scores, approx.scores).value();
+  EXPECT_GT(rho, 0.9);
+}
+
+TEST(MonteCarloTest, MoreWalksImproveAccuracy) {
+  CitationGraph g = MakeRandomGraph(400, 5, 1985, 15, 9);
+  RankResult exact = PageRankRanker().Rank(g).value();
+  MonteCarloOptions coarse;
+  coarse.walks_per_node = 2;
+  MonteCarloOptions fine;
+  fine.walks_per_node = 200;
+  double rho_coarse =
+      SpearmanRho(exact.scores,
+                  MonteCarloPageRankRanker(coarse).Rank(g).value().scores)
+          .value();
+  double rho_fine =
+      SpearmanRho(exact.scores,
+                  MonteCarloPageRankRanker(fine).Rank(g).value().scores)
+          .value();
+  EXPECT_GT(rho_fine, rho_coarse);
+  EXPECT_GT(rho_fine, 0.95);
+}
+
+TEST(MonteCarloTest, HeadOfRankingIsAccurate) {
+  // Star graph: the hub must be ranked first even with few walks.
+  std::vector<Year> years(50, 2000);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId u = 1; u < 50; ++u) edges.push_back({u, 0});
+  CitationGraph g = MakeGraph(years, edges);
+  MonteCarloOptions o;
+  o.walks_per_node = 3;
+  RankResult r = MonteCarloPageRankRanker(o).Rank(g).value();
+  EXPECT_EQ(TopK(r.scores, 1)[0], 0u);
+}
+
+TEST(MonteCarloTest, ZeroDampingCountsOnlyStarts) {
+  // d = 0: every walk is a single visit to its start; all scores equal.
+  CitationGraph g = MakeTinyGraph();
+  MonteCarloOptions o;
+  o.damping = 0.0;
+  RankResult r = MonteCarloPageRankRanker(o).Rank(g).value();
+  for (double s : r.scores) EXPECT_DOUBLE_EQ(s, 0.2);
+}
+
+TEST(MonteCarloTest, RejectsBadOptions) {
+  MonteCarloOptions o;
+  o.walks_per_node = 0;
+  EXPECT_TRUE(MonteCarloPageRankRanker(o)
+                  .Rank(MakeTinyGraph())
+                  .status()
+                  .IsInvalidArgument());
+  o = MonteCarloOptions();
+  o.damping = 1.0;
+  EXPECT_TRUE(MonteCarloPageRankRanker(o)
+                  .Rank(MakeTinyGraph())
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(MonteCarloTest, EmptyGraph) {
+  RankResult r = MonteCarloPageRankRanker().Rank(CitationGraph()).value();
+  EXPECT_TRUE(r.scores.empty());
+}
+
+}  // namespace
+}  // namespace scholar

@@ -1,0 +1,88 @@
+#include "ensemble/normalizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace scholar {
+namespace {
+
+TEST(NormalizerTest, MaxDividesByMaximum) {
+  auto out = NormalizeScores({1.0, 4.0, 2.0}, NormalizerKind::kMax);
+  EXPECT_DOUBLE_EQ(out[0], 0.25);
+  EXPECT_DOUBLE_EQ(out[1], 1.0);
+  EXPECT_DOUBLE_EQ(out[2], 0.5);
+}
+
+TEST(NormalizerTest, SumMakesDistribution) {
+  auto out = NormalizeScores({1.0, 3.0}, NormalizerKind::kSum);
+  EXPECT_DOUBLE_EQ(out[0], 0.25);
+  EXPECT_DOUBLE_EQ(out[1], 0.75);
+}
+
+TEST(NormalizerTest, PercentileGrid) {
+  auto out =
+      NormalizeScores({0.1, 0.9, 0.5, 0.3}, NormalizerKind::kRankPercentile);
+  EXPECT_DOUBLE_EQ(out[1], 1.0);
+  EXPECT_DOUBLE_EQ(out[2], 0.75);
+  EXPECT_DOUBLE_EQ(out[3], 0.5);
+  EXPECT_DOUBLE_EQ(out[0], 0.25);
+}
+
+TEST(NormalizerTest, ZScoreHasZeroMeanUnitVariance) {
+  auto out = NormalizeScores({1.0, 2.0, 3.0, 4.0}, NormalizerKind::kZScore);
+  double mean = 0.0;
+  for (double v : out) mean += v;
+  mean /= out.size();
+  EXPECT_NEAR(mean, 0.0, 1e-12);
+  double var = 0.0;
+  for (double v : out) var += v * v;
+  EXPECT_NEAR(var / out.size(), 1.0, 1e-12);
+}
+
+TEST(NormalizerTest, DegenerateInputs) {
+  EXPECT_TRUE(NormalizeScores({}, NormalizerKind::kMax).empty());
+  // All-zero stays zero under max and sum.
+  auto zeros = NormalizeScores({0.0, 0.0}, NormalizerKind::kMax);
+  EXPECT_DOUBLE_EQ(zeros[0], 0.0);
+  zeros = NormalizeScores({0.0, 0.0}, NormalizerKind::kSum);
+  EXPECT_DOUBLE_EQ(zeros[1], 0.0);
+  // Constant input: z-score collapses to zero; midrank percentile gives
+  // every tied article the same shared value ((1.0 + 0.5) / 2 here).
+  auto z = NormalizeScores({5.0, 5.0}, NormalizerKind::kZScore);
+  EXPECT_DOUBLE_EQ(z[0], 0.0);
+  auto p = NormalizeScores({5.0, 5.0}, NormalizerKind::kRankPercentile);
+  EXPECT_DOUBLE_EQ(p[0], 0.75);
+  EXPECT_DOUBLE_EQ(p[1], 0.75);
+}
+
+TEST(NormalizerTest, AllKindsPreserveOrdering) {
+  std::vector<double> scores = {0.3, 0.9, 0.1, 0.7, 0.5};
+  for (auto kind :
+       {NormalizerKind::kMax, NormalizerKind::kSum,
+        NormalizerKind::kRankPercentile, NormalizerKind::kZScore}) {
+    auto out = NormalizeScores(scores, kind);
+    for (size_t i = 0; i < scores.size(); ++i) {
+      for (size_t j = 0; j < scores.size(); ++j) {
+        if (scores[i] > scores[j]) {
+          EXPECT_GT(out[i], out[j])
+              << NormalizerKindToString(kind) << " " << i << "," << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(NormalizerTest, StringRoundTrip) {
+  for (auto kind :
+       {NormalizerKind::kMax, NormalizerKind::kSum,
+        NormalizerKind::kRankPercentile, NormalizerKind::kZScore}) {
+    EXPECT_EQ(NormalizerKindFromString(NormalizerKindToString(kind)).value(),
+              kind);
+  }
+  EXPECT_TRUE(NormalizerKindFromString("bogus").status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace scholar

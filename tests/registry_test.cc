@@ -1,0 +1,110 @@
+#include "core/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "ensemble/ensemble_ranker.h"
+#include "rank/citerank.h"
+#include "rank/pagerank.h"
+#include "rank/time_weighted_pagerank.h"
+#include "test_util.h"
+
+namespace scholar {
+namespace {
+
+TEST(RegistryTest, AllKnownNamesConstruct) {
+  for (const std::string& name : KnownRankerNames()) {
+    auto ranker = MakeRanker(name);
+    ASSERT_TRUE(ranker.ok()) << name << ": " << ranker.status().ToString();
+    EXPECT_EQ(ranker.value()->name(), name);
+  }
+}
+
+TEST(RegistryTest, UnknownNameIsNotFound) {
+  EXPECT_TRUE(MakeRanker("salsa").status().IsNotFound());
+  EXPECT_TRUE(MakeRanker("ens_salsa").status().IsNotFound());
+}
+
+TEST(RegistryTest, NamesAreCaseInsensitive) {
+  EXPECT_TRUE(MakeRanker("PageRank").ok());
+  EXPECT_TRUE(MakeRanker("TWPR").ok());
+  EXPECT_TRUE(MakeRanker("ENS_TWPR").ok());
+}
+
+TEST(RegistryTest, PrAliasForPageRank) {
+  EXPECT_EQ(MakeRanker("pr").value()->name(), "pagerank");
+}
+
+TEST(RegistryTest, ConfigParametersReachTheRanker) {
+  Config config;
+  config.SetDouble("sigma", 0.77);
+  config.SetDouble("damping", 0.7);
+  auto ranker = MakeRanker("twpr", config).value();
+  const auto* twpr = dynamic_cast<const TimeWeightedPageRank*>(ranker.get());
+  ASSERT_NE(twpr, nullptr);
+  EXPECT_DOUBLE_EQ(twpr->options().sigma, 0.77);
+  EXPECT_DOUBLE_EQ(twpr->options().power.damping, 0.7);
+}
+
+TEST(RegistryTest, CiteRankTauPlumbed) {
+  Config config;
+  config.SetDouble("tau", 4.5);
+  auto ranker = MakeRanker("citerank", config).value();
+  const auto* cr = dynamic_cast<const CiteRankRanker*>(ranker.get());
+  ASSERT_NE(cr, nullptr);
+  EXPECT_DOUBLE_EQ(cr->options().tau, 4.5);
+}
+
+TEST(RegistryTest, EnsembleWrapsConfiguredBase) {
+  Config config;
+  config.SetInt("num_slices", 5);
+  config.Set("normalizer", "max");
+  config.Set("scope", "snapshot");
+  config.Set("combiner", "recency");
+  config.SetDouble("ens_gamma", 0.6);
+  config.SetInt("window", 3);
+  config.SetDouble("sigma", 0.9);
+  auto ranker = MakeRanker("ens_twpr", config).value();
+  const auto* ens = dynamic_cast<const EnsembleRanker*>(ranker.get());
+  ASSERT_NE(ens, nullptr);
+  EXPECT_EQ(ens->options().num_slices, 5);
+  EXPECT_EQ(ens->options().normalizer, NormalizerKind::kMax);
+  EXPECT_EQ(ens->options().scope, NormalizationScope::kSnapshot);
+  EXPECT_EQ(ens->options().combiner, EnsembleCombiner::kRecencyWeighted);
+  EXPECT_DOUBLE_EQ(ens->options().gamma, 0.6);
+  EXPECT_EQ(ens->options().window, 3);
+  const auto* base =
+      dynamic_cast<const TimeWeightedPageRank*>(&ens->base());
+  ASSERT_NE(base, nullptr);
+  EXPECT_DOUBLE_EQ(base->options().sigma, 0.9);
+}
+
+TEST(RegistryTest, BadEnumValuesAreInvalidArgument) {
+  Config config;
+  config.Set("normalizer", "weird");
+  EXPECT_TRUE(
+      MakeRanker("ens_pagerank", config).status().IsInvalidArgument());
+  Config config2;
+  config2.Set("partition", "weird");
+  EXPECT_TRUE(
+      MakeRanker("ens_pagerank", config2).status().IsInvalidArgument());
+  Config config3;
+  config3.Set("combiner", "weird");
+  EXPECT_TRUE(
+      MakeRanker("ens_pagerank", config3).status().IsInvalidArgument());
+}
+
+TEST(RegistryTest, ConstructedRankersActuallyRank) {
+  CitationGraph g = testing_util::MakeRandomGraph(100, 3, 1990, 10, 5);
+  for (const std::string& name : KnownRankerNames()) {
+    if (name == "futurerank" || name == "venuerank") {
+      continue;  // need author / venue data beyond the bare graph
+    }
+    auto ranker = MakeRanker(name).value();
+    auto result = ranker->Rank(g);
+    ASSERT_TRUE(result.ok()) << name << ": " << result.status().ToString();
+    EXPECT_EQ(result.value().scores.size(), g.num_nodes()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace scholar

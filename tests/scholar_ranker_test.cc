@@ -1,0 +1,95 @@
+#include "core/scholar_ranker.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace scholar {
+namespace {
+
+Corpus SmallCorpus() {
+  SyntheticOptions o;
+  o.num_articles = 1500;
+  o.num_years = 10;
+  o.seed = 33;
+  return GenerateSyntheticCorpus(o, "facade").value();
+}
+
+TEST(ScholarRankerTest, DefaultIsEnsTwpr) {
+  ScholarRanker ranker = ScholarRanker::CreateDefault().value();
+  EXPECT_EQ(ranker.name(), "ens_twpr");
+}
+
+TEST(ScholarRankerTest, CreateFromConfig) {
+  Config config;
+  config.Set("ranker", "pagerank");
+  ScholarRanker ranker = ScholarRanker::Create(config).value();
+  EXPECT_EQ(ranker.name(), "pagerank");
+}
+
+TEST(ScholarRankerTest, CreateRejectsUnknownRanker) {
+  Config config;
+  config.Set("ranker", "mystery");
+  EXPECT_TRUE(ScholarRanker::Create(config).status().IsNotFound());
+}
+
+TEST(ScholarRankerTest, RankCorpusProducesConsistentViews) {
+  Corpus corpus = SmallCorpus();
+  ScholarRanker ranker = ScholarRanker::CreateDefault().value();
+  RankingOutput out = ranker.RankCorpus(corpus).value();
+  ASSERT_EQ(out.scores.size(), corpus.num_articles());
+  ASSERT_EQ(out.ranks.size(), corpus.num_articles());
+  ASSERT_EQ(out.percentiles.size(), corpus.num_articles());
+
+  // Rank 0 must be the article with the highest score.
+  NodeId best = 0;
+  for (NodeId v = 0; v < corpus.num_articles(); ++v) {
+    if (out.scores[v] > out.scores[best]) best = v;
+  }
+  EXPECT_EQ(out.ranks[best], 0u);
+  EXPECT_DOUBLE_EQ(out.percentiles[best], 1.0);
+
+  // Ranks are a permutation of 0..n-1.
+  std::vector<bool> seen(corpus.num_articles(), false);
+  for (uint32_t r : out.ranks) {
+    ASSERT_LT(r, corpus.num_articles());
+    EXPECT_FALSE(seen[r]);
+    seen[r] = true;
+  }
+}
+
+TEST(ScholarRankerTest, TopMatchesRanks) {
+  Corpus corpus = SmallCorpus();
+  ScholarRanker ranker = ScholarRanker::CreateDefault().value();
+  RankingOutput out = ranker.RankCorpus(corpus).value();
+  std::vector<NodeId> top = out.Top(10);
+  ASSERT_EQ(top.size(), 10u);
+  for (uint32_t i = 0; i < top.size(); ++i) {
+    EXPECT_EQ(out.ranks[top[i]], i);
+  }
+}
+
+TEST(ScholarRankerTest, FutureRankConfigWorksViaCorpusAuthors) {
+  Corpus corpus = SmallCorpus();
+  Config config;
+  config.Set("ranker", "futurerank");
+  ScholarRanker ranker = ScholarRanker::Create(config).value();
+  RankingOutput out = ranker.RankCorpus(corpus).value();
+  EXPECT_EQ(out.scores.size(), corpus.num_articles());
+  // The bare graph lacks author data, so RankGraph must fail for
+  // futurerank.
+  EXPECT_TRUE(ranker.RankGraph(corpus.graph).status().IsInvalidArgument());
+}
+
+TEST(ScholarRankerTest, RankGraphWorksForGraphOnlyRankers) {
+  Corpus corpus = SmallCorpus();
+  Config config;
+  config.Set("ranker", "twpr");
+  ScholarRanker ranker = ScholarRanker::Create(config).value();
+  RankingOutput out = ranker.RankGraph(corpus.graph).value();
+  EXPECT_TRUE(out.converged);
+  EXPECT_GT(out.iterations, 0);
+}
+
+}  // namespace
+}  // namespace scholar

@@ -1,0 +1,124 @@
+#include "eval/significance.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace scholar {
+namespace {
+
+std::vector<EvalPair> MakePairs(size_t n) {
+  // Pairs (2i, 2i+1): "even beats odd".
+  std::vector<EvalPair> pairs;
+  for (NodeId i = 0; i < n; ++i) pairs.push_back({2 * i, 2 * i + 1});
+  return pairs;
+}
+
+TEST(BootstrapTest, PerfectRankerHasDegenerateInterval) {
+  const size_t n = 50;
+  std::vector<double> scores(2 * n);
+  for (size_t i = 0; i < n; ++i) {
+    scores[2 * i] = 1.0;
+    scores[2 * i + 1] = 0.0;
+  }
+  BootstrapInterval ci =
+      BootstrapPairwiseAccuracy(scores, MakePairs(n)).value();
+  EXPECT_DOUBLE_EQ(ci.point, 1.0);
+  EXPECT_DOUBLE_EQ(ci.lo, 1.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 1.0);
+}
+
+TEST(BootstrapTest, IntervalBracketsPointEstimate) {
+  const size_t n = 200;
+  Rng rng(5);
+  std::vector<double> scores(2 * n);
+  for (double& s : scores) s = rng.NextDouble();
+  BootstrapInterval ci =
+      BootstrapPairwiseAccuracy(scores, MakePairs(n)).value();
+  EXPECT_LE(ci.lo, ci.point);
+  EXPECT_GE(ci.hi, ci.point);
+  EXPECT_LT(ci.lo, ci.hi);
+  // Random scores: accuracy near 0.5, CI of ~200 pairs within ~±0.1.
+  EXPECT_NEAR(ci.point, 0.5, 0.1);
+  EXPECT_LT(ci.hi - ci.lo, 0.25);
+}
+
+TEST(BootstrapTest, DeterministicInSeed) {
+  const size_t n = 100;
+  Rng rng(9);
+  std::vector<double> scores(2 * n);
+  for (double& s : scores) s = rng.NextDouble();
+  BootstrapOptions o;
+  o.seed = 42;
+  auto a = BootstrapPairwiseAccuracy(scores, MakePairs(n), o).value();
+  auto b = BootstrapPairwiseAccuracy(scores, MakePairs(n), o).value();
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+TEST(BootstrapTest, RejectsBadOptions) {
+  std::vector<double> scores = {1.0, 0.0};
+  std::vector<EvalPair> pairs = {{0, 1}};
+  BootstrapOptions o;
+  o.num_resamples = 1;
+  EXPECT_TRUE(BootstrapPairwiseAccuracy(scores, pairs, o)
+                  .status()
+                  .IsInvalidArgument());
+  o = BootstrapOptions();
+  o.confidence = 1.0;
+  EXPECT_TRUE(BootstrapPairwiseAccuracy(scores, pairs, o)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      BootstrapPairwiseAccuracy(scores, {}).status().IsInvalidArgument());
+}
+
+TEST(ComparePairwiseTest, IdenticalRankersAreNotSignificant) {
+  const size_t n = 100;
+  Rng rng(11);
+  std::vector<double> scores(2 * n);
+  for (double& s : scores) s = rng.NextDouble();
+  PairedComparison cmp =
+      ComparePairwise(scores, scores, MakePairs(n)).value();
+  EXPECT_DOUBLE_EQ(cmp.accuracy_a, cmp.accuracy_b);
+  EXPECT_EQ(cmp.a_only, 0u);
+  EXPECT_EQ(cmp.b_only, 0u);
+  EXPECT_DOUBLE_EQ(cmp.p_value, 1.0);
+}
+
+TEST(ComparePairwiseTest, DominantRankerIsSignificant) {
+  const size_t n = 300;
+  std::vector<double> good(2 * n), bad(2 * n);
+  Rng rng(13);
+  for (size_t i = 0; i < n; ++i) {
+    good[2 * i] = 1.0;  // always right
+    good[2 * i + 1] = 0.0;
+    bad[2 * i] = rng.NextDouble();  // coin flip
+    bad[2 * i + 1] = rng.NextDouble();
+  }
+  PairedComparison cmp = ComparePairwise(good, bad, MakePairs(n)).value();
+  EXPECT_GT(cmp.accuracy_a, cmp.accuracy_b);
+  EXPECT_GT(cmp.a_only, cmp.b_only);
+  EXPECT_LT(cmp.p_value, 0.001);
+}
+
+TEST(ComparePairwiseTest, SmallSampleUsesExactTest) {
+  // 5 discordant pairs all favoring A: exact p = 2 * (1/2)^5 = 0.0625.
+  std::vector<double> a = {1, 0, 1, 0, 1, 0, 1, 0, 1, 0};
+  std::vector<double> b = {0, 1, 0, 1, 0, 1, 0, 1, 0, 1};
+  std::vector<EvalPair> pairs;
+  for (NodeId i = 0; i < 5; ++i) pairs.push_back({2 * i, 2 * i + 1});
+  PairedComparison cmp = ComparePairwise(a, b, pairs).value();
+  EXPECT_EQ(cmp.a_only, 5u);
+  EXPECT_EQ(cmp.b_only, 0u);
+  EXPECT_NEAR(cmp.p_value, 0.0625, 1e-12);
+}
+
+TEST(ComparePairwiseTest, SizeMismatchRejected) {
+  EXPECT_TRUE(ComparePairwise({1.0}, {1.0, 2.0}, {{0, 0}})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace scholar

@@ -1,0 +1,168 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "data/profiles.h"
+#include "graph/graph_stats.h"
+
+namespace scholar {
+namespace {
+
+SyntheticOptions SmallOptions(uint64_t seed = 1) {
+  SyntheticOptions o;
+  o.num_articles = 3000;
+  o.num_years = 15;
+  o.seed = seed;
+  return o;
+}
+
+TEST(SyntheticTest, ProducesRequestedArticleCount) {
+  Corpus corpus = GenerateSyntheticCorpus(SmallOptions(), "t").value();
+  EXPECT_EQ(corpus.num_articles(), 3000u);
+  EXPECT_TRUE(corpus.ConsistencyCheck().ok());
+}
+
+TEST(SyntheticTest, DeterministicInSeed) {
+  Corpus a = GenerateSyntheticCorpus(SmallOptions(5), "a").value();
+  Corpus b = GenerateSyntheticCorpus(SmallOptions(5), "b").value();
+  EXPECT_EQ(a.graph, b.graph);
+  EXPECT_EQ(a.true_impact, b.true_impact);
+  EXPECT_EQ(a.venues, b.venues);
+
+  Corpus c = GenerateSyntheticCorpus(SmallOptions(6), "c").value();
+  EXPECT_FALSE(a.graph == c.graph);
+}
+
+TEST(SyntheticTest, YearsAreMonotoneInNodeId) {
+  Corpus corpus = GenerateSyntheticCorpus(SmallOptions(), "t").value();
+  for (NodeId u = 1; u < corpus.num_articles(); ++u) {
+    EXPECT_LE(corpus.graph.year(u - 1), corpus.graph.year(u));
+  }
+  EXPECT_EQ(corpus.graph.min_year(), SmallOptions().start_year);
+  EXPECT_EQ(corpus.graph.max_year(),
+            SmallOptions().start_year + SmallOptions().num_years - 1);
+}
+
+TEST(SyntheticTest, CitationsPointToThePast) {
+  Corpus corpus = GenerateSyntheticCorpus(SmallOptions(), "t").value();
+  for (NodeId u = 0; u < corpus.num_articles(); ++u) {
+    for (NodeId v : corpus.graph.References(u)) {
+      EXPECT_LT(v, u);
+      EXPECT_LE(corpus.graph.year(v), corpus.graph.year(u));
+    }
+  }
+}
+
+TEST(SyntheticTest, GroundTruthIsPositive) {
+  Corpus corpus = GenerateSyntheticCorpus(SmallOptions(), "t").value();
+  ASSERT_TRUE(corpus.has_ground_truth());
+  for (double q : corpus.true_impact) EXPECT_GT(q, 0.0);
+}
+
+TEST(SyntheticTest, PublicationRateGrows) {
+  Corpus corpus = GenerateSyntheticCorpus(SmallOptions(), "t").value();
+  GraphStats stats = ComputeGraphStats(corpus.graph);
+  const Year first = corpus.graph.min_year();
+  const Year last = corpus.graph.max_year();
+  EXPECT_GT(stats.year_histogram.at(last),
+            2 * stats.year_histogram.at(first));
+}
+
+TEST(SyntheticTest, InDegreeIsHeavyTailed) {
+  SyntheticOptions o = SmallOptions();
+  o.num_articles = 8000;
+  Corpus corpus = GenerateSyntheticCorpus(o, "t").value();
+  GraphStats stats = ComputeGraphStats(corpus.graph);
+  // Preferential attachment + fitness should concentrate citations.
+  EXPECT_GT(stats.in_degree_gini, 0.5);
+  EXPECT_GT(stats.max_in_degree, 30u);
+}
+
+TEST(SyntheticTest, ImpactCorrelatesWithCitations) {
+  SyntheticOptions o = SmallOptions();
+  o.num_articles = 8000;
+  Corpus corpus = GenerateSyntheticCorpus(o, "t").value();
+  // Mean in-degree of top-decile-q articles should exceed the global mean:
+  // fitness draws must bias citations toward high-q work.
+  std::vector<double> q_sorted = corpus.true_impact;
+  std::nth_element(q_sorted.begin(), q_sorted.begin() + q_sorted.size() / 10,
+                   q_sorted.end(), std::greater<double>());
+  const double q_cut = q_sorted[q_sorted.size() / 10];
+  double top_sum = 0.0, all_sum = 0.0;
+  size_t top_count = 0;
+  for (NodeId v = 0; v < corpus.num_articles(); ++v) {
+    all_sum += static_cast<double>(corpus.graph.InDegree(v));
+    if (corpus.true_impact[v] >= q_cut) {
+      top_sum += static_cast<double>(corpus.graph.InDegree(v));
+      ++top_count;
+    }
+  }
+  const double top_mean = top_sum / static_cast<double>(top_count);
+  const double all_mean = all_sum / static_cast<double>(corpus.num_articles());
+  EXPECT_GT(top_mean, 1.3 * all_mean);
+}
+
+TEST(SyntheticTest, AuthorsArePlausible) {
+  Corpus corpus = GenerateSyntheticCorpus(SmallOptions(), "t").value();
+  ASSERT_TRUE(corpus.has_authors());
+  EXPECT_EQ(corpus.authors.num_papers(), corpus.num_articles());
+  EXPECT_GT(corpus.authors.num_authors(), 100u);
+  // Every article has at least one author.
+  for (NodeId p = 0; p < corpus.num_articles(); ++p) {
+    EXPECT_GE(corpus.authors.AuthorsOf(p).size(), 1u);
+  }
+}
+
+TEST(SyntheticTest, RejectsBadOptions) {
+  SyntheticOptions o = SmallOptions();
+  o.num_articles = 0;
+  EXPECT_TRUE(GenerateSyntheticCorpus(o, "t").status().IsInvalidArgument());
+
+  o = SmallOptions();
+  o.pref_attach_weight = 0.8;
+  o.fitness_weight = 0.5;  // sums beyond 1
+  EXPECT_TRUE(GenerateSyntheticCorpus(o, "t").status().IsInvalidArgument());
+
+  o = SmallOptions();
+  o.mean_authors = 0.2;
+  EXPECT_TRUE(GenerateSyntheticCorpus(o, "t").status().IsInvalidArgument());
+
+  o = SmallOptions();
+  o.recency_tau = 0.0;
+  EXPECT_TRUE(GenerateSyntheticCorpus(o, "t").status().IsInvalidArgument());
+}
+
+TEST(SyntheticTest, FewerArticlesThanYearsStillWorks) {
+  SyntheticOptions o = SmallOptions();
+  o.num_articles = 5;
+  o.num_years = 20;
+  Corpus corpus = GenerateSyntheticCorpus(o, "t").value();
+  EXPECT_EQ(corpus.num_articles(), 5u);
+}
+
+TEST(ProfilesTest, AMinerLikeShape) {
+  SyntheticOptions o = AMinerLikeProfile(1000);
+  EXPECT_EQ(o.num_articles, 1000u);
+  EXPECT_EQ(o.num_years, 30);
+  Corpus corpus = GenerateSyntheticCorpus(o, "aminer").value();
+  EXPECT_EQ(corpus.num_articles(), 1000u);
+}
+
+TEST(ProfilesTest, MagLikeIsBiggerAndFaster) {
+  SyntheticOptions aminer = AMinerLikeProfile(1000);
+  SyntheticOptions mag = MagLikeProfile(1000);
+  EXPECT_GT(mag.growth_rate, aminer.growth_rate);
+  EXPECT_GT(mag.mean_references, aminer.mean_references);
+  EXPECT_GT(mag.num_venues, aminer.num_venues);
+}
+
+TEST(ProfilesTest, LookupByName) {
+  EXPECT_TRUE(ProfileByName("aminer", 100, 1).ok());
+  EXPECT_TRUE(ProfileByName("MAG", 100, 1).ok());
+  EXPECT_TRUE(ProfileByName("dblp", 100, 1).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace scholar

@@ -1,0 +1,64 @@
+#ifndef SCHOLARRANK_TESTS_TEST_UTIL_H_
+#define SCHOLARRANK_TESTS_TEST_UTIL_H_
+
+#include <utility>
+#include <vector>
+
+#include "graph/citation_graph.h"
+#include "graph/graph_builder.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace scholar {
+namespace testing_util {
+
+/// Builds a graph from explicit (year list, edge list). Aborts on invalid
+/// input — tests construct valid fixtures.
+inline CitationGraph MakeGraph(
+    const std::vector<Year>& years,
+    const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  GraphBuilder builder;
+  for (Year y : years) builder.AddNode(y);
+  SCHOLAR_CHECK_OK(builder.AddEdges(edges));
+  Result<CitationGraph> g = std::move(builder).Build();
+  SCHOLAR_CHECK(g.ok()) << g.status().ToString();
+  return std::move(g).value();
+}
+
+/// Random citation-style DAG: node ids ascend with year; each node cites
+/// `avg_degree` earlier nodes on average (uniformly chosen).
+inline CitationGraph MakeRandomGraph(size_t n, double avg_degree,
+                                     Year start_year, int num_years,
+                                     uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder builder;
+  for (size_t i = 0; i < n; ++i) {
+    Year y = start_year +
+             static_cast<Year>(i * static_cast<size_t>(num_years) / n);
+    builder.AddNode(y);
+  }
+  for (NodeId u = 1; u < n; ++u) {
+    size_t degree = rng.NextBounded(static_cast<uint64_t>(2 * avg_degree) + 1);
+    for (size_t d = 0; d < degree; ++d) {
+      NodeId v = static_cast<NodeId>(rng.NextBounded(u));
+      SCHOLAR_CHECK_OK(builder.AddEdge(u, v));
+    }
+  }
+  Result<CitationGraph> g = std::move(builder).Build();
+  SCHOLAR_CHECK(g.ok()) << g.status().ToString();
+  return std::move(g).value();
+}
+
+/// The 5-node teaching graph used across several tests:
+///
+///   years:  0:2000  1:2001  2:2002  3:2003  4:2004
+///   edges:  2->0, 2->1, 3->0, 3->2, 4->2, 4->3   (u cites v)
+inline CitationGraph MakeTinyGraph() {
+  return MakeGraph({2000, 2001, 2002, 2003, 2004},
+                   {{2, 0}, {2, 1}, {3, 0}, {3, 2}, {4, 2}, {4, 3}});
+}
+
+}  // namespace testing_util
+}  // namespace scholar
+
+#endif  // SCHOLARRANK_TESTS_TEST_UTIL_H_

@@ -1,0 +1,110 @@
+#include "ensemble/time_partitioner.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+#include "test_util.h"
+
+namespace scholar {
+namespace {
+
+using testing_util::MakeGraph;
+using testing_util::MakeRandomGraph;
+
+TEST(TimePartitionerTest, RejectsEmptyGraphAndBadK) {
+  EXPECT_TRUE(ComputeSliceBoundaries(CitationGraph(), 4,
+                                     PartitionStrategy::kEqualSpan)
+                  .status()
+                  .IsInvalidArgument());
+  CitationGraph g = MakeGraph({2000, 2001}, {});
+  EXPECT_TRUE(ComputeSliceBoundaries(g, 0, PartitionStrategy::kEqualSpan)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(TimePartitionerTest, SingleSliceIsMaxYear) {
+  CitationGraph g = MakeGraph({2000, 2003, 2007}, {});
+  for (auto strategy :
+       {PartitionStrategy::kEqualSpan, PartitionStrategy::kEqualCount}) {
+    auto b = ComputeSliceBoundaries(g, 1, strategy).value();
+    ASSERT_EQ(b.size(), 1u);
+    EXPECT_EQ(b[0], 2007);
+  }
+}
+
+TEST(TimePartitionerTest, EqualSpanSplitsYears) {
+  // Years 2000..2007 (8 years), 4 slices -> boundaries 2001,2003,2005,2007.
+  std::vector<Year> years;
+  for (Year y = 2000; y <= 2007; ++y) years.push_back(y);
+  CitationGraph g = MakeGraph(years, {});
+  auto b = ComputeSliceBoundaries(g, 4, PartitionStrategy::kEqualSpan).value();
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b[0], 2001);
+  EXPECT_EQ(b[1], 2003);
+  EXPECT_EQ(b[2], 2005);
+  EXPECT_EQ(b[3], 2007);
+}
+
+TEST(TimePartitionerTest, BoundariesAreStrictlyIncreasingAndEndAtMax) {
+  CitationGraph g = MakeRandomGraph(500, 3, 1980, 25, 3);
+  for (int k : {1, 2, 3, 5, 8, 13}) {
+    for (auto strategy :
+         {PartitionStrategy::kEqualSpan, PartitionStrategy::kEqualCount}) {
+      auto b = ComputeSliceBoundaries(g, k, strategy).value();
+      ASSERT_FALSE(b.empty());
+      EXPECT_LE(b.size(), static_cast<size_t>(k));
+      EXPECT_TRUE(std::is_sorted(b.begin(), b.end()));
+      EXPECT_TRUE(std::adjacent_find(b.begin(), b.end()) == b.end());
+      EXPECT_EQ(b.back(), g.max_year());
+    }
+  }
+}
+
+TEST(TimePartitionerTest, EqualCountBalancesArticles) {
+  // 100 articles in 2000, 100 in 2001, ..., 100 in 2009.
+  GraphBuilder builder;
+  for (Year y = 2000; y < 2010; ++y) builder.AddNodes(100, y);
+  CitationGraph g = std::move(builder).Build().value();
+  auto b =
+      ComputeSliceBoundaries(g, 5, PartitionStrategy::kEqualCount).value();
+  ASSERT_EQ(b.size(), 5u);
+  // Every slice should add exactly two years' worth.
+  EXPECT_EQ(b[0], 2001);
+  EXPECT_EQ(b[1], 2003);
+  EXPECT_EQ(b[4], 2009);
+}
+
+TEST(TimePartitionerTest, EqualCountHandlesSkewedGrowth) {
+  // 10 old articles, 990 in the final year: equal-count collapses most
+  // boundaries into the last year, deduplication keeps them unique.
+  GraphBuilder builder;
+  builder.AddNodes(10, 1990);
+  builder.AddNodes(990, 2010);
+  CitationGraph g = std::move(builder).Build().value();
+  auto b =
+      ComputeSliceBoundaries(g, 8, PartitionStrategy::kEqualCount).value();
+  EXPECT_LE(b.size(), 2u);
+  EXPECT_EQ(b.back(), 2010);
+}
+
+TEST(TimePartitionerTest, MoreSlicesThanYearsDegradesGracefully) {
+  CitationGraph g = MakeGraph({2000, 2001, 2002}, {});
+  auto b =
+      ComputeSliceBoundaries(g, 10, PartitionStrategy::kEqualSpan).value();
+  EXPECT_LE(b.size(), 3u);
+  EXPECT_EQ(b.back(), 2002);
+  EXPECT_TRUE(std::adjacent_find(b.begin(), b.end()) == b.end());
+}
+
+TEST(TimePartitionerTest, SingleYearGraph) {
+  CitationGraph g = MakeGraph({2005, 2005, 2005}, {});
+  for (auto strategy :
+       {PartitionStrategy::kEqualSpan, PartitionStrategy::kEqualCount}) {
+    auto b = ComputeSliceBoundaries(g, 4, strategy).value();
+    ASSERT_EQ(b.size(), 1u);
+    EXPECT_EQ(b[0], 2005);
+  }
+}
+
+}  // namespace
+}  // namespace scholar

@@ -1,0 +1,129 @@
+#include "graph/time_slicer.h"
+
+#include <gtest/gtest.h>
+#include "test_util.h"
+
+namespace scholar {
+namespace {
+
+using testing_util::MakeRandomGraph;
+using testing_util::MakeTinyGraph;
+
+TEST(ExtractSnapshotTest, KeepsOnlyOldEnoughArticles) {
+  CitationGraph g = MakeTinyGraph();  // years 2000..2004
+  Snapshot snap = ExtractSnapshot(g, 2002);
+  EXPECT_EQ(snap.graph.num_nodes(), 3u);  // nodes 0,1,2
+  EXPECT_EQ(snap.boundary_year, 2002);
+  // Edges among kept nodes: 2->0, 2->1.
+  EXPECT_EQ(snap.graph.num_edges(), 2u);
+}
+
+TEST(ExtractSnapshotTest, MappingsRoundTrip) {
+  CitationGraph g = MakeTinyGraph();
+  Snapshot snap = ExtractSnapshot(g, 2002);
+  ASSERT_EQ(snap.to_parent.size(), 3u);
+  ASSERT_EQ(snap.from_parent.size(), 5u);
+  for (NodeId s = 0; s < snap.graph.num_nodes(); ++s) {
+    EXPECT_EQ(snap.from_parent[snap.to_parent[s]], s);
+    EXPECT_EQ(snap.graph.year(s), g.year(snap.to_parent[s]));
+  }
+  EXPECT_EQ(snap.from_parent[3], kInvalidNode);
+  EXPECT_EQ(snap.from_parent[4], kInvalidNode);
+}
+
+TEST(ExtractSnapshotTest, FullBoundaryReturnsWholeGraph) {
+  CitationGraph g = MakeTinyGraph();
+  Snapshot snap = ExtractSnapshot(g, 2004);
+  EXPECT_EQ(snap.graph, g);
+}
+
+TEST(ExtractSnapshotTest, BoundaryBeforeEverythingIsEmpty) {
+  CitationGraph g = MakeTinyGraph();
+  Snapshot snap = ExtractSnapshot(g, 1999);
+  EXPECT_EQ(snap.graph.num_nodes(), 0u);
+  EXPECT_EQ(snap.graph.num_edges(), 0u);
+}
+
+TEST(ExtractInducedSubgraphTest, ArbitraryMask) {
+  CitationGraph g = MakeTinyGraph();
+  std::vector<bool> mask = {true, false, true, true, false};
+  Snapshot snap = ExtractInducedSubgraph(g, mask);
+  EXPECT_EQ(snap.graph.num_nodes(), 3u);
+  // Kept edges among {0,2,3}: 2->0, 3->0, 3->2.
+  EXPECT_EQ(snap.graph.num_edges(), 3u);
+  EXPECT_EQ(snap.boundary_year, 2003);  // max year among kept
+}
+
+TEST(ExtractSnapshotTest, IdsStayMonotone) {
+  CitationGraph g = MakeRandomGraph(200, 3.0, 1990, 10, 5);
+  Snapshot snap = ExtractSnapshot(g, 1995);
+  for (size_t i = 1; i < snap.to_parent.size(); ++i) {
+    EXPECT_LT(snap.to_parent[i - 1], snap.to_parent[i]);
+  }
+}
+
+class SnapshotPropertyTest : public ::testing::TestWithParam<Year> {};
+
+TEST_P(SnapshotPropertyTest, EdgesMatchParentExactly) {
+  CitationGraph g = MakeRandomGraph(300, 4.0, 1990, 12, 77);
+  Snapshot snap = ExtractSnapshot(g, GetParam());
+  // Every snapshot edge exists in the parent.
+  for (NodeId su = 0; su < snap.graph.num_nodes(); ++su) {
+    for (NodeId sv : snap.graph.References(su)) {
+      EXPECT_TRUE(g.HasEdge(snap.to_parent[su], snap.to_parent[sv]));
+    }
+  }
+  // Every parent edge among kept nodes exists in the snapshot.
+  size_t expected_edges = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (g.year(u) > GetParam()) continue;
+    for (NodeId v : g.References(u)) {
+      if (g.year(v) <= GetParam()) ++expected_edges;
+    }
+  }
+  EXPECT_EQ(snap.graph.num_edges(), expected_edges);
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, SnapshotPropertyTest,
+                         ::testing::Values(1989, 1991, 1995, 1999, 2001,
+                                           2005));
+
+TEST(SampleEdgesTest, FractionOneKeepsEverything) {
+  CitationGraph g = MakeRandomGraph(200, 4.0, 1990, 10, 3);
+  CitationGraph sampled = SampleEdges(g, 1.0, 42);
+  EXPECT_EQ(sampled, g);
+}
+
+TEST(SampleEdgesTest, FractionZeroDropsEverything) {
+  CitationGraph g = MakeRandomGraph(200, 4.0, 1990, 10, 3);
+  CitationGraph sampled = SampleEdges(g, 0.0, 42);
+  EXPECT_EQ(sampled.num_edges(), 0u);
+  EXPECT_EQ(sampled.num_nodes(), g.num_nodes());
+}
+
+TEST(SampleEdgesTest, HalfKeepsRoughlyHalf) {
+  CitationGraph g = MakeRandomGraph(2000, 6.0, 1990, 10, 3);
+  CitationGraph sampled = SampleEdges(g, 0.5, 42);
+  double ratio = static_cast<double>(sampled.num_edges()) /
+                 static_cast<double>(g.num_edges());
+  EXPECT_NEAR(ratio, 0.5, 0.05);
+}
+
+TEST(SampleEdgesTest, DeterministicInSeed) {
+  CitationGraph g = MakeRandomGraph(500, 4.0, 1990, 10, 3);
+  EXPECT_EQ(SampleEdges(g, 0.3, 9), SampleEdges(g, 0.3, 9));
+  EXPECT_FALSE(SampleEdges(g, 0.3, 9) == SampleEdges(g, 0.3, 10));
+}
+
+TEST(SampleEdgesTest, SampledEdgesAreSubset) {
+  CitationGraph g = MakeRandomGraph(300, 5.0, 1990, 10, 3);
+  CitationGraph sampled = SampleEdges(g, 0.4, 11);
+  for (NodeId u = 0; u < sampled.num_nodes(); ++u) {
+    for (NodeId v : sampled.References(u)) {
+      EXPECT_TRUE(g.HasEdge(u, v));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scholar

@@ -1,0 +1,74 @@
+#include "util/csv.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace scholar {
+namespace {
+
+TEST(CsvWriterTest, HeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter writer(&out);
+  writer.Header({"method", "accuracy"});
+  writer.Row().Add("pagerank").Add(0.75);
+  writer.Row().Add("twpr").Add(int64_t{42});
+  EXPECT_EQ(writer.rows_written(), 2u);
+  EXPECT_EQ(out.str(), "method,accuracy\npagerank,0.750000\ntwpr,42\n");
+}
+
+TEST(CsvWriterTest, QuotesSpecialCharacters) {
+  std::ostringstream out;
+  CsvWriter writer(&out);
+  writer.Row().Add("a,b").Add("say \"hi\"").Add("plain");
+  EXPECT_EQ(out.str(), "\"a,b\",\"say \"\"hi\"\"\",plain\n");
+}
+
+TEST(CsvWriterTest, MixedNumericTypes) {
+  std::ostringstream out;
+  CsvWriter writer(&out);
+  writer.Row().Add(1).Add(uint64_t{2}).Add(-3.5);
+  EXPECT_EQ(out.str(), "1,2,-3.500000\n");
+}
+
+TEST(ParseCsvLineTest, SimpleFields) {
+  auto fields = ParseCsvLine("a,b,c").value();
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(ParseCsvLineTest, EmptyFieldsPreserved) {
+  auto fields = ParseCsvLine("a,,c,").value();
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(ParseCsvLineTest, QuotedFields) {
+  auto fields = ParseCsvLine("\"a,b\",\"say \"\"hi\"\"\"").value();
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "a,b");
+  EXPECT_EQ(fields[1], "say \"hi\"");
+}
+
+TEST(ParseCsvLineTest, RoundTripsWithWriter) {
+  std::ostringstream out;
+  CsvWriter writer(&out);
+  writer.Row().Add("x,y").Add("\"quoted\"").Add("normal");
+  std::string line = out.str();
+  line.pop_back();  // strip trailing newline
+  auto fields = ParseCsvLine(line).value();
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "x,y");
+  EXPECT_EQ(fields[1], "\"quoted\"");
+  EXPECT_EQ(fields[2], "normal");
+}
+
+TEST(ParseCsvLineTest, ErrorsOnMalformedQuotes) {
+  EXPECT_TRUE(ParseCsvLine("\"unterminated").status().IsCorruption());
+  EXPECT_TRUE(ParseCsvLine("ab\"cd").status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace scholar

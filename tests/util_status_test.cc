@@ -1,0 +1,129 @@
+#include "util/status.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace scholar {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad sigma");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad sigma");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad sigma");
+}
+
+TEST(StatusTest, PredicatesMatchCodes) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_FALSE(Status::Corruption("x").IsNotFound());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::IOError("a"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusTest, CodeToStringCoversAllCodes) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInvalidArgument),
+            "InvalidArgument");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kNotFound), "NotFound");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kAlreadyExists), "AlreadyExists");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kFailedPrecondition),
+            "FailedPrecondition");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kIOError), "IOError");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kCorruption), "Corruption");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kNotImplemented),
+            "NotImplemented");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.status().message(), "nope");
+}
+
+TEST(ResultTest, ValueOrReturnsFallbackOnError) {
+  Result<int> bad = Status::Internal("x");
+  EXPECT_EQ(bad.ValueOr(-1), -1);
+  Result<int> good = 7;
+  EXPECT_EQ(good.ValueOr(-1), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("hello");
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(r->size(), 5u);
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Chain(int x) {
+  SCHOLAR_RETURN_NOT_OK(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusMacroTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(Chain(1).ok());
+  EXPECT_TRUE(Chain(-1).IsInvalidArgument());
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  SCHOLAR_ASSIGN_OR_RETURN(int h, Half(x));
+  SCHOLAR_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(StatusMacroTest, AssignOrReturnChains) {
+  Result<int> r = Quarter(8);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 2);
+  EXPECT_TRUE(Quarter(6).status().IsInvalidArgument());  // 6/2=3 is odd
+  EXPECT_TRUE(Quarter(7).status().IsInvalidArgument());
+}
+
+TEST(ResultTest, DeathOnBadAccess) {
+  Result<int> r = Status::Internal("boom");
+  EXPECT_DEATH({ (void)r.value(); }, "boom");
+}
+
+}  // namespace
+}  // namespace scholar

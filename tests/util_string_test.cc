@@ -1,0 +1,106 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace scholar {
+namespace {
+
+TEST(SplitTest, BasicAndEmptyFields) {
+  auto parts = Split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+
+  parts = Split("a,,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+
+  parts = Split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+
+  parts = Split(",", ',');
+  ASSERT_EQ(parts.size(), 2u);
+}
+
+TEST(SplitTest, SkipEmptyDropsBlanks) {
+  auto parts = SplitSkipEmpty("  a   b  ", ' ');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_TRUE(SplitSkipEmpty("   ", ' ').empty());
+}
+
+TEST(TrimTest, StripsBothEnds) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim("\t\nhi\r "), "hi");
+  EXPECT_EQ(Trim("hi"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("a b"), "a b");
+}
+
+TEST(PrefixSuffixTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("#index 5", "#index"));
+  EXPECT_FALSE(StartsWith("#ind", "#index"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_TRUE(EndsWith("graph.bin", ".bin"));
+  EXPECT_FALSE(EndsWith("bin", ".bin"));
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(ParseInt64Test, ValidInputs) {
+  EXPECT_EQ(ParseInt64("42").value(), 42);
+  EXPECT_EQ(ParseInt64("-7").value(), -7);
+  EXPECT_EQ(ParseInt64("  13  ").value(), 13);
+  EXPECT_EQ(ParseInt64("0").value(), 0);
+}
+
+TEST(ParseInt64Test, RejectsGarbage) {
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("abc").ok());
+  EXPECT_FALSE(ParseInt64("12x").ok());
+  EXPECT_FALSE(ParseInt64("1.5").ok());
+  EXPECT_FALSE(ParseInt64("  ").ok());
+}
+
+TEST(ParseDoubleTest, ValidInputs) {
+  EXPECT_DOUBLE_EQ(ParseDouble("0.85").value(), 0.85);
+  EXPECT_DOUBLE_EQ(ParseDouble("-3").value(), -3.0);
+  EXPECT_DOUBLE_EQ(ParseDouble("1e-10").value(), 1e-10);
+  EXPECT_DOUBLE_EQ(ParseDouble(" 2.5 ").value(), 2.5);
+}
+
+TEST(ParseDoubleTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("x").ok());
+  EXPECT_FALSE(ParseDouble("1.5fun").ok());
+}
+
+TEST(ToLowerTest, LowersAsciiOnly) {
+  EXPECT_EQ(ToLower("PageRank"), "pagerank");
+  EXPECT_EQ(ToLower("ens_TWPR"), "ens_twpr");
+  EXPECT_EQ(ToLower("123-x"), "123-x");
+}
+
+TEST(FormatDoubleTest, FixedDigits) {
+  EXPECT_EQ(FormatDouble(0.5, 2), "0.50");
+  EXPECT_EQ(FormatDouble(1.23456, 3), "1.235");
+  EXPECT_EQ(FormatDouble(-0.1, 1), "-0.1");
+}
+
+TEST(FormatWithCommasTest, GroupsThousands) {
+  EXPECT_EQ(FormatWithCommas(0), "0");
+  EXPECT_EQ(FormatWithCommas(999), "999");
+  EXPECT_EQ(FormatWithCommas(1000), "1,000");
+  EXPECT_EQ(FormatWithCommas(1247753), "1,247,753");
+  EXPECT_EQ(FormatWithCommas(-4321), "-4,321");
+}
+
+}  // namespace
+}  // namespace scholar

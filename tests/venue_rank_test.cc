@@ -1,0 +1,106 @@
+#include "rank/venue_rank.h"
+
+#include <gtest/gtest.h>
+#include "test_util.h"
+
+namespace scholar {
+namespace {
+
+using testing_util::MakeGraph;
+using testing_util::MakeTinyGraph;
+
+TEST(VenueRankTest, RequiresVenueData) {
+  CitationGraph g = MakeTinyGraph();
+  EXPECT_TRUE(VenueRankRanker().Rank(g).status().IsInvalidArgument());
+}
+
+TEST(VenueRankTest, VenueSizeMustMatch) {
+  CitationGraph g = MakeTinyGraph();
+  std::vector<int32_t> venues = {0, 0};  // graph has 5 nodes
+  RankContext ctx;
+  ctx.graph = &g;
+  ctx.venues = &venues;
+  EXPECT_TRUE(VenueRankRanker().Rank(ctx).status().IsInvalidArgument());
+}
+
+TEST(VenueRankTest, PrestigiousVenueLiftsUncitedArticle) {
+  // Venue 0's articles are heavily cited; venue 1's are not. Two fresh
+  // uncited articles differ only in venue: the venue-0 one must rank
+  // higher.
+  GraphBuilder builder;
+  NodeId good0 = builder.AddNode(2000);  // venue 0, cited
+  NodeId good1 = builder.AddNode(2000);  // venue 0, cited
+  NodeId weak0 = builder.AddNode(2000);  // venue 1, uncited
+  NodeId fresh_good = builder.AddNode(2005);  // venue 0, uncited
+  NodeId fresh_weak = builder.AddNode(2005);  // venue 1, uncited
+  for (int i = 0; i < 6; ++i) {
+    NodeId citer = builder.AddNode(2001 + i % 3);
+    SCHOLAR_CHECK_OK(builder.AddEdge(citer, good0));
+    SCHOLAR_CHECK_OK(builder.AddEdge(citer, good1));
+  }
+  CitationGraph g = std::move(builder).Build().value();
+  std::vector<int32_t> venues = {0, 0, 1, 0, 1, -1, -1, -1, -1, -1, -1};
+  ASSERT_EQ(venues.size(), g.num_nodes());
+  RankContext ctx;
+  ctx.graph = &g;
+  ctx.venues = &venues;
+  RankResult r = VenueRankRanker().Rank(ctx).value();
+  EXPECT_GT(r.scores[fresh_good], r.scores[fresh_weak]);
+  EXPECT_GT(r.scores[good0], r.scores[weak0]);
+}
+
+TEST(VenueRankTest, LambdaOneIgnoresVenues) {
+  CitationGraph g = MakeTinyGraph();
+  std::vector<int32_t> venues = {0, 1, 0, 1, 0};
+  RankContext ctx;
+  ctx.graph = &g;
+  ctx.venues = &venues;
+  VenueRankOptions o;
+  o.lambda = 1.0;
+  RankResult with_venues = VenueRankRanker(o).Rank(ctx).value();
+  std::vector<int32_t> other_venues = {1, 0, 1, 0, 1};
+  ctx.venues = &other_venues;
+  RankResult swapped = VenueRankRanker(o).Rank(ctx).value();
+  EXPECT_EQ(with_venues.scores, swapped.scores);
+}
+
+TEST(VenueRankTest, UnknownVenueUsesGlobalMean) {
+  CitationGraph g = MakeGraph({2000, 2000}, {});
+  std::vector<int32_t> venues = {-1, -1};
+  RankContext ctx;
+  ctx.graph = &g;
+  ctx.venues = &venues;
+  RankResult r = VenueRankRanker().Rank(ctx).value();
+  ASSERT_EQ(r.scores.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.scores[0], r.scores[1]);
+}
+
+TEST(VenueRankTest, RejectsBadOptions) {
+  CitationGraph g = MakeTinyGraph();
+  std::vector<int32_t> venues(5, 0);
+  RankContext ctx;
+  ctx.graph = &g;
+  ctx.venues = &venues;
+  VenueRankOptions o;
+  o.lambda = 1.5;
+  EXPECT_TRUE(VenueRankRanker(o).Rank(ctx).status().IsInvalidArgument());
+  o = VenueRankOptions();
+  o.iterations = 0;
+  EXPECT_TRUE(VenueRankRanker(o).Rank(ctx).status().IsInvalidArgument());
+  std::vector<int32_t> bad = {0, 0, 0, 0, -2};
+  ctx.venues = &bad;
+  EXPECT_TRUE(VenueRankRanker().Rank(ctx).status().IsInvalidArgument());
+}
+
+TEST(VenueRankTest, EmptyGraph) {
+  CitationGraph g;
+  std::vector<int32_t> venues;
+  RankContext ctx;
+  ctx.graph = &g;
+  ctx.venues = &venues;
+  RankResult r = VenueRankRanker().Rank(ctx).value();
+  EXPECT_TRUE(r.scores.empty());
+}
+
+}  // namespace
+}  // namespace scholar

@@ -1,0 +1,9 @@
+/// Command-line front end; all logic lives in cli/commands.* so it is unit
+/// tested. See `scholar_cli help`.
+#include <iostream>
+
+#include "cli/commands.h"
+
+int main(int argc, char** argv) {
+  return scholar::cli::Main(argc, argv, &std::cout, &std::cerr);
+}
