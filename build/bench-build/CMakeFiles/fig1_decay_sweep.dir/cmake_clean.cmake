@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_decay_sweep"
+  "../bench/fig1_decay_sweep.pdb"
+  "CMakeFiles/fig1_decay_sweep.dir/fig1_decay_sweep.cc.o"
+  "CMakeFiles/fig1_decay_sweep.dir/fig1_decay_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_decay_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

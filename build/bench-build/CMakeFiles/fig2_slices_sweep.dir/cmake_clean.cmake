@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_slices_sweep"
+  "../bench/fig2_slices_sweep.pdb"
+  "CMakeFiles/fig2_slices_sweep.dir/fig2_slices_sweep.cc.o"
+  "CMakeFiles/fig2_slices_sweep.dir/fig2_slices_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_slices_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

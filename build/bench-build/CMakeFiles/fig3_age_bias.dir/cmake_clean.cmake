@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_age_bias"
+  "../bench/fig3_age_bias.pdb"
+  "CMakeFiles/fig3_age_bias.dir/fig3_age_bias.cc.o"
+  "CMakeFiles/fig3_age_bias.dir/fig3_age_bias.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_age_bias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

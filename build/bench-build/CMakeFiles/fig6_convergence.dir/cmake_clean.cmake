@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_convergence"
+  "../bench/fig6_convergence.pdb"
+  "CMakeFiles/fig6_convergence.dir/fig6_convergence.cc.o"
+  "CMakeFiles/fig6_convergence.dir/fig6_convergence.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

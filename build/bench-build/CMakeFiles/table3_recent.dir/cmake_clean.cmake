@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_recent"
+  "../bench/table3_recent.pdb"
+  "CMakeFiles/table3_recent.dir/table3_recent.cc.o"
+  "CMakeFiles/table3_recent.dir/table3_recent.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_recent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

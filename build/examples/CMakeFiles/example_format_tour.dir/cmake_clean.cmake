@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_format_tour.dir/format_tour.cpp.o"
+  "CMakeFiles/example_format_tour.dir/format_tour.cpp.o.d"
+  "example_format_tour"
+  "example_format_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_format_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

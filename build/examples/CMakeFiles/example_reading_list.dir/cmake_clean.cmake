@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_reading_list.dir/reading_list.cpp.o"
+  "CMakeFiles/example_reading_list.dir/reading_list.cpp.o.d"
+  "example_reading_list"
+  "example_reading_list.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_reading_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

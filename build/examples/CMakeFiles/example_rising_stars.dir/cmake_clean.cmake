@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_rising_stars.dir/rising_stars.cpp.o"
+  "CMakeFiles/example_rising_stars.dir/rising_stars.cpp.o.d"
+  "example_rising_stars"
+  "example_rising_stars.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_rising_stars.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_scholar_profiles.dir/scholar_profiles.cpp.o"
+  "CMakeFiles/example_scholar_profiles.dir/scholar_profiles.cpp.o.d"
+  "example_scholar_profiles"
+  "example_scholar_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_scholar_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

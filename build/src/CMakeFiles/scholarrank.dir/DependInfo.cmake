@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cli/commands.cc" "src/CMakeFiles/scholarrank.dir/cli/commands.cc.o" "gcc" "src/CMakeFiles/scholarrank.dir/cli/commands.cc.o.d"
+  "/root/repo/src/core/registry.cc" "src/CMakeFiles/scholarrank.dir/core/registry.cc.o" "gcc" "src/CMakeFiles/scholarrank.dir/core/registry.cc.o.d"
+  "/root/repo/src/core/scholar_ranker.cc" "src/CMakeFiles/scholarrank.dir/core/scholar_ranker.cc.o" "gcc" "src/CMakeFiles/scholarrank.dir/core/scholar_ranker.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/scholarrank.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/scholarrank.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/ground_truth.cc" "src/CMakeFiles/scholarrank.dir/data/ground_truth.cc.o" "gcc" "src/CMakeFiles/scholarrank.dir/data/ground_truth.cc.o.d"
+  "/root/repo/src/data/profiles.cc" "src/CMakeFiles/scholarrank.dir/data/profiles.cc.o" "gcc" "src/CMakeFiles/scholarrank.dir/data/profiles.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/CMakeFiles/scholarrank.dir/data/synthetic.cc.o" "gcc" "src/CMakeFiles/scholarrank.dir/data/synthetic.cc.o.d"
+  "/root/repo/src/ensemble/ensemble_ranker.cc" "src/CMakeFiles/scholarrank.dir/ensemble/ensemble_ranker.cc.o" "gcc" "src/CMakeFiles/scholarrank.dir/ensemble/ensemble_ranker.cc.o.d"
+  "/root/repo/src/ensemble/normalizer.cc" "src/CMakeFiles/scholarrank.dir/ensemble/normalizer.cc.o" "gcc" "src/CMakeFiles/scholarrank.dir/ensemble/normalizer.cc.o.d"
+  "/root/repo/src/ensemble/time_partitioner.cc" "src/CMakeFiles/scholarrank.dir/ensemble/time_partitioner.cc.o" "gcc" "src/CMakeFiles/scholarrank.dir/ensemble/time_partitioner.cc.o.d"
+  "/root/repo/src/eval/benchmark_sets.cc" "src/CMakeFiles/scholarrank.dir/eval/benchmark_sets.cc.o" "gcc" "src/CMakeFiles/scholarrank.dir/eval/benchmark_sets.cc.o.d"
+  "/root/repo/src/eval/cohort.cc" "src/CMakeFiles/scholarrank.dir/eval/cohort.cc.o" "gcc" "src/CMakeFiles/scholarrank.dir/eval/cohort.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/scholarrank.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/scholarrank.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/significance.cc" "src/CMakeFiles/scholarrank.dir/eval/significance.cc.o" "gcc" "src/CMakeFiles/scholarrank.dir/eval/significance.cc.o.d"
+  "/root/repo/src/graph/citation_graph.cc" "src/CMakeFiles/scholarrank.dir/graph/citation_graph.cc.o" "gcc" "src/CMakeFiles/scholarrank.dir/graph/citation_graph.cc.o.d"
+  "/root/repo/src/graph/components.cc" "src/CMakeFiles/scholarrank.dir/graph/components.cc.o" "gcc" "src/CMakeFiles/scholarrank.dir/graph/components.cc.o.d"
+  "/root/repo/src/graph/graph_builder.cc" "src/CMakeFiles/scholarrank.dir/graph/graph_builder.cc.o" "gcc" "src/CMakeFiles/scholarrank.dir/graph/graph_builder.cc.o.d"
+  "/root/repo/src/graph/graph_io.cc" "src/CMakeFiles/scholarrank.dir/graph/graph_io.cc.o" "gcc" "src/CMakeFiles/scholarrank.dir/graph/graph_io.cc.o.d"
+  "/root/repo/src/graph/graph_stats.cc" "src/CMakeFiles/scholarrank.dir/graph/graph_stats.cc.o" "gcc" "src/CMakeFiles/scholarrank.dir/graph/graph_stats.cc.o.d"
+  "/root/repo/src/graph/time_slicer.cc" "src/CMakeFiles/scholarrank.dir/graph/time_slicer.cc.o" "gcc" "src/CMakeFiles/scholarrank.dir/graph/time_slicer.cc.o.d"
+  "/root/repo/src/rank/author_rank.cc" "src/CMakeFiles/scholarrank.dir/rank/author_rank.cc.o" "gcc" "src/CMakeFiles/scholarrank.dir/rank/author_rank.cc.o.d"
+  "/root/repo/src/rank/citation_count.cc" "src/CMakeFiles/scholarrank.dir/rank/citation_count.cc.o" "gcc" "src/CMakeFiles/scholarrank.dir/rank/citation_count.cc.o.d"
+  "/root/repo/src/rank/citerank.cc" "src/CMakeFiles/scholarrank.dir/rank/citerank.cc.o" "gcc" "src/CMakeFiles/scholarrank.dir/rank/citerank.cc.o.d"
+  "/root/repo/src/rank/futurerank.cc" "src/CMakeFiles/scholarrank.dir/rank/futurerank.cc.o" "gcc" "src/CMakeFiles/scholarrank.dir/rank/futurerank.cc.o.d"
+  "/root/repo/src/rank/gauss_seidel.cc" "src/CMakeFiles/scholarrank.dir/rank/gauss_seidel.cc.o" "gcc" "src/CMakeFiles/scholarrank.dir/rank/gauss_seidel.cc.o.d"
+  "/root/repo/src/rank/hits.cc" "src/CMakeFiles/scholarrank.dir/rank/hits.cc.o" "gcc" "src/CMakeFiles/scholarrank.dir/rank/hits.cc.o.d"
+  "/root/repo/src/rank/katz.cc" "src/CMakeFiles/scholarrank.dir/rank/katz.cc.o" "gcc" "src/CMakeFiles/scholarrank.dir/rank/katz.cc.o.d"
+  "/root/repo/src/rank/monte_carlo.cc" "src/CMakeFiles/scholarrank.dir/rank/monte_carlo.cc.o" "gcc" "src/CMakeFiles/scholarrank.dir/rank/monte_carlo.cc.o.d"
+  "/root/repo/src/rank/pagerank.cc" "src/CMakeFiles/scholarrank.dir/rank/pagerank.cc.o" "gcc" "src/CMakeFiles/scholarrank.dir/rank/pagerank.cc.o.d"
+  "/root/repo/src/rank/ranker.cc" "src/CMakeFiles/scholarrank.dir/rank/ranker.cc.o" "gcc" "src/CMakeFiles/scholarrank.dir/rank/ranker.cc.o.d"
+  "/root/repo/src/rank/sceas.cc" "src/CMakeFiles/scholarrank.dir/rank/sceas.cc.o" "gcc" "src/CMakeFiles/scholarrank.dir/rank/sceas.cc.o.d"
+  "/root/repo/src/rank/time_weighted_pagerank.cc" "src/CMakeFiles/scholarrank.dir/rank/time_weighted_pagerank.cc.o" "gcc" "src/CMakeFiles/scholarrank.dir/rank/time_weighted_pagerank.cc.o.d"
+  "/root/repo/src/rank/venue_rank.cc" "src/CMakeFiles/scholarrank.dir/rank/venue_rank.cc.o" "gcc" "src/CMakeFiles/scholarrank.dir/rank/venue_rank.cc.o.d"
+  "/root/repo/src/util/config.cc" "src/CMakeFiles/scholarrank.dir/util/config.cc.o" "gcc" "src/CMakeFiles/scholarrank.dir/util/config.cc.o.d"
+  "/root/repo/src/util/csv.cc" "src/CMakeFiles/scholarrank.dir/util/csv.cc.o" "gcc" "src/CMakeFiles/scholarrank.dir/util/csv.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/scholarrank.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/scholarrank.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/scholarrank.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/scholarrank.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/scholarrank.dir/util/status.cc.o" "gcc" "src/CMakeFiles/scholarrank.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/scholarrank.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/scholarrank.dir/util/string_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

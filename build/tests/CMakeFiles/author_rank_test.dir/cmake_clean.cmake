@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/author_rank_test.dir/author_rank_test.cc.o"
+  "CMakeFiles/author_rank_test.dir/author_rank_test.cc.o.d"
+  "author_rank_test"
+  "author_rank_test.pdb"
+  "author_rank_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/author_rank_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchmark_sets_test.dir/benchmark_sets_test.cc.o"
+  "CMakeFiles/benchmark_sets_test.dir/benchmark_sets_test.cc.o.d"
+  "benchmark_sets_test"
+  "benchmark_sets_test.pdb"
+  "benchmark_sets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchmark_sets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

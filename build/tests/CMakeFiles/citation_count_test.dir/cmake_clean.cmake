@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citation_count_test.dir/citation_count_test.cc.o"
+  "CMakeFiles/citation_count_test.dir/citation_count_test.cc.o.d"
+  "citation_count_test"
+  "citation_count_test.pdb"
+  "citation_count_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citation_count_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citation_graph_test.dir/citation_graph_test.cc.o"
+  "CMakeFiles/citation_graph_test.dir/citation_graph_test.cc.o.d"
+  "citation_graph_test"
+  "citation_graph_test.pdb"
+  "citation_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citation_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

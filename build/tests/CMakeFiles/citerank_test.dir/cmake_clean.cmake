@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citerank_test.dir/citerank_test.cc.o"
+  "CMakeFiles/citerank_test.dir/citerank_test.cc.o.d"
+  "citerank_test"
+  "citerank_test.pdb"
+  "citerank_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citerank_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

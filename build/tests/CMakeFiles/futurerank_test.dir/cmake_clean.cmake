@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/futurerank_test.dir/futurerank_test.cc.o"
+  "CMakeFiles/futurerank_test.dir/futurerank_test.cc.o.d"
+  "futurerank_test"
+  "futurerank_test.pdb"
+  "futurerank_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/futurerank_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

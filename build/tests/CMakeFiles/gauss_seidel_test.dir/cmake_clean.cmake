@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gauss_seidel_test.dir/gauss_seidel_test.cc.o"
+  "CMakeFiles/gauss_seidel_test.dir/gauss_seidel_test.cc.o.d"
+  "gauss_seidel_test"
+  "gauss_seidel_test.pdb"
+  "gauss_seidel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gauss_seidel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hits_test.dir/hits_test.cc.o"
+  "CMakeFiles/hits_test.dir/hits_test.cc.o.d"
+  "hits_test"
+  "hits_test.pdb"
+  "hits_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hits_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

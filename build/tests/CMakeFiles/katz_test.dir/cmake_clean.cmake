@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/katz_test.dir/katz_test.cc.o"
+  "CMakeFiles/katz_test.dir/katz_test.cc.o.d"
+  "katz_test"
+  "katz_test.pdb"
+  "katz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/katz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/normalizer_test.dir/normalizer_test.cc.o"
+  "CMakeFiles/normalizer_test.dir/normalizer_test.cc.o.d"
+  "normalizer_test"
+  "normalizer_test.pdb"
+  "normalizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/normalizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

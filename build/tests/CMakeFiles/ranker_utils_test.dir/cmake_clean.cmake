@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranker_utils_test.dir/ranker_utils_test.cc.o"
+  "CMakeFiles/ranker_utils_test.dir/ranker_utils_test.cc.o.d"
+  "ranker_utils_test"
+  "ranker_utils_test.pdb"
+  "ranker_utils_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranker_utils_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sceas_test.dir/sceas_test.cc.o"
+  "CMakeFiles/sceas_test.dir/sceas_test.cc.o.d"
+  "sceas_test"
+  "sceas_test.pdb"
+  "sceas_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sceas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

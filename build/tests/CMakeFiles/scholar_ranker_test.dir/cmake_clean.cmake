@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scholar_ranker_test.dir/scholar_ranker_test.cc.o"
+  "CMakeFiles/scholar_ranker_test.dir/scholar_ranker_test.cc.o.d"
+  "scholar_ranker_test"
+  "scholar_ranker_test.pdb"
+  "scholar_ranker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scholar_ranker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_partitioner_test.dir/time_partitioner_test.cc.o"
+  "CMakeFiles/time_partitioner_test.dir/time_partitioner_test.cc.o.d"
+  "time_partitioner_test"
+  "time_partitioner_test.pdb"
+  "time_partitioner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_partitioner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_slicer_test.dir/time_slicer_test.cc.o"
+  "CMakeFiles/time_slicer_test.dir/time_slicer_test.cc.o.d"
+  "time_slicer_test"
+  "time_slicer_test.pdb"
+  "time_slicer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_slicer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twpr_test.dir/twpr_test.cc.o"
+  "CMakeFiles/twpr_test.dir/twpr_test.cc.o.d"
+  "twpr_test"
+  "twpr_test.pdb"
+  "twpr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twpr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/venue_rank_test.dir/venue_rank_test.cc.o"
+  "CMakeFiles/venue_rank_test.dir/venue_rank_test.cc.o.d"
+  "venue_rank_test"
+  "venue_rank_test.pdb"
+  "venue_rank_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/venue_rank_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scholar_cli.dir/scholar_cli.cc.o"
+  "CMakeFiles/scholar_cli.dir/scholar_cli.cc.o.d"
+  "scholar_cli"
+  "scholar_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scholar_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
