@@ -1,0 +1,129 @@
+/// Serving-path microbenchmarks: what one core pays per query once scores
+/// are precomputed. Covers the snapshot's O(k) top-k slice against the
+/// offline partial sort it replaces, and QueryEngine request handling for
+/// the common wire commands (parse + lookup + render).
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "core/scholar_ranker.h"
+#include "data/profiles.h"
+#include "data/synthetic.h"
+#include "rank/ranker.h"
+#include "serve/query_engine.h"
+#include "serve/snapshot.h"
+#include "serve/snapshot_manager.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace scholar;
+using namespace scholar::serve;
+
+constexpr size_t kArticles = 20000;
+
+const Corpus& BenchCorpus() {
+  static const Corpus& corpus = *new Corpus([] {
+    Result<SyntheticOptions> options =
+        ProfileByName("aminer", kArticles, /*seed=*/20180416);
+    SCHOLAR_CHECK_OK(options.status());
+    Result<Corpus> c = GenerateSyntheticCorpus(*options, "serve-bench");
+    SCHOLAR_CHECK_OK(c.status());
+    return std::move(c).value();
+  }());
+  return corpus;
+}
+
+const RankingOutput& BenchRanking() {
+  static const RankingOutput& ranking = *new RankingOutput([] {
+    // Citation count: instant, and score distribution shape is irrelevant
+    // to serving cost.
+    Config config;
+    config.Set("ranker", "cc");
+    Result<ScholarRanker> ranker = ScholarRanker::Create(config);
+    SCHOLAR_CHECK_OK(ranker.status());
+    Result<RankingOutput> out = ranker->RankCorpus(BenchCorpus());
+    SCHOLAR_CHECK_OK(out.status());
+    return std::move(out).value();
+  }());
+  return ranking;
+}
+
+SnapshotManager& BenchManager() {
+  static SnapshotManager& manager = *new SnapshotManager();
+  if (manager.Current() == nullptr) {
+    SnapshotMeta meta;
+    meta.ranker_name = "cc";
+    meta.corpus_name = "serve-bench";
+    Result<ScoreSnapshot> snap =
+        ScoreSnapshot::Build(BenchCorpus().graph, BenchRanking(), meta);
+    SCHOLAR_CHECK_OK(snap.status());
+    manager.Install(std::move(snap).value());
+  }
+  return manager;
+}
+
+void BM_OfflineTopK(benchmark::State& state) {
+  const RankingOutput& ranking = BenchRanking();
+  const size_t k = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ranking.Top(k));
+  }
+}
+BENCHMARK(BM_OfflineTopK)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_SnapshotTopK(benchmark::State& state) {
+  SnapshotManager& manager = BenchManager();
+  auto live = manager.Current();
+  const size_t k = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(live->snapshot.Top(k));
+  }
+}
+BENCHMARK(BM_SnapshotTopK)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_EngineScore(benchmark::State& state) {
+  QueryEngine engine(&BenchManager());
+  Rng rng(7);
+  for (auto _ : state) {
+    const std::string request =
+        "score " + std::to_string(rng.NextBounded(kArticles));
+    benchmark::DoNotOptimize(engine.Execute(request));
+  }
+}
+BENCHMARK(BM_EngineScore);
+
+void BM_EngineTopKCached(benchmark::State& state) {
+  QueryEngine engine(&BenchManager());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Execute("top_k 10"));
+  }
+}
+BENCHMARK(BM_EngineTopKCached);
+
+void BM_EngineTopKUncached(benchmark::State& state) {
+  QueryEngineOptions options;
+  options.cache_entries = 0;
+  QueryEngine engine(&BenchManager(), options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Execute("top_k 10"));
+  }
+}
+BENCHMARK(BM_EngineTopKUncached);
+
+void BM_EngineNeighbors(benchmark::State& state) {
+  QueryEngine engine(&BenchManager());
+  Rng rng(7);
+  for (auto _ : state) {
+    const std::string request =
+        "neighbors " + std::to_string(rng.NextBounded(kArticles)) +
+        " citers 10";
+    benchmark::DoNotOptimize(engine.Execute(request));
+  }
+}
+BENCHMARK(BM_EngineNeighbors);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,6 +1,12 @@
 #include "cli/commands.h"
 
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <ctime>
 #include <ostream>
+#include <thread>
 
 #include "core/registry.h"
 #include "core/scholar_ranker.h"
@@ -11,6 +17,10 @@
 #include "graph/components.h"
 #include "graph/graph_io.h"
 #include "graph/graph_stats.h"
+#include "serve/query_engine.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
+#include "serve/snapshot_manager.h"
 #include "util/string_util.h"
 
 namespace scholar {
@@ -182,6 +192,102 @@ Status RunEval(const Config& config, std::ostream* out) {
   return Status::OK();
 }
 
+Status RunSnapshot(const Config& config, std::ostream* out) {
+  SCHOLAR_ASSIGN_OR_RETURN(std::string path, config.GetString("out_snapshot"));
+  SCHOLAR_ASSIGN_OR_RETURN(Corpus corpus, LoadCorpus(config));
+  SCHOLAR_ASSIGN_OR_RETURN(ScholarRanker ranker, ScholarRanker::Create(config));
+  SCHOLAR_ASSIGN_OR_RETURN(RankingOutput ranking, ranker.RankCorpus(corpus));
+  serve::SnapshotMeta meta;
+  meta.snapshot_id =
+      static_cast<uint64_t>(config.GetIntOr("snapshot_id", 0));
+  meta.created_unix = static_cast<int64_t>(std::time(nullptr));
+  meta.ranker_name = ranker.name();
+  meta.corpus_name = corpus.name;
+  SCHOLAR_ASSIGN_OR_RETURN(
+      serve::ScoreSnapshot snapshot,
+      serve::ScoreSnapshot::Build(corpus.graph, ranking, std::move(meta)));
+  SCHOLAR_RETURN_NOT_OK(snapshot.WriteToFile(path));
+  *out << "wrote snapshot: " << path << " (" << snapshot.num_nodes()
+       << " nodes, " << snapshot.num_edges() << " edges, ranker "
+       << ranker.name() << ")\n";
+  return Status::OK();
+}
+
+namespace {
+
+/// SIGINT → one byte down a self-pipe; everything that is not
+/// async-signal-safe (mutexes, joins) happens on the watcher thread that
+/// reads the other end.
+volatile int g_sigint_pipe_wr = -1;
+
+void ServeSigintHandler(int) {
+  const char byte = 1;
+  if (g_sigint_pipe_wr >= 0) {
+    [[maybe_unused]] ssize_t n = ::write(g_sigint_pipe_wr, &byte, 1);
+  }
+}
+
+}  // namespace
+
+Status RunServe(const Config& config, std::ostream* out) {
+  SCHOLAR_ASSIGN_OR_RETURN(std::string path, config.GetString("snapshot"));
+  serve::SnapshotManager manager;
+  SCHOLAR_RETURN_NOT_OK(manager.LoadFile(path));
+  const std::shared_ptr<const serve::LiveSnapshot> live = manager.Current();
+
+  serve::QueryEngineOptions engine_options;
+  engine_options.cache_entries =
+      static_cast<size_t>(config.GetIntOr("cache_entries", 256));
+  engine_options.max_k = static_cast<size_t>(config.GetIntOr("max_k", 1000));
+  engine_options.allow_reload = config.GetBoolOr("allow_reload", true);
+  serve::QueryEngine engine(&manager, engine_options);
+
+  serve::ServerOptions server_options;
+  const int64_t port = config.GetIntOr("port", 7601);
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("port must be in [0, 65535]");
+  }
+  server_options.port = static_cast<uint16_t>(port);
+  server_options.num_threads =
+      static_cast<size_t>(config.GetIntOr("threads", 4));
+  serve::Server server(&engine, server_options);
+  SCHOLAR_RETURN_NOT_OK(server.Start());
+  *out << "serving " << live->snapshot.meta().corpus_name << " ("
+       << live->snapshot.num_nodes() << " nodes, ranker "
+       << live->snapshot.meta().ranker_name << ") port=" << server.port()
+       << " threads=" << server_options.num_threads
+       << " — Ctrl-C for graceful shutdown\n"
+       << std::flush;
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    server.Stop();
+    return Status::IOError("pipe() for signal handling failed");
+  }
+  g_sigint_pipe_wr = pipe_fds[1];
+  struct sigaction action {};
+  struct sigaction previous {};
+  action.sa_handler = ServeSigintHandler;
+  ::sigaction(SIGINT, &action, &previous);
+
+  std::thread watcher([&server, read_fd = pipe_fds[0]] {
+    char byte;
+    while (::read(read_fd, &byte, 1) < 0 && errno == EINTR) {
+    }
+    server.Stop();  // idempotent; also runs on pipe close during teardown
+  });
+  server.Wait();
+
+  ::sigaction(SIGINT, &previous, nullptr);
+  g_sigint_pipe_wr = -1;
+  ::close(pipe_fds[1]);  // unblocks the watcher if no signal ever arrived
+  watcher.join();
+  ::close(pipe_fds[0]);
+  *out << "server stopped (" << server.connections_accepted()
+       << " connections served)\n";
+  return Status::OK();
+}
+
 Status RunConvert(const Config& config, std::ostream* out) {
   SCHOLAR_ASSIGN_OR_RETURN(Corpus corpus, LoadCorpus(config));
   size_t outputs = 0;
@@ -207,6 +313,12 @@ std::string UsageText() {
          "  eval       benchmark rankers on a synthetic corpus;\n"
          "             rankers=<a,b,...> pairs=<count>\n"
          "  convert    read one format, write others (generate's out_*)\n"
+         "  snapshot   rank a corpus and write the serving artifact;\n"
+         "             corpus inputs + ranker keys + out_snapshot=<path>\n"
+         "             [snapshot_id=<id>]\n"
+         "  serve      serve a snapshot over line-protocol TCP;\n"
+         "             snapshot=<path> port=<p|0> threads=<t> [max_k=]\n"
+         "             [cache_entries=] [allow_reload=true|false]\n"
          "  help       this text\n";
 }
 
@@ -233,6 +345,10 @@ int Main(int argc, const char* const* argv, std::ostream* out,
     status = RunEval(*config, out);
   } else if (command == "convert") {
     status = RunConvert(*config, out);
+  } else if (command == "snapshot") {
+    status = RunSnapshot(*config, out);
+  } else if (command == "serve") {
+    status = RunServe(*config, out);
   } else if (command == "help" || command == "--help" || command == "-h") {
     *out << UsageText();
     return 0;

@@ -41,6 +41,18 @@ Status RunEval(const Config& config, std::ostream* out);
 /// output keys as `generate`).
 Status RunConvert(const Config& config, std::ostream* out);
 
+/// `snapshot`: rank a corpus and write the serving artifact.
+/// Keys: corpus inputs (see LoadCorpus), ranker=<name> and its parameters,
+/// out_snapshot=<path> (required), snapshot_id=<id>.
+Status RunSnapshot(const Config& config, std::ostream* out);
+
+/// `serve`: answer line-protocol TCP queries from a snapshot file.
+/// Keys: snapshot=<path> (required), port=<p> (default 7601, 0 =
+/// ephemeral), threads=<t>, max_k=, cache_entries=, allow_reload=.
+/// Prints "serving ... port=<p>" once listening, then blocks until SIGINT
+/// (graceful: in-flight requests finish before exit).
+Status RunServe(const Config& config, std::ostream* out);
+
 /// Dispatches argv[1] to a command; `help` / unknown prints usage.
 /// Returns the process exit code.
 int Main(int argc, const char* const* argv, std::ostream* out,

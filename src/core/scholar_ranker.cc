@@ -10,6 +10,10 @@ std::vector<NodeId> RankingOutput::Top(size_t k) const {
   return TopK(scores, k);
 }
 
+std::vector<NodeId> RankingOutput::Descending() const {
+  return TopK(scores, scores.size());
+}
+
 Result<ScholarRanker> ScholarRanker::Create(const Config& config) {
   const std::string name = config.GetStringOr("ranker", "ens_twpr");
   SCHOLAR_ASSIGN_OR_RETURN(std::shared_ptr<const Ranker> ranker,

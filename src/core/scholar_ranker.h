@@ -23,8 +23,16 @@ struct RankingOutput {
   int iterations = 0;
   bool converged = true;
 
-  /// The k best articles, best first.
+  /// The k best articles, best first. k larger than the corpus is clamped;
+  /// an empty ranking yields an empty list. Costs O(n + k log k) via
+  /// partial selection, not a full sort.
   std::vector<NodeId> Top(size_t k) const;
+
+  /// Every article in descending score order (deterministic id tie-break)
+  /// — the ranking→snapshot conversion: serving snapshots store this
+  /// permutation verbatim as their precomputed top-k index
+  /// (serve/snapshot.h), making online Top(k) an O(k) slice.
+  std::vector<NodeId> Descending() const;
 };
 
 /// The library facade: one object that turns a corpus into a

@@ -58,8 +58,18 @@ std::vector<double> MidrankPercentiles(const std::vector<double>& scores) {
 }
 
 std::vector<NodeId> TopK(const std::vector<double>& scores, size_t k) {
-  std::vector<NodeId> order = SortedByScore(scores);
-  if (order.size() > k) order.resize(k);
+  k = std::min(k, scores.size());  // clamp: k > n just means "all of them"
+  std::vector<NodeId> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  // Partial selection: O(n + k log k) beats the full sort when k << n,
+  // which is the common case (top-50 of a multi-million-article corpus).
+  std::partial_sort(order.begin(),
+                    order.begin() + static_cast<ptrdiff_t>(k), order.end(),
+                    [&](NodeId a, NodeId b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;
+                    });
+  order.resize(k);
   return order;
 }
 

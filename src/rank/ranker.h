@@ -95,7 +95,7 @@ std::vector<double> RankPercentiles(const std::vector<double>& scores);
 std::vector<double> MidrankPercentiles(const std::vector<double>& scores);
 
 /// Indices of the k highest-scoring articles, best first (deterministic tie
-/// break by node id).
+/// break by node id). k is clamped to scores.size().
 std::vector<NodeId> TopK(const std::vector<double>& scores, size_t k);
 
 /// Validates a context (non-null graph, optional-field shapes). Shared by

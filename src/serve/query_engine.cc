@@ -1,0 +1,162 @@
+#include "serve/query_engine.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace scholar {
+namespace serve {
+namespace {
+
+/// Score formatting for wire responses: enough digits that two articles
+/// with different scores render differently on a 20M-node corpus.
+constexpr int kScoreDigits = 10;
+
+std::string Err(std::string message) { return "ERR " + std::move(message); }
+
+/// Parses a non-negative integer request argument.
+bool ParseSize(std::string_view token, size_t* out) {
+  Result<int64_t> v = ParseInt64(token);
+  if (!v.ok() || *v < 0) return false;
+  *out = static_cast<size_t>(*v);
+  return true;
+}
+
+bool ParseNode(std::string_view token, const ScoreSnapshot& snap,
+               NodeId* out) {
+  size_t id = 0;
+  if (!ParseSize(token, &id) || id >= snap.num_nodes()) return false;
+  *out = static_cast<NodeId>(id);
+  return true;
+}
+
+void AppendIdScore(const ScoreSnapshot& snap, NodeId id, std::string* out) {
+  *out += std::to_string(id);
+  *out += ':';
+  *out += FormatDouble(snap.score(id), kScoreDigits);
+}
+
+std::string RenderTopPage(const ScoreSnapshot& snap, size_t k,
+                          size_t offset) {
+  std::string response = "OK";
+  for (NodeId id : snap.TopPage(offset, k)) {
+    response += ' ';
+    AppendIdScore(snap, id, &response);
+  }
+  return response;
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(SnapshotManager* manager, QueryEngineOptions options)
+    : manager_(manager),
+      options_(options),
+      top_cache_(options.cache_entries) {}
+
+std::string QueryEngine::Execute(std::string_view line) {
+  const std::vector<std::string_view> tokens = SplitSkipEmpty(line, ' ');
+  if (tokens.empty()) return Err("empty request");
+  const std::string_view command = tokens[0];
+
+  if (command == "ping") return "OK pong";
+
+  if (command == "reload") {
+    if (!options_.allow_reload) return Err("reload disabled");
+    if (tokens.size() != 2) return Err("usage: reload <path>");
+    Status status = manager_->LoadFile(std::string(tokens[1]));
+    if (!status.ok()) return Err(status.ToString());
+    return "OK generation=" + std::to_string(manager_->generation());
+  }
+
+  std::shared_ptr<const LiveSnapshot> live = manager_->Current();
+  if (live == nullptr) return Err("no snapshot loaded");
+  const ScoreSnapshot& snap = live->snapshot;
+
+  if (command == "info") {
+    return "OK nodes=" + std::to_string(snap.num_nodes()) +
+           " edges=" + std::to_string(snap.num_edges()) +
+           " snapshot_id=" + std::to_string(snap.meta().snapshot_id) +
+           " generation=" + std::to_string(live->generation) +
+           " ranker=" + snap.meta().ranker_name +
+           " corpus=" + snap.meta().corpus_name;
+  }
+
+  if (command == "top_k") {
+    if (tokens.size() < 2 || tokens.size() > 3) {
+      return Err("usage: top_k <k> [offset]");
+    }
+    size_t k = 0, offset = 0;
+    if (!ParseSize(tokens[1], &k)) return Err("bad k");
+    if (tokens.size() == 3 && !ParseSize(tokens[2], &offset)) {
+      return Err("bad offset");
+    }
+    if (k > options_.max_k) {
+      return Err("k exceeds max_k=" + std::to_string(options_.max_k));
+    }
+    const std::string cache_key = std::to_string(live->generation) + ":" +
+                                  std::to_string(k) + ":" +
+                                  std::to_string(offset);
+    if (std::optional<std::string> cached = top_cache_.Get(cache_key)) {
+      return *std::move(cached);
+    }
+    std::string response = RenderTopPage(snap, k, offset);
+    top_cache_.Put(cache_key, response);
+    return response;
+  }
+
+  if (command == "score" || command == "rank" || command == "percentile") {
+    if (tokens.size() != 2) {
+      return Err("usage: " + std::string(command) + " <id>");
+    }
+    NodeId id = 0;
+    if (!ParseNode(tokens[1], snap, &id)) return Err("bad or unknown id");
+    if (command == "score") {
+      return "OK " + FormatDouble(snap.score(id), kScoreDigits);
+    }
+    if (command == "rank") return "OK " + std::to_string(snap.rank(id));
+    return "OK " + FormatDouble(snap.percentile(id), kScoreDigits);
+  }
+
+  if (command == "neighbors") {
+    if (tokens.size() < 3 || tokens.size() > 4) {
+      return Err("usage: neighbors <id> citers|refs [k]");
+    }
+    NodeId id = 0;
+    if (!ParseNode(tokens[1], snap, &id)) return Err("bad or unknown id");
+    std::span<const NodeId> neighbors;
+    if (tokens[2] == "citers") {
+      neighbors = snap.Citers(id);
+    } else if (tokens[2] == "refs") {
+      neighbors = snap.References(id);
+    } else {
+      return Err("direction must be citers or refs");
+    }
+    size_t k = options_.max_k;
+    if (tokens.size() == 4 && !ParseSize(tokens[3], &k)) return Err("bad k");
+    k = std::min({k, options_.max_k, neighbors.size()});
+
+    // Rank the neighborhood by snapshot score, best first; deterministic
+    // id tie-break, matching the offline TopK convention.
+    std::vector<NodeId> ranked(neighbors.begin(), neighbors.end());
+    std::partial_sort(ranked.begin(), ranked.begin() + static_cast<long>(k),
+                      ranked.end(), [&snap](NodeId a, NodeId b) {
+                        if (snap.score(a) != snap.score(b)) {
+                          return snap.score(a) > snap.score(b);
+                        }
+                        return a < b;
+                      });
+    ranked.resize(k);
+    std::string response = "OK";
+    for (NodeId v : ranked) {
+      response += ' ';
+      AppendIdScore(snap, v, &response);
+    }
+    return response;
+  }
+
+  return Err("unknown command '" + std::string(command) + "'");
+}
+
+}  // namespace serve
+}  // namespace scholar

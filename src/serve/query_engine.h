@@ -1,0 +1,63 @@
+#ifndef SCHOLARRANK_SERVE_QUERY_ENGINE_H_
+#define SCHOLARRANK_SERVE_QUERY_ENGINE_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "serve/lru_cache.h"
+#include "serve/snapshot_manager.h"
+
+namespace scholar {
+namespace serve {
+
+struct QueryEngineOptions {
+  /// Entries in the paged top-k response cache (0 disables it).
+  size_t cache_entries = 256;
+  /// Upper bound on k for list-shaped responses, so one request cannot ask
+  /// the server to render the whole corpus.
+  size_t max_k = 1000;
+  /// When false, the `reload` admin command is rejected (loadgen-facing
+  /// deployments may not want file paths accepted over the wire).
+  bool allow_reload = true;
+};
+
+/// Executes one line-protocol request against the live snapshot.
+///
+/// Requests (one per line, space-separated tokens):
+///
+///   top_k <k> [offset]            OK <id>:<score> ... (best first)
+///   score <id>                    OK <score>
+///   rank <id>                     OK <rank>            (0 = best)
+///   percentile <id>               OK <pct>             (1 = best)
+///   neighbors <id> citers|refs [k]  OK <id>:<score> ... (score-ranked)
+///   info                          OK nodes=... edges=... snapshot_id=...
+///   ping                          OK pong
+///   reload <path>                 OK generation=<g>  (hot-swap snapshot)
+///
+/// Every failure is a one-line `ERR <message>`; the engine never throws and
+/// never closes the connection itself. Responses for paged top-k are
+/// memoized in an LRU cache keyed by (generation, k, offset), so a cache
+/// entry can never outlive a hot-swap: the swap bumps the generation and
+/// old keys just age out.
+class QueryEngine {
+ public:
+  explicit QueryEngine(SnapshotManager* manager, QueryEngineOptions options = {});
+
+  /// Handles one request line (without trailing newline) and returns the
+  /// one-line response (without trailing newline). Thread-safe.
+  std::string Execute(std::string_view line);
+
+  uint64_t cache_hits() const { return top_cache_.hits(); }
+  uint64_t cache_misses() const { return top_cache_.misses(); }
+
+ private:
+  SnapshotManager* const manager_;  // not owned
+  const QueryEngineOptions options_;
+  LruCache<std::string, std::string> top_cache_;
+};
+
+}  // namespace serve
+}  // namespace scholar
+
+#endif  // SCHOLARRANK_SERVE_QUERY_ENGINE_H_

@@ -1,0 +1,188 @@
+#include "serve/server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace scholar {
+namespace serve {
+namespace {
+
+/// Writes the whole buffer, absorbing short writes. MSG_NOSIGNAL turns a
+/// dead peer into an error return instead of SIGPIPE.
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(QueryEngine* engine, ServerOptions options)
+    : engine_(engine), options_(options), pool_(options.num_threads) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (started_.exchange(true)) {
+    return Status::FailedPrecondition("server already started");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int reuse = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status status = Status::IOError(std::string("bind port ") +
+                                    std::to_string(options_.port) + ": " +
+                                    std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) < 0) {
+    Status status =
+        Status::IOError(std::string("getsockname: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, options_.backlog) < 0) {
+    Status status =
+        Status::IOError(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void Server::AcceptLoop() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // Stop() shut the listening socket down; anything else on a closed
+      // or failing listener also ends the loop.
+      return;
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    int nodelay = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+    if (!pool_.Submit([this, fd] { HandleConnection(fd); })) {
+      ::close(fd);
+    }
+  }
+}
+
+void Server::HandleConnection(int fd) {
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    // Checked under conn_mu_ so this cannot race Stop()'s sweep: either the
+    // sweep sees the fd in the set, or we see stopping_ here and bail.
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    open_connections_.insert(fd);
+  }
+
+  std::string pending;   // bytes received, not yet terminated by '\n'
+  std::string responses;  // batched responses for one read chunk
+  std::vector<char> buffer(64 * 1024);
+  for (;;) {
+    ssize_t n = ::recv(fd, buffer.data(), buffer.size(), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // peer closed, connection reset, or shut down
+    pending.append(buffer.data(), static_cast<size_t>(n));
+
+    // Answer every complete line in this chunk with one send, so a
+    // pipelining client pays one syscall round trip per batch.
+    responses.clear();
+    size_t start = 0;
+    for (size_t nl = pending.find('\n', start); nl != std::string::npos;
+         nl = pending.find('\n', start)) {
+      std::string_view line(pending.data() + start, nl - start);
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      responses += engine_->Execute(line);
+      responses += '\n';
+      start = nl + 1;
+    }
+    pending.erase(0, start);
+    if (pending.size() > options_.max_line_bytes) break;  // protocol abuse
+    if (!responses.empty() && !SendAll(fd, responses)) break;
+  }
+
+  UntrackConnection(fd);
+  ::close(fd);
+}
+
+void Server::UntrackConnection(int fd) {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  open_connections_.erase(fd);
+}
+
+void Server::Stop() {
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  if (stopped_) return;
+  stopping_.store(true, std::memory_order_release);
+
+  if (started_.load(std::memory_order_acquire) && listen_fd_ >= 0) {
+    // Wake the accept loop; shutdown() (not just close()) guarantees a
+    // blocked accept(2) returns.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  {
+    // Unblock every in-flight handler read; handlers then drain their
+    // final batch and exit.
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : open_connections_) ::shutdown(fd, SHUT_RDWR);
+  }
+  pool_.Shutdown();
+
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  stopped_ = true;
+  stopped_cv_.notify_all();
+}
+
+void Server::Wait() {
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  stopped_cv_.wait(lock, [this] { return stopped_; });
+}
+
+}  // namespace serve
+}  // namespace scholar

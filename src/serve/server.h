@@ -1,0 +1,98 @@
+#ifndef SCHOLARRANK_SERVE_SERVER_H_
+#define SCHOLARRANK_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+
+#include "serve/query_engine.h"
+#include "serve/thread_pool.h"
+#include "util/status.h"
+
+namespace scholar {
+namespace serve {
+
+struct ServerOptions {
+  /// TCP port to bind on 0.0.0.0; 0 asks the kernel for an ephemeral port
+  /// (read the result from Server::port()).
+  uint16_t port = 7601;
+  /// Connection-handler threads. Each connection is pinned to one worker
+  /// for its lifetime, so this is also the concurrent-connection limit;
+  /// further accepts queue inside the pool until a handler finishes.
+  size_t num_threads = 4;
+  /// listen(2) backlog.
+  int backlog = 128;
+  /// A request line longer than this kills the connection (protocol abuse).
+  size_t max_line_bytes = 1 << 16;
+};
+
+/// Line-protocol TCP front end over a QueryEngine.
+///
+/// One request per '\n'-terminated line, one response line back, in order;
+/// clients may pipeline. Lifecycle: Start() binds/listens and spawns the
+/// accept loop, Stop() initiates shutdown (stops accepting, shuts down the
+/// open connections so blocked reads return, drains workers) and is safe to
+/// call from any thread — including a signal-watcher thread implementing
+/// graceful SIGINT. Wait() blocks until Stop() has completed.
+class Server {
+ public:
+  /// `engine` must outlive the server.
+  Server(QueryEngine* engine, ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts accepting. Fails with IOError when the
+  /// port is unavailable.
+  Status Start();
+
+  /// The actually bound port (resolves port=0), valid after Start().
+  uint16_t port() const { return port_; }
+
+  /// Graceful shutdown; idempotent, callable from any thread.
+  void Stop();
+
+  /// Blocks until the server has fully stopped.
+  void Wait();
+
+  /// Connections accepted since Start() (diagnostics).
+  uint64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  /// Tracks live connection fds so Stop() can shut them down to unblock
+  /// handler reads.
+  void TrackConnection(int fd);
+  void UntrackConnection(int fd);
+
+  QueryEngine* const engine_;  // not owned
+  const ServerOptions options_;
+  ThreadPool pool_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<uint64_t> connections_accepted_{0};
+
+  std::mutex conn_mu_;
+  std::unordered_set<int> open_connections_;
+
+  std::mutex stop_mu_;  // serializes Stop() callers, guards stopped_
+  std::condition_variable stopped_cv_;
+  bool stopped_ = false;
+};
+
+}  // namespace serve
+}  // namespace scholar
+
+#endif  // SCHOLARRANK_SERVE_SERVER_H_

@@ -1,0 +1,118 @@
+#ifndef SCHOLARRANK_SERVE_SNAPSHOT_H_
+#define SCHOLARRANK_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/scholar_ranker.h"
+#include "graph/citation_graph.h"
+#include "util/status.h"
+
+namespace scholar {
+namespace serve {
+
+/// Provenance carried inside a snapshot file, so an operator can always ask
+/// a live server what it is serving.
+struct SnapshotMeta {
+  /// Monotonically increasing artifact version chosen by the producer
+  /// (e.g. a pipeline run id). 0 is valid.
+  uint64_t snapshot_id = 0;
+  /// Build wall-clock time, seconds since the Unix epoch (0 = unknown).
+  int64_t created_unix = 0;
+  /// Ranker that produced the scores ("ens_twpr", ...).
+  std::string ranker_name;
+  /// Corpus the scores were computed over.
+  std::string corpus_name;
+
+  bool operator==(const SnapshotMeta&) const = default;
+};
+
+/// An immutable, self-verifying serving artifact: everything the online
+/// half of the system needs to answer top-k / score / rank / percentile /
+/// ranked-neighbor queries without touching the offline pipeline.
+///
+/// On-disk layout (little-endian, version 1):
+///
+///   magic "SRSS" | u32 version
+///   u64 num_nodes | u64 num_edges
+///   u64 snapshot_id | i64 created_unix
+///   u32 len + bytes (ranker name) | u32 len + bytes (corpus name)
+///   u32 num_sections
+///   num_sections x { u32 tag | u64 payload_bytes | u32 crc32 }
+///   payloads, in section-table order
+///
+/// Every payload section carries its own CRC32; the reader rejects any
+/// mismatch with Status::Corruption, so a torn copy or bit rot can never be
+/// hot-swapped into a live server. The descending score order is
+/// precomputed at build time (`Top(k)` is an O(k) array slice, not an
+/// O(n log n) sort), and both citation directions are embedded so ranked
+/// neighbor queries need no side channel to the graph.
+class ScoreSnapshot {
+ public:
+  /// Assembles a snapshot from an offline ranking of `graph`. Fails if the
+  /// ranking shape does not match the graph.
+  static Result<ScoreSnapshot> Build(const CitationGraph& graph,
+                                     const RankingOutput& ranking,
+                                     SnapshotMeta meta);
+
+  size_t num_nodes() const { return scores_.size(); }
+  size_t num_edges() const { return in_neighbors_.size(); }
+  const SnapshotMeta& meta() const { return meta_; }
+
+  /// Per-article lookups. Callers must pass id < num_nodes().
+  double score(NodeId id) const { return scores_[id]; }
+  uint32_t rank(NodeId id) const { return ranks_[id]; }
+  double percentile(NodeId id) const { return percentiles_[id]; }
+  Year year(NodeId id) const { return years_[id]; }
+
+  /// The k best articles, best first — a view into the precomputed order,
+  /// O(k). k is clamped to num_nodes().
+  std::span<const NodeId> Top(size_t k) const;
+
+  /// Articles ranked `offset .. offset+k` (0 = best), for paged top-k.
+  /// Empty when offset is past the end.
+  std::span<const NodeId> TopPage(size_t offset, size_t k) const;
+
+  /// Articles citing `id` / cited by `id`, in snapshot storage order.
+  std::span<const NodeId> Citers(NodeId id) const {
+    return {in_neighbors_.data() + in_offsets_[id],
+            static_cast<size_t>(in_offsets_[id + 1] - in_offsets_[id])};
+  }
+  std::span<const NodeId> References(NodeId id) const {
+    return {out_neighbors_.data() + out_offsets_[id],
+            static_cast<size_t>(out_offsets_[id + 1] - out_offsets_[id])};
+  }
+
+  /// Serialization. WriteTo emits the format documented above; Read
+  /// validates magic, version, section table, checksums, and structural
+  /// invariants (permutation order, monotone offsets, in-range neighbors)
+  /// before returning.
+  Status WriteTo(std::ostream* out) const;
+  Status WriteToFile(const std::string& path) const;
+  static Result<ScoreSnapshot> Read(std::istream* in);
+  static Result<ScoreSnapshot> ReadFile(const std::string& path);
+
+  bool operator==(const ScoreSnapshot&) const = default;
+
+ private:
+  SnapshotMeta meta_;
+  std::vector<Year> years_;
+  std::vector<double> scores_;
+  std::vector<uint32_t> ranks_;
+  std::vector<double> percentiles_;
+  /// Node ids in descending score order (the top-k index).
+  std::vector<NodeId> order_;
+  /// Reverse adjacency (who cites me) and forward adjacency (whom I cite).
+  std::vector<uint64_t> in_offsets_{0};
+  std::vector<NodeId> in_neighbors_;
+  std::vector<uint64_t> out_offsets_{0};
+  std::vector<NodeId> out_neighbors_;
+};
+
+}  // namespace serve
+}  // namespace scholar
+
+#endif  // SCHOLARRANK_SERVE_SNAPSHOT_H_

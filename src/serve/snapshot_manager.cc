@@ -1,0 +1,24 @@
+#include "serve/snapshot_manager.h"
+
+#include <utility>
+
+namespace scholar {
+namespace serve {
+
+Status SnapshotManager::LoadFile(const std::string& path) {
+  SCHOLAR_ASSIGN_OR_RETURN(ScoreSnapshot snapshot,
+                           ScoreSnapshot::ReadFile(path));
+  Install(std::move(snapshot));
+  return Status::OK();
+}
+
+void SnapshotManager::Install(ScoreSnapshot snapshot) {
+  auto live = std::make_shared<LiveSnapshot>();
+  // fetch_add makes concurrent Installs each claim a distinct generation.
+  live->generation = generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  live->snapshot = std::move(snapshot);
+  current_.store(std::move(live), std::memory_order_release);
+}
+
+}  // namespace serve
+}  // namespace scholar

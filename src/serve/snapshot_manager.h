@@ -1,0 +1,71 @@
+#ifndef SCHOLARRANK_SERVE_SNAPSHOT_MANAGER_H_
+#define SCHOLARRANK_SERVE_SNAPSHOT_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "serve/snapshot.h"
+#include "util/status.h"
+
+namespace scholar {
+namespace serve {
+
+/// A snapshot installed in a SnapshotManager, tagged with the manager's own
+/// monotone generation counter. The generation disambiguates two installs
+/// of byte-identical files, which matters to anything keyed on "which
+/// snapshot answered this" (e.g. the query cache).
+struct LiveSnapshot {
+  uint64_t generation = 0;
+  ScoreSnapshot snapshot;
+};
+
+/// Holds the snapshot a server is currently answering from, and swaps in
+/// replacements with zero downtime.
+///
+/// Readers call Current() and keep the returned shared_ptr for the duration
+/// of one request; a concurrent Install() publishes the replacement
+/// atomically, after which new requests see the new snapshot while in-flight
+/// requests finish against the old one. The old snapshot's memory is
+/// released when its last reader drops its reference — the "drain" is the
+/// shared_ptr refcount, no coordination required.
+///
+/// LoadFile() fully reads and validates (checksums, structural invariants)
+/// before publishing, so a corrupt or version-mismatched file can never
+/// replace a healthy live snapshot: on any failure the previous snapshot
+/// stays installed and the error Status is returned to the caller.
+class SnapshotManager {
+ public:
+  SnapshotManager() = default;
+  SnapshotManager(const SnapshotManager&) = delete;
+  SnapshotManager& operator=(const SnapshotManager&) = delete;
+
+  /// Reads + validates `path`, then atomically installs it. On failure the
+  /// currently installed snapshot (if any) is untouched.
+  Status LoadFile(const std::string& path);
+
+  /// Atomically installs an in-memory snapshot (used by tests and by
+  /// offline→online handoff within one process).
+  void Install(ScoreSnapshot snapshot);
+
+  /// The live snapshot, or nullptr when nothing has been installed yet.
+  /// Never blocks; safe from any thread.
+  std::shared_ptr<const LiveSnapshot> Current() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  /// Number of successful installs so far.
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<uint64_t> generation_{0};
+  std::atomic<std::shared_ptr<const LiveSnapshot>> current_{nullptr};
+};
+
+}  // namespace serve
+}  // namespace scholar
+
+#endif  // SCHOLARRANK_SERVE_SNAPSHOT_MANAGER_H_

@@ -1,0 +1,58 @@
+#ifndef SCHOLARRANK_SERVE_THREAD_POOL_H_
+#define SCHOLARRANK_SERVE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace scholar {
+namespace serve {
+
+/// Fixed-size worker pool with a bounded-ish FIFO queue. Small on purpose:
+/// the serving loop needs "run this connection handler on some worker" and
+/// nothing else.
+///
+/// Destruction (or Shutdown()) stops accepting new work, runs everything
+/// already queued, and joins the workers.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task`; returns false when the pool is shutting down (the
+  /// task is dropped).
+  bool Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every worker is idle.
+  void Drain();
+
+  /// Stops accepting tasks, finishes queued ones, joins workers.
+  /// Idempotent.
+  void Shutdown();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::mutex shutdown_mu_;         // serializes Shutdown() callers
+  std::condition_variable wake_;   // workers wait on this
+  std::condition_variable idle_;   // Drain() waits on this
+  std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace serve
+}  // namespace scholar
+
+#endif  // SCHOLARRANK_SERVE_THREAD_POOL_H_

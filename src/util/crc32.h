@@ -1,0 +1,20 @@
+#ifndef SCHOLARRANK_UTIL_CRC32_H_
+#define SCHOLARRANK_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace scholar {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), the checksum used by zlib
+/// and PNG. Guards the payload sections of serving snapshots against
+/// silent on-disk corruption.
+uint32_t Crc32(const void* data, size_t num_bytes);
+
+/// Incremental form: feed `crc` the running value from a previous call
+/// (start from 0) to checksum data that arrives in chunks.
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t num_bytes);
+
+}  // namespace scholar
+
+#endif  // SCHOLARRANK_UTIL_CRC32_H_

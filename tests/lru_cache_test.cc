@@ -1,0 +1,76 @@
+#include "serve/lru_cache.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace scholar {
+namespace serve {
+namespace {
+
+TEST(LruCacheTest, PutThenGet) {
+  LruCache<std::string, int> cache(4);
+  cache.Put("a", 1);
+  EXPECT_EQ(cache.Get("a"), 1);
+  EXPECT_EQ(cache.Get("missing"), std::nullopt);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache<int, int> cache(3);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  cache.Put(3, 30);
+  // Touch 1 so that 2 becomes the oldest.
+  EXPECT_EQ(cache.Get(1), 10);
+  cache.Put(4, 40);
+  EXPECT_EQ(cache.Get(2), std::nullopt);  // evicted
+  EXPECT_EQ(cache.Get(1), 10);
+  EXPECT_EQ(cache.Get(3), 30);
+  EXPECT_EQ(cache.Get(4), 40);
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(LruCacheTest, PutRefreshesExistingKey) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  cache.Put(1, 11);  // refresh, not insert: 2 stays, 1 updated
+  cache.Put(3, 30);  // evicts 2 (oldest), not 1
+  EXPECT_EQ(cache.Get(1), 11);
+  EXPECT_EQ(cache.Get(2), std::nullopt);
+  EXPECT_EQ(cache.Get(3), 30);
+}
+
+TEST(LruCacheTest, ZeroCapacityNeverStores) {
+  LruCache<int, int> cache(0);
+  cache.Put(1, 10);
+  EXPECT_EQ(cache.Get(1), std::nullopt);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LruCacheTest, ConcurrentMixedUseKeepsInvariants) {
+  LruCache<int, int> cache(64);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < 5000; ++i) {
+        const int key = (t * 31 + i) % 200;
+        cache.Put(key, key * 2);
+        std::optional<int> hit = cache.Get(key);
+        if (hit.has_value()) {
+          EXPECT_EQ(*hit, key * 2);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_LE(cache.size(), 64u);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace scholar

@@ -1,0 +1,153 @@
+#include "serve/query_engine.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rank/ranker.h"
+#include "test_util.h"
+#include "util/string_util.h"
+
+namespace scholar {
+namespace serve {
+namespace {
+
+using testing_util::MakeTinyGraph;
+
+ScoreSnapshot TinySnapshot(uint64_t id = 1) {
+  CitationGraph graph = MakeTinyGraph();
+  RankingOutput ranking;
+  ranking.scores = {0.30, 0.10, 0.25, 0.20, 0.15};
+  ranking.ranks = ScoresToRanks(ranking.scores);
+  ranking.percentiles = RankPercentiles(ranking.scores);
+  SnapshotMeta meta;
+  meta.snapshot_id = id;
+  meta.ranker_name = "twpr";
+  meta.corpus_name = "tiny";
+  return ScoreSnapshot::Build(graph, ranking, std::move(meta)).value();
+}
+
+class QueryEngineTest : public ::testing::Test {
+ protected:
+  QueryEngineTest() : engine_(&manager_) { manager_.Install(TinySnapshot()); }
+
+  SnapshotManager manager_;
+  QueryEngine engine_;
+};
+
+TEST(QueryEngineNoSnapshotTest, EverythingButPingErrs) {
+  SnapshotManager manager;
+  QueryEngine engine(&manager);
+  EXPECT_EQ(engine.Execute("ping"), "OK pong");
+  EXPECT_EQ(engine.Execute("score 0"), "ERR no snapshot loaded");
+  EXPECT_EQ(engine.Execute("top_k 5"), "ERR no snapshot loaded");
+}
+
+TEST_F(QueryEngineTest, ScoreRankPercentile) {
+  EXPECT_EQ(engine_.Execute("score 0"), "OK 0.3000000000");
+  EXPECT_EQ(engine_.Execute("rank 0"), "OK 0");
+  EXPECT_EQ(engine_.Execute("rank 1"), "OK 4");
+  EXPECT_EQ(engine_.Execute("percentile 0"), "OK 1.0000000000");
+  EXPECT_EQ(engine_.Execute("percentile 1"), "OK 0.2000000000");
+}
+
+TEST_F(QueryEngineTest, TopKListsBestFirst) {
+  EXPECT_EQ(engine_.Execute("top_k 3"),
+            "OK 0:0.3000000000 2:0.2500000000 3:0.2000000000");
+  // Paged: offset 3 returns the tail; k clamps at the end.
+  EXPECT_EQ(engine_.Execute("top_k 10 3"),
+            "OK 4:0.1500000000 1:0.1000000000");
+  EXPECT_EQ(engine_.Execute("top_k 10 5"), "OK");
+  EXPECT_EQ(engine_.Execute("top_k 0"), "OK");
+}
+
+TEST_F(QueryEngineTest, NeighborsAreScoreRanked) {
+  // Node 0 is cited by 2 and 3; score(2)=0.25 > score(3)=0.20.
+  EXPECT_EQ(engine_.Execute("neighbors 0 citers"),
+            "OK 2:0.2500000000 3:0.2000000000");
+  // Node 4 cites 2 and 3.
+  EXPECT_EQ(engine_.Execute("neighbors 4 refs 1"), "OK 2:0.2500000000");
+  EXPECT_EQ(engine_.Execute("neighbors 0 refs"), "OK");  // no references
+  EXPECT_EQ(engine_.Execute("neighbors 0 sideways"),
+            "ERR direction must be citers or refs");
+}
+
+TEST_F(QueryEngineTest, InfoReportsSnapshotIdentity) {
+  EXPECT_EQ(engine_.Execute("info"),
+            "OK nodes=5 edges=6 snapshot_id=1 generation=1 ranker=twpr "
+            "corpus=tiny");
+}
+
+TEST_F(QueryEngineTest, MalformedRequestsErrWithoutCrashing) {
+  EXPECT_EQ(engine_.Execute(""), "ERR empty request");
+  EXPECT_EQ(engine_.Execute("   "), "ERR empty request");
+  EXPECT_EQ(engine_.Execute("score"), "ERR usage: score <id>");
+  EXPECT_EQ(engine_.Execute("score banana"), "ERR bad or unknown id");
+  EXPECT_EQ(engine_.Execute("score 5"), "ERR bad or unknown id");
+  EXPECT_EQ(engine_.Execute("score -1"), "ERR bad or unknown id");
+  EXPECT_EQ(engine_.Execute("top_k"), "ERR usage: top_k <k> [offset]");
+  EXPECT_EQ(engine_.Execute("top_k ten"), "ERR bad k");
+  EXPECT_EQ(engine_.Execute("warp 9"), "ERR unknown command 'warp'");
+}
+
+TEST_F(QueryEngineTest, TopKRespectsMaxK) {
+  QueryEngineOptions options;
+  options.max_k = 2;
+  QueryEngine engine(&manager_, options);
+  EXPECT_EQ(engine.Execute("top_k 2"),
+            "OK 0:0.3000000000 2:0.2500000000");
+  EXPECT_EQ(engine.Execute("top_k 3"), "ERR k exceeds max_k=2");
+  // neighbors lists are clamped to max_k instead of erroring.
+  EXPECT_EQ(engine.Execute("neighbors 2 citers 5"),
+            "OK 3:0.2000000000 4:0.1500000000");
+}
+
+TEST_F(QueryEngineTest, TopKCacheHitsAndInvalidatesAcrossSwaps) {
+  const std::string first = engine_.Execute("top_k 2");
+  EXPECT_EQ(engine_.cache_misses(), 1u);
+  EXPECT_EQ(engine_.Execute("top_k 2"), first);
+  EXPECT_EQ(engine_.cache_hits(), 1u);
+
+  // A hot swap changes the generation, so the same request recomputes
+  // against the new snapshot instead of replaying the cached page.
+  CitationGraph graph = MakeTinyGraph();
+  RankingOutput ranking;
+  ranking.scores = {0.01, 0.50, 0.02, 0.03, 0.04};  // node 1 now best
+  ranking.ranks = ScoresToRanks(ranking.scores);
+  ranking.percentiles = RankPercentiles(ranking.scores);
+  SnapshotMeta meta;
+  meta.snapshot_id = 2;
+  manager_.Install(
+      ScoreSnapshot::Build(graph, ranking, std::move(meta)).value());
+
+  const std::string swapped = engine_.Execute("top_k 2");
+  EXPECT_EQ(swapped, "OK 1:0.5000000000 4:0.0400000000");
+  EXPECT_NE(swapped, first);
+  EXPECT_EQ(engine_.cache_misses(), 2u);
+}
+
+TEST_F(QueryEngineTest, ReloadHotSwapsFromFile) {
+  const std::string path = ::testing::TempDir() + "/engine_reload.bin";
+  ASSERT_TRUE(TinySnapshot(99).WriteToFile(path).ok());
+  EXPECT_EQ(engine_.Execute("reload " + path), "OK generation=2");
+  const std::string info = engine_.Execute("info");
+  EXPECT_NE(info.find("snapshot_id=99"), std::string::npos) << info;
+
+  // Failed reloads keep serving the old snapshot.
+  const std::string err = engine_.Execute("reload /nonexistent/x.bin");
+  EXPECT_EQ(err.rfind("ERR ", 0), 0u) << err;
+  EXPECT_NE(engine_.Execute("info").find("snapshot_id=99"),
+            std::string::npos);
+}
+
+TEST_F(QueryEngineTest, ReloadCanBeDisabled) {
+  QueryEngineOptions options;
+  options.allow_reload = false;
+  QueryEngine engine(&manager_, options);
+  EXPECT_EQ(engine.Execute("reload /tmp/x.bin"), "ERR reload disabled");
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace scholar

@@ -69,6 +69,26 @@ TEST(ScholarRankerTest, TopMatchesRanks) {
   }
 }
 
+TEST(ScholarRankerTest, TopClampsOversizedK) {
+  Corpus corpus = SmallCorpus();
+  ScholarRanker ranker = ScholarRanker::CreateDefault().value();
+  RankingOutput out = ranker.RankCorpus(corpus).value();
+  // Asking for more articles than exist returns all of them, best first.
+  std::vector<NodeId> all = out.Top(corpus.num_articles() + 1000);
+  ASSERT_EQ(all.size(), corpus.num_articles());
+  for (uint32_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(out.ranks[all[i]], i);
+  }
+  EXPECT_EQ(all, out.Descending());
+}
+
+TEST(ScholarRankerTest, TopOfEmptyRankingIsEmpty) {
+  RankingOutput empty;
+  EXPECT_TRUE(empty.Top(5).empty());
+  EXPECT_TRUE(empty.Top(0).empty());
+  EXPECT_TRUE(empty.Descending().empty());
+}
+
 TEST(ScholarRankerTest, FutureRankConfigWorksViaCorpusAuthors) {
   Corpus corpus = SmallCorpus();
   Config config;

@@ -1,0 +1,254 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rank/ranker.h"
+#include "test_util.h"
+
+namespace scholar {
+namespace serve {
+namespace {
+
+using testing_util::MakeTinyGraph;
+
+ScoreSnapshot TinySnapshot(const std::vector<double>& scores, uint64_t id) {
+  CitationGraph graph = MakeTinyGraph();
+  RankingOutput ranking;
+  ranking.scores = scores;
+  ranking.ranks = ScoresToRanks(scores);
+  ranking.percentiles = RankPercentiles(scores);
+  SnapshotMeta meta;
+  meta.snapshot_id = id;
+  meta.ranker_name = "twpr";
+  meta.corpus_name = "tiny";
+  return ScoreSnapshot::Build(graph, ranking, std::move(meta)).value();
+}
+
+/// Minimal blocking test client.
+class TestClient {
+ public:
+  bool Connect(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    return ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)) == 0;
+  }
+
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool Send(const std::string& data) {
+    size_t sent = 0;
+    while (sent < data.size()) {
+      ssize_t n =
+          ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  /// Reads one line; false on EOF / reset.
+  bool ReadLine(std::string* line) {
+    for (;;) {
+      size_t nl = pending_.find('\n');
+      if (nl != std::string::npos) {
+        *line = pending_.substr(0, nl);
+        pending_.erase(0, nl + 1);
+        return true;
+      }
+      char buffer[4096];
+      ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;
+      pending_.append(buffer, static_cast<size_t>(n));
+    }
+  }
+
+  std::string Query(const std::string& request) {
+    std::string line;
+    if (!Send(request + "\n") || !ReadLine(&line)) return "<connection dead>";
+    return line;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string pending_;
+};
+
+/// Manager + engine + server on an ephemeral port, ready to dial.
+class ServerTest : public ::testing::Test {
+ protected:
+  void StartServer(ServerOptions options = {}) {
+    manager_.Install(TinySnapshot({0.30, 0.10, 0.25, 0.20, 0.15}, 1));
+    engine_ = std::make_unique<QueryEngine>(&manager_);
+    options.port = 0;
+    server_ = std::make_unique<Server>(engine_.get(), options);
+    Status status = server_->Start();
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    ASSERT_NE(server_->port(), 0);
+  }
+
+  SnapshotManager manager_;
+  std::unique_ptr<QueryEngine> engine_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServerTest, AnswersQueriesOverTcp) {
+  StartServer();
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server_->port()));
+  EXPECT_EQ(client.Query("ping"), "OK pong");
+  EXPECT_EQ(client.Query("score 0"), "OK 0.3000000000");
+  EXPECT_EQ(client.Query("top_k 2"), "OK 0:0.3000000000 2:0.2500000000");
+  EXPECT_EQ(client.Query("score banana"), "ERR bad or unknown id");
+  EXPECT_EQ(server_->connections_accepted(), 1u);
+}
+
+TEST_F(ServerTest, CarriageReturnLineFeedIsAccepted) {
+  StartServer();
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server_->port()));
+  ASSERT_TRUE(client.Send("ping\r\n"));
+  std::string line;
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line, "OK pong");
+}
+
+TEST_F(ServerTest, PipelinedBurstComesBackInOrder) {
+  StartServer();
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server_->port()));
+  constexpr int kBurst = 500;
+  std::string batch;
+  for (int i = 0; i < kBurst; ++i) {
+    batch += "rank " + std::to_string(i % 5) + "\n";
+  }
+  ASSERT_TRUE(client.Send(batch));
+  const std::vector<std::string> expected = {"OK 0", "OK 4", "OK 1", "OK 2",
+                                             "OK 3"};
+  std::string line;
+  for (int i = 0; i < kBurst; ++i) {
+    ASSERT_TRUE(client.ReadLine(&line)) << "response " << i;
+    EXPECT_EQ(line, expected[i % 5]) << "response " << i;
+  }
+}
+
+TEST_F(ServerTest, HotSwapMidConnectionServesNewScoresToOldConnection) {
+  StartServer();
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server_->port()));
+  EXPECT_EQ(client.Query("score 0"), "OK 0.3000000000");
+
+  manager_.Install(TinySnapshot({0.99, 0.01, 0.01, 0.01, 0.01}, 2));
+
+  // Same TCP connection, next request: the new snapshot answers, and the
+  // connection never dropped.
+  EXPECT_EQ(client.Query("score 0"), "OK 0.9900000000");
+  std::string info = client.Query("info");
+  EXPECT_NE(info.find("snapshot_id=2"), std::string::npos) << info;
+  EXPECT_NE(info.find("generation=2"), std::string::npos) << info;
+}
+
+TEST_F(ServerTest, ConcurrentClientsAllGetConsistentAnswers) {
+  ServerOptions options;
+  options.num_threads = 4;
+  StartServer(options);
+  constexpr int kClients = 4;
+  constexpr int kRequests = 200;
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([this, &failures] {
+      TestClient client;
+      if (!client.Connect(server_->port())) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < kRequests; ++i) {
+        if (client.Query("percentile 0") != "OK 1.0000000000") {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server_->connections_accepted(),
+            static_cast<uint64_t>(kClients));
+}
+
+TEST_F(ServerTest, StopUnblocksIdleConnections) {
+  StartServer();
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server_->port()));
+  EXPECT_EQ(client.Query("ping"), "OK pong");
+
+  std::thread stopper([this] { server_->Stop(); });
+  // The idle connection gets shut down rather than wedging shutdown.
+  std::string line;
+  EXPECT_FALSE(client.ReadLine(&line));
+  stopper.join();
+  server_->Wait();  // returns immediately after a completed Stop
+
+  // New connections are refused once stopped.
+  TestClient late;
+  EXPECT_FALSE(late.Connect(server_->port()));
+}
+
+TEST_F(ServerTest, OversizedRequestLineClosesConnection) {
+  ServerOptions options;
+  options.max_line_bytes = 64;
+  StartServer(options);
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server_->port()));
+  EXPECT_TRUE(client.Send(std::string(1000, 'a')));  // no newline
+  std::string line;
+  EXPECT_FALSE(client.ReadLine(&line));  // server hangs up
+}
+
+TEST(ServerLifecycleTest, StartTwiceFails) {
+  SnapshotManager manager;
+  QueryEngine engine(&manager);
+  ServerOptions options;
+  options.port = 0;
+  Server server(&engine, options);
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_FALSE(server.Start().ok());
+  server.Stop();
+}
+
+TEST(ServerLifecycleTest, DestructorStopsCleanly) {
+  SnapshotManager manager;
+  QueryEngine engine(&manager);
+  ServerOptions options;
+  options.port = 0;
+  auto server = std::make_unique<Server>(&engine, options);
+  ASSERT_TRUE(server->Start().ok());
+  server.reset();  // no hang, no leak (ASan-verified)
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace scholar

@@ -1,0 +1,144 @@
+#include "serve/snapshot_manager.h"
+
+#include <atomic>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rank/ranker.h"
+#include "test_util.h"
+
+namespace scholar {
+namespace serve {
+namespace {
+
+using testing_util::MakeTinyGraph;
+
+/// A snapshot whose every score equals `value`, so a reader can tell which
+/// install it is looking at from any element.
+ScoreSnapshot UniformSnapshot(double value, uint64_t id) {
+  CitationGraph graph = MakeTinyGraph();
+  RankingOutput ranking;
+  ranking.scores.assign(graph.num_nodes(), value);
+  ranking.ranks = ScoresToRanks(ranking.scores);
+  ranking.percentiles = RankPercentiles(ranking.scores);
+  SnapshotMeta meta;
+  meta.snapshot_id = id;
+  meta.ranker_name = "uniform";
+  meta.corpus_name = "tiny";
+  return ScoreSnapshot::Build(graph, ranking, std::move(meta)).value();
+}
+
+TEST(SnapshotManagerTest, StartsEmpty) {
+  SnapshotManager manager;
+  EXPECT_EQ(manager.Current(), nullptr);
+  EXPECT_EQ(manager.generation(), 0u);
+}
+
+TEST(SnapshotManagerTest, InstallPublishesAndBumpsGeneration) {
+  SnapshotManager manager;
+  manager.Install(UniformSnapshot(1.0, 11));
+  auto first = manager.Current();
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->generation, 1u);
+  EXPECT_EQ(first->snapshot.meta().snapshot_id, 11u);
+
+  manager.Install(UniformSnapshot(2.0, 22));
+  auto second = manager.Current();
+  EXPECT_EQ(second->generation, 2u);
+  EXPECT_EQ(second->snapshot.meta().snapshot_id, 22u);
+  // The old handle is still alive and unchanged — readers drain at their
+  // own pace.
+  EXPECT_EQ(first->snapshot.meta().snapshot_id, 11u);
+}
+
+TEST(SnapshotManagerTest, LoadFileInstallsValidSnapshot) {
+  const std::string path = ::testing::TempDir() + "/manager_load.bin";
+  ASSERT_TRUE(UniformSnapshot(3.0, 33).WriteToFile(path).ok());
+  SnapshotManager manager;
+  ASSERT_TRUE(manager.LoadFile(path).ok());
+  ASSERT_NE(manager.Current(), nullptr);
+  EXPECT_EQ(manager.Current()->snapshot.meta().snapshot_id, 33u);
+}
+
+TEST(SnapshotManagerTest, CorruptFileLeavesLiveSnapshotUntouched) {
+  const std::string good_path = ::testing::TempDir() + "/manager_good.bin";
+  const std::string bad_path = ::testing::TempDir() + "/manager_bad.bin";
+  ASSERT_TRUE(UniformSnapshot(1.0, 44).WriteToFile(good_path).ok());
+  {
+    std::ofstream bad(bad_path, std::ios::binary);
+    bad << "SRSS garbage that is definitely not a full snapshot";
+  }
+  SnapshotManager manager;
+  ASSERT_TRUE(manager.LoadFile(good_path).ok());
+
+  Status status = manager.LoadFile(bad_path);
+  EXPECT_TRUE(status.IsCorruption()) << status.ToString();
+  // The failed load must not have swapped anything.
+  ASSERT_NE(manager.Current(), nullptr);
+  EXPECT_EQ(manager.Current()->snapshot.meta().snapshot_id, 44u);
+  EXPECT_EQ(manager.generation(), 1u);
+
+  EXPECT_TRUE(manager.LoadFile("/nonexistent/snap.bin").IsIOError());
+  EXPECT_EQ(manager.generation(), 1u);
+}
+
+TEST(SnapshotManagerTest, HotSwapUnderConcurrentReaders) {
+  SnapshotManager manager;
+  manager.Install(UniformSnapshot(0.0, 0));
+
+  constexpr int kReaders = 8;
+  constexpr int kSwaps = 200;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> observations{0};
+  std::atomic<bool> torn_read{false};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        auto live = manager.Current();
+        ASSERT_NE(live, nullptr);
+        const ScoreSnapshot& snap = live->snapshot;
+        // Internal consistency: every element of a published snapshot
+        // agrees with its snapshot_id. A torn swap would mix values.
+        const double expected =
+            static_cast<double>(snap.meta().snapshot_id);
+        for (NodeId v = 0; v < snap.num_nodes(); ++v) {
+          if (snap.score(v) != expected) {
+            torn_read.store(true, std::memory_order_release);
+          }
+        }
+        // The precomputed order must stay a valid permutation too.
+        if (snap.Top(snap.num_nodes()).size() != snap.num_nodes()) {
+          torn_read.store(true, std::memory_order_release);
+        }
+        observations.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  for (uint64_t swap = 1; swap <= kSwaps; ++swap) {
+    manager.Install(UniformSnapshot(static_cast<double>(swap), swap));
+  }
+  // Let readers observe the final state a little before stopping.
+  while (observations.load(std::memory_order_relaxed) < kSwaps) {
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_FALSE(torn_read.load());
+  EXPECT_EQ(manager.generation(), static_cast<uint64_t>(kSwaps) + 1);
+  EXPECT_EQ(manager.Current()->snapshot.meta().snapshot_id,
+            static_cast<uint64_t>(kSwaps));
+  EXPECT_GT(observations.load(), 0u);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace scholar

@@ -1,0 +1,78 @@
+#include "serve/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace scholar {
+namespace serve {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(pool.Submit([&counter] { counter.fetch_add(1); }));
+  }
+  pool.Drain();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsIsCoercedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<bool> ran{false};
+  ASSERT_TRUE(pool.Submit([&ran] { ran.store(true); }));
+  pool.Drain();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrently) {
+  ThreadPool pool(2);
+  // Two tasks that can only finish if they overlap in time.
+  std::atomic<int> arrivals{0};
+  auto rendezvous = [&arrivals] {
+    arrivals.fetch_add(1);
+    // Wait (bounded) for the sibling; a serial pool would deadlock here
+    // without the timeout and fail the expectation below.
+    for (int spin = 0; spin < 10000 && arrivals.load() < 2; ++spin) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  };
+  pool.Submit(rendezvous);
+  pool.Submit(rendezvous);
+  pool.Drain();
+  EXPECT_EQ(arrivals.load(), 2);
+}
+
+TEST(ThreadPoolTest, ShutdownFinishesQueuedWorkAndRejectsNew) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Shutdown();
+    EXPECT_EQ(counter.load(), 50);  // queued work ran before join
+    EXPECT_FALSE(pool.Submit([&counter] { counter.fetch_add(1); }));
+    pool.Shutdown();  // idempotent
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, DestructorJoinsWithoutLosingQueuedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace scholar

@@ -1,0 +1,299 @@
+/// Load generator for `scholar serve`: replays a weighted synthetic query
+/// mix over N pipelined TCP connections and reports throughput and latency.
+///
+///   serve_loadgen port=7601 [host=127.0.0.1] [connections=4] [pipeline=32]
+///                 [requests=200000] [k=10] [seed=1]
+///                 [mix=score:40,top_k:25,percentile:15,rank:10,neighbors:10]
+///
+/// `requests` is the total across all connections. Latency is measured per
+/// request, send-to-response (so with pipeline > 1 it includes in-batch
+/// queueing, like a real burst client). Prints a human summary and a CSV
+/// line for scripting.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/config.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace {
+
+using scholar::Config;
+using scholar::Rng;
+
+struct MixEntry {
+  std::string kind;
+  double weight = 0;
+};
+
+struct WorkerResult {
+  std::vector<int64_t> latencies_ns;
+  uint64_t errors = 0;
+  bool connect_failed = false;
+};
+
+/// Blocking line-oriented client socket.
+class LineClient {
+ public:
+  bool Connect(const std::string& host, uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) return false;
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      return false;
+    }
+    int nodelay = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+    return true;
+  }
+
+  ~LineClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool SendAll(const std::string& data) {
+    size_t sent = 0;
+    while (sent < data.size()) {
+      ssize_t n =
+          ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  /// Reads one '\n'-terminated line (terminator stripped).
+  bool ReadLine(std::string* line) {
+    for (;;) {
+      size_t nl = pending_.find('\n');
+      if (nl != std::string::npos) {
+        *line = pending_.substr(0, nl);
+        pending_.erase(0, nl + 1);
+        return true;
+      }
+      char buffer[64 * 1024];
+      ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;
+      pending_.append(buffer, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string pending_;
+};
+
+std::string MakeRequest(const std::string& kind, uint64_t num_nodes,
+                        size_t k, Rng* rng) {
+  const uint64_t id = rng->NextBounded(num_nodes);
+  if (kind == "top_k") {
+    // Pages near the head, like a leaderboard UI: offsets 0..9 pages.
+    return "top_k " + std::to_string(k) + " " +
+           std::to_string(k * rng->NextBounded(10));
+  }
+  if (kind == "neighbors") {
+    return "neighbors " + std::to_string(id) +
+           (rng->NextBounded(2) == 0 ? " citers " : " refs ") +
+           std::to_string(k);
+  }
+  return kind + " " + std::to_string(id);  // score | rank | percentile
+}
+
+void RunWorker(const std::string& host, uint16_t port, uint64_t num_nodes,
+               size_t num_requests, size_t pipeline, size_t k,
+               const std::vector<MixEntry>& mix, uint64_t seed,
+               WorkerResult* result) {
+  LineClient client;
+  if (!client.Connect(host, port)) {
+    result->connect_failed = true;
+    return;
+  }
+  Rng rng(seed);
+  std::vector<double> weights;
+  weights.reserve(mix.size());
+  for (const MixEntry& entry : mix) weights.push_back(entry.weight);
+
+  result->latencies_ns.reserve(num_requests);
+  std::string batch;
+  std::string line;
+  size_t remaining = num_requests;
+  while (remaining > 0) {
+    const size_t burst = std::min(pipeline, remaining);
+    batch.clear();
+    for (size_t i = 0; i < burst; ++i) {
+      const size_t pick = rng.NextDiscrete(weights);
+      const std::string& kind =
+          mix[pick < mix.size() ? pick : 0].kind;
+      batch += MakeRequest(kind, num_nodes, k, &rng);
+      batch += '\n';
+    }
+    const auto sent_at = std::chrono::steady_clock::now();
+    if (!client.SendAll(batch)) {
+      result->errors += remaining;
+      return;
+    }
+    for (size_t i = 0; i < burst; ++i) {
+      if (!client.ReadLine(&line)) {
+        result->errors += remaining;
+        return;
+      }
+      result->latencies_ns.push_back(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - sent_at)
+              .count());
+      if (line.rfind("OK", 0) != 0) ++result->errors;
+    }
+    remaining -= burst;
+  }
+}
+
+int64_t Percentile(const std::vector<int64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const size_t index = std::min(
+      sorted.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted.size())));
+  return sorted[index];
+}
+
+}  // namespace
+
+int main(int argc, const char** argv) {
+  scholar::Result<Config> config = Config::FromArgs(argc - 1, argv + 1);
+  if (!config.ok()) {
+    std::fprintf(stderr, "error: %s\n", config.status().ToString().c_str());
+    return 2;
+  }
+  const std::string host = config->GetStringOr("host", "127.0.0.1");
+  const int64_t port = config->GetIntOr("port", 7601);
+  const size_t connections =
+      static_cast<size_t>(config->GetIntOr("connections", 4));
+  const size_t pipeline = static_cast<size_t>(config->GetIntOr("pipeline", 32));
+  const size_t total_requests =
+      static_cast<size_t>(config->GetIntOr("requests", 200000));
+  const size_t k = static_cast<size_t>(config->GetIntOr("k", 10));
+  const uint64_t seed = static_cast<uint64_t>(config->GetIntOr("seed", 1));
+  const std::string mix_spec = config->GetStringOr(
+      "mix", "score:40,top_k:25,percentile:15,rank:10,neighbors:10");
+  if (port <= 0 || port > 65535 || connections == 0 || pipeline == 0) {
+    std::fprintf(stderr, "error: bad port/connections/pipeline\n");
+    return 2;
+  }
+
+  std::vector<MixEntry> mix;
+  for (std::string_view part : scholar::SplitSkipEmpty(mix_spec, ',')) {
+    const auto fields = scholar::Split(part, ':');
+    scholar::Result<double> weight =
+        fields.size() == 2 ? scholar::ParseDouble(fields[1])
+                           : scholar::Result<double>(1.0);
+    if (fields.empty() || !weight.ok() || *weight < 0) {
+      std::fprintf(stderr, "error: bad mix entry '%s'\n",
+                   std::string(part).c_str());
+      return 2;
+    }
+    mix.push_back({std::string(fields[0]), *weight});
+  }
+  if (mix.empty()) {
+    std::fprintf(stderr, "error: empty mix\n");
+    return 2;
+  }
+
+  // One probe request tells us the corpus size (for id generation) and
+  // fails fast when the server is down.
+  uint64_t num_nodes = 0;
+  {
+    LineClient probe;
+    if (!probe.Connect(host, static_cast<uint16_t>(port))) {
+      std::fprintf(stderr, "error: cannot connect to %s:%lld\n", host.c_str(),
+                   static_cast<long long>(port));
+      return 1;
+    }
+    std::string line;
+    if (!probe.SendAll("info\n") || !probe.ReadLine(&line) ||
+        line.rfind("OK ", 0) != 0) {
+      std::fprintf(stderr, "error: info probe failed (got '%s')\n",
+                   line.c_str());
+      return 1;
+    }
+    for (std::string_view token : scholar::SplitSkipEmpty(line, ' ')) {
+      if (token.rfind("nodes=", 0) == 0) {
+        scholar::Result<int64_t> n = scholar::ParseInt64(token.substr(6));
+        if (n.ok() && *n > 0) num_nodes = static_cast<uint64_t>(*n);
+      }
+    }
+    if (num_nodes == 0) {
+      std::fprintf(stderr, "error: server reports an empty snapshot\n");
+      return 1;
+    }
+  }
+
+  std::printf(
+      "loadgen: %s:%lld connections=%zu pipeline=%zu requests=%zu mix=%s\n",
+      host.c_str(), static_cast<long long>(port), connections, pipeline,
+      total_requests, mix_spec.c_str());
+
+  std::vector<WorkerResult> results(connections);
+  std::vector<std::thread> workers;
+  const size_t per_connection = total_requests / connections;
+  scholar::WallTimer timer;
+  for (size_t c = 0; c < connections; ++c) {
+    // The first worker also absorbs the division remainder.
+    const size_t quota =
+        per_connection + (c == 0 ? total_requests % connections : 0);
+    workers.emplace_back(RunWorker, host, static_cast<uint16_t>(port),
+                         num_nodes, quota, pipeline, k, mix,
+                         seed + 1000 * c + 1, &results[c]);
+  }
+  for (std::thread& w : workers) w.join();
+  const double elapsed = timer.ElapsedSeconds();
+
+  std::vector<int64_t> latencies;
+  uint64_t errors = 0;
+  for (const WorkerResult& r : results) {
+    if (r.connect_failed) {
+      std::fprintf(stderr, "error: a worker failed to connect\n");
+      return 1;
+    }
+    errors += r.errors;
+    latencies.insert(latencies.end(), r.latencies_ns.begin(),
+                     r.latencies_ns.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const double qps =
+      elapsed > 0 ? static_cast<double>(latencies.size()) / elapsed : 0;
+  const double p50_ms = static_cast<double>(Percentile(latencies, 0.50)) / 1e6;
+  const double p99_ms = static_cast<double>(Percentile(latencies, 0.99)) / 1e6;
+  const double max_ms =
+      latencies.empty()
+          ? 0
+          : static_cast<double>(latencies.back()) / 1e6;
+
+  std::printf("total: %zu responses in %.3f s -> %.0f QPS\n",
+              latencies.size(), elapsed, qps);
+  std::printf("latency: p50=%.3f ms p99=%.3f ms max=%.3f ms\n", p50_ms,
+              p99_ms, max_ms);
+  std::printf("errors: %llu\n", static_cast<unsigned long long>(errors));
+  std::printf("\ncsv: connections,pipeline,requests,seconds,qps,p50_ms,p99_ms,errors\n");
+  std::printf("csv: %zu,%zu,%zu,%.3f,%.0f,%.3f,%.3f,%llu\n", connections,
+              pipeline, latencies.size(), elapsed, qps, p50_ms, p99_ms,
+              static_cast<unsigned long long>(errors));
+  return errors == 0 ? 0 : 1;
+}
