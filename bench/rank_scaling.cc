@@ -1,0 +1,141 @@
+/// Rank-scaling baseline — wall time of the pull-based TWPR ranking at
+/// 1/2/4/8 threads on AMiner-profile graphs, written to
+/// BENCH_rank_scaling.json so the perf trajectory is tracked in-repo.
+///
+/// The work is fixed (tolerance 0, a constant iteration count) so every
+/// thread count performs identical arithmetic, and the solver guarantees
+/// bit-identical scores at any thread count — the bench asserts that too.
+/// Speedups are only meaningful relative to the recorded
+/// hardware_concurrency of the machine that produced the file: on a
+/// single-core runner every thread count necessarily lands near 1x.
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/timer.h"
+
+using namespace scholar;
+using namespace scholar::bench;
+
+namespace {
+
+constexpr int kFixedIterations = 20;
+constexpr int kThreadCounts[] = {1, 2, 4, 8};
+
+struct Row {
+  size_t nodes = 0;
+  size_t edges = 0;
+  int threads = 0;
+  int iterations = 0;
+  double wall_ms = 0.0;
+  double speedup_vs_1 = 0.0;
+  bool scores_match_serial = false;
+};
+
+Config TwprConfig(int threads) {
+  Config config;
+  config.SetDouble("tolerance", 0.0);  // fixed work at every thread count
+  config.SetInt("max_iterations", kFixedIterations);
+  config.SetInt("threads", threads);
+  return config;
+}
+
+/// Best-of-`repeats` wall time of one full TWPR rank.
+Row RunOne(const Corpus& corpus, int threads, int repeats,
+           const std::vector<double>* serial_scores,
+           std::vector<double>* scores_out) {
+  auto ranker = MakeRanker("twpr", TwprConfig(threads)).value();
+  RankContext ctx;
+  ctx.graph = &corpus.graph;
+  Row row;
+  row.nodes = corpus.graph.num_nodes();
+  row.edges = corpus.graph.num_edges();
+  row.threads = threads;
+  row.wall_ms = 1e300;
+  for (int rep = 0; rep < repeats; ++rep) {
+    WallTimer timer;
+    Result<RankResult> result = ranker->Rank(ctx);
+    const double ms = timer.ElapsedMillis();
+    SCHOLAR_CHECK_OK(result.status());
+    row.iterations = result->iterations;
+    if (ms < row.wall_ms) row.wall_ms = ms;
+    row.scores_match_serial =
+        serial_scores == nullptr || *serial_scores == result->scores;
+    if (rep == repeats - 1 && scores_out != nullptr) {
+      *scores_out = std::move(result->scores);
+    }
+  }
+  return row;
+}
+
+void BenchSize(size_t articles, int repeats, std::vector<Row>* rows) {
+  std::printf("generating aminer corpus, n=%zu ...\n", articles);
+  const Corpus corpus = MakeBenchCorpus("aminer", articles);
+  std::printf("  graph: %zu nodes, %zu edges\n", corpus.graph.num_nodes(),
+              corpus.graph.num_edges());
+  std::vector<double> serial_scores;
+  double serial_ms = 0.0;
+  for (int threads : kThreadCounts) {
+    Row row = RunOne(corpus, threads,
+                     repeats, threads == 1 ? nullptr : &serial_scores,
+                     threads == 1 ? &serial_scores : nullptr);
+    if (threads == 1) {
+      serial_ms = row.wall_ms;
+      row.scores_match_serial = true;
+    }
+    row.speedup_vs_1 = serial_ms / row.wall_ms;
+    std::printf("  threads=%d  wall_ms=%.1f  speedup=%.2fx  identical=%s\n",
+                row.threads, row.wall_ms, row.speedup_vs_1,
+                row.scores_match_serial ? "yes" : "NO");
+    SCHOLAR_CHECK(row.scores_match_serial)
+        << "scores diverged at " << threads << " threads";
+    rows->push_back(row);
+  }
+}
+
+void WriteJson(const std::vector<Row>& rows, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  SCHOLAR_CHECK(f != nullptr) << "cannot open " << path;
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"rank_scaling\",\n"
+               "  \"ranker\": \"twpr\",\n"
+               "  \"profile\": \"aminer\",\n"
+               "  \"max_iterations\": %d,\n"
+               "  \"hardware_concurrency\": %u,\n"
+               "  \"results\": [\n",
+               kFixedIterations, std::thread::hardware_concurrency());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"nodes\": %zu, \"edges\": %zu, \"threads\": %d, "
+                 "\"iterations\": %d, \"wall_ms\": %.2f, "
+                 "\"speedup_vs_1\": %.3f, \"scores_match_serial\": %s}%s\n",
+                 r.nodes, r.edges, r.threads, r.iterations, r.wall_ms,
+                 r.speedup_vs_1, r.scores_match_serial ? "true" : "false",
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Banner("rank_scaling",
+         "TWPR wall time vs thread count (fixed 20-iteration work)");
+  // Smoke-test mode for CI: small graph, one repeat.
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  std::vector<Row> rows;
+  if (quick) {
+    BenchSize(20000, /*repeats=*/1, &rows);
+  } else {
+    BenchSize(100000, /*repeats=*/3, &rows);
+    BenchSize(1000000, /*repeats=*/2, &rows);
+  }
+  WriteJson(rows, "BENCH_rank_scaling.json");
+  return 0;
+}

@@ -309,7 +309,9 @@ std::string UsageText() {
          "  stats      graph statistics; input: aminer= | articles= +\n"
          "             citations= | profile= n=\n"
          "  rank       rank a corpus; same inputs plus ranker=<name>,\n"
-         "             algorithm keys (sigma=, num_slices=, ...), top=<k>\n"
+         "             algorithm keys (sigma=, num_slices=, ...), top=<k>,\n"
+         "             threads=<t> (0 = all cores, 1 = serial; scores are\n"
+         "             bit-identical at every setting)\n"
          "  eval       benchmark rankers on a synthetic corpus;\n"
          "             rankers=<a,b,...> pairs=<count>\n"
          "  convert    read one format, write others (generate's out_*)\n"

@@ -23,6 +23,7 @@ PowerIterationOptions PowerOptionsFromConfig(const Config& config) {
   o.tolerance = config.GetDoubleOr("tolerance", o.tolerance);
   o.max_iterations = static_cast<int>(
       config.GetIntOr("max_iterations", o.max_iterations));
+  o.threads = static_cast<int>(config.GetIntOr("threads", o.threads));
   return o;
 }
 
@@ -57,6 +58,7 @@ Result<std::shared_ptr<const Ranker>> MakeRanker(const std::string& name,
     o.gamma = config.GetDoubleOr("ens_gamma", o.gamma);
     o.window = static_cast<int>(config.GetIntOr("window", o.window));
     o.warm_start = config.GetBoolOr("warm_start", o.warm_start);
+    o.threads = static_cast<int>(config.GetIntOr("threads", o.threads));
     return std::shared_ptr<const Ranker>(
         std::make_shared<EnsembleRanker>(std::move(base), o));
   }
@@ -91,6 +93,7 @@ Result<std::shared_ptr<const Ranker>> MakeRanker(const std::string& name,
     o.tolerance = config.GetDoubleOr("tolerance", o.tolerance);
     o.max_iterations = static_cast<int>(
         config.GetIntOr("max_iterations", o.max_iterations));
+    o.threads = static_cast<int>(config.GetIntOr("threads", o.threads));
     return std::shared_ptr<const Ranker>(std::make_shared<HitsRanker>(o));
   }
   if (lower == "citerank") {
@@ -117,6 +120,7 @@ Result<std::shared_ptr<const Ranker>> MakeRanker(const std::string& name,
     o.tolerance = config.GetDoubleOr("tolerance", o.tolerance);
     o.max_iterations = static_cast<int>(
         config.GetIntOr("max_iterations", o.max_iterations));
+    o.threads = static_cast<int>(config.GetIntOr("threads", o.threads));
     return std::shared_ptr<const Ranker>(std::make_shared<KatzRanker>(o));
   }
   if (lower == "sceas") {
@@ -126,6 +130,7 @@ Result<std::shared_ptr<const Ranker>> MakeRanker(const std::string& name,
     o.tolerance = config.GetDoubleOr("tolerance", o.tolerance);
     o.max_iterations = static_cast<int>(
         config.GetIntOr("max_iterations", o.max_iterations));
+    o.threads = static_cast<int>(config.GetIntOr("threads", o.threads));
     return std::shared_ptr<const Ranker>(std::make_shared<SceasRanker>(o));
   }
   if (lower == "venuerank") {

@@ -44,7 +44,9 @@ struct RankingOutput {
 ///   SCHOLAR_ASSIGN_OR_RETURN(auto ranker, ScholarRanker::Create(config));
 ///   SCHOLAR_ASSIGN_OR_RETURN(auto out, ranker.RankCorpus(corpus));
 ///
-/// The default ranker is the paper's full method, ens_twpr.
+/// The default ranker is the paper's full method, ens_twpr. The "threads"
+/// key sets the worker-thread count of the iterative rankers (0 = all
+/// hardware cores, 1 = serial); scores are bit-identical at every setting.
 class ScholarRanker {
  public:
   /// Builds from config; the "ranker" key picks the algorithm (see

@@ -1,12 +1,31 @@
 #include "ensemble/ensemble_ranker.h"
 
+#include <algorithm>
 #include <cmath>
+#include <memory>
 #include <utility>
 
 #include "graph/time_slicer.h"
+#include "rank/pagerank.h"
 #include "util/logging.h"
+#include "util/parallel_for.h"
 
 namespace scholar {
+namespace {
+
+/// Chunk size of the per-node ensemble loops (warm-start extraction,
+/// scatter, accumulation); fixed so chunked reductions are thread-count
+/// independent.
+constexpr size_t kNodeGrain = 2048;
+
+/// Everything one snapshot produces before it is folded into the ensemble.
+struct SnapshotRun {
+  Snapshot snap;
+  RankResult sub;
+  std::vector<double> normalized;
+};
+
+}  // namespace
 
 Result<EnsembleCombiner> EnsembleCombinerFromString(const std::string& name) {
   if (name == "mean") return EnsembleCombiner::kMean;
@@ -78,33 +97,55 @@ Result<RankResult> EnsembleRanker::RankWithDetails(
       ComputeSliceBoundaries(g, options_.num_slices, options_.partition));
   const size_t k = boundaries.size();
 
-  // First snapshot containing each article: the first boundary at or after
-  // its publication year.
-  std::vector<size_t> first_snapshot(g.num_nodes(), 0);
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    const Year y = g.year(v);
-    size_t f = 0;
-    while (f < k && boundaries[f] < y) ++f;
-    first_snapshot[v] = f;
-  }
+  const size_t n = g.num_nodes();
+  const size_t workers = EffectiveThreads(options_.threads, ctx);
+  // The ensemble owns its pool outright: scratch.PoolFor() rebuilds its pool
+  // whenever a base ranker asks for a different width, so lending scratch to
+  // base rankers while also borrowing its pool would dangle.
+  std::unique_ptr<ThreadPool> owned_pool =
+      workers > 1 ? std::make_unique<ThreadPool>(workers - 1) : nullptr;
+  ThreadPool* pool = owned_pool.get();
+  // In the sequential (warm-start) mode every base-ranker call reuses this
+  // scratch's buffers instead of reallocating per snapshot.
+  PowerIterationScratch scratch;
 
-  std::vector<double> accumulated(g.num_nodes(), 0.0);
-  std::vector<double> weight_sum(g.num_nodes(), 0.0);
+  // First snapshot containing each article: the first boundary at or after
+  // its publication year. boundaries is sorted ascending, so this is one
+  // binary search per node.
+  std::vector<size_t> first_snapshot(n, 0);
+  ParallelFor(pool, n, kNodeGrain, [&](size_t begin, size_t end) {
+    for (NodeId v = static_cast<NodeId>(begin); v < end; ++v) {
+      first_snapshot[v] = static_cast<size_t>(
+          std::lower_bound(boundaries.begin(), boundaries.end(), g.year(v)) -
+          boundaries.begin());
+    }
+  });
+
+  std::vector<double> accumulated(n, 0.0);
+  std::vector<double> weight_sum(n, 0.0);
   // Raw scores of the previous snapshot, scattered to parent ids; feeds the
   // warm start of the next (accumulative, therefore larger) snapshot.
   std::vector<double> parent_scores;
 
   RankResult result;
   result.converged = true;
-  for (size_t i = 0; i < k; ++i) {
-    Snapshot snap = ExtractSnapshot(g, boundaries[i]);
-    if (snap.graph.num_nodes() == 0) continue;
 
+  // Ranks one extracted snapshot and normalizes its scores. Runs entirely on
+  // the calling thread; inner parallelism is bounded by `sub_max_threads`
+  // (the base ranker clamp) and `norm_pool` (the cohort-normalization pool).
+  auto run_snapshot = [&](size_t i, SnapshotRun* run,
+                          const std::vector<double>* initial,
+                          int sub_max_threads,
+                          PowerIterationScratch* sub_scratch,
+                          ThreadPool* norm_pool) -> Status {
+    const Snapshot& snap = run->snap;
     PaperAuthors snap_authors;
     std::vector<int32_t> snap_venues;
     RankContext sub_ctx;
     sub_ctx.graph = &snap.graph;
     sub_ctx.now_year = boundaries[i];
+    sub_ctx.max_threads = sub_max_threads;
+    sub_ctx.scratch = sub_scratch;
     if (ctx.authors != nullptr) {
       snap_authors = RestrictAuthorsToSnapshot(*ctx.authors, snap.to_parent);
       sub_ctx.authors = &snap_authors;
@@ -116,100 +157,178 @@ Result<RankResult> EnsembleRanker::RankWithDetails(
       }
       sub_ctx.venues = &snap_venues;
     }
+    if (initial != nullptr) sub_ctx.initial_scores = initial;
 
-    std::vector<double> initial;
-    if (options_.warm_start && !parent_scores.empty()) {
-      // Nodes new to this snapshot start at the mean previous score.
-      initial.resize(snap.graph.num_nodes());
-      double total = 0.0;
-      size_t known = 0;
-      for (NodeId s = 0; s < snap.graph.num_nodes(); ++s) {
-        const double prev = parent_scores[snap.to_parent[s]];
-        if (prev > 0.0) {
-          total += prev;
-          ++known;
-        }
-      }
-      const double fallback =
-          known > 0 ? total / static_cast<double>(known)
-                    : 1.0 / static_cast<double>(snap.graph.num_nodes());
-      for (NodeId s = 0; s < snap.graph.num_nodes(); ++s) {
-        const double prev = parent_scores[snap.to_parent[s]];
-        initial[s] = prev > 0.0 ? prev : fallback;
-      }
-      sub_ctx.initial_scores = &initial;
-    }
+    SCHOLAR_ASSIGN_OR_RETURN(run->sub, base_->Rank(sub_ctx));
 
-    SCHOLAR_ASSIGN_OR_RETURN(RankResult sub, base_->Rank(sub_ctx));
-    if (options_.warm_start) {
-      parent_scores.assign(g.num_nodes(), 0.0);
-      for (NodeId s = 0; s < snap.graph.num_nodes(); ++s) {
-        parent_scores[snap.to_parent[s]] = sub.scores[s];
-      }
-    }
-    result.iterations += sub.iterations;
-    result.converged = result.converged && sub.converged;
-    result.final_residual =
-        std::max(result.final_residual, sub.final_residual);
-    if (details != nullptr) {
-      details->push_back({boundaries[i], snap.graph.num_nodes(),
-                          snap.graph.num_edges(), sub.iterations});
-    }
-
-    std::vector<double> normalized;
     if (options_.scope == NormalizationScope::kSnapshot) {
-      normalized = NormalizeScores(sub.scores, options_.normalizer);
-    } else {
-      // Normalize each generation separately: gather the snapshot nodes of
-      // every group (time slice or publication year), normalize within the
-      // group, and scatter back.
-      normalized.assign(sub.scores.size(), 0.0);
-      const bool by_year = options_.scope == NormalizationScope::kYearCohort;
-      const Year min_year = g.min_year();
-      const size_t num_groups =
-          by_year ? static_cast<size_t>(g.max_year() - min_year) + 1 : k;
-      std::vector<std::vector<NodeId>> groups(num_groups);
-      for (NodeId s = 0; s < snap.graph.num_nodes(); ++s) {
-        const NodeId parent = snap.to_parent[s];
-        const size_t key =
-            by_year ? static_cast<size_t>(g.year(parent) - min_year)
-                    : first_snapshot[parent];
-        groups[key].push_back(s);
-      }
+      run->normalized = NormalizeScores(run->sub.scores, options_.normalizer);
+      return Status::OK();
+    }
+    // Normalize each generation separately: gather the snapshot nodes of
+    // every group (time slice or publication year), normalize within the
+    // group, and scatter back. Groups touch disjoint slots of normalized,
+    // so whole groups parallelize safely.
+    run->normalized.assign(run->sub.scores.size(), 0.0);
+    const bool by_year = options_.scope == NormalizationScope::kYearCohort;
+    const Year min_year = g.min_year();
+    const size_t num_groups =
+        by_year ? static_cast<size_t>(g.max_year() - min_year) + 1 : k;
+    std::vector<std::vector<NodeId>> groups(num_groups);
+    for (NodeId s = 0; s < snap.graph.num_nodes(); ++s) {
+      const NodeId parent = snap.to_parent[s];
+      const size_t key = by_year
+                             ? static_cast<size_t>(g.year(parent) - min_year)
+                             : first_snapshot[parent];
+      groups[key].push_back(s);
+    }
+    ParallelFor(norm_pool, num_groups, 1, [&](size_t gb, size_t ge) {
       std::vector<double> group_scores;
-      for (const std::vector<NodeId>& group : groups) {
+      for (size_t gi = gb; gi < ge; ++gi) {
+        const std::vector<NodeId>& group = groups[gi];
         if (group.empty()) continue;
         group_scores.clear();
-        for (NodeId s : group) group_scores.push_back(sub.scores[s]);
+        for (NodeId s : group) group_scores.push_back(run->sub.scores[s]);
         std::vector<double> group_norm =
             NormalizeScores(group_scores, options_.normalizer);
         for (size_t t = 0; t < group.size(); ++t) {
-          normalized[group[t]] = group_norm[t];
+          run->normalized[group[t]] = group_norm[t];
         }
       }
+    });
+    return Status::OK();
+  };
+
+  // Folds one finished snapshot into the running totals, then releases its
+  // memory. Called in snapshot-index order in both execution modes, so the
+  // floating-point accumulation order — and therefore the scores — is
+  // independent of the thread count.
+  auto accumulate = [&](size_t i, SnapshotRun* run) {
+    const Snapshot& snap = run->snap;
+    result.iterations += run->sub.iterations;
+    result.converged = result.converged && run->sub.converged;
+    result.final_residual =
+        std::max(result.final_residual, run->sub.final_residual);
+    if (details != nullptr) {
+      details->push_back({boundaries[i], snap.graph.num_nodes(),
+                          snap.graph.num_edges(), run->sub.iterations});
     }
     const double weight =
         options_.combiner == EnsembleCombiner::kMean
             ? 1.0
             : std::pow(options_.gamma, static_cast<double>(k - 1 - i));
-    for (NodeId s = 0; s < snap.graph.num_nodes(); ++s) {
-      const NodeId parent = snap.to_parent[s];
-      if (options_.window > 0 &&
-          i >= first_snapshot[parent] + static_cast<size_t>(options_.window)) {
-        continue;  // beyond this article's contemporary window
+    const std::vector<double>& normalized = run->normalized;
+    // Distinct snapshot nodes map to distinct parents, so the scatter is
+    // race-free.
+    ParallelFor(pool, snap.graph.num_nodes(), kNodeGrain,
+                [&](size_t begin, size_t end) {
+      for (NodeId s = static_cast<NodeId>(begin); s < end; ++s) {
+        const NodeId parent = snap.to_parent[s];
+        if (options_.window > 0 &&
+            i >= first_snapshot[parent] +
+                     static_cast<size_t>(options_.window)) {
+          continue;  // beyond this article's contemporary window
+        }
+        accumulated[parent] += weight * normalized[s];
+        weight_sum[parent] += weight;
       }
-      accumulated[parent] += weight * normalized[s];
-      weight_sum[parent] += weight;
+    });
+    *run = SnapshotRun{};
+  };
+
+  const bool parallel_snapshots =
+      !options_.warm_start && workers > 1 && k > 1;
+  if (parallel_snapshots) {
+    // Without warm starts the k snapshot rankings are independent: extract
+    // and rank them concurrently (base ranker clamped to one thread each so
+    // the two levels never oversubscribe), then fold in index order.
+    std::vector<SnapshotRun> runs(k);
+    std::vector<Status> statuses(k);
+    ParallelForChunks(pool, k, 1, [&](size_t c, size_t, size_t) {
+      runs[c].snap = ExtractSnapshot(g, boundaries[c]);
+      if (runs[c].snap.graph.num_nodes() == 0) return;
+      statuses[c] = run_snapshot(c, &runs[c], /*initial=*/nullptr,
+                                 /*sub_max_threads=*/1,
+                                 /*sub_scratch=*/nullptr,
+                                 /*norm_pool=*/nullptr);
+    });
+    for (size_t i = 0; i < k; ++i) {
+      SCHOLAR_RETURN_NOT_OK(statuses[i]);
+      if (runs[i].snap.graph.num_nodes() == 0) continue;
+      accumulate(i, &runs[i]);
+    }
+  } else {
+    for (size_t i = 0; i < k; ++i) {
+      SnapshotRun run;
+      run.snap = ExtractSnapshot(g, boundaries[i]);
+      const size_t sn = run.snap.graph.num_nodes();
+      if (sn == 0) continue;
+
+      std::vector<double> initial;
+      const std::vector<double>* initial_ptr = nullptr;
+      if (options_.warm_start && !parent_scores.empty()) {
+        // Nodes new to this snapshot start at the mean previous score. The
+        // mean is a chunked reduction combined in chunk order, so it is
+        // exact across thread counts.
+        initial.resize(sn);
+        const size_t chunks = ChunkCount(sn, kNodeGrain);
+        std::vector<double> part_total(chunks, 0.0);
+        std::vector<size_t> part_known(chunks, 0);
+        ParallelForChunks(pool, sn, kNodeGrain,
+                          [&](size_t chunk, size_t begin, size_t end) {
+          double total = 0.0;
+          size_t known = 0;
+          for (NodeId s = static_cast<NodeId>(begin); s < end; ++s) {
+            const double prev = parent_scores[run.snap.to_parent[s]];
+            if (prev > 0.0) {
+              total += prev;
+              ++known;
+            }
+          }
+          part_total[chunk] = total;
+          part_known[chunk] = known;
+        });
+        double total = 0.0;
+        size_t known = 0;
+        for (size_t c = 0; c < chunks; ++c) {
+          total += part_total[c];
+          known += part_known[c];
+        }
+        const double fallback = known > 0
+                                    ? total / static_cast<double>(known)
+                                    : 1.0 / static_cast<double>(sn);
+        ParallelFor(pool, sn, kNodeGrain, [&](size_t begin, size_t end) {
+          for (NodeId s = static_cast<NodeId>(begin); s < end; ++s) {
+            const double prev = parent_scores[run.snap.to_parent[s]];
+            initial[s] = prev > 0.0 ? prev : fallback;
+          }
+        });
+        initial_ptr = &initial;
+      }
+
+      SCHOLAR_RETURN_NOT_OK(run_snapshot(i, &run, initial_ptr,
+                                         ctx.max_threads, &scratch, pool));
+      if (options_.warm_start) {
+        parent_scores.assign(n, 0.0);
+        ParallelFor(pool, sn, kNodeGrain, [&](size_t begin, size_t end) {
+          for (NodeId s = static_cast<NodeId>(begin); s < end; ++s) {
+            parent_scores[run.snap.to_parent[s]] = run.sub.scores[s];
+          }
+        });
+      }
+      accumulate(i, &run);
     }
   }
 
-  result.scores.resize(g.num_nodes());
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    // Every article appears in at least the final snapshot, so the weight
-    // sum is positive; the guard keeps degenerate subclasses safe.
-    result.scores[v] =
-        weight_sum[v] > 0.0 ? accumulated[v] / weight_sum[v] : 0.0;
-  }
+  result.scores.resize(n);
+  ParallelFor(pool, n, kNodeGrain, [&](size_t begin, size_t end) {
+    for (NodeId v = static_cast<NodeId>(begin); v < end; ++v) {
+      // Every article appears in at least the final snapshot, so the weight
+      // sum is positive; the guard keeps degenerate subclasses safe.
+      result.scores[v] =
+          weight_sum[v] > 0.0 ? accumulated[v] / weight_sum[v] : 0.0;
+    }
+  });
   return result;
 }
 

@@ -28,10 +28,13 @@ Result<RankResult> CiteRankRanker::RankImpl(const RankContext& ctx) const {
   }
   for (double& j : jump) j /= total;
 
+  PowerIterationOptions power = options_.power;
+  power.threads = static_cast<int>(EffectiveThreads(power.threads, ctx));
   const std::vector<double> no_initial;
   return WeightedPowerIteration(
-      g, /*edge_weights=*/{}, jump, options_.power,
-      ctx.initial_scores != nullptr ? *ctx.initial_scores : no_initial);
+      g, /*edge_weights=*/{}, jump, power,
+      ctx.initial_scores != nullptr ? *ctx.initial_scores : no_initial,
+      ctx.scratch);
 }
 
 }  // namespace scholar

@@ -1,20 +1,46 @@
 #include "rank/hits.h"
 
+#include <algorithm>
 #include <cmath>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "util/parallel_for.h"
+
 namespace scholar {
 namespace {
 
-/// L2-normalizes in place; returns the norm before normalization.
-double NormalizeL2(std::vector<double>* v) {
-  double sq = 0.0;
-  for (double x : *v) sq += x * x;
-  double norm = std::sqrt(sq);
+/// Chunk size of the per-node gather loops; fixed so the chunked norm and
+/// residual reductions are thread-count independent.
+constexpr size_t kNodeGrain = 2048;
+
+/// Sums partial[0..chunks) in index order.
+double OrderedSum(const std::vector<double>& partial, size_t chunks) {
+  double total = 0.0;
+  for (size_t c = 0; c < chunks; ++c) total += partial[c];
+  return total;
+}
+
+/// L2-normalizes in place (parallel, deterministic); returns the norm
+/// before normalization.
+double NormalizeL2(std::vector<double>* v, ThreadPool* pool,
+                   std::vector<double>* partial) {
+  const size_t n = v->size();
+  const size_t chunks = ChunkCount(n, kNodeGrain);
+  ParallelForChunks(pool, n, kNodeGrain,
+                    [&](size_t chunk, size_t begin, size_t end) {
+    double sq = 0.0;
+    for (size_t i = begin; i < end; ++i) sq += (*v)[i] * (*v)[i];
+    (*partial)[chunk] = sq;
+  });
+  const double norm = std::sqrt(OrderedSum(*partial, chunks));
   if (norm > 0.0) {
-    for (double& x : *v) x /= norm;
+    const double inv = 1.0 / norm;
+    ParallelFor(pool, n, kNodeGrain, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) (*v)[i] *= inv;
+    });
   }
   return norm;
 }
@@ -24,7 +50,7 @@ double NormalizeL2(std::vector<double>* v) {
 HitsRanker::HitsRanker(HitsOptions options) : options_(options) {}
 
 Result<HitsRanker::HubsAndAuthorities> HitsRanker::RankBoth(
-    const CitationGraph& g) const {
+    const CitationGraph& g, int max_threads) const {
   if (options_.max_iterations <= 0) {
     return Status::InvalidArgument("max_iterations must be positive");
   }
@@ -35,29 +61,50 @@ Result<HitsRanker::HubsAndAuthorities> HitsRanker::RankBoth(
   out.hubs = out.authorities;
   if (n == 0) return out;
 
+  size_t workers = ResolveThreads(options_.threads);
+  if (max_threads > 0 && static_cast<size_t>(max_threads) < workers) {
+    workers = static_cast<size_t>(max_threads);
+  }
+  std::unique_ptr<ThreadPool> owned_pool =
+      workers > 1 ? std::make_unique<ThreadPool>(workers - 1) : nullptr;
+  ThreadPool* pool = owned_pool.get();
+
+  const size_t chunks = ChunkCount(n, kNodeGrain);
+  std::vector<double> partial(chunks, 0.0);
   std::vector<double> prev_auth(n);
   out.converged = false;
   for (int iter = 1; iter <= options_.max_iterations; ++iter) {
     prev_auth = out.authorities;
-    // Authority(v) = sum of hub(u) over citers u.
-    for (NodeId v = 0; v < n; ++v) {
-      double acc = 0.0;
-      for (NodeId u : g.Citers(v)) acc += out.hubs[u];
-      out.authorities[v] = acc;
-    }
-    NormalizeL2(&out.authorities);
-    // Hub(u) = sum of authority(v) over references v.
-    for (NodeId u = 0; u < n; ++u) {
-      double acc = 0.0;
-      for (NodeId v : g.References(u)) acc += out.authorities[v];
-      out.hubs[u] = acc;
-    }
-    NormalizeL2(&out.hubs);
+    // Authority(v) = sum of hub(u) over citers u — a pull over the in-CSR;
+    // each node writes only its own slot.
+    ParallelFor(pool, n, kNodeGrain, [&](size_t begin, size_t end) {
+      for (NodeId v = static_cast<NodeId>(begin); v < end; ++v) {
+        double acc = 0.0;
+        for (NodeId u : g.Citers(v)) acc += out.hubs[u];
+        out.authorities[v] = acc;
+      }
+    });
+    NormalizeL2(&out.authorities, pool, &partial);
+    // Hub(u) = sum of authority(v) over references v — a pull over the
+    // out-CSR.
+    ParallelFor(pool, n, kNodeGrain, [&](size_t begin, size_t end) {
+      for (NodeId u = static_cast<NodeId>(begin); u < end; ++u) {
+        double acc = 0.0;
+        for (NodeId v : g.References(u)) acc += out.authorities[v];
+        out.hubs[u] = acc;
+      }
+    });
+    NormalizeL2(&out.hubs, pool, &partial);
 
-    double residual = 0.0;
-    for (NodeId v = 0; v < n; ++v) {
-      residual += std::abs(out.authorities[v] - prev_auth[v]);
-    }
+    ParallelForChunks(pool, n, kNodeGrain,
+                      [&](size_t chunk, size_t begin, size_t end) {
+      double part = 0.0;
+      for (size_t v = begin; v < end; ++v) {
+        part += std::abs(out.authorities[v] - prev_auth[v]);
+      }
+      partial[chunk] = part;
+    });
+    const double residual = OrderedSum(partial, chunks);
     out.iterations = iter;
     if (residual < options_.tolerance) {
       out.converged = true;
@@ -69,7 +116,8 @@ Result<HitsRanker::HubsAndAuthorities> HitsRanker::RankBoth(
 
 Result<RankResult> HitsRanker::RankImpl(const RankContext& ctx) const {
   SCHOLAR_RETURN_NOT_OK(ValidateContext(ctx, /*requires_authors=*/false));
-  SCHOLAR_ASSIGN_OR_RETURN(HubsAndAuthorities both, RankBoth(*ctx.graph));
+  SCHOLAR_ASSIGN_OR_RETURN(HubsAndAuthorities both,
+                           RankBoth(*ctx.graph, ctx.max_threads));
   RankResult result;
   result.scores = std::move(both.authorities);
   result.iterations = both.iterations;

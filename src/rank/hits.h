@@ -15,6 +15,9 @@ namespace scholar {
 struct HitsOptions {
   double tolerance = 1e-10;
   int max_iterations = 200;
+  /// Worker threads for the gather passes: 0 = hardware concurrency,
+  /// 1 = serial. Bit-identical results at every setting.
+  int threads = 0;
 };
 
 class HitsRanker : public Ranker {
@@ -31,7 +34,10 @@ class HitsRanker : public Ranker {
     int iterations = 0;
     bool converged = true;
   };
-  Result<HubsAndAuthorities> RankBoth(const CitationGraph& graph) const;
+  /// `max_threads` caps options().threads for this call (0 = no cap); the
+  /// ensemble uses the cap when it already parallelizes across snapshots.
+  Result<HubsAndAuthorities> RankBoth(const CitationGraph& graph,
+                                      int max_threads = 0) const;
 
  private:
   HitsOptions options_;

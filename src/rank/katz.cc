@@ -1,11 +1,21 @@
 #include "rank/katz.h"
 
 #include <cmath>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "util/parallel_for.h"
+
 namespace scholar {
+namespace {
+
+/// Chunk size of the per-node loops; fixed so the chunked residual/mass
+/// reductions are thread-count independent.
+constexpr size_t kNodeGrain = 2048;
+
+}  // namespace
 
 KatzRanker::KatzRanker(KatzOptions options) : options_(options) {}
 
@@ -22,26 +32,50 @@ Result<RankResult> KatzRanker::RankImpl(const RankContext& ctx) const {
   const size_t n = g.num_nodes();
   if (n == 0) return RankResult{};
 
-  // s <- alpha * A^T (s + 1): each citation u->v contributes
-  // alpha * (s(u) + 1) to v.
+  const size_t workers = EffectiveThreads(options_.threads, ctx);
+  std::unique_ptr<ThreadPool> owned_pool =
+      workers > 1 ? std::make_unique<ThreadPool>(workers - 1) : nullptr;
+  ThreadPool* pool = owned_pool.get();
+
+  // s <- alpha * A^T (s + 1), evaluated as a pull: v gathers
+  // alpha * (s(u) + 1) over its citers u, so no write ever leaves v's slot.
+  // contribution[] hoists the per-source term out of the gather.
   std::vector<double> scores(n, 0.0);
   std::vector<double> next(n);
+  std::vector<double> contribution(n);
+  const size_t chunks = ChunkCount(n, kNodeGrain);
+  std::vector<double> partial_residual(chunks, 0.0);
+  std::vector<double> partial_mass(chunks, 0.0);
   RankResult result;
   result.converged = false;
   // Divergence guard: if the total mass exceeds this, alpha is beyond the
   // spectral radius and the series cannot converge.
   const double mass_limit = 1e12 * static_cast<double>(n);
   for (int iter = 1; iter <= options_.max_iterations; ++iter) {
-    std::fill(next.begin(), next.end(), 0.0);
-    for (NodeId u = 0; u < n; ++u) {
-      const double contribution = options_.alpha * (scores[u] + 1.0);
-      for (NodeId v : g.References(u)) next[v] += contribution;
-    }
+    ParallelFor(pool, n, kNodeGrain, [&](size_t begin, size_t end) {
+      for (NodeId u = static_cast<NodeId>(begin); u < end; ++u) {
+        contribution[u] = options_.alpha * (scores[u] + 1.0);
+      }
+    });
+    ParallelForChunks(pool, n, kNodeGrain,
+                      [&](size_t chunk, size_t begin, size_t end) {
+      double residual_part = 0.0;
+      double mass_part = 0.0;
+      for (NodeId v = static_cast<NodeId>(begin); v < end; ++v) {
+        double acc = 0.0;
+        for (NodeId u : g.Citers(v)) acc += contribution[u];
+        next[v] = acc;
+        residual_part += std::abs(acc - scores[v]);
+        mass_part += acc;
+      }
+      partial_residual[chunk] = residual_part;
+      partial_mass[chunk] = mass_part;
+    });
     double residual = 0.0;
     double mass = 0.0;
-    for (NodeId v = 0; v < n; ++v) {
-      residual += std::abs(next[v] - scores[v]);
-      mass += next[v];
+    for (size_t c = 0; c < chunks; ++c) {
+      residual += partial_residual[c];
+      mass += partial_mass[c];
     }
     scores.swap(next);
     result.iterations = iter;
@@ -58,9 +92,9 @@ Result<RankResult> KatzRanker::RankImpl(const RankContext& ctx) const {
   }
   // L1-normalize so scores are comparable across graphs.
   double total = 0.0;
-  for (double s : scores) total += s;
+  for (double v : scores) total += v;
   if (total > 0.0) {
-    for (double& s : scores) s /= total;
+    for (double& v : scores) v /= total;
   }
   result.scores = std::move(scores);
   return result;

@@ -24,6 +24,9 @@ struct KatzOptions {
   double alpha = 0.05;
   double tolerance = 1e-10;
   int max_iterations = 200;
+  /// Worker threads for the gather passes: 0 = hardware concurrency,
+  /// 1 = serial. Bit-identical results at every setting.
+  int threads = 0;
 };
 
 class KatzRanker : public Ranker {

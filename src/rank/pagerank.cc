@@ -1,10 +1,40 @@
 #include "rank/pagerank.h"
 
+#include <atomic>
 #include <cmath>
 #include <string>
 #include <utility>
 
+#include "util/parallel_for.h"
+
 namespace scholar {
+
+namespace {
+
+/// Chunk size of every per-node parallel loop in the solver. Part of the
+/// determinism contract: chunk geometry depends on (n, grain) only, never
+/// on the thread count, so ordered per-chunk reductions group additions the
+/// same way at any parallelism level.
+constexpr size_t kNodeGrain = 2048;
+
+/// Sums `partial[0 .. chunks)` in index order (fixed fp grouping).
+double OrderedSum(const std::vector<double>& partial, size_t chunks) {
+  double total = 0.0;
+  for (size_t c = 0; c < chunks; ++c) total += partial[c];
+  return total;
+}
+
+}  // namespace
+
+ThreadPool* PowerIterationScratch::PoolFor(size_t workers) {
+  if (workers <= 1) return nullptr;
+  const size_t helpers = workers - 1;  // the calling thread participates
+  if (pool_ == nullptr || pool_workers_ != helpers) {
+    pool_ = std::make_unique<ThreadPool>(helpers);
+    pool_workers_ = helpers;
+  }
+  return pool_.get();
+}
 
 std::vector<double> ExtendScoresForGrownGraph(
     const std::vector<double>& old_scores, size_t new_num_nodes) {
@@ -31,7 +61,8 @@ std::vector<double> ExtendScoresForGrownGraph(
 Result<RankResult> WeightedPowerIteration(
     const CitationGraph& graph, const std::vector<double>& edge_weights,
     const std::vector<double>& jump, const PowerIterationOptions& options,
-    const std::vector<double>& initial_scores) {
+    const std::vector<double>& initial_scores,
+    PowerIterationScratch* scratch) {
   const size_t n = graph.num_nodes();
   const size_t m = graph.num_edges();
   if (options.damping < 0.0 || options.damping >= 1.0) {
@@ -62,35 +93,78 @@ Result<RankResult> WeightedPowerIteration(
                                      std::to_string(sum) + ", expected 1");
     }
   }
-  if (n == 0) return RankResult{};
-
-  // Per-edge transition probabilities: weight / row sum. Rows whose weights
-  // sum to zero are dangling.
-  std::vector<double> transition(m);
-  std::vector<bool> dangling(n, false);
-  for (NodeId u = 0; u < n; ++u) {
-    const EdgeId begin = graph.out_offsets()[u];
-    const EdgeId end = graph.out_offsets()[u + 1];
-    double row_sum = 0.0;
-    for (EdgeId e = begin; e < end; ++e) {
-      double w = edge_weights.empty() ? 1.0 : edge_weights[e];
-      if (w < 0.0) return Status::InvalidArgument("negative edge weight");
-      row_sum += w;
-    }
-    if (row_sum <= 0.0) {
-      dangling[u] = true;
-      continue;
-    }
-    for (EdgeId e = begin; e < end; ++e) {
-      double w = edge_weights.empty() ? 1.0 : edge_weights[e];
-      transition[e] = w / row_sum;
-    }
-  }
-
   if (!initial_scores.empty() && initial_scores.size() != n) {
     return Status::InvalidArgument(
         "initial_scores size " + std::to_string(initial_scores.size()) +
         " != num_nodes " + std::to_string(n));
+  }
+  if (n == 0) return RankResult{};
+
+  PowerIterationScratch local_scratch;
+  PowerIterationScratch& s = scratch != nullptr ? *scratch : local_scratch;
+  ThreadPool* pool = s.PoolFor(ResolveThreads(options.threads));
+
+  const std::vector<EdgeId>& out_offsets = graph.out_offsets();
+  const std::vector<NodeId>& out_neighbors = graph.out_neighbors();
+  const std::vector<EdgeId>& in_offsets = graph.in_offsets();
+  const std::vector<NodeId>& in_neighbors = graph.in_neighbors();
+  const bool uniform_weights = edge_weights.empty();
+
+  // Pass 1 (parallel): weighted out-degree and dangling flag per source.
+  s.row_weight.assign(n, 0.0);
+  s.dangling.assign(n, 0);
+  std::atomic<bool> negative_weight{false};
+  ParallelFor(pool, n, kNodeGrain, [&](size_t begin, size_t end) {
+    if (uniform_weights) {
+      for (NodeId u = static_cast<NodeId>(begin); u < end; ++u) {
+        const double degree =
+            static_cast<double>(out_offsets[u + 1] - out_offsets[u]);
+        s.row_weight[u] = degree;
+        s.dangling[u] = degree <= 0.0 ? 1 : 0;
+      }
+      return;
+    }
+    for (NodeId u = static_cast<NodeId>(begin); u < end; ++u) {
+      double row = 0.0;
+      for (EdgeId e = out_offsets[u]; e < out_offsets[u + 1]; ++e) {
+        const double w = edge_weights[e];
+        if (w < 0.0) negative_weight.store(true, std::memory_order_relaxed);
+        row += w;
+      }
+      s.row_weight[u] = row;
+      s.dangling[u] = row <= 0.0 ? 1 : 0;
+    }
+  });
+  if (negative_weight.load()) {
+    return Status::InvalidArgument("negative edge weight");
+  }
+
+  // Pass 2 (one serial scatter): transition probabilities in *in-edge*
+  // order. Mirrors the reverse-CSR construction of CitationGraph::FromCsr —
+  // sources are scanned ascending, so s.transition[p] lines up with
+  // in_neighbors[p] — and is exact even for multi-edges, which a per-edge
+  // binary search would conflate.
+  s.transition.resize(m);
+  s.cursor.assign(in_offsets.begin(), in_offsets.end() - 1);
+  for (NodeId u = 0; u < n; ++u) {
+    if (s.dangling[u]) {
+      // A dangling row contributes through the jump vector only; its edges
+      // (all zero-weight) must not carry score.
+      for (EdgeId e = out_offsets[u]; e < out_offsets[u + 1]; ++e) {
+        s.transition[s.cursor[out_neighbors[e]]++] = 0.0;
+      }
+      continue;
+    }
+    const double inv_row = 1.0 / s.row_weight[u];
+    if (uniform_weights) {
+      for (EdgeId e = out_offsets[u]; e < out_offsets[u + 1]; ++e) {
+        s.transition[s.cursor[out_neighbors[e]]++] = inv_row;
+      }
+    } else {
+      for (EdgeId e = out_offsets[u]; e < out_offsets[u + 1]; ++e) {
+        s.transition[s.cursor[out_neighbors[e]]++] = edge_weights[e] * inv_row;
+      }
+    }
   }
 
   const double uniform = 1.0 / static_cast<double>(n);
@@ -98,46 +172,67 @@ Result<RankResult> WeightedPowerIteration(
   if (!initial_scores.empty()) {
     double total = 0.0;
     bool valid = true;
-    for (double s : initial_scores) {
-      if (s < 0.0) {
+    for (double v : initial_scores) {
+      if (v < 0.0) {
         valid = false;
         break;
       }
-      total += s;
+      total += v;
     }
     if (valid && total > 0.0) {
       for (NodeId v = 0; v < n; ++v) scores[v] = initial_scores[v] / total;
     }
   }
-  std::vector<double> next(n, 0.0);
+  s.next.resize(n);
+  const size_t chunks = ChunkCount(n, kNodeGrain);
+  s.partial.assign(chunks, 0.0);
 
   RankResult result;
   result.converged = false;
   for (int iter = 1; iter <= options.max_iterations; ++iter) {
-    double dangling_mass = 0.0;
-    std::fill(next.begin(), next.end(), 0.0);
-    for (NodeId u = 0; u < n; ++u) {
-      if (dangling[u]) {
-        dangling_mass += scores[u];
-        continue;
+    // Phase A (parallel): pull-gather the citation flow into each node and
+    // collect the dangling mass as ordered per-chunk partials.
+    ParallelForChunks(pool, n, kNodeGrain,
+                      [&](size_t chunk, size_t begin, size_t end) {
+      double dangling_part = 0.0;
+      for (NodeId v = static_cast<NodeId>(begin); v < end; ++v) {
+        double acc = 0.0;
+        for (EdgeId p = in_offsets[v]; p < in_offsets[v + 1]; ++p) {
+          acc += s.transition[p] * scores[in_neighbors[p]];
+        }
+        s.next[v] = acc;
+        if (s.dangling[v]) dangling_part += scores[v];
       }
-      const double su = scores[u];
-      const EdgeId begin = graph.out_offsets()[u];
-      const EdgeId end = graph.out_offsets()[u + 1];
-      for (EdgeId e = begin; e < end; ++e) {
-        next[graph.out_neighbors()[e]] += su * transition[e];
-      }
-    }
+      s.partial[chunk] = dangling_part;
+    });
+    const double dangling_mass = OrderedSum(s.partial, chunks);
     const double teleport =
         options.damping * dangling_mass + (1.0 - options.damping);
-    double residual = 0.0;
-    for (NodeId v = 0; v < n; ++v) {
-      double jv = jump.empty() ? uniform : jump[v];
-      double nv = options.damping * next[v] + teleport * jv;
-      residual += std::abs(nv - scores[v]);
-      next[v] = nv;
-    }
-    scores.swap(next);
+
+    // Phase B (parallel): damp, teleport, and measure the L1 residual as
+    // ordered per-chunk partials.
+    ParallelForChunks(pool, n, kNodeGrain,
+                      [&](size_t chunk, size_t begin, size_t end) {
+      double residual_part = 0.0;
+      if (jump.empty()) {
+        const double teleport_uniform = teleport * uniform;
+        for (NodeId v = static_cast<NodeId>(begin); v < end; ++v) {
+          const double nv = options.damping * s.next[v] + teleport_uniform;
+          residual_part += std::abs(nv - scores[v]);
+          s.next[v] = nv;
+        }
+      } else {
+        for (NodeId v = static_cast<NodeId>(begin); v < end; ++v) {
+          const double nv = options.damping * s.next[v] + teleport * jump[v];
+          residual_part += std::abs(nv - scores[v]);
+          s.next[v] = nv;
+        }
+      }
+      s.partial[chunk] = residual_part;
+    });
+    const double residual = OrderedSum(s.partial, chunks);
+
+    scores.swap(s.next);
     result.iterations = iter;
     result.final_residual = residual;
     if (residual < options.tolerance) {
@@ -151,10 +246,13 @@ Result<RankResult> WeightedPowerIteration(
 
 Result<RankResult> PageRankRanker::RankImpl(const RankContext& ctx) const {
   SCHOLAR_RETURN_NOT_OK(ValidateContext(ctx, /*requires_authors=*/false));
+  PowerIterationOptions options = options_;
+  options.threads = static_cast<int>(EffectiveThreads(options.threads, ctx));
   const std::vector<double> no_initial;
   return WeightedPowerIteration(
-      *ctx.graph, /*edge_weights=*/{}, /*jump=*/{}, options_,
-      ctx.initial_scores != nullptr ? *ctx.initial_scores : no_initial);
+      *ctx.graph, /*edge_weights=*/{}, /*jump=*/{}, options,
+      ctx.initial_scores != nullptr ? *ctx.initial_scores : no_initial,
+      ctx.scratch);
 }
 
 }  // namespace scholar

@@ -1,10 +1,12 @@
 #ifndef SCHOLARRANK_RANK_PAGERANK_H_
 #define SCHOLARRANK_RANK_PAGERANK_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "rank/ranker.h"
+#include "util/thread_pool.h"
 
 namespace scholar {
 
@@ -16,6 +18,38 @@ struct PowerIterationOptions {
   /// this.
   double tolerance = 1e-10;
   int max_iterations = 200;
+  /// Worker threads for the pull-based iteration: 0 (default) = hardware
+  /// concurrency, 1 = serial, N = exactly N. Scores are bit-identical at
+  /// every setting (see the determinism note on WeightedPowerIteration).
+  int threads = 0;
+};
+
+/// Reusable solver state for WeightedPowerIteration: the O(n + m) work
+/// buffers plus the lazily built worker pool. One Rank call needs one
+/// scratch; the ensemble runs k snapshot ranks per call and shares a single
+/// scratch across them, so the transition/score buffers and the pool are
+/// allocated once instead of k times. Not thread-safe — never share one
+/// scratch between concurrent solver calls.
+class PowerIterationScratch {
+ public:
+  PowerIterationScratch() = default;
+
+  /// Helper pool sized for `workers` total threads (the calling thread
+  /// participates, so the pool holds workers - 1 helpers). Returns nullptr
+  /// when workers <= 1 (serial). Rebuilt only when the size changes.
+  ThreadPool* PoolFor(size_t workers);
+
+  /// Buffers, exposed for the solver (and the TWPR weight pipeline).
+  std::vector<double> transition;   // per-in-edge transition probability
+  std::vector<double> row_weight;   // per-source weighted out-degree
+  std::vector<double> next;         // double buffer for the score vector
+  std::vector<double> partial;      // ordered per-chunk reduction terms
+  std::vector<uint8_t> dangling;    // 1 = weighted out-degree is zero
+  std::vector<EdgeId> cursor;       // in-CSR fill cursor for the scatter
+
+ private:
+  std::unique_ptr<ThreadPool> pool_;
+  size_t pool_workers_ = 0;
 };
 
 /// Core solver shared by PageRank, TWPR and CiteRank.
@@ -30,6 +64,17 @@ struct PowerIterationOptions {
 /// uniform). A node whose weighted out-degree is zero is treated as
 /// dangling: its entire score is redistributed through `jump`.
 ///
+/// Parallel execution: the iteration is a pull-based gather over the
+/// in-CSR. Per-edge transition probabilities are precomputed in in-edge
+/// order (one pass over the out-CSR for row sums, one scatter mirroring the
+/// reverse-CSR construction), so each round node v sums
+/// `transition[e] * scores[in_neighbor(e)]` over its own in-edges — every
+/// write goes to v's slot only: no atomics, no contention. Results are
+/// **bit-identical at any thread count**: each node reduces its in-edges in
+/// fixed CSR order, and the dangling mass and L1 residual are per-chunk
+/// partial sums over a thread-count-independent chunk geometry, combined in
+/// chunk-index order.
+///
 /// Errors: negative edge weights, wrong array sizes, or a `jump` that does
 /// not sum to ~1.
 ///
@@ -38,10 +83,14 @@ struct PowerIterationOptions {
 /// — which reduces iteration counts without changing the fixed point. It is
 /// L1-renormalized internally; non-positive-mass inputs fall back to
 /// uniform.
+///
+/// `scratch` (optional) supplies reusable buffers and the worker pool; pass
+/// one when calling the solver repeatedly (the ensemble does).
 Result<RankResult> WeightedPowerIteration(
     const CitationGraph& graph, const std::vector<double>& edge_weights,
     const std::vector<double>& jump, const PowerIterationOptions& options,
-    const std::vector<double>& initial_scores = {});
+    const std::vector<double>& initial_scores = {},
+    PowerIterationScratch* scratch = nullptr);
 
 /// Pads a score vector from a smaller prefix-snapshot of a graph up to
 /// `new_num_nodes` (new articles get the mean existing score) — the warm

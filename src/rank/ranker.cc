@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "util/parallel_for.h"
+
 namespace scholar {
 
 Ranker::~Ranker() = default;
@@ -108,6 +110,15 @@ Status ValidateContext(const RankContext& ctx, bool requires_authors,
         " entries but graph has " + std::to_string(ctx.graph->num_nodes()));
   }
   return Status::OK();
+}
+
+size_t EffectiveThreads(int option_threads, const RankContext& ctx) {
+  size_t threads = ResolveThreads(option_threads);
+  if (ctx.max_threads > 0 &&
+      static_cast<size_t>(ctx.max_threads) < threads) {
+    threads = static_cast<size_t>(ctx.max_threads);
+  }
+  return threads;
 }
 
 }  // namespace scholar

@@ -10,6 +10,8 @@
 
 namespace scholar {
 
+struct PowerIterationScratch;  // rank/pagerank.h
+
 /// Everything a ranker may consume. Only `graph` is mandatory; rankers that
 /// need more (FutureRank needs `authors`) return InvalidArgument when it is
 /// missing, so that capability mismatches surface as Status, not crashes.
@@ -28,6 +30,16 @@ struct RankContext {
   /// it to converge in fewer rounds; it never changes the fixed point.
   /// Size must equal `graph->num_nodes()` when present.
   const std::vector<double>* initial_scores = nullptr;
+  /// Optional reusable solver state (buffers + worker pool) for
+  /// power-iteration rankers; the ensemble shares one across its snapshot
+  /// ranks so the O(n + m) solver buffers are allocated once, not k times.
+  /// Never share one scratch between concurrent Rank calls.
+  PowerIterationScratch* scratch = nullptr;
+  /// Caps the worker threads a ranker may use for this call; 0 = no cap
+  /// (the ranker's own `threads` option decides). The ensemble sets 1 on
+  /// its per-snapshot sub-contexts when it already parallelizes across
+  /// snapshots, so the two levels never oversubscribe the machine.
+  int max_threads = 0;
 
   /// now_year with the default applied.
   Year EffectiveNow() const {
@@ -102,6 +114,11 @@ std::vector<NodeId> TopK(const std::vector<double>& scores, size_t k);
 /// ranker implementations.
 Status ValidateContext(const RankContext& ctx, bool requires_authors,
                        bool requires_venues = false);
+
+/// Worker count a ranker should use: `option_threads` resolved (0 = auto =
+/// hardware concurrency) and clamped by `ctx.max_threads`. Shared by every
+/// iterative ranker implementation.
+size_t EffectiveThreads(int option_threads, const RankContext& ctx);
 
 }  // namespace scholar
 

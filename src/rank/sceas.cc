@@ -1,11 +1,21 @@
 #include "rank/sceas.h"
 
 #include <cmath>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "util/parallel_for.h"
+
 namespace scholar {
+namespace {
+
+/// Chunk size of the per-node loops; fixed so the chunked residual
+/// reduction is thread-count independent.
+constexpr size_t kNodeGrain = 2048;
+
+}  // namespace
 
 SceasRanker::SceasRanker(SceasOptions options) : options_(options) {}
 
@@ -26,21 +36,44 @@ Result<RankResult> SceasRanker::RankImpl(const RankContext& ctx) const {
   const size_t n = g.num_nodes();
   if (n == 0) return RankResult{};
 
+  const size_t workers = EffectiveThreads(options_.threads, ctx);
+  std::unique_ptr<ThreadPool> owned_pool =
+      workers > 1 ? std::make_unique<ThreadPool>(workers - 1) : nullptr;
+  ThreadPool* pool = owned_pool.get();
+
+  // s(v) = Σ_{u cites v} (s(u) + b) / (a · outdeg(u)), evaluated as a pull
+  // over the in-CSR with the per-source share hoisted into share[] — no
+  // write ever leaves v's slot.
   std::vector<double> scores(n, 0.0);
   std::vector<double> next(n);
+  std::vector<double> share(n);
+  const size_t chunks = ChunkCount(n, kNodeGrain);
+  std::vector<double> partial(chunks, 0.0);
   RankResult result;
   result.converged = false;
   for (int iter = 1; iter <= options_.max_iterations; ++iter) {
-    std::fill(next.begin(), next.end(), 0.0);
-    for (NodeId u = 0; u < n; ++u) {
-      auto refs = g.References(u);
-      if (refs.empty()) continue;
-      const double share = (scores[u] + options_.b) /
-                           (options_.a * static_cast<double>(refs.size()));
-      for (NodeId v : refs) next[v] += share;
-    }
+    ParallelFor(pool, n, kNodeGrain, [&](size_t begin, size_t end) {
+      for (NodeId u = static_cast<NodeId>(begin); u < end; ++u) {
+        const size_t degree = g.OutDegree(u);
+        share[u] = degree == 0
+                       ? 0.0
+                       : (scores[u] + options_.b) /
+                             (options_.a * static_cast<double>(degree));
+      }
+    });
+    ParallelForChunks(pool, n, kNodeGrain,
+                      [&](size_t chunk, size_t begin, size_t end) {
+      double residual_part = 0.0;
+      for (NodeId v = static_cast<NodeId>(begin); v < end; ++v) {
+        double acc = 0.0;
+        for (NodeId u : g.Citers(v)) acc += share[u];
+        next[v] = acc;
+        residual_part += std::abs(acc - scores[v]);
+      }
+      partial[chunk] = residual_part;
+    });
     double residual = 0.0;
-    for (NodeId v = 0; v < n; ++v) residual += std::abs(next[v] - scores[v]);
+    for (size_t c = 0; c < chunks; ++c) residual += partial[c];
     scores.swap(next);
     result.iterations = iter;
     result.final_residual = residual;
@@ -50,9 +83,9 @@ Result<RankResult> SceasRanker::RankImpl(const RankContext& ctx) const {
     }
   }
   double total = 0.0;
-  for (double s : scores) total += s;
+  for (double v : scores) total += v;
   if (total > 0.0) {
-    for (double& s : scores) s /= total;
+    for (double& v : scores) v /= total;
   }
   result.scores = std::move(scores);
   return result;

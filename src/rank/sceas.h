@@ -25,6 +25,9 @@ struct SceasOptions {
   double a = 2.718281828459045;
   double tolerance = 1e-10;
   int max_iterations = 200;
+  /// Worker threads for the gather passes: 0 = hardware concurrency,
+  /// 1 = serial. Bit-identical results at every setting.
+  int threads = 0;
 };
 
 class SceasRanker : public Ranker {

@@ -4,39 +4,65 @@
 #include <cmath>
 #include <string>
 
+#include "util/parallel_for.h"
+
 namespace scholar {
+
+namespace {
+
+/// Chunk size of the per-node sweeps; fixed so chunked reductions are
+/// thread-count independent (see util/parallel_for.h).
+constexpr size_t kNodeGrain = 2048;
+
+}  // namespace
 
 TimeWeightedPageRank::TimeWeightedPageRank(TwprOptions options)
     : options_(options) {}
 
 std::vector<double> TimeWeightedPageRank::ComputeEdgeWeights(
-    const CitationGraph& graph, double sigma) {
+    const CitationGraph& graph, double sigma, ThreadPool* pool) {
   std::vector<double> weights(graph.num_edges());
-  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
-    const Year tu = graph.year(u);
-    const EdgeId begin = graph.out_offsets()[u];
-    const EdgeId end = graph.out_offsets()[u + 1];
-    for (EdgeId e = begin; e < end; ++e) {
-      const Year tv = graph.year(graph.out_neighbors()[e]);
-      const double gap = std::max(0, tu - tv);
-      weights[e] = std::exp(-sigma * gap);
+  ParallelFor(pool, graph.num_nodes(), kNodeGrain,
+              [&](size_t begin, size_t end) {
+    for (NodeId u = static_cast<NodeId>(begin); u < end; ++u) {
+      const Year tu = graph.year(u);
+      const EdgeId first = graph.out_offsets()[u];
+      const EdgeId last = graph.out_offsets()[u + 1];
+      for (EdgeId e = first; e < last; ++e) {
+        const Year tv = graph.year(graph.out_neighbors()[e]);
+        const double gap = std::max(0, tu - tv);
+        weights[e] = std::exp(-sigma * gap);
+      }
     }
-  }
+  });
   return weights;
 }
 
 std::vector<double> TimeWeightedPageRank::ComputeRecencyJump(
-    const CitationGraph& graph, double rho, Year now) {
+    const CitationGraph& graph, double rho, Year now, ThreadPool* pool) {
   const size_t n = graph.num_nodes();
   std::vector<double> jump(n);
+  const size_t chunks = ChunkCount(n, kNodeGrain);
+  std::vector<double> partial(chunks, 0.0);
+  ParallelForChunks(pool, n, kNodeGrain,
+                    [&](size_t chunk, size_t begin, size_t end) {
+    double part = 0.0;
+    for (NodeId v = static_cast<NodeId>(begin); v < end; ++v) {
+      const double age = std::max(0, now - graph.year(v));
+      jump[v] = std::exp(-rho * age);
+      part += jump[v];
+    }
+    partial[chunk] = part;
+  });
   double total = 0.0;
-  for (NodeId v = 0; v < n; ++v) {
-    const double age = std::max(0, now - graph.year(v));
-    jump[v] = std::exp(-rho * age);
-    total += jump[v];
-  }
+  for (size_t c = 0; c < chunks; ++c) total += partial[c];
   if (total > 0.0) {
-    for (double& j : jump) j /= total;
+    const double inv_total = 1.0 / total;
+    ParallelFor(pool, n, kNodeGrain, [&](size_t begin, size_t end) {
+      for (NodeId v = static_cast<NodeId>(begin); v < end; ++v) {
+        jump[v] *= inv_total;
+      }
+    });
   }
   return jump;
 }
@@ -52,15 +78,26 @@ Result<RankResult> TimeWeightedPageRank::RankImpl(const RankContext& ctx) const 
                                    std::to_string(options_.rho));
   }
   const CitationGraph& g = *ctx.graph;
-  std::vector<double> weights = ComputeEdgeWeights(g, options_.sigma);
+  PowerIterationOptions power = options_.power;
+  power.threads = static_cast<int>(EffectiveThreads(power.threads, ctx));
+
+  // The weight pipeline and the solver share one scratch (and therefore
+  // one worker pool): either the caller's or a call-local one.
+  PowerIterationScratch local_scratch;
+  PowerIterationScratch* scratch =
+      ctx.scratch != nullptr ? ctx.scratch : &local_scratch;
+  ThreadPool* pool = scratch->PoolFor(static_cast<size_t>(power.threads));
+
+  std::vector<double> weights = ComputeEdgeWeights(g, options_.sigma, pool);
   std::vector<double> jump;
   if (options_.recency_jump && g.num_nodes() > 0) {
-    jump = ComputeRecencyJump(g, options_.rho, ctx.EffectiveNow());
+    jump = ComputeRecencyJump(g, options_.rho, ctx.EffectiveNow(), pool);
   }
   const std::vector<double> no_initial;
   return WeightedPowerIteration(
-      g, weights, jump, options_.power,
-      ctx.initial_scores != nullptr ? *ctx.initial_scores : no_initial);
+      g, weights, jump, power,
+      ctx.initial_scores != nullptr ? *ctx.initial_scores : no_initial,
+      scratch);
 }
 
 }  // namespace scholar

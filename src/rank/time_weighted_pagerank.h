@@ -46,13 +46,19 @@ class TimeWeightedPageRank : public Ranker {
   const TwprOptions& options() const { return options_; }
 
   /// Exposed for tests and the ablation bench: per-edge weights aligned
-  /// with graph.out_neighbors().
+  /// with graph.out_neighbors(). `pool` (optional) parallelizes the edge
+  /// sweep; the result is bit-identical with and without it.
   static std::vector<double> ComputeEdgeWeights(const CitationGraph& graph,
-                                                double sigma);
+                                                double sigma,
+                                                ThreadPool* pool = nullptr);
 
   /// Exposed for tests: the recency teleport distribution (sums to 1).
+  /// `pool` (optional) parallelizes the sweep; the normalizing total is an
+  /// ordered per-chunk reduction, so the result is bit-identical with and
+  /// without it.
   static std::vector<double> ComputeRecencyJump(const CitationGraph& graph,
-                                                double rho, Year now);
+                                                double rho, Year now,
+                                                ThreadPool* pool = nullptr);
 
  private:
   TwprOptions options_;

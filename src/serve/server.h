@@ -9,7 +9,7 @@
 #include <unordered_set>
 
 #include "serve/query_engine.h"
-#include "serve/thread_pool.h"
+#include "util/thread_pool.h"
 #include "util/status.h"
 
 namespace scholar {

@@ -1,9 +1,8 @@
-#include "serve/thread_pool.h"
+#include "util/thread_pool.h"
 
 #include <utility>
 
 namespace scholar {
-namespace serve {
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
@@ -65,5 +64,4 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-}  // namespace serve
 }  // namespace scholar

@@ -1,5 +1,5 @@
-#ifndef SCHOLARRANK_SERVE_THREAD_POOL_H_
-#define SCHOLARRANK_SERVE_THREAD_POOL_H_
+#ifndef SCHOLARRANK_UTIL_THREAD_POOL_H_
+#define SCHOLARRANK_UTIL_THREAD_POOL_H_
 
 #include <condition_variable>
 #include <cstddef>
@@ -10,11 +10,12 @@
 #include <vector>
 
 namespace scholar {
-namespace serve {
 
 /// Fixed-size worker pool with a bounded-ish FIFO queue. Small on purpose:
-/// the serving loop needs "run this connection handler on some worker" and
-/// nothing else.
+/// callers need "run this task on some worker" and nothing else. Two kinds
+/// of users share it: the TCP serving loop (one long-lived task per
+/// connection) and the offline ranking core (many short chunk tasks via
+/// ParallelFor, see util/parallel_for.h).
 ///
 /// Destruction (or Shutdown()) stops accepting new work, runs everything
 /// already queued, and joins the workers.
@@ -52,7 +53,6 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 };
 
-}  // namespace serve
 }  // namespace scholar
 
-#endif  // SCHOLARRANK_SERVE_THREAD_POOL_H_
+#endif  // SCHOLARRANK_UTIL_THREAD_POOL_H_

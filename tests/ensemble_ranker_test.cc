@@ -247,6 +247,69 @@ TEST(RestrictAuthorsTest, KeepsOnlySnapshotPapers) {
   EXPECT_EQ(a1[1], 2u);
 }
 
+TEST(EnsembleParallelTest, IndependentSnapshotsBitIdenticalAcrossThreads) {
+  CitationGraph g = MakeRandomGraph(1500, 5, 1980, 30, 41);
+  EnsembleOptions o;
+  o.num_slices = 6;
+  o.warm_start = false;  // snapshots rank concurrently in this mode
+  o.threads = 1;
+  RankContext ctx;
+  ctx.graph = &g;
+  std::vector<EnsembleRanker::SnapshotDetail> details_serial;
+  RankResult serial = EnsembleRanker(PageRank(), o)
+                          .RankWithDetails(ctx, &details_serial)
+                          .value();
+  for (int threads : {2, 4}) {
+    o.threads = threads;
+    std::vector<EnsembleRanker::SnapshotDetail> details_parallel;
+    RankResult parallel = EnsembleRanker(PageRank(), o)
+                              .RankWithDetails(ctx, &details_parallel)
+                              .value();
+    EXPECT_EQ(serial.scores, parallel.scores) << threads << " threads";
+    EXPECT_EQ(serial.iterations, parallel.iterations);
+    ASSERT_EQ(details_serial.size(), details_parallel.size());
+    for (size_t i = 0; i < details_serial.size(); ++i) {
+      EXPECT_EQ(details_serial[i].boundary_year,
+                details_parallel[i].boundary_year);
+      EXPECT_EQ(details_serial[i].num_nodes, details_parallel[i].num_nodes);
+      EXPECT_EQ(details_serial[i].iterations, details_parallel[i].iterations);
+    }
+  }
+}
+
+TEST(EnsembleParallelTest, WarmStartChainBitIdenticalAcrossThreads) {
+  CitationGraph g = MakeRandomGraph(1500, 5, 1980, 30, 43);
+  EnsembleOptions o;
+  o.num_slices = 6;
+  o.warm_start = true;  // sequential chain; inner loops use the pool
+  o.window = 3;         // exercise the windowed accumulation path too
+  o.threads = 1;
+  RankResult serial = EnsembleRanker(PageRank(), o).Rank(g).value();
+  for (int threads : {2, 4}) {
+    o.threads = threads;
+    RankResult parallel = EnsembleRanker(PageRank(), o).Rank(g).value();
+    EXPECT_EQ(serial.scores, parallel.scores) << threads << " threads";
+    EXPECT_EQ(serial.iterations, parallel.iterations);
+  }
+}
+
+TEST(EnsembleParallelTest, ParallelModeMatchesSequentialColdStart) {
+  // warm_start only changes the iteration path, but with threads=1 the
+  // cold-start ensemble uses the sequential code and with threads>1 the
+  // concurrent one — the two code paths must agree exactly.
+  CitationGraph g = MakeRandomGraph(800, 4, 1985, 20, 47);
+  EnsembleOptions o;
+  o.num_slices = 5;
+  o.warm_start = false;
+  o.combiner = EnsembleCombiner::kRecencyWeighted;
+  o.gamma = 0.7;
+  o.threads = 1;
+  RankResult sequential = EnsembleRanker(PageRank(), o).Rank(g).value();
+  o.threads = 4;
+  RankResult concurrent = EnsembleRanker(PageRank(), o).Rank(g).value();
+  EXPECT_EQ(sequential.scores, concurrent.scores);
+}
+
 TEST(EnsembleCombinerTest, StringRoundTrip) {
   EXPECT_EQ(EnsembleCombinerFromString("mean").value(),
             EnsembleCombiner::kMean);

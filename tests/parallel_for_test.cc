@@ -1,0 +1,152 @@
+#include "util/parallel_for.h"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace scholar {
+namespace {
+
+TEST(ResolveThreadsTest, ZeroMeansHardwareConcurrency) {
+  const size_t hw = std::thread::hardware_concurrency();
+  EXPECT_EQ(ResolveThreads(0), hw == 0 ? 1u : hw);
+}
+
+TEST(ResolveThreadsTest, ExplicitCountsPassThrough) {
+  EXPECT_EQ(ResolveThreads(1), 1u);
+  EXPECT_EQ(ResolveThreads(7), 7u);
+  // Negative requests degrade to serial rather than wrapping around.
+  EXPECT_EQ(ResolveThreads(-3), 1u);
+}
+
+TEST(ChunkCountTest, GeometryIsPureInSizeAndGrain) {
+  EXPECT_EQ(ChunkCount(0, 16), 0u);
+  EXPECT_EQ(ChunkCount(1, 16), 1u);
+  EXPECT_EQ(ChunkCount(16, 16), 1u);
+  EXPECT_EQ(ChunkCount(17, 16), 2u);
+  EXPECT_EQ(ChunkCount(32, 16), 2u);
+  EXPECT_EQ(ChunkCount(100, 1), 100u);
+  // Degenerate grain is coerced to 1, never a division by zero.
+  EXPECT_EQ(ChunkCount(5, 0), 5u);
+}
+
+TEST(ParallelForTest, EmptyRangeNeverInvokesBody) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  ParallelFor(&pool, 0, 16, [&](size_t, size_t) { calls.fetch_add(1); });
+  ParallelFor(nullptr, 0, 16, [&](size_t, size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, GrainLargerThanRangeIsOneChunk) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  size_t seen_begin = 99, seen_end = 0;
+  ParallelFor(&pool, 5, 1000, [&](size_t begin, size_t end) {
+    calls.fetch_add(1);
+    seen_begin = begin;
+    seen_end = end;
+  });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(seen_begin, 0u);
+  EXPECT_EQ(seen_end, 5u);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  const size_t n = 10'007;  // prime: no grain divides it evenly
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  ParallelFor(&pool, n, 64, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelForTest, NullPoolRunsSeriallyInOrder) {
+  std::vector<size_t> begins;
+  ParallelFor(nullptr, 100, 32, [&](size_t begin, size_t end) {
+    begins.push_back(begin);
+    EXPECT_LE(end, 100u);
+  });
+  // Serial fallback sweeps chunks in ascending order on the caller.
+  ASSERT_EQ(begins.size(), 4u);
+  EXPECT_EQ(begins, (std::vector<size_t>{0, 32, 64, 96}));
+}
+
+TEST(ParallelForChunksTest, ChunkIndicesMatchGeometry) {
+  ThreadPool pool(2);
+  const size_t n = 1000, grain = 300;
+  const size_t chunks = ChunkCount(n, grain);
+  std::vector<std::pair<size_t, size_t>> ranges(chunks);
+  ParallelForChunks(&pool, n, grain,
+                    [&](size_t chunk, size_t begin, size_t end) {
+    ranges[chunk] = {begin, end};
+  });
+  for (size_t c = 0; c < chunks; ++c) {
+    EXPECT_EQ(ranges[c].first, c * grain);
+    EXPECT_EQ(ranges[c].second, std::min(n, (c + 1) * grain));
+  }
+}
+
+TEST(ParallelForChunksTest, OrderedPartialSumsAreThreadCountInvariant) {
+  const size_t n = 4096 + 37, grain = 256;
+  std::vector<double> values(n);
+  for (size_t i = 0; i < n; ++i) values[i] = 1.0 / (1.0 + static_cast<double>(i));
+  auto reduce = [&](ThreadPool* pool) {
+    const size_t chunks = ChunkCount(n, grain);
+    std::vector<double> partial(chunks, 0.0);
+    ParallelForChunks(pool, n, grain,
+                      [&](size_t chunk, size_t begin, size_t end) {
+      double acc = 0.0;
+      for (size_t i = begin; i < end; ++i) acc += values[i];
+      partial[chunk] = acc;
+    });
+    double total = 0.0;
+    for (double p : partial) total += p;
+    return total;
+  };
+  const double serial = reduce(nullptr);
+  ThreadPool two(2), eight(8);
+  // Bitwise equality: the chunk geometry and combine order are fixed.
+  EXPECT_EQ(serial, reduce(&two));
+  EXPECT_EQ(serial, reduce(&eight));
+}
+
+TEST(ParallelForTest, PropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      ParallelFor(&pool, 1000, 10, [&](size_t begin, size_t) {
+        if (begin >= 500) throw std::runtime_error("boom");
+      }),
+      std::runtime_error);
+  // The pool is still usable after a failed loop.
+  std::atomic<int> calls{0};
+  ParallelFor(&pool, 100, 10, [&](size_t, size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 10);
+}
+
+TEST(ParallelForTest, PropagatesExceptionFromSerialFallback) {
+  EXPECT_THROW(ParallelFor(nullptr, 10, 100,
+                           [&](size_t, size_t) { throw std::logic_error("x"); }),
+               std::logic_error);
+}
+
+TEST(ParallelForTest, NestedLoopsDoNotDeadlock) {
+  // The caller participates in its own loop, so an inner ParallelFor issued
+  // from a worker always makes progress even when the pool is saturated.
+  ThreadPool pool(2);
+  std::atomic<int> inner_calls{0};
+  ParallelFor(&pool, 8, 1, [&](size_t, size_t) {
+    ParallelFor(&pool, 4, 1,
+                [&](size_t, size_t) { inner_calls.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_calls.load(), 32);
+}
+
+}  // namespace
+}  // namespace scholar

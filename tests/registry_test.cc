@@ -45,6 +45,33 @@ TEST(RegistryTest, ConfigParametersReachTheRanker) {
   EXPECT_DOUBLE_EQ(twpr->options().power.damping, 0.7);
 }
 
+TEST(RegistryTest, ThreadsKeyReachesEveryParallelRanker) {
+  Config config;
+  config.SetInt("threads", 3);
+  {
+    auto ranker = MakeRanker("pagerank", config).value();
+    const auto* pr = dynamic_cast<const PageRankRanker*>(ranker.get());
+    ASSERT_NE(pr, nullptr);
+    EXPECT_EQ(pr->options().threads, 3);
+  }
+  {
+    auto ranker = MakeRanker("twpr", config).value();
+    const auto* twpr =
+        dynamic_cast<const TimeWeightedPageRank*>(ranker.get());
+    ASSERT_NE(twpr, nullptr);
+    EXPECT_EQ(twpr->options().power.threads, 3);
+  }
+  {
+    auto ranker = MakeRanker("ens_pagerank", config).value();
+    const auto* ens = dynamic_cast<const EnsembleRanker*>(ranker.get());
+    ASSERT_NE(ens, nullptr);
+    EXPECT_EQ(ens->options().threads, 3);
+    const auto* base = dynamic_cast<const PageRankRanker*>(&ens->base());
+    ASSERT_NE(base, nullptr);
+    EXPECT_EQ(base->options().threads, 3);
+  }
+}
+
 TEST(RegistryTest, CiteRankTauPlumbed) {
   Config config;
   config.SetDouble("tau", 4.5);

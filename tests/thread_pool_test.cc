@@ -1,4 +1,4 @@
-#include "serve/thread_pool.h"
+#include "util/thread_pool.h"
 
 #include <atomic>
 #include <chrono>
@@ -7,7 +7,6 @@
 #include <gtest/gtest.h>
 
 namespace scholar {
-namespace serve {
 namespace {
 
 TEST(ThreadPoolTest, RunsEverySubmittedTask) {
@@ -74,5 +73,4 @@ TEST(ThreadPoolTest, DestructorJoinsWithoutLosingQueuedTasks) {
 }
 
 }  // namespace
-}  // namespace serve
 }  // namespace scholar

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 #include "test_util.h"
+#include "util/thread_pool.h"
 
 namespace scholar {
 namespace {
@@ -166,6 +167,37 @@ TEST_P(TwprPropertyTest, ReducesRecencyBiasVsPageRank) {
 
 INSTANTIATE_TEST_SUITE_P(Sigmas, TwprPropertyTest,
                          ::testing::Values(0.1, 0.4, 0.8));
+
+TEST(TwprParallelTest, WeightPipelineBitIdenticalWithPool) {
+  CitationGraph g = MakeRandomGraph(5000, 5, 1980, 30, 23);
+  ThreadPool pool(4);
+  std::vector<double> w_serial =
+      TimeWeightedPageRank::ComputeEdgeWeights(g, 0.4);
+  std::vector<double> w_pool =
+      TimeWeightedPageRank::ComputeEdgeWeights(g, 0.4, &pool);
+  EXPECT_EQ(w_serial, w_pool);
+  std::vector<double> j_serial =
+      TimeWeightedPageRank::ComputeRecencyJump(g, 0.2, 2010);
+  std::vector<double> j_pool =
+      TimeWeightedPageRank::ComputeRecencyJump(g, 0.2, 2010, &pool);
+  EXPECT_EQ(j_serial, j_pool);
+}
+
+TEST(TwprParallelTest, ScoresBitIdenticalAcrossThreadCounts) {
+  CitationGraph g = MakeRandomGraph(2000, 6, 1980, 25, 29);
+  TwprOptions o;
+  o.sigma = 0.4;
+  o.recency_jump = true;
+  o.rho = 0.15;
+  o.power.threads = 1;
+  RankResult serial = TimeWeightedPageRank(o).Rank(g).value();
+  for (int threads : {2, 8}) {
+    o.power.threads = threads;
+    RankResult parallel = TimeWeightedPageRank(o).Rank(g).value();
+    EXPECT_EQ(serial.scores, parallel.scores) << threads << " threads";
+    EXPECT_EQ(serial.iterations, parallel.iterations);
+  }
+}
 
 }  // namespace
 }  // namespace scholar
