@@ -4,10 +4,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <utility>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace scholar {
 namespace serve {
@@ -25,8 +27,8 @@ class LruCache {
   explicit LruCache(size_t capacity) : capacity_(capacity) {}
 
   /// Returns a copy of the cached value and refreshes its recency.
-  std::optional<Value> Get(const Key& key) {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::optional<Value> Get(const Key& key) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     auto it = index_.find(key);
     if (it == index_.end()) {
       ++misses_;
@@ -39,9 +41,9 @@ class LruCache {
 
   /// Inserts or refreshes `key`, evicting the least-recently-used entry
   /// when over capacity. A capacity of 0 disables caching.
-  void Put(const Key& key, Value value) {
+  void Put(const Key& key, Value value) EXCLUDES(mu_) {
     if (capacity_ == 0) return;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = index_.find(key);
     if (it != index_.end()) {
       it->second->second = std::move(value);
@@ -56,27 +58,28 @@ class LruCache {
     }
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return index_.size();
   }
-  uint64_t hits() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  uint64_t hits() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return hits_;
   }
-  uint64_t misses() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  uint64_t misses() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return misses_;
   }
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::list<std::pair<Key, Value>> order_;  // front = most recent
+  mutable Mutex mu_;
+  /// Recency list, front = most recent.
+  std::list<std::pair<Key, Value>> order_ GUARDED_BY(mu_);
   std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator>
-      index_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+      index_ GUARDED_BY(mu_);
+  uint64_t hits_ GUARDED_BY(mu_) = 0;
+  uint64_t misses_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace serve

@@ -106,7 +106,7 @@ void Server::AcceptLoop() {
 
 void Server::HandleConnection(int fd) {
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(conn_mu_);
     // Checked under conn_mu_ so this cannot race Stop()'s sweep: either the
     // sweep sees the fd in the set, or we see stopping_ here and bail.
     if (stopping_.load(std::memory_order_acquire)) {
@@ -147,12 +147,12 @@ void Server::HandleConnection(int fd) {
 }
 
 void Server::UntrackConnection(int fd) {
-  std::lock_guard<std::mutex> lock(conn_mu_);
+  MutexLock lock(conn_mu_);
   open_connections_.erase(fd);
 }
 
 void Server::Stop() {
-  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  MutexLock stop_lock(stop_mu_);
   if (stopped_) return;
   stopping_.store(true, std::memory_order_release);
 
@@ -166,7 +166,7 @@ void Server::Stop() {
   {
     // Unblock every in-flight handler read; handlers then drain their
     // final batch and exit.
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    MutexLock lock(conn_mu_);
     for (int fd : open_connections_) ::shutdown(fd, SHUT_RDWR);
   }
   pool_.Shutdown();
@@ -176,12 +176,12 @@ void Server::Stop() {
     listen_fd_ = -1;
   }
   stopped_ = true;
-  stopped_cv_.notify_all();
+  stopped_cv_.NotifyAll();
 }
 
 void Server::Wait() {
-  std::unique_lock<std::mutex> lock(stop_mu_);
-  stopped_cv_.wait(lock, [this] { return stopped_; });
+  MutexLock lock(stop_mu_);
+  while (!stopped_) stopped_cv_.Wait(stop_mu_);
 }
 
 }  // namespace serve

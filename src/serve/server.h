@@ -2,15 +2,15 @@
 #define SCHOLARRANK_SERVE_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 #include <unordered_set>
 
 #include "serve/query_engine.h"
-#include "util/thread_pool.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
+#include "util/thread_pool.h"
 
 namespace scholar {
 namespace serve {
@@ -54,10 +54,10 @@ class Server {
   uint16_t port() const { return port_; }
 
   /// Graceful shutdown; idempotent, callable from any thread.
-  void Stop();
+  void Stop() EXCLUDES(stop_mu_, conn_mu_);
 
   /// Blocks until the server has fully stopped.
-  void Wait();
+  void Wait() EXCLUDES(stop_mu_);
 
   /// Connections accepted since Start() (diagnostics).
   uint64_t connections_accepted() const {
@@ -66,12 +66,12 @@ class Server {
 
  private:
   void AcceptLoop();
-  void HandleConnection(int fd);
+  void HandleConnection(int fd) EXCLUDES(conn_mu_);
 
   /// Tracks live connection fds so Stop() can shut them down to unblock
   /// handler reads.
-  void TrackConnection(int fd);
-  void UntrackConnection(int fd);
+  void TrackConnection(int fd) EXCLUDES(conn_mu_);
+  void UntrackConnection(int fd) EXCLUDES(conn_mu_);
 
   QueryEngine* const engine_;  // not owned
   const ServerOptions options_;
@@ -84,12 +84,12 @@ class Server {
   std::atomic<bool> started_{false};
   std::atomic<uint64_t> connections_accepted_{0};
 
-  std::mutex conn_mu_;
-  std::unordered_set<int> open_connections_;
+  Mutex conn_mu_;
+  std::unordered_set<int> open_connections_ GUARDED_BY(conn_mu_);
 
-  std::mutex stop_mu_;  // serializes Stop() callers, guards stopped_
-  std::condition_variable stopped_cv_;
-  bool stopped_ = false;
+  Mutex stop_mu_;  // serializes Stop() callers, guards stopped_
+  CondVar stopped_cv_;
+  bool stopped_ GUARDED_BY(stop_mu_) = false;
 };
 
 }  // namespace serve

@@ -13,11 +13,14 @@ Status SnapshotManager::LoadFile(const std::string& path) {
 }
 
 void SnapshotManager::Install(ScoreSnapshot snapshot) {
+  // Build the LiveSnapshot outside the lock; only the generation claim and
+  // the pointer publication happen under mu_, so concurrent readers stall
+  // for a pointer swap at most — never for a snapshot copy.
   auto live = std::make_shared<LiveSnapshot>();
-  // fetch_add makes concurrent Installs each claim a distinct generation.
-  live->generation = generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
   live->snapshot = std::move(snapshot);
-  current_.store(std::move(live), std::memory_order_release);
+  MutexLock lock(mu_);
+  live->generation = ++generation_;
+  current_ = std::move(live);
 }
 
 }  // namespace serve

@@ -46,7 +46,8 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   stream_ << "\n";
-  std::fputs(stream_.str().c_str(), stderr);
+  // This is the logging sink itself — the one place stdio is the point.
+  std::fputs(stream_.str().c_str(), stderr);  // NOLINT(raw-stdout)
   if (level_ == LogLevel::kFatal) {
     std::fflush(stderr);
     std::abort();

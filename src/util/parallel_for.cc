@@ -2,11 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <thread>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace scholar {
 
@@ -35,9 +36,13 @@ struct ParallelForState {
   std::atomic<size_t> next_chunk{0};
   std::atomic<size_t> done_chunks{0};
   std::atomic<bool> failed{false};
-  std::mutex mu;
-  std::condition_variable all_done;
-  std::exception_ptr error;  // first exception wins; guarded by mu
+  Mutex mu;
+  CondVar all_done;
+  std::exception_ptr error GUARDED_BY(mu);  // first exception wins
+
+  bool all_chunks_done() const {
+    return done_chunks.load(std::memory_order_acquire) == num_chunks;
+  }
 };
 
 }  // namespace
@@ -73,7 +78,7 @@ void ParallelForChunks(
           fn(c, c * grain, std::min(n, (c + 1) * grain));
         } catch (...) {
           {
-            std::lock_guard<std::mutex> lock(state->mu);
+            MutexLock lock(state->mu);
             if (state->error == nullptr) {
               state->error = std::current_exception();
             }
@@ -84,8 +89,10 @@ void ParallelForChunks(
       const size_t done =
           state->done_chunks.fetch_add(1, std::memory_order_acq_rel) + 1;
       if (done == state->num_chunks) {
-        std::lock_guard<std::mutex> lock(state->mu);
-        state->all_done.notify_all();
+        // Taking mu orders the notify after the caller's predicate check,
+        // so the completion wakeup cannot be lost.
+        MutexLock lock(state->mu);
+        state->all_done.NotifyAll();
       }
     }
   };
@@ -96,11 +103,8 @@ void ParallelForChunks(
     pool->Submit(work);
   }
   work();
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->all_done.wait(lock, [&state] {
-    return state->done_chunks.load(std::memory_order_acquire) ==
-           state->num_chunks;
-  });
+  MutexLock lock(state->mu);
+  while (!state->all_chunks_done()) state->all_done.Wait(state->mu);
   if (state->error != nullptr) std::rethrow_exception(state->error);
 }
 

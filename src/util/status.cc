@@ -42,7 +42,9 @@ std::string Status::ToString() const {
 namespace internal {
 
 void AbortOnBadResultAccess(const Status& status) {
-  std::fprintf(stderr, "FATAL: accessed value of failed Result: %s\n",
+  // Process-fatal path: write straight to stderr rather than through
+  // util/logging, which sits above Status in the layering.
+  std::fprintf(stderr, "FATAL: accessed value of failed Result: %s\n",  // NOLINT(raw-stdout)
                status.ToString().c_str());
   std::abort();
 }

@@ -1,0 +1,85 @@
+#ifndef SCHOLARRANK_UTIL_THREAD_ANNOTATIONS_H_
+#define SCHOLARRANK_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis attribute macros.
+///
+/// These expand to `__attribute__((...))` capability annotations under
+/// clang and to nothing everywhere else, so annotated headers stay
+/// portable. Build with -Wthread-safety (cmake option
+/// SCHOLAR_ENABLE_THREAD_SAFETY_ANALYSIS) to turn the annotations into
+/// compile errors instead of documentation.
+///
+/// Conventions in this codebase (see DESIGN.md, "Static analysis"):
+///  - every mutable member protected by a mutex carries GUARDED_BY(mu_);
+///  - private helpers that assume the lock is already held are named
+///    *_locked() / *Locked() and carry REQUIRES(mu_);
+///  - public entry points that must not be called with the lock held
+///    carry EXCLUDES(mu_);
+///  - the annotated scholar::Mutex / MutexLock / CondVar wrappers in
+///    util/mutex.h are used instead of naked std::mutex, because the
+///    analysis cannot see through libstdc++'s unannotated types.
+
+#if defined(__clang__) && !defined(SCHOLAR_SWIG)
+#define SCHOLAR_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define SCHOLAR_THREAD_ANNOTATION__(x)  // no-op
+#endif
+
+/// Marks a class as a lockable capability ("mutex", "role", ...).
+#define CAPABILITY(x) SCHOLAR_THREAD_ANNOTATION__(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases
+/// a capability.
+#define SCOPED_CAPABILITY SCHOLAR_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Data member is protected by the given capability.
+#define GUARDED_BY(x) SCHOLAR_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given capability.
+#define PT_GUARDED_BY(x) SCHOLAR_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Function requires the capability to be held (exclusively) on entry and
+/// does not release it.
+#define REQUIRES(...) \
+  SCHOLAR_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// Shared (reader) flavor of REQUIRES.
+#define REQUIRES_SHARED(...) \
+  SCHOLAR_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it past return.
+#define ACQUIRE(...) \
+  SCHOLAR_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  SCHOLAR_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases a capability acquired earlier.
+#define RELEASE(...) \
+  SCHOLAR_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  SCHOLAR_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+
+/// Function attempts to acquire the capability; the first argument is the
+/// return value meaning success.
+#define TRY_ACQUIRE(...) \
+  SCHOLAR_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (deadlock prevention on
+/// self-locking entry points).
+#define EXCLUDES(...) SCHOLAR_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Dynamic assertion that the capability is held (e.g. after a fork).
+#define ASSERT_CAPABILITY(x) \
+  SCHOLAR_THREAD_ANNOTATION__(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) SCHOLAR_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Escape hatch: function body is not analyzed. Use only for trusted code
+/// the analysis cannot express, with a comment saying why.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  SCHOLAR_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif  // SCHOLARRANK_UTIL_THREAD_ANNOTATIONS_H_

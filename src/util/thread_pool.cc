@@ -4,10 +4,11 @@
 
 namespace scholar {
 
-ThreadPool::ThreadPool(size_t num_threads) {
-  if (num_threads == 0) num_threads = 1;
-  workers_.reserve(num_threads);
-  for (size_t i = 0; i < num_threads; ++i) {
+ThreadPool::ThreadPool(size_t num_threads)
+    : num_threads_(num_threads == 0 ? 1 : num_threads) {
+  MutexLock lock(shutdown_mu_);
+  workers_.reserve(num_threads_);
+  for (size_t i = 0; i < num_threads_; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
 }
@@ -16,28 +17,28 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 
 bool ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_) return false;
     queue_.push_back(std::move(task));
   }
-  wake_.notify_one();
+  wake_.NotifyOne();
   return true;
 }
 
 void ThreadPool::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(mu_);
+  while (!idle_locked()) idle_.Wait(mu_);
 }
 
 void ThreadPool::Shutdown() {
   // Serialized so a second concurrent caller blocks until the joins are
   // done instead of racing them (join() from two threads is UB).
-  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  MutexLock shutdown_lock(shutdown_mu_);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  wake_.notify_all();
+  wake_.NotifyAll();
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }
@@ -48,8 +49,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      wake_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!runnable_locked()) wake_.Wait(mu_);
       if (queue_.empty()) return;  // shutdown with an empty queue
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -57,9 +58,9 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --active_;
-      if (queue_.empty() && active_ == 0) idle_.notify_all();
+      if (idle_locked()) idle_.NotifyAll();
     }
   }
 }

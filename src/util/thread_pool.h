@@ -1,13 +1,14 @@
 #ifndef SCHOLARRANK_UTIL_THREAD_POOL_H_
 #define SCHOLARRANK_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace scholar {
 
@@ -29,28 +30,43 @@ class ThreadPool {
 
   /// Enqueues `task`; returns false when the pool is shutting down (the
   /// task is dropped).
-  bool Submit(std::function<void()> task);
+  bool Submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Blocks until the queue is empty and every worker is idle.
-  void Drain();
+  void Drain() EXCLUDES(mu_);
 
   /// Stops accepting tasks, finishes queued ones, joins workers.
   /// Idempotent.
-  void Shutdown();
+  void Shutdown() EXCLUDES(mu_, shutdown_mu_);
 
-  size_t num_threads() const { return workers_.size(); }
+  /// Worker count chosen at construction. Constant for the pool's
+  /// lifetime (Shutdown() joins the workers but does not change it), so
+  /// it is safe to read from any thread without a lock.
+  size_t num_threads() const { return num_threads_; }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::mutex shutdown_mu_;         // serializes Shutdown() callers
-  std::condition_variable wake_;   // workers wait on this
-  std::condition_variable idle_;   // Drain() waits on this
-  std::deque<std::function<void()>> queue_;
-  size_t active_ = 0;
-  bool shutdown_ = false;
-  std::vector<std::thread> workers_;
+  /// True when nothing is queued and no worker is running a task.
+  bool idle_locked() const REQUIRES(mu_) {
+    return queue_.empty() && active_ == 0;
+  }
+
+  /// True when a worker waking up has something to do (or should exit).
+  bool runnable_locked() const REQUIRES(mu_) {
+    return shutdown_ || !queue_.empty();
+  }
+
+  const size_t num_threads_;
+
+  Mutex mu_;
+  Mutex shutdown_mu_;       // serializes Shutdown() callers; guards joins
+  CondVar wake_;            // workers wait on this
+  CondVar idle_;            // Drain() waits on this
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  size_t active_ GUARDED_BY(mu_) = 0;
+  bool shutdown_ GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_ GUARDED_BY(shutdown_mu_);
 };
 
 }  // namespace scholar

@@ -1,0 +1,12 @@
+// Lint fixture: every violation here is suppressed, so the file is clean.
+#include "serve/nolint_suppressed.h"
+
+#include <iostream>
+#include <random>
+
+void Dump(double a, double b) {
+  std::cout << "debug dump\n";  // NOLINT
+  std::mt19937 gen(42);         // NOLINT(unseeded-rng)
+  (void)gen;
+  (void)(a == b);  // NOLINT(float-compare, raw-stdout)
+}

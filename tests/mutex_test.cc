@@ -1,0 +1,102 @@
+// Smoke tests for the annotated concurrency primitives in util/mutex.h —
+// the foundation the thread-safety analysis (and every GUARDED_BY in the
+// codebase) rests on. Run under TSan these also certify the wrappers add
+// no races of their own.
+
+#include "util/mutex.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/thread_annotations.h"
+
+namespace scholar {
+namespace {
+
+TEST(MutexTest, MutualExclusionUnderContention) {
+  Mutex mu;
+  int counter = 0;  // protected by mu
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  MutexLock lock(mu);
+  EXPECT_EQ(counter, kThreads * kIncrements);
+}
+
+TEST(MutexTest, TryLockReportsHeldState) {
+  Mutex mu;
+  // Branch on a bool rather than asserting the call directly so the
+  // thread-safety analysis can pair each TryLock with its Unlock.
+  const bool first = mu.TryLock();
+  ASSERT_TRUE(first);
+  std::thread other([&] {
+    const bool contended = mu.TryLock();
+    EXPECT_FALSE(contended);
+    if (contended) mu.Unlock();
+  });
+  other.join();
+  if (first) mu.Unlock();
+  const bool again = mu.TryLock();
+  EXPECT_TRUE(again);
+  if (again) mu.Unlock();
+}
+
+TEST(MutexTest, CondVarWakesPredicateLoop) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;  // protected by mu
+  int observed = -1;
+
+  std::thread waiter([&] {
+    MutexLock lock(mu);
+    while (!ready) cv.Wait(mu);
+    observed = 1;
+  });
+  {
+    MutexLock lock(mu);
+    ready = true;
+  }
+  cv.NotifyOne();
+  waiter.join();
+  EXPECT_EQ(observed, 1);
+}
+
+TEST(MutexTest, CondVarNotifyAllReleasesEveryWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool go = false;  // protected by mu
+  int awake = 0;  // protected by mu
+  constexpr int kWaiters = 4;
+
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&] {
+      MutexLock lock(mu);
+      while (!go) cv.Wait(mu);
+      ++awake;
+    });
+  }
+  {
+    MutexLock lock(mu);
+    go = true;
+  }
+  cv.NotifyAll();
+  for (std::thread& t : waiters) t.join();
+  MutexLock lock(mu);
+  EXPECT_EQ(awake, kWaiters);
+}
+
+}  // namespace
+}  // namespace scholar

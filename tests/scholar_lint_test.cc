@@ -1,0 +1,146 @@
+// Drives the scholar_lint binary against the committed fixture snippets in
+// tests/lint_fixtures/, proving each rule both fires on a violation and
+// stays quiet on compliant code / NOLINT'd lines. The fixture tree mirrors
+// src/ paths because several rules are path-scoped (float-compare only
+// applies under src/rank/ and src/ensemble/, raw-stdout under src/).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+#ifndef SCHOLAR_LINT_BIN
+#error "SCHOLAR_LINT_BIN must point at the scholar_lint executable"
+#endif
+#ifndef SCHOLAR_LINT_FIXTURES
+#error "SCHOLAR_LINT_FIXTURES must point at tests/lint_fixtures"
+#endif
+
+struct LintRun {
+  int exit_code;
+  std::string output;
+};
+
+std::string Fixture(const std::string& rel) {
+  return std::string(SCHOLAR_LINT_FIXTURES) + "/" + rel;
+}
+
+/// Runs the linter over `files` and captures combined stdout + exit code.
+LintRun RunLint(const std::vector<std::string>& files) {
+  std::string cmd = std::string(SCHOLAR_LINT_BIN);
+  for (const std::string& f : files) cmd += " " + f;
+  cmd += " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << "popen failed for: " << cmd;
+  LintRun run{-1, {}};
+  if (pipe == nullptr) return run;
+  char buf[4096];
+  size_t n;
+  while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0) {
+    run.output.append(buf, n);
+  }
+  int status = pclose(pipe);
+  run.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return run;
+}
+
+size_t CountOccurrences(const std::string& haystack, const std::string& needle) {
+  size_t count = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(ScholarLintTest, FloatCompareFiresOnEveryViolation) {
+  LintRun run = RunLint({Fixture("src/rank/bad_float_compare.cc")});
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "float-compare:"), 3u) << run.output;
+  EXPECT_NE(run.output.find("bad_float_compare.cc:8:"), std::string::npos)
+      << run.output;
+}
+
+TEST(ScholarLintTest, FloatCompareQuietOnToleranceAndNolint) {
+  LintRun run = RunLint({Fixture("src/rank/good_float_compare.cc")});
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(run.output, "");
+}
+
+TEST(ScholarLintTest, MutexGuardFiresOnNakedMutexMembers) {
+  LintRun run = RunLint({Fixture("src/serve/bad_mutex_member.h")});
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  // One diagnosis for the std::mutex member, one for the scholar::Mutex.
+  EXPECT_EQ(CountOccurrences(run.output, "mutex-guard:"), 2u) << run.output;
+}
+
+TEST(ScholarLintTest, MutexGuardQuietOnAnnotatedClasses) {
+  LintRun run = RunLint({Fixture("src/serve/good_mutex_member.h")});
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(run.output, "");
+}
+
+TEST(ScholarLintTest, RngRuleFiresOnAdHocRandomness) {
+  LintRun run = RunLint({Fixture("src/util/bad_rng.cc")});
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  // srand, mt19937, random_device, rand.
+  EXPECT_EQ(CountOccurrences(run.output, "unseeded-rng:"), 4u) << run.output;
+}
+
+TEST(ScholarLintTest, RawStdoutFiresInLibraryCode) {
+  LintRun run = RunLint({Fixture("src/core/bad_stdout.cc")});
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "raw-stdout:"), 2u) << run.output;
+}
+
+TEST(ScholarLintTest, IncludeOrderFiresWhenOwnHeaderIsNotFirst) {
+  LintRun run = RunLint({Fixture("src/graph/bad_include_order.cc")});
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "include-order:"), 1u) << run.output;
+}
+
+TEST(ScholarLintTest, IncludeOrderQuietWhenOwnHeaderIsFirst) {
+  LintRun run = RunLint({Fixture("src/graph/good_include_order.cc")});
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(run.output, "");
+}
+
+TEST(ScholarLintTest, NolintSuppressesBareAndRuleScoped) {
+  LintRun run = RunLint({Fixture("src/serve/nolint_suppressed.cc")});
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(run.output, "");
+}
+
+TEST(ScholarLintTest, NolintWithWrongRuleDoesNotSuppress) {
+  LintRun run = RunLint({Fixture("src/serve/nolint_mismatch.cc")});
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "raw-stdout:"), 1u) << run.output;
+}
+
+TEST(ScholarLintTest, MultiFileRunIsNonzeroIfAnyFileViolates) {
+  LintRun run = RunLint({Fixture("src/graph/good_include_order.cc"),
+                         Fixture("src/core/bad_stdout.cc"),
+                         Fixture("src/rank/good_float_compare.cc")});
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  // Only the bad file contributes diagnostics.
+  EXPECT_EQ(CountOccurrences(run.output, "bad_stdout.cc:"), 2u) << run.output;
+  EXPECT_EQ(run.output.find("good_"), std::string::npos) << run.output;
+}
+
+TEST(ScholarLintTest, AllGoodFilesExitZero) {
+  LintRun run = RunLint({Fixture("src/graph/good_include_order.cc"),
+                         Fixture("src/serve/good_mutex_member.h"),
+                         Fixture("src/rank/good_float_compare.cc")});
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(run.output, "");
+}
+
+TEST(ScholarLintTest, MissingFileExitsWithUsageError) {
+  LintRun run = RunLint({Fixture("src/does_not_exist.cc")});
+  EXPECT_EQ(run.exit_code, 2) << run.output;
+}
+
+}  // namespace

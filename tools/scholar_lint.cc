@@ -1,0 +1,660 @@
+// scholar_lint: project-specific static checks the compiler cannot express.
+//
+// A self-contained token-level C++ checker (no libclang dependency) run
+// over src/ and tools/ as a ctest (label: analysis). It enforces the
+// project contracts that back the paper's headline claims — bit-identical
+// parallel scores and race-free serving — at the source level:
+//
+//   mutex-guard    a class declaring a mutex member must annotate at
+//                  least one member with GUARDED_BY; an unannotated mutex
+//                  is invisible to -Wthread-safety.
+//   float-compare  no == / != on floating-point values in src/rank/ and
+//                  src/ensemble/ (the bit-identity contract makes
+//                  accidental epsilon-free compares a real bug class).
+//   unseeded-rng   no rand()/srand()/std::mt19937/std::random_device
+//                  outside util/rng; all randomness flows through
+//                  explicitly seeded scholar::Rng for reproducibility.
+//   raw-stdout     no std::cout / printf-family output in src/; library
+//                  code logs through util/logging so severity filtering
+//                  and redirection keep working.
+//   include-order  a .cc file's own header is its first #include, which
+//                  proves the header is self-contained.
+//
+// Diagnostics are `file:line: rule: message`, exit status is nonzero when
+// any violation survives. A `// NOLINT` comment suppresses every rule on
+// its line; `// NOLINT(rule-a,rule-b)` suppresses just those rules.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+enum class TokKind { kIdent, kNumber, kPunct, kString, kChar };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;
+};
+
+struct Include {
+  std::string path;  // without the <> or "" delimiters
+  bool quoted;       // "..." vs <...>
+  int line;
+};
+
+/// Per-line lint suppressions parsed out of comments. An empty rule set
+/// means "suppress everything on this line".
+using Suppressions = std::map<int, std::set<std::string>>;
+
+struct LexedFile {
+  std::string path;
+  std::vector<Token> tokens;
+  std::vector<Include> includes;
+  Suppressions suppressions;
+};
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Records NOLINT / NOLINT(rule-a,rule-b) markers found in one comment.
+void ScanCommentForNolint(const std::string& comment, int line,
+                          Suppressions* out) {
+  size_t pos = comment.find("NOLINT");
+  if (pos == std::string::npos) return;
+  size_t after = pos + 6;  // strlen("NOLINT")
+  std::set<std::string> rules;
+  if (after < comment.size() && comment[after] == '(') {
+    size_t close = comment.find(')', after);
+    if (close != std::string::npos) {
+      std::string list = comment.substr(after + 1, close - after - 1);
+      std::string rule;
+      std::istringstream ss(list);
+      while (std::getline(ss, rule, ',')) {
+        // Trim surrounding whitespace.
+        size_t b = rule.find_first_not_of(" \t");
+        size_t e = rule.find_last_not_of(" \t");
+        if (b != std::string::npos) rules.insert(rule.substr(b, e - b + 1));
+      }
+    }
+  }
+  auto it = out->find(line);
+  if (it == out->end()) {
+    (*out)[line] = rules;
+  } else if (!it->second.empty()) {
+    if (rules.empty()) {
+      it->second.clear();  // bare NOLINT wins: suppress all
+    } else {
+      it->second.insert(rules.begin(), rules.end());
+    }
+  }
+}
+
+/// Tokenizes one C++ source file. Comments and preprocessor directives are
+/// consumed here (comments feed the NOLINT table, #include lines feed the
+/// include list) so the rule passes below see only real code tokens.
+LexedFile Lex(const std::string& path, const std::string& text) {
+  LexedFile out;
+  out.path = path;
+  const size_t n = text.size();
+  size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;
+
+  auto peek = [&](size_t k) -> char { return i + k < n ? text[i + k] : '\0'; };
+
+  while (i < n) {
+    char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && peek(1) == '/') {
+      size_t end = text.find('\n', i);
+      if (end == std::string::npos) end = n;
+      ScanCommentForNolint(text.substr(i, end - i), line, &out.suppressions);
+      i = end;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && peek(1) == '*') {
+      size_t end = text.find("*/", i + 2);
+      if (end == std::string::npos) end = n;
+      const std::string body = text.substr(i, end - i);
+      ScanCommentForNolint(body, line, &out.suppressions);
+      line += static_cast<int>(std::count(body.begin(), body.end(), '\n'));
+      i = end == n ? n : end + 2;
+      at_line_start = false;
+      continue;
+    }
+    // Preprocessor directive: consume to end of line (honoring \-splices);
+    // record #include targets.
+    if (c == '#' && at_line_start) {
+      size_t j = i + 1;
+      while (j < n && (text[j] == ' ' || text[j] == '\t')) ++j;
+      size_t d = j;
+      while (d < n && IsIdentChar(text[d])) ++d;
+      const std::string directive = text.substr(j, d - j);
+      if (directive == "include") {
+        size_t p = d;
+        while (p < n && (text[p] == ' ' || text[p] == '\t')) ++p;
+        if (p < n && (text[p] == '"' || text[p] == '<')) {
+          const char closer = text[p] == '"' ? '"' : '>';
+          size_t close = text.find(closer, p + 1);
+          if (close != std::string::npos) {
+            out.includes.push_back(
+                {text.substr(p + 1, close - p - 1), text[p] == '"', line});
+          }
+        }
+      }
+      // Skip the rest of the directive, including spliced lines.
+      while (i < n && text[i] != '\n') {
+        if (text[i] == '\\' && peek(1) == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        ++i;
+      }
+      continue;
+    }
+    at_line_start = false;
+    // String literal (incl. raw strings).
+    if (c == '"' ||
+        (c == 'R' && peek(1) == '"' &&
+         (out.tokens.empty() || out.tokens.back().text != "\"" ))) {
+      if (c == 'R' && peek(1) == '"') {
+        // Raw string: R"delim( ... )delim"
+        size_t open = text.find('(', i + 2);
+        if (open == std::string::npos) {  // malformed; treat as ident 'R'
+          out.tokens.push_back({TokKind::kIdent, "R", line});
+          ++i;
+          continue;
+        }
+        const std::string delim = text.substr(i + 2, open - (i + 2));
+        const std::string closer = ")" + delim + "\"";
+        size_t end = text.find(closer, open + 1);
+        if (end == std::string::npos) end = n;
+        const std::string body = text.substr(i, end - i);
+        line += static_cast<int>(std::count(body.begin(), body.end(), '\n'));
+        out.tokens.push_back({TokKind::kString, "<raw-string>", line});
+        i = end == n ? n : end + closer.size();
+        continue;
+      }
+      size_t j = i + 1;
+      while (j < n && text[j] != '"') {
+        if (text[j] == '\\') ++j;
+        ++j;
+      }
+      out.tokens.push_back({TokKind::kString, "<string>", line});
+      i = j < n ? j + 1 : n;
+      continue;
+    }
+    // Char literal.
+    if (c == '\'') {
+      size_t j = i + 1;
+      while (j < n && text[j] != '\'') {
+        if (text[j] == '\\') ++j;
+        ++j;
+      }
+      out.tokens.push_back({TokKind::kChar, "<char>", line});
+      i = j < n ? j + 1 : n;
+      continue;
+    }
+    // Identifier / keyword.
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(text[j])) ++j;
+      out.tokens.push_back({TokKind::kIdent, text.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Number (pp-number: digits, idents chars, '.', exponent signs, and
+    // C++14 digit separators).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      size_t j = i;
+      while (j < n) {
+        char d = text[j];
+        if (IsIdentChar(d) || d == '.' || d == '\'') {
+          ++j;
+        } else if ((d == '+' || d == '-') && j > i &&
+                   (text[j - 1] == 'e' || text[j - 1] == 'E' ||
+                    text[j - 1] == 'p' || text[j - 1] == 'P')) {
+          ++j;
+        } else {
+          break;
+        }
+      }
+      out.tokens.push_back({TokKind::kNumber, text.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Punctuation; fuse the two-char operators the rules care about.
+    static const char* kTwoChar[] = {"==", "!=", "<=", ">=", "::", "->",
+                                     "&&", "||", "++", "--", "+=", "-=",
+                                     "*=", "/=", "<<", ">>"};
+    std::string p(1, c);
+    for (const char* op : kTwoChar) {
+      if (c == op[0] && peek(1) == op[1]) {
+        p = op;
+        break;
+      }
+    }
+    out.tokens.push_back({TokKind::kPunct, p, line});
+    i += p.size();
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostics
+// ---------------------------------------------------------------------------
+
+struct Diagnostic {
+  std::string file;
+  int line;
+  std::string rule;
+  std::string message;
+};
+
+class Reporter {
+ public:
+  explicit Reporter(const LexedFile& file) : file_(file) {}
+
+  void Report(int line, const std::string& rule, const std::string& message) {
+    auto it = file_.suppressions.find(line);
+    if (it != file_.suppressions.end() &&
+        (it->second.empty() || it->second.count(rule) > 0)) {
+      return;  // NOLINT'd
+    }
+    diagnostics_.push_back({file_.path, line, rule, message});
+  }
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+
+ private:
+  const LexedFile& file_;
+  std::vector<Diagnostic> diagnostics_;
+};
+
+/// True when `path` contains directory component sequence `needle`
+/// ("src/rank/"), anchored at the start or after a '/'.
+bool PathContains(const std::string& path, const std::string& needle) {
+  size_t pos = path.find(needle);
+  while (pos != std::string::npos) {
+    if (pos == 0 || path[pos - 1] == '/') return true;
+    pos = path.find(needle, pos + 1);
+  }
+  return false;
+}
+
+std::string Basename(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+std::string Stem(const std::string& path) {
+  std::string base = Basename(path);
+  size_t dot = base.find_last_of('.');
+  return dot == std::string::npos ? base : base.substr(0, dot);
+}
+
+// ---------------------------------------------------------------------------
+// Rule: mutex-guard
+// ---------------------------------------------------------------------------
+
+/// A class or struct that declares a mutex member (std::mutex or
+/// scholar::Mutex) must carry at least one GUARDED_BY / PT_GUARDED_BY
+/// member annotation — otherwise the mutex protects nothing the
+/// thread-safety analysis can check.
+void CheckMutexGuard(const LexedFile& f, Reporter* rep) {
+  struct ClassCtx {
+    int depth;                    // brace depth of the class body
+    std::vector<int> mutex_lines; // direct mutex member declarations
+    bool has_guard = false;
+  };
+  const std::vector<Token>& t = f.tokens;
+  std::vector<ClassCtx> stack;
+  int depth = 0;
+  bool next_brace_is_class = false;
+
+  auto ident = [&](size_t i, const char* s) {
+    return i < t.size() && t[i].kind == TokKind::kIdent && t[i].text == s;
+  };
+  auto punct = [&](size_t i, const char* s) {
+    return i < t.size() && t[i].kind == TokKind::kPunct && t[i].text == s;
+  };
+
+  for (size_t i = 0; i < t.size(); ++i) {
+    const Token& tok = t[i];
+    if (tok.kind == TokKind::kPunct) {
+      if (tok.text == "{") {
+        ++depth;
+        if (next_brace_is_class) {
+          stack.push_back(ClassCtx{depth, {}, false});
+          next_brace_is_class = false;
+        }
+      } else if (tok.text == "}") {
+        if (!stack.empty() && stack.back().depth == depth) {
+          const ClassCtx& ctx = stack.back();
+          if (!ctx.has_guard) {
+            for (int ln : ctx.mutex_lines) {
+              rep->Report(ln, "mutex-guard",
+                          "class declares a mutex member but annotates no "
+                          "member with GUARDED_BY; state this mutex protects "
+                          "must be annotated (util/thread_annotations.h)");
+            }
+          }
+          stack.pop_back();
+        }
+        --depth;
+      }
+      continue;
+    }
+    if (tok.kind != TokKind::kIdent) continue;
+
+    // Class-body detection: `class`/`struct` ... `{` with no intervening
+    // `;` (which would be a forward declaration).
+    if ((tok.text == "class" || tok.text == "struct") &&
+        !(i > 0 && ident(i - 1, "enum"))) {
+      for (size_t j = i + 1; j < t.size() && j < i + 64; ++j) {
+        if (punct(j, ";") || punct(j, ")")) break;  // fwd decl / param
+        if (punct(j, "{")) {
+          next_brace_is_class = true;
+          break;
+        }
+      }
+      continue;
+    }
+
+    const bool in_class = !stack.empty() && stack.back().depth == depth;
+    if (!in_class) continue;
+
+    if (tok.text == "GUARDED_BY" || tok.text == "PT_GUARDED_BY") {
+      stack.back().has_guard = true;
+      continue;
+    }
+    // `std :: mutex NAME ;` — a direct member (template args like
+    // lock_guard<std::mutex> are excluded by the preceding '<').
+    if (tok.text == "std" && punct(i + 1, "::") &&
+        (ident(i + 2, "mutex") || ident(i + 2, "recursive_mutex") ||
+         ident(i + 2, "shared_mutex")) &&
+        !(i > 0 && punct(i - 1, "<")) && i + 4 < t.size() &&
+        t[i + 3].kind == TokKind::kIdent && punct(i + 4, ";")) {
+      stack.back().mutex_lines.push_back(tok.line);
+      continue;
+    }
+    // `Mutex NAME ;` — the annotated scholar::Mutex.
+    if (tok.text == "Mutex" && !(i > 0 && punct(i - 1, "<")) &&
+        !(i > 0 && punct(i - 1, "::")) && i + 2 < t.size() &&
+        t[i + 1].kind == TokKind::kIdent && punct(i + 2, ";")) {
+      stack.back().mutex_lines.push_back(tok.line);
+      continue;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: float-compare
+// ---------------------------------------------------------------------------
+
+bool IsFloatLiteral(const std::string& s) {
+  if (s.size() > 1 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+    return false;  // hex (incl. hex floats — rare enough to ignore)
+  }
+  if (s.find('.') != std::string::npos) return true;
+  return s.find('e') != std::string::npos || s.find('E') != std::string::npos;
+}
+
+/// In src/rank/ and src/ensemble/, flags == / != where either operand is a
+/// floating literal or an identifier the file declares as float/double.
+/// Exact comparison of scores is occasionally *intended* (deterministic
+/// tie-breaks under the bit-identity contract) — those sites say so with
+/// NOLINT(float-compare).
+void CheckFloatCompare(const LexedFile& f, Reporter* rep) {
+  if (!PathContains(f.path, "src/rank/") &&
+      !PathContains(f.path, "src/ensemble/")) {
+    return;
+  }
+  const std::vector<Token>& t = f.tokens;
+
+  // Pass 1: identifiers declared with float/double anywhere in the file
+  // (covers `double x`, `const double& x`, `std::vector<double>& xs`).
+  std::set<std::string> float_idents;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent ||
+        (t[i].text != "double" && t[i].text != "float")) {
+      continue;
+    }
+    for (size_t j = i + 1; j < t.size() && j < i + 6; ++j) {
+      if (t[j].kind == TokKind::kIdent) {
+        if (t[j].text == "const") continue;
+        float_idents.insert(t[j].text);
+        break;
+      }
+      if (t[j].kind == TokKind::kPunct &&
+          (t[j].text == ">" || t[j].text == ">>" || t[j].text == "&" ||
+           t[j].text == "*")) {
+        continue;
+      }
+      break;
+    }
+  }
+
+  auto operand_is_float = [&](const Token& tok) {
+    if (tok.kind == TokKind::kNumber) return IsFloatLiteral(tok.text);
+    if (tok.kind == TokKind::kIdent) return float_idents.count(tok.text) > 0;
+    return false;
+  };
+
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kPunct ||
+        (t[i].text != "==" && t[i].text != "!=")) {
+      continue;
+    }
+    // A nullptr on either side makes this a pointer comparison, however
+    // float-flavored the pointee's declaration looked (`vector<double>*`).
+    if ((i > 0 && t[i - 1].text == "nullptr") ||
+        (i + 1 < t.size() && t[i + 1].text == "nullptr")) {
+      continue;
+    }
+    // Left operand: walk back over one balanced ]/) group to the base
+    // identifier (handles `scores[a] ==` and `f(x) ==`).
+    bool flt = false;
+    if (i > 0) {
+      size_t j = i - 1;
+      if (t[j].kind == TokKind::kPunct &&
+          (t[j].text == "]" || t[j].text == ")")) {
+        const std::string open = t[j].text == "]" ? "[" : "(";
+        const std::string close = t[j].text;
+        int nest = 0;
+        while (j > 0) {
+          if (t[j].kind == TokKind::kPunct && t[j].text == close) ++nest;
+          if (t[j].kind == TokKind::kPunct && t[j].text == open) {
+            if (--nest == 0) break;
+          }
+          --j;
+        }
+        if (j > 0) --j;  // token before the opening bracket
+      }
+      flt = operand_is_float(t[j]);
+    }
+    // Right operand: first ident/number, skipping unary sign, parens and
+    // `std ::` qualification.
+    for (size_t k = i + 1; !flt && k < t.size() && k < i + 6; ++k) {
+      if (t[k].kind == TokKind::kPunct &&
+          (t[k].text == "(" || t[k].text == "-" || t[k].text == "+" ||
+           t[k].text == "::")) {
+        continue;
+      }
+      if (t[k].kind == TokKind::kIdent && t[k].text == "std") continue;
+      if (t[k].kind == TokKind::kIdent || t[k].kind == TokKind::kNumber) {
+        flt = operand_is_float(t[k]);
+      }
+      break;
+    }
+    if (flt) {
+      rep->Report(t[i].line, "float-compare",
+                  "floating-point " + t[i].text +
+                      " comparison in the bit-identity-critical ranking "
+                      "core; use an explicit tolerance, or "
+                      "NOLINT(float-compare) when exact equality is the "
+                      "contract");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: unseeded-rng
+// ---------------------------------------------------------------------------
+
+void CheckRng(const LexedFile& f, Reporter* rep) {
+  if (PathContains(f.path, "util/rng.h") ||
+      PathContains(f.path, "util/rng.cc")) {
+    return;  // the one sanctioned randomness implementation
+  }
+  const std::vector<Token>& t = f.tokens;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    const std::string& s = t[i].text;
+    const bool call = i + 1 < t.size() && t[i + 1].kind == TokKind::kPunct &&
+                      t[i + 1].text == "(";
+    if ((s == "rand" || s == "srand") && call) {
+      rep->Report(t[i].line, "unseeded-rng",
+                  s + "() breaks bit-for-bit reproducibility; draw from an "
+                      "explicitly seeded scholar::Rng (util/rng.h)");
+    } else if (s == "mt19937" || s == "mt19937_64" || s == "random_device") {
+      rep->Report(t[i].line, "unseeded-rng",
+                  "std::" + s +
+                      " outside util/rng; all randomness flows through "
+                      "explicitly seeded scholar::Rng (util/rng.h)");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: raw-stdout
+// ---------------------------------------------------------------------------
+
+void CheckRawStdout(const LexedFile& f, Reporter* rep) {
+  if (!PathContains(f.path, "src/")) return;  // tools may print
+  const std::vector<Token>& t = f.tokens;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    const std::string& s = t[i].text;
+    if (s == "cout" || s == "printf" || s == "fprintf" || s == "puts" ||
+        s == "fputs" || s == "putchar") {
+      rep->Report(t[i].line, "raw-stdout",
+                  "library code must not write to stdio directly (" + s +
+                      "); log through SCHOLAR_LOG (util/logging.h) so "
+                      "severity filtering keeps working");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: include-order
+// ---------------------------------------------------------------------------
+
+void CheckIncludeOrder(const LexedFile& f, Reporter* rep) {
+  const std::string base = Basename(f.path);
+  if (base.size() < 4 || base.substr(base.size() - 3) != ".cc") return;
+  const std::string own_header = Stem(f.path) + ".h";
+  for (size_t i = 0; i < f.includes.size(); ++i) {
+    const Include& inc = f.includes[i];
+    if (inc.quoted && Basename(inc.path) == own_header) {
+      if (i != 0) {
+        rep->Report(inc.line, "include-order",
+                    "own header \"" + inc.path +
+                        "\" must be the first #include (proves the header "
+                        "is self-contained)");
+      }
+      return;  // only the first own-header include is checked
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+int LintFile(const std::string& path, std::vector<Diagnostic>* all) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << path << ": cannot open\n";
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  LexedFile lexed = Lex(path, buf.str());
+  Reporter rep(lexed);
+  CheckMutexGuard(lexed, &rep);
+  CheckFloatCompare(lexed, &rep);
+  CheckRng(lexed, &rep);
+  CheckRawStdout(lexed, &rep);
+  CheckIncludeOrder(lexed, &rep);
+  all->insert(all->end(), rep.diagnostics().begin(), rep.diagnostics().end());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: scholar_lint file...\n"
+                << "rules: mutex-guard float-compare unseeded-rng "
+                   "raw-stdout include-order\n"
+                << "suppress with // NOLINT or // NOLINT(rule-a,rule-b)\n";
+      return 0;
+    }
+    files.push_back(std::move(arg));
+  }
+  if (files.empty()) {
+    std::cerr << "usage: scholar_lint file...\n";
+    return 2;
+  }
+  std::vector<Diagnostic> diagnostics;
+  int status = 0;
+  for (const std::string& f : files) {
+    status = std::max(status, LintFile(f, &diagnostics));
+  }
+  for (const Diagnostic& d : diagnostics) {
+    std::cout << d.file << ":" << d.line << ": " << d.rule << ": "
+              << d.message << "\n";
+  }
+  if (!diagnostics.empty()) {
+    std::cout << diagnostics.size() << " violation"
+              << (diagnostics.size() == 1 ? "" : "s") << " in "
+              << files.size() << " file" << (files.size() == 1 ? "" : "s")
+              << "\n";
+    return 1;
+  }
+  return status;
+}
