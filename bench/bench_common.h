@@ -6,8 +6,10 @@
 /// (DESIGN.md, per-experiment index) and prints both a human-readable table
 /// and, below it, the same data as CSV for plotting.
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/registry.h"
@@ -19,6 +21,30 @@
 
 namespace scholar {
 namespace bench {
+
+/// Smoke mode: toy corpora (<= 2000 articles) and 2 solver iterations, so
+/// every bench binary finishes in seconds. Used by the `bench_smoke` ctest
+/// label to keep the harnesses themselves from rotting; the numbers it
+/// produces are meaningless as measurements.
+inline bool g_smoke = false;
+
+/// Parses the shared bench flags (--smoke) and prints the host-parallelism
+/// banner every measurement depends on. Call first in every bench main().
+inline void InitBench(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") g_smoke = true;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("hardware_concurrency: %u%s\n", hw,
+              g_smoke ? "  [SMOKE MODE: toy sizes, capped iterations — "
+                        "numbers are not measurements]"
+                      : "");
+  if (hw <= 1) {
+    std::printf(
+        "WARNING: single-core host — every thread count necessarily lands "
+        "near 1x; scaling numbers from this machine are meaningless.\n");
+  }
+}
 
 /// Dataset sizes used throughout the evaluation. Chosen so the full bench
 /// suite finishes in minutes on one core while keeping >10^6 citations per
@@ -39,6 +65,7 @@ inline const std::vector<std::string>& Roster() {
 
 /// Builds the evaluation corpus for one profile ("aminer" or "mag").
 inline Corpus MakeBenchCorpus(const std::string& profile, size_t articles) {
+  if (g_smoke) articles = std::min<size_t>(articles, 2000);
   Result<SyntheticOptions> options =
       ProfileByName(profile, articles, /*seed=*/20180416);
   SCHOLAR_CHECK_OK(options.status());
@@ -51,7 +78,7 @@ inline Corpus MakeBenchCorpus(const std::string& profile, size_t articles) {
 /// window, 2% award fraction).
 inline EvalSuite MakeBenchSuite(const Corpus& corpus) {
   EvalSuiteOptions options;
-  options.num_pairs = 200000;
+  options.num_pairs = g_smoke ? 2000 : 200000;
   Result<EvalSuite> suite = BuildEvalSuite(corpus, options);
   SCHOLAR_CHECK_OK(suite.status());
   return std::move(suite).value();
@@ -62,7 +89,11 @@ inline RankerEvaluation EvaluateByName(const std::string& name,
                                        const Corpus& corpus,
                                        const EvalSuite& suite,
                                        const Config& config = Config()) {
-  Result<std::shared_ptr<const Ranker>> ranker = MakeRanker(name, config);
+  Config effective = config;
+  if (g_smoke && !effective.Has("max_iterations")) {
+    effective.SetInt("max_iterations", 2);
+  }
+  Result<std::shared_ptr<const Ranker>> ranker = MakeRanker(name, effective);
   SCHOLAR_CHECK_OK(ranker.status());
   Result<RankerEvaluation> eval = EvaluateRanker(corpus, **ranker, suite);
   SCHOLAR_CHECK_OK(eval.status());

@@ -8,7 +8,8 @@
 using namespace scholar;
 using namespace scholar::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv);
   Banner("Figure 1", "TWPR decay-rate (sigma) sensitivity, aminer profile");
   Corpus corpus = MakeBenchCorpus("aminer", kAMinerArticles);
   EvalSuite suite = MakeBenchSuite(corpus);

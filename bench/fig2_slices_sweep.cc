@@ -7,7 +7,8 @@
 using namespace scholar;
 using namespace scholar::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv);
   Banner("Figure 2", "ensemble slice-count (k) sensitivity, aminer profile");
   Corpus corpus = MakeBenchCorpus("aminer", kAMinerArticles);
   EvalSuite suite = MakeBenchSuite(corpus);

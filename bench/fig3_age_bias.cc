@@ -11,7 +11,8 @@
 using namespace scholar;
 using namespace scholar::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv);
   Banner("Figure 3", "mean rank percentile per publication-year cohort");
   Corpus corpus = MakeBenchCorpus("aminer", kAMinerArticles);
   RankContext ctx;

@@ -63,7 +63,12 @@ void BM_EnsTwpr(benchmark::State& state) { RunRanker(state, "ens_twpr"); }
 constexpr int64_t kSizes[] = {10000, 20000, 40000, 80000, 160000};
 
 void RegisterAll() {
-  for (int64_t n : kSizes) {
+  // Smoke mode: one toy size (MakeBenchCorpus clamps it to 2000 articles),
+  // just enough to prove the harness still runs end to end.
+  const std::vector<int64_t> sizes =
+      g_smoke ? std::vector<int64_t>{2000}
+              : std::vector<int64_t>(std::begin(kSizes), std::end(kSizes));
+  for (int64_t n : sizes) {
     benchmark::RegisterBenchmark("BM_GenerateCorpus", BM_GenerateCorpus)
         ->Arg(n)
         ->Unit(benchmark::kMillisecond)
@@ -93,6 +98,13 @@ void RegisterAll() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  InitBench(argc, argv);
+  // Drop our flag so benchmark::Initialize doesn't reject it.
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) != "--smoke") argv[kept++] = argv[i];
+  }
+  argc = kept;
   RegisterAll();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -12,7 +12,8 @@
 using namespace scholar;
 using namespace scholar::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv);
   Banner("Figure 5", "robustness to citation sparsity (aminer profile)");
   Corpus corpus = MakeBenchCorpus("aminer", kAMinerArticles);
   EvalSuite suite = MakeBenchSuite(corpus);

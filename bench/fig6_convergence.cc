@@ -37,7 +37,8 @@ double GsResidualAt(const CitationGraph& g, int iters) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv);
   Banner("Figure 6", "solver residual vs iteration");
   Corpus aminer = MakeBenchCorpus("aminer", kAMinerArticles / 2);
   Corpus mag = MakeBenchCorpus("mag", kMagArticles / 2);

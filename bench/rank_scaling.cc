@@ -125,12 +125,15 @@ void WriteJson(const std::vector<Row>& rows, const char* path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  InitBench(argc, argv);
   Banner("rank_scaling",
          "TWPR wall time vs thread count (fixed 20-iteration work)");
-  // Smoke-test mode for CI: small graph, one repeat.
   const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
   std::vector<Row> rows;
-  if (quick) {
+  if (g_smoke) {
+    // CI harness check: toy graph, one repeat (MakeBenchCorpus clamps).
+    BenchSize(2000, /*repeats=*/1, &rows);
+  } else if (quick) {
     BenchSize(20000, /*repeats=*/1, &rows);
   } else {
     BenchSize(100000, /*repeats=*/3, &rows);

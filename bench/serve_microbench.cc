@@ -6,6 +6,7 @@
 
 #include <string>
 
+#include "bench_common.h"
 #include "core/scholar_ranker.h"
 #include "data/profiles.h"
 #include "data/synthetic.h"
@@ -24,14 +25,9 @@ using namespace scholar::serve;
 constexpr size_t kArticles = 20000;
 
 const Corpus& BenchCorpus() {
-  static const Corpus& corpus = *new Corpus([] {
-    Result<SyntheticOptions> options =
-        ProfileByName("aminer", kArticles, /*seed=*/20180416);
-    SCHOLAR_CHECK_OK(options.status());
-    Result<Corpus> c = GenerateSyntheticCorpus(*options, "serve-bench");
-    SCHOLAR_CHECK_OK(c.status());
-    return std::move(c).value();
-  }());
+  // MakeBenchCorpus clamps the size in --smoke mode.
+  static const Corpus& corpus =
+      *new Corpus(bench::MakeBenchCorpus("aminer", kArticles));
   return corpus;
 }
 
@@ -126,4 +122,18 @@ BENCHMARK(BM_EngineNeighbors);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN so the shared --smoke flag works here too.
+int main(int argc, char** argv) {
+  scholar::bench::InitBench(argc, argv);
+  // Drop our flag so benchmark::Initialize doesn't reject it.
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) != "--smoke") argv[kept++] = argv[i];
+  }
+  argc = kept;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

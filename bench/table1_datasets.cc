@@ -8,7 +8,8 @@
 using namespace scholar;
 using namespace scholar::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv);
   Banner("Table 1", "dataset statistics");
   std::printf("%-10s %12s %12s %12s %8s %8s %10s %8s %8s\n", "dataset",
               "articles", "citations", "refs/art", "years", "venues",

@@ -13,7 +13,8 @@
 using namespace scholar;
 using namespace scholar::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv);
   Banner("Table 2", "overall ranking quality (pairwise accuracy & friends)");
   std::string csv =
       "dataset,ranker,pairwise_accuracy,ci_lo,ci_hi,ndcg_awards_100,"

@@ -9,7 +9,8 @@
 using namespace scholar;
 using namespace scholar::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv);
   Banner("Table 3", "quality on recent articles (last 5 years)");
   std::string csv =
       "dataset,ranker,recent_accuracy,same_year_accuracy,overall_accuracy\n";

@@ -23,7 +23,8 @@ void Report(const char* what, const std::string& base, const Config& config,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv);
   Banner("Table 4", "ensemble ablation (aminer profile)");
   Corpus corpus = MakeBenchCorpus("aminer", kAMinerArticles);
   EvalSuite suite = MakeBenchSuite(corpus);

@@ -5,8 +5,10 @@
 #include <memory>
 #include <utility>
 
+#include "graph/temporal_csr.h"
 #include "graph/time_slicer.h"
 #include "rank/pagerank.h"
+#include "rank/time_weighted_pagerank.h"
 #include "util/logging.h"
 #include "util/parallel_for.h"
 
@@ -96,6 +98,15 @@ Result<RankResult> EnsembleRanker::RankWithDetails(
       std::vector<Year> boundaries,
       ComputeSliceBoundaries(g, options_.num_slices, options_.partition));
   const size_t k = boundaries.size();
+
+  // Zero-copy path: when the base ranker can consume snapshot views, all k
+  // snapshots share one time-prefix CSR instead of k materialized graph
+  // copies. Authors/venues stay on the legacy path (no view-capable base
+  // consumes them, and their restriction maps are id-space specific).
+  if (base_->SupportsSnapshotViews() && ctx.authors == nullptr &&
+      ctx.venues == nullptr) {
+    return RankViaTemporalViews(ctx, details, boundaries);
+  }
 
   const size_t n = g.num_nodes();
   const size_t workers = EffectiveThreads(options_.threads, ctx);
@@ -245,7 +256,8 @@ Result<RankResult> EnsembleRanker::RankWithDetails(
     std::vector<SnapshotRun> runs(k);
     std::vector<Status> statuses(k);
     ParallelForChunks(pool, k, 1, [&](size_t c, size_t, size_t) {
-      runs[c].snap = ExtractSnapshot(g, boundaries[c]);
+      // Legacy path: the base ranker cannot consume views.
+      runs[c].snap = ExtractSnapshot(g, boundaries[c]);  // NOLINT(materialize-snapshot)
       if (runs[c].snap.graph.num_nodes() == 0) return;
       statuses[c] = run_snapshot(c, &runs[c], /*initial=*/nullptr,
                                  /*sub_max_threads=*/1,
@@ -260,7 +272,8 @@ Result<RankResult> EnsembleRanker::RankWithDetails(
   } else {
     for (size_t i = 0; i < k; ++i) {
       SnapshotRun run;
-      run.snap = ExtractSnapshot(g, boundaries[i]);
+      // Legacy path: the base ranker cannot consume views.
+      run.snap = ExtractSnapshot(g, boundaries[i]);  // NOLINT(materialize-snapshot)
       const size_t sn = run.snap.graph.num_nodes();
       if (sn == 0) continue;
 
@@ -327,6 +340,251 @@ Result<RankResult> EnsembleRanker::RankWithDetails(
       // sum is positive; the guard keeps degenerate subclasses safe.
       result.scores[v] =
           weight_sum[v] > 0.0 ? accumulated[v] / weight_sum[v] : 0.0;
+    }
+  });
+  return result;
+}
+
+Result<RankResult> EnsembleRanker::RankViaTemporalViews(
+    const RankContext& ctx, std::vector<SnapshotDetail>* details,
+    const std::vector<Year>& boundaries) const {
+  const CitationGraph& g = *ctx.graph;
+  const size_t n = g.num_nodes();
+  const size_t k = boundaries.size();
+  const size_t workers = EffectiveThreads(options_.threads, ctx);
+  std::unique_ptr<ThreadPool> owned_pool =
+      workers > 1 ? std::make_unique<ThreadPool>(workers - 1) : nullptr;
+  ThreadPool* pool = owned_pool.get();
+  PowerIterationScratch scratch;
+
+  // One index serves all k snapshots. TWPR's decay weights are cached once
+  // on the sorted parent and shared read-only by every snapshot rank (the
+  // cache is thread-safe, so the parallel mode shares it too).
+  const TemporalCsr tcsr(g);
+  const CitationGraph& sg = tcsr.sorted_graph();
+  TwprWeightCache twpr_cache;
+
+  // Everything below runs in year-sorted node space, where snapshot i is
+  // the id prefix [0, sn_i) — no per-snapshot id maps. Under
+  // materialize_snapshots the same prefixes are extracted from the sorted
+  // graph (identity id maps), so both modes execute identical arithmetic in
+  // identical order: bit-identical scores, which is what makes that mode
+  // the oracle.
+  const bool materialize = options_.materialize_snapshots;
+
+  std::vector<size_t> first_snapshot(n, 0);
+  ParallelFor(pool, n, kNodeGrain, [&](size_t begin, size_t end) {
+    for (NodeId v = static_cast<NodeId>(begin); v < end; ++v) {
+      first_snapshot[v] = static_cast<size_t>(
+          std::lower_bound(boundaries.begin(), boundaries.end(), sg.year(v)) -
+          boundaries.begin());
+    }
+  });
+
+  std::vector<double> accumulated(n, 0.0);
+  std::vector<double> weight_sum(n, 0.0);
+  // Raw scores of the previous snapshot in sorted space; because snapshots
+  // are nested prefixes, the warm start of the next snapshot is a direct
+  // prefix read — no scatter/gather through id maps.
+  std::vector<double> prev_scores;
+
+  RankResult result;
+  result.converged = true;
+
+  struct ViewRun {
+    SnapshotView view;     // zero-copy mode
+    Snapshot snap;         // oracle mode (materialize_snapshots)
+    size_t num_nodes = 0;
+    RankResult sub;
+    std::vector<double> normalized;
+  };
+
+  auto make_run = [&](size_t i, ViewRun* run) {
+    if (materialize) {
+      // The oracle: the same time prefix, materialized from the sorted
+      // graph so its node numbering matches sorted space.
+      run->snap = ExtractSnapshot(sg, boundaries[i]);  // NOLINT(materialize-snapshot)
+      run->num_nodes = run->snap.graph.num_nodes();
+    } else {
+      run->view = tcsr.MakeView(boundaries[i]);
+      run->num_nodes = run->view.num_nodes();
+    }
+  };
+
+  // Ranks one snapshot and normalizes its scores; sorted-space analogue of
+  // the legacy run_snapshot (authors/venues never reach this path).
+  auto run_snapshot = [&](size_t i, ViewRun* run,
+                          const std::vector<double>* initial,
+                          int sub_max_threads,
+                          PowerIterationScratch* sub_scratch,
+                          ThreadPool* norm_pool) -> Status {
+    RankContext sub_ctx;
+    if (materialize) {
+      sub_ctx.graph = &run->snap.graph;
+    } else {
+      sub_ctx.view = &run->view;
+      sub_ctx.twpr_cache = &twpr_cache;
+    }
+    sub_ctx.now_year = boundaries[i];
+    sub_ctx.max_threads = sub_max_threads;
+    sub_ctx.scratch = sub_scratch;
+    if (initial != nullptr) sub_ctx.initial_scores = initial;
+
+    SCHOLAR_ASSIGN_OR_RETURN(run->sub, base_->Rank(sub_ctx));
+
+    if (options_.scope == NormalizationScope::kSnapshot) {
+      run->normalized = NormalizeScores(run->sub.scores, options_.normalizer);
+      return Status::OK();
+    }
+    run->normalized.assign(run->sub.scores.size(), 0.0);
+    const bool by_year = options_.scope == NormalizationScope::kYearCohort;
+    const Year min_year = sg.min_year();
+    const size_t num_groups =
+        by_year ? static_cast<size_t>(sg.max_year() - min_year) + 1 : k;
+    std::vector<std::vector<NodeId>> groups(num_groups);
+    for (NodeId s = 0; s < run->num_nodes; ++s) {
+      const size_t key = by_year
+                             ? static_cast<size_t>(sg.year(s) - min_year)
+                             : first_snapshot[s];
+      groups[key].push_back(s);
+    }
+    ParallelFor(norm_pool, num_groups, 1, [&](size_t gb, size_t ge) {
+      std::vector<double> group_scores;
+      for (size_t gi = gb; gi < ge; ++gi) {
+        const std::vector<NodeId>& group = groups[gi];
+        if (group.empty()) continue;
+        group_scores.clear();
+        for (NodeId s : group) group_scores.push_back(run->sub.scores[s]);
+        std::vector<double> group_norm =
+            NormalizeScores(group_scores, options_.normalizer);
+        for (size_t t = 0; t < group.size(); ++t) {
+          run->normalized[group[t]] = group_norm[t];
+        }
+      }
+    });
+    return Status::OK();
+  };
+
+  // Folds one finished snapshot into the running totals. Called in
+  // snapshot-index order in both execution modes (fixed fp order).
+  auto accumulate = [&](size_t i, ViewRun* run) {
+    result.iterations += run->sub.iterations;
+    result.converged = result.converged && run->sub.converged;
+    result.final_residual =
+        std::max(result.final_residual, run->sub.final_residual);
+    if (details != nullptr) {
+      const size_t edges = materialize ? run->snap.graph.num_edges()
+                                       : run->view.CountEdges();
+      details->push_back(
+          {boundaries[i], run->num_nodes, edges, run->sub.iterations});
+    }
+    const double weight =
+        options_.combiner == EnsembleCombiner::kMean
+            ? 1.0
+            : std::pow(options_.gamma, static_cast<double>(k - 1 - i));
+    const std::vector<double>& normalized = run->normalized;
+    ParallelFor(pool, run->num_nodes, kNodeGrain,
+                [&](size_t begin, size_t end) {
+      for (NodeId s = static_cast<NodeId>(begin); s < end; ++s) {
+        if (options_.window > 0 &&
+            i >= first_snapshot[s] + static_cast<size_t>(options_.window)) {
+          continue;  // beyond this article's contemporary window
+        }
+        accumulated[s] += weight * normalized[s];
+        weight_sum[s] += weight;
+      }
+    });
+    *run = ViewRun{};
+  };
+
+  const bool parallel_snapshots =
+      !options_.warm_start && workers > 1 && k > 1;
+  if (parallel_snapshots) {
+    std::vector<ViewRun> runs(k);
+    std::vector<Status> statuses(k);
+    ParallelForChunks(pool, k, 1, [&](size_t c, size_t, size_t) {
+      make_run(c, &runs[c]);
+      if (runs[c].num_nodes == 0) return;
+      statuses[c] = run_snapshot(c, &runs[c], /*initial=*/nullptr,
+                                 /*sub_max_threads=*/1,
+                                 /*sub_scratch=*/nullptr,
+                                 /*norm_pool=*/nullptr);
+    });
+    for (size_t i = 0; i < k; ++i) {
+      SCHOLAR_RETURN_NOT_OK(statuses[i]);
+      if (runs[i].num_nodes == 0) continue;
+      accumulate(i, &runs[i]);
+    }
+  } else {
+    for (size_t i = 0; i < k; ++i) {
+      ViewRun run;
+      make_run(i, &run);
+      const size_t sn = run.num_nodes;
+      if (sn == 0) continue;
+
+      std::vector<double> initial;
+      const std::vector<double>* initial_ptr = nullptr;
+      if (options_.warm_start && !prev_scores.empty()) {
+        // Nodes new to this snapshot start at the mean previous score; the
+        // mean is a chunk-ordered reduction, so it is exact across thread
+        // counts (same arithmetic as the legacy path on identity graphs).
+        initial.resize(sn);
+        const size_t chunks = ChunkCount(sn, kNodeGrain);
+        std::vector<double> part_total(chunks, 0.0);
+        std::vector<size_t> part_known(chunks, 0);
+        ParallelForChunks(pool, sn, kNodeGrain,
+                          [&](size_t chunk, size_t begin, size_t end) {
+          double total = 0.0;
+          size_t known = 0;
+          for (NodeId s = static_cast<NodeId>(begin); s < end; ++s) {
+            const double prev = prev_scores[s];
+            if (prev > 0.0) {
+              total += prev;
+              ++known;
+            }
+          }
+          part_total[chunk] = total;
+          part_known[chunk] = known;
+        });
+        double total = 0.0;
+        size_t known = 0;
+        for (size_t c = 0; c < chunks; ++c) {
+          total += part_total[c];
+          known += part_known[c];
+        }
+        const double fallback = known > 0
+                                    ? total / static_cast<double>(known)
+                                    : 1.0 / static_cast<double>(sn);
+        ParallelFor(pool, sn, kNodeGrain, [&](size_t begin, size_t end) {
+          for (NodeId s = static_cast<NodeId>(begin); s < end; ++s) {
+            const double prev = prev_scores[s];
+            initial[s] = prev > 0.0 ? prev : fallback;
+          }
+        });
+        initial_ptr = &initial;
+      }
+
+      SCHOLAR_RETURN_NOT_OK(run_snapshot(i, &run, initial_ptr,
+                                         ctx.max_threads, &scratch, pool));
+      if (options_.warm_start) {
+        prev_scores.assign(n, 0.0);
+        ParallelFor(pool, sn, kNodeGrain, [&](size_t begin, size_t end) {
+          for (NodeId s = static_cast<NodeId>(begin); s < end; ++s) {
+            prev_scores[s] = run.sub.scores[s];
+          }
+        });
+      }
+      accumulate(i, &run);
+    }
+  }
+
+  // Scatter the sorted-space totals back to parent node ids (a bijection,
+  // so the parallel writes are race-free).
+  result.scores.resize(n);
+  ParallelFor(pool, n, kNodeGrain, [&](size_t begin, size_t end) {
+    for (NodeId s = static_cast<NodeId>(begin); s < end; ++s) {
+      result.scores[tcsr.ToParent(s)] =
+          weight_sum[s] > 0.0 ? accumulated[s] / weight_sum[s] : 0.0;
     }
   });
   return result;

@@ -1,0 +1,95 @@
+#include "graph/temporal_csr.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace scholar {
+
+TemporalCsr::TemporalCsr(const CitationGraph& parent) {
+  const size_t n = parent.num_nodes();
+  const std::vector<Year>& parent_years = parent.years();
+
+  identity_ = std::is_sorted(parent_years.begin(), parent_years.end());
+  if (identity_) {
+    sorted_ = &parent;
+  } else {
+    // Stable year sort keeps same-year nodes in parent-id order, so the
+    // relabeling is deterministic and same-year ties preserve locality.
+    to_parent_.resize(n);
+    std::iota(to_parent_.begin(), to_parent_.end(), NodeId{0});
+    std::stable_sort(to_parent_.begin(), to_parent_.end(),
+                     [&parent_years](NodeId a, NodeId b) {
+                       return parent_years[a] < parent_years[b];
+                     });
+    from_parent_.resize(n);
+    for (NodeId s = 0; s < n; ++s) from_parent_[to_parent_[s]] = s;
+
+    std::vector<Year> years(n);
+    std::vector<EdgeId> offsets(n + 1, 0);
+    for (NodeId s = 0; s < n; ++s) {
+      years[s] = parent_years[to_parent_[s]];
+      offsets[s + 1] = offsets[s] + parent.OutDegree(to_parent_[s]);
+    }
+    // Emitting targets in ascending sorted order through per-source cursors
+    // leaves every relabeled row sorted ascending — the prefix property
+    // SnapshotView's binary search relies on.
+    std::vector<NodeId> neighbors(parent.num_edges());
+    std::vector<EdgeId> cursor(offsets.begin(), offsets.end() - 1);
+    for (NodeId v = 0; v < n; ++v) {
+      for (NodeId pu : parent.Citers(to_parent_[v])) {
+        neighbors[cursor[from_parent_[pu]]++] = v;
+      }
+    }
+    owned_sorted_ = CitationGraph::FromCsr(std::move(years), std::move(offsets),
+                                           std::move(neighbors));
+    sorted_ = &owned_sorted_;
+  }
+
+  const std::vector<Year>& sorted_years = sorted_->years();
+  for (size_t i = 0; i < n; ++i) {
+    if (i + 1 == n || sorted_years[i + 1] != sorted_years[i]) {
+      distinct_years_.push_back(sorted_years[i]);
+      nodes_through_.push_back(i + 1);
+    }
+  }
+}
+
+size_t TemporalCsr::NodesThrough(Year boundary_year) const {
+  // Nodes with kUnknownYear sort first (the sentinel is INT32_MIN) and are
+  // kept by every snapshot, matching ExtractSnapshot's keep-unknown policy.
+  auto it = std::upper_bound(distinct_years_.begin(), distinct_years_.end(),
+                             boundary_year);
+  if (it == distinct_years_.begin()) return 0;
+  return nodes_through_[static_cast<size_t>(it - distinct_years_.begin()) - 1];
+}
+
+SnapshotView TemporalCsr::MakeView(Year boundary_year) const {
+  const size_t count = NodesThrough(boundary_year);
+  return SnapshotView(this, count, count == 0 ? kUnknownYear : boundary_year);
+}
+
+size_t TemporalCsr::ApproxBytes() const {
+  size_t bytes = to_parent_.size() * sizeof(NodeId) +
+                 from_parent_.size() * sizeof(NodeId) +
+                 distinct_years_.size() * sizeof(Year) +
+                 nodes_through_.size() * sizeof(size_t);
+  if (!identity_) {
+    bytes += owned_sorted_.years().size() * sizeof(Year) +
+             owned_sorted_.out_offsets().size() * sizeof(EdgeId) +
+             owned_sorted_.out_neighbors().size() * sizeof(NodeId) +
+             owned_sorted_.in_offsets().size() * sizeof(EdgeId) +
+             owned_sorted_.in_neighbors().size() * sizeof(NodeId);
+  }
+  return bytes;
+}
+
+size_t SnapshotView::CountEdges() const {
+  size_t edges = 0;
+  for (NodeId u = 0; u < num_nodes_; ++u) edges += OutDegree(u);
+  return edges;
+}
+
+}  // namespace scholar

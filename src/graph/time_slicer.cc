@@ -51,7 +51,9 @@ Snapshot ExtractSnapshot(const CitationGraph& parent, Year boundary_year) {
     keep[u] = parent.year(u) <= boundary_year;
   }
   Snapshot snap = ExtractByMask(parent, keep);
-  snap.boundary_year = boundary_year;
+  // An empty result keeps the kUnknownYear sentinel from ExtractByMask: a
+  // boundary before the earliest publication year has no meaningful clamp.
+  if (snap.graph.num_nodes() > 0) snap.boundary_year = boundary_year;
   return snap;
 }
 

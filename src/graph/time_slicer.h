@@ -23,7 +23,9 @@ struct Snapshot {
 };
 
 /// Extracts the snapshot of `parent` at `boundary_year`. Nodes keep their
-/// relative order, so snapshot ids are monotone in parent ids.
+/// relative order, so snapshot ids are monotone in parent ids. A boundary
+/// before the earliest publication year yields a valid empty snapshot whose
+/// `boundary_year` is kUnknownYear.
 Snapshot ExtractSnapshot(const CitationGraph& parent, Year boundary_year);
 
 /// Extracts the subgraph induced by an arbitrary keep-mask (true = keep).

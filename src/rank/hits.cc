@@ -51,20 +51,25 @@ HitsRanker::HitsRanker(HitsOptions options) : options_(options) {}
 
 Result<HitsRanker::HubsAndAuthorities> HitsRanker::RankBoth(
     const CitationGraph& g, int max_threads) const {
+  size_t workers = ResolveThreads(options_.threads);
+  if (max_threads > 0 && static_cast<size_t>(max_threads) < workers) {
+    workers = static_cast<size_t>(max_threads);
+  }
+  return RankBothOnAccess(AccessOf(g), workers);
+}
+
+Result<HitsRanker::HubsAndAuthorities> HitsRanker::RankBothOnAccess(
+    const GraphAccess& g, size_t workers) const {
   if (options_.max_iterations <= 0) {
     return Status::InvalidArgument("max_iterations must be positive");
   }
-  const size_t n = g.num_nodes();
+  const size_t n = g.num_nodes;
   HubsAndAuthorities out;
   out.authorities.assign(n, n > 0 ? 1.0 / std::sqrt(static_cast<double>(n))
                                   : 0.0);
   out.hubs = out.authorities;
   if (n == 0) return out;
 
-  size_t workers = ResolveThreads(options_.threads);
-  if (max_threads > 0 && static_cast<size_t>(max_threads) < workers) {
-    workers = static_cast<size_t>(max_threads);
-  }
   std::unique_ptr<ThreadPool> owned_pool =
       workers > 1 ? std::make_unique<ThreadPool>(workers - 1) : nullptr;
   ThreadPool* pool = owned_pool.get();
@@ -80,7 +85,9 @@ Result<HitsRanker::HubsAndAuthorities> HitsRanker::RankBoth(
     ParallelFor(pool, n, kNodeGrain, [&](size_t begin, size_t end) {
       for (NodeId v = static_cast<NodeId>(begin); v < end; ++v) {
         double acc = 0.0;
-        for (NodeId u : g.Citers(v)) acc += out.hubs[u];
+        for (EdgeId p = g.in_begin[v]; p < g.in_end[v]; ++p) {
+          acc += out.hubs[g.in_neighbors[p]];
+        }
         out.authorities[v] = acc;
       }
     });
@@ -90,7 +97,9 @@ Result<HitsRanker::HubsAndAuthorities> HitsRanker::RankBoth(
     ParallelFor(pool, n, kNodeGrain, [&](size_t begin, size_t end) {
       for (NodeId u = static_cast<NodeId>(begin); u < end; ++u) {
         double acc = 0.0;
-        for (NodeId v : g.References(u)) acc += out.authorities[v];
+        for (EdgeId e = g.out_begin[u]; e < g.out_end[u]; ++e) {
+          acc += out.authorities[g.out_neighbors[e]];
+        }
         out.hubs[u] = acc;
       }
     });
@@ -115,9 +124,19 @@ Result<HitsRanker::HubsAndAuthorities> HitsRanker::RankBoth(
 }
 
 Result<RankResult> HitsRanker::RankImpl(const RankContext& ctx) const {
-  SCHOLAR_RETURN_NOT_OK(ValidateContext(ctx, /*requires_authors=*/false));
-  SCHOLAR_ASSIGN_OR_RETURN(HubsAndAuthorities both,
-                           RankBoth(*ctx.graph, ctx.max_threads));
+  SCHOLAR_RETURN_NOT_OK(ValidateContext(ctx, /*requires_authors=*/false,
+                                        /*requires_venues=*/false,
+                                        /*accepts_views=*/true));
+  const size_t workers = EffectiveThreads(options_.threads, ctx);
+  HubsAndAuthorities both;
+  if (ctx.view != nullptr) {
+    ViewRowEnds rows;
+    const GraphAccess a = AccessOf(*ctx.view, &rows);
+    SCHOLAR_ASSIGN_OR_RETURN(both, RankBothOnAccess(a, workers));
+  } else {
+    SCHOLAR_ASSIGN_OR_RETURN(both,
+                             RankBothOnAccess(AccessOf(*ctx.graph), workers));
+  }
   RankResult result;
   result.scores = std::move(both.authorities);
   result.iterations = both.iterations;

@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "graph/graph_access.h"
 #include "rank/ranker.h"
 
 namespace scholar {
@@ -26,6 +27,7 @@ class HitsRanker : public Ranker {
 
   std::string name() const override { return "hits"; }
   Result<RankResult> RankImpl(const RankContext& ctx) const override;
+  bool SupportsSnapshotViews() const override { return true; }
 
   /// Full output including hub scores, for callers that want both sides.
   struct HubsAndAuthorities {
@@ -40,6 +42,11 @@ class HitsRanker : public Ranker {
                                       int max_threads = 0) const;
 
  private:
+  /// The iteration, written against GraphAccess so full graphs and
+  /// zero-copy snapshot views share one code path.
+  Result<HubsAndAuthorities> RankBothOnAccess(const GraphAccess& a,
+                                              size_t workers) const;
+
   HitsOptions options_;
 };
 

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "graph/graph_access.h"
 #include "util/parallel_for.h"
 
 namespace scholar {
@@ -20,7 +21,9 @@ constexpr size_t kNodeGrain = 2048;
 KatzRanker::KatzRanker(KatzOptions options) : options_(options) {}
 
 Result<RankResult> KatzRanker::RankImpl(const RankContext& ctx) const {
-  SCHOLAR_RETURN_NOT_OK(ValidateContext(ctx, /*requires_authors=*/false));
+  SCHOLAR_RETURN_NOT_OK(ValidateContext(ctx, /*requires_authors=*/false,
+                                        /*requires_venues=*/false,
+                                        /*accepts_views=*/true));
   if (options_.alpha <= 0.0 || options_.alpha >= 1.0) {
     return Status::InvalidArgument("alpha must be in (0, 1), got " +
                                    std::to_string(options_.alpha));
@@ -28,14 +31,16 @@ Result<RankResult> KatzRanker::RankImpl(const RankContext& ctx) const {
   if (options_.max_iterations <= 0) {
     return Status::InvalidArgument("max_iterations must be positive");
   }
-  const CitationGraph& g = *ctx.graph;
-  const size_t n = g.num_nodes();
+  const size_t n = ctx.NumNodes();
   if (n == 0) return RankResult{};
 
   const size_t workers = EffectiveThreads(options_.threads, ctx);
   std::unique_ptr<ThreadPool> owned_pool =
       workers > 1 ? std::make_unique<ThreadPool>(workers - 1) : nullptr;
   ThreadPool* pool = owned_pool.get();
+  ViewRowEnds rows;
+  const GraphAccess g = ctx.view != nullptr ? AccessOf(*ctx.view, &rows, pool)
+                                            : AccessOf(*ctx.graph);
 
   // s <- alpha * A^T (s + 1), evaluated as a pull: v gathers
   // alpha * (s(u) + 1) over its citers u, so no write ever leaves v's slot.
@@ -63,7 +68,9 @@ Result<RankResult> KatzRanker::RankImpl(const RankContext& ctx) const {
       double mass_part = 0.0;
       for (NodeId v = static_cast<NodeId>(begin); v < end; ++v) {
         double acc = 0.0;
-        for (NodeId u : g.Citers(v)) acc += contribution[u];
+        for (EdgeId p = g.in_begin[v]; p < g.in_end[v]; ++p) {
+          acc += contribution[g.in_neighbors[p]];
+        }
         next[v] = acc;
         residual_part += std::abs(acc - scores[v]);
         mass_part += acc;

@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "graph/temporal_csr.h"
 #include "util/parallel_for.h"
 
 namespace scholar {
@@ -22,6 +23,134 @@ double OrderedSum(const std::vector<double>& partial, size_t chunks) {
   double total = 0.0;
   for (size_t c = 0; c < chunks; ++c) total += partial[c];
   return total;
+}
+
+/// Starting score vector: `initial` L1-normalized, or uniform when it is
+/// absent or has non-positive mass.
+std::vector<double> BuildInitialScores(size_t n,
+                                       const std::vector<double>& initial) {
+  std::vector<double> scores(n, 1.0 / static_cast<double>(n));
+  if (!initial.empty()) {
+    double total = 0.0;
+    bool valid = true;
+    for (double v : initial) {
+      if (v < 0.0) {
+        valid = false;
+        break;
+      }
+      total += v;
+    }
+    if (valid && total > 0.0) {
+      for (NodeId v = 0; v < n; ++v) scores[v] = initial[v] / total;
+    }
+  }
+  return scores;
+}
+
+/// The damped fixed-point loop shared by the full-graph and view solvers.
+/// `term(p, u)` is the transition probability of in-edge `p` with source
+/// `u` — a precomputed-array lookup for the full graph, an on-the-fly
+/// product for views. Templated so each variant inlines to the same tight
+/// gather the monolithic solver had.
+template <typename TermFn>
+void RunPowerLoop(const GraphAccess& a, const std::vector<double>& jump,
+                  const PowerIterationOptions& options, ThreadPool* pool,
+                  PowerIterationScratch& s, std::vector<double>& scores,
+                  RankResult& result, const TermFn& term) {
+  const size_t n = a.num_nodes;
+  const double uniform = 1.0 / static_cast<double>(n);
+  s.next.resize(n);
+  const size_t chunks = ChunkCount(n, kNodeGrain);
+  s.partial.assign(chunks, 0.0);
+
+  result.converged = false;
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    // Phase A (parallel): pull-gather the citation flow into each node and
+    // collect the dangling mass as ordered per-chunk partials.
+    ParallelForChunks(pool, n, kNodeGrain,
+                      [&](size_t chunk, size_t begin, size_t end) {
+      double dangling_part = 0.0;
+      for (NodeId v = static_cast<NodeId>(begin); v < end; ++v) {
+        double acc = 0.0;
+        for (EdgeId p = a.in_begin[v]; p < a.in_end[v]; ++p) {
+          const NodeId u = a.in_neighbors[p];
+          acc += term(p, u) * scores[u];
+        }
+        s.next[v] = acc;
+        if (s.dangling[v]) dangling_part += scores[v];
+      }
+      s.partial[chunk] = dangling_part;
+    });
+    const double dangling_mass = OrderedSum(s.partial, chunks);
+    const double teleport =
+        options.damping * dangling_mass + (1.0 - options.damping);
+
+    // Phase B (parallel): damp, teleport, and measure the L1 residual as
+    // ordered per-chunk partials.
+    ParallelForChunks(pool, n, kNodeGrain,
+                      [&](size_t chunk, size_t begin, size_t end) {
+      double residual_part = 0.0;
+      if (jump.empty()) {
+        const double teleport_uniform = teleport * uniform;
+        for (NodeId v = static_cast<NodeId>(begin); v < end; ++v) {
+          const double nv = options.damping * s.next[v] + teleport_uniform;
+          residual_part += std::abs(nv - scores[v]);
+          s.next[v] = nv;
+        }
+      } else {
+        for (NodeId v = static_cast<NodeId>(begin); v < end; ++v) {
+          const double nv = options.damping * s.next[v] + teleport * jump[v];
+          residual_part += std::abs(nv - scores[v]);
+          s.next[v] = nv;
+        }
+      }
+      s.partial[chunk] = residual_part;
+    });
+    const double residual = OrderedSum(s.partial, chunks);
+
+    scores.swap(s.next);
+    result.iterations = iter;
+    result.final_residual = residual;
+    if (residual < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+}
+
+/// Shared validation of the option/vector shapes common to both solvers.
+Status ValidateSolverArgs(size_t n, const std::vector<double>& jump,
+                          const PowerIterationOptions& options,
+                          const std::vector<double>& initial_scores) {
+  if (options.damping < 0.0 || options.damping >= 1.0) {
+    return Status::InvalidArgument("damping must be in [0,1), got " +
+                                   std::to_string(options.damping));
+  }
+  if (options.max_iterations <= 0) {
+    return Status::InvalidArgument("max_iterations must be positive");
+  }
+  if (!jump.empty()) {
+    if (jump.size() != n) {
+      return Status::InvalidArgument("jump size " +
+                                     std::to_string(jump.size()) +
+                                     " != num_nodes " + std::to_string(n));
+    }
+    double sum = 0.0;
+    for (double j : jump) {
+      if (j < 0.0) return Status::InvalidArgument("negative jump probability");
+      sum += j;
+    }
+    if (std::abs(sum - 1.0) > 1e-6) {
+      return Status::InvalidArgument("jump vector sums to " +
+                                     std::to_string(sum) + ", expected 1");
+    }
+  }
+  if (!initial_scores.empty() && initial_scores.size() != n) {
+    return Status::InvalidArgument(
+        "initial_scores size " + std::to_string(initial_scores.size()) +
+        " != num_nodes " + std::to_string(n));
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -65,38 +194,11 @@ Result<RankResult> WeightedPowerIteration(
     PowerIterationScratch* scratch) {
   const size_t n = graph.num_nodes();
   const size_t m = graph.num_edges();
-  if (options.damping < 0.0 || options.damping >= 1.0) {
-    return Status::InvalidArgument("damping must be in [0,1), got " +
-                                   std::to_string(options.damping));
-  }
-  if (options.max_iterations <= 0) {
-    return Status::InvalidArgument("max_iterations must be positive");
-  }
+  SCHOLAR_RETURN_NOT_OK(ValidateSolverArgs(n, jump, options, initial_scores));
   if (!edge_weights.empty() && edge_weights.size() != m) {
     return Status::InvalidArgument(
         "edge_weights size " + std::to_string(edge_weights.size()) +
         " != num_edges " + std::to_string(m));
-  }
-  if (!jump.empty()) {
-    if (jump.size() != n) {
-      return Status::InvalidArgument("jump size " +
-                                     std::to_string(jump.size()) +
-                                     " != num_nodes " + std::to_string(n));
-    }
-    double sum = 0.0;
-    for (double j : jump) {
-      if (j < 0.0) return Status::InvalidArgument("negative jump probability");
-      sum += j;
-    }
-    if (std::abs(sum - 1.0) > 1e-6) {
-      return Status::InvalidArgument("jump vector sums to " +
-                                     std::to_string(sum) + ", expected 1");
-    }
-  }
-  if (!initial_scores.empty() && initial_scores.size() != n) {
-    return Status::InvalidArgument(
-        "initial_scores size " + std::to_string(initial_scores.size()) +
-        " != num_nodes " + std::to_string(n));
   }
   if (n == 0) return RankResult{};
 
@@ -107,7 +209,6 @@ Result<RankResult> WeightedPowerIteration(
   const std::vector<EdgeId>& out_offsets = graph.out_offsets();
   const std::vector<NodeId>& out_neighbors = graph.out_neighbors();
   const std::vector<EdgeId>& in_offsets = graph.in_offsets();
-  const std::vector<NodeId>& in_neighbors = graph.in_neighbors();
   const bool uniform_weights = edge_weights.empty();
 
   // Pass 1 (parallel): weighted out-degree and dangling flag per source.
@@ -167,92 +268,110 @@ Result<RankResult> WeightedPowerIteration(
     }
   }
 
-  const double uniform = 1.0 / static_cast<double>(n);
-  std::vector<double> scores(n, uniform);
-  if (!initial_scores.empty()) {
-    double total = 0.0;
-    bool valid = true;
-    for (double v : initial_scores) {
-      if (v < 0.0) {
-        valid = false;
-        break;
-      }
-      total += v;
-    }
-    if (valid && total > 0.0) {
-      for (NodeId v = 0; v < n; ++v) scores[v] = initial_scores[v] / total;
-    }
-  }
-  s.next.resize(n);
-  const size_t chunks = ChunkCount(n, kNodeGrain);
-  s.partial.assign(chunks, 0.0);
-
+  std::vector<double> scores = BuildInitialScores(n, initial_scores);
   RankResult result;
-  result.converged = false;
-  for (int iter = 1; iter <= options.max_iterations; ++iter) {
-    // Phase A (parallel): pull-gather the citation flow into each node and
-    // collect the dangling mass as ordered per-chunk partials.
-    ParallelForChunks(pool, n, kNodeGrain,
-                      [&](size_t chunk, size_t begin, size_t end) {
-      double dangling_part = 0.0;
-      for (NodeId v = static_cast<NodeId>(begin); v < end; ++v) {
-        double acc = 0.0;
-        for (EdgeId p = in_offsets[v]; p < in_offsets[v + 1]; ++p) {
-          acc += s.transition[p] * scores[in_neighbors[p]];
-        }
-        s.next[v] = acc;
-        if (s.dangling[v]) dangling_part += scores[v];
-      }
-      s.partial[chunk] = dangling_part;
-    });
-    const double dangling_mass = OrderedSum(s.partial, chunks);
-    const double teleport =
-        options.damping * dangling_mass + (1.0 - options.damping);
+  const GraphAccess a = AccessOf(graph);
+  const double* transition = s.transition.data();
+  RunPowerLoop(a, jump, options, pool, s, scores, result,
+               [transition](EdgeId p, NodeId) { return transition[p]; });
+  result.scores = std::move(scores);
+  return result;
+}
 
-    // Phase B (parallel): damp, teleport, and measure the L1 residual as
-    // ordered per-chunk partials.
-    ParallelForChunks(pool, n, kNodeGrain,
-                      [&](size_t chunk, size_t begin, size_t end) {
-      double residual_part = 0.0;
-      if (jump.empty()) {
-        const double teleport_uniform = teleport * uniform;
-        for (NodeId v = static_cast<NodeId>(begin); v < end; ++v) {
-          const double nv = options.damping * s.next[v] + teleport_uniform;
-          residual_part += std::abs(nv - scores[v]);
-          s.next[v] = nv;
-        }
-      } else {
-        for (NodeId v = static_cast<NodeId>(begin); v < end; ++v) {
-          const double nv = options.damping * s.next[v] + teleport * jump[v];
-          residual_part += std::abs(nv - scores[v]);
-          s.next[v] = nv;
-        }
-      }
-      s.partial[chunk] = residual_part;
-    });
-    const double residual = OrderedSum(s.partial, chunks);
+Result<RankResult> WeightedPowerIterationOnView(
+    const SnapshotView& view, const std::vector<double>& out_edge_weights,
+    const std::vector<double>& in_edge_weights, const std::vector<double>& jump,
+    const PowerIterationOptions& options,
+    const std::vector<double>& initial_scores, PowerIterationScratch* scratch) {
+  const size_t n = view.num_nodes();
+  SCHOLAR_RETURN_NOT_OK(ValidateSolverArgs(n, jump, options, initial_scores));
+  const bool uniform_weights = out_edge_weights.empty();
+  if (uniform_weights ? !in_edge_weights.empty() : in_edge_weights.empty()) {
+    return Status::InvalidArgument(
+        "out_edge_weights and in_edge_weights must both be set or both "
+        "empty");
+  }
+  if (n == 0) return RankResult{};
+  const size_t m = view.temporal_csr()->sorted_graph().num_edges();
+  if (!uniform_weights &&
+      (out_edge_weights.size() != m || in_edge_weights.size() != m)) {
+    return Status::InvalidArgument(
+        "view edge weight arrays must cover the parent graph: got " +
+        std::to_string(out_edge_weights.size()) + " / " +
+        std::to_string(in_edge_weights.size()) + " weights for " +
+        std::to_string(m) + " parent edges");
+  }
 
-    scores.swap(s.next);
-    result.iterations = iter;
-    result.final_residual = residual;
-    if (residual < options.tolerance) {
-      result.converged = true;
-      break;
+  PowerIterationScratch local_scratch;
+  PowerIterationScratch& s = scratch != nullptr ? *scratch : local_scratch;
+  ThreadPool* pool = s.PoolFor(ResolveThreads(options.threads));
+  const GraphAccess a = AccessOf(view, &s.view_rows, pool);
+
+  // Pass 1 (parallel): *inverted* weighted out-degree over the kept row
+  // prefixes (0.0 for dangling rows, so the gather term vanishes exactly
+  // like the materialized path's stored 0.0 transitions). The division
+  // happens here once per node; the gather then multiplies — the same two
+  // operations, on the same values, as the materialized precompute.
+  s.row_weight.assign(n, 0.0);
+  s.dangling.assign(n, 0);
+  std::atomic<bool> negative_weight{false};
+  ParallelFor(pool, n, kNodeGrain, [&](size_t begin, size_t end) {
+    if (uniform_weights) {
+      for (NodeId u = static_cast<NodeId>(begin); u < end; ++u) {
+        const double degree = static_cast<double>(a.OutDegree(u));
+        s.dangling[u] = degree <= 0.0 ? 1 : 0;
+        s.row_weight[u] = degree <= 0.0 ? 0.0 : 1.0 / degree;
+      }
+      return;
     }
+    for (NodeId u = static_cast<NodeId>(begin); u < end; ++u) {
+      double row = 0.0;
+      for (EdgeId e = a.out_begin[u]; e < a.out_end[u]; ++e) {
+        const double w = out_edge_weights[e];
+        if (w < 0.0) negative_weight.store(true, std::memory_order_relaxed);
+        row += w;
+      }
+      s.dangling[u] = row <= 0.0 ? 1 : 0;
+      s.row_weight[u] = row <= 0.0 ? 0.0 : 1.0 / row;
+    }
+  });
+  if (negative_weight.load()) {
+    return Status::InvalidArgument("negative edge weight");
+  }
+
+  std::vector<double> scores = BuildInitialScores(n, initial_scores);
+  RankResult result;
+  const double* inv_row = s.row_weight.data();
+  if (uniform_weights) {
+    RunPowerLoop(a, jump, options, pool, s, scores, result,
+                 [inv_row](EdgeId, NodeId u) { return inv_row[u]; });
+  } else {
+    const double* w_in = in_edge_weights.data();
+    RunPowerLoop(a, jump, options, pool, s, scores, result,
+                 [inv_row, w_in](EdgeId p, NodeId u) {
+                   return w_in[p] * inv_row[u];
+                 });
   }
   result.scores = std::move(scores);
   return result;
 }
 
 Result<RankResult> PageRankRanker::RankImpl(const RankContext& ctx) const {
-  SCHOLAR_RETURN_NOT_OK(ValidateContext(ctx, /*requires_authors=*/false));
+  SCHOLAR_RETURN_NOT_OK(ValidateContext(ctx, /*requires_authors=*/false,
+                                        /*requires_venues=*/false,
+                                        /*accepts_views=*/true));
   PowerIterationOptions options = options_;
   options.threads = static_cast<int>(EffectiveThreads(options.threads, ctx));
   const std::vector<double> no_initial;
-  return WeightedPowerIteration(
-      *ctx.graph, /*edge_weights=*/{}, /*jump=*/{}, options,
-      ctx.initial_scores != nullptr ? *ctx.initial_scores : no_initial,
-      ctx.scratch);
+  const std::vector<double>& initial =
+      ctx.initial_scores != nullptr ? *ctx.initial_scores : no_initial;
+  if (ctx.view != nullptr) {
+    return WeightedPowerIterationOnView(*ctx.view, /*out_edge_weights=*/{},
+                                        /*in_edge_weights=*/{}, /*jump=*/{},
+                                        options, initial, ctx.scratch);
+  }
+  return WeightedPowerIteration(*ctx.graph, /*edge_weights=*/{}, /*jump=*/{},
+                                options, initial, ctx.scratch);
 }
 
 }  // namespace scholar

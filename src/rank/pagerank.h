@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "graph/graph_access.h"
 #include "rank/ranker.h"
 #include "util/thread_pool.h"
 
@@ -46,6 +47,7 @@ class PowerIterationScratch {
   std::vector<double> partial;      // ordered per-chunk reduction terms
   std::vector<uint8_t> dangling;    // 1 = weighted out-degree is zero
   std::vector<EdgeId> cursor;       // in-CSR fill cursor for the scatter
+  ViewRowEnds view_rows;            // per-row prefix limits (view solver)
 
  private:
   std::unique_ptr<ThreadPool> pool_;
@@ -92,6 +94,29 @@ Result<RankResult> WeightedPowerIteration(
     const std::vector<double>& initial_scores = {},
     PowerIterationScratch* scratch = nullptr);
 
+/// WeightedPowerIteration on a zero-copy temporal snapshot.
+///
+/// Same fixed point and the same bit-exact arithmetic as running
+/// WeightedPowerIteration on the materialized snapshot (ExtractSnapshot of
+/// the view's sorted parent graph), with no per-snapshot O(m) state: instead
+/// of precomputing per-edge transition probabilities, each gather term is
+/// formed on the fly as `in_edge_weights[p] * inv_row[source]` — IEEE
+/// multiplication is deterministic, so the products are the very doubles the
+/// materialized path stores. Only an O(V) inverted-row-weight array and the
+/// O(V) row prefix limits are per-snapshot; the weight arrays are shared,
+/// read-only, full-parent-CSR-sized.
+///
+/// `out_edge_weights` / `in_edge_weights` are the same weights in out-edge
+/// and in-edge order respectively, sized to the *parent* graph's edge count
+/// (both empty = uniform). `jump` and `initial_scores` are view-sized
+/// (view-local node ids).
+Result<RankResult> WeightedPowerIterationOnView(
+    const SnapshotView& view, const std::vector<double>& out_edge_weights,
+    const std::vector<double>& in_edge_weights, const std::vector<double>& jump,
+    const PowerIterationOptions& options,
+    const std::vector<double>& initial_scores = {},
+    PowerIterationScratch* scratch = nullptr);
+
 /// Pads a score vector from a smaller prefix-snapshot of a graph up to
 /// `new_num_nodes` (new articles get the mean existing score) — the warm
 /// start for incremental re-ranking after a corpus grows. Returns a uniform
@@ -108,6 +133,7 @@ class PageRankRanker : public Ranker {
 
   std::string name() const override { return "pagerank"; }
   Result<RankResult> RankImpl(const RankContext& ctx) const override;
+  bool SupportsSnapshotViews() const override { return true; }
 
   const PowerIterationOptions& options() const { return options_; }
 

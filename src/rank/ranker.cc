@@ -3,9 +3,20 @@
 #include <algorithm>
 #include <numeric>
 
+#include "graph/temporal_csr.h"
 #include "util/parallel_for.h"
 
 namespace scholar {
+
+size_t RankContext::NumNodes() const {
+  if (graph != nullptr) return graph->num_nodes();
+  return view != nullptr ? view->num_nodes() : 0;
+}
+
+Year RankContext::EffectiveNow() const {
+  if (now_year != kUnknownYear) return now_year;
+  return graph != nullptr ? graph->max_year() : view->max_year();
+}
 
 Ranker::~Ranker() = default;
 
@@ -80,19 +91,28 @@ std::vector<NodeId> TopK(const std::vector<double>& scores, size_t k) {
 }
 
 Status ValidateContext(const RankContext& ctx, bool requires_authors,
-                       bool requires_venues) {
-  if (ctx.graph == nullptr) {
+                       bool requires_venues, bool accepts_views) {
+  if (ctx.graph == nullptr && ctx.view == nullptr) {
     return Status::InvalidArgument("RankContext.graph is null");
   }
+  if (ctx.graph != nullptr && ctx.view != nullptr) {
+    return Status::InvalidArgument(
+        "RankContext sets both graph and view; set exactly one");
+  }
+  if (ctx.view != nullptr && !accepts_views) {
+    return Status::InvalidArgument(
+        "this ranker does not support snapshot views (RankContext.view)");
+  }
+  const size_t n = ctx.NumNodes();
   if (requires_authors) {
     if (ctx.authors == nullptr) {
       return Status::InvalidArgument(
           "this ranker requires a paper-author map (RankContext.authors)");
     }
-    if (ctx.authors->num_papers() != ctx.graph->num_nodes()) {
+    if (ctx.authors->num_papers() != n) {
       return Status::InvalidArgument(
           "author map covers " + std::to_string(ctx.authors->num_papers()) +
-          " papers but graph has " + std::to_string(ctx.graph->num_nodes()));
+          " papers but graph has " + std::to_string(n));
     }
   }
   if (requires_venues) {
@@ -100,18 +120,16 @@ Status ValidateContext(const RankContext& ctx, bool requires_authors,
       return Status::InvalidArgument(
           "this ranker requires per-article venues (RankContext.venues)");
     }
-    if (ctx.venues->size() != ctx.graph->num_nodes()) {
+    if (ctx.venues->size() != n) {
       return Status::InvalidArgument(
           "venue vector covers " + std::to_string(ctx.venues->size()) +
-          " articles but graph has " +
-          std::to_string(ctx.graph->num_nodes()));
+          " articles but graph has " + std::to_string(n));
     }
   }
-  if (ctx.initial_scores != nullptr &&
-      ctx.initial_scores->size() != ctx.graph->num_nodes()) {
+  if (ctx.initial_scores != nullptr && ctx.initial_scores->size() != n) {
     return Status::InvalidArgument(
         "initial_scores has " + std::to_string(ctx.initial_scores->size()) +
-        " entries but graph has " + std::to_string(ctx.graph->num_nodes()));
+        " entries but graph has " + std::to_string(n));
   }
   return Status::OK();
 }

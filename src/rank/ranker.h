@@ -11,12 +11,20 @@
 namespace scholar {
 
 struct PowerIterationScratch;  // rank/pagerank.h
+class SnapshotView;            // graph/temporal_csr.h
+class TwprWeightCache;         // rank/time_weighted_pagerank.h
 
-/// Everything a ranker may consume. Only `graph` is mandatory; rankers that
-/// need more (FutureRank needs `authors`) return InvalidArgument when it is
-/// missing, so that capability mismatches surface as Status, not crashes.
+/// Everything a ranker may consume. Exactly one of `graph` and `view` is
+/// mandatory; rankers that need more (FutureRank needs `authors`) return
+/// InvalidArgument when it is missing, so that capability mismatches surface
+/// as Status, not crashes.
 struct RankContext {
   const CitationGraph* graph = nullptr;
+  /// Zero-copy temporal snapshot to rank instead of a full graph. Only
+  /// rankers whose SupportsSnapshotViews() returns true accept it; node ids
+  /// in scores/initial_scores are the view's (sorted-space) ids. Mutually
+  /// exclusive with `graph`.
+  const SnapshotView* view = nullptr;
   /// Optional paper-author map; `authors->num_papers()` must equal
   /// `graph->num_nodes()` when present.
   const PaperAuthors* authors = nullptr;
@@ -35,16 +43,22 @@ struct RankContext {
   /// ranks so the O(n + m) solver buffers are allocated once, not k times.
   /// Never share one scratch between concurrent Rank calls.
   PowerIterationScratch* scratch = nullptr;
+  /// Optional shared cache of TWPR's exponential-decay edge weights on the
+  /// view's parent graph (they depend only on year gaps, so they are
+  /// invariant across snapshots). Thread-safe; the ensemble shares one
+  /// across all snapshot ranks. Only consulted when ranking a view.
+  TwprWeightCache* twpr_cache = nullptr;
   /// Caps the worker threads a ranker may use for this call; 0 = no cap
   /// (the ranker's own `threads` option decides). The ensemble sets 1 on
   /// its per-snapshot sub-contexts when it already parallelizes across
   /// snapshots, so the two levels never oversubscribe the machine.
   int max_threads = 0;
 
-  /// now_year with the default applied.
-  Year EffectiveNow() const {
-    return now_year == kUnknownYear ? graph->max_year() : now_year;
-  }
+  /// Node count of whichever of graph/view is set (0 when neither is).
+  size_t NumNodes() const;
+
+  /// now_year with the default applied (graph/view max_year()).
+  Year EffectiveNow() const;
 };
 
 /// Output of one ranking run.
@@ -85,6 +99,11 @@ class Ranker {
     return RankImpl(ctx);
   }
 
+  /// True when RankImpl accepts RankContext.view (a zero-copy temporal
+  /// snapshot) in place of a full graph. Callers like the ensemble use this
+  /// to decide between the view path and materialized snapshots.
+  virtual bool SupportsSnapshotViews() const { return false; }
+
  private:
   /// The algorithm. Implementations validate the context themselves (see
   /// ValidateContext).
@@ -110,10 +129,13 @@ std::vector<double> MidrankPercentiles(const std::vector<double>& scores);
 /// break by node id). k is clamped to scores.size().
 std::vector<NodeId> TopK(const std::vector<double>& scores, size_t k);
 
-/// Validates a context (non-null graph, optional-field shapes). Shared by
-/// ranker implementations.
+/// Validates a context (exactly one of graph/view set, optional-field
+/// shapes). Shared by ranker implementations. Rankers that rank views pass
+/// `accepts_views = true`; everyone else rejects a view context with
+/// InvalidArgument.
 Status ValidateContext(const RankContext& ctx, bool requires_authors,
-                       bool requires_venues = false);
+                       bool requires_venues = false,
+                       bool accepts_views = false);
 
 /// Worker count a ranker should use: `option_threads` resolved (0 = auto =
 /// hardware concurrency) and clamped by `ctx.max_threads`. Shared by every

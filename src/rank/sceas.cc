@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "graph/graph_access.h"
 #include "util/parallel_for.h"
 
 namespace scholar {
@@ -20,7 +21,9 @@ constexpr size_t kNodeGrain = 2048;
 SceasRanker::SceasRanker(SceasOptions options) : options_(options) {}
 
 Result<RankResult> SceasRanker::RankImpl(const RankContext& ctx) const {
-  SCHOLAR_RETURN_NOT_OK(ValidateContext(ctx, /*requires_authors=*/false));
+  SCHOLAR_RETURN_NOT_OK(ValidateContext(ctx, /*requires_authors=*/false,
+                                        /*requires_venues=*/false,
+                                        /*accepts_views=*/true));
   if (options_.a <= 1.0) {
     return Status::InvalidArgument(
         "a must be > 1 for the SceasRank iteration to contract, got " +
@@ -32,14 +35,16 @@ Result<RankResult> SceasRanker::RankImpl(const RankContext& ctx) const {
   if (options_.max_iterations <= 0) {
     return Status::InvalidArgument("max_iterations must be positive");
   }
-  const CitationGraph& g = *ctx.graph;
-  const size_t n = g.num_nodes();
+  const size_t n = ctx.NumNodes();
   if (n == 0) return RankResult{};
 
   const size_t workers = EffectiveThreads(options_.threads, ctx);
   std::unique_ptr<ThreadPool> owned_pool =
       workers > 1 ? std::make_unique<ThreadPool>(workers - 1) : nullptr;
   ThreadPool* pool = owned_pool.get();
+  ViewRowEnds rows;
+  const GraphAccess g = ctx.view != nullptr ? AccessOf(*ctx.view, &rows, pool)
+                                            : AccessOf(*ctx.graph);
 
   // s(v) = Σ_{u cites v} (s(u) + b) / (a · outdeg(u)), evaluated as a pull
   // over the in-CSR with the per-source share hoisted into share[] — no
@@ -66,7 +71,9 @@ Result<RankResult> SceasRanker::RankImpl(const RankContext& ctx) const {
       double residual_part = 0.0;
       for (NodeId v = static_cast<NodeId>(begin); v < end; ++v) {
         double acc = 0.0;
-        for (NodeId u : g.Citers(v)) acc += share[u];
+        for (EdgeId p = g.in_begin[v]; p < g.in_end[v]; ++p) {
+          acc += share[g.in_neighbors[p]];
+        }
         next[v] = acc;
         residual_part += std::abs(acc - scores[v]);
       }

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <string>
 
+#include "graph/temporal_csr.h"
+#include "util/logging.h"
 #include "util/parallel_for.h"
 
 namespace scholar {
@@ -38,9 +40,33 @@ std::vector<double> TimeWeightedPageRank::ComputeEdgeWeights(
   return weights;
 }
 
+std::vector<double> TimeWeightedPageRank::ComputeInEdgeWeights(
+    const CitationGraph& graph, double sigma, ThreadPool* pool) {
+  std::vector<double> weights(graph.num_edges());
+  ParallelFor(pool, graph.num_nodes(), kNodeGrain,
+              [&](size_t begin, size_t end) {
+    for (NodeId v = static_cast<NodeId>(begin); v < end; ++v) {
+      const Year tv = graph.year(v);
+      const EdgeId first = graph.in_offsets()[v];
+      const EdgeId last = graph.in_offsets()[v + 1];
+      for (EdgeId p = first; p < last; ++p) {
+        const Year tu = graph.year(graph.in_neighbors()[p]);
+        const double gap = std::max(0, tu - tv);
+        weights[p] = std::exp(-sigma * gap);
+      }
+    }
+  });
+  return weights;
+}
+
 std::vector<double> TimeWeightedPageRank::ComputeRecencyJump(
     const CitationGraph& graph, double rho, Year now, ThreadPool* pool) {
-  const size_t n = graph.num_nodes();
+  return ComputeRecencyJump(graph.years().data(), graph.num_nodes(), rho, now,
+                            pool);
+}
+
+std::vector<double> TimeWeightedPageRank::ComputeRecencyJump(
+    const Year* years, size_t n, double rho, Year now, ThreadPool* pool) {
   std::vector<double> jump(n);
   const size_t chunks = ChunkCount(n, kNodeGrain);
   std::vector<double> partial(chunks, 0.0);
@@ -48,7 +74,7 @@ std::vector<double> TimeWeightedPageRank::ComputeRecencyJump(
                     [&](size_t chunk, size_t begin, size_t end) {
     double part = 0.0;
     for (NodeId v = static_cast<NodeId>(begin); v < end; ++v) {
-      const double age = std::max(0, now - graph.year(v));
+      const double age = std::max(0, now - years[v]);
       jump[v] = std::exp(-rho * age);
       part += jump[v];
     }
@@ -67,8 +93,29 @@ std::vector<double> TimeWeightedPageRank::ComputeRecencyJump(
   return jump;
 }
 
+const TwprWeightCache::Weights& TwprWeightCache::GetOrCompute(
+    const CitationGraph& graph, double sigma, ThreadPool* pool) {
+  MutexLock lock(mu_);
+  if (!ready_) {
+    weights_.out_order =
+        TimeWeightedPageRank::ComputeEdgeWeights(graph, sigma, pool);
+    weights_.in_order =
+        TimeWeightedPageRank::ComputeInEdgeWeights(graph, sigma, pool);
+    graph_ = &graph;
+    sigma_ = sigma;
+    ready_ = true;
+  } else {
+    // One cache serves one (graph, sigma) pair; exact compare is the
+    // contract (same double every call).  NOLINT(float-compare)
+    SCHOLAR_CHECK(graph_ == &graph && sigma_ == sigma);  // NOLINT(float-compare)
+  }
+  return weights_;
+}
+
 Result<RankResult> TimeWeightedPageRank::RankImpl(const RankContext& ctx) const {
-  SCHOLAR_RETURN_NOT_OK(ValidateContext(ctx, /*requires_authors=*/false));
+  SCHOLAR_RETURN_NOT_OK(ValidateContext(ctx, /*requires_authors=*/false,
+                                        /*requires_venues=*/false,
+                                        /*accepts_views=*/true));
   if (options_.sigma < 0.0) {
     return Status::InvalidArgument("sigma must be >= 0, got " +
                                    std::to_string(options_.sigma));
@@ -77,7 +124,6 @@ Result<RankResult> TimeWeightedPageRank::RankImpl(const RankContext& ctx) const 
     return Status::InvalidArgument("rho must be >= 0, got " +
                                    std::to_string(options_.rho));
   }
-  const CitationGraph& g = *ctx.graph;
   PowerIterationOptions power = options_.power;
   power.threads = static_cast<int>(EffectiveThreads(power.threads, ctx));
 
@@ -87,17 +133,38 @@ Result<RankResult> TimeWeightedPageRank::RankImpl(const RankContext& ctx) const 
   PowerIterationScratch* scratch =
       ctx.scratch != nullptr ? ctx.scratch : &local_scratch;
   ThreadPool* pool = scratch->PoolFor(static_cast<size_t>(power.threads));
+  const std::vector<double> no_initial;
+  const std::vector<double>& initial =
+      ctx.initial_scores != nullptr ? *ctx.initial_scores : no_initial;
 
+  if (ctx.view != nullptr) {
+    const SnapshotView& view = *ctx.view;
+    if (view.num_nodes() == 0) return RankResult{};
+    // Decay weights depend only on year gaps, so the full-parent arrays are
+    // valid for every snapshot: fetch them from the shared cache (computed
+    // at most once per ensemble) or compute locally for a one-off call.
+    TwprWeightCache local_cache;
+    TwprWeightCache& cache =
+        ctx.twpr_cache != nullptr ? *ctx.twpr_cache : local_cache;
+    const TwprWeightCache::Weights& weights = cache.GetOrCompute(
+        view.temporal_csr()->sorted_graph(), options_.sigma, pool);
+    std::vector<double> jump;
+    if (options_.recency_jump) {
+      jump = ComputeRecencyJump(view.parent_years().data(), view.num_nodes(),
+                                options_.rho, ctx.EffectiveNow(), pool);
+    }
+    return WeightedPowerIterationOnView(view, weights.out_order,
+                                        weights.in_order, jump, power, initial,
+                                        scratch);
+  }
+
+  const CitationGraph& g = *ctx.graph;
   std::vector<double> weights = ComputeEdgeWeights(g, options_.sigma, pool);
   std::vector<double> jump;
   if (options_.recency_jump && g.num_nodes() > 0) {
     jump = ComputeRecencyJump(g, options_.rho, ctx.EffectiveNow(), pool);
   }
-  const std::vector<double> no_initial;
-  return WeightedPowerIteration(
-      g, weights, jump, power,
-      ctx.initial_scores != nullptr ? *ctx.initial_scores : no_initial,
-      scratch);
+  return WeightedPowerIteration(g, weights, jump, power, initial, scratch);
 }
 
 }  // namespace scholar

@@ -6,6 +6,7 @@
 
 #include "rank/pagerank.h"
 #include "rank/ranker.h"
+#include "util/mutex.h"
 
 namespace scholar {
 
@@ -42,6 +43,7 @@ class TimeWeightedPageRank : public Ranker {
 
   std::string name() const override { return "twpr"; }
   Result<RankResult> RankImpl(const RankContext& ctx) const override;
+  bool SupportsSnapshotViews() const override { return true; }
 
   const TwprOptions& options() const { return options_; }
 
@@ -52,6 +54,14 @@ class TimeWeightedPageRank : public Ranker {
                                                 double sigma,
                                                 ThreadPool* pool = nullptr);
 
+  /// Same weights in *in-edge* order (aligned with graph.in_neighbors()):
+  /// entry p is exp(-sigma * gap(citer, row owner)). The view solver's
+  /// pull-gather consumes this order directly, so no per-snapshot scatter
+  /// pass is needed.
+  static std::vector<double> ComputeInEdgeWeights(const CitationGraph& graph,
+                                                  double sigma,
+                                                  ThreadPool* pool = nullptr);
+
   /// Exposed for tests: the recency teleport distribution (sums to 1).
   /// `pool` (optional) parallelizes the sweep; the normalizing total is an
   /// ordered per-chunk reduction, so the result is bit-identical with and
@@ -60,8 +70,46 @@ class TimeWeightedPageRank : public Ranker {
                                                 double rho, Year now,
                                                 ThreadPool* pool = nullptr);
 
+  /// Span core of ComputeRecencyJump: the distribution over
+  /// `years[0 .. n)`. A snapshot view passes the prefix of its sorted
+  /// parent's year array, giving the same chunk geometry — and therefore
+  /// bit-identical output — as the materialized snapshot of the same n.
+  static std::vector<double> ComputeRecencyJump(const Year* years, size_t n,
+                                                double rho, Year now,
+                                                ThreadPool* pool = nullptr);
+
  private:
   TwprOptions options_;
+};
+
+/// Compute-once, share-everywhere store for TWPR's exponential-decay edge
+/// weights on one (graph, sigma) pair. The weights depend only on the year
+/// gap across each edge, so they are invariant across temporal snapshots of
+/// the graph — the ensemble computes them once on the full sorted parent and
+/// every per-snapshot rank reuses them read-only through the view solver.
+///
+/// Thread-safe: the first caller computes under the lock, concurrent callers
+/// block and then share the result. All callers must pass the same graph and
+/// sigma for the lifetime of the cache (checked).
+class TwprWeightCache {
+ public:
+  struct Weights {
+    std::vector<double> out_order;  // aligned with graph.out_neighbors()
+    std::vector<double> in_order;   // aligned with graph.in_neighbors()
+  };
+
+  /// Returns the weights of `graph` at `sigma`, computing them on the first
+  /// call (`pool`, optional, parallelizes only that computation). The
+  /// returned reference is valid and immutable for the cache's lifetime.
+  const Weights& GetOrCompute(const CitationGraph& graph, double sigma,
+                              ThreadPool* pool = nullptr);
+
+ private:
+  Mutex mu_;
+  bool ready_ GUARDED_BY(mu_) = false;
+  const CitationGraph* graph_ GUARDED_BY(mu_) = nullptr;
+  double sigma_ GUARDED_BY(mu_) = 0.0;
+  Weights weights_ GUARDED_BY(mu_);
 };
 
 }  // namespace scholar

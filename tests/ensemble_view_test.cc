@@ -1,0 +1,205 @@
+// Property tests for the ensemble's zero-copy temporal-view path: it must
+// be bitwise indistinguishable from the legacy materialized-snapshot path
+// (options.materialize_snapshots — the oracle) on every graph, slice
+// count, thread count, warm-start mode, and view-capable base ranker.
+
+#include "ensemble/ensemble_ranker.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "core/registry.h"
+#include "rank/hits.h"
+#include "rank/katz.h"
+#include "rank/pagerank.h"
+#include "rank/sceas.h"
+#include "rank/time_weighted_pagerank.h"
+#include "test_util.h"
+#include "util/config.h"
+
+namespace scholar {
+namespace {
+
+using testing_util::MakeRandomGraph;
+using testing_util::MakeShuffledYearGraph;
+
+/// Runs one EnsembleOptions config in both modes and requires bitwise
+/// equality of scores and per-snapshot details.
+void ExpectViewMatchesMaterialized(std::shared_ptr<const Ranker> base,
+                                   const CitationGraph& g,
+                                   EnsembleOptions options,
+                                   const std::string& label) {
+  RankContext ctx;
+  ctx.graph = &g;
+
+  options.materialize_snapshots = false;
+  EnsembleRanker view_ens(base, options);
+  std::vector<EnsembleRanker::SnapshotDetail> view_details;
+  Result<RankResult> view_result = view_ens.RankWithDetails(ctx, &view_details);
+  ASSERT_TRUE(view_result.ok()) << label << ": "
+                                << view_result.status().ToString();
+
+  options.materialize_snapshots = true;
+  EnsembleRanker mat_ens(base, options);
+  std::vector<EnsembleRanker::SnapshotDetail> mat_details;
+  Result<RankResult> mat_result = mat_ens.RankWithDetails(ctx, &mat_details);
+  ASSERT_TRUE(mat_result.ok()) << label << ": "
+                               << mat_result.status().ToString();
+
+  EXPECT_EQ(view_result.value().iterations, mat_result.value().iterations)
+      << label;
+  // Bitwise, not approximate: both modes must execute identical arithmetic.
+  EXPECT_TRUE(view_result.value().scores == mat_result.value().scores)
+      << label;
+
+  ASSERT_EQ(view_details.size(), mat_details.size()) << label;
+  for (size_t i = 0; i < view_details.size(); ++i) {
+    EXPECT_EQ(view_details[i].boundary_year, mat_details[i].boundary_year);
+    EXPECT_EQ(view_details[i].num_nodes, mat_details[i].num_nodes);
+    EXPECT_EQ(view_details[i].num_edges, mat_details[i].num_edges);
+    EXPECT_EQ(view_details[i].iterations, mat_details[i].iterations);
+  }
+}
+
+std::shared_ptr<const Ranker> TwprBase() {
+  TwprOptions o;
+  o.recency_jump = true;
+  return std::make_shared<TimeWeightedPageRank>(o);
+}
+
+TEST(EnsembleViewTest, MatchesMaterializedAcrossGraphsSlicesAndThreads) {
+  for (uint64_t seed : {1u, 2u}) {
+    CitationGraph g = MakeShuffledYearGraph(250, 3.0, 2000, 12, seed);
+    for (int num_slices : {1, 3, 5}) {
+      for (int threads : {1, 2, 4, 8}) {
+        for (bool warm : {false, true}) {
+          EnsembleOptions o;
+          o.num_slices = num_slices;
+          o.threads = threads;
+          o.warm_start = warm;
+          ExpectViewMatchesMaterialized(
+              TwprBase(), g, o,
+              "seed=" + std::to_string(seed) +
+                  " slices=" + std::to_string(num_slices) +
+                  " threads=" + std::to_string(threads) +
+                  " warm=" + std::to_string(warm));
+        }
+      }
+    }
+  }
+}
+
+TEST(EnsembleViewTest, MatchesMaterializedOnYearMonotoneGraphs) {
+  // Identity fast path: node ids already year-sorted.
+  CitationGraph g = MakeRandomGraph(300, 3.0, 1995, 10, 3);
+  for (bool warm : {false, true}) {
+    EnsembleOptions o;
+    o.warm_start = warm;
+    o.threads = 4;
+    ExpectViewMatchesMaterialized(TwprBase(), g, o,
+                                  "identity warm=" + std::to_string(warm));
+  }
+}
+
+TEST(EnsembleViewTest, MatchesMaterializedForEveryViewCapableBase) {
+  CitationGraph g = MakeShuffledYearGraph(220, 3.0, 2001, 9, 4);
+  std::vector<std::shared_ptr<const Ranker>> bases = {
+      std::make_shared<PageRankRanker>(),
+      TwprBase(),
+      std::make_shared<HitsRanker>(),
+      std::make_shared<KatzRanker>(),
+      std::make_shared<SceasRanker>(),
+  };
+  for (const auto& base : bases) {
+    for (bool warm : {false, true}) {
+      EnsembleOptions o;
+      o.num_slices = 4;
+      o.threads = 4;
+      o.warm_start = warm;
+      ExpectViewMatchesMaterialized(
+          base, g, o, base->name() + " warm=" + std::to_string(warm));
+    }
+  }
+}
+
+TEST(EnsembleViewTest, MatchesMaterializedAcrossScopesCombinersAndWindow) {
+  CitationGraph g = MakeShuffledYearGraph(220, 3.0, 2000, 10, 5);
+  for (NormalizationScope scope :
+       {NormalizationScope::kSnapshot, NormalizationScope::kSliceCohort,
+        NormalizationScope::kYearCohort}) {
+    for (EnsembleCombiner combiner :
+         {EnsembleCombiner::kMean, EnsembleCombiner::kRecencyWeighted}) {
+      for (int window : {0, 2}) {
+        EnsembleOptions o;
+        o.num_slices = 5;
+        o.scope = scope;
+        o.combiner = combiner;
+        o.window = window;
+        o.threads = 2;
+        ExpectViewMatchesMaterialized(
+            TwprBase(), g, o,
+            "scope=" + NormalizationScopeToString(scope) +
+                " combiner=" + EnsembleCombinerToString(combiner) +
+                " window=" + std::to_string(window));
+      }
+    }
+  }
+}
+
+TEST(EnsembleViewTest, ViewPathIsThreadCountInvariant) {
+  CitationGraph g = MakeShuffledYearGraph(250, 3.0, 2000, 10, 6);
+  RankContext ctx;
+  ctx.graph = &g;
+  std::vector<double> serial_scores;
+  for (bool warm : {false, true}) {
+    for (int threads : {1, 2, 4, 8}) {
+      EnsembleOptions o;
+      o.warm_start = warm;
+      o.threads = threads;
+      EnsembleRanker ens(TwprBase(), o);
+      Result<RankResult> result = ens.Rank(ctx);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      if (threads == 1) {
+        serial_scores = std::move(result.value().scores);
+      } else {
+        EXPECT_TRUE(result.value().scores == serial_scores)
+            << "warm=" << warm << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(EnsembleViewTest, NonViewBaseStillWorksViaLegacyFallback) {
+  // cc has no view support, so the ensemble silently takes the legacy
+  // materialized path; the result must simply be well-formed.
+  CitationGraph g = MakeShuffledYearGraph(150, 2.0, 2000, 8, 7);
+  Result<std::shared_ptr<const Ranker>> ens = MakeRanker("ens_cc");
+  ASSERT_TRUE(ens.ok());
+  RankContext ctx;
+  ctx.graph = &g;
+  Result<RankResult> result = ens.value()->Rank(ctx);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().scores.size(), g.num_nodes());
+}
+
+TEST(EnsembleViewTest, RegistryParsesMaterializeSnapshotsKnob) {
+  Config config;
+  config.SetBool("materialize_snapshots", true);
+  Result<std::shared_ptr<const Ranker>> r = MakeRanker("ens_twpr", config);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto* ens = dynamic_cast<const EnsembleRanker*>(r.value().get());
+  ASSERT_NE(ens, nullptr);
+  EXPECT_TRUE(ens->options().materialize_snapshots);
+
+  Result<std::shared_ptr<const Ranker>> def = MakeRanker("ens_twpr");
+  ASSERT_TRUE(def.ok());
+  const auto* def_ens =
+      dynamic_cast<const EnsembleRanker*>(def.value().get());
+  ASSERT_NE(def_ens, nullptr);
+  EXPECT_FALSE(def_ens->options().materialize_snapshots);
+}
+
+}  // namespace
+}  // namespace scholar

@@ -1,0 +1,14 @@
+// Fixture: ExtractSnapshot call sites outside the time slicer must be
+// flagged (ranking code is expected to consume zero-copy views).
+#include "graph/time_slicer.h"
+
+namespace scholar {
+
+void RankAllSnapshots(const CitationGraph& g) {
+  Snapshot first = ExtractSnapshot(g, 2000);
+  Snapshot second = ExtractSnapshot(g, 2010);
+  (void)first;
+  (void)second;
+}
+
+}  // namespace scholar

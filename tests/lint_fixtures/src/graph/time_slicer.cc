@@ -1,0 +1,11 @@
+// Fixture: the time slicer implementation itself may call (and define)
+// ExtractSnapshot without suppression.
+#include "graph/time_slicer.h"
+
+namespace scholar {
+
+Snapshot ExtractSnapshotThrough(const CitationGraph& g, Year boundary) {
+  return ExtractSnapshot(g, boundary);
+}
+
+}  // namespace scholar

@@ -120,6 +120,25 @@ TEST(ScholarLintTest, NolintWithWrongRuleDoesNotSuppress) {
   EXPECT_EQ(CountOccurrences(run.output, "raw-stdout:"), 1u) << run.output;
 }
 
+TEST(ScholarLintTest, MaterializeSnapshotFiresOutsideTimeSlicer) {
+  LintRun run = RunLint({Fixture("src/ensemble/bad_materialize.cc")});
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "materialize-snapshot:"), 2u)
+      << run.output;
+}
+
+TEST(ScholarLintTest, MaterializeSnapshotQuietOnNolintAndNonCalls) {
+  LintRun run = RunLint({Fixture("src/ensemble/good_materialize.cc")});
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(run.output, "");
+}
+
+TEST(ScholarLintTest, MaterializeSnapshotQuietInsideTimeSlicer) {
+  LintRun run = RunLint({Fixture("src/graph/time_slicer.cc")});
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(run.output, "");
+}
+
 TEST(ScholarLintTest, MultiFileRunIsNonzeroIfAnyFileViolates) {
   LintRun run = RunLint({Fixture("src/graph/good_include_order.cc"),
                          Fixture("src/core/bad_stdout.cc"),

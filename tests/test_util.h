@@ -49,6 +49,34 @@ inline CitationGraph MakeRandomGraph(size_t n, double avg_degree,
   return std::move(g).value();
 }
 
+/// Random graph whose node ids are NOT year-sorted: years are assigned
+/// independently of id, so TemporalCsr must take its permutation path
+/// (MakeRandomGraph's graphs are year-monotone and hit the identity fast
+/// path instead). A few time-travel citations are kept deliberately —
+/// real datasets contain them and snapshots must agree on them too.
+inline CitationGraph MakeShuffledYearGraph(size_t n, double avg_degree,
+                                           Year start_year, int num_years,
+                                           uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder builder;
+  for (size_t i = 0; i < n; ++i) {
+    builder.AddNode(start_year +
+                    static_cast<Year>(rng.NextBounded(
+                        static_cast<uint64_t>(num_years))));
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    size_t degree = rng.NextBounded(static_cast<uint64_t>(2 * avg_degree) + 1);
+    for (size_t d = 0; d < degree; ++d) {
+      NodeId v = static_cast<NodeId>(rng.NextBounded(n));
+      if (v == u) continue;
+      SCHOLAR_CHECK_OK(builder.AddEdge(u, v));
+    }
+  }
+  Result<CitationGraph> g = std::move(builder).Build();
+  SCHOLAR_CHECK(g.ok()) << g.status().ToString();
+  return std::move(g).value();
+}
+
 /// The 5-node teaching graph used across several tests:
 ///
 ///   years:  0:2000  1:2001  2:2002  3:2003  4:2004

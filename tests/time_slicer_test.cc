@@ -44,6 +44,30 @@ TEST(ExtractSnapshotTest, BoundaryBeforeEverythingIsEmpty) {
   EXPECT_EQ(snap.graph.num_edges(), 0u);
 }
 
+TEST(ExtractSnapshotTest, EmptySnapshotReportsUnknownBoundaryYear) {
+  // Regression: an empty snapshot used to report the requested boundary as
+  // its boundary_year, implying it contained articles through that year.
+  CitationGraph g = MakeTinyGraph();
+  Snapshot snap = ExtractSnapshot(g, 1999);
+  EXPECT_EQ(snap.boundary_year, kUnknownYear);
+}
+
+TEST(ExtractSnapshotTest, NonEmptySnapshotKeepsRequestedBoundaryYear) {
+  CitationGraph g = MakeTinyGraph();  // years 2000..2004
+  // The requested boundary (not the max kept year) is the contract.
+  Snapshot snap = ExtractSnapshot(g, 2010);
+  EXPECT_EQ(snap.graph.num_nodes(), g.num_nodes());
+  EXPECT_EQ(snap.boundary_year, 2010);
+}
+
+TEST(ExtractInducedSubgraphTest, AllFalseMaskYieldsUnknownBoundaryYear) {
+  CitationGraph g = MakeTinyGraph();
+  std::vector<bool> mask(g.num_nodes(), false);
+  Snapshot snap = ExtractInducedSubgraph(g, mask);
+  EXPECT_EQ(snap.graph.num_nodes(), 0u);
+  EXPECT_EQ(snap.boundary_year, kUnknownYear);
+}
+
 TEST(ExtractInducedSubgraphTest, ArbitraryMask) {
   CitationGraph g = MakeTinyGraph();
   std::vector<bool> mask = {true, false, true, true, false};

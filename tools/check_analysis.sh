@@ -37,7 +37,7 @@ for arg in "$@"; do
   esac
 done
 [ ${#FLAVORS[@]} -eq 0 ] && FLAVORS=(plain asan tsan ubsan tsa)
-[ "$FAST" -eq 1 ] && CTEST_ARGS+=("-L" "tier1")
+[ "$FAST" -eq 1 ] && CTEST_ARGS+=("-L" "tier1|bench_smoke")
 
 declare -A RESULT
 

@@ -19,6 +19,13 @@
 //                  and redirection keep working.
 //   include-order  a .cc file's own header is its first #include, which
 //                  proves the header is self-contained.
+//   materialize-snapshot
+//                  no ExtractSnapshot() calls outside the time-slicer
+//                  itself; ranking code must consume zero-copy
+//                  TemporalCsr/SnapshotView prefixes. Materializing costs
+//                  O(V+E) per snapshot and is reserved for oracle checks
+//                  and the legacy fallback, which say so with
+//                  NOLINT(materialize-snapshot).
 //
 // Diagnostics are `file:line: rule: message`, exit status is nonzero when
 // any violation survives. A `// NOLINT` comment suppresses every rule on
@@ -599,6 +606,35 @@ void CheckIncludeOrder(const LexedFile& f, Reporter* rep) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: materialize-snapshot
+// ---------------------------------------------------------------------------
+
+/// Flags ExtractSnapshot() call sites outside src/graph/time_slicer.{h,cc}.
+/// Each snapshot materialization copies O(V+E); the ensemble's zero-copy
+/// TemporalCsr views exist so ranking code never pays that. Oracle
+/// comparisons (tests, benches) and the legacy fallback are legitimate —
+/// they carry NOLINT(materialize-snapshot).
+void CheckMaterializeSnapshot(const LexedFile& f, Reporter* rep) {
+  if (PathContains(f.path, "src/graph/time_slicer.h") ||
+      PathContains(f.path, "src/graph/time_slicer.cc")) {
+    return;  // the implementation itself
+  }
+  const std::vector<Token>& t = f.tokens;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent || t[i].text != "ExtractSnapshot") {
+      continue;
+    }
+    const bool call = i + 1 < t.size() && t[i + 1].kind == TokKind::kPunct &&
+                      t[i + 1].text == "(";
+    if (!call) continue;  // declaration mention, qualified name, comment-free doc
+    rep->Report(t[i].line, "materialize-snapshot",
+                "ExtractSnapshot() copies O(V+E) per snapshot; rank through "
+                "zero-copy TemporalCsr::MakeView() instead, or mark oracle/"
+                "legacy sites with NOLINT(materialize-snapshot)");
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
 
@@ -617,6 +653,7 @@ int LintFile(const std::string& path, std::vector<Diagnostic>* all) {
   CheckRng(lexed, &rep);
   CheckRawStdout(lexed, &rep);
   CheckIncludeOrder(lexed, &rep);
+  CheckMaterializeSnapshot(lexed, &rep);
   all->insert(all->end(), rep.diagnostics().begin(), rep.diagnostics().end());
   return 0;
 }
@@ -630,7 +667,7 @@ int main(int argc, char** argv) {
     if (arg == "--help" || arg == "-h") {
       std::cout << "usage: scholar_lint file...\n"
                 << "rules: mutex-guard float-compare unseeded-rng "
-                   "raw-stdout include-order\n"
+                   "raw-stdout include-order materialize-snapshot\n"
                 << "suppress with // NOLINT or // NOLINT(rule-a,rule-b)\n";
       return 0;
     }
