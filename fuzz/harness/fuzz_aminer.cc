@@ -1,0 +1,27 @@
+// Fuzz target (c): the AMiner corpus reader.
+//
+// The richest untrusted decoder in the tree: a tagged record format with
+// titles, author lists, venues, external ids, and cross-record reference
+// resolution. Both the record scanner and the dense-id remapping must hold
+// up under arbitrary bytes.
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "data/dataset.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  constexpr size_t kMaxInputBytes = size_t{1} << 20;
+  if (size > kMaxInputBytes) return 0;
+  const std::string bytes(reinterpret_cast<const char*>(data), size);
+  std::istringstream in(bytes);
+  auto corpus = scholar::ReadAMinerCorpus(&in, "fuzz");
+  if (corpus.ok()) {
+    // A corpus the reader accepts must satisfy its own invariants; a parse
+    // that "succeeds" into an inconsistent corpus is as bad as a crash.
+    scholar::Status check = corpus.value().ConsistencyCheck();
+    if (!check.ok()) __builtin_trap();
+  }
+  return 0;
+}

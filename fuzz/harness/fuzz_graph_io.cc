@@ -1,0 +1,31 @@
+// Fuzz target (a): the graph edge/metadata loaders.
+//
+// The same bytes are offered to both on-disk formats — the
+// '#scholarrank-graph-v1' text format and the 'SRG1' binary CSR format —
+// because an attacker controls the whole file, magic included. The
+// contract under test: any input yields either a CitationGraph that passed
+// every structural check or a Status; never UB, a crash, or an unbounded
+// allocation.
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "graph/graph_io.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  // Bound per-input work so replay stays fast; libFuzzer mutation below
+  // this cap still reaches every parser state.
+  constexpr size_t kMaxInputBytes = size_t{1} << 20;
+  if (size > kMaxInputBytes) return 0;
+  const std::string bytes(reinterpret_cast<const char*>(data), size);
+  {
+    std::istringstream in(bytes);
+    scholar::ReadGraphText(&in).status();
+  }
+  {
+    std::istringstream in(bytes, std::ios::binary);
+    scholar::ReadGraphBinary(&in).status();
+  }
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Fuzz target (b): the ground-truth label parser.
+//
+// Labels arrive from outside the system (award lists, expert judgments),
+// making this the least-trusted text input the eval layer consumes. Any
+// byte sequence must come back as a label vector or a ParseError.
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "data/ground_truth.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  constexpr size_t kMaxInputBytes = size_t{1} << 20;
+  if (size > kMaxInputBytes) return 0;
+  const std::string bytes(reinterpret_cast<const char*>(data), size);
+  std::istringstream in(bytes);
+  scholar::ReadGroundTruthLabels(&in).status();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Fuzz target (e): the serve request parser, socket-free.
+//
+// Drives the same RequestFramer + QueryEngine pair the TCP server runs,
+// via the HandleRequestBytes() seam — so the fuzzer explores line
+// reassembly across chunk boundaries, the oversized-line bound, and every
+// request verb, without a socket in the loop. The engine is configured
+// with allow_reload=false: `reload` accepts file paths over the wire, and
+// a fuzzer must never be in a position to touch the filesystem.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "graph/graph_builder.h"
+#include "rank/ranker.h"
+#include "util/logging.h"
+#include "serve/query_engine.h"
+#include "serve/request_framer.h"
+#include "serve/snapshot.h"
+#include "serve/snapshot_manager.h"
+
+namespace {
+
+scholar::serve::SnapshotManager* Manager() {
+  static scholar::serve::SnapshotManager* manager = [] {
+    scholar::GraphBuilder builder;
+    for (int i = 0; i < 5; ++i) {
+      builder.AddNode(static_cast<scholar::Year>(2000 + i));
+    }
+    SCHOLAR_CHECK_OK(builder.AddEdge(1, 0));
+    SCHOLAR_CHECK_OK(builder.AddEdge(2, 0));
+    SCHOLAR_CHECK_OK(builder.AddEdge(3, 2));
+    SCHOLAR_CHECK_OK(builder.AddEdge(4, 2));
+    scholar::CitationGraph graph = std::move(builder).Build().value();
+
+    scholar::RankingOutput ranking;
+    ranking.scores = {0.30, 0.10, 0.25, 0.20, 0.15};
+    ranking.ranks = scholar::ScoresToRanks(ranking.scores);
+    ranking.percentiles = scholar::RankPercentiles(ranking.scores);
+
+    scholar::serve::SnapshotMeta meta;
+    meta.snapshot_id = 1;
+    meta.ranker_name = "fuzz";
+    meta.corpus_name = "fuzz";
+
+    auto* m = new scholar::serve::SnapshotManager();
+    m->Install(scholar::serve::ScoreSnapshot::Build(graph, ranking,
+                                                    std::move(meta))
+                   .value());
+    return m;
+  }();
+  return manager;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  constexpr size_t kMaxInputBytes = size_t{1} << 18;
+  if (size > kMaxInputBytes) return 0;
+
+  scholar::serve::QueryEngineOptions options;
+  options.allow_reload = false;  // no file paths accepted over the wire
+  options.cache_entries = 8;
+  scholar::serve::QueryEngine engine(Manager(), options);
+
+  // A small line bound makes the protocol-abuse path reachable, and the
+  // input's first byte picks the chunk split so mutation explores
+  // carry-over across "reads" as well as whole-buffer delivery.
+  scholar::serve::RequestFramer framer(&engine, /*max_line_bytes=*/512);
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+  const size_t split = size == 0 ? 0 : data[0] % size;
+  std::string responses;
+  if (framer.HandleRequestBytes(bytes.substr(0, split), &responses)) {
+    framer.HandleRequestBytes(bytes.substr(split), &responses);
+  }
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Fuzz target (d): the ScoreSnapshot deserializer.
+//
+// The serving path trusts a deserialized snapshot completely — scores,
+// adjacency offsets, the top-k permutation — so the reader must establish
+// every invariant itself: checksums per section, a declared-size-vs-file
+// bound, permutation and CSR validation. Truncations, bit flips, and
+// version skew all have to land in a typed Corruption.
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "serve/snapshot.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  constexpr size_t kMaxInputBytes = size_t{1} << 20;
+  if (size > kMaxInputBytes) return 0;
+  const std::string bytes(reinterpret_cast<const char*>(data), size);
+  std::istringstream in(bytes, std::ios::binary);
+  scholar::serve::ScoreSnapshot::Read(&in).status();
+  return 0;
+}

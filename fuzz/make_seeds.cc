@@ -1,0 +1,188 @@
+// Regenerates the checked-in fuzz corpora under fuzz/corpus/.
+//
+//   build/fuzz/scholar_make_seeds fuzz/corpus
+//
+// Seeds are valid files produced by the real writers, so every corpus
+// tracks the current format automatically; regression inputs are the
+// malformed shapes the parsers must keep rejecting (truncations, bit
+// flips, wraparound ids, inflated counts). Run after changing a format
+// and commit the result — the replay tests and the fuzzers both start
+// from these directories.
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/ground_truth.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_io.h"
+#include "rank/ranker.h"
+#include "serve/snapshot.h"
+#include "util/logging.h"
+
+namespace {
+
+using scholar::CitationGraph;
+using scholar::GraphBuilder;
+using scholar::RankingOutput;
+
+void WriteFile(const std::filesystem::path& path, const std::string& bytes) {
+  std::filesystem::create_directories(path.parent_path());
+  std::ofstream out(path, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  SCHOLAR_CHECK(static_cast<bool>(out));
+}
+
+CitationGraph TinyGraph() {
+  GraphBuilder builder;
+  for (int i = 0; i < 5; ++i) {
+    builder.AddNode(static_cast<scholar::Year>(2000 + i));
+  }
+  SCHOLAR_CHECK_OK(builder.AddEdge(1, 0));
+  SCHOLAR_CHECK_OK(builder.AddEdge(2, 0));
+  SCHOLAR_CHECK_OK(builder.AddEdge(2, 1));
+  SCHOLAR_CHECK_OK(builder.AddEdge(3, 2));
+  SCHOLAR_CHECK_OK(builder.AddEdge(4, 2));
+  SCHOLAR_CHECK_OK(builder.AddEdge(4, 3));
+  return std::move(builder).Build().value();
+}
+
+void MakeGraphIoCorpus(const std::filesystem::path& root) {
+  const CitationGraph graph = TinyGraph();
+  std::stringstream text;
+  SCHOLAR_CHECK_OK(scholar::WriteGraphText(graph, &text));
+  WriteFile(root / "seed" / "tiny_text", text.str());
+
+  std::stringstream binary(std::ios::in | std::ios::out | std::ios::binary);
+  SCHOLAR_CHECK_OK(scholar::WriteGraphBinary(graph, &binary));
+  const std::string binary_bytes = binary.str();
+  WriteFile(root / "seed" / "tiny_binary", binary_bytes);
+
+  // Shapes the text parser must keep rejecting.
+  WriteFile(root / "regression" / "wraparound_id",
+            "#scholarrank-graph-v1\n2 1\n2000\n2001\n4294967297 0\n");
+  WriteFile(root / "regression" / "self_loop",
+            "#scholarrank-graph-v1\n2 1\n2000\n2001\n1 1\n");
+  WriteFile(root / "regression" / "duplicate_edge",
+            "#scholarrank-graph-v1\n2 2\n2000\n2001\n1 0\n1 0\n");
+  WriteFile(root / "regression" / "implausible_year",
+            "#scholarrank-graph-v1\n1 0\n99999999999\n");
+  WriteFile(root / "regression" / "absurd_edge_count",
+            "#scholarrank-graph-v1\n2 4611686018427387904\n2000\n2001\n");
+
+  // And the binary shapes: truncation and a corrupt year payload.
+  WriteFile(root / "regression" / "truncated_binary",
+            binary_bytes.substr(0, binary_bytes.size() / 2));
+  std::string bad_year = binary_bytes;
+  const int32_t bogus = -123456;
+  bad_year.replace(4 + 16, sizeof(bogus),
+                   reinterpret_cast<const char*>(&bogus), sizeof(bogus));
+  WriteFile(root / "regression" / "bad_year_binary", bad_year);
+}
+
+void MakeGroundTruthCorpus(const std::filesystem::path& root) {
+  std::stringstream labels;
+  SCHOLAR_CHECK_OK(
+      scholar::WriteGroundTruthLabels({0.5, 0.0, 3.25, 1.0}, &labels));
+  WriteFile(root / "seed" / "tiny_labels", labels.str());
+  WriteFile(root / "seed" / "sparse_labels",
+            "#scholarrank-labels-v1\n# expert file\n4 2\n2 1.5\n0 0.5\n");
+
+  WriteFile(root / "regression" / "duplicate_label",
+            "#scholarrank-labels-v1\n3 2\n1 1.0\n1 2.0\n");
+  WriteFile(root / "regression" / "out_of_range_id",
+            "#scholarrank-labels-v1\n2 1\n4294967297 1.0\n");
+  WriteFile(root / "regression" / "nan_impact",
+            "#scholarrank-labels-v1\n3 1\n1 nan\n");
+  WriteFile(root / "regression" / "absurd_article_count",
+            "#scholarrank-labels-v1\n99999999999 0\n");
+}
+
+void MakeAMinerCorpus(const std::filesystem::path& root) {
+  WriteFile(root / "seed" / "two_records",
+            "#* Paper A\n#@ alice;bob\n#t 2000\n#c VLDB\n#index 10\n"
+            "\n"
+            "#* Paper B\n#@ carol\n#t 2001\n#c SIGMOD\n#index 11\n#% 10\n");
+  WriteFile(root / "regression" / "dangling_reference",
+            "#* Lonely\n#t 2003\n#index 5\n#% 99\n");
+  WriteFile(root / "regression" / "duplicate_index",
+            "#* A\n#t 2000\n#index 3\n\n#* B\n#t 2001\n#index 3\n");
+  WriteFile(root / "regression" / "tags_without_record",
+            "#% 1\n#t 2000\n#@ nobody\n");
+}
+
+void MakeSnapshotCorpus(const std::filesystem::path& root) {
+  const CitationGraph graph = TinyGraph();
+  RankingOutput ranking;
+  ranking.scores = {0.30, 0.10, 0.25, 0.20, 0.15};
+  ranking.ranks = scholar::ScoresToRanks(ranking.scores);
+  ranking.percentiles = scholar::RankPercentiles(ranking.scores);
+  scholar::serve::SnapshotMeta meta;
+  meta.snapshot_id = 1;
+  meta.created_unix = 1700000000;
+  meta.ranker_name = "twpr";
+  meta.corpus_name = "tiny";
+  const scholar::serve::ScoreSnapshot snap =
+      scholar::serve::ScoreSnapshot::Build(graph, ranking, std::move(meta))
+          .value();
+  std::ostringstream out(std::ios::binary);
+  SCHOLAR_CHECK_OK(snap.WriteTo(&out));
+  const std::string bytes = out.str();
+  WriteFile(root / "seed" / "tiny_snapshot", bytes);
+
+  WriteFile(root / "regression" / "truncated_header", bytes.substr(0, 10));
+  WriteFile(root / "regression" / "truncated_payload",
+            bytes.substr(0, bytes.size() - 7));
+  std::string bad_magic = bytes;
+  bad_magic[0] = 'X';
+  WriteFile(root / "regression" / "bad_magic", bad_magic);
+  std::string wrong_version = bytes;
+  wrong_version[4] = 99;
+  WriteFile(root / "regression" / "version_skew", wrong_version);
+  std::string bit_flip = bytes;
+  bit_flip[bit_flip.size() - 3] ^= 0x40;
+  WriteFile(root / "regression" / "payload_bit_flip", bit_flip);
+  // Inflate the first section header's payload_bytes: declared sections
+  // must not be allowed to overflow the file size.
+  std::string inflated = bytes;
+  const uint64_t absurd = uint64_t{1} << 40;
+  const size_t first_payload_bytes_offset = 40 + (4 + 4) + (4 + 4) + 4 + 4;
+  inflated.replace(first_payload_bytes_offset, sizeof(absurd),
+                   reinterpret_cast<const char*>(&absurd), sizeof(absurd));
+  WriteFile(root / "regression" / "inflated_section", inflated);
+}
+
+void MakeServeRequestCorpus(const std::filesystem::path& root) {
+  WriteFile(root / "seed" / "command_mix",
+            "ping\ninfo\ntop_k 3\ntop_k 2 1\nscore 0\nrank 4\n"
+            "percentile 2\nneighbors 2 citers\nneighbors 2 refs 1\n");
+  WriteFile(root / "seed" / "error_paths",
+            "score banana\nrank 99\ntop_k 0\ntop_k -3\nneighbors 1 up\n"
+            "reload /etc/passwd\nunknown_verb\n");
+  WriteFile(root / "regression" / "empty_lines", "\n\r\n\n");
+  WriteFile(root / "regression" / "oversized_line",
+            std::string(1000, 'a'));
+  WriteFile(root / "regression" / "split_crlf", "ping\rping\r\nping\n\r");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <corpus-root>\n", argv[0]);
+    return 1;
+  }
+  const std::filesystem::path root(argv[1]);
+  MakeGraphIoCorpus(root / "graph_io");
+  MakeGroundTruthCorpus(root / "ground_truth");
+  MakeAMinerCorpus(root / "aminer");
+  MakeSnapshotCorpus(root / "snapshot");
+  MakeServeRequestCorpus(root / "serve_request");
+  std::fprintf(stderr, "corpora written under %s\n", root.c_str());
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Corpus replay driver: the portable half of each fuzz harness.
+//
+// libFuzzer supplies its own main(); this one exists so the same
+// LLVMFuzzerTestOneInput entry point runs as a plain ctest on every build
+// flavor (gcc included, where -fsanitize=fuzzer does not exist). Each
+// argument is a corpus file or a directory of corpus files; every input is
+// fed to the harness once. Any decoder bug a past fuzz run found stays
+// fixed: its crasher lives in the checked-in regression corpus and replays
+// here under ASan/UBSan in the analysis matrix.
+//
+// Exit codes: 0 all inputs replayed, 1 usage/empty corpus (a miswired path
+// must fail the test, not silently replay nothing). A recurrence of a
+// crash aborts the process, which ctest reports as a failure.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+bool ReplayFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open corpus input: %s\n", path.c_str());
+    return false;
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                         bytes.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <corpus-file-or-dir>...\n", argv[0]);
+    return 1;
+  }
+  size_t replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path arg(argv[i]);
+    std::error_code ec;
+    if (std::filesystem::is_directory(arg, ec)) {
+      std::vector<std::filesystem::path> inputs;
+      for (const auto& entry : std::filesystem::directory_iterator(arg)) {
+        if (entry.is_regular_file()) inputs.push_back(entry.path());
+      }
+      // Deterministic order keeps crash reports reproducible run to run.
+      std::sort(inputs.begin(), inputs.end());
+      for (const auto& input : inputs) {
+        if (!ReplayFile(input)) return 1;
+        ++replayed;
+      }
+    } else if (std::filesystem::is_regular_file(arg, ec)) {
+      if (!ReplayFile(arg)) return 1;
+      ++replayed;
+    } else {
+      std::fprintf(stderr, "no such corpus input: %s\n", argv[i]);
+      return 1;
+    }
+  }
+  if (replayed == 0) {
+    std::fprintf(stderr, "corpus is empty; refusing to pass vacuously\n");
+    return 1;
+  }
+  std::fprintf(stderr, "replayed %zu corpus inputs\n", replayed);
+  return 0;
+}

@@ -1,12 +1,42 @@
 #include "data/ground_truth.h"
 
 #include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <istream>
 #include <map>
+#include <ostream>
 #include <string>
+#include <vector>
 
 #include "util/rng.h"
+#include "util/string_util.h"
 
 namespace scholar {
+namespace {
+
+constexpr char kLabelsSignature[] = "#scholarrank-labels-v1";
+
+/// Counts are bounded so a corrupt header cannot drive an unbounded
+/// `assign`: the declared article count sizes the output vector directly,
+/// and 100M articles (~1 GiB of labels) is already far beyond what the
+/// uint32-NodeId pipeline is run on.
+constexpr int64_t kMaxLabelArticles = 100'000'000;
+
+/// Reads the next content line (skipping blanks and comments after the
+/// signature), tracking the 1-based source line for diagnostics.
+bool NextLabelLine(std::istream* in, std::string* line, size_t* line_number) {
+  while (std::getline(*in, *line)) {
+    ++*line_number;
+    std::string_view trimmed = Trim(*line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    *line = std::string(trimmed);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 Result<std::vector<EvalPair>> SampleGroundTruthPairs(
     const Corpus& corpus, const PairSamplingOptions& options) {
@@ -101,6 +131,93 @@ Result<AwardBenchmark> BuildAwardBenchmark(const Corpus& corpus,
   }
   std::sort(bench.awards.begin(), bench.awards.end());
   return bench;
+}
+
+Result<std::vector<double>> ReadGroundTruthLabels(std::istream* in) {
+  constexpr char kWhat[] = "ground-truth labels";
+  std::string line;
+  size_t line_number = 0;
+  if (!std::getline(*in, line) || Trim(line) != kLabelsSignature) {
+    return ParseError(kWhat, 1,
+                      "missing signature line '" +
+                          std::string(kLabelsSignature) + "'");
+  }
+  line_number = 1;
+  if (!NextLabelLine(in, &line, &line_number)) {
+    return ParseError(kWhat, line_number + 1,
+                      "missing article/label count line");
+  }
+  auto counts = SplitSkipEmpty(line, ' ');
+  if (counts.size() != 2) {
+    return ParseError(kWhat, line_number, "bad count line: '" + line + "'");
+  }
+  SCHOLAR_ASSIGN_OR_RETURN(int64_t num_articles, ParseInt64(counts[0]));
+  SCHOLAR_ASSIGN_OR_RETURN(int64_t num_labels, ParseInt64(counts[1]));
+  if (num_articles < 0 || num_labels < 0) {
+    return ParseError(kWhat, line_number, "negative counts");
+  }
+  if (num_articles > kMaxLabelArticles) {
+    return ParseError(kWhat, line_number,
+                      "implausible article count " +
+                          std::to_string(num_articles));
+  }
+  if (num_labels > num_articles) {
+    return ParseError(kWhat, line_number,
+                      std::to_string(num_labels) + " labels declared for " +
+                          std::to_string(num_articles) + " articles");
+  }
+  std::vector<double> impact(static_cast<size_t>(num_articles), 0.0);
+  std::vector<bool> labeled(static_cast<size_t>(num_articles), false);
+  for (int64_t i = 0; i < num_labels; ++i) {
+    if (!NextLabelLine(in, &line, &line_number)) {
+      return ParseError(kWhat, line_number,
+                        "truncated label section at label " +
+                            std::to_string(i));
+    }
+    auto fields = SplitSkipEmpty(line, ' ');
+    if (fields.size() != 2) {
+      return ParseError(kWhat, line_number, "bad label line: '" + line + "'");
+    }
+    SCHOLAR_ASSIGN_OR_RETURN(int64_t id, ParseInt64(fields[0]));
+    SCHOLAR_ASSIGN_OR_RETURN(double value, ParseDouble(fields[1]));
+    // Range-check as int64 before any narrowing, same contract as the
+    // graph readers: a 2^32+k id fails loudly instead of wrapping.
+    if (id < 0 || id >= num_articles) {
+      return ParseError(kWhat, line_number,
+                        "article id out of range: '" + line + "' (corpus has " +
+                            std::to_string(num_articles) + " articles)");
+    }
+    if (!std::isfinite(value) || value < 0.0) {
+      return ParseError(kWhat, line_number,
+                        "impact must be finite and >= 0: '" + line + "'");
+    }
+    const size_t idx = static_cast<size_t>(id);
+    if (labeled[idx]) {
+      return ParseError(kWhat, line_number,
+                        "duplicate label for article " + std::to_string(id));
+    }
+    labeled[idx] = true;
+    impact[idx] = value;
+  }
+  return impact;
+}
+
+Result<std::vector<double>> ReadGroundTruthLabelsFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open: " + path);
+  return ReadGroundTruthLabels(&in);
+}
+
+Status WriteGroundTruthLabels(const std::vector<double>& impact,
+                              std::ostream* out) {
+  *out << kLabelsSignature << "\n"
+       << impact.size() << " " << impact.size() << "\n";
+  for (size_t v = 0; v < impact.size(); ++v) {
+    *out << v << " " << impact[v] << "\n";
+  }
+  if (!*out) return Status::IOError("label write failed");
+  return Status::OK();
 }
 
 }  // namespace scholar

@@ -2,6 +2,8 @@
 #define SCHOLARRANK_DATA_GROUND_TRUTH_H_
 
 #include <cstdint>
+#include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "data/dataset.h"
@@ -52,6 +54,27 @@ struct AwardBenchmark {
 
 Result<AwardBenchmark> BuildAwardBenchmark(const Corpus& corpus,
                                            double top_fraction = 0.02);
+
+/// External impact-label exchange format. Real corpora do not carry latent
+/// impact the way synthetic ones do (data/dataset.h); labels arrive from
+/// outside — award lists, expert judgments — as text files:
+///
+///   #scholarrank-labels-v1
+///   <num_articles> <num_labels>
+///   <article_id> <impact>        (one line per label; '#' comments allowed)
+///
+/// Unlabeled articles default to impact 0. The reader treats the file as
+/// untrusted input: out-of-range ids, duplicate labels, non-finite or
+/// negative impact, and truncation all return a ParseError naming the
+/// offending line. The returned vector has exactly `num_articles` entries
+/// and is suitable for Corpus::true_impact.
+Result<std::vector<double>> ReadGroundTruthLabels(std::istream* in);
+Result<std::vector<double>> ReadGroundTruthLabelsFile(const std::string& path);
+
+/// Writes every article's impact as a label line (the round-trip
+/// counterpart of ReadGroundTruthLabels).
+Status WriteGroundTruthLabels(const std::vector<double>& impact,
+                              std::ostream* out);
 
 }  // namespace scholar
 

@@ -1,0 +1,29 @@
+#include "serve/request_framer.h"
+
+namespace scholar {
+namespace serve {
+
+bool RequestFramer::HandleRequestBytes(std::string_view bytes,
+                                       std::string* responses) {
+  if (condemned_) return false;
+  pending_.append(bytes.data(), bytes.size());
+
+  size_t start = 0;
+  for (size_t nl = pending_.find('\n', start); nl != std::string::npos;
+       nl = pending_.find('\n', start)) {
+    std::string_view line(pending_.data() + start, nl - start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    *responses += engine_->Execute(line);
+    *responses += '\n';
+    start = nl + 1;
+  }
+  pending_.erase(0, start);
+  if (pending_.size() > max_line_bytes_) {
+    condemned_ = true;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace serve
+}  // namespace scholar

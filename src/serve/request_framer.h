@@ -1,0 +1,51 @@
+#ifndef SCHOLARRANK_SERVE_REQUEST_FRAMER_H_
+#define SCHOLARRANK_SERVE_REQUEST_FRAMER_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "serve/query_engine.h"
+
+namespace scholar {
+namespace serve {
+
+/// Socketless framing layer of the line protocol: turns raw bytes received
+/// from an untrusted peer into QueryEngine requests and batched response
+/// lines. Server feeds it each recv() chunk; tests and the fuzz harness
+/// feed it arbitrary byte sequences directly — partial lines, many lines
+/// per chunk, oversized garbage — without a TCP socket in the loop.
+///
+/// The framer owns the incomplete-line carry-over between chunks and the
+/// protocol-abuse bound: when the unterminated tail outgrows
+/// `max_line_bytes` the connection is condemned and every later chunk is
+/// ignored.
+class RequestFramer {
+ public:
+  /// `engine` must outlive the framer.
+  RequestFramer(QueryEngine* engine, size_t max_line_bytes)
+      : engine_(engine), max_line_bytes_(max_line_bytes) {}
+
+  /// Consumes one chunk of connection bytes. Every '\n'-terminated request
+  /// completed by this chunk is executed in order and its response line
+  /// (with trailing '\n') appended to `*responses`; an unterminated tail is
+  /// carried over to the next call. A trailing '\r' per line is stripped
+  /// (telnet clients). Returns false — permanently, once tripped — when the
+  /// carried tail exceeds the line bound; the caller must drop the
+  /// connection and discard any batched responses.
+  bool HandleRequestBytes(std::string_view bytes, std::string* responses);
+
+  /// Unterminated bytes currently carried between chunks (diagnostics).
+  size_t pending_bytes() const { return pending_.size(); }
+
+ private:
+  QueryEngine* const engine_;  // not owned
+  const size_t max_line_bytes_;
+  std::string pending_;
+  bool condemned_ = false;
+};
+
+}  // namespace serve
+}  // namespace scholar
+
+#endif  // SCHOLARRANK_SERVE_REQUEST_FRAMER_H_

@@ -8,7 +8,10 @@
 #include <cerrno>
 #include <cstring>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "serve/request_framer.h"
 
 namespace scholar {
 namespace serve {
@@ -116,29 +119,20 @@ void Server::HandleConnection(int fd) {
     open_connections_.insert(fd);
   }
 
-  std::string pending;   // bytes received, not yet terminated by '\n'
-  std::string responses;  // batched responses for one read chunk
+  // The framer owns line reassembly and the protocol-abuse bound; this loop
+  // only moves bytes. Answering every complete line in a chunk with one
+  // send lets a pipelining client pay one syscall round trip per batch.
+  RequestFramer framer(engine_, options_.max_line_bytes);
+  std::string responses;
   std::vector<char> buffer(64 * 1024);
   for (;;) {
     ssize_t n = ::recv(fd, buffer.data(), buffer.size(), 0);
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;  // peer closed, connection reset, or shut down
-    pending.append(buffer.data(), static_cast<size_t>(n));
-
-    // Answer every complete line in this chunk with one send, so a
-    // pipelining client pays one syscall round trip per batch.
     responses.clear();
-    size_t start = 0;
-    for (size_t nl = pending.find('\n', start); nl != std::string::npos;
-         nl = pending.find('\n', start)) {
-      std::string_view line(pending.data() + start, nl - start);
-      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
-      responses += engine_->Execute(line);
-      responses += '\n';
-      start = nl + 1;
-    }
-    pending.erase(0, start);
-    if (pending.size() > options_.max_line_bytes) break;  // protocol abuse
+    const bool keep = framer.HandleRequestBytes(
+        std::string_view(buffer.data(), static_cast<size_t>(n)), &responses);
+    if (!keep) break;  // protocol abuse
     if (!responses.empty() && !SendAll(fd, responses)) break;
   }
 

@@ -1,12 +1,12 @@
 #include "serve/snapshot.h"
 
 #include <algorithm>
-#include <cstring>
 #include <fstream>
 #include <istream>
 #include <limits>
 #include <ostream>
 
+#include "util/byte_reader.h"
 #include "util/crc32.h"
 
 namespace scholar {
@@ -35,15 +35,13 @@ struct SectionHeader {
   uint32_t crc32 = 0;
 };
 
+/// Metadata strings are names; a corrupt length should not drive a giant
+/// allocation.
+constexpr uint32_t kMaxMetaStringBytes = 1u << 20;
+
 template <typename T>
 void WriteRaw(std::ostream* out, const T& value) {
   out->write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
-
-template <typename T>
-bool ReadRaw(std::istream* in, T* value) {
-  in->read(reinterpret_cast<char*>(value), sizeof(T));
-  return static_cast<bool>(*in);
 }
 
 Status WriteString(std::ostream* out, const std::string& s) {
@@ -53,18 +51,6 @@ Status WriteString(std::ostream* out, const std::string& s) {
   WriteRaw(out, static_cast<uint32_t>(s.size()));
   out->write(s.data(), static_cast<std::streamsize>(s.size()));
   return Status::OK();
-}
-
-Result<std::string> ReadString(std::istream* in) {
-  uint32_t len = 0;
-  if (!ReadRaw(in, &len)) return Status::Corruption("truncated string length");
-  // Metadata strings are names; a corrupt length should not drive a giant
-  // allocation.
-  if (len > (1u << 20)) return Status::Corruption("implausible string length");
-  std::string s(len, '\0');
-  in->read(s.data(), static_cast<std::streamsize>(len));
-  if (!*in) return Status::Corruption("truncated string payload");
-  return s;
 }
 
 template <typename T>
@@ -85,9 +71,11 @@ void WritePayload(std::ostream* out, const std::vector<T>& v) {
 }
 
 /// Reads one section's payload into `v`, verifying the element-size match
-/// against the header's expected count and the checksum.
+/// against the header's expected count and the checksum. All raw byte
+/// movement goes through the bounds-checked ByteReader (the unchecked-read
+/// contract).
 template <typename T>
-Status ReadPayload(std::istream* in, const SectionHeader& header,
+Status ReadPayload(ByteReader* reader, const SectionHeader& header,
                    size_t expected_count, std::vector<T>* v) {
   if (header.payload_bytes != expected_count * sizeof(T)) {
     return Status::Corruption(
@@ -95,21 +83,9 @@ Status ReadPayload(std::istream* in, const SectionHeader& header,
         std::to_string(header.payload_bytes) + " bytes, expected " +
         std::to_string(expected_count * sizeof(T)));
   }
-  // Chunked so a truncated file fails when the stream runs dry instead of
-  // allocating the full (possibly corrupt) size up front.
-  constexpr size_t kChunkElements = size_t{1} << 20;
-  v->clear();
-  while (v->size() < expected_count) {
-    const size_t batch = std::min(kChunkElements, expected_count - v->size());
-    const size_t old_size = v->size();
-    v->resize(old_size + batch);
-    in->read(reinterpret_cast<char*>(v->data() + old_size),
-             static_cast<std::streamsize>(batch * sizeof(T)));
-    if (!*in) {
-      return Status::Corruption("truncated section " +
-                                std::to_string(header.tag));
-    }
-  }
+  SCHOLAR_RETURN_NOT_OK(reader->ReadVector(
+      expected_count,
+      ("snapshot section " + std::to_string(header.tag)).c_str(), v));
   const uint32_t crc = Crc32(v->data(), v->size() * sizeof(T));
   if (crc != header.crc32) {
     return Status::Corruption("checksum mismatch in section " +
@@ -227,13 +203,14 @@ Status ScoreSnapshot::WriteToFile(const std::string& path) const {
 }
 
 Result<ScoreSnapshot> ScoreSnapshot::Read(std::istream* in) {
+  ByteReader reader(in);
   char magic[4];
-  in->read(magic, sizeof(magic));
-  if (!*in || std::memcmp(magic, kMagic, sizeof(magic)) != 0) {
+  if (!reader.ReadRaw(&magic) ||
+      !std::equal(magic, magic + sizeof(magic), kMagic)) {
     return Status::Corruption("bad snapshot magic (not a snapshot file?)");
   }
   uint32_t version = 0;
-  if (!ReadRaw(in, &version)) {
+  if (!reader.ReadRaw(&version)) {
     return Status::Corruption("truncated snapshot header");
   }
   if (version != kVersion) {
@@ -243,9 +220,9 @@ Result<ScoreSnapshot> ScoreSnapshot::Read(std::istream* in) {
   }
   uint64_t n = 0, m = 0;
   ScoreSnapshot snap;
-  if (!ReadRaw(in, &n) || !ReadRaw(in, &m) ||
-      !ReadRaw(in, &snap.meta_.snapshot_id) ||
-      !ReadRaw(in, &snap.meta_.created_unix)) {
+  if (!reader.ReadRaw(&n) || !reader.ReadRaw(&m) ||
+      !reader.ReadRaw(&snap.meta_.snapshot_id) ||
+      !reader.ReadRaw(&snap.meta_.created_unix)) {
     return Status::Corruption("truncated snapshot header");
   }
   // Plausibility bound (2^38 elements ≈ 2 TiB of scores) so a corrupted
@@ -254,11 +231,15 @@ Result<ScoreSnapshot> ScoreSnapshot::Read(std::istream* in) {
   if (n > kMaxElements || m > kMaxElements) {
     return Status::Corruption("implausible snapshot header counts");
   }
-  SCHOLAR_ASSIGN_OR_RETURN(snap.meta_.ranker_name, ReadString(in));
-  SCHOLAR_ASSIGN_OR_RETURN(snap.meta_.corpus_name, ReadString(in));
+  SCHOLAR_ASSIGN_OR_RETURN(
+      snap.meta_.ranker_name,
+      reader.ReadLengthPrefixedString("ranker name", kMaxMetaStringBytes));
+  SCHOLAR_ASSIGN_OR_RETURN(
+      snap.meta_.corpus_name,
+      reader.ReadLengthPrefixedString("corpus name", kMaxMetaStringBytes));
 
   uint32_t num_sections = 0;
-  if (!ReadRaw(in, &num_sections)) {
+  if (!reader.ReadRaw(&num_sections)) {
     return Status::Corruption("truncated section table");
   }
   constexpr uint32_t kExpectedSections = 9;
@@ -268,11 +249,13 @@ Result<ScoreSnapshot> ScoreSnapshot::Read(std::istream* in) {
                               std::to_string(kExpectedSections));
   }
   SectionHeader headers[kExpectedSections];
+  uint64_t declared_payload_bytes = 0;
   for (SectionHeader& h : headers) {
-    if (!ReadRaw(in, &h.tag) || !ReadRaw(in, &h.payload_bytes) ||
-        !ReadRaw(in, &h.crc32)) {
+    if (!reader.ReadRaw(&h.tag) || !reader.ReadRaw(&h.payload_bytes) ||
+        !reader.ReadRaw(&h.crc32)) {
       return Status::Corruption("truncated section table");
     }
+    declared_payload_bytes += h.payload_bytes;
   }
   constexpr SectionTag kExpectedOrder[kExpectedSections] = {
       kYears,     kScores,      kRanks,      kPercentiles,  kOrder,
@@ -285,21 +268,35 @@ Result<ScoreSnapshot> ScoreSnapshot::Read(std::istream* in) {
                                 " at position " + std::to_string(i));
     }
   }
+  // When the stream is seekable (files, string buffers), reject a section
+  // table whose declared payload cannot fit in the remaining bytes before
+  // touching any payload — the typed error for "declared count overflows
+  // the file size". Pipes fall through to the per-section truncation
+  // checks, which catch the same corruption one section later.
+  if (std::optional<uint64_t> remaining = reader.RemainingBytes()) {
+    if (declared_payload_bytes > *remaining) {
+      return Status::Corruption(
+          "section table declares " + std::to_string(declared_payload_bytes) +
+          " payload bytes but only " + std::to_string(*remaining) +
+          " remain in the file");
+    }
+  }
   const size_t nn = static_cast<size_t>(n);
   const size_t mm = static_cast<size_t>(m);
-  SCHOLAR_RETURN_NOT_OK(ReadPayload(in, headers[0], nn, &snap.years_));
-  SCHOLAR_RETURN_NOT_OK(ReadPayload(in, headers[1], nn, &snap.scores_));
-  SCHOLAR_RETURN_NOT_OK(ReadPayload(in, headers[2], nn, &snap.ranks_));
-  SCHOLAR_RETURN_NOT_OK(ReadPayload(in, headers[3], nn, &snap.percentiles_));
-  SCHOLAR_RETURN_NOT_OK(ReadPayload(in, headers[4], nn, &snap.order_));
+  SCHOLAR_RETURN_NOT_OK(ReadPayload(&reader, headers[0], nn, &snap.years_));
+  SCHOLAR_RETURN_NOT_OK(ReadPayload(&reader, headers[1], nn, &snap.scores_));
+  SCHOLAR_RETURN_NOT_OK(ReadPayload(&reader, headers[2], nn, &snap.ranks_));
   SCHOLAR_RETURN_NOT_OK(
-      ReadPayload(in, headers[5], nn + 1, &snap.in_offsets_));
+      ReadPayload(&reader, headers[3], nn, &snap.percentiles_));
+  SCHOLAR_RETURN_NOT_OK(ReadPayload(&reader, headers[4], nn, &snap.order_));
   SCHOLAR_RETURN_NOT_OK(
-      ReadPayload(in, headers[6], mm, &snap.in_neighbors_));
+      ReadPayload(&reader, headers[5], nn + 1, &snap.in_offsets_));
   SCHOLAR_RETURN_NOT_OK(
-      ReadPayload(in, headers[7], nn + 1, &snap.out_offsets_));
+      ReadPayload(&reader, headers[6], mm, &snap.in_neighbors_));
   SCHOLAR_RETURN_NOT_OK(
-      ReadPayload(in, headers[8], mm, &snap.out_neighbors_));
+      ReadPayload(&reader, headers[7], nn + 1, &snap.out_offsets_));
+  SCHOLAR_RETURN_NOT_OK(
+      ReadPayload(&reader, headers[8], mm, &snap.out_neighbors_));
 
   // Structural invariants beyond checksums: the top-k index must be a
   // permutation of the node ids, and both adjacencies must be well formed.

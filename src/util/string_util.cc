@@ -63,6 +63,13 @@ std::string Join(const std::vector<std::string>& parts,
   return out;
 }
 
+Status ParseError(std::string_view what, size_t line,
+                  std::string_view message) {
+  return Status::Corruption(std::string(what) + " line " +
+                            std::to_string(line) + ": " +
+                            std::string(message));
+}
+
 Result<int64_t> ParseInt64(std::string_view s) {
   s = Trim(s);
   if (s.empty()) return Status::InvalidArgument("empty integer field");

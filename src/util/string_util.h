@@ -28,6 +28,12 @@ std::string Join(const std::vector<std::string>& parts, std::string_view sep);
 /// Strict integer parse of the whole string (optional leading '-').
 Result<int64_t> ParseInt64(std::string_view s);
 
+/// Uniform diagnostic for line-oriented untrusted-input parsers:
+/// Corruption("<what> line <line>: <message>"). Every decoder that rejects
+/// a line of someone else's bytes says where, so an operator can fix the
+/// offending record instead of re-exporting the whole dump.
+Status ParseError(std::string_view what, size_t line, std::string_view message);
+
 /// Strict double parse of the whole string.
 Result<double> ParseDouble(std::string_view s);
 

@@ -68,6 +68,56 @@ TEST(GraphTextIoTest, RejectsMalformedEdgeLine) {
   EXPECT_TRUE(ReadGraphText(&in).status().IsCorruption());
 }
 
+TEST(GraphTextIoTest, RejectsNegativeYear) {
+  std::stringstream in("#scholarrank-graph-v1\n2 0\n2000\n-5\n");
+  Status s = ReadGraphText(&in).status();
+  ASSERT_TRUE(s.IsCorruption());
+  EXPECT_NE(s.message().find("implausible year -5"), std::string::npos) << s.ToString();
+  // The bad year sits on source line 4 (signature, counts, node 0, node 1).
+  EXPECT_NE(s.message().find("line 4"), std::string::npos) << s.ToString();
+}
+
+TEST(GraphTextIoTest, RejectsAbsurdlyLargeYear) {
+  std::stringstream in("#scholarrank-graph-v1\n1 0\n99999999999\n");
+  Status s = ReadGraphText(&in).status();
+  ASSERT_TRUE(s.IsCorruption());
+  EXPECT_NE(s.message().find("implausible year"), std::string::npos) << s.ToString();
+}
+
+TEST(GraphTextIoTest, AcceptsUnknownYearSentinel) {
+  std::stringstream in("#scholarrank-graph-v1\n1 0\n" +
+                       std::to_string(kUnknownYear) + "\n");
+  CitationGraph g = ReadGraphText(&in).value();
+  EXPECT_EQ(g.year(0), kUnknownYear);
+}
+
+TEST(GraphTextIoTest, RejectsSelfLoopWithLineNumber) {
+  std::stringstream in("#scholarrank-graph-v1\n2 2\n2000\n2001\n1 0\n1 1\n");
+  Status s = ReadGraphText(&in).status();
+  ASSERT_TRUE(s.IsCorruption());
+  EXPECT_NE(s.message().find("self-loop citation at node 1"),
+            std::string::npos)
+      << s.ToString();
+  EXPECT_NE(s.message().find("line 6"), std::string::npos) << s.ToString();
+}
+
+TEST(GraphTextIoTest, RejectsDuplicateEdgeWithLineNumber) {
+  std::stringstream in(
+      "#scholarrank-graph-v1\n3 3\n2000\n2001\n2002\n2 0\n2 1\n2 0\n");
+  Status s = ReadGraphText(&in).status();
+  ASSERT_TRUE(s.IsCorruption());
+  EXPECT_NE(s.message().find("duplicate edge 2 -> 0"), std::string::npos) << s.ToString();
+  EXPECT_NE(s.message().find("line 8"), std::string::npos) << s.ToString();
+}
+
+TEST(GraphTextIoTest, RejectsEdgeIdAboveNodeIdRange) {
+  // 2^32 + 1 must fail the int64 range check, not wrap to node 1.
+  std::stringstream in("#scholarrank-graph-v1\n2 1\n2000\n2001\n4294967297 0\n");
+  Status s = ReadGraphText(&in).status();
+  ASSERT_TRUE(s.IsCorruption());
+  EXPECT_NE(s.message().find("out of range"), std::string::npos) << s.ToString();
+}
+
 TEST(GraphBinaryIoTest, RoundTripTiny) {
   CitationGraph g = MakeTinyGraph();
   std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
@@ -90,6 +140,37 @@ TEST(GraphBinaryIoTest, RejectsTruncatedPayload) {
   std::stringstream truncated(data,
                               std::ios::in | std::ios::out | std::ios::binary);
   EXPECT_TRUE(ReadGraphBinary(&truncated).status().IsCorruption());
+}
+
+TEST(GraphBinaryIoTest, RejectsImplausibleYearPayload) {
+  CitationGraph g = MakeTinyGraph();
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(WriteGraphBinary(g, &buffer).ok());
+  std::string data = buffer.str();
+  // Overwrite node 0's year (first element after the 4-byte magic and two
+  // u64 counts) with a nonsense value.
+  const int32_t bogus = -123456;
+  data.replace(4 + 16, sizeof(bogus),
+               reinterpret_cast<const char*>(&bogus), sizeof(bogus));
+  std::stringstream patched(data,
+                            std::ios::in | std::ios::out | std::ios::binary);
+  Status s = ReadGraphBinary(&patched).status();
+  ASSERT_TRUE(s.IsCorruption());
+  EXPECT_NE(s.message().find("implausible year"), std::string::npos) << s.ToString();
+}
+
+TEST(GraphBinaryIoTest, RejectsAbsurdDeclaredCounts) {
+  // A header declaring 2^40 nodes must fail the plausibility bound rather
+  // than attempt a terabyte allocation.
+  std::string data = "SRG1";
+  const uint64_t n = uint64_t{1} << 40;
+  const uint64_t m = 0;
+  data.append(reinterpret_cast<const char*>(&n), sizeof(n));
+  data.append(reinterpret_cast<const char*>(&m), sizeof(m));
+  std::stringstream in(data, std::ios::in | std::ios::out | std::ios::binary);
+  Status s = ReadGraphBinary(&in).status();
+  ASSERT_TRUE(s.IsCorruption());
+  EXPECT_NE(s.message().find("implausible"), std::string::npos) << s.ToString();
 }
 
 TEST(GraphIoFileTest, FileRoundTripBothFormats) {

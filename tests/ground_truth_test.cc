@@ -1,6 +1,10 @@
 #include "data/ground_truth.h"
 
+#include <fstream>
 #include <set>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -141,6 +145,81 @@ TEST(AwardBenchmarkTest, RejectsBadFraction) {
   Corpus corpus = SmallCorpus();
   EXPECT_TRUE(BuildAwardBenchmark(corpus, 0.0).status().IsInvalidArgument());
   EXPECT_TRUE(BuildAwardBenchmark(corpus, 1.5).status().IsInvalidArgument());
+}
+
+TEST(GroundTruthLabelsTest, RoundTrip) {
+  std::vector<double> impact = {0.5, 0.0, 3.25, 1.0};
+  std::stringstream buffer;
+  ASSERT_TRUE(WriteGroundTruthLabels(impact, &buffer).ok());
+  std::vector<double> back = ReadGroundTruthLabels(&buffer).value();
+  EXPECT_EQ(back, impact);
+}
+
+TEST(GroundTruthLabelsTest, SparseLabelsDefaultToZero) {
+  std::stringstream in(
+      "#scholarrank-labels-v1\n"
+      "# an expert label file\n"
+      "4 2\n"
+      "2 1.5\n"
+      "0 0.5\n");
+  std::vector<double> impact = ReadGroundTruthLabels(&in).value();
+  ASSERT_EQ(impact.size(), 4u);
+  EXPECT_DOUBLE_EQ(impact[0], 0.5);
+  EXPECT_DOUBLE_EQ(impact[1], 0.0);
+  EXPECT_DOUBLE_EQ(impact[2], 1.5);
+  EXPECT_DOUBLE_EQ(impact[3], 0.0);
+}
+
+TEST(GroundTruthLabelsTest, RejectsMissingSignature) {
+  std::stringstream in("4 0\n");
+  EXPECT_TRUE(ReadGroundTruthLabels(&in).status().IsCorruption());
+}
+
+TEST(GroundTruthLabelsTest, RejectsOutOfRangeIdWithLineNumber) {
+  std::stringstream in("#scholarrank-labels-v1\n2 1\n4294967297 1.0\n");
+  Status s = ReadGroundTruthLabels(&in).status();
+  ASSERT_TRUE(s.IsCorruption());
+  EXPECT_NE(s.message().find("out of range"), std::string::npos)
+      << s.ToString();
+  EXPECT_NE(s.message().find("line 3"), std::string::npos) << s.ToString();
+}
+
+TEST(GroundTruthLabelsTest, RejectsDuplicateAndBadImpact) {
+  std::stringstream dup("#scholarrank-labels-v1\n3 2\n1 1.0\n1 2.0\n");
+  Status s = ReadGroundTruthLabels(&dup).status();
+  ASSERT_TRUE(s.IsCorruption());
+  EXPECT_NE(s.message().find("duplicate label for article 1"),
+            std::string::npos)
+      << s.ToString();
+
+  std::stringstream nan("#scholarrank-labels-v1\n3 1\n1 nan\n");
+  EXPECT_TRUE(ReadGroundTruthLabels(&nan).status().IsCorruption());
+  std::stringstream neg("#scholarrank-labels-v1\n3 1\n1 -2.0\n");
+  EXPECT_TRUE(ReadGroundTruthLabels(&neg).status().IsCorruption());
+}
+
+TEST(GroundTruthLabelsTest, RejectsTruncationAndBadCounts) {
+  std::stringstream truncated("#scholarrank-labels-v1\n3 2\n1 1.0\n");
+  Status s = ReadGroundTruthLabels(&truncated).status();
+  ASSERT_TRUE(s.IsCorruption());
+  EXPECT_NE(s.message().find("truncated label section"), std::string::npos)
+      << s.ToString();
+
+  std::stringstream too_many("#scholarrank-labels-v1\n2 5\n");
+  EXPECT_TRUE(ReadGroundTruthLabels(&too_many).status().IsCorruption());
+  std::stringstream absurd("#scholarrank-labels-v1\n99999999999 0\n");
+  EXPECT_TRUE(ReadGroundTruthLabels(&absurd).status().IsCorruption());
+}
+
+TEST(GroundTruthLabelsTest, FileRoundTripAndMissingFile) {
+  const std::string path = ::testing::TempDir() + "/labels.txt";
+  std::vector<double> impact = {2.0, 1.0};
+  std::ofstream out(path);
+  ASSERT_TRUE(WriteGroundTruthLabels(impact, &out).ok());
+  out.close();
+  EXPECT_EQ(ReadGroundTruthLabelsFile(path).value(), impact);
+  EXPECT_TRUE(
+      ReadGroundTruthLabelsFile("/nonexistent/l.txt").status().IsIOError());
 }
 
 }  // namespace

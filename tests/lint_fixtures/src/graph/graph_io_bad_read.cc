@@ -1,0 +1,22 @@
+// Fixture: unchecked-read must fire in parser files on raw memcpy()
+// and on a mutable reinterpret_cast — both are unbounded reads from an
+// attacker-controlled buffer.
+
+#include "graph/graph_io_bad_read.h"
+
+#include <cstdint>
+#include <cstring>
+
+namespace scholar {
+
+uint64_t DecodeHeader(const char* buffer) {
+  uint64_t count = 0;
+  std::memcpy(&count, buffer, sizeof(count));  // must fire
+  return count;
+}
+
+uint32_t* AliasPayload(char* buffer) {
+  return reinterpret_cast<uint32_t*>(buffer + 8);  // must fire
+}
+
+}  // namespace scholar

@@ -1,0 +1,22 @@
+// Fixture: unchecked-read stays quiet on the legal shapes — a const
+// reinterpret_cast (the write path serializes trusted in-memory state)
+// and a sanctioned low-level site carrying NOLINT(unchecked-read).
+
+#include "graph/graph_io_good_read.h"
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+
+namespace scholar {
+
+void EncodeHeader(uint64_t count, std::ostream* out) {
+  out->write(reinterpret_cast<const char*>(&count), sizeof(count));
+}
+
+void SanctionedRawRead(std::istream* in, uint64_t* count) {
+  in->read(reinterpret_cast<char*>(count),  // NOLINT(unchecked-read): sanctioned low-level read
+           sizeof(*count));
+}
+
+}  // namespace scholar

@@ -1,0 +1,14 @@
+// Fixture: unchecked-read is scoped to the untrusted-input decoders;
+// a memcpy between trusted in-memory buffers in rank/ is not a finding.
+
+#include "rank/raw_copy_ok.h"
+
+#include <cstring>
+
+namespace scholar {
+
+void CopyScores(const double* src, double* dst, unsigned long n) {
+  std::memcpy(dst, src, n * sizeof(double));
+}
+
+}  // namespace scholar

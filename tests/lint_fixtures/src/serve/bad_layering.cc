@@ -1,0 +1,16 @@
+// Fixture: include-layering must fire on back-edges and same-layer
+// edges out of the serve module. The cli include is the canonical
+// inverted edge (cli sits on the top layer; serve must never see it).
+
+#include "serve/bad_layering.h"
+
+#include "util/status.h"        // layer 0 < 5: legal
+#include "graph/types.h"        // layer 1 < 5: legal
+#include "core/scholar_ranker.h"  // layer 4 < 5: legal
+#include "cli/commands.h"       // layer 6 >= 5: back-edge, must fire
+
+namespace scholar::serve {
+
+int LayeringFixture() { return 0; }
+
+}  // namespace scholar::serve

@@ -1,0 +1,13 @@
+// Fixture: a deliberate layering exception is silenced by
+// NOLINT(include-layering) on the #include line itself, and an
+// unrelated rule name does not silence it.
+
+#include "serve/nolint_layering.h"
+
+#include "cli/commands.h"  // NOLINT(include-layering)
+
+namespace scholar::serve {
+
+int SuppressedLayeringFixture() { return 0; }
+
+}  // namespace scholar::serve

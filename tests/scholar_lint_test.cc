@@ -139,6 +139,49 @@ TEST(ScholarLintTest, MaterializeSnapshotQuietInsideTimeSlicer) {
   EXPECT_EQ(run.output, "");
 }
 
+TEST(ScholarLintTest, IncludeLayeringFiresOnInvertedServeToCliEdge) {
+  LintRun run = RunLint({Fixture("src/serve/bad_layering.cc")});
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  // The downward includes (util, graph, core) are legal; only the
+  // serve -> cli back-edge fires.
+  EXPECT_EQ(CountOccurrences(run.output, "include-layering:"), 1u)
+      << run.output;
+  EXPECT_NE(run.output.find("cli/commands.h"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("bad_layering.cc:10:"), std::string::npos)
+      << run.output;
+}
+
+TEST(ScholarLintTest, IncludeLayeringSuppressedByNolintOnIncludeLine) {
+  LintRun run = RunLint({Fixture("src/serve/nolint_layering.cc")});
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(run.output, "");
+}
+
+TEST(ScholarLintTest, UncheckedReadFiresOnMemcpyAndMutableCast) {
+  LintRun run = RunLint({Fixture("src/graph/graph_io_bad_read.cc")});
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "unchecked-read:"), 2u)
+      << run.output;
+  EXPECT_NE(run.output.find("memcpy"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("reinterpret_cast"), std::string::npos)
+      << run.output;
+}
+
+TEST(ScholarLintTest, UncheckedReadQuietOnConstCastAndNolint) {
+  LintRun run = RunLint({Fixture("src/graph/graph_io_good_read.cc")});
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(run.output, "");
+}
+
+TEST(ScholarLintTest, UncheckedReadScopedToParserFiles) {
+  // The same raw memcpy that fires in graph_io is fine between trusted
+  // in-memory buffers in rank/.
+  LintRun run = RunLint({Fixture("src/rank/raw_copy_ok.cc")});
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(run.output, "");
+}
+
 TEST(ScholarLintTest, MultiFileRunIsNonzeroIfAnyFileViolates) {
   LintRun run = RunLint({Fixture("src/graph/good_include_order.cc"),
                          Fixture("src/core/bad_stdout.cc"),

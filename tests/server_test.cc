@@ -1,5 +1,7 @@
 #include "serve/server.h"
 
+#include "serve/request_framer.h"
+
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -226,6 +228,85 @@ TEST_F(ServerTest, OversizedRequestLineClosesConnection) {
   EXPECT_TRUE(client.Send(std::string(1000, 'a')));  // no newline
   std::string line;
   EXPECT_FALSE(client.ReadLine(&line));  // server hangs up
+}
+
+/// RequestFramer tests drive the exact byte-handling code the server runs,
+/// without a socket: partial reads, batched pipelines, and abuse bounds.
+class RequestFramerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    manager_.Install(TinySnapshot({0.30, 0.10, 0.25, 0.20, 0.15}, 1));
+    engine_ = std::make_unique<QueryEngine>(&manager_);
+  }
+
+  SnapshotManager manager_;
+  std::unique_ptr<QueryEngine> engine_;
+};
+
+TEST_F(RequestFramerTest, RequestSplitAcrossReadsAnswersOnceComplete) {
+  RequestFramer framer(engine_.get(), 1 << 16);
+  std::string responses;
+  // "score 0\n" arrives one byte at a time; no response until the '\n'.
+  const std::string request = "score 0\n";
+  for (size_t i = 0; i + 1 < request.size(); ++i) {
+    ASSERT_TRUE(framer.HandleRequestBytes(
+        std::string_view(&request[i], 1), &responses));
+    EXPECT_TRUE(responses.empty()) << "answered before newline at byte " << i;
+  }
+  EXPECT_EQ(framer.pending_bytes(), request.size() - 1);
+  ASSERT_TRUE(framer.HandleRequestBytes("\n", &responses));
+  EXPECT_EQ(responses, "OK 0.3000000000\n");
+  EXPECT_EQ(framer.pending_bytes(), 0u);
+}
+
+TEST_F(RequestFramerTest, ManyRequestsInOneChunkAnswerInOrder) {
+  RequestFramer framer(engine_.get(), 1 << 16);
+  std::string responses;
+  ASSERT_TRUE(
+      framer.HandleRequestBytes("ping\nrank 0\nrank 1\n", &responses));
+  EXPECT_EQ(responses, "OK pong\nOK 0\nOK 4\n");
+}
+
+TEST_F(RequestFramerTest, ZeroLengthRequestLineIsAnErrorNotACrash) {
+  RequestFramer framer(engine_.get(), 1 << 16);
+  std::string responses;
+  ASSERT_TRUE(framer.HandleRequestBytes("\n\r\n", &responses));
+  // Both the empty line and the bare-CR line produce one error response
+  // each; the connection survives.
+  EXPECT_EQ(responses, "ERR empty request\nERR empty request\n");
+}
+
+TEST_F(RequestFramerTest, ChunkBoundaryInsideCrlfIsHandled) {
+  RequestFramer framer(engine_.get(), 1 << 16);
+  std::string responses;
+  ASSERT_TRUE(framer.HandleRequestBytes("ping\r", &responses));
+  EXPECT_TRUE(responses.empty());
+  ASSERT_TRUE(framer.HandleRequestBytes("\nping\r\n", &responses));
+  EXPECT_EQ(responses, "OK pong\nOK pong\n");
+}
+
+TEST_F(RequestFramerTest, OversizedUnterminatedLineCondemnsPermanently) {
+  RequestFramer framer(engine_.get(), 16);
+  std::string responses;
+  // An unterminated line larger than the bound trips the framer even when
+  // it arrives in small innocent-looking chunks.
+  ASSERT_TRUE(framer.HandleRequestBytes("aaaaaaaaaa", &responses));
+  EXPECT_FALSE(framer.HandleRequestBytes("aaaaaaaaaa", &responses));
+  // Once condemned, even a well-formed request is refused: the server has
+  // already decided to drop this peer.
+  responses.clear();
+  EXPECT_FALSE(framer.HandleRequestBytes("ping\n", &responses));
+  EXPECT_TRUE(responses.empty());
+}
+
+TEST_F(RequestFramerTest, CompleteLinesInTheAbusiveChunkStillAnswer) {
+  RequestFramer framer(engine_.get(), 16);
+  std::string responses;
+  // A chunk that both completes a request and leaves an oversized tail:
+  // the completed request is answered, the verdict comes from the tail.
+  EXPECT_FALSE(framer.HandleRequestBytes(
+      "ping\n" + std::string(100, 'a'), &responses));
+  EXPECT_EQ(responses, "OK pong\n");
 }
 
 TEST(ServerLifecycleTest, StartTwiceFails) {

@@ -157,6 +157,77 @@ TEST(ScoreSnapshotTest, BadMagicAndVersionAreRejected) {
   EXPECT_NE(result.status().message().find("version"), std::string::npos);
 }
 
+// Byte offsets into a serialized TinySnapshot, fixed by the format: 4-byte
+// magic, u32 version, u64 n, u64 m, u64 snapshot_id, i64 created_unix,
+// then the u32 length prefix of the ranker name.
+constexpr size_t kNodeCountOffset = 8;
+constexpr size_t kRankerNameLenOffset = 40;
+
+TEST(ScoreSnapshotTest, ShortOfHeaderIsTypedTruncationError) {
+  const std::string bytes = Serialize(TinySnapshot());
+  // 10 bytes: full magic + version, but the header counts are cut off.
+  Result<ScoreSnapshot> result = Deserialize(bytes.substr(0, 10));
+  ASSERT_TRUE(result.status().IsCorruption());
+  EXPECT_NE(result.status().message().find("truncated snapshot header"),
+            std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(ScoreSnapshotTest, ImplausibleNodeCountIsRejectedBeforeAllocation) {
+  std::string bytes = Serialize(TinySnapshot());
+  const uint64_t absurd = uint64_t{1} << 40;
+  bytes.replace(kNodeCountOffset, sizeof(absurd),
+                reinterpret_cast<const char*>(&absurd), sizeof(absurd));
+  Result<ScoreSnapshot> result = Deserialize(bytes);
+  ASSERT_TRUE(result.status().IsCorruption());
+  EXPECT_NE(result.status().message().find("implausible snapshot header"),
+            std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(ScoreSnapshotTest, ImplausibleMetaStringLengthIsRejected) {
+  std::string bytes = Serialize(TinySnapshot());
+  const uint32_t absurd = 0xFFFFFFFFu;
+  bytes.replace(kRankerNameLenOffset, sizeof(absurd),
+                reinterpret_cast<const char*>(&absurd), sizeof(absurd));
+  Result<ScoreSnapshot> result = Deserialize(bytes);
+  ASSERT_TRUE(result.status().IsCorruption());
+  EXPECT_NE(result.status().message().find("implausible ranker name length"),
+            std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(ScoreSnapshotTest, DeclaredSectionBytesOverflowingFileIsRejected) {
+  // Inflate the first section header's payload_bytes so the table's declared
+  // total exceeds the file size; the reader must reject it up front from the
+  // seekable-stream size probe instead of reading gigabytes of nothing.
+  std::string bytes = Serialize(TinySnapshot());
+  // Section table begins after the meta strings ("twpr", "tiny"): u32 count,
+  // then {u32 tag, u64 payload_bytes, u32 crc} records.
+  const size_t table_offset = kRankerNameLenOffset + (4 + 4) + (4 + 4);
+  const size_t first_payload_bytes_offset = table_offset + 4 + 4;
+  const uint64_t absurd = uint64_t{1} << 40;
+  bytes.replace(first_payload_bytes_offset, sizeof(absurd),
+                reinterpret_cast<const char*>(&absurd), sizeof(absurd));
+  Result<ScoreSnapshot> result = Deserialize(bytes);
+  ASSERT_TRUE(result.status().IsCorruption());
+  EXPECT_NE(result.status().message().find("remain in the file"),
+            std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(ScoreSnapshotTest, WrongSectionCountIsRejected) {
+  std::string bytes = Serialize(TinySnapshot());
+  const size_t count_offset = kRankerNameLenOffset + (4 + 4) + (4 + 4);
+  const uint32_t wrong = 3;
+  bytes.replace(count_offset, sizeof(wrong),
+                reinterpret_cast<const char*>(&wrong), sizeof(wrong));
+  Result<ScoreSnapshot> result = Deserialize(bytes);
+  ASSERT_TRUE(result.status().IsCorruption());
+  EXPECT_NE(result.status().message().find("sections"), std::string::npos)
+      << result.status().ToString();
+}
+
 TEST(ScoreSnapshotTest, GarbageFileIsRejected) {
   EXPECT_TRUE(Deserialize("not a snapshot at all").status().IsCorruption());
   EXPECT_TRUE(Deserialize("").status().IsCorruption());

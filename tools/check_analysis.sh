@@ -12,9 +12,18 @@
 #   tsa     clang -Wthread-safety -Werror compile gate (build only; skipped
 #           with a note when no clang is on PATH, since the annotations are
 #           no-ops elsewhere)
+#   fuzz    opt-in via --fuzz[=seconds]: clang libFuzzer+ASan+UBSan run of
+#           every harness in fuzz/, each budgeted to the given wall-clock
+#           seconds (default 30) on top of the checked-in corpora. A new
+#           crasher fails the flavor AND is auto-copied into
+#           fuzz/corpus/<target>/regression/ so it becomes a permanent
+#           replay test; commit it together with the parser fix. Skipped
+#           with a note when no clang++ is on PATH.
 #
-# Usage: tools/check_analysis.sh [--fast] [flavor...]
-#   --fast     run only tier1-labeled tests instead of the full suite
+# Usage: tools/check_analysis.sh [--fast] [--fuzz[=seconds]] [flavor...]
+#   --fast     run only tier1-labeled tests (which include the fuzz_replay
+#              corpus tests) instead of the full suite
+#   --fuzz[=N] also run the fuzz flavor, N seconds per harness (default 30)
 #   flavor...  subset of: plain asan tsan ubsan tsa (default: all)
 #
 # Exit status is nonzero when any selected flavor fails. Build dirs are
@@ -28,16 +37,36 @@ JOBS=${JOBS:-$(nproc 2>/dev/null || echo 2)}
 CTEST_ARGS=("--output-on-failure" "-j" "$JOBS")
 
 FAST=0
+FUZZ=0
+FUZZ_SECONDS=30
 FLAVORS=()
 for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
+    --fuzz) FUZZ=1 ;;
+    --fuzz=*)
+      FUZZ=1
+      FUZZ_SECONDS="${arg#--fuzz=}"
+      case "$FUZZ_SECONDS" in
+        ''|*[!0-9]*) echo "--fuzz= wants a whole number of seconds" >&2; exit 2 ;;
+      esac
+      ;;
     plain|asan|tsan|ubsan|tsa) FLAVORS+=("$arg") ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
-[ ${#FLAVORS[@]} -eq 0 ] && FLAVORS=(plain asan tsan ubsan tsa)
-[ "$FAST" -eq 1 ] && CTEST_ARGS+=("-L" "tier1|bench_smoke")
+if [ ${#FLAVORS[@]} -eq 0 ]; then
+  # --fuzz alone means "just fuzz", not "everything plus fuzz".
+  if [ "$FUZZ" -eq 1 ]; then
+    FLAVORS=()
+  else
+    FLAVORS=(plain asan tsan ubsan tsa)
+  fi
+fi
+[ "$FUZZ" -eq 1 ] && FLAVORS+=(fuzz)
+# fuzz_replay is a subset of tier1, so the fast lane replays the corpora
+# too; the label is spelled out to keep that property grep-able.
+[ "$FAST" -eq 1 ] && CTEST_ARGS+=("-L" "tier1|bench_smoke|fuzz_replay")
 
 declare -A RESULT
 
@@ -48,7 +77,42 @@ cmake_flags_for() {
     tsan)  echo "-DSCHOLAR_ENABLE_TSAN=ON" ;;
     ubsan) echo "-DSCHOLAR_ENABLE_UBSAN=ON" ;;
     tsa)   echo "-DSCHOLAR_ENABLE_THREAD_SAFETY_ANALYSIS=ON" ;;
+    fuzz)  echo "-DSCHOLAR_ENABLE_FUZZERS=ON -DSCHOLARRANK_BUILD_BENCHMARKS=OFF -DSCHOLARRANK_BUILD_EXAMPLES=OFF" ;;
   esac
+}
+
+# Mirrors SCHOLAR_FUZZ_TARGETS in fuzz/CMakeLists.txt.
+FUZZ_TARGETS=(graph_io ground_truth aminer snapshot serve_request)
+
+run_fuzz_budgeted() {
+  local build_dir=$1
+  local failed=()
+  for t in "${FUZZ_TARGETS[@]}"; do
+    local corpus_src="$ROOT/fuzz/corpus/$t"
+    local work="$build_dir/fuzz-work/$t"
+    mkdir -p "$work/corpus" "$work/artifacts"
+    echo "=== [fuzz] $t: ${FUZZ_SECONDS}s budget ==="
+    if ! "$build_dir/fuzz/fuzz_$t" \
+        -max_total_time="$FUZZ_SECONDS" -timeout=10 -print_final_stats=1 \
+        -artifact_prefix="$work/artifacts/" \
+        "$work/corpus" "$corpus_src/seed" "$corpus_src/regression"; then
+      failed+=("$t")
+      # A crasher is a permanent regression input from now on: copy it
+      # into the checked-in corpus so fuzz_replay_<t> reproduces it on
+      # every build flavor until the parser is fixed — then commit both.
+      local a
+      for a in "$work/artifacts/"*; do
+        [ -f "$a" ] || continue
+        cp "$a" "$corpus_src/regression/"
+        echo "[fuzz] NEW CRASHER: copied $(basename "$a") into fuzz/corpus/$t/regression/"
+      done
+    fi
+  done
+  if [ ${#failed[@]} -gt 0 ]; then
+    echo "[fuzz] crashing targets: ${failed[*]}" >&2
+    return 1
+  fi
+  return 0
 }
 
 run_flavor() {
@@ -58,10 +122,10 @@ run_flavor() {
   flags=$(cmake_flags_for "$flavor")
   local extra=()
 
-  if [ "$flavor" = "tsa" ]; then
-    # The thread-safety analysis is clang-only; the cmake option warns and
-    # compiles the annotations as no-ops under other compilers, which
-    # would make this flavor report a pass it did not earn.
+  if [ "$flavor" = "tsa" ] || [ "$flavor" = "fuzz" ]; then
+    # Both gates are clang-only (-Wthread-safety / -fsanitize=fuzzer); the
+    # cmake options degrade to warnings under other compilers, which would
+    # make these flavors report a pass they did not earn.
     local clangxx
     clangxx=$(command -v clang++ || true)
     if [ -z "$clangxx" ]; then
@@ -85,6 +149,14 @@ run_flavor() {
   if [ "$flavor" = "tsa" ]; then
     # Compiling warning-free under -Wthread-safety -Werror *is* the test.
     RESULT[$flavor]="PASS (compile gate)"
+    return 0
+  fi
+  if [ "$flavor" = "fuzz" ]; then
+    if ! run_fuzz_budgeted "$build_dir"; then
+      RESULT[$flavor]="FAIL (new crasher; copied into fuzz/corpus/*/regression/)"
+      return 1
+    fi
+    RESULT[$flavor]="PASS (${FUZZ_SECONDS}s/harness, no crashers)"
     return 0
   fi
   echo "=== [$flavor] test ==="

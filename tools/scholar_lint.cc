@@ -26,6 +26,18 @@
 //                  O(V+E) per snapshot and is reserved for oracle checks
 //                  and the legacy fallback, which say so with
 //                  NOLINT(materialize-snapshot).
+//   include-layering
+//                  the module DAG util -> graph -> {data, rank} ->
+//                  {ensemble, eval} -> core -> serve -> cli admits no
+//                  back-edges or same-layer edges; an #include may only
+//                  name a strictly lower layer. Keeps the untrusted-input
+//                  surface (parsers, serve) from leaking upward and the
+//                  build graph acyclic.
+//   unchecked-read no raw memcpy() / mutable reinterpret_cast in the
+//                  files that decode untrusted bytes; every conversion
+//                  goes through the bounds-checked util/byte_reader.h
+//                  (whose own two low-level sites are the sanctioned
+//                  NOLINT(unchecked-read) exceptions).
 //
 // Diagnostics are `file:line: rule: message`, exit status is nonzero when
 // any violation survives. A `// NOLINT` comment suppresses every rule on
@@ -177,7 +189,11 @@ LexedFile Lex(const std::string& path, const std::string& text) {
           }
         }
       }
-      // Skip the rest of the directive, including spliced lines.
+      // Skip the rest of the directive, including spliced lines. The
+      // consumed text is still scanned for NOLINT so a suppression works
+      // on an #include line (include-layering needs that).
+      const size_t directive_start = i;
+      const int directive_line = line;
       while (i < n && text[i] != '\n') {
         if (text[i] == '\\' && peek(1) == '\n') {
           ++line;
@@ -186,6 +202,8 @@ LexedFile Lex(const std::string& path, const std::string& text) {
         }
         ++i;
       }
+      ScanCommentForNolint(text.substr(directive_start, i - directive_start),
+                           directive_line, &out.suppressions);
       continue;
     }
     at_line_start = false;
@@ -635,6 +653,122 @@ void CheckMaterializeSnapshot(const LexedFile& f, Reporter* rep) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: include-layering
+// ---------------------------------------------------------------------------
+
+/// The module DAG, bottom (0) to top. An include is legal only when it
+/// points strictly *down* the layering; same-module includes are free.
+/// rank and data share a layer (both sit on graph, neither may see the
+/// other), as do ensemble and eval.
+int ModuleLayer(const std::string& module) {
+  static const std::map<std::string, int> kLayers = {
+      {"util", 0}, {"graph", 1},    {"data", 2}, {"rank", 2}, {"ensemble", 3},
+      {"eval", 3}, {"core", 4},     {"serve", 5}, {"cli", 6}};
+  auto it = kLayers.find(module);
+  return it == kLayers.end() ? -1 : it->second;
+}
+
+/// Module a file belongs to: the path component after the last
+/// boundary-anchored "src/" ("tools/../src/rank/twpr.cc" -> "rank").
+/// Empty when the file is not under src/ (tools, tests, benches are
+/// deliberately unconstrained — they may include anything).
+std::string FileModule(const std::string& path) {
+  size_t best = std::string::npos;
+  size_t pos = path.find("src/");
+  while (pos != std::string::npos) {
+    if (pos == 0 || path[pos - 1] == '/') best = pos;
+    pos = path.find("src/", pos + 1);
+  }
+  if (best == std::string::npos) return "";
+  const size_t start = best + 4;  // strlen("src/")
+  const size_t slash = path.find('/', start);
+  if (slash == std::string::npos) return "";  // file directly under src/
+  return path.substr(start, slash - start);
+}
+
+/// Enforces the module DAG util -> graph -> {data, rank} -> {ensemble,
+/// eval} -> core -> serve -> cli at the #include level: a quoted
+/// project include may only name a module on a strictly lower layer (or
+/// the includer's own module). Back-edges and same-layer edges are how
+/// cycles start; a deliberate exception says so with
+/// NOLINT(include-layering) on the #include line.
+void CheckIncludeLayering(const LexedFile& f, Reporter* rep) {
+  const std::string from = FileModule(f.path);
+  const int from_layer = ModuleLayer(from);
+  if (from_layer < 0) return;  // not library code under src/<module>/
+  for (const Include& inc : f.includes) {
+    if (!inc.quoted) continue;  // system headers are outside the DAG
+    const size_t slash = inc.path.find('/');
+    if (slash == std::string::npos) continue;  // local/relative include
+    const std::string to = inc.path.substr(0, slash);
+    if (to == from) continue;  // intra-module includes are free
+    const int to_layer = ModuleLayer(to);
+    if (to_layer < 0) continue;  // not a project module
+    if (to_layer >= from_layer) {
+      rep->Report(inc.line, "include-layering",
+                  "module '" + from + "' (layer " +
+                      std::to_string(from_layer) + ") must not include '" +
+                      inc.path + "' from module '" + to + "' (layer " +
+                      std::to_string(to_layer) +
+                      "); the module DAG is util -> graph -> {data, rank} "
+                      "-> {ensemble, eval} -> core -> serve -> cli");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: unchecked-read
+// ---------------------------------------------------------------------------
+
+/// True for the files that decode untrusted bytes. Matches by
+/// boundary-anchored path fragment so the fixture tree (which mirrors
+/// src/ paths) is scoped identically.
+bool IsParserFile(const std::string& path) {
+  static const char* kParserPaths[] = {
+      "graph/graph_io",      "data/dataset",        "data/ground_truth",
+      "serve/snapshot",      "serve/request_framer", "util/byte_reader"};
+  for (const char* p : kParserPaths) {
+    if (PathContains(path, p)) return true;
+  }
+  return false;
+}
+
+/// In parser files, every byte-to-value conversion goes through the
+/// bounds-checked ByteReader: raw memcpy() and mutable reinterpret_cast
+/// are how out-of-bounds reads from attacker-controlled buffers happen.
+/// `reinterpret_cast<const ...>` stays legal — that is the write path
+/// (serializing trusted in-memory state), not a read from input. The two
+/// low-level sites inside ByteReader itself carry NOLINT(unchecked-read).
+void CheckUncheckedRead(const LexedFile& f, Reporter* rep) {
+  if (!IsParserFile(f.path)) return;
+  const std::vector<Token>& t = f.tokens;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    const std::string& s = t[i].text;
+    const bool followed_by = [&](const char* punct) {
+      return i + 1 < t.size() && t[i + 1].kind == TokKind::kPunct &&
+             t[i + 1].text == punct;
+    }(s == "memcpy" ? "(" : "<");
+    if (s == "memcpy" && followed_by) {
+      rep->Report(t[i].line, "unchecked-read",
+                  "raw memcpy() in a parser file; decode through the "
+                  "bounds-checked ByteReader (util/byte_reader.h) or mark "
+                  "the sanctioned low-level site NOLINT(unchecked-read)");
+    } else if (s == "reinterpret_cast" && followed_by) {
+      const bool to_const = i + 2 < t.size() &&
+                            t[i + 2].kind == TokKind::kIdent &&
+                            t[i + 2].text == "const";
+      if (to_const) continue;  // write path: serializing trusted state
+      rep->Report(t[i].line, "unchecked-read",
+                  "mutable reinterpret_cast in a parser file; decode "
+                  "through the bounds-checked ByteReader "
+                  "(util/byte_reader.h) or mark the sanctioned low-level "
+                  "site NOLINT(unchecked-read)");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
 
@@ -654,6 +788,8 @@ int LintFile(const std::string& path, std::vector<Diagnostic>* all) {
   CheckRawStdout(lexed, &rep);
   CheckIncludeOrder(lexed, &rep);
   CheckMaterializeSnapshot(lexed, &rep);
+  CheckIncludeLayering(lexed, &rep);
+  CheckUncheckedRead(lexed, &rep);
   all->insert(all->end(), rep.diagnostics().begin(), rep.diagnostics().end());
   return 0;
 }
@@ -667,7 +803,8 @@ int main(int argc, char** argv) {
     if (arg == "--help" || arg == "-h") {
       std::cout << "usage: scholar_lint file...\n"
                 << "rules: mutex-guard float-compare unseeded-rng "
-                   "raw-stdout include-order materialize-snapshot\n"
+                   "raw-stdout include-order materialize-snapshot "
+                   "include-layering unchecked-read\n"
                 << "suppress with // NOLINT or // NOLINT(rule-a,rule-b)\n";
       return 0;
     }
