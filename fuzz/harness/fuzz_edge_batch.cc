@@ -1,0 +1,49 @@
+// Fuzz target (f): the EdgeBatch streaming-ingest parser.
+//
+// Streamed batches are the one input surface that arrives continuously in
+// production, so the decoder must hold the same line as the other
+// parsers: truncations, bit flips, absurd declared counts, implausible
+// years, and unsorted edge lists all land in a typed Corruption — never
+// UB or an unbounded allocation. Batches that *do* parse are then driven
+// through StreamingGraph::Ingest against a tiny base graph, fuzzing the
+// graph-relative validation (suffix-only sources, endpoint ranges,
+// year-monotone arrival, sequence staging) behind the parse.
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "graph/graph_builder.h"
+#include "stream/edge_batch.h"
+#include "stream/streaming_graph.h"
+
+namespace {
+
+scholar::CitationGraph TinyBase() {
+  scholar::GraphBuilder builder;
+  for (int i = 0; i < 3; ++i) {
+    builder.AddNode(static_cast<scholar::Year>(2000 + i));
+  }
+  (void)builder.AddEdge(1, 0);
+  (void)builder.AddEdge(2, 0);
+  return std::move(builder).Build().value();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  constexpr size_t kMaxInputBytes = size_t{1} << 20;
+  if (size > kMaxInputBytes) return 0;
+  const std::string bytes(reinterpret_cast<const char*>(data), size);
+  std::istringstream in(bytes, std::ios::binary);
+  scholar::stream::StreamingGraph graph(TinyBase());
+  // Feed every decodable batch in the input to the ingest path; statuses
+  // are the expected outcome for malformed data and are ignored.
+  while (in.peek() != std::istringstream::traits_type::eof()) {
+    scholar::Result<scholar::stream::EdgeBatch> batch =
+        scholar::stream::ReadEdgeBatch(&in);
+    if (!batch.ok()) break;
+    (void)graph.Ingest(std::move(batch).value());
+  }
+  return 0;
+}

@@ -23,6 +23,8 @@
 #include "graph/graph_io.h"
 #include "rank/ranker.h"
 #include "serve/snapshot.h"
+#include "stream/edge_batch.h"
+#include "util/crc32.h"
 #include "util/logging.h"
 
 namespace {
@@ -157,6 +159,89 @@ void MakeSnapshotCorpus(const std::filesystem::path& root) {
   WriteFile(root / "regression" / "inflated_section", inflated);
 }
 
+std::string EdgeBatchBytes(const scholar::stream::EdgeBatch& batch) {
+  std::ostringstream out(std::ios::binary);
+  SCHOLAR_CHECK_OK(scholar::stream::WriteEdgeBatch(batch, &out));
+  return out.str();
+}
+
+/// Byte offsets inside one encoded batch: 28-byte header (magic, version,
+/// sequence, counts), then years, then {src, dst} pairs, then the CRC.
+constexpr size_t kBatchHeaderBytes = 28;
+
+/// Re-stamps the trailing CRC after a payload byte patch, so regression
+/// inputs exercise the *semantic* check they target instead of tripping
+/// the checksum first.
+void RestampCrc(std::string* bytes) {
+  const size_t payload = bytes->size() - kBatchHeaderBytes - 4;
+  const uint32_t crc =
+      scholar::Crc32(bytes->data() + kBatchHeaderBytes, payload);
+  bytes->replace(bytes->size() - 4, 4,
+                 reinterpret_cast<const char*>(&crc), 4);
+}
+
+void PatchU32(std::string* bytes, size_t offset, uint32_t value) {
+  bytes->replace(offset, sizeof(value),
+                 reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void MakeEdgeBatchCorpus(const std::filesystem::path& root) {
+  // Valid against the harness's 3-node base: batch 1 adds nodes 3..4,
+  // batch 2 adds node 5. Concatenated, they seed the multi-batch path.
+  scholar::stream::EdgeBatch b1;
+  b1.sequence = 1;
+  b1.node_years = {2005, 2005};
+  b1.edges = {{3, 0}, {3, 2}, {4, 3}};
+  scholar::stream::EdgeBatch b2;
+  b2.sequence = 2;
+  b2.node_years = {2006};
+  b2.edges = {{5, 0}, {5, 4}};
+  const std::string bytes1 = EdgeBatchBytes(b1);
+  WriteFile(root / "seed" / "two_batches", bytes1 + EdgeBatchBytes(b2));
+  scholar::stream::EdgeBatch heartbeat;
+  heartbeat.sequence = 3;
+  WriteFile(root / "seed" / "empty_batch", EdgeBatchBytes(heartbeat));
+  // Out of order on purpose: the staging path is part of the surface.
+  WriteFile(root / "seed" / "staged_batch", EdgeBatchBytes(b2));
+
+  // Shapes the parser must keep rejecting. Offsets: years start at 28
+  // (4 bytes each), edges follow (8 bytes each), CRC is the last 4.
+  WriteFile(root / "regression" / "truncated_payload",
+            bytes1.substr(0, bytes1.size() - 9));
+  std::string bad_magic = bytes1;
+  bad_magic[0] = 'X';
+  WriteFile(root / "regression" / "bad_magic", bad_magic);
+  std::string wrong_version = bytes1;
+  PatchU32(&wrong_version, 4, 99);
+  WriteFile(root / "regression" / "wrong_version", wrong_version);
+  std::string crc_flip = bytes1;
+  crc_flip[crc_flip.size() - 2] ^= 0x10;
+  WriteFile(root / "regression" / "crc_flip", crc_flip);
+  std::string absurd_edges = bytes1;
+  PatchU32(&absurd_edges, 20, 0xFFFFFFFFu);  // low half of num_edges
+  WriteFile(root / "regression" / "absurd_edge_count", absurd_edges);
+  std::string bad_year = bytes1;
+  PatchU32(&bad_year, kBatchHeaderBytes, 99999999u);
+  RestampCrc(&bad_year);
+  WriteFile(root / "regression" / "implausible_year", bad_year);
+  std::string year_order = bytes1;
+  PatchU32(&year_order, kBatchHeaderBytes + 4, 1999u);  // second year < first
+  RestampCrc(&year_order);
+  WriteFile(root / "regression" / "year_not_monotone", year_order);
+  std::string self_loop = bytes1;
+  PatchU32(&self_loop, kBatchHeaderBytes + 8 + 16, 3u);  // (4,3) -> (3,3)
+  RestampCrc(&self_loop);
+  WriteFile(root / "regression" / "self_loop", self_loop);
+  std::string unsorted = bytes1;
+  PatchU32(&unsorted, kBatchHeaderBytes + 8 + 8 + 4, 0u);  // (3,2) -> (3,0) dup
+  RestampCrc(&unsorted);
+  WriteFile(root / "regression" / "unsorted_edges", unsorted);
+  std::string src_window = bytes1;
+  PatchU32(&src_window, kBatchHeaderBytes + 8 + 16, 4000u);  // src far outside
+  RestampCrc(&src_window);
+  WriteFile(root / "regression" / "source_outside_window", src_window);
+}
+
 void MakeServeRequestCorpus(const std::filesystem::path& root) {
   WriteFile(root / "seed" / "command_mix",
             "ping\ninfo\ntop_k 3\ntop_k 2 1\nscore 0\nrank 4\n"
@@ -183,6 +268,7 @@ int main(int argc, char** argv) {
   MakeAMinerCorpus(root / "aminer");
   MakeSnapshotCorpus(root / "snapshot");
   MakeServeRequestCorpus(root / "serve_request");
+  MakeEdgeBatchCorpus(root / "edge_batch");
   std::fprintf(stderr, "corpora written under %s\n", root.c_str());
   return 0;
 }

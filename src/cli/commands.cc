@@ -3,8 +3,11 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cmath>
 #include <csignal>
 #include <ctime>
+#include <memory>
+#include <optional>
 #include <ostream>
 #include <thread>
 
@@ -15,12 +18,17 @@
 #include "data/synthetic.h"
 #include "eval/benchmark_sets.h"
 #include "graph/components.h"
+#include "graph/graph_builder.h"
 #include "graph/graph_io.h"
 #include "graph/graph_stats.h"
 #include "serve/query_engine.h"
 #include "serve/server.h"
 #include "serve/snapshot.h"
 #include "serve/snapshot_manager.h"
+#include "stream/edge_batch.h"
+#include "stream/epoch_pipeline.h"
+#include "stream/incremental_ranker.h"
+#include "stream/streaming_graph.h"
 #include "util/string_util.h"
 
 namespace scholar {
@@ -215,6 +223,204 @@ Status RunSnapshot(const Config& config, std::ostream* out) {
 
 namespace {
 
+/// A corpus replayed as an ingest stream: the oldest `base_fraction` of
+/// articles as the bootstrap graph, the rest as year-ordered EdgeBatches.
+struct StreamPlan {
+  CitationGraph base;
+  std::vector<stream::EdgeBatch> batches;
+  /// Citations of not-yet-streamed articles. The suffix-only contract says
+  /// a reference list is complete at publication, so a corpus edge whose
+  /// target lands in a *later* window cannot be replayed and is dropped;
+  /// the drift oracle ranks the streamed graph, keeping the comparison
+  /// exact.
+  size_t dropped_forward_edges = 0;
+};
+
+Result<StreamPlan> PlanStream(const CitationGraph& graph, double base_fraction,
+                              int64_t num_batches) {
+  const size_t n = graph.num_nodes();
+  if (n < 2) {
+    return Status::InvalidArgument("stream needs a corpus with >= 2 articles");
+  }
+  if (!(base_fraction > 0.0) || !(base_fraction < 1.0)) {
+    return Status::InvalidArgument("base_fraction must be in (0, 1)");
+  }
+  if (num_batches <= 0) {
+    return Status::InvalidArgument("batches must be positive");
+  }
+  const std::vector<Year>& years = graph.years();
+  for (size_t i = 1; i < n; ++i) {
+    if (years[i] < years[i - 1]) {
+      return Status::InvalidArgument(
+          "corpus node ids are not year-monotone; streaming replay requires "
+          "time-prefix ids (synthetic corpora satisfy this)");
+    }
+  }
+  size_t n_base = static_cast<size_t>(static_cast<double>(n) * base_fraction);
+  n_base = std::min(std::max<size_t>(n_base, 1), n - 1);
+
+  StreamPlan plan;
+  GraphBuilder builder;
+  for (size_t i = 0; i < n_base; ++i) builder.AddNode(years[i]);
+  for (NodeId u = 0; u < static_cast<NodeId>(n_base); ++u) {
+    for (NodeId v : graph.References(u)) {
+      if (v < static_cast<NodeId>(n_base)) {
+        SCHOLAR_RETURN_NOT_OK(builder.AddEdge(u, v));
+      } else {
+        ++plan.dropped_forward_edges;
+      }
+    }
+  }
+  SCHOLAR_ASSIGN_OR_RETURN(plan.base, std::move(builder).Build());
+
+  const size_t remaining = n - n_base;
+  const size_t windows = std::min<size_t>(
+      static_cast<size_t>(num_batches), remaining);
+  size_t start = n_base;
+  for (size_t b = 0; b < windows; ++b) {
+    const size_t count = remaining / windows + (b < remaining % windows);
+    const size_t end = start + count;
+    stream::EdgeBatch batch;
+    batch.sequence = b + 1;
+    batch.node_years.assign(years.begin() + start, years.begin() + end);
+    // CSR neighbors are sorted and deduplicated, so walking sources in id
+    // order yields the strict (src, dst) order the wire format requires.
+    for (NodeId u = static_cast<NodeId>(start); u < static_cast<NodeId>(end);
+         ++u) {
+      for (NodeId v : graph.References(u)) {
+        if (v < static_cast<NodeId>(end)) {
+          batch.edges.push_back({u, v});
+        } else {
+          ++plan.dropped_forward_edges;
+        }
+      }
+    }
+    plan.batches.push_back(std::move(batch));
+    start = end;
+  }
+  return plan;
+}
+
+void PrintEpochRow(const stream::EpochStats& s, std::ostream* out) {
+  *out << s.epoch << "," << s.batches_applied << "," << s.num_nodes << ","
+       << s.num_edges << "," << s.iterations << ","
+       << (s.converged ? "true" : "false") << ","
+       << FormatDouble(s.apply_ms, 3) << "," << FormatDouble(s.rank_ms, 3)
+       << "," << FormatDouble(s.publish_ms, 3) << "\n";
+}
+
+}  // namespace
+
+Status RunStream(const Config& config, std::ostream* out) {
+  SCHOLAR_ASSIGN_OR_RETURN(Corpus corpus, LoadCorpus(config));
+  SCHOLAR_ASSIGN_OR_RETURN(
+      StreamPlan plan,
+      PlanStream(corpus.graph, config.GetDoubleOr("base_fraction", 0.5),
+                 config.GetIntOr("batches", 4)));
+  if (config.Has("out_batches")) {
+    SCHOLAR_ASSIGN_OR_RETURN(std::string path, config.GetString("out_batches"));
+    SCHOLAR_RETURN_NOT_OK(stream::WriteEdgeBatchFile(plan.batches, path));
+    *out << "wrote batch stream: " << path << " (" << plan.batches.size()
+         << " batches)\n";
+  }
+
+  stream::IncrementalRankerOptions ranker_options;
+  ranker_options.ranker = config.GetStringOr("ranker", "pagerank");
+  ranker_options.config = config;
+  ranker_options.mode = config.GetStringOr("mode", "full");
+  ranker_options.frontier_tolerance =
+      config.GetDoubleOr("frontier_tolerance", 1e-12);
+  SCHOLAR_ASSIGN_OR_RETURN(
+      stream::IncrementalRanker ranker,
+      stream::IncrementalRanker::Create(ranker_options));
+
+  stream::StreamingGraph streaming(std::move(plan.base));
+  serve::SnapshotManager manager;
+  stream::EpochPublisher publisher =
+      [&](const CitationGraph& graph, const RankResult& result,
+          const stream::EpochStats& stats) -> Status {
+    RankingOutput ranking;
+    ranking.ranks = ScoresToRanks(result.scores);
+    ranking.percentiles = RankPercentiles(result.scores);
+    ranking.scores = result.scores;
+    ranking.iterations = result.iterations;
+    ranking.converged = result.converged;
+    serve::SnapshotMeta meta;
+    meta.snapshot_id = stats.epoch;
+    meta.created_unix = static_cast<int64_t>(std::time(nullptr));
+    meta.ranker_name = ranker.ranker_name();
+    meta.corpus_name = corpus.name;
+    SCHOLAR_ASSIGN_OR_RETURN(
+        serve::ScoreSnapshot snapshot,
+        serve::ScoreSnapshot::Build(graph, ranking, std::move(meta)));
+    manager.Install(std::move(snapshot));
+    return Status::OK();
+  };
+  stream::EpochPipeline pipeline(&streaming, &ranker, std::move(publisher));
+  SCHOLAR_RETURN_NOT_OK(pipeline.Bootstrap());
+
+  // With port= the replay doubles as a live server: queries are answered
+  // from the freshest published epoch while batches keep landing.
+  std::optional<serve::QueryEngine> engine;
+  std::unique_ptr<serve::Server> server;
+  if (config.Has("port")) {
+    const int64_t port = config.GetIntOr("port", 0);
+    if (port < 0 || port > 65535) {
+      return Status::InvalidArgument("port must be in [0, 65535]");
+    }
+    serve::QueryEngineOptions engine_options;
+    engine_options.cache_entries =
+        static_cast<size_t>(config.GetIntOr("cache_entries", 256));
+    engine.emplace(&manager, engine_options);
+    serve::ServerOptions server_options;
+    server_options.port = static_cast<uint16_t>(port);
+    server_options.num_threads =
+        static_cast<size_t>(config.GetIntOr("threads", 4));
+    server = std::make_unique<serve::Server>(&*engine, server_options);
+    SCHOLAR_RETURN_NOT_OK(server->Start());
+    *out << "streaming " << corpus.name << " port=" << server->port() << "\n"
+         << std::flush;
+  }
+
+  *out << "epoch,applied,nodes,edges,iterations,converged,apply_ms,rank_ms,"
+          "publish_ms\n";
+  PrintEpochRow(pipeline.history().front(), out);
+  for (stream::EdgeBatch& batch : plan.batches) {
+    SCHOLAR_ASSIGN_OR_RETURN(stream::EpochStats stats,
+                             pipeline.Step(std::move(batch)));
+    PrintEpochRow(stats, out);
+    *out << std::flush;
+  }
+  if (server != nullptr) {
+    server->Stop();
+    server->Wait();
+    *out << "server stopped (" << server->connections_accepted()
+         << " connections served)\n";
+  }
+
+  if (config.GetBoolOr("oracle", true)) {
+    SCHOLAR_ASSIGN_OR_RETURN(
+        stream::IncrementalRanker cold,
+        stream::IncrementalRanker::Create(ranker_options));
+    SCHOLAR_ASSIGN_OR_RETURN(RankResult oracle,
+                             cold.RankCold(streaming.graph()));
+    const std::vector<double>& warm = ranker.previous_scores();
+    double max_abs_diff = 0.0;
+    for (size_t i = 0; i < warm.size() && i < oracle.scores.size(); ++i) {
+      max_abs_diff = std::max(max_abs_diff,
+                              std::fabs(warm[i] - oracle.scores[i]));
+    }
+    *out << "oracle: max_abs_diff=" << FormatDouble(max_abs_diff, 12)
+         << " cold_iterations=" << oracle.iterations
+         << " warm_total_iterations=" << pipeline.total_iterations() << "\n";
+  }
+  *out << "stream: generations=" << manager.generation()
+       << " dropped_forward_edges=" << plan.dropped_forward_edges << "\n";
+  return Status::OK();
+}
+
+namespace {
+
 /// SIGINT → one byte down a self-pipe; everything that is not
 /// async-signal-safe (mutexes, joins) happens on the watcher thread that
 /// reads the other end.
@@ -321,6 +527,10 @@ std::string UsageText() {
          "  snapshot   rank a corpus and write the serving artifact;\n"
          "             corpus inputs + ranker keys + out_snapshot=<path>\n"
          "             [snapshot_id=<id>]\n"
+         "  stream     replay a corpus as an ingest stream: apply batches,\n"
+         "             warm re-rank, republish; base_fraction=<f> batches=<b>\n"
+         "             ranker=<name> mode=full|frontier [frontier_tolerance=]\n"
+         "             [out_batches=<path>] [port=<p|0>] [oracle=true|false]\n"
          "  serve      serve a snapshot over line-protocol TCP;\n"
          "             snapshot=<path> port=<p|0> threads=<t> [max_k=]\n"
          "             [cache_entries=] [allow_reload=true|false]\n"
@@ -352,6 +562,8 @@ int Main(int argc, const char* const* argv, std::ostream* out,
     status = RunConvert(*config, out);
   } else if (command == "snapshot") {
     status = RunSnapshot(*config, out);
+  } else if (command == "stream") {
+    status = RunStream(*config, out);
   } else if (command == "serve") {
     status = RunServe(*config, out);
   } else if (command == "help" || command == "--help" || command == "-h") {

@@ -46,6 +46,17 @@ Status RunConvert(const Config& config, std::ostream* out);
 /// out_snapshot=<path> (required), snapshot_id=<id>.
 Status RunSnapshot(const Config& config, std::ostream* out);
 
+/// `stream`: replay a corpus as a live ingest stream — split it into a
+/// base graph plus year-ordered EdgeBatches, then run the epoch loop
+/// (apply batch, warm re-rank, republish through SnapshotManager).
+/// Keys: corpus inputs (see LoadCorpus), base_fraction=<f> (default 0.5),
+/// batches=<b> (default 4), ranker=<name> (default pagerank),
+/// mode=full|frontier, frontier_tolerance=<t>, out_batches=<path> (write
+/// the generated wire-format stream), port=<p|0> (serve live during the
+/// replay), oracle=true|false (default true: cold-rank the final graph
+/// and report warm-vs-cold drift and iteration savings).
+Status RunStream(const Config& config, std::ostream* out);
+
 /// `serve`: answer line-protocol TCP queries from a snapshot file.
 /// Keys: snapshot=<path> (required), port=<p> (default 7601, 0 =
 /// ephemeral), threads=<t>, max_k=, cache_entries=, allow_reload=.

@@ -59,7 +59,8 @@ Result<HitsRanker::HubsAndAuthorities> HitsRanker::RankBoth(
 }
 
 Result<HitsRanker::HubsAndAuthorities> HitsRanker::RankBothOnAccess(
-    const GraphAccess& g, size_t workers) const {
+    const GraphAccess& g, size_t workers,
+    const std::vector<double>* initial_authorities) const {
   if (options_.max_iterations <= 0) {
     return Status::InvalidArgument("max_iterations must be positive");
   }
@@ -76,6 +77,31 @@ Result<HitsRanker::HubsAndAuthorities> HitsRanker::RankBothOnAccess(
 
   const size_t chunks = ChunkCount(n, kNodeGrain);
   std::vector<double> partial(chunks, 0.0);
+
+  if (initial_authorities != nullptr && initial_authorities->size() == n) {
+    // Warm start: begin the alternation at the previous authorities and a
+    // hub vector gathered from them, instead of the uniform direction. The
+    // power method still converges to the principal eigenvector — a seed
+    // only shortens the walk there (unless it is degenerate, in which case
+    // NormalizeL2 leaves the uniform fallback in place).
+    std::vector<double> seed = *initial_authorities;
+    if (NormalizeL2(&seed, pool, &partial) > 0.0) {
+      out.authorities = std::move(seed);
+      ParallelFor(pool, n, kNodeGrain, [&](size_t begin, size_t end) {
+        for (NodeId u = static_cast<NodeId>(begin); u < end; ++u) {
+          double acc = 0.0;
+          for (EdgeId e = g.out_begin[u]; e < g.out_end[u]; ++e) {
+            acc += out.authorities[g.out_neighbors[e]];
+          }
+          out.hubs[u] = acc;
+        }
+      });
+      // A zero norm is returned exactly, never approximately.  NOLINT(float-compare)
+      if (NormalizeL2(&out.hubs, pool, &partial) == 0.0) {  // NOLINT(float-compare)
+        out.hubs.assign(n, 1.0 / std::sqrt(static_cast<double>(n)));
+      }
+    }
+  }
   std::vector<double> prev_auth(n);
   out.converged = false;
   for (int iter = 1; iter <= options_.max_iterations; ++iter) {
@@ -132,10 +158,12 @@ Result<RankResult> HitsRanker::RankImpl(const RankContext& ctx) const {
   if (ctx.view != nullptr) {
     ViewRowEnds rows;
     const GraphAccess a = AccessOf(*ctx.view, &rows);
-    SCHOLAR_ASSIGN_OR_RETURN(both, RankBothOnAccess(a, workers));
-  } else {
     SCHOLAR_ASSIGN_OR_RETURN(both,
-                             RankBothOnAccess(AccessOf(*ctx.graph), workers));
+                             RankBothOnAccess(a, workers, ctx.initial_scores));
+  } else {
+    SCHOLAR_ASSIGN_OR_RETURN(
+        both,
+        RankBothOnAccess(AccessOf(*ctx.graph), workers, ctx.initial_scores));
   }
   RankResult result;
   result.scores = std::move(both.authorities);

@@ -43,9 +43,14 @@ class HitsRanker : public Ranker {
 
  private:
   /// The iteration, written against GraphAccess so full graphs and
-  /// zero-copy snapshot views share one code path.
-  Result<HubsAndAuthorities> RankBothOnAccess(const GraphAccess& a,
-                                              size_t workers) const;
+  /// zero-copy snapshot views share one code path. `initial_authorities`
+  /// (optional) warm-starts the alternation: the authority vector is
+  /// seeded from it and the hub vector from one out-CSR gather over it,
+  /// so both sides start near the previous fixed point. The principal
+  /// eigenvector the power method converges to is unchanged.
+  Result<HubsAndAuthorities> RankBothOnAccess(
+      const GraphAccess& a, size_t workers,
+      const std::vector<double>* initial_authorities = nullptr) const;
 
   HitsOptions options_;
 };

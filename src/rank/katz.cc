@@ -45,7 +45,16 @@ Result<RankResult> KatzRanker::RankImpl(const RankContext& ctx) const {
   // s <- alpha * A^T (s + 1), evaluated as a pull: v gathers
   // alpha * (s(u) + 1) over its citers u, so no write ever leaves v's slot.
   // contribution[] hoists the per-source term out of the gather.
+  //
+  // A warm-start seed replaces the zero start; the iteration is a
+  // contraction with a unique fixed point, so the seed never changes the
+  // answer, only the number of rounds needed to reach it. Callers seeding
+  // from a previous RankResult should rescale by its score_mass — the
+  // fixed point is not a distribution, and a unit-mass seed is far from it.
   std::vector<double> scores(n, 0.0);
+  if (ctx.initial_scores != nullptr && !ctx.initial_scores->empty()) {
+    scores = *ctx.initial_scores;
+  }
   std::vector<double> next(n);
   std::vector<double> contribution(n);
   const size_t chunks = ChunkCount(n, kNodeGrain);
@@ -97,11 +106,13 @@ Result<RankResult> KatzRanker::RankImpl(const RankContext& ctx) const {
       break;
     }
   }
-  // L1-normalize so scores are comparable across graphs.
+  // L1-normalize so scores are comparable across graphs; the pre-division
+  // mass is reported so warm-start callers can undo the normalization.
   double total = 0.0;
   for (double v : scores) total += v;
   if (total > 0.0) {
     for (double& v : scores) v /= total;
+    result.score_mass = total;
   }
   result.scores = std::move(scores);
   return result;

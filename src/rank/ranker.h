@@ -72,6 +72,12 @@ struct RankResult {
   double final_residual = 0.0;
   /// False when max_iterations was hit before reaching tolerance.
   bool converged = true;
+  /// L1 mass of the solver's final iterate before output normalization
+  /// (1.0 for rankers whose scores already form a distribution). Scaling
+  /// `scores` by this reconstructs the iteration's natural magnitude — the
+  /// correct warm-start seed for the affine-fixed-point kernels (Katz,
+  /// SCEAS), whose iterates are not probability vectors.
+  double score_mass = 1.0;
 };
 
 /// A query-independent article ranker.

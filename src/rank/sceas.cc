@@ -49,7 +49,15 @@ Result<RankResult> SceasRanker::RankImpl(const RankContext& ctx) const {
   // s(v) = Σ_{u cites v} (s(u) + b) / (a · outdeg(u)), evaluated as a pull
   // over the in-CSR with the per-source share hoisted into share[] — no
   // write ever leaves v's slot.
+  //
+  // A warm-start seed replaces the zero start; with a > 1 the iteration
+  // contracts to a unique fixed point, so the seed only affects the round
+  // count. Seeds taken from a previous RankResult should be rescaled by
+  // its score_mass to recover the iteration's natural magnitude.
   std::vector<double> scores(n, 0.0);
+  if (ctx.initial_scores != nullptr && !ctx.initial_scores->empty()) {
+    scores = *ctx.initial_scores;
+  }
   std::vector<double> next(n);
   std::vector<double> share(n);
   const size_t chunks = ChunkCount(n, kNodeGrain);
@@ -93,6 +101,7 @@ Result<RankResult> SceasRanker::RankImpl(const RankContext& ctx) const {
   for (double v : scores) total += v;
   if (total > 0.0) {
     for (double& v : scores) v /= total;
+    result.score_mass = total;
   }
   result.scores = std::move(scores);
   return result;

@@ -1,0 +1,204 @@
+#include "stream/edge_batch.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "util/byte_reader.h"
+#include "util/crc32.h"
+
+namespace scholar {
+namespace stream {
+namespace {
+
+constexpr char kMagic[4] = {'S', 'R', 'E', 'B'};
+constexpr uint32_t kVersion = 1;
+
+/// Same plausibility window as the graph_io text parser; the stream
+/// additionally rejects kUnknownYear because year-monotone ingest needs a
+/// real year to compare against the frontier.
+constexpr int64_t kMaxPlausibleYear = 1000000;
+
+static_assert(sizeof(StreamEdge) == 2 * sizeof(NodeId),
+              "StreamEdge must be two packed u32s — the wire format and "
+              "the CRC both assume no padding");
+
+/// The format contract shared by writer and reader, phrased over a decoded
+/// batch. `what` distinguishes writer refusal from parser rejection.
+Status ValidateBatchShape(const EdgeBatch& batch, const char* what) {
+  Year prev_year = -1;
+  for (size_t i = 0; i < batch.node_years.size(); ++i) {
+    const Year year = batch.node_years[i];
+    if (year < 0 || year > kMaxPlausibleYear) {
+      return Status::Corruption(std::string(what) + ": implausible year " +
+                                std::to_string(year) + " at batch node " +
+                                std::to_string(i));
+    }
+    if (i > 0 && year < prev_year) {
+      return Status::Corruption(
+          std::string(what) + ": years must be non-decreasing within a "
+          "batch; node " + std::to_string(i) + " has year " +
+          std::to_string(year) + " after " + std::to_string(prev_year));
+    }
+    prev_year = year;
+  }
+  if (!batch.edges.empty() && batch.node_years.empty()) {
+    return Status::Corruption(std::string(what) +
+                              ": a batch with no new nodes cannot carry "
+                              "edges (sources must be batch-new)");
+  }
+  NodeId min_src = kInvalidNode;
+  NodeId max_src = 0;
+  for (size_t i = 0; i < batch.edges.size(); ++i) {
+    const StreamEdge& e = batch.edges[i];
+    if (e.src == e.dst) {
+      return Status::Corruption(std::string(what) + ": self-loop " +
+                                std::to_string(e.src) + " -> " +
+                                std::to_string(e.dst));
+    }
+    if (i > 0) {
+      const StreamEdge& p = batch.edges[i - 1];
+      if (e.src < p.src || (e.src == p.src && e.dst <= p.dst)) {
+        return Status::Corruption(
+            std::string(what) + ": edges must be strictly sorted by "
+            "(src, dst); edge " + std::to_string(i) + " is (" +
+            std::to_string(e.src) + ", " + std::to_string(e.dst) + ")");
+      }
+    }
+    min_src = std::min(min_src, e.src);
+    max_src = std::max(max_src, e.src);
+  }
+  if (!batch.edges.empty() &&
+      static_cast<uint64_t>(max_src) - min_src >= batch.node_years.size()) {
+    return Status::Corruption(
+        std::string(what) + ": edge sources span " +
+        std::to_string(static_cast<uint64_t>(max_src) - min_src + 1) +
+        " ids but the batch declares only " +
+        std::to_string(batch.node_years.size()) + " new nodes");
+  }
+  return Status::OK();
+}
+
+uint32_t PayloadCrc(const EdgeBatch& batch) {
+  uint32_t crc = Crc32Update(0, batch.node_years.data(),
+                             batch.node_years.size() * sizeof(Year));
+  return Crc32Update(crc, batch.edges.data(),
+                     batch.edges.size() * sizeof(StreamEdge));
+}
+
+}  // namespace
+
+Status WriteEdgeBatch(const EdgeBatch& batch, std::ostream* out) {
+  Status shape = ValidateBatchShape(batch, "refusing to write batch");
+  if (!shape.ok()) return Status::InvalidArgument(shape.message());
+  out->write(kMagic, sizeof(kMagic));
+  const uint32_t version = kVersion;
+  out->write(reinterpret_cast<const char*>(&version), sizeof(version));
+  out->write(reinterpret_cast<const char*>(&batch.sequence),
+             sizeof(batch.sequence));
+  const uint32_t num_nodes = static_cast<uint32_t>(batch.node_years.size());
+  const uint64_t num_edges = batch.edges.size();
+  out->write(reinterpret_cast<const char*>(&num_nodes), sizeof(num_nodes));
+  out->write(reinterpret_cast<const char*>(&num_edges), sizeof(num_edges));
+  if (num_nodes > 0) {
+    out->write(reinterpret_cast<const char*>(batch.node_years.data()),
+               static_cast<std::streamsize>(num_nodes * sizeof(Year)));
+  }
+  if (num_edges > 0) {
+    out->write(reinterpret_cast<const char*>(batch.edges.data()),
+               static_cast<std::streamsize>(num_edges * sizeof(StreamEdge)));
+  }
+  const uint32_t crc = PayloadCrc(batch);
+  out->write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  if (!*out) return Status::IOError("short write while encoding edge batch");
+  return Status::OK();
+}
+
+Result<EdgeBatch> ReadEdgeBatch(std::istream* in) {
+  ByteReader reader(in);
+  char magic[4] = {};
+  if (!reader.ReadRaw(&magic)) {
+    return Status::Corruption("truncated edge batch header");
+  }
+  if (std::string_view(magic, 4) != std::string_view(kMagic, 4)) {
+    return Status::Corruption("bad edge batch magic (want SREB)");
+  }
+  uint32_t version = 0;
+  uint64_t sequence = 0;
+  uint32_t num_nodes = 0;
+  uint64_t num_edges = 0;
+  if (!reader.ReadRaw(&version) || !reader.ReadRaw(&sequence) ||
+      !reader.ReadRaw(&num_nodes) || !reader.ReadRaw(&num_edges)) {
+    return Status::Corruption("truncated edge batch header");
+  }
+  if (version != kVersion) {
+    return Status::Corruption("unsupported edge batch version " +
+                              std::to_string(version));
+  }
+  // Reject a header whose declared payload cannot fit the remaining bytes
+  // before decoding any of it; ReadVector's chunked reads bound memory even
+  // when the stream is not seekable and this check is unavailable.
+  if (std::optional<uint64_t> remaining = reader.RemainingBytes()) {
+    const uint64_t declared = uint64_t{num_nodes} * sizeof(Year) +
+                              num_edges * sizeof(StreamEdge) +
+                              sizeof(uint32_t);
+    if (num_edges > (*remaining / sizeof(StreamEdge)) + 1 ||
+        declared > *remaining) {
+      return Status::Corruption(
+          "edge batch declares " + std::to_string(declared) +
+          " payload bytes but only " + std::to_string(*remaining) +
+          " remain");
+    }
+  }
+  EdgeBatch batch;
+  batch.sequence = sequence;
+  SCHOLAR_RETURN_NOT_OK(
+      reader.ReadVector(num_nodes, "edge batch years", &batch.node_years));
+  SCHOLAR_RETURN_NOT_OK(reader.ReadVector(
+      static_cast<size_t>(num_edges), "edge batch edges", &batch.edges));
+  uint32_t crc = 0;
+  if (!reader.ReadRaw(&crc)) {
+    return Status::Corruption("truncated edge batch checksum");
+  }
+  if (crc != PayloadCrc(batch)) {
+    return Status::Corruption("edge batch payload checksum mismatch");
+  }
+  SCHOLAR_RETURN_NOT_OK(ValidateBatchShape(batch, "edge batch"));
+  return batch;
+}
+
+Result<std::vector<EdgeBatch>> ReadEdgeBatches(std::istream* in) {
+  std::vector<EdgeBatch> batches;
+  while (in->peek() != std::istream::traits_type::eof()) {
+    SCHOLAR_ASSIGN_OR_RETURN(EdgeBatch batch, ReadEdgeBatch(in));
+    batches.push_back(std::move(batch));
+  }
+  if (batches.empty()) {
+    return Status::Corruption("edge batch stream is empty");
+  }
+  return batches;
+}
+
+Status WriteEdgeBatchFile(const std::vector<EdgeBatch>& batches,
+                          const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  for (const EdgeBatch& batch : batches) {
+    SCHOLAR_RETURN_NOT_OK(WriteEdgeBatch(batch, &out));
+  }
+  if (!out.flush()) return Status::IOError("short write: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<EdgeBatch>> ReadEdgeBatchFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open: " + path);
+  return ReadEdgeBatches(&in);
+}
+
+}  // namespace stream
+}  // namespace scholar

@@ -1,0 +1,81 @@
+#ifndef SCHOLARRANK_STREAM_EDGE_BATCH_H_
+#define SCHOLARRANK_STREAM_EDGE_BATCH_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace scholar {
+namespace stream {
+
+/// One appended citation, `src` cites `dst`. In a batch, `src` must be a
+/// node introduced by that same batch: a paper's reference list is complete
+/// at publication time, which is exactly what lets StreamingGraph extend
+/// the forward CSR suffix in place instead of splicing existing rows.
+struct StreamEdge {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+
+  bool operator==(const StreamEdge&) const = default;
+};
+
+/// The streaming ingest unit: a set of new articles (years, ids assigned
+/// densely after the current graph) plus their complete reference lists.
+///
+/// Binary wire format (little-endian, version 1):
+///
+///   "SREB" | u32 version | u64 sequence | u32 num_nodes | u64 num_edges
+///   | i32 year[num_nodes] | {u32 src, u32 dst}[num_edges]
+///   | u32 crc32(year bytes + edge bytes)
+///
+/// Format contract enforced by the parser (typed Corruption errors, never
+/// UB — this is a fuzzed surface, see fuzz/harness/fuzz_edge_batch.cc):
+/// magic/version match, declared counts fit the remaining stream, years
+/// are plausible and non-decreasing within the batch, edges are strictly
+/// sorted by (src, dst) with no self-loops, and the payload CRC matches.
+/// Graph-relative checks (source is batch-new, endpoint in range,
+/// year-monotone vs. the frontier) belong to StreamingGraph::Ingest.
+struct EdgeBatch {
+  /// Position in the stream; StreamingGraph applies batches in strictly
+  /// increasing sequence order and stages out-of-order arrivals.
+  uint64_t sequence = 0;
+  /// Publication year of each new article, in id order (non-decreasing).
+  std::vector<Year> node_years;
+  /// New citations, strictly sorted by (src, dst). `src` is relative to
+  /// the graph the batch lands on: the first new article of the batch gets
+  /// id `old_num_nodes`, so batch files are position-independent only for
+  /// the stream they were cut from.
+  std::vector<StreamEdge> edges;
+
+  size_t num_nodes() const { return node_years.size(); }
+  size_t num_edges() const { return edges.size(); }
+
+  bool operator==(const EdgeBatch&) const = default;
+};
+
+/// Serializes one batch. Fails (InvalidArgument) when the batch violates
+/// the format contract — the writer refuses to produce bytes the reader
+/// would reject.
+Status WriteEdgeBatch(const EdgeBatch& batch, std::ostream* out);
+
+/// Decodes one batch from the stream. Malformed bytes yield a typed
+/// Corruption/InvalidArgument status, never UB or an unbounded allocation.
+Result<EdgeBatch> ReadEdgeBatch(std::istream* in);
+
+/// Reads concatenated batches until end-of-stream. An empty stream is an
+/// error (a miswired path must not yield an empty, "successful" stream).
+Result<std::vector<EdgeBatch>> ReadEdgeBatches(std::istream* in);
+
+/// File convenience wrappers around the stream forms.
+Status WriteEdgeBatchFile(const std::vector<EdgeBatch>& batches,
+                          const std::string& path);
+Result<std::vector<EdgeBatch>> ReadEdgeBatchFile(const std::string& path);
+
+}  // namespace stream
+}  // namespace scholar
+
+#endif  // SCHOLARRANK_STREAM_EDGE_BATCH_H_

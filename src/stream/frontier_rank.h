@@ -1,0 +1,59 @@
+#ifndef SCHOLARRANK_STREAM_FRONTIER_RANK_H_
+#define SCHOLARRANK_STREAM_FRONTIER_RANK_H_
+
+#include <vector>
+
+#include "graph/graph_access.h"
+#include "graph/types.h"
+#include "rank/ranker.h"
+#include "util/status.h"
+
+namespace scholar {
+namespace stream {
+
+struct FrontierOptions {
+  double damping = 0.85;
+  /// Global stop: L1 change summed over the active set.
+  double tolerance = 1e-10;
+  int max_iterations = 200;
+  /// A node whose per-round score delta stays at or below this freezes
+  /// (drops out of the active set) until a neighbor reactivates it. This
+  /// is the staleness knob: 0 converges everything influence reaches
+  /// (smallest drift, largest frontier); larger values shrink the frontier
+  /// and admit proportionally more drift vs. the exact fixed point.
+  double frontier_tolerance = 1e-12;
+  /// 0 = hardware concurrency, 1 = serial. Scores are bit-identical at
+  /// every setting (fixed chunk geometry, ordered reductions, serial
+  /// frontier propagation).
+  int threads = 0;
+};
+
+/// Active-set PageRank for streaming updates: power iteration over the
+/// uniform-weight damped walk (the same system as the `pagerank` registry
+/// kernel) that re-gathers only nodes whose inputs are still moving.
+///
+/// `seed` is the previous score vector extended to the grown graph (it is
+/// L1-renormalized internally); `dirty` lists the nodes whose adjacency
+/// the update touched — new articles plus the targets of new citations.
+/// The first round re-gathers every node (a grown graph shifts the global
+/// teleport term, an error no local delta can detect), then nodes whose
+/// measured per-round delta stays at or below frontier_tolerance freeze,
+/// and influence spreads from the still-moving set along out-edges (a
+/// changed article reweights the papers it cites). From round two on, each
+/// round costs O(n + edges(active)) instead of O(n + m).
+///
+/// Accuracy contract: a node freezes only after a gather against the
+/// current graph showed its per-round change at or below
+/// frontier_tolerance, so each freeze forgoes at most that much L1 change
+/// per subsequent round (geometrically decaying with the damping factor).
+/// The epoch tests bound the observed drift; full-accuracy callers use
+/// mode=full (IncrementalRanker), which re-gathers everything.
+Result<RankResult> FrontierPowerIteration(const GraphAccess& g,
+                                          const std::vector<double>& seed,
+                                          const std::vector<NodeId>& dirty,
+                                          const FrontierOptions& options);
+
+}  // namespace stream
+}  // namespace scholar
+
+#endif  // SCHOLARRANK_STREAM_FRONTIER_RANK_H_

@@ -1,0 +1,147 @@
+#include "stream/streaming_graph.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace scholar {
+namespace stream {
+
+StreamingGraph::StreamingGraph(CitationGraph base,
+                               StreamingGraphOptions options)
+    : options_(options),
+      years_(base.years()),
+      out_offsets_(base.out_offsets()),
+      out_neighbors_(base.out_neighbors()),
+      frontier_year_(base.max_year()),
+      frozen_(std::move(base)) {}
+
+Status StreamingGraph::Validate(const EdgeBatch& batch) const {
+  const size_t old_n = years_.size();
+  const size_t new_n = old_n + batch.num_nodes();
+  if (new_n > static_cast<size_t>(kInvalidNode)) {
+    return Status::OutOfRange("batch would overflow the 32-bit id space");
+  }
+  Year prev = frontier_year_;
+  for (size_t i = 0; i < batch.node_years.size(); ++i) {
+    const Year year = batch.node_years[i];
+    if (year == kUnknownYear) {
+      return Status::InvalidArgument(
+          "streamed articles need a known year (batch node " +
+          std::to_string(i) + ")");
+    }
+    if (prev != kUnknownYear && year < prev) {
+      return Status::FailedPrecondition(
+          "batch " + std::to_string(batch.sequence) + " is not year-"
+          "monotone: node " + std::to_string(i) + " has year " +
+          std::to_string(year) + " below the frontier " +
+          std::to_string(prev));
+    }
+    prev = year;
+  }
+  for (size_t i = 0; i < batch.edges.size(); ++i) {
+    const StreamEdge& e = batch.edges[i];
+    if (e.src < old_n || e.src >= new_n) {
+      return Status::InvalidArgument(
+          "edge source " + std::to_string(e.src) + " is not a node of "
+          "batch " + std::to_string(batch.sequence) +
+          " (suffix-append streams may only add edges from new articles)");
+    }
+    if (e.dst >= new_n) {
+      return Status::InvalidArgument(
+          "edge destination " + std::to_string(e.dst) +
+          " does not exist (graph will have " + std::to_string(new_n) +
+          " nodes after batch " + std::to_string(batch.sequence) + ")");
+    }
+    if (e.dst == e.src) {
+      return Status::InvalidArgument("self-citation " +
+                                     std::to_string(e.src));
+    }
+    if (i > 0) {
+      const StreamEdge& p = batch.edges[i - 1];
+      if (e.src < p.src || (e.src == p.src && e.dst <= p.dst)) {
+        return Status::InvalidArgument(
+            "batch edges must be strictly sorted by (src, dst)");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void StreamingGraph::ApplyValidated(const EdgeBatch& batch) {
+  const NodeId old_n = static_cast<NodeId>(years_.size());
+  years_.insert(years_.end(), batch.node_years.begin(),
+                batch.node_years.end());
+  // Extend the forward CSR suffix: edges are sorted by src, so one sweep
+  // emits each new row (empty rows for uncited-and-unciting newcomers
+  // included) in id order.
+  size_t edge = 0;
+  for (NodeId u = old_n; u < years_.size(); ++u) {
+    while (edge < batch.edges.size() && batch.edges[edge].src == u) {
+      out_neighbors_.push_back(batch.edges[edge].dst);
+      ++edge;
+    }
+    out_offsets_.push_back(static_cast<EdgeId>(out_neighbors_.size()));
+  }
+  if (!batch.node_years.empty()) {
+    frontier_year_ = std::max(frontier_year_, batch.node_years.back());
+  }
+  ++next_sequence_;
+  ++version_;
+  frozen_stale_ = true;
+}
+
+Result<size_t> StreamingGraph::Ingest(EdgeBatch batch) {
+  if (batch.sequence < next_sequence_) {
+    return Status::AlreadyExists(
+        "batch sequence " + std::to_string(batch.sequence) +
+        " was already applied (next expected: " +
+        std::to_string(next_sequence_) + ")");
+  }
+  if (batch.sequence > next_sequence_) {
+    if (staged_.size() >= options_.max_staged_batches) {
+      return Status::FailedPrecondition(
+          "staging buffer full (" + std::to_string(staged_.size()) +
+          " batches) while waiting for sequence " +
+          std::to_string(next_sequence_));
+    }
+    // Validate what can be checked without knowing the intermediate graph
+    // (the id-window check ran at parse time); full validation reruns when
+    // the gap fills and the batch actually applies.
+    if (staged_.count(batch.sequence) > 0) {
+      return Status::AlreadyExists("batch sequence " +
+                                   std::to_string(batch.sequence) +
+                                   " is already staged");
+    }
+    staged_.emplace(batch.sequence, std::move(batch));
+    return size_t{0};
+  }
+  SCHOLAR_RETURN_NOT_OK(Validate(batch));
+  ApplyValidated(batch);
+  size_t applied = 1;
+  // Drain staged successors now contiguous with the applied prefix. A
+  // staged batch that fails validation surfaces its error here; it has
+  // already left the staging buffer, so the stream is not wedged by it.
+  auto it = staged_.find(next_sequence_);
+  while (it != staged_.end()) {
+    const EdgeBatch staged = std::move(it->second);
+    staged_.erase(it);
+    Status status = Validate(staged);
+    if (!status.ok()) return status;
+    ApplyValidated(staged);
+    ++applied;
+    it = staged_.find(next_sequence_);
+  }
+  return applied;
+}
+
+const CitationGraph& StreamingGraph::graph() {
+  if (frozen_stale_) {
+    frozen_ = CitationGraph::FromCsr(years_, out_offsets_, out_neighbors_);
+    frozen_stale_ = false;
+  }
+  return frozen_;
+}
+
+}  // namespace stream
+}  // namespace scholar

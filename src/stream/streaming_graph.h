@@ -1,0 +1,98 @@
+#ifndef SCHOLARRANK_STREAM_STREAMING_GRAPH_H_
+#define SCHOLARRANK_STREAM_STREAMING_GRAPH_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "graph/citation_graph.h"
+#include "graph/types.h"
+#include "stream/edge_batch.h"
+#include "util/status.h"
+
+namespace scholar {
+namespace stream {
+
+struct StreamingGraphOptions {
+  /// Most out-of-order batches held while waiting for a sequence gap to
+  /// fill; one more arrival returns FailedPrecondition so a stalled
+  /// producer surfaces as an error instead of unbounded buffering.
+  size_t max_staged_batches = 64;
+};
+
+/// A citation graph that grows by year-monotone suffix appends.
+///
+/// The time-prefix CSR representation (graph/temporal_csr.h) orders nodes
+/// by year, so "the corpus one batch later" is always "the same arrays,
+/// longer": a new article appends its year and its complete, sorted
+/// reference row to the forward CSR — nothing before the old suffix moves.
+/// That is the append path here: `years_ / out_offsets_ / out_neighbors_`
+/// are extended in place per applied batch, O(batch) work.
+///
+/// Validation on every batch (typed Status, never a crash — the fuzz
+/// harness drives accepted parses straight into Ingest):
+///   - sequence contiguity, with a bounded staging buffer for stragglers;
+///   - year monotonicity: every new node's year >= the current frontier;
+///   - edge sources must be nodes of the applying batch (the suffix-only
+///     contract), endpoints must exist, no self-loops or duplicates.
+///
+/// The reverse CSR every ranking kernel pulls over is recomputed lazily in
+/// graph(): one O(V+E) FromCsr pass per epoch, amortized against the many
+/// O(V+E) iteration passes the warm start saves (DESIGN.md, streaming
+/// pipeline section).
+class StreamingGraph {
+ public:
+  /// Seeds the stream from an already-built corpus. The first expected
+  /// batch sequence is 1 (0 is "the base"). The base does not need
+  /// year-monotone node ids; the frontier starts at its max year.
+  explicit StreamingGraph(CitationGraph base,
+                          StreamingGraphOptions options = {});
+
+  /// Accepts one batch. The next expected sequence is applied immediately,
+  /// then any staged successors drain; later sequences are staged; earlier
+  /// (duplicate) sequences are rejected with AlreadyExists. Returns how
+  /// many batches were applied (0 = staged only). On a validation error
+  /// the graph is unchanged and the batch is dropped.
+  Result<size_t> Ingest(EdgeBatch batch);
+
+  size_t num_nodes() const { return years_.size(); }
+  size_t num_edges() const { return out_neighbors_.size(); }
+
+  /// Max year applied so far; batches below it are rejected.
+  Year frontier_year() const { return frontier_year_; }
+
+  /// Sequence the next applied batch must carry.
+  uint64_t next_sequence() const { return next_sequence_; }
+
+  /// Out-of-order batches currently parked.
+  size_t staged_batches() const { return staged_.size(); }
+
+  /// Bumps once per applied batch; lets callers detect that graph() went
+  /// stale without holding a reference to it.
+  uint64_t version() const { return version_; }
+
+  /// The grown graph, with the reverse CSR rebuilt if any batch was
+  /// applied since the last call. The reference is invalidated by the next
+  /// successful Ingest.
+  const CitationGraph& graph();
+
+ private:
+  Status Validate(const EdgeBatch& batch) const;
+  void ApplyValidated(const EdgeBatch& batch);
+
+  StreamingGraphOptions options_;
+  std::vector<Year> years_;
+  std::vector<EdgeId> out_offsets_;
+  std::vector<NodeId> out_neighbors_;
+  Year frontier_year_ = kUnknownYear;
+  uint64_t next_sequence_ = 1;
+  uint64_t version_ = 0;
+  std::map<uint64_t, EdgeBatch> staged_;
+  CitationGraph frozen_;
+  bool frozen_stale_ = false;
+};
+
+}  // namespace stream
+}  // namespace scholar
+
+#endif  // SCHOLARRANK_STREAM_STREAMING_GRAPH_H_

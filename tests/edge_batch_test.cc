@@ -1,0 +1,230 @@
+#include "stream/edge_batch.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/crc32.h"
+
+namespace scholar {
+namespace stream {
+namespace {
+
+EdgeBatch SampleBatch() {
+  EdgeBatch batch;
+  batch.sequence = 7;
+  batch.node_years = {2015, 2015, 2016};
+  batch.edges = {{5, 0}, {5, 3}, {6, 5}, {7, 1}};
+  return batch;
+}
+
+std::string Bytes(const EdgeBatch& batch) {
+  std::ostringstream out(std::ios::binary);
+  Status status = WriteEdgeBatch(batch, &out);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return out.str();
+}
+
+Result<EdgeBatch> Parse(const std::string& bytes) {
+  std::istringstream in(bytes, std::ios::binary);
+  return ReadEdgeBatch(&in);
+}
+
+// Header layout: "SREB" u32 version | u64 sequence | u32 num_nodes |
+// u64 num_edges — payload (years, edges) starts at byte 28, CRC is the
+// last 4 bytes.
+constexpr size_t kHeaderBytes = 28;
+
+/// Re-stamps the trailing CRC so a payload patch tests the semantic check
+/// it targets rather than tripping the checksum first.
+void RestampCrc(std::string* bytes) {
+  const uint32_t crc = Crc32(bytes->data() + kHeaderBytes,
+                             bytes->size() - kHeaderBytes - 4);
+  bytes->replace(bytes->size() - 4, 4, reinterpret_cast<const char*>(&crc), 4);
+}
+
+void PatchU32(std::string* bytes, size_t offset, uint32_t value) {
+  bytes->replace(offset, sizeof(value), reinterpret_cast<const char*>(&value),
+                 sizeof(value));
+}
+
+TEST(EdgeBatchTest, RoundTripsThroughBytes) {
+  const EdgeBatch batch = SampleBatch();
+  Result<EdgeBatch> parsed = Parse(Bytes(batch));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, batch);
+}
+
+TEST(EdgeBatchTest, RoundTripsEmptyHeartbeatBatch) {
+  EdgeBatch heartbeat;
+  heartbeat.sequence = 1;
+  Result<EdgeBatch> parsed = Parse(Bytes(heartbeat));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->num_nodes(), 0u);
+  EXPECT_EQ(parsed->num_edges(), 0u);
+  EXPECT_EQ(parsed->sequence, 1u);
+}
+
+TEST(EdgeBatchTest, ReadsConcatenatedBatchesInOrder) {
+  EdgeBatch second = SampleBatch();
+  second.sequence = 8;
+  second.node_years = {2017};
+  second.edges = {{8, 0}};
+  std::istringstream in(Bytes(SampleBatch()) + Bytes(second),
+                        std::ios::binary);
+  Result<std::vector<EdgeBatch>> batches = ReadEdgeBatches(&in);
+  ASSERT_TRUE(batches.ok()) << batches.status().ToString();
+  ASSERT_EQ(batches->size(), 2u);
+  EXPECT_EQ((*batches)[0], SampleBatch());
+  EXPECT_EQ((*batches)[1], second);
+}
+
+TEST(EdgeBatchTest, EmptyStreamIsAnErrorNotAnEmptySuccess) {
+  std::istringstream in(std::string(), std::ios::binary);
+  EXPECT_FALSE(ReadEdgeBatches(&in).ok());
+}
+
+TEST(EdgeBatchTest, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "edge_batch_test.bin")
+          .string();
+  std::vector<EdgeBatch> batches = {SampleBatch()};
+  batches.push_back(SampleBatch());
+  batches.back().sequence = 8;
+  ASSERT_TRUE(WriteEdgeBatchFile(batches, path).ok());
+  Result<std::vector<EdgeBatch>> read = ReadEdgeBatchFile(path);
+  std::filesystem::remove(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(*read, batches);
+}
+
+// ---- Writer refusal: bytes the reader would reject are never produced.
+
+TEST(EdgeBatchTest, WriterRefusesUnsortedEdges) {
+  EdgeBatch batch = SampleBatch();
+  std::swap(batch.edges[0], batch.edges[1]);
+  std::ostringstream out(std::ios::binary);
+  EXPECT_EQ(WriteEdgeBatch(batch, &out).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EdgeBatchTest, WriterRefusesDuplicateEdges) {
+  EdgeBatch batch = SampleBatch();
+  batch.edges[1] = batch.edges[0];
+  std::ostringstream out(std::ios::binary);
+  EXPECT_EQ(WriteEdgeBatch(batch, &out).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EdgeBatchTest, WriterRefusesSelfLoop) {
+  EdgeBatch batch = SampleBatch();
+  batch.edges[2] = {6, 6};
+  std::ostringstream out(std::ios::binary);
+  EXPECT_EQ(WriteEdgeBatch(batch, &out).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EdgeBatchTest, WriterRefusesDecreasingYears) {
+  EdgeBatch batch = SampleBatch();
+  batch.node_years = {2016, 2015, 2016};
+  std::ostringstream out(std::ios::binary);
+  EXPECT_EQ(WriteEdgeBatch(batch, &out).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EdgeBatchTest, WriterRefusesSourceSpanWiderThanBatch) {
+  EdgeBatch batch = SampleBatch();
+  batch.edges.push_back({4000, 0});
+  std::ostringstream out(std::ios::binary);
+  EXPECT_EQ(WriteEdgeBatch(batch, &out).code(), StatusCode::kInvalidArgument);
+}
+
+// ---- Reader contract: typed errors on every malformed shape.
+
+TEST(EdgeBatchTest, TruncatedHeaderIsCorruption) {
+  const std::string bytes = Bytes(SampleBatch());
+  for (size_t cut : {size_t{0}, size_t{3}, size_t{11}, size_t{27}}) {
+    Result<EdgeBatch> parsed = Parse(bytes.substr(0, cut));
+    EXPECT_EQ(parsed.status().code(), StatusCode::kCorruption) << cut;
+  }
+}
+
+TEST(EdgeBatchTest, TruncatedPayloadIsCorruption) {
+  const std::string bytes = Bytes(SampleBatch());
+  Result<EdgeBatch> parsed = Parse(bytes.substr(0, bytes.size() - 5));
+  EXPECT_EQ(parsed.status().code(), StatusCode::kCorruption);
+}
+
+TEST(EdgeBatchTest, BadMagicIsCorruption) {
+  std::string bytes = Bytes(SampleBatch());
+  bytes[0] = 'X';
+  EXPECT_EQ(Parse(bytes).status().code(), StatusCode::kCorruption);
+}
+
+TEST(EdgeBatchTest, UnknownVersionIsCorruption) {
+  std::string bytes = Bytes(SampleBatch());
+  PatchU32(&bytes, 4, 99);
+  EXPECT_EQ(Parse(bytes).status().code(), StatusCode::kCorruption);
+}
+
+TEST(EdgeBatchTest, FlippedCrcIsCorruption) {
+  std::string bytes = Bytes(SampleBatch());
+  bytes[bytes.size() - 1] ^= 0x01;
+  EXPECT_EQ(Parse(bytes).status().code(), StatusCode::kCorruption);
+}
+
+TEST(EdgeBatchTest, FlippedPayloadByteIsCaughtByCrc) {
+  std::string bytes = Bytes(SampleBatch());
+  bytes[kHeaderBytes] ^= 0x40;  // first year byte
+  EXPECT_EQ(Parse(bytes).status().code(), StatusCode::kCorruption);
+}
+
+TEST(EdgeBatchTest, AbsurdDeclaredCountIsBoundedNotAllocated) {
+  // num_edges patched to ~2^32: the declared payload exceeds the remaining
+  // bytes, so the reader must fail fast instead of allocating.
+  std::string bytes = Bytes(SampleBatch());
+  PatchU32(&bytes, 20, 0xFFFFFFFFu);
+  EXPECT_EQ(Parse(bytes).status().code(), StatusCode::kCorruption);
+}
+
+TEST(EdgeBatchTest, ImplausibleYearIsRejected) {
+  std::string bytes = Bytes(SampleBatch());
+  PatchU32(&bytes, kHeaderBytes, 99999999u);
+  RestampCrc(&bytes);
+  EXPECT_FALSE(Parse(bytes).ok());
+}
+
+TEST(EdgeBatchTest, NonMonotoneYearsAreRejected) {
+  std::string bytes = Bytes(SampleBatch());
+  PatchU32(&bytes, kHeaderBytes + 4, 1990u);
+  RestampCrc(&bytes);
+  EXPECT_FALSE(Parse(bytes).ok());
+}
+
+TEST(EdgeBatchTest, PatchedSelfLoopIsRejected) {
+  std::string bytes = Bytes(SampleBatch());
+  // Edge 2 is (6,5) at header + years(12) + 2*8; patch dst to 6.
+  PatchU32(&bytes, kHeaderBytes + 12 + 16 + 4, 6u);
+  RestampCrc(&bytes);
+  EXPECT_FALSE(Parse(bytes).ok());
+}
+
+TEST(EdgeBatchTest, PatchedUnsortedEdgesAreRejected) {
+  std::string bytes = Bytes(SampleBatch());
+  // Patch edge 0's src (5 -> 9) so the list is no longer ascending.
+  PatchU32(&bytes, kHeaderBytes + 12, 9u);
+  RestampCrc(&bytes);
+  EXPECT_FALSE(Parse(bytes).ok());
+}
+
+TEST(EdgeBatchTest, EdgesWithoutNodesAreRejected) {
+  EdgeBatch batch;
+  batch.sequence = 1;
+  batch.edges = {{1, 0}};
+  std::ostringstream out(std::ios::binary);
+  EXPECT_FALSE(WriteEdgeBatch(batch, &out).ok());
+}
+
+}  // namespace
+}  // namespace stream
+}  // namespace scholar

@@ -1,0 +1,14 @@
+// Fixture: the downward serve -> stream edge (layer 5 < 6) is the legal
+// direction of the new DAG segment — the serving layer may consume the
+// streaming pipeline, never the reverse — and must stay quiet.
+
+#include "serve/good_stream_include.h"
+
+#include "stream/epoch_pipeline.h"  // layer 5 < 6: legal
+#include "stream/edge_batch.h"      // layer 5 < 6: legal
+
+namespace scholar::serve {
+
+int ServeStreamFixture() { return 0; }
+
+}  // namespace scholar::serve

@@ -1,0 +1,19 @@
+// Fixture: the stream module sits between core and serve — the epoch
+// pipeline may drive any ranking kernel but publication is an injected
+// callback, so an #include of serve (or cli) from stream is the inverted
+// edge the DAG extension must reject.
+
+#include "stream/bad_layering.h"
+
+#include "util/status.h"            // layer 0 < 5: legal
+#include "graph/citation_graph.h"   // layer 1 < 5: legal
+#include "rank/ranker.h"            // layer 2 < 5: legal
+#include "core/registry.h"          // layer 4 < 5: legal
+#include "serve/snapshot_manager.h" // layer 6 >= 5: back-edge, must fire
+#include "cli/commands.h"           // layer 7 >= 5: back-edge, must fire
+
+namespace scholar::stream {
+
+int StreamLayeringFixture() { return 0; }
+
+}  // namespace scholar::stream

@@ -1,0 +1,18 @@
+// Fixture: everything a stream file legitimately consumes — the graph it
+// grows, the kernels it re-runs, the ensemble and registry seams — points
+// strictly down the DAG and must stay quiet.
+
+#include "stream/good_layering.h"
+
+#include "util/status.h"             // layer 0 < 5: legal
+#include "graph/temporal_csr.h"      // layer 1 < 5: legal
+#include "rank/pagerank.h"           // layer 2 < 5: legal
+#include "ensemble/ensemble_ranker.h"  // layer 3 < 5: legal
+#include "core/registry.h"           // layer 4 < 5: legal
+#include "stream/edge_batch.h"       // intra-module: free
+
+namespace scholar::stream {
+
+int StreamGoodLayeringFixture() { return 0; }
+
+}  // namespace scholar::stream

@@ -127,6 +127,68 @@ TEST_F(QueryEngineTest, TopKCacheHitsAndInvalidatesAcrossSwaps) {
   EXPECT_EQ(engine_.cache_misses(), 2u);
 }
 
+TEST_F(QueryEngineTest, CacheCannotServeStaleAcrossSameIdReinstall) {
+  // Streaming republish regression: epochs may reuse metadata (even the
+  // snapshot_id), so the top-k cache must be keyed on the manager's
+  // generation — never on anything the publisher chooses. If this test
+  // fails, a stream epoch could serve the previous epoch's page.
+  ASSERT_EQ(engine_.Execute("top_k 1"), "OK 0:0.3000000000");
+
+  CitationGraph graph = MakeTinyGraph();
+  RankingOutput ranking;
+  ranking.scores = {0.05, 0.05, 0.05, 0.05, 0.80};  // node 4 now best
+  ranking.ranks = ScoresToRanks(ranking.scores);
+  ranking.percentiles = RankPercentiles(ranking.scores);
+  SnapshotMeta meta;
+  meta.snapshot_id = 1;  // SAME id as the installed snapshot
+  manager_.Install(
+      ScoreSnapshot::Build(graph, ranking, std::move(meta)).value());
+
+  EXPECT_EQ(engine_.Execute("top_k 1"), "OK 4:0.8000000000");
+}
+
+TEST_F(QueryEngineTest, CacheCannotServeStaleAcrossGrowingSwaps) {
+  // The streaming pipeline's swaps GROW the graph. Interleave queries with
+  // three growing installs and verify every answer reflects the freshest
+  // snapshot: a stale cached page would surface as yesterday's top-k or an
+  // unknown newborn id.
+  ASSERT_EQ(engine_.Execute("top_k 2"),
+            "OK 0:0.3000000000 2:0.2500000000");
+  size_t expected_misses = engine_.cache_misses();
+  std::vector<Year> years = {2000, 2001, 2002, 2003, 2004};
+  std::vector<std::pair<NodeId, NodeId>> edges = {
+      {2, 0}, {2, 1}, {3, 0}, {3, 2}, {4, 2}, {4, 3}};
+  std::vector<double> scores = {0.30, 0.10, 0.25, 0.20, 0.15};
+  for (uint64_t epoch = 1; epoch <= 3; ++epoch) {
+    const NodeId newborn = static_cast<NodeId>(years.size());
+    years.push_back(static_cast<Year>(2004 + epoch));
+    edges.push_back({newborn, 0});
+    scores.push_back(0.30 + 0.10 * static_cast<double>(epoch));  // new best
+    RankingOutput ranking;
+    ranking.scores = scores;
+    ranking.ranks = ScoresToRanks(scores);
+    ranking.percentiles = RankPercentiles(scores);
+    SnapshotMeta meta;
+    meta.snapshot_id = epoch;
+    manager_.Install(ScoreSnapshot::Build(testing_util::MakeGraph(years, edges),
+                                          ranking, std::move(meta))
+                         .value());
+
+    // The newborn article answers immediately and tops the ranking.
+    EXPECT_EQ(engine_.Execute("rank " + std::to_string(newborn)), "OK 0")
+        << "epoch " << epoch;
+    const std::string top = engine_.Execute("top_k 1");
+    EXPECT_EQ(top.substr(0, top.find(':')),
+              "OK " + std::to_string(newborn))
+        << "epoch " << epoch;
+    EXPECT_EQ(engine_.cache_misses(), ++expected_misses)
+        << "epoch " << epoch << ": top_k page served from a stale cache";
+    // Repeat within the same generation: now it may (and should) cache.
+    EXPECT_EQ(engine_.Execute("top_k 1"), top);
+    EXPECT_EQ(engine_.cache_misses(), expected_misses);
+  }
+}
+
 TEST_F(QueryEngineTest, ReloadHotSwapsFromFile) {
   const std::string path = ::testing::TempDir() + "/engine_reload.bin";
   ASSERT_TRUE(TinySnapshot(99).WriteToFile(path).ok());

@@ -152,6 +152,31 @@ TEST(ScholarLintTest, IncludeLayeringFiresOnInvertedServeToCliEdge) {
       << run.output;
 }
 
+TEST(ScholarLintTest, IncludeLayeringFiresOnStreamToServeAndCliEdges) {
+  LintRun run = RunLint({Fixture("src/stream/bad_layering.cc")});
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  // util/graph/rank/core point down and are legal; the serve and cli
+  // includes are the two back-edges out of the new stream layer.
+  EXPECT_EQ(CountOccurrences(run.output, "include-layering:"), 2u)
+      << run.output;
+  EXPECT_NE(run.output.find("serve/snapshot_manager.h"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("cli/commands.h"), std::string::npos)
+      << run.output;
+}
+
+TEST(ScholarLintTest, IncludeLayeringQuietOnStreamDownwardIncludes) {
+  LintRun run = RunLint({Fixture("src/stream/good_layering.cc")});
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(run.output, "");
+}
+
+TEST(ScholarLintTest, IncludeLayeringQuietOnServeConsumingStream) {
+  LintRun run = RunLint({Fixture("src/serve/good_stream_include.cc")});
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(run.output, "");
+}
+
 TEST(ScholarLintTest, IncludeLayeringSuppressedByNolintOnIncludeLine) {
   LintRun run = RunLint({Fixture("src/serve/nolint_layering.cc")});
   EXPECT_EQ(run.exit_code, 0) << run.output;

@@ -1,0 +1,305 @@
+// End-to-end streaming acceptance: >= 3 batches ingested against a LIVE
+// server while clients hammer it. Every republish must be observed
+// (generation and snapshot_id advance in lockstep with epochs), no query
+// is ever dropped or served stale (an article published in epoch k is
+// queryable the moment Step(k) returns), and the continuously re-ranked
+// scores must match a cold-rebuild oracle within the documented tolerance.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/query_engine.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
+#include "serve/snapshot_manager.h"
+#include "stream/epoch_pipeline.h"
+#include "stream/incremental_ranker.h"
+#include "stream/streaming_graph.h"
+#include "test_util.h"
+
+namespace scholar {
+namespace stream {
+namespace {
+
+using testing_util::MakeRandomGraph;
+
+/// Minimal blocking line-protocol client (mirrors server_test.cc).
+class TestClient {
+ public:
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool Connect(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    return ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)) == 0;
+  }
+
+  std::string Query(const std::string& request) {
+    std::string payload = request + "\n";
+    size_t sent = 0;
+    while (sent < payload.size()) {
+      ssize_t n = ::send(fd_, payload.data() + sent, payload.size() - sent,
+                         MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return "<connection dead>";
+      }
+      sent += static_cast<size_t>(n);
+    }
+    for (;;) {
+      size_t nl = pending_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = pending_.substr(0, nl);
+        pending_.erase(0, nl + 1);
+        return line;
+      }
+      char buffer[4096];
+      ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return "<connection dead>";
+      pending_.append(buffer, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string pending_;
+};
+
+uint64_t ParseField(const std::string& info, const std::string& key) {
+  const size_t pos = info.find(key + "=");
+  if (pos == std::string::npos) return 0;
+  return std::strtoull(info.c_str() + pos + key.size() + 1, nullptr, 10);
+}
+
+/// The full replay fixture: base graph + batches cut from one random
+/// year-monotone corpus (backward-only citations, so nothing is dropped).
+struct Fixture {
+  CitationGraph full;
+  CitationGraph base;
+  std::vector<EdgeBatch> batches;
+};
+
+Fixture MakeFixture(size_t n, size_t n_base, size_t num_batches) {
+  Fixture fixture;
+  fixture.full = MakeRandomGraph(n, 5.0, 2000, 10, /*seed=*/4242);
+  const std::vector<Year>& years = fixture.full.years();
+  GraphBuilder builder;
+  for (size_t i = 0; i < n_base; ++i) builder.AddNode(years[i]);
+  for (NodeId u = 0; u < static_cast<NodeId>(n_base); ++u) {
+    for (NodeId v : fixture.full.References(u)) {
+      SCHOLAR_CHECK_OK(builder.AddEdge(u, v));
+    }
+  }
+  fixture.base = std::move(builder).Build().value();
+  const size_t per_batch = (n - n_base) / num_batches;
+  size_t start = n_base;
+  for (size_t b = 0; b < num_batches; ++b) {
+    const size_t end = b + 1 == num_batches ? n : start + per_batch;
+    EdgeBatch batch;
+    batch.sequence = b + 1;
+    batch.node_years.assign(years.begin() + start, years.begin() + end);
+    for (NodeId u = static_cast<NodeId>(start); u < static_cast<NodeId>(end);
+         ++u) {
+      for (NodeId v : fixture.full.References(u)) {
+        batch.edges.push_back({u, v});
+      }
+    }
+    fixture.batches.push_back(std::move(batch));
+    start = end;
+  }
+  return fixture;
+}
+
+TEST(StreamE2eTest, LiveServerObservesEveryEpochWithZeroDroppedQueries) {
+  constexpr size_t kBaseNodes = 300;
+  constexpr size_t kBatches = 4;  // acceptance floor is 3
+  Fixture fixture = MakeFixture(600, kBaseNodes, kBatches);
+
+  IncrementalRankerOptions options;
+  options.ranker = "pagerank";
+  options.mode = "full";
+  IncrementalRanker ranker = IncrementalRanker::Create(options).value();
+  StreamingGraph streaming(fixture.base);
+  serve::SnapshotManager manager;
+  EpochPublisher publisher =
+      [&manager](const CitationGraph& graph, const RankResult& result,
+                 const EpochStats& stats) -> Status {
+    RankingOutput ranking;
+    ranking.scores = result.scores;
+    ranking.ranks = ScoresToRanks(result.scores);
+    ranking.percentiles = RankPercentiles(result.scores);
+    serve::SnapshotMeta meta;
+    meta.snapshot_id = stats.epoch;
+    meta.ranker_name = "pagerank";
+    meta.corpus_name = "stream_e2e";
+    SCHOLAR_ASSIGN_OR_RETURN(
+        serve::ScoreSnapshot snapshot,
+        serve::ScoreSnapshot::Build(graph, ranking, std::move(meta)));
+    manager.Install(std::move(snapshot));
+    return Status::OK();
+  };
+  EpochPipeline pipeline(&streaming, &ranker, std::move(publisher));
+  ASSERT_TRUE(pipeline.Bootstrap().ok());
+
+  serve::QueryEngine engine(&manager);
+  serve::ServerOptions server_options;
+  server_options.port = 0;
+  server_options.num_threads = 4;
+  serve::Server server(&engine, server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Background hammer clients: queries that are valid at every epoch. Any
+  // dropped connection or non-OK answer counts as a failure.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> queries_answered{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> hammers;
+  for (int c = 0; c < 3; ++c) {
+    hammers.emplace_back([&stop, &queries_answered, &failures,
+                          port = server.port()] {
+      TestClient client;
+      if (!client.Connect(port)) {
+        failures.fetch_add(1);
+        return;
+      }
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::string score = client.Query("score 0");
+        const std::string info = client.Query("info");
+        if (score.rfind("OK ", 0) != 0 || info.rfind("OK ", 0) != 0) {
+          failures.fetch_add(1);
+          return;
+        }
+        queries_answered.fetch_add(2);
+      }
+    });
+  }
+
+  TestClient probe;
+  ASSERT_TRUE(probe.Connect(server.port()));
+  EXPECT_EQ(ParseField(probe.Query("info"), "generation"), 1u);
+
+  // The epoch loop, with the serving plane checked after every republish.
+  std::vector<uint64_t> observed_generations = {1};
+  size_t nodes_before = streaming.num_nodes();
+  for (EdgeBatch& batch : fixture.batches) {
+    const size_t new_nodes = batch.num_nodes();
+    Result<EpochStats> stats = pipeline.Step(std::move(batch));
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    ASSERT_EQ(stats->batches_applied, 1u);
+
+    const std::string info = probe.Query("info");
+    ASSERT_EQ(info.rfind("OK ", 0), 0u) << info;
+    const uint64_t generation = ParseField(info, "generation");
+    const uint64_t snapshot_id = ParseField(info, "snapshot_id");
+    // Republish observed: exactly one installation per epoch, immediately
+    // visible to a connection opened before the epoch ran.
+    EXPECT_EQ(generation, observed_generations.back() + 1);
+    EXPECT_EQ(snapshot_id, stats->epoch);
+    observed_generations.push_back(generation);
+
+    // Freshness: an article that did not exist before this epoch answers
+    // right now — a stale (pre-swap) snapshot would return unknown-id.
+    const NodeId newborn = static_cast<NodeId>(nodes_before + new_nodes - 1);
+    const std::string newborn_score =
+        probe.Query("score " + std::to_string(newborn));
+    EXPECT_EQ(newborn_score.rfind("OK ", 0), 0u)
+        << "epoch " << stats->epoch << " served stale data for article "
+        << newborn << ": " << newborn_score;
+    nodes_before += new_nodes;
+  }
+  ASSERT_EQ(observed_generations.size(), kBatches + 1);
+
+  stop.store(true);
+  for (std::thread& t : hammers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(queries_answered.load(), 0u);
+
+  // Served scores == the warm chain's latest vector (what was published),
+  // and the warm chain matches a cold rebuild of the final graph within
+  // the documented mode=full tolerance.
+  const std::vector<double>& warm = ranker.previous_scores();
+  ASSERT_EQ(warm.size(), 600u);
+  for (NodeId id : {NodeId{0}, NodeId{299}, NodeId{599}}) {
+    const std::string line = probe.Query("score " + std::to_string(id));
+    ASSERT_EQ(line.rfind("OK ", 0), 0u) << line;
+    EXPECT_NEAR(std::strtod(line.c_str() + 3, nullptr), warm[id], 1e-9)
+        << "id " << id;
+  }
+  IncrementalRanker cold = IncrementalRanker::Create(options).value();
+  RankResult oracle = cold.RankCold(streaming.graph()).value();
+  double max_drift = 0.0;
+  for (size_t i = 0; i < warm.size(); ++i) {
+    max_drift = std::max(max_drift, std::fabs(warm[i] - oracle.scores[i]));
+  }
+  EXPECT_LE(max_drift, 1e-8);
+
+  server.Stop();
+  server.Wait();
+}
+
+TEST(StreamE2eTest, OutOfOrderDeliveryKeepsServingPreviousEpoch) {
+  Fixture fixture = MakeFixture(400, 300, 2);
+  IncrementalRankerOptions options;
+  options.ranker = "pagerank";
+  IncrementalRanker ranker = IncrementalRanker::Create(options).value();
+  StreamingGraph streaming(fixture.base);
+  serve::SnapshotManager manager;
+  EpochPublisher publisher =
+      [&manager](const CitationGraph& graph, const RankResult& result,
+                 const EpochStats& stats) -> Status {
+    RankingOutput ranking;
+    ranking.scores = result.scores;
+    ranking.ranks = ScoresToRanks(result.scores);
+    ranking.percentiles = RankPercentiles(result.scores);
+    serve::SnapshotMeta meta;
+    meta.snapshot_id = stats.epoch;
+    SCHOLAR_ASSIGN_OR_RETURN(
+        serve::ScoreSnapshot snapshot,
+        serve::ScoreSnapshot::Build(graph, ranking, std::move(meta)));
+    manager.Install(std::move(snapshot));
+    return Status::OK();
+  };
+  EpochPipeline pipeline(&streaming, &ranker, std::move(publisher));
+  ASSERT_TRUE(pipeline.Bootstrap().ok());
+  EXPECT_EQ(manager.generation(), 1u);
+
+  // Batch 2 arrives first: staged, nothing republished, old epoch serves.
+  Result<EpochStats> staged = pipeline.Step(fixture.batches[1]);
+  ASSERT_TRUE(staged.ok());
+  EXPECT_EQ(staged->batches_applied, 0u);
+  EXPECT_EQ(manager.generation(), 1u);
+  EXPECT_EQ(manager.Current()->snapshot.num_nodes(), 300u);
+
+  // Batch 1 fills the gap: both apply, one republish with the full graph.
+  Result<EpochStats> drained = pipeline.Step(fixture.batches[0]);
+  ASSERT_TRUE(drained.ok());
+  EXPECT_EQ(drained->batches_applied, 2u);
+  EXPECT_EQ(manager.generation(), 2u);
+  EXPECT_EQ(manager.Current()->snapshot.num_nodes(), 400u);
+}
+
+}  // namespace
+}  // namespace stream
+}  // namespace scholar

@@ -1,0 +1,186 @@
+#include "stream/streaming_graph.h"
+
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace scholar {
+namespace stream {
+namespace {
+
+using testing_util::MakeGraph;
+using testing_util::MakeTinyGraph;
+
+EdgeBatch Batch(uint64_t sequence, std::vector<Year> years,
+                std::vector<StreamEdge> edges) {
+  EdgeBatch batch;
+  batch.sequence = sequence;
+  batch.node_years = std::move(years);
+  batch.edges = std::move(edges);
+  return batch;
+}
+
+TEST(StreamingGraphTest, StartsAsTheBaseGraph) {
+  StreamingGraph stream(MakeTinyGraph());
+  EXPECT_EQ(stream.num_nodes(), 5u);
+  EXPECT_EQ(stream.num_edges(), 6u);
+  EXPECT_EQ(stream.frontier_year(), 2004);
+  EXPECT_EQ(stream.next_sequence(), 1u);
+  EXPECT_EQ(stream.version(), 0u);
+  EXPECT_EQ(stream.graph().num_nodes(), 5u);
+}
+
+TEST(StreamingGraphTest, AppliedBatchMatchesBatchBuiltGraph) {
+  StreamingGraph stream(MakeTinyGraph());
+  Result<size_t> applied =
+      stream.Ingest(Batch(1, {2005, 2006}, {{5, 0}, {5, 4}, {6, 5}}));
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  EXPECT_EQ(*applied, 1u);
+  EXPECT_EQ(stream.version(), 1u);
+  EXPECT_EQ(stream.frontier_year(), 2006);
+
+  // Oracle: the same corpus built in one shot. Forward and reverse CSR,
+  // years, and degree structure must be identical.
+  CitationGraph oracle = MakeGraph(
+      {2000, 2001, 2002, 2003, 2004, 2005, 2006},
+      {{2, 0}, {2, 1}, {3, 0}, {3, 2}, {4, 2}, {4, 3}, {5, 0}, {5, 4},
+       {6, 5}});
+  const CitationGraph& grown = stream.graph();
+  EXPECT_EQ(grown.years(), oracle.years());
+  EXPECT_EQ(grown.out_offsets(), oracle.out_offsets());
+  EXPECT_EQ(grown.out_neighbors(), oracle.out_neighbors());
+  ASSERT_EQ(grown.num_nodes(), oracle.num_nodes());
+  for (NodeId v = 0; v < oracle.num_nodes(); ++v) {
+    EXPECT_EQ(grown.InDegree(v), oracle.InDegree(v)) << v;
+  }
+}
+
+TEST(StreamingGraphTest, EmptyHeartbeatBatchAdvancesSequenceOnly) {
+  StreamingGraph stream(MakeTinyGraph());
+  Result<size_t> applied = stream.Ingest(Batch(1, {}, {}));
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  EXPECT_EQ(*applied, 1u);
+  EXPECT_EQ(stream.num_nodes(), 5u);
+  EXPECT_EQ(stream.next_sequence(), 2u);
+}
+
+TEST(StreamingGraphTest, OutOfOrderBatchIsStagedThenDrained) {
+  StreamingGraph stream(MakeTinyGraph());
+  // Sequence 2 arrives first: staged, graph untouched.
+  Result<size_t> staged = stream.Ingest(Batch(2, {2006}, {{6, 5}}));
+  ASSERT_TRUE(staged.ok()) << staged.status().ToString();
+  EXPECT_EQ(*staged, 0u);
+  EXPECT_EQ(stream.staged_batches(), 1u);
+  EXPECT_EQ(stream.num_nodes(), 5u);
+
+  // Sequence 1 fills the gap: both apply in one Ingest.
+  Result<size_t> applied = stream.Ingest(Batch(1, {2005}, {{5, 0}}));
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  EXPECT_EQ(*applied, 2u);
+  EXPECT_EQ(stream.staged_batches(), 0u);
+  EXPECT_EQ(stream.num_nodes(), 7u);
+  EXPECT_EQ(stream.next_sequence(), 3u);
+}
+
+TEST(StreamingGraphTest, DuplicateSequenceIsAlreadyExists) {
+  StreamingGraph stream(MakeTinyGraph());
+  ASSERT_TRUE(stream.Ingest(Batch(1, {2005}, {{5, 0}})).ok());
+  EXPECT_EQ(stream.Ingest(Batch(1, {2005}, {{5, 0}})).status().code(),
+            StatusCode::kAlreadyExists);
+  // A duplicate of a *staged* sequence is also rejected.
+  ASSERT_TRUE(stream.Ingest(Batch(3, {2006}, {})).ok());
+  EXPECT_EQ(stream.Ingest(Batch(3, {2007}, {})).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(StreamingGraphTest, StagingBufferIsBounded) {
+  StreamingGraphOptions options;
+  options.max_staged_batches = 2;
+  StreamingGraph stream(MakeTinyGraph(), options);
+  ASSERT_TRUE(stream.Ingest(Batch(5, {2005}, {})).ok());
+  ASSERT_TRUE(stream.Ingest(Batch(9, {2005}, {})).ok());
+  EXPECT_EQ(stream.Ingest(Batch(7, {2005}, {})).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(stream.staged_batches(), 2u);
+}
+
+TEST(StreamingGraphTest, YearBelowFrontierIsRejected) {
+  StreamingGraph stream(MakeTinyGraph());  // frontier 2004
+  Result<size_t> applied = stream.Ingest(Batch(1, {2003}, {}));
+  EXPECT_EQ(applied.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(stream.num_nodes(), 5u);
+  // The failed batch did not consume its sequence number.
+  EXPECT_EQ(stream.next_sequence(), 1u);
+}
+
+TEST(StreamingGraphTest, SuffixOnlyContractRejectsOldSources) {
+  StreamingGraph stream(MakeTinyGraph());
+  // Source 3 exists but predates the batch: reference lists are complete
+  // at publication, so old rows never grow.
+  EXPECT_FALSE(stream.Ingest(Batch(1, {2005}, {{3, 0}})).ok());
+  EXPECT_EQ(stream.num_nodes(), 5u);
+}
+
+TEST(StreamingGraphTest, RejectsDanglingTargetSelfLoopAndUnsorted) {
+  StreamingGraph stream(MakeTinyGraph());
+  EXPECT_FALSE(stream.Ingest(Batch(1, {2005}, {{5, 9}})).ok());   // no node 9
+  EXPECT_FALSE(stream.Ingest(Batch(1, {2005}, {{5, 5}})).ok());   // self-loop
+  EXPECT_FALSE(
+      stream.Ingest(Batch(1, {2005, 2005}, {{6, 0}, {5, 0}})).ok());
+  EXPECT_FALSE(
+      stream.Ingest(Batch(1, {2005}, {{5, 0}, {5, 0}})).ok());    // duplicate
+  EXPECT_EQ(stream.num_nodes(), 5u);
+  EXPECT_EQ(stream.version(), 0u);
+}
+
+TEST(StreamingGraphTest, FailedValidationDoesNotWedgeTheStream) {
+  StreamingGraph stream(MakeTinyGraph());
+  // A bad batch at the expected sequence is dropped without consuming the
+  // sequence number; its corrected retransmission then applies.
+  ASSERT_FALSE(stream.Ingest(Batch(1, {2005}, {{5, 9}})).ok());
+  Result<size_t> retry = stream.Ingest(Batch(1, {2005}, {{5, 0}}));
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  EXPECT_EQ(*retry, 1u);
+  EXPECT_EQ(stream.num_nodes(), 6u);
+}
+
+TEST(StreamingGraphTest, GraphViewIsRebuiltLazilyPerVersion) {
+  StreamingGraph stream(MakeTinyGraph());
+  const CitationGraph& v0 = stream.graph();
+  EXPECT_EQ(v0.num_nodes(), 5u);
+  ASSERT_TRUE(stream.Ingest(Batch(1, {2005}, {{5, 0}, {5, 2}})).ok());
+  const CitationGraph& v1 = stream.graph();
+  EXPECT_EQ(v1.num_nodes(), 6u);
+  EXPECT_EQ(v1.InDegree(0), 3u);  // reverse CSR reflects the new edge
+  EXPECT_EQ(v1.InDegree(2), 3u);
+  // Repeated calls without new batches return the same frozen graph.
+  EXPECT_EQ(&stream.graph(), &v1);
+}
+
+TEST(StreamingGraphTest, ManySmallBatchesEqualOneBigBuild) {
+  StreamingGraph stream(MakeGraph({2000}, {}));
+  std::vector<Year> years = {2000};
+  std::vector<std::pair<NodeId, NodeId>> all_edges;
+  for (uint64_t seq = 1; seq <= 20; ++seq) {
+    const NodeId id = static_cast<NodeId>(seq);
+    const Year year = static_cast<Year>(2000 + seq / 4);
+    // Each new article cites article id-1 and article 0 (when distinct).
+    std::vector<StreamEdge> edges = {{id, static_cast<NodeId>(id - 1)}};
+    if (id > 1) edges.insert(edges.begin(), {id, 0});
+    ASSERT_TRUE(stream.Ingest(Batch(seq, {year}, edges)).ok()) << seq;
+    years.push_back(year);
+    for (const StreamEdge& e : edges) all_edges.push_back({e.src, e.dst});
+  }
+  CitationGraph oracle = MakeGraph(years, all_edges);
+  const CitationGraph& grown = stream.graph();
+  EXPECT_EQ(grown.years(), oracle.years());
+  EXPECT_EQ(grown.out_offsets(), oracle.out_offsets());
+  EXPECT_EQ(grown.out_neighbors(), oracle.out_neighbors());
+}
+
+}  // namespace
+}  // namespace stream
+}  // namespace scholar

@@ -82,7 +82,7 @@ cmake_flags_for() {
 }
 
 # Mirrors SCHOLAR_FUZZ_TARGETS in fuzz/CMakeLists.txt.
-FUZZ_TARGETS=(graph_io ground_truth aminer snapshot serve_request)
+FUZZ_TARGETS=(graph_io ground_truth aminer snapshot serve_request edge_batch)
 
 run_fuzz_budgeted() {
   local build_dir=$1

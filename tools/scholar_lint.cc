@@ -28,11 +28,11 @@
 //                  NOLINT(materialize-snapshot).
 //   include-layering
 //                  the module DAG util -> graph -> {data, rank} ->
-//                  {ensemble, eval} -> core -> serve -> cli admits no
-//                  back-edges or same-layer edges; an #include may only
-//                  name a strictly lower layer. Keeps the untrusted-input
-//                  surface (parsers, serve) from leaking upward and the
-//                  build graph acyclic.
+//                  {ensemble, eval} -> core -> stream -> serve -> cli
+//                  admits no back-edges or same-layer edges; an #include
+//                  may only name a strictly lower layer. Keeps the
+//                  untrusted-input surface (parsers, serve) from leaking
+//                  upward and the build graph acyclic.
 //   unchecked-read no raw memcpy() / mutable reinterpret_cast in the
 //                  files that decode untrusted bytes; every conversion
 //                  goes through the bounds-checked util/byte_reader.h
@@ -659,11 +659,15 @@ void CheckMaterializeSnapshot(const LexedFile& f, Reporter* rep) {
 /// The module DAG, bottom (0) to top. An include is legal only when it
 /// points strictly *down* the layering; same-module includes are free.
 /// rank and data share a layer (both sit on graph, neither may see the
-/// other), as do ensemble and eval.
+/// other), as do ensemble and eval. stream sits between core and serve:
+/// the ingestion pipeline may drive any ranking kernel (graph/rank/
+/// ensemble/core), but publication goes through an injected callback —
+/// stream must never name serve, while serve and cli may consume stream.
 int ModuleLayer(const std::string& module) {
   static const std::map<std::string, int> kLayers = {
-      {"util", 0}, {"graph", 1},    {"data", 2}, {"rank", 2}, {"ensemble", 3},
-      {"eval", 3}, {"core", 4},     {"serve", 5}, {"cli", 6}};
+      {"util", 0}, {"graph", 1},  {"data", 2},   {"rank", 2},
+      {"ensemble", 3}, {"eval", 3}, {"core", 4}, {"stream", 5},
+      {"serve", 6}, {"cli", 7}};
   auto it = kLayers.find(module);
   return it == kLayers.end() ? -1 : it->second;
 }
@@ -687,7 +691,7 @@ std::string FileModule(const std::string& path) {
 }
 
 /// Enforces the module DAG util -> graph -> {data, rank} -> {ensemble,
-/// eval} -> core -> serve -> cli at the #include level: a quoted
+/// eval} -> core -> stream -> serve -> cli at the #include level: a quoted
 /// project include may only name a module on a strictly lower layer (or
 /// the includer's own module). Back-edges and same-layer edges are how
 /// cycles start; a deliberate exception says so with
@@ -711,7 +715,8 @@ void CheckIncludeLayering(const LexedFile& f, Reporter* rep) {
                       inc.path + "' from module '" + to + "' (layer " +
                       std::to_string(to_layer) +
                       "); the module DAG is util -> graph -> {data, rank} "
-                      "-> {ensemble, eval} -> core -> serve -> cli");
+                      "-> {ensemble, eval} -> core -> stream -> serve -> "
+                      "cli");
     }
   }
 }
@@ -725,8 +730,9 @@ void CheckIncludeLayering(const LexedFile& f, Reporter* rep) {
 /// src/ paths) is scoped identically.
 bool IsParserFile(const std::string& path) {
   static const char* kParserPaths[] = {
-      "graph/graph_io",      "data/dataset",        "data/ground_truth",
-      "serve/snapshot",      "serve/request_framer", "util/byte_reader"};
+      "graph/graph_io",      "data/dataset",         "data/ground_truth",
+      "serve/snapshot",      "serve/request_framer", "util/byte_reader",
+      "stream/edge_batch"};
   for (const char* p : kParserPaths) {
     if (PathContains(path, p)) return true;
   }
