@@ -6,8 +6,11 @@
 /// (DESIGN.md, per-experiment index) and prints both a human-readable table
 /// and, below it, the same data as CSV for plotting.
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -17,6 +20,7 @@
 #include "data/profiles.h"
 #include "data/synthetic.h"
 #include "eval/benchmark_sets.h"
+#include "rank/kernel/simd.h"
 #include "util/logging.h"
 
 namespace scholar {
@@ -42,8 +46,72 @@ inline void InitBench(int argc, char** argv) {
   if (hw <= 1) {
     std::printf(
         "WARNING: single-core host — every thread count necessarily lands "
-        "near 1x; scaling numbers from this machine are meaningless.\n");
+        "near 1x; scaling numbers from this machine are meaningless and "
+        "the JSON this run writes is stamped \"single_core_untrusted\": "
+        "true.\n");
   }
+}
+
+/// What machine produced a BENCH_*.json file. Perf numbers are
+/// uninterpretable without this: a "speedup" row only means something
+/// relative to the recorded core count, cache sizes, and the gather ISA the
+/// engine actually dispatched to.
+struct HostInfo {
+  std::string cpu_model;       // /proc/cpuinfo "model name", or "unknown"
+  long l1d_cache_bytes = 0;    // 0 = the platform would not say
+  long l2_cache_bytes = 0;
+  long l3_cache_bytes = 0;
+  std::string simd_isa;        // widest gather ISA the engine can dispatch
+  unsigned hardware_concurrency = 0;
+  /// True on a <=1-core host: every thread count necessarily lands near
+  /// 1x there, so scaling rows in the same file are NOT measurements.
+  bool single_core_untrusted = false;
+};
+
+inline HostInfo QueryHostInfo() {
+  HostInfo h;
+  h.cpu_model = "unknown";
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos ||
+        line.compare(0, 10, "model name") != 0) {
+      continue;
+    }
+    size_t b = line.find_first_not_of(" \t", colon + 1);
+    if (b != std::string::npos) h.cpu_model = line.substr(b);
+    break;
+  }
+  // JSON-proof the model string (vendor strings are plain ASCII, but a
+  // stray quote or backslash must not corrupt the file).
+  for (char& c : h.cpu_model) {
+    if (c == '"' || c == '\\') c = ' ';
+  }
+#ifdef _SC_LEVEL1_DCACHE_SIZE
+  h.l1d_cache_bytes = std::max(0L, sysconf(_SC_LEVEL1_DCACHE_SIZE));
+  h.l2_cache_bytes = std::max(0L, sysconf(_SC_LEVEL2_CACHE_SIZE));
+  h.l3_cache_bytes = std::max(0L, sysconf(_SC_LEVEL3_CACHE_SIZE));
+#endif
+  h.simd_isa = kernel::SimdIsaName();
+  h.hardware_concurrency = std::thread::hardware_concurrency();
+  h.single_core_untrusted = h.hardware_concurrency <= 1;
+  return h;
+}
+
+/// Writes the shared `"host": {...},` JSON header line every BENCH_*.json
+/// carries. Call inside the writer, after the opening fields.
+inline void WriteHostJson(std::FILE* f) {
+  const HostInfo h = QueryHostInfo();
+  std::fprintf(
+      f,
+      "  \"host\": {\"cpu_model\": \"%s\", \"l1d_cache_bytes\": %ld, "
+      "\"l2_cache_bytes\": %ld, \"l3_cache_bytes\": %ld, "
+      "\"simd_isa\": \"%s\", \"hardware_concurrency\": %u, "
+      "\"single_core_untrusted\": %s},\n",
+      h.cpu_model.c_str(), h.l1d_cache_bytes, h.l2_cache_bytes,
+      h.l3_cache_bytes, h.simd_isa.c_str(), h.hardware_concurrency,
+      h.single_core_untrusted ? "true" : "false");
 }
 
 /// Dataset sizes used throughout the evaluation. Chosen so the full bench

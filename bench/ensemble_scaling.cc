@@ -183,6 +183,7 @@ void WriteJson(const CitationGraph& g, const SetupStats& setup,
                "  \"hardware_concurrency\": %u,\n",
                g.num_nodes(), g.num_edges(), kNumSlices, kFixedIterations,
                std::thread::hardware_concurrency());
+  WriteHostJson(f);
   std::fprintf(
       f,
       "  \"setup\": {\"view_build_ms\": %.3f, "

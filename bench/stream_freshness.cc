@@ -164,9 +164,10 @@ void WriteJson(const std::vector<Row>& rows, const char* path) {
                "  \"bench\": \"stream_freshness\",\n"
                "  \"ranker\": \"pagerank\",\n"
                "  \"profile\": \"aminer\",\n"
-               "  \"hardware_concurrency\": %u,\n"
-               "  \"results\": [\n",
+               "  \"hardware_concurrency\": %u,\n",
                std::thread::hardware_concurrency());
+  WriteHostJson(f);
+  std::fprintf(f, "  \"results\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     std::fprintf(

@@ -1,0 +1,61 @@
+// Fuzz target (g): the checked varint decoder of the compressed in-CSR.
+//
+// The iteration engine's hot path decodes rows it encoded itself, but the
+// checked decoder (DecodeVarintRowChecked) is the boundary for bytes of
+// unknown provenance — snapshot tooling, future wire formats — and the
+// oracle the kernel tests pit against the trusted decoder. It must turn
+// truncated streams, varints longer than 10 bytes, 64-bit overflow, and
+// delta sums that escape [0, max_id) into typed Corruption statuses, never
+// UB, and never read past data+size.
+//
+// Input framing: [count:2][max_id:4] little-endian, then row bytes.
+// Whatever decodes cleanly is re-encoded with EncodeVarintRow and decoded
+// again — the round trip must reproduce the ids exactly (the property the
+// engine's bit-identity contract rests on).
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "rank/kernel/compressed_csr.h"
+#include "util/logging.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  constexpr size_t kHeaderBytes = 6;
+  constexpr size_t kMaxInputBytes = size_t{1} << 20;
+  if (size < kHeaderBytes || size > kMaxInputBytes) return 0;
+  const size_t count = static_cast<size_t>(data[0]) |
+                       (static_cast<size_t>(data[1]) << 8);
+  uint32_t max_id = 0;
+  std::memcpy(&max_id, data + 2, sizeof(max_id));
+  // Cap the id space so the scratch vector stays small; the decoder's
+  // range check is what is under test, not the allocator.
+  max_id = 1u + (max_id & 0xFFFFFu);
+  const uint8_t* row = data + kHeaderBytes;
+  const size_t row_size = size - kHeaderBytes;
+  if (count > row_size + 1) return 0;  // each varint costs >= 1 byte
+
+  std::vector<scholar::NodeId> ids(count);
+  size_t consumed = 0;
+  // Validate-only pass (null out) must agree with the storing pass.
+  const scholar::Status probe = scholar::kernel::DecodeVarintRowChecked(
+      row, row_size, count, max_id, nullptr, &consumed);
+  const scholar::Status stored = scholar::kernel::DecodeVarintRowChecked(
+      row, row_size, count, max_id, ids.data(), &consumed);
+  SCHOLAR_CHECK(probe.ok() == stored.ok());
+  if (!stored.ok()) return 0;
+  SCHOLAR_CHECK(consumed <= row_size);
+
+  // Round trip: re-encode the decoded ids and decode again; ids must
+  // survive exactly.
+  std::vector<uint8_t> reencoded;
+  scholar::kernel::EncodeVarintRow(ids.data(), count, &reencoded);
+  std::vector<scholar::NodeId> again(count);
+  size_t consumed2 = 0;
+  SCHOLAR_CHECK_OK(scholar::kernel::DecodeVarintRowChecked(
+      reencoded.data(), reencoded.size(), count, max_id, again.data(),
+      &consumed2));
+  SCHOLAR_CHECK(consumed2 == reencoded.size());
+  SCHOLAR_CHECK(ids == again);
+  return 0;
+}

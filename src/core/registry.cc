@@ -7,6 +7,7 @@
 #include "rank/gauss_seidel.h"
 #include "rank/hits.h"
 #include "rank/katz.h"
+#include "rank/kernel/kernel_options.h"
 #include "rank/monte_carlo.h"
 #include "rank/pagerank.h"
 #include "rank/sceas.h"
@@ -17,13 +18,14 @@
 namespace scholar {
 namespace {
 
-PowerIterationOptions PowerOptionsFromConfig(const Config& config) {
+Result<PowerIterationOptions> PowerOptionsFromConfig(const Config& config) {
   PowerIterationOptions o;
   o.damping = config.GetDoubleOr("damping", o.damping);
   o.tolerance = config.GetDoubleOr("tolerance", o.tolerance);
   o.max_iterations = static_cast<int>(
       config.GetIntOr("max_iterations", o.max_iterations));
   o.threads = static_cast<int>(config.GetIntOr("threads", o.threads));
+  SCHOLAR_ASSIGN_OR_RETURN(o.kernel, kernel::KernelOptionsFromConfig(config));
   return o;
 }
 
@@ -73,8 +75,9 @@ Result<std::shared_ptr<const Ranker>> MakeRanker(const std::string& name,
         std::make_shared<AgeNormalizedCitationCountRanker>());
   }
   if (lower == "pagerank" || lower == "pr") {
-    return std::shared_ptr<const Ranker>(
-        std::make_shared<PageRankRanker>(PowerOptionsFromConfig(config)));
+    SCHOLAR_ASSIGN_OR_RETURN(PowerIterationOptions o,
+                             PowerOptionsFromConfig(config));
+    return std::shared_ptr<const Ranker>(std::make_shared<PageRankRanker>(o));
   }
   if (lower == "pagerank_mc") {
     MonteCarloOptions o;
@@ -86,9 +89,10 @@ Result<std::shared_ptr<const Ranker>> MakeRanker(const std::string& name,
         std::make_shared<MonteCarloPageRankRanker>(o));
   }
   if (lower == "pagerank_gs") {
+    SCHOLAR_ASSIGN_OR_RETURN(PowerIterationOptions o,
+                             PowerOptionsFromConfig(config));
     return std::shared_ptr<const Ranker>(
-        std::make_shared<GaussSeidelPageRankRanker>(
-            PowerOptionsFromConfig(config)));
+        std::make_shared<GaussSeidelPageRankRanker>(o));
   }
   if (lower == "hits") {
     HitsOptions o;
@@ -96,12 +100,13 @@ Result<std::shared_ptr<const Ranker>> MakeRanker(const std::string& name,
     o.max_iterations = static_cast<int>(
         config.GetIntOr("max_iterations", o.max_iterations));
     o.threads = static_cast<int>(config.GetIntOr("threads", o.threads));
+    SCHOLAR_ASSIGN_OR_RETURN(o.kernel, kernel::KernelOptionsFromConfig(config));
     return std::shared_ptr<const Ranker>(std::make_shared<HitsRanker>(o));
   }
   if (lower == "citerank") {
     CiteRankOptions o;
     o.tau = config.GetDoubleOr("tau", o.tau);
-    o.power = PowerOptionsFromConfig(config);
+    SCHOLAR_ASSIGN_OR_RETURN(o.power, PowerOptionsFromConfig(config));
     return std::shared_ptr<const Ranker>(std::make_shared<CiteRankRanker>(o));
   }
   if (lower == "futurerank") {
@@ -123,6 +128,7 @@ Result<std::shared_ptr<const Ranker>> MakeRanker(const std::string& name,
     o.max_iterations = static_cast<int>(
         config.GetIntOr("max_iterations", o.max_iterations));
     o.threads = static_cast<int>(config.GetIntOr("threads", o.threads));
+    SCHOLAR_ASSIGN_OR_RETURN(o.kernel, kernel::KernelOptionsFromConfig(config));
     return std::shared_ptr<const Ranker>(std::make_shared<KatzRanker>(o));
   }
   if (lower == "sceas") {
@@ -133,6 +139,7 @@ Result<std::shared_ptr<const Ranker>> MakeRanker(const std::string& name,
     o.max_iterations = static_cast<int>(
         config.GetIntOr("max_iterations", o.max_iterations));
     o.threads = static_cast<int>(config.GetIntOr("threads", o.threads));
+    SCHOLAR_ASSIGN_OR_RETURN(o.kernel, kernel::KernelOptionsFromConfig(config));
     return std::shared_ptr<const Ranker>(std::make_shared<SceasRanker>(o));
   }
   if (lower == "venuerank") {
@@ -148,7 +155,7 @@ Result<std::shared_ptr<const Ranker>> MakeRanker(const std::string& name,
     o.sigma = config.GetDoubleOr("sigma", o.sigma);
     o.recency_jump = config.GetBoolOr("recency_jump", o.recency_jump);
     o.rho = config.GetDoubleOr("rho", o.rho);
-    o.power = PowerOptionsFromConfig(config);
+    SCHOLAR_ASSIGN_OR_RETURN(o.power, PowerOptionsFromConfig(config));
     return std::shared_ptr<const Ranker>(
         std::make_shared<TimeWeightedPageRank>(o));
   }

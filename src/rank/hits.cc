@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "rank/kernel/gather_engine.h"
 #include "util/parallel_for.h"
 
 namespace scholar {
@@ -78,6 +79,21 @@ Result<HitsRanker::HubsAndAuthorities> HitsRanker::RankBothOnAccess(
   const size_t chunks = ChunkCount(n, kNodeGrain);
   std::vector<double> partial(chunks, 0.0);
 
+  // Two engines, one per gather orientation: authorities pull hub scores
+  // over the in-CSR, hubs pull authorities over the out-CSR. Both run the
+  // variant selected by options_.kernel.
+  kernel::GatherEngine auth_engine;
+  kernel::GatherEngine hub_engine;
+  SCHOLAR_RETURN_NOT_OK(auth_engine.Init(g, kernel::GatherDirection::kInEdges,
+                                         options_.kernel, pool));
+  SCHOLAR_RETURN_NOT_OK(hub_engine.Init(g, kernel::GatherDirection::kOutEdges,
+                                        options_.kernel, pool));
+  const auto copy_rows = [&](const double* gathered, std::vector<double>* dst) {
+    ParallelFor(pool, n, kNodeGrain, [&](size_t begin, size_t end) {
+      for (size_t v = begin; v < end; ++v) (*dst)[v] = gathered[v];
+    });
+  };
+
   if (initial_authorities != nullptr && initial_authorities->size() == n) {
     // Warm start: begin the alternation at the previous authorities and a
     // hub vector gathered from them, instead of the uniform direction. The
@@ -87,15 +103,7 @@ Result<HitsRanker::HubsAndAuthorities> HitsRanker::RankBothOnAccess(
     std::vector<double> seed = *initial_authorities;
     if (NormalizeL2(&seed, pool, &partial) > 0.0) {
       out.authorities = std::move(seed);
-      ParallelFor(pool, n, kNodeGrain, [&](size_t begin, size_t end) {
-        for (NodeId u = static_cast<NodeId>(begin); u < end; ++u) {
-          double acc = 0.0;
-          for (EdgeId e = g.out_begin[u]; e < g.out_end[u]; ++e) {
-            acc += out.authorities[g.out_neighbors[e]];
-          }
-          out.hubs[u] = acc;
-        }
-      });
+      copy_rows(hub_engine.Gather(out.authorities.data(), nullptr), &out.hubs);
       // A zero norm is returned exactly, never approximately.  NOLINT(float-compare)
       if (NormalizeL2(&out.hubs, pool, &partial) == 0.0) {  // NOLINT(float-compare)
         out.hubs.assign(n, 1.0 / std::sqrt(static_cast<double>(n)));
@@ -108,27 +116,11 @@ Result<HitsRanker::HubsAndAuthorities> HitsRanker::RankBothOnAccess(
     prev_auth = out.authorities;
     // Authority(v) = sum of hub(u) over citers u — a pull over the in-CSR;
     // each node writes only its own slot.
-    ParallelFor(pool, n, kNodeGrain, [&](size_t begin, size_t end) {
-      for (NodeId v = static_cast<NodeId>(begin); v < end; ++v) {
-        double acc = 0.0;
-        for (EdgeId p = g.in_begin[v]; p < g.in_end[v]; ++p) {
-          acc += out.hubs[g.in_neighbors[p]];
-        }
-        out.authorities[v] = acc;
-      }
-    });
+    copy_rows(auth_engine.Gather(out.hubs.data(), nullptr), &out.authorities);
     NormalizeL2(&out.authorities, pool, &partial);
     // Hub(u) = sum of authority(v) over references v — a pull over the
     // out-CSR.
-    ParallelFor(pool, n, kNodeGrain, [&](size_t begin, size_t end) {
-      for (NodeId u = static_cast<NodeId>(begin); u < end; ++u) {
-        double acc = 0.0;
-        for (EdgeId e = g.out_begin[u]; e < g.out_end[u]; ++e) {
-          acc += out.authorities[g.out_neighbors[e]];
-        }
-        out.hubs[u] = acc;
-      }
-    });
+    copy_rows(hub_engine.Gather(out.authorities.data(), nullptr), &out.hubs);
     NormalizeL2(&out.hubs, pool, &partial);
 
     ParallelForChunks(pool, n, kNodeGrain,

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "graph/graph_access.h"
+#include "rank/kernel/kernel_options.h"
 #include "rank/ranker.h"
 
 namespace scholar {
@@ -19,6 +20,10 @@ struct HitsOptions {
   /// Worker threads for the gather passes: 0 = hardware concurrency,
   /// 1 = serial. Bit-identical results at every setting.
   int threads = 0;
+  /// Iteration-engine variant knobs (SIMD / precision / CSR layout /
+  /// adaptive convergence), applied to both gather orientations; see
+  /// rank/kernel/kernel_options.h.
+  kernel::KernelOptions kernel;
 };
 
 class HitsRanker : public Ranker {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "graph/graph_access.h"
+#include "rank/kernel/gather_engine.h"
 #include "util/parallel_for.h"
 
 namespace scholar {
@@ -55,11 +56,13 @@ Result<RankResult> KatzRanker::RankImpl(const RankContext& ctx) const {
   if (ctx.initial_scores != nullptr && !ctx.initial_scores->empty()) {
     scores = *ctx.initial_scores;
   }
-  std::vector<double> next(n);
   std::vector<double> contribution(n);
   const size_t chunks = ChunkCount(n, kNodeGrain);
   std::vector<double> partial_residual(chunks, 0.0);
   std::vector<double> partial_mass(chunks, 0.0);
+  kernel::GatherEngine engine;
+  SCHOLAR_RETURN_NOT_OK(
+      engine.Init(g, kernel::GatherDirection::kInEdges, options_.kernel, pool));
   RankResult result;
   result.converged = false;
   // Divergence guard: if the total mass exceeds this, alpha is beyond the
@@ -71,18 +74,16 @@ Result<RankResult> KatzRanker::RankImpl(const RankContext& ctx) const {
         contribution[u] = options_.alpha * (scores[u] + 1.0);
       }
     });
+    const double* gathered = engine.Gather(contribution.data(), nullptr);
     ParallelForChunks(pool, n, kNodeGrain,
                       [&](size_t chunk, size_t begin, size_t end) {
       double residual_part = 0.0;
       double mass_part = 0.0;
       for (NodeId v = static_cast<NodeId>(begin); v < end; ++v) {
-        double acc = 0.0;
-        for (EdgeId p = g.in_begin[v]; p < g.in_end[v]; ++p) {
-          acc += contribution[g.in_neighbors[p]];
-        }
-        next[v] = acc;
+        const double acc = gathered[v];
         residual_part += std::abs(acc - scores[v]);
         mass_part += acc;
+        scores[v] = acc;
       }
       partial_residual[chunk] = residual_part;
       partial_mass[chunk] = mass_part;
@@ -93,7 +94,6 @@ Result<RankResult> KatzRanker::RankImpl(const RankContext& ctx) const {
       residual += partial_residual[c];
       mass += partial_mass[c];
     }
-    scores.swap(next);
     result.iterations = iter;
     result.final_residual = residual;
     if (mass > mass_limit) {

@@ -1,0 +1,135 @@
+#include "rank/kernel/compressed_csr.h"
+
+#include <algorithm>
+
+#include "util/parallel_for.h"
+
+namespace scholar {
+namespace kernel {
+
+namespace {
+
+constexpr size_t kRowGrain = 4096;
+constexpr int kMaxVarintBytes = 10;  // 64-bit payload in 7-bit groups
+
+inline uint64_t Zigzag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+inline size_t VarintLength(uint64_t v) {
+  size_t len = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+inline void AppendVarint(uint64_t v, uint8_t* dst, size_t* pos) {
+  while (v >= 0x80) {
+    dst[(*pos)++] = static_cast<uint8_t>(v) | 0x80;
+    v >>= 7;
+  }
+  dst[(*pos)++] = static_cast<uint8_t>(v);
+}
+
+inline size_t RowEncodedLength(const NodeId* ids, size_t k) {
+  size_t len = 0;
+  uint32_t prev = 0;
+  for (size_t i = 0; i < k; ++i) {
+    len += VarintLength(Zigzag(static_cast<int64_t>(ids[i]) -
+                               static_cast<int64_t>(prev)));
+    prev = ids[i];
+  }
+  return len;
+}
+
+inline void EncodeRowInto(const NodeId* ids, size_t k, uint8_t* dst) {
+  size_t pos = 0;
+  uint32_t prev = 0;
+  for (size_t i = 0; i < k; ++i) {
+    AppendVarint(Zigzag(static_cast<int64_t>(ids[i]) -
+                        static_cast<int64_t>(prev)),
+                 dst, &pos);
+    prev = ids[i];
+  }
+}
+
+}  // namespace
+
+void EncodeVarintRow(const NodeId* ids, size_t k, std::vector<uint8_t>* out) {
+  const size_t len = RowEncodedLength(ids, k);
+  const size_t base = out->size();
+  out->resize(base + len);
+  EncodeRowInto(ids, k, out->data() + base);
+}
+
+Status DecodeVarintRowChecked(const uint8_t* data, size_t size, size_t count,
+                              uint32_t max_id_exclusive, NodeId* out,
+                              size_t* consumed) {
+  size_t pos = 0;
+  int64_t prev = 0;
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t raw = 0;
+    int shift = 0;
+    int bytes = 0;
+    while (true) {
+      if (pos >= size) {
+        return Status::Corruption("compressed row truncated mid-varint");
+      }
+      const uint8_t byte = data[pos++];
+      if (++bytes > kMaxVarintBytes) {
+        return Status::Corruption("varint longer than 10 bytes");
+      }
+      // The 10th byte may only carry the top bit of a 64-bit payload.
+      if (bytes == kMaxVarintBytes && (byte & 0xfe) != 0) {
+        return Status::Corruption("varint overflows 64 bits");
+      }
+      raw |= static_cast<uint64_t>(byte & 0x7f) << shift;
+      shift += 7;
+      if ((byte & 0x80) == 0) break;
+    }
+    const int64_t delta = static_cast<int64_t>((raw >> 1) ^ (~(raw & 1) + 1));
+    // prev is always within [0, 2^32) here, so prev + delta cannot wrap
+    // int64; range-check the sum directly against the id universe.
+    const int64_t id = prev + delta;
+    if (id < 0 || id >= static_cast<int64_t>(max_id_exclusive)) {
+      return Status::Corruption("delta-decoded id out of range");
+    }
+    if (out != nullptr) out[i] = static_cast<NodeId>(id);
+    prev = id;
+  }
+  if (consumed != nullptr) *consumed = pos;
+  return Status::OK();
+}
+
+void CompressedInCsr::Build(const EdgeId* row_begin, const EdgeId* row_end,
+                            const NodeId* nbrs, size_t num_rows,
+                            ThreadPool* pool) {
+  offsets_.assign(num_rows + 1, 0);
+  max_row_degree_ = 0;
+  // Pass 1: per-row encoded lengths (stored shifted by one for the
+  // in-place prefix sum below).
+  ParallelFor(pool, num_rows, kRowGrain, [&](size_t begin, size_t end) {
+    for (size_t v = begin; v < end; ++v) {
+      const size_t k = static_cast<size_t>(row_end[v] - row_begin[v]);
+      offsets_[v + 1] = RowEncodedLength(nbrs + row_begin[v], k);
+    }
+  });
+  for (size_t v = 0; v < num_rows; ++v) {
+    const size_t k = static_cast<size_t>(row_end[v] - row_begin[v]);
+    max_row_degree_ = std::max(max_row_degree_, k);
+    offsets_[v + 1] += offsets_[v];
+  }
+  bytes_.resize(offsets_[num_rows]);
+  // Pass 2: fill each row's slice.
+  ParallelFor(pool, num_rows, kRowGrain, [&](size_t begin, size_t end) {
+    for (size_t v = begin; v < end; ++v) {
+      const size_t k = static_cast<size_t>(row_end[v] - row_begin[v]);
+      EncodeRowInto(nbrs + row_begin[v], k, bytes_.data() + offsets_[v]);
+    }
+  });
+}
+
+}  // namespace kernel
+}  // namespace scholar

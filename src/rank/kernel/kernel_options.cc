@@ -1,0 +1,87 @@
+#include "rank/kernel/kernel_options.h"
+
+namespace scholar {
+namespace kernel {
+
+Result<SimdMode> SimdModeFromString(const std::string& s) {
+  if (s == "auto") return SimdMode::kAuto;
+  if (s == "scalar") return SimdMode::kScalar;
+  if (s == "avx2") return SimdMode::kAvx2;
+  if (s == "legacy") return SimdMode::kLegacy;
+  return Status::InvalidArgument(
+      "unknown simd mode '" + s + "' (expected auto|scalar|avx2|legacy)");
+}
+
+Result<ScorePrecision> ScorePrecisionFromString(const std::string& s) {
+  if (s == "double" || s == "f64") return ScorePrecision::kDouble;
+  if (s == "float" || s == "f32") return ScorePrecision::kFloat;
+  return Status::InvalidArgument("unknown score_precision '" + s +
+                                 "' (expected double|float)");
+}
+
+Result<CsrCompression> CsrCompressionFromString(const std::string& s) {
+  if (s == "none") return CsrCompression::kNone;
+  if (s == "delta_varint" || s == "varint") return CsrCompression::kDeltaVarint;
+  return Status::InvalidArgument("unknown csr_compression '" + s +
+                                 "' (expected none|delta_varint)");
+}
+
+const char* SimdModeName(SimdMode mode) {
+  switch (mode) {
+    case SimdMode::kAuto:
+      return "auto";
+    case SimdMode::kScalar:
+      return "scalar";
+    case SimdMode::kAvx2:
+      return "avx2";
+    case SimdMode::kLegacy:
+      return "legacy";
+  }
+  return "unknown";
+}
+
+const char* ScorePrecisionName(ScorePrecision precision) {
+  return precision == ScorePrecision::kFloat ? "float" : "double";
+}
+
+const char* CsrCompressionName(CsrCompression compression) {
+  return compression == CsrCompression::kDeltaVarint ? "delta_varint" : "none";
+}
+
+Result<KernelOptions> KernelOptionsFromConfig(const Config& config) {
+  KernelOptions opts;
+  if (config.Has("simd")) {
+    SCHOLAR_ASSIGN_OR_RETURN(auto s, config.GetString("simd"));
+    SCHOLAR_ASSIGN_OR_RETURN(opts.simd, SimdModeFromString(s));
+  }
+  if (config.Has("score_precision")) {
+    SCHOLAR_ASSIGN_OR_RETURN(auto s, config.GetString("score_precision"));
+    SCHOLAR_ASSIGN_OR_RETURN(opts.precision, ScorePrecisionFromString(s));
+  }
+  if (config.Has("csr_compression")) {
+    SCHOLAR_ASSIGN_OR_RETURN(auto s, config.GetString("csr_compression"));
+    SCHOLAR_ASSIGN_OR_RETURN(opts.compression, CsrCompressionFromString(s));
+  }
+  if (config.Has("hub_order")) {
+    SCHOLAR_ASSIGN_OR_RETURN(opts.hub_order, config.GetBool("hub_order"));
+  }
+  if (config.Has("weight_codebook")) {
+    SCHOLAR_ASSIGN_OR_RETURN(opts.weight_codebook,
+                             config.GetBool("weight_codebook"));
+  }
+  if (config.Has("adaptive")) {
+    SCHOLAR_ASSIGN_OR_RETURN(opts.adaptive, config.GetBool("adaptive"));
+  }
+  if (config.Has("adaptive_tolerance")) {
+    SCHOLAR_ASSIGN_OR_RETURN(opts.adaptive_tolerance,
+                             config.GetDouble("adaptive_tolerance"));
+    if (!(opts.adaptive_tolerance >= 0.0)) {
+      return Status::InvalidArgument(
+          "adaptive_tolerance must be non-negative");
+    }
+  }
+  return opts;
+}
+
+}  // namespace kernel
+}  // namespace scholar

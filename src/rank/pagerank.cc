@@ -48,58 +48,64 @@ std::vector<double> BuildInitialScores(size_t n,
 }
 
 /// The damped fixed-point loop shared by the full-graph and view solvers.
-/// `term(p, u)` is the transition probability of in-edge `p` with source
-/// `u` — a precomputed-array lookup for the full graph, an on-the-fly
-/// product for views. Templated so each variant inlines to the same tight
-/// gather the monolithic solver had.
-template <typename TermFn>
-void RunPowerLoop(const GraphAccess& a, const std::vector<double>& jump,
-                  const PowerIterationOptions& options, ThreadPool* pool,
-                  PowerIterationScratch& s, std::vector<double>& scores,
-                  RankResult& result, const TermFn& term) {
+/// `inv_row[u]` is the inverted weighted out-degree of source u (0 for
+/// dangling rows), `in_weights` the raw per-edge weights in in-edge order
+/// (null = uniform). Each round stages `contrib[u] = inv_row[u] * scores[u]`
+/// and hands the O(m) gather to the scratch-owned kernel::GatherEngine —
+/// both solvers therefore form the per-edge term as
+/// `w_in[p] * (inv_row[u] * scores[u])` through identical primitives, which
+/// is what keeps the view path bit-identical to the materialized one.
+Status RunPowerLoop(const GraphAccess& a, const std::vector<double>& jump,
+                    const PowerIterationOptions& options, ThreadPool* pool,
+                    PowerIterationScratch& s, std::vector<double>& scores,
+                    RankResult& result, const double* inv_row,
+                    const double* in_weights) {
   const size_t n = a.num_nodes;
   const double uniform = 1.0 / static_cast<double>(n);
   s.next.resize(n);
+  s.contrib.resize(n);
   const size_t chunks = ChunkCount(n, kNodeGrain);
   s.partial.assign(chunks, 0.0);
+  SCHOLAR_RETURN_NOT_OK(s.engine.Init(a, kernel::GatherDirection::kInEdges,
+                                      options.kernel, pool));
 
   result.converged = false;
   for (int iter = 1; iter <= options.max_iterations; ++iter) {
-    // Phase A (parallel): pull-gather the citation flow into each node and
-    // collect the dangling mass as ordered per-chunk partials.
+    // Stage the per-source contributions and collect the dangling mass as
+    // ordered per-chunk partials.
     ParallelForChunks(pool, n, kNodeGrain,
                       [&](size_t chunk, size_t begin, size_t end) {
       double dangling_part = 0.0;
-      for (NodeId v = static_cast<NodeId>(begin); v < end; ++v) {
-        double acc = 0.0;
-        for (EdgeId p = a.in_begin[v]; p < a.in_end[v]; ++p) {
-          const NodeId u = a.in_neighbors[p];
-          acc += term(p, u) * scores[u];
-        }
-        s.next[v] = acc;
-        if (s.dangling[v]) dangling_part += scores[v];
+      for (NodeId u = static_cast<NodeId>(begin); u < end; ++u) {
+        s.contrib[u] = inv_row[u] * scores[u];
+        if (s.dangling[u]) dangling_part += scores[u];
       }
       s.partial[chunk] = dangling_part;
     });
     const double dangling_mass = OrderedSum(s.partial, chunks);
+
+    // Phase A: the O(m) pull-gather, in the engine's selected variant.
+    const double* gathered = s.engine.Gather(s.contrib.data(), in_weights);
+
     const double teleport =
         options.damping * dangling_mass + (1.0 - options.damping);
 
     // Phase B (parallel): damp, teleport, and measure the L1 residual as
-    // ordered per-chunk partials.
+    // ordered per-chunk partials. Always full — teleport reaches every
+    // node, so even adaptive sweeps apply it exactly.
     ParallelForChunks(pool, n, kNodeGrain,
                       [&](size_t chunk, size_t begin, size_t end) {
       double residual_part = 0.0;
       if (jump.empty()) {
         const double teleport_uniform = teleport * uniform;
         for (NodeId v = static_cast<NodeId>(begin); v < end; ++v) {
-          const double nv = options.damping * s.next[v] + teleport_uniform;
+          const double nv = options.damping * gathered[v] + teleport_uniform;
           residual_part += std::abs(nv - scores[v]);
           s.next[v] = nv;
         }
       } else {
         for (NodeId v = static_cast<NodeId>(begin); v < end; ++v) {
-          const double nv = options.damping * s.next[v] + teleport * jump[v];
+          const double nv = options.damping * gathered[v] + teleport * jump[v];
           residual_part += std::abs(nv - scores[v]);
           s.next[v] = nv;
         }
@@ -116,6 +122,7 @@ void RunPowerLoop(const GraphAccess& a, const std::vector<double>& jump,
       break;
     }
   }
+  return Status::OK();
 }
 
 /// Shared validation of the option/vector shapes common to both solvers.
@@ -211,7 +218,9 @@ Result<RankResult> WeightedPowerIteration(
   const std::vector<EdgeId>& in_offsets = graph.in_offsets();
   const bool uniform_weights = edge_weights.empty();
 
-  // Pass 1 (parallel): weighted out-degree and dangling flag per source.
+  // Pass 1 (parallel): *inverted* weighted out-degree and dangling flag
+  // per source (0.0 for dangling rows, so their gather terms vanish
+  // exactly).
   s.row_weight.assign(n, 0.0);
   s.dangling.assign(n, 0);
   std::atomic<bool> negative_weight{false};
@@ -220,8 +229,8 @@ Result<RankResult> WeightedPowerIteration(
       for (NodeId u = static_cast<NodeId>(begin); u < end; ++u) {
         const double degree =
             static_cast<double>(out_offsets[u + 1] - out_offsets[u]);
-        s.row_weight[u] = degree;
         s.dangling[u] = degree <= 0.0 ? 1 : 0;
+        s.row_weight[u] = degree <= 0.0 ? 0.0 : 1.0 / degree;
       }
       return;
     }
@@ -232,48 +241,39 @@ Result<RankResult> WeightedPowerIteration(
         if (w < 0.0) negative_weight.store(true, std::memory_order_relaxed);
         row += w;
       }
-      s.row_weight[u] = row;
       s.dangling[u] = row <= 0.0 ? 1 : 0;
+      s.row_weight[u] = row <= 0.0 ? 0.0 : 1.0 / row;
     }
   });
   if (negative_weight.load()) {
     return Status::InvalidArgument("negative edge weight");
   }
 
-  // Pass 2 (one serial scatter): transition probabilities in *in-edge*
-  // order. Mirrors the reverse-CSR construction of CitationGraph::FromCsr —
-  // sources are scanned ascending, so s.transition[p] lines up with
-  // in_neighbors[p] — and is exact even for multi-edges, which a per-edge
-  // binary search would conflate.
-  s.transition.resize(m);
-  s.cursor.assign(in_offsets.begin(), in_offsets.end() - 1);
-  for (NodeId u = 0; u < n; ++u) {
-    if (s.dangling[u]) {
-      // A dangling row contributes through the jump vector only; its edges
-      // (all zero-weight) must not carry score.
+  // Pass 2 (one serial scatter, weighted only): the *raw* edge weights in
+  // in-edge order. Mirrors the reverse-CSR construction of
+  // CitationGraph::FromCsr — sources are scanned ascending, so
+  // s.in_weights[p] lines up with in_neighbors[p] — and is exact even for
+  // multi-edges, which a per-edge binary search would conflate. Uniform
+  // weights need no per-edge array at all: the whole O(m) stream the old
+  // transition precompute read each sweep is gone.
+  const double* in_weights = nullptr;
+  if (!uniform_weights) {
+    s.in_weights.resize(m);
+    s.cursor.assign(in_offsets.begin(), in_offsets.end() - 1);
+    for (NodeId u = 0; u < n; ++u) {
       for (EdgeId e = out_offsets[u]; e < out_offsets[u + 1]; ++e) {
-        s.transition[s.cursor[out_neighbors[e]]++] = 0.0;
-      }
-      continue;
-    }
-    const double inv_row = 1.0 / s.row_weight[u];
-    if (uniform_weights) {
-      for (EdgeId e = out_offsets[u]; e < out_offsets[u + 1]; ++e) {
-        s.transition[s.cursor[out_neighbors[e]]++] = inv_row;
-      }
-    } else {
-      for (EdgeId e = out_offsets[u]; e < out_offsets[u + 1]; ++e) {
-        s.transition[s.cursor[out_neighbors[e]]++] = edge_weights[e] * inv_row;
+        s.in_weights[s.cursor[out_neighbors[e]]++] = edge_weights[e];
       }
     }
+    in_weights = s.in_weights.data();
   }
 
   std::vector<double> scores = BuildInitialScores(n, initial_scores);
   RankResult result;
   const GraphAccess a = AccessOf(graph);
-  const double* transition = s.transition.data();
-  RunPowerLoop(a, jump, options, pool, s, scores, result,
-               [transition](EdgeId p, NodeId) { return transition[p]; });
+  SCHOLAR_RETURN_NOT_OK(RunPowerLoop(a, jump, options, pool, s, scores,
+                                     result, s.row_weight.data(),
+                                     in_weights));
   result.scores = std::move(scores);
   return result;
 }
@@ -308,10 +308,9 @@ Result<RankResult> WeightedPowerIterationOnView(
   const GraphAccess a = AccessOf(view, &s.view_rows, pool);
 
   // Pass 1 (parallel): *inverted* weighted out-degree over the kept row
-  // prefixes (0.0 for dangling rows, so the gather term vanishes exactly
-  // like the materialized path's stored 0.0 transitions). The division
-  // happens here once per node; the gather then multiplies — the same two
-  // operations, on the same values, as the materialized precompute.
+  // prefixes (0.0 for dangling rows, so the gather term vanishes exactly).
+  // Identical staging to the full-graph solver, on the same values — which
+  // is what keeps view scores bitwise equal to the materialized path.
   s.row_weight.assign(n, 0.0);
   s.dangling.assign(n, 0);
   std::atomic<bool> negative_weight{false};
@@ -341,17 +340,9 @@ Result<RankResult> WeightedPowerIterationOnView(
 
   std::vector<double> scores = BuildInitialScores(n, initial_scores);
   RankResult result;
-  const double* inv_row = s.row_weight.data();
-  if (uniform_weights) {
-    RunPowerLoop(a, jump, options, pool, s, scores, result,
-                 [inv_row](EdgeId, NodeId u) { return inv_row[u]; });
-  } else {
-    const double* w_in = in_edge_weights.data();
-    RunPowerLoop(a, jump, options, pool, s, scores, result,
-                 [inv_row, w_in](EdgeId p, NodeId u) {
-                   return w_in[p] * inv_row[u];
-                 });
-  }
+  SCHOLAR_RETURN_NOT_OK(RunPowerLoop(
+      a, jump, options, pool, s, scores, result, s.row_weight.data(),
+      uniform_weights ? nullptr : in_edge_weights.data()));
   result.scores = std::move(scores);
   return result;
 }

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "graph/graph_access.h"
+#include "rank/kernel/gather_engine.h"
+#include "rank/kernel/kernel_options.h"
 #include "rank/ranker.h"
 #include "util/thread_pool.h"
 
@@ -23,13 +25,16 @@ struct PowerIterationOptions {
   /// concurrency, 1 = serial, N = exactly N. Scores are bit-identical at
   /// every setting (see the determinism note on WeightedPowerIteration).
   int threads = 0;
+  /// Iteration-engine variant knobs (SIMD / precision / CSR layout /
+  /// adaptive convergence); see rank/kernel/kernel_options.h.
+  kernel::KernelOptions kernel;
 };
 
 /// Reusable solver state for WeightedPowerIteration: the O(n + m) work
 /// buffers plus the lazily built worker pool. One Rank call needs one
 /// scratch; the ensemble runs k snapshot ranks per call and shares a single
-/// scratch across them, so the transition/score buffers and the pool are
-/// allocated once instead of k times. Not thread-safe — never share one
+/// scratch across them, so the weight/score buffers, the gather engine and
+/// the pool are allocated once instead of k times. Not thread-safe — never share one
 /// scratch between concurrent solver calls.
 class PowerIterationScratch {
  public:
@@ -41,13 +46,15 @@ class PowerIterationScratch {
   ThreadPool* PoolFor(size_t workers);
 
   /// Buffers, exposed for the solver (and the TWPR weight pipeline).
-  std::vector<double> transition;   // per-in-edge transition probability
-  std::vector<double> row_weight;   // per-source weighted out-degree
+  std::vector<double> in_weights;   // raw edge weights in in-edge order
+  std::vector<double> row_weight;   // per-source *inverted* weighted degree
+  std::vector<double> contrib;      // per-source gather term, per iteration
   std::vector<double> next;         // double buffer for the score vector
   std::vector<double> partial;      // ordered per-chunk reduction terms
   std::vector<uint8_t> dangling;    // 1 = weighted out-degree is zero
   std::vector<EdgeId> cursor;       // in-CSR fill cursor for the scatter
   ViewRowEnds view_rows;            // per-row prefix limits (view solver)
+  kernel::GatherEngine engine;      // the iteration engine, re-Init per solve
 
  private:
   std::unique_ptr<ThreadPool> pool_;
@@ -67,15 +74,17 @@ class PowerIterationScratch {
 /// dangling: its entire score is redistributed through `jump`.
 ///
 /// Parallel execution: the iteration is a pull-based gather over the
-/// in-CSR. Per-edge transition probabilities are precomputed in in-edge
-/// order (one pass over the out-CSR for row sums, one scatter mirroring the
-/// reverse-CSR construction), so each round node v sums
-/// `transition[e] * scores[in_neighbor(e)]` over its own in-edges — every
-/// write goes to v's slot only: no atomics, no contention. Results are
-/// **bit-identical at any thread count**: each node reduces its in-edges in
-/// fixed CSR order, and the dangling mass and L1 residual are per-chunk
-/// partial sums over a thread-count-independent chunk geometry, combined in
-/// chunk-index order.
+/// in-CSR, executed by the kernel::GatherEngine selected through
+/// `options.kernel` (SIMD level, score precision, CSR compression, hub
+/// layout, adaptive convergence). Each round stages the per-source term
+/// `contrib[u] = inv_row_weight[u] * scores[u]`, and node v sums
+/// `w_in[p] * contrib[in_neighbor(p)]` over its own in-edges (raw weights
+/// scattered once into in-edge order; no per-edge array at all for uniform
+/// weights) — every write goes to v's slot only: no atomics, no
+/// contention. Results are **bit-identical at any thread count**: each node
+/// reduces its in-edges through the engine's fixed per-row addition tree,
+/// and the dangling mass and L1 residual are per-chunk partial sums over a
+/// thread-count-independent chunk geometry, combined in chunk-index order.
 ///
 /// Errors: negative edge weights, wrong array sizes, or a `jump` that does
 /// not sum to ~1.
@@ -98,13 +107,14 @@ Result<RankResult> WeightedPowerIteration(
 ///
 /// Same fixed point and the same bit-exact arithmetic as running
 /// WeightedPowerIteration on the materialized snapshot (ExtractSnapshot of
-/// the view's sorted parent graph), with no per-snapshot O(m) state: instead
-/// of precomputing per-edge transition probabilities, each gather term is
-/// formed on the fly as `in_edge_weights[p] * inv_row[source]` — IEEE
-/// multiplication is deterministic, so the products are the very doubles the
-/// materialized path stores. Only an O(V) inverted-row-weight array and the
-/// O(V) row prefix limits are per-snapshot; the weight arrays are shared,
-/// read-only, full-parent-CSR-sized.
+/// the view's sorted parent graph), with no per-snapshot O(m) state: both
+/// paths stage `contrib[u] = inv_row[u] * scores[u]` and gather
+/// `in_edge_weights[p] * contrib[source]` through the same engine
+/// primitives — IEEE arithmetic is deterministic, so the per-row sums are
+/// the very doubles the full-graph path computes. Only an O(V)
+/// inverted-row-weight array and the O(V) row prefix limits are
+/// per-snapshot; the weight arrays are shared, read-only,
+/// full-parent-CSR-sized.
 ///
 /// `out_edge_weights` / `in_edge_weights` are the same weights in out-edge
 /// and in-edge order respectively, sized to the *parent* graph's edge count

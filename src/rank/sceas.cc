@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "graph/graph_access.h"
+#include "rank/kernel/gather_engine.h"
 #include "util/parallel_for.h"
 
 namespace scholar {
@@ -58,10 +59,12 @@ Result<RankResult> SceasRanker::RankImpl(const RankContext& ctx) const {
   if (ctx.initial_scores != nullptr && !ctx.initial_scores->empty()) {
     scores = *ctx.initial_scores;
   }
-  std::vector<double> next(n);
   std::vector<double> share(n);
   const size_t chunks = ChunkCount(n, kNodeGrain);
   std::vector<double> partial(chunks, 0.0);
+  kernel::GatherEngine engine;
+  SCHOLAR_RETURN_NOT_OK(
+      engine.Init(g, kernel::GatherDirection::kInEdges, options_.kernel, pool));
   RankResult result;
   result.converged = false;
   for (int iter = 1; iter <= options_.max_iterations; ++iter) {
@@ -74,22 +77,19 @@ Result<RankResult> SceasRanker::RankImpl(const RankContext& ctx) const {
                              (options_.a * static_cast<double>(degree));
       }
     });
+    const double* gathered = engine.Gather(share.data(), nullptr);
     ParallelForChunks(pool, n, kNodeGrain,
                       [&](size_t chunk, size_t begin, size_t end) {
       double residual_part = 0.0;
       for (NodeId v = static_cast<NodeId>(begin); v < end; ++v) {
-        double acc = 0.0;
-        for (EdgeId p = g.in_begin[v]; p < g.in_end[v]; ++p) {
-          acc += share[g.in_neighbors[p]];
-        }
-        next[v] = acc;
+        const double acc = gathered[v];
         residual_part += std::abs(acc - scores[v]);
+        scores[v] = acc;
       }
       partial[chunk] = residual_part;
     });
     double residual = 0.0;
     for (size_t c = 0; c < chunks; ++c) residual += partial[c];
-    scores.swap(next);
     result.iterations = iter;
     result.final_residual = residual;
     if (residual < options_.tolerance) {

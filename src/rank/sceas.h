@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "rank/kernel/kernel_options.h"
 #include "rank/ranker.h"
 
 namespace scholar {
@@ -28,6 +29,9 @@ struct SceasOptions {
   /// Worker threads for the gather passes: 0 = hardware concurrency,
   /// 1 = serial. Bit-identical results at every setting.
   int threads = 0;
+  /// Iteration-engine variant knobs (SIMD / precision / CSR layout /
+  /// adaptive convergence); see rank/kernel/kernel_options.h.
+  kernel::KernelOptions kernel;
 };
 
 class SceasRanker : public Ranker {

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "rank/kernel/gather_engine.h"
 #include "util/parallel_for.h"
 #include "util/thread_pool.h"
 
@@ -81,29 +82,35 @@ Result<RankResult> FrontierPowerIteration(const GraphAccess& g,
     }
   }
 
-  // share[u] = scores[u] / outdeg(u): the per-source pull term, refreshed
-  // only for nodes whose score moved (that is the whole point).
+  // share[u] = scores[u] / outdeg(u): the per-source pull term. Refreshed
+  // for every node each round (O(n)); a frozen node's score is bit-frozen,
+  // so its share is too, and the engine's movement tracking sees exactly
+  // the nodes whose scores changed.
   std::vector<double> share(n);
-  ParallelFor(pool, n, kNodeGrain, [&](size_t begin, size_t end) {
-    for (NodeId u = static_cast<NodeId>(begin); u < end; ++u) {
-      const size_t degree = g.OutDegree(u);
-      share[u] = degree == 0
-                     ? 0.0
-                     : scores[u] / static_cast<double>(degree);
-    }
-  });
+  const auto refresh_share = [&] {
+    ParallelFor(pool, n, kNodeGrain, [&](size_t begin, size_t end) {
+      for (NodeId u = static_cast<NodeId>(begin); u < end; ++u) {
+        const size_t degree = g.OutDegree(u);
+        share[u] = degree == 0
+                       ? 0.0
+                       : scores[u] / static_cast<double>(degree);
+      }
+    });
+  };
 
-  // Round 1 is a full sweep: a grown graph shifts the teleport term for
-  // EVERY node (n and the dangling mass both changed), so each node must
-  // re-gather once against the new graph before its measured per-round
-  // delta can justify freezing it. Without this, nodes outside the dirty
-  // set's influence keep seed values with the old epoch's teleport baked
-  // in — an error frontier_tolerance never sees.
-  std::vector<uint8_t> active(n, 1);
-  std::vector<double> next(n, 0.0);
+  // The active set is the engine's adaptive mode with frontier_tolerance
+  // as the per-source freeze threshold. Its first sweep is always full —
+  // required here because a grown graph shifts the teleport term for EVERY
+  // node (n and the dangling mass both changed), an error no local delta
+  // can detect.
+  kernel::KernelOptions kopts = options.kernel;
+  kopts.adaptive = true;
+  kopts.adaptive_tolerance = options.frontier_tolerance;
+  kernel::GatherEngine engine;
+  SCHOLAR_RETURN_NOT_OK(
+      engine.Init(g, kernel::GatherDirection::kInEdges, kopts, pool));
+
   std::vector<double> partial(chunks, 0.0);
-  std::vector<std::vector<NodeId>> moved(chunks);
-
   RankResult result;
   result.converged = false;
   const double d = options.damping;
@@ -122,63 +129,32 @@ Result<RankResult> FrontierPowerIteration(const GraphAccess& g,
     const double teleport =
         (d * dangling + (1.0 - d)) / static_cast<double>(n);
 
-    // Gather pass over the active set only; per-chunk residual terms and
-    // per-chunk moved-node lists keep the round deterministic.
+    // Gather over the awake rows only (the engine re-gathers exactly the
+    // rows some moved source feeds and returns its persistent buffer).
+    refresh_share();
+    const double* gathered = engine.Gather(share.data(), nullptr);
+    const uint8_t* stale = engine.last_stale();
+
+    // Commit the re-gathered slots; frozen rows keep their score
+    // bit-exactly (their stale teleport is the drift the final
+    // renormalization mops up). Residual is summed over the awake set, as
+    // ordered per-chunk partials.
     ParallelForChunks(pool, n, kNodeGrain,
                       [&](size_t chunk, size_t begin, size_t end) {
       double residual_part = 0.0;
-      moved[chunk].clear();
       for (NodeId v = static_cast<NodeId>(begin); v < end; ++v) {
-        if (!active[v]) continue;
-        double acc = 0.0;
-        for (EdgeId p = g.in_begin[v]; p < g.in_end[v]; ++p) {
-          acc += share[g.in_neighbors[p]];
-        }
-        const double value = teleport + d * acc;
-        const double delta = std::abs(value - scores[v]);
-        next[v] = value;
-        residual_part += delta;
-        if (delta > options.frontier_tolerance) moved[chunk].push_back(v);
+        if (!stale[v]) continue;
+        const double value = teleport + d * gathered[v];
+        residual_part += std::abs(value - scores[v]);
+        scores[v] = value;
       }
       partial[chunk] = residual_part;
     });
     const double residual = OrderedSum(partial, chunks);
 
-    // Commit the active slots and refresh their pull terms.
-    ParallelFor(pool, n, kNodeGrain, [&](size_t begin, size_t end) {
-      for (NodeId v = static_cast<NodeId>(begin); v < end; ++v) {
-        if (!active[v]) continue;
-        scores[v] = next[v];
-        const size_t degree = g.OutDegree(v);
-        share[v] =
-            degree == 0 ? 0.0 : scores[v] / static_cast<double>(degree);
-      }
-    });
-
-    // Frontier propagation, serial and in chunk order: a node that moved
-    // stays active and wakes the articles it cites (they pull from it);
-    // everything else freezes until reawakened.
-    std::fill(active.begin(), active.end(), 0);
-    size_t active_count = 0;
-    for (size_t c = 0; c < chunks; ++c) {
-      for (NodeId v : moved[c]) {
-        if (!active[v]) {
-          active[v] = 1;
-          ++active_count;
-        }
-        for (EdgeId e = g.out_begin[v]; e < g.out_end[v]; ++e) {
-          const NodeId w = g.out_neighbors[e];
-          if (!active[w]) {
-            active[w] = 1;
-            ++active_count;
-          }
-        }
-      }
-    }
-
     result.iterations = iter;
     result.final_residual = residual;
-    if (residual < options.tolerance || active_count == 0) {
+    if (residual < options.tolerance || engine.last_rows_gathered() == 0) {
       result.converged = true;
       break;
     }

@@ -85,6 +85,8 @@ Result<RankResult> IncrementalRanker::RankWarm(
         static_cast<int>(options_.config.GetIntOr("threads", 0));
     frontier.frontier_tolerance = options_.frontier_tolerance;
     SCHOLAR_ASSIGN_OR_RETURN(
+        frontier.kernel, kernel::KernelOptionsFromConfig(options_.config));
+    SCHOLAR_ASSIGN_OR_RETURN(
         RankResult result,
         FrontierPowerIteration(AccessOf(graph), seed, dirty, frontier));
     Remember(result);

@@ -1,0 +1,517 @@
+// Property suite for the iteration engine (src/rank/kernel/).
+//
+// The engine's contracts, checked across every kernel that gathers
+// through it (pagerank, twpr, katz, sceas, hits) and across thread
+// counts {1, 2, 4, 8}:
+//
+//   * scalar vs SIMD (double): bit-identical — both reduce each row
+//     through the same lane-striped addition tree;
+//   * float score mirror: <= 1e-6 absolute drift vs the double path;
+//   * delta-varint in-CSR: decoded ids identical, so scores
+//     bit-identical to the raw adjacency;
+//   * hub-first source relabel: pure layout permutation, bit-identical;
+//   * weight codebook: byte codes into a table of the original weight
+//     values, bit-identical to the raw weight stream, with a silent
+//     fallback past 256 distinct values;
+//   * adaptive convergence: final scores within tolerance of the
+//     fixed-sweep reference;
+//   * the checked varint decoder round-trips real adjacency rows and
+//     rejects each corruption class with a typed status.
+
+#include "rank/kernel/kernel_options.h"
+
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "core/registry.h"
+#include "graph/graph_access.h"
+#include "rank/kernel/compressed_csr.h"
+#include "rank/kernel/gather_engine.h"
+#include "rank/kernel/simd.h"
+#include "test_util.h"
+#include "util/config.h"
+
+namespace scholar {
+namespace {
+
+using testing_util::MakeRandomGraph;
+using testing_util::MakeTinyGraph;
+
+constexpr const char* kEngineKernels[] = {"pagerank", "twpr", "katz",
+                                          "sceas", "hits"};
+constexpr int kThreadCounts[] = {1, 2, 4, 8};
+
+Config KernelConfig(const std::string& simd, const std::string& precision,
+                    const std::string& compression, bool adaptive,
+                    int threads) {
+  Config config;
+  config.Set("simd", simd);
+  config.Set("score_precision", precision);
+  config.Set("csr_compression", compression);
+  config.SetBool("adaptive", adaptive);
+  config.SetInt("threads", threads);
+  return config;
+}
+
+std::vector<double> RunKernel(const std::string& kernel, const CitationGraph& g,
+                        const Config& config) {
+  auto ranker = MakeRanker(kernel, config).value();
+  return ranker->Rank(g).value().scores;
+}
+
+double MaxAbsDiff(const std::vector<double>& a, const std::vector<double>& b) {
+  EXPECT_EQ(a.size(), b.size());
+  double max_diff = 0.0;
+  for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    max_diff = std::max(max_diff, std::abs(a[i] - b[i]));
+  }
+  return max_diff;
+}
+
+// Exact (bit-level) equality, with a useful message on failure.
+void ExpectBitIdentical(const std::vector<double>& got,
+                        const std::vector<double>& want,
+                        const std::string& label) {
+  EXPECT_TRUE(got == want) << label
+                           << ": max abs diff = " << MaxAbsDiff(got, want);
+}
+
+CitationGraph TestGraph() {
+  // Big enough that every thread count gets real chunks and rows span
+  // several SIMD strips; small enough that the full matrix stays fast.
+  return MakeRandomGraph(/*n=*/600, /*avg_degree=*/6, /*start_year=*/1990,
+                         /*num_years=*/12, /*seed=*/7);
+}
+
+// --- scalar vs SIMD bit-identity (double) -------------------------------
+
+TEST(KernelBitIdentityTest, SimdMatchesScalarAcrossKernelsAndThreads) {
+  const CitationGraph g = TestGraph();
+  std::vector<std::string> simd_modes = {"scalar", "auto"};
+  if (kernel::DetectSimdLevel() == kernel::SimdLevel::kAvx2) {
+    simd_modes.push_back("avx2");
+  }
+  for (const char* kernel : kEngineKernels) {
+    const std::vector<double> oracle =
+        RunKernel(kernel, g, KernelConfig("scalar", "double", "none", false, 1));
+    ASSERT_EQ(oracle.size(), g.num_nodes()) << kernel;
+    for (const std::string& simd : simd_modes) {
+      for (int threads : kThreadCounts) {
+        const std::vector<double> scores = RunKernel(
+            kernel, g, KernelConfig(simd, "double", "none", false, threads));
+        ExpectBitIdentical(scores, oracle,
+                           std::string(kernel) + " simd=" + simd +
+                               " threads=" + std::to_string(threads));
+      }
+    }
+  }
+}
+
+TEST(KernelBitIdentityTest, TinyAndEdgeCaseGraphs) {
+  // Dangling nodes, empty rows, rows shorter than one SIMD strip.
+  const CitationGraph g = MakeTinyGraph();
+  for (const char* kernel : kEngineKernels) {
+    const std::vector<double> oracle =
+        RunKernel(kernel, g, KernelConfig("scalar", "double", "none", false, 1));
+    const std::vector<double> simd =
+        RunKernel(kernel, g, KernelConfig("auto", "double", "none", false, 2));
+    ExpectBitIdentical(simd, oracle, std::string(kernel) + " tiny");
+  }
+}
+
+// --- float score mirror drift bound -------------------------------------
+
+TEST(KernelFloatDriftTest, FloatScoresWithinBound) {
+  const CitationGraph g = TestGraph();
+  constexpr double kDriftBound = 1e-6;
+  for (const char* kernel : kEngineKernels) {
+    const std::vector<double> oracle =
+        RunKernel(kernel, g, KernelConfig("scalar", "double", "none", false, 1));
+    for (const std::string& simd : {std::string("scalar"), std::string("auto")}) {
+      const std::vector<double> scores =
+          RunKernel(kernel, g, KernelConfig(simd, "float", "none", false, 1));
+      const double drift = MaxAbsDiff(scores, oracle);
+      EXPECT_LE(drift, kDriftBound)
+          << kernel << " simd=" << simd << " float drift " << drift;
+    }
+  }
+}
+
+// --- compressed in-CSR --------------------------------------------------
+
+TEST(KernelCompressionTest, CompressedScoresBitIdentical) {
+  const CitationGraph g = TestGraph();
+  for (const char* kernel : kEngineKernels) {
+    const std::vector<double> oracle =
+        RunKernel(kernel, g, KernelConfig("scalar", "double", "none", false, 1));
+    for (int threads : {1, 4}) {
+      const std::vector<double> scores = RunKernel(
+          kernel, g,
+          KernelConfig("auto", "double", "delta_varint", false, threads));
+      ExpectBitIdentical(scores, oracle,
+                         std::string(kernel) + " delta_varint threads=" +
+                             std::to_string(threads));
+    }
+  }
+}
+
+TEST(KernelCompressionTest, TrustedDecodeReproducesRawAdjacency) {
+  const CitationGraph g = TestGraph();
+  const GraphAccess a = AccessOf(g);
+  kernel::CompressedInCsr csr;
+  csr.Build(a.in_begin, a.in_end, a.in_neighbors, a.num_nodes,
+            /*pool=*/nullptr);
+  ASSERT_EQ(csr.num_rows(), a.num_nodes);
+  std::vector<NodeId> decoded(csr.max_row_degree());
+  for (size_t v = 0; v < a.num_nodes; ++v) {
+    const size_t k = a.InDegree(static_cast<NodeId>(v));
+    csr.DecodeRow(v, k, decoded.data());
+    for (size_t i = 0; i < k; ++i) {
+      ASSERT_EQ(decoded[i], a.in_neighbors[a.in_begin[v] + i])
+          << "row " << v << " pos " << i;
+    }
+  }
+}
+
+TEST(KernelCompressionTest, CheckedDecodeRoundTripsRealRows) {
+  const CitationGraph g = TestGraph();
+  const GraphAccess a = AccessOf(g);
+  const uint32_t max_id = static_cast<uint32_t>(a.num_nodes);
+  std::vector<uint8_t> bytes;
+  std::vector<NodeId> decoded;
+  for (size_t v = 0; v < a.num_nodes; ++v) {
+    const size_t k = a.InDegree(static_cast<NodeId>(v));
+    bytes.clear();
+    kernel::EncodeVarintRow(a.in_neighbors + a.in_begin[v], k, &bytes);
+    decoded.assign(k, 0);
+    size_t consumed = 0;
+    ASSERT_TRUE(kernel::DecodeVarintRowChecked(bytes.data(), bytes.size(), k,
+                                               max_id, decoded.data(),
+                                               &consumed)
+                    .ok())
+        << "row " << v;
+    EXPECT_EQ(consumed, bytes.size());
+    for (size_t i = 0; i < k; ++i) {
+      ASSERT_EQ(decoded[i], a.in_neighbors[a.in_begin[v] + i]);
+    }
+  }
+}
+
+TEST(KernelCompressionTest, CheckedDecodeRejectsCorruptRows) {
+  const NodeId row[] = {0, 3, 7, 250, 511};
+  constexpr size_t kCount = 5;
+  std::vector<uint8_t> bytes;
+  kernel::EncodeVarintRow(row, kCount, &bytes);
+  std::vector<NodeId> out(kCount);
+  size_t consumed = 0;
+
+  // Baseline: the intact row decodes.
+  ASSERT_TRUE(kernel::DecodeVarintRowChecked(bytes.data(), bytes.size(),
+                                             kCount, 512, out.data(),
+                                             &consumed)
+                  .ok());
+
+  // Truncation: drop the final byte.
+  Status s = kernel::DecodeVarintRowChecked(bytes.data(), bytes.size() - 1,
+                                            kCount, 512, out.data(),
+                                            &consumed);
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+
+  // Varint longer than 10 bytes.
+  std::vector<uint8_t> too_long(11, 0x80);
+  too_long.push_back(0x01);
+  s = kernel::DecodeVarintRowChecked(too_long.data(), too_long.size(), 1, 512,
+                                     out.data(), &consumed);
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+
+  // A 10-byte varint whose delta lands far outside [0, max_id).
+  std::vector<uint8_t> overflow(9, 0x80);
+  overflow.push_back(0x01);  // zigzag-decodes to 2^62
+  s = kernel::DecodeVarintRowChecked(overflow.data(), overflow.size(), 1, 512,
+                                     out.data(), &consumed);
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+
+  // A negative running sum: first delta is zigzag(-1).
+  const uint8_t negative[] = {0x01};
+  s = kernel::DecodeVarintRowChecked(negative, 1, 1, 512, out.data(),
+                                     &consumed);
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+
+  // In-range bytes, but max_id_exclusive cuts the row's ids off.
+  s = kernel::DecodeVarintRowChecked(bytes.data(), bytes.size(), kCount, 100,
+                                     out.data(), &consumed);
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+
+  // Validate-only (null out) agrees with the storing decode.
+  s = kernel::DecodeVarintRowChecked(bytes.data(), bytes.size() - 1, kCount,
+                                     512, nullptr, &consumed);
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+  s = kernel::DecodeVarintRowChecked(bytes.data(), bytes.size(), kCount, 512,
+                                     nullptr, &consumed);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(consumed, bytes.size());
+}
+
+// --- hub-first source relabel -------------------------------------------
+
+TEST(KernelHubOrderTest, HubOrderBitIdentical) {
+  const CitationGraph g = TestGraph();
+  for (const char* kernel : kEngineKernels) {
+    const std::vector<double> oracle =
+        RunKernel(kernel, g, KernelConfig("scalar", "double", "none", false, 1));
+    Config config = KernelConfig("auto", "double", "delta_varint", false, 2);
+    config.SetBool("hub_order", true);
+    const std::vector<double> scores = RunKernel(kernel, g, config);
+    ExpectBitIdentical(scores, oracle, std::string(kernel) + " hub_order");
+  }
+}
+
+// --- weight codebook ----------------------------------------------------
+
+TEST(KernelCodebookTest, CodebookBitIdenticalAcrossKernelsAndThreads) {
+  // The table round-trips the exact weight bits, so every kernel —
+  // including the unweighted ones, where the knob is a no-op — must
+  // reproduce the raw-weight scores bit for bit.
+  const CitationGraph g = TestGraph();
+  for (const char* kernel : kEngineKernels) {
+    const std::vector<double> oracle =
+        RunKernel(kernel, g, KernelConfig("scalar", "double", "none", false, 1));
+    for (const std::string& simd : {std::string("scalar"), std::string("auto")}) {
+      for (int threads : {1, 4}) {
+        Config config = KernelConfig(simd, "double", "none", false, threads);
+        config.SetBool("weight_codebook", true);
+        const std::vector<double> scores = RunKernel(kernel, g, config);
+        ExpectBitIdentical(scores, oracle,
+                           std::string(kernel) + " weight_codebook simd=" +
+                               simd + " threads=" + std::to_string(threads));
+      }
+    }
+  }
+}
+
+TEST(KernelCodebookTest, CodebookFloatMatchesFloatMirror) {
+  // In float mode the table stores float(weight) — the same value the
+  // raw path's mirror holds — so codebook-f32 is bit-identical to
+  // plain-f32, not merely within the 1e-6 drift bound.
+  const CitationGraph g = TestGraph();
+  for (const char* kernel : kEngineKernels) {
+    const std::vector<double> plain_f32 =
+        RunKernel(kernel, g, KernelConfig("auto", "float", "none", false, 2));
+    Config config = KernelConfig("auto", "float", "none", false, 2);
+    config.SetBool("weight_codebook", true);
+    const std::vector<double> coded_f32 = RunKernel(kernel, g, config);
+    ExpectBitIdentical(coded_f32, plain_f32,
+                       std::string(kernel) + " codebook f32");
+  }
+}
+
+TEST(KernelCodebookTest, EngineBuildsTableAndFallsBackPast256) {
+  const CitationGraph g = TestGraph();
+  const GraphAccess a = AccessOf(g);
+  const size_t num_edges = g.num_edges();
+  ASSERT_GT(num_edges, 256u);
+
+  std::vector<double> contrib(a.num_nodes);
+  for (size_t u = 0; u < a.num_nodes; ++u) {
+    contrib[u] = 1.0 / static_cast<double>(u + 1);
+  }
+
+  kernel::KernelOptions raw_opts;
+  kernel::GatherEngine raw_engine;
+  ASSERT_TRUE(raw_engine
+                  .Init(a, kernel::GatherDirection::kInEdges, raw_opts,
+                        /*pool=*/nullptr)
+                  .ok());
+  kernel::KernelOptions coded_opts;
+  coded_opts.weight_codebook = true;
+  kernel::GatherEngine coded_engine;
+  ASSERT_TRUE(coded_engine
+                  .Init(a, kernel::GatherDirection::kInEdges, coded_opts,
+                        /*pool=*/nullptr)
+                  .ok());
+
+  // A small distinct-value set (7 values, TWPR-shaped): codebook engages.
+  std::vector<double> few(num_edges);
+  for (size_t e = 0; e < num_edges; ++e) {
+    few[e] = std::exp(-0.3 * static_cast<double>(e % 7));
+  }
+  {
+    const double* want = raw_engine.Gather(contrib.data(), few.data());
+    const double* got = coded_engine.Gather(contrib.data(), few.data());
+    EXPECT_TRUE(coded_engine.codebook_active());
+    EXPECT_EQ(coded_engine.codebook_entries(), 7u);
+    for (size_t v = 0; v < a.num_nodes; ++v) {
+      ASSERT_EQ(got[v], want[v]) << "codebook row " << v;
+    }
+  }
+
+  // All-distinct weights: the build declines and the sweep falls back to
+  // the raw stream, still bit-identical.
+  std::vector<double> many(num_edges);
+  for (size_t e = 0; e < num_edges; ++e) {
+    many[e] = 1.0 + static_cast<double>(e) * 1e-9;
+  }
+  {
+    const double* want = raw_engine.Gather(contrib.data(), many.data());
+    const double* got = coded_engine.Gather(contrib.data(), many.data());
+    EXPECT_FALSE(coded_engine.codebook_active());
+    EXPECT_EQ(coded_engine.codebook_entries(), 0u);
+    for (size_t v = 0; v < a.num_nodes; ++v) {
+      ASSERT_EQ(got[v], want[v]) << "fallback row " << v;
+    }
+  }
+}
+
+// --- adaptive convergence -----------------------------------------------
+
+TEST(KernelAdaptiveTest, AdaptiveMatchesFixedAcrossKernelsAndThreads) {
+  const CitationGraph g = TestGraph();
+  // Default adaptive_tolerance (1e-13) freezes rows only once their
+  // inputs have stopped moving at that scale; the committed scores may
+  // lag the fixed-sweep reference by the frozen rows' residual budget.
+  constexpr double kTolerance = 1e-9;
+  for (const char* kernel : kEngineKernels) {
+    const std::vector<double> fixed =
+        RunKernel(kernel, g, KernelConfig("auto", "double", "none", false, 1));
+    for (int threads : kThreadCounts) {
+      const std::vector<double> adaptive = RunKernel(
+          kernel, g, KernelConfig("auto", "double", "none", true, threads));
+      const double diff = MaxAbsDiff(adaptive, fixed);
+      EXPECT_LE(diff, kTolerance)
+          << kernel << " adaptive threads=" << threads << " diff " << diff;
+    }
+  }
+}
+
+TEST(KernelAdaptiveTest, ZeroToleranceIsExactSkipping) {
+  // adaptive_tolerance=0 skips a row only when its inputs are bit-equal,
+  // so the trajectory — not just the fixed point — is bit-identical.
+  const CitationGraph g = TestGraph();
+  for (const char* kernel : kEngineKernels) {
+    const std::vector<double> fixed =
+        RunKernel(kernel, g, KernelConfig("scalar", "double", "none", false, 1));
+    Config config = KernelConfig("auto", "double", "none", true, 2);
+    config.SetDouble("adaptive_tolerance", 0.0);
+    const std::vector<double> adaptive = RunKernel(kernel, g, config);
+    ExpectBitIdentical(adaptive, fixed,
+                       std::string(kernel) + " adaptive_tolerance=0");
+  }
+}
+
+// --- legacy baseline ----------------------------------------------------
+
+TEST(KernelLegacyTest, LegacyWithinRegroupingNoiseOfScalar) {
+  // kLegacy keeps the PR-2 sequential accumulation order; it differs from
+  // the striped oracle only by floating-point regrouping.
+  const CitationGraph g = TestGraph();
+  for (const char* kernel : kEngineKernels) {
+    const std::vector<double> striped =
+        RunKernel(kernel, g, KernelConfig("scalar", "double", "none", false, 1));
+    const std::vector<double> legacy =
+        RunKernel(kernel, g, KernelConfig("legacy", "double", "none", false, 1));
+    const double diff = MaxAbsDiff(legacy, striped);
+    EXPECT_LE(diff, 1e-9) << kernel << " legacy-vs-scalar diff " << diff;
+  }
+}
+
+// --- option parsing -----------------------------------------------------
+
+TEST(KernelOptionsTest, ParsesEverySpelling) {
+  Config config;
+  config.Set("simd", "avx2");
+  config.Set("score_precision", "f32");
+  config.Set("csr_compression", "varint");
+  config.SetBool("hub_order", true);
+  config.SetBool("weight_codebook", true);
+  config.SetBool("adaptive", true);
+  config.SetDouble("adaptive_tolerance", 1e-10);
+  const kernel::KernelOptions opts =
+      kernel::KernelOptionsFromConfig(config).value();
+  EXPECT_EQ(opts.simd, kernel::SimdMode::kAvx2);
+  EXPECT_EQ(opts.precision, kernel::ScorePrecision::kFloat);
+  EXPECT_EQ(opts.compression, kernel::CsrCompression::kDeltaVarint);
+  EXPECT_TRUE(opts.hub_order);
+  EXPECT_TRUE(opts.weight_codebook);
+  EXPECT_TRUE(opts.adaptive);
+  EXPECT_DOUBLE_EQ(opts.adaptive_tolerance, 1e-10);
+
+  // Alternate spellings and defaults.
+  EXPECT_EQ(kernel::SimdModeFromString("legacy").value(),
+            kernel::SimdMode::kLegacy);
+  EXPECT_EQ(kernel::ScorePrecisionFromString("f64").value(),
+            kernel::ScorePrecision::kDouble);
+  EXPECT_EQ(kernel::CsrCompressionFromString("delta_varint").value(),
+            kernel::CsrCompression::kDeltaVarint);
+  const kernel::KernelOptions defaults =
+      kernel::KernelOptionsFromConfig(Config()).value();
+  EXPECT_EQ(defaults.simd, kernel::SimdMode::kAuto);
+  EXPECT_EQ(defaults.precision, kernel::ScorePrecision::kDouble);
+  EXPECT_EQ(defaults.compression, kernel::CsrCompression::kNone);
+  EXPECT_FALSE(defaults.hub_order);
+  EXPECT_FALSE(defaults.weight_codebook);
+  EXPECT_FALSE(defaults.adaptive);
+}
+
+TEST(KernelOptionsTest, RejectsUnknownSpellings) {
+  {
+    Config config;
+    config.Set("simd", "sse9");
+    EXPECT_TRUE(kernel::KernelOptionsFromConfig(config)
+                    .status()
+                    .IsInvalidArgument());
+  }
+  {
+    Config config;
+    config.Set("score_precision", "half");
+    EXPECT_TRUE(kernel::KernelOptionsFromConfig(config)
+                    .status()
+                    .IsInvalidArgument());
+  }
+  {
+    Config config;
+    config.Set("csr_compression", "gzip");
+    EXPECT_TRUE(kernel::KernelOptionsFromConfig(config)
+                    .status()
+                    .IsInvalidArgument());
+  }
+  {
+    Config config;
+    config.SetDouble("adaptive_tolerance", -1e-9);
+    EXPECT_TRUE(kernel::KernelOptionsFromConfig(config)
+                    .status()
+                    .IsInvalidArgument());
+  }
+}
+
+TEST(KernelOptionsTest, RegistryPropagatesBadKernelKeys) {
+  Config config;
+  config.Set("simd", "not-an-isa");
+  for (const char* kernel : kEngineKernels) {
+    const auto result = MakeRanker(kernel, config);
+    EXPECT_FALSE(result.ok()) << kernel;
+    EXPECT_TRUE(result.status().IsInvalidArgument()) << kernel;
+  }
+}
+
+// --- explicit avx2 on hosts without it ----------------------------------
+
+TEST(KernelSimdTest, ExplicitAvx2MatchesHostCapability) {
+  const CitationGraph g = MakeTinyGraph();
+  auto ranker =
+      MakeRanker("pagerank", KernelConfig("avx2", "double", "none", false, 1))
+          .value();
+  const auto result = ranker->Rank(g);
+  if (kernel::DetectSimdLevel() == kernel::SimdLevel::kAvx2) {
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+  } else {
+    // simd=avx2 is an explicit demand, not a hint: refused at setup.
+    EXPECT_FALSE(result.ok());
+  }
+}
+
+}  // namespace
+}  // namespace scholar

@@ -1,0 +1,15 @@
+// Fixture: raw SIMD outside src/rank/kernel/ — the include, the vector
+// type, and the intrinsic call must each fire raw-intrinsics.
+
+#include <immintrin.h>
+
+namespace scholar {
+
+double SumFour(const double* p) {
+  __m256d v = _mm256_loadu_pd(p);
+  double out[4];
+  _mm256_storeu_pd(out, v);
+  return out[0] + out[1] + out[2] + out[3];
+}
+
+}  // namespace scholar

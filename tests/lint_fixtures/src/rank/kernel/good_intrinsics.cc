@@ -1,0 +1,17 @@
+// Fixture: the same SIMD code is legal inside src/rank/kernel/, the one
+// directory that owns intrinsics (dispatch seam + scalar oracle).
+
+#include <immintrin.h>
+
+namespace scholar {
+namespace kernel {
+
+double SumFour(const double* p) {
+  __m256d v = _mm256_loadu_pd(p);
+  double out[4];
+  _mm256_storeu_pd(out, v);
+  return out[0] + out[1] + out[2] + out[3];
+}
+
+}  // namespace kernel
+}  // namespace scholar

@@ -1,0 +1,15 @@
+// Fixture: a deliberate out-of-kernel intrinsic says so line by line with
+// NOLINT(raw-intrinsics); nothing may fire.
+
+#include <immintrin.h>  // NOLINT(raw-intrinsics)
+
+namespace scholar {
+
+double FirstLane(const double* p) {
+  __m256d v = _mm256_loadu_pd(p);  // NOLINT(raw-intrinsics)
+  double out[4];
+  _mm256_storeu_pd(out, v);  // NOLINT(raw-intrinsics)
+  return out[0];
+}
+
+}  // namespace scholar

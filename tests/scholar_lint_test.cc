@@ -207,6 +207,29 @@ TEST(ScholarLintTest, UncheckedReadScopedToParserFiles) {
   EXPECT_EQ(run.output, "");
 }
 
+TEST(ScholarLintTest, RawIntrinsicsFiresOutsideKernelDir) {
+  LintRun run = RunLint({Fixture("src/rank/bad_intrinsics.cc")});
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  // The <immintrin.h> include, the __m256d type, and the two _mm256_*
+  // calls each fire.
+  EXPECT_EQ(CountOccurrences(run.output, "raw-intrinsics:"), 4u)
+      << run.output;
+  EXPECT_NE(run.output.find("immintrin.h"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("__m256d"), std::string::npos) << run.output;
+}
+
+TEST(ScholarLintTest, RawIntrinsicsQuietInsideKernelDir) {
+  LintRun run = RunLint({Fixture("src/rank/kernel/good_intrinsics.cc")});
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(run.output, "");
+}
+
+TEST(ScholarLintTest, RawIntrinsicsSuppressedByNolint) {
+  LintRun run = RunLint({Fixture("src/rank/nolint_intrinsics.cc")});
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(run.output, "");
+}
+
 TEST(ScholarLintTest, MultiFileRunIsNonzeroIfAnyFileViolates) {
   LintRun run = RunLint({Fixture("src/graph/good_include_order.cc"),
                          Fixture("src/core/bad_stdout.cc"),

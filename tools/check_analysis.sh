@@ -20,10 +20,19 @@
 #           replay test; commit it together with the parser fix. Skipped
 #           with a note when no clang++ is on PATH.
 #
-# Usage: tools/check_analysis.sh [--fast] [--fuzz[=seconds]] [flavor...]
+# Usage: tools/check_analysis.sh [--fast] [--fuzz[=seconds]] [--bench-gate]
+#                                [flavor...]
 #   --fast     run only tier1-labeled tests (which include the fuzz_replay
 #              corpus tests) instead of the full suite
 #   --fuzz[=N] also run the fuzz flavor, N seconds per harness (default 30)
+#   --bench-gate
+#              also run the bench-gate flavor: rank_scaling --smoke across
+#              the full iteration-engine variant matrix (scalar/simd x
+#              double/float x plain/compressed x fixed/adaptive). The
+#              binary itself asserts scalar-vs-SIMD bit-identity at every
+#              thread count and the <= 1e-6 float drift bound; any
+#              violation fails the gate. Smoke timings are not
+#              measurements — this gate checks contracts, not speed.
 #   flavor...  subset of: plain asan tsan ubsan tsa (default: all)
 #
 # Exit status is nonzero when any selected flavor fails. Build dirs are
@@ -38,6 +47,7 @@ CTEST_ARGS=("--output-on-failure" "-j" "$JOBS")
 
 FAST=0
 FUZZ=0
+BENCH_GATE=0
 FUZZ_SECONDS=30
 FLAVORS=()
 for arg in "$@"; do
@@ -51,19 +61,22 @@ for arg in "$@"; do
         ''|*[!0-9]*) echo "--fuzz= wants a whole number of seconds" >&2; exit 2 ;;
       esac
       ;;
+    --bench-gate) BENCH_GATE=1 ;;
     plain|asan|tsan|ubsan|tsa) FLAVORS+=("$arg") ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
 if [ ${#FLAVORS[@]} -eq 0 ]; then
-  # --fuzz alone means "just fuzz", not "everything plus fuzz".
-  if [ "$FUZZ" -eq 1 ]; then
+  # --fuzz / --bench-gate alone mean "just that gate", not "everything
+  # plus it".
+  if [ "$FUZZ" -eq 1 ] || [ "$BENCH_GATE" -eq 1 ]; then
     FLAVORS=()
   else
     FLAVORS=(plain asan tsan ubsan tsa)
   fi
 fi
 [ "$FUZZ" -eq 1 ] && FLAVORS+=(fuzz)
+[ "$BENCH_GATE" -eq 1 ] && FLAVORS+=(bench-gate)
 # fuzz_replay is a subset of tier1, so the fast lane replays the corpora
 # too; the label is spelled out to keep that property grep-able.
 [ "$FAST" -eq 1 ] && CTEST_ARGS+=("-L" "tier1|bench_smoke|fuzz_replay")
@@ -78,11 +91,12 @@ cmake_flags_for() {
     ubsan) echo "-DSCHOLAR_ENABLE_UBSAN=ON" ;;
     tsa)   echo "-DSCHOLAR_ENABLE_THREAD_SAFETY_ANALYSIS=ON" ;;
     fuzz)  echo "-DSCHOLAR_ENABLE_FUZZERS=ON -DSCHOLARRANK_BUILD_BENCHMARKS=OFF -DSCHOLARRANK_BUILD_EXAMPLES=OFF" ;;
+    bench-gate) echo "" ;;
   esac
 }
 
 # Mirrors SCHOLAR_FUZZ_TARGETS in fuzz/CMakeLists.txt.
-FUZZ_TARGETS=(graph_io ground_truth aminer snapshot serve_request edge_batch)
+FUZZ_TARGETS=(graph_io ground_truth aminer snapshot serve_request edge_batch compressed_csr)
 
 run_fuzz_budgeted() {
   local build_dir=$1
@@ -157,6 +171,21 @@ run_flavor() {
       return 1
     fi
     RESULT[$flavor]="PASS (${FUZZ_SECONDS}s/harness, no crashers)"
+    return 0
+  fi
+  if [ "$flavor" = "bench-gate" ]; then
+    # rank_scaling --smoke sweeps the whole engine variant matrix and
+    # SCHOLAR_CHECKs bit-identity (double variants, every thread count)
+    # and the float drift bound internally; a nonzero exit is a contract
+    # violation, not a slow machine.
+    local gate_work="$build_dir/bench-gate-work"
+    mkdir -p "$gate_work"
+    echo "=== [bench-gate] rank_scaling --smoke (variant matrix contracts) ==="
+    if ! (cd "$gate_work" && "$build_dir/bench/rank_scaling" --smoke); then
+      RESULT[$flavor]="FAIL (engine variant contract violated)"
+      return 1
+    fi
+    RESULT[$flavor]="PASS (identity/drift contracts across variant matrix)"
     return 0
   fi
   echo "=== [$flavor] test ==="

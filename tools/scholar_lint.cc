@@ -38,6 +38,11 @@
 //                  goes through the bounds-checked util/byte_reader.h
 //                  (whose own two low-level sites are the sanctioned
 //                  NOLINT(unchecked-read) exceptions).
+//   raw-intrinsics no _mm_*/_mm256_*/_mm512_* calls, __m128/__m256/__m512
+//                  vector types, or *intrin.h includes outside
+//                  src/rank/kernel/ — SIMD lives behind the iteration
+//                  engine's dispatch seam, next to the scalar oracle that
+//                  proves it bit-identical.
 //
 // Diagnostics are `file:line: rule: message`, exit status is nonzero when
 // any violation survives. A `// NOLINT` comment suppresses every rule on
@@ -775,6 +780,59 @@ void CheckUncheckedRead(const LexedFile& f, Reporter* rep) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: raw-intrinsics
+// ---------------------------------------------------------------------------
+
+/// True when the include path names an x86 SIMD intrinsics header
+/// (immintrin.h, x86intrin.h, emmintrin.h, ...).
+bool IsIntrinsicsHeader(const std::string& path) {
+  const std::string base = Basename(path);
+  const std::string suffix = "intrin.h";
+  return base.size() >= suffix.size() &&
+         base.compare(base.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// SIMD intrinsics are confined to src/rank/kernel/: that directory owns
+/// the runtime ISA dispatch and the scalar oracle that proves each vector
+/// path bit-identical, so an intrinsic anywhere else is a portability and
+/// bit-identity hazard the kernel seam exists to prevent. Flags
+/// _mm_/_mm256_/_mm512_ calls, __m128/__m256/__m512 vector types, and
+/// *intrin.h includes in the rest of src/. A deliberate exception says so
+/// with NOLINT(raw-intrinsics).
+void CheckRawIntrinsics(const LexedFile& f, Reporter* rep) {
+  if (!PathContains(f.path, "src/")) return;  // tools/tests/benches free
+  if (PathContains(f.path, "src/rank/kernel/")) return;  // the one home
+  for (const Include& inc : f.includes) {
+    if (IsIntrinsicsHeader(inc.path)) {
+      rep->Report(inc.line, "raw-intrinsics",
+                  "#include <" + inc.path +
+                      "> outside src/rank/kernel/; SIMD code belongs behind "
+                      "the iteration-engine seam (rank/kernel/simd.h), which "
+                      "owns runtime dispatch and the scalar bit-identity "
+                      "oracle");
+    }
+  }
+  const std::vector<Token>& t = f.tokens;
+  for (const Token& tok : t) {
+    if (tok.kind != TokKind::kIdent) continue;
+    const std::string& s = tok.text;
+    const bool call_prefix = s.rfind("_mm_", 0) == 0 ||
+                             s.rfind("_mm256_", 0) == 0 ||
+                             s.rfind("_mm512_", 0) == 0;
+    const bool vector_type = s.rfind("__m128", 0) == 0 ||
+                             s.rfind("__m256", 0) == 0 ||
+                             s.rfind("__m512", 0) == 0;
+    if (call_prefix || vector_type) {
+      rep->Report(tok.line, "raw-intrinsics",
+                  "raw SIMD intrinsic '" + s +
+                      "' outside src/rank/kernel/; route vector work through "
+                      "the iteration engine (rank/kernel/), or mark a "
+                      "deliberate exception NOLINT(raw-intrinsics)");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
 
@@ -796,6 +854,7 @@ int LintFile(const std::string& path, std::vector<Diagnostic>* all) {
   CheckMaterializeSnapshot(lexed, &rep);
   CheckIncludeLayering(lexed, &rep);
   CheckUncheckedRead(lexed, &rep);
+  CheckRawIntrinsics(lexed, &rep);
   all->insert(all->end(), rep.diagnostics().begin(), rep.diagnostics().end());
   return 0;
 }
@@ -810,7 +869,7 @@ int main(int argc, char** argv) {
       std::cout << "usage: scholar_lint file...\n"
                 << "rules: mutex-guard float-compare unseeded-rng "
                    "raw-stdout include-order materialize-snapshot "
-                   "include-layering unchecked-read\n"
+                   "include-layering unchecked-read raw-intrinsics\n"
                 << "suppress with // NOLINT or // NOLINT(rule-a,rule-b)\n";
       return 0;
     }
