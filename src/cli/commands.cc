@@ -208,7 +208,8 @@ Status RunSnapshot(const Config& config, std::ostream* out) {
   serve::SnapshotMeta meta;
   meta.snapshot_id =
       static_cast<uint64_t>(config.GetIntOr("snapshot_id", 0));
-  meta.created_unix = static_cast<int64_t>(std::time(nullptr));
+  meta.created_unix = static_cast<int64_t>(
+      std::time(nullptr));  // NOLINT(determinism): wall-clock metadata stamp, never a score input
   meta.ranker_name = ranker.name();
   meta.corpus_name = corpus.name;
   SCHOLAR_ASSIGN_OR_RETURN(
@@ -347,7 +348,8 @@ Status RunStream(const Config& config, std::ostream* out) {
     ranking.converged = result.converged;
     serve::SnapshotMeta meta;
     meta.snapshot_id = stats.epoch;
-    meta.created_unix = static_cast<int64_t>(std::time(nullptr));
+    meta.created_unix = static_cast<int64_t>(
+        std::time(nullptr));  // NOLINT(determinism): wall-clock metadata stamp, never a score input
     meta.ranker_name = ranker.ranker_name();
     meta.corpus_name = corpus.name;
     SCHOLAR_ASSIGN_OR_RETURN(

@@ -44,11 +44,14 @@ Result<std::vector<double>> RankAuthors(
       break;
     case AuthorAggregation::kHLike: {
       std::vector<double> percentiles = MidrankPercentiles(article_scores);
+      // Hoisted out of the author loop so its capacity is reused; the
+      // remaining growth calls amortize to zero allocations.
+      std::vector<double> own;
       for (AuthorId a = 0; a < authors.num_authors(); ++a) {
         auto papers = authors.PapersOf(a);
-        std::vector<double> own;
-        own.reserve(papers.size());
-        for (NodeId p : papers) own.push_back(percentiles[p]);
+        own.clear();
+        own.reserve(papers.size());  // NOLINT(hot-loop-alloc): amortized, capacity reused across authors in this one-shot aggregation
+        for (NodeId p : papers) own.push_back(percentiles[p]);  // NOLINT(hot-loop-alloc): within reserved capacity
         std::sort(own.rbegin(), own.rend());
         size_t h = 0;
         while (h < own.size() &&

@@ -136,7 +136,8 @@ Status GatherEngine::Init(const GraphAccess& access, GatherDirection direction,
   if (rk.compression == CsrCompression::kDeltaVarint) {
     const NodeId* nbrs =
         rk.hub_order ? relabeled_nbrs_.data() : row_nbrs_;
-    compressed_.Build(row_begin_, row_end_, nbrs, num_rows_, pool_);
+    compressed_.Build(  // NOLINT(unchecked-status): CompressedInCsr::Build returns void; name-collides with ScoreSnapshot::Build
+        row_begin_, row_end_, nbrs, num_rows_, pool_);
   } else {
     compressed_ = CompressedInCsr();
   }
@@ -208,6 +209,7 @@ size_t GatherEngine::MarkStaleRows(const double* contrib) {
   return stale_count;
 }
 
+// analyze:init-scope — codebook construction runs once per Init, never in a sweep
 void GatherEngine::BuildWeightCodebook(const double* edge_weights) {
   codes_built_for_ = edge_weights;
   codebook_active_ = false;

@@ -1,7 +1,7 @@
 #include "rank/kernel/simd.h"
 
 #if defined(__x86_64__) || defined(__i386__)
-#include <immintrin.h>  // NOLINT(raw-intrinsics)
+#include <immintrin.h>
 #define SCHOLAR_KERNEL_X86 1
 #else
 #define SCHOLAR_KERNEL_X86 0

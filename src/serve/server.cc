@@ -161,7 +161,7 @@ void Server::Stop() {
     // Unblock every in-flight handler read; handlers then drain their
     // final batch and exit.
     MutexLock lock(conn_mu_);
-    for (int fd : open_connections_) ::shutdown(fd, SHUT_RDWR);
+    for (int fd : open_connections_) ::shutdown(fd, SHUT_RDWR);  // NOLINT(determinism): shutdown order is irrelevant, side effects only
   }
   pool_.Shutdown();
 

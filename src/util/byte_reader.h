@@ -37,7 +37,7 @@ class ByteReader {
   /// read also returns false, so callers may batch `!r.ReadRaw(&a) ||
   /// !r.ReadRaw(&b)` checks.
   template <typename T>
-  bool ReadRaw(T* value) {
+  [[nodiscard]] bool ReadRaw(T* value) {
     static_assert(std::is_trivially_copyable_v<T>,
                   "ByteReader::ReadRaw requires a trivially copyable type");
     in_->read(reinterpret_cast<char*>(value), sizeof(T));  // NOLINT(unchecked-read): the sanctioned low-level scalar read
@@ -51,7 +51,8 @@ class ByteReader {
   /// present in the stream plus one chunk. `what` names the field in the
   /// Corruption message.
   template <typename T>
-  Status ReadVector(size_t count, const char* what, std::vector<T>* out) {
+  [[nodiscard]] Status ReadVector(size_t count, const char* what,
+                                  std::vector<T>* out) {
     static_assert(std::is_trivially_copyable_v<T>,
                   "ByteReader::ReadVector requires a trivially copyable type");
     constexpr size_t kChunkElements = size_t{1} << 20;
@@ -73,8 +74,8 @@ class ByteReader {
 
   /// Reads a u32-length-prefixed string, rejecting declared lengths above
   /// `max_bytes` before allocating. `what` names the field in diagnostics.
-  Result<std::string> ReadLengthPrefixedString(const char* what,
-                                               uint32_t max_bytes) {
+  [[nodiscard]] Result<std::string> ReadLengthPrefixedString(
+      const char* what, uint32_t max_bytes) {
     uint32_t len = 0;
     if (!ReadRaw(&len)) {
       return Status::Corruption(std::string("truncated ") + what + " length");

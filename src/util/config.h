@@ -21,10 +21,11 @@ class Config {
   Config() = default;
 
   /// Parses "--key=value" / "key=value" tokens; unknown formats are errors.
-  static Result<Config> FromArgs(int argc, const char* const* argv);
+  [[nodiscard]] static Result<Config> FromArgs(int argc,
+                                               const char* const* argv);
 
   /// Parses config-file text (one assignment per line, '#' comments).
-  static Result<Config> FromString(std::string_view text);
+  [[nodiscard]] static Result<Config> FromString(std::string_view text);
 
   void Set(const std::string& key, std::string value);
   void SetInt(const std::string& key, int64_t value);
@@ -35,10 +36,10 @@ class Config {
 
   /// Typed getters: return `fallback` when the key is absent, a Status when
   /// the key is present but malformed (via the *OrDie variants, abort).
-  Result<std::string> GetString(const std::string& key) const;
-  Result<int64_t> GetInt(const std::string& key) const;
-  Result<double> GetDouble(const std::string& key) const;
-  Result<bool> GetBool(const std::string& key) const;
+  [[nodiscard]] Result<std::string> GetString(const std::string& key) const;
+  [[nodiscard]] Result<int64_t> GetInt(const std::string& key) const;
+  [[nodiscard]] Result<double> GetDouble(const std::string& key) const;
+  [[nodiscard]] Result<bool> GetBool(const std::string& key) const;
 
   std::string GetStringOr(const std::string& key,
                           const std::string& fallback) const;

@@ -58,7 +58,8 @@ class CsvWriter {
 
 /// Parses one CSV line into fields, honoring double-quote escaping.
 /// Multi-line (embedded newline) fields are not supported.
-Result<std::vector<std::string>> ParseCsvLine(const std::string& line);
+[[nodiscard]] Result<std::vector<std::string>> ParseCsvLine(
+    const std::string& line);
 
 }  // namespace scholar
 

@@ -30,7 +30,11 @@ std::string_view StatusCodeToString(StatusCode code);
 /// Follows the RocksDB/Arrow idiom: library functions return Status (or
 /// Result<T>) instead of throwing; callers propagate with
 /// SCHOLAR_RETURN_NOT_OK.
-class Status {
+///
+/// [[nodiscard]] makes the compiler reject a plainly dropped Status; the
+/// scholar_analyze unchecked-status rule closes the remaining gap by also
+/// flagging `(void)` / static_cast<void> discards.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -95,7 +99,7 @@ class Status {
 /// Result aborts the process (programming error), mirroring
 /// arrow::Result<T>.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)

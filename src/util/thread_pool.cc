@@ -27,7 +27,7 @@ bool ThreadPool::Submit(std::function<void()> task) {
 
 void ThreadPool::Drain() {
   MutexLock lock(mu_);
-  while (!idle_locked()) idle_.Wait(mu_);
+  while (!idle_locked()) idle_.Wait(mu_);  // NOLINT(lock-order): idle_ is a CondVar; Wait releases mu_ and acquires nothing else
 }
 
 void ThreadPool::Shutdown() {
@@ -50,7 +50,7 @@ void ThreadPool::WorkerLoop() {
     std::function<void()> task;
     {
       MutexLock lock(mu_);
-      while (!runnable_locked()) wake_.Wait(mu_);
+      while (!runnable_locked()) wake_.Wait(mu_);  // NOLINT(lock-order): wake_ is a CondVar; Wait releases mu_ and acquires nothing else
       if (queue_.empty()) return;  // shutdown with an empty queue
       task = std::move(queue_.front());
       queue_.pop_front();

@@ -1,0 +1,25 @@
+// unchecked-status fixture: every sanctioned way to consume a Status /
+// Result value, plus a reason-carrying NOLINT. Must produce no findings.
+
+#include <string>
+
+#include "util/status.h"
+
+namespace scholar {
+
+Status SaveIndex(const std::string& path);
+Result<int> ParseCount(const std::string& text);
+
+Status Propagate() {
+  Status st = SaveIndex("first");
+  if (!st.ok()) return st;
+  if (!SaveIndex("second").ok()) {
+    return SaveIndex("fallback");
+  }
+  auto parsed = ParseCount("7");
+  if (!parsed.ok()) return parsed.status();
+  SaveIndex("audit-log");  // NOLINT(unchecked-status): fixture-sanctioned fire-and-forget write
+  return Status::OK();
+}
+
+}  // namespace scholar

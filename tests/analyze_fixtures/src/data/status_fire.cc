@@ -1,0 +1,31 @@
+// unchecked-status fixture: every flagged discard pattern. Fed to the
+// scholar_analyze binary by scholar_analyze_test; never compiled.
+//
+// Expected findings (4):
+//   line of SaveIndex("first")     bare call, value dropped
+//   line of (void)SaveIndex        (void) cast discard
+//   line of static_cast<void>      static_cast<void> discard on a Result
+//   line of store->Flush()         member call through a pointer, dropped
+
+#include <string>
+
+#include "util/status.h"
+
+namespace scholar {
+
+Status SaveIndex(const std::string& path);
+Result<int> ParseCount(const std::string& text);
+
+class Store {
+ public:
+  Status Flush();
+};
+
+void Driver(Store* store) {
+  SaveIndex("first");
+  (void)SaveIndex("second");
+  static_cast<void>(ParseCount("3"));
+  store->Flush();
+}
+
+}  // namespace scholar

@@ -1,0 +1,43 @@
+// determinism fixture: the compliant counterparts. Must produce no
+// findings.
+//
+//  - iterating a sorted std::map is deterministic;
+//  - an unordered member folded through an order-insensitive max, audited
+//    with a reason-carrying NOLINT;
+//  - a member method named time() is not the libc wall clock.
+
+#include <map>
+#include <unordered_map>
+
+namespace scholar {
+
+class Clock;  // elsewhere-defined epoch counter with a time() accessor
+
+class Mixer {
+ public:
+  double Sum() const;
+  long Stamp() const;
+
+ private:
+  std::map<int, double> sorted_;
+  std::unordered_map<int, double> cache_;
+};
+
+double Mixer::Sum() const {
+  double total = 0.0;
+  for (const auto& kv : sorted_) {
+    total += kv.second;
+  }
+  double peak = 0.0;
+  for (const auto& kv : cache_) {  // NOLINT(determinism): max over entries is order-independent
+    peak = kv.second > peak ? kv.second : peak;
+  }
+  return total + peak;
+}
+
+long Mixer::Stamp() const {
+  Clock clk;
+  return clk.time();
+}
+
+}  // namespace scholar

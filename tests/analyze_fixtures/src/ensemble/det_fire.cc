@@ -1,0 +1,34 @@
+// determinism fixture: unordered iteration in an order-sensitive
+// subsystem plus a wall-clock call. Fed to the scholar_analyze binary by
+// scholar_analyze_test; never compiled.
+//
+// Expected findings (3):
+//   range-for over the unordered member weights_
+//   explicit weights_.begin() iteration
+//   time(nullptr) outside src/util/rng
+
+#include <ctime>
+#include <unordered_map>
+
+namespace scholar {
+
+class Blender {
+ public:
+  double Blend() const;
+
+ private:
+  std::unordered_map<int, double> weights_;
+};
+
+double Blender::Blend() const {
+  double total = 0.0;
+  for (const auto& kv : weights_) {
+    total += kv.second;
+  }
+  auto it = weights_.begin();
+  total += it->second;
+  total += static_cast<double>(time(nullptr));
+  return total;
+}
+
+}  // namespace scholar

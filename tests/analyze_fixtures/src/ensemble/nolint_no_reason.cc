@@ -1,0 +1,20 @@
+// NOLINT-contract fixture: the analyzer only honors a suppression that
+// names the rule AND carries a reason. The bare NOLINT(determinism) below
+// has no ": reason" tail, so the finding must still fire.
+//
+// Expected findings (1): range-for over the unordered local.
+
+#include <unordered_map>
+
+namespace scholar {
+
+double FoldPending() {
+  std::unordered_map<int, double> pending;
+  double total = 0.0;
+  for (const auto& kv : pending) {  // NOLINT(determinism)
+    total += kv.second;
+  }
+  return total;
+}
+
+}  // namespace scholar

@@ -1,0 +1,16 @@
+// hot-loop-alloc scoping fixture: the same per-iteration allocations that
+// fire under src/rank/kernel/ are fine in evaluation code, which runs once
+// per experiment. Must produce no findings.
+
+#include <string>
+#include <vector>
+
+namespace scholar {
+
+void CollectLabels(int n, std::vector<std::string>* out) {
+  for (int i = 0; i < n; ++i) {
+    out->push_back(std::to_string(i));
+  }
+}
+
+}  // namespace scholar

@@ -1,0 +1,39 @@
+// hot-loop-alloc fixture: every exemption. Must produce no findings.
+//
+//  - a whole function under an `analyze:init-scope` marker;
+//  - a single marked loop inside an otherwise-hot function;
+//  - allocation outside any loop;
+//  - return / throw statements inside a loop (cold error paths).
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace scholar {
+
+// analyze:init-scope — CSR construction runs once per load, not per sweep
+void BuildIndex(int n, std::vector<int>* out) {
+  for (int i = 0; i < n; ++i) {
+    out->push_back(i);
+  }
+}
+
+void Sweep(int n, std::vector<double>* scores) {
+  std::vector<double> scratch;
+  scratch.reserve(static_cast<size_t>(n));
+  // analyze:init-scope — one-time warmup table, not per-sweep work
+  for (int i = 0; i < n; ++i) {
+    scratch.push_back(0.0);
+  }
+  for (int i = 0; i < n; ++i) {
+    if (i > n) {
+      throw std::runtime_error("impossible index " + std::to_string(i));
+    }
+    if (scratch[static_cast<size_t>(i)] < 0.0) {
+      return;
+    }
+    (*scores)[static_cast<size_t>(i)] += scratch[static_cast<size_t>(i)];
+  }
+}
+
+}  // namespace scholar

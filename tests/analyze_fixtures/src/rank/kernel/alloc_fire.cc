@@ -1,0 +1,33 @@
+// hot-loop-alloc fixture: allocations inside sweep loops of a kernel
+// file. Fed to the scholar_analyze binary by scholar_analyze_test; never
+// compiled.
+//
+// Expected findings (4):
+//   'new' in the for loop
+//   'malloc' in the for loop
+//   container 'push_back' in the while loop
+//   'to_string' in the while loop
+
+#include <string>
+#include <vector>
+
+namespace scholar {
+
+void SweepScores(int n, std::vector<double>* out) {
+  for (int i = 0; i < n; ++i) {
+    double* scratch = new double[64];
+    void* raw = malloc(64);
+    scratch[0] = static_cast<double>(i);
+    (*out)[0] = scratch[0];
+    free(raw);
+    delete[] scratch;
+  }
+  int left = n;
+  while (left > 0) {
+    out->push_back(0.0);
+    std::string label = std::to_string(left);
+    --left;
+  }
+}
+
+}  // namespace scholar

@@ -1,5 +1,5 @@
-// Fixture: a deliberate out-of-kernel intrinsic says so line by line with
-// NOLINT(raw-intrinsics); nothing may fire.
+// Fixture: a deliberate out-of-kernel intrinsic says so line by line
+// with NOLINT(raw-intrinsics) markers; nothing may fire.
 
 #include <immintrin.h>  // NOLINT(raw-intrinsics)
 

@@ -1,6 +1,6 @@
-// Fixture: a deliberate layering exception is silenced by
-// NOLINT(include-layering) on the #include line itself, and an
-// unrelated rule name does not silence it.
+// Fixture: a deliberate layering exception is silenced by an
+// inline NOLINT(include-layering) on the #include line itself, and
+// an unrelated rule name does not silence it.
 
 #include "serve/nolint_layering.h"
 

@@ -8,5 +8,7 @@ void Dump(double a, double b) {
   std::cout << "debug dump\n";  // NOLINT
   std::mt19937 gen(42);         // NOLINT(unseeded-rng)
   (void)gen;
-  (void)(a == b);  // NOLINT(float-compare, raw-stdout)
+  (void)a;
+  (void)b;
+  std::cout << rand();  // NOLINT(raw-stdout, unseeded-rng)
 }

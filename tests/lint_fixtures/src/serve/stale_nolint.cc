@@ -1,0 +1,22 @@
+// Lint fixture for stale-nolint: dead suppressions are themselves
+// violations; suppressions naming another tool's rules are not audited.
+//
+// Expected: exactly one stale-nolint diagnostic, at the NOLINT(raw-stdout)
+// below that suppresses nothing. The NOLINT(determinism) marker names a
+// scholar_analyze rule, which scholar_lint must leave alone, and the
+// live NOLINT(unseeded-rng) suppresses a real hit, so neither may fire.
+#include "serve/stale_nolint.h"
+
+#include <random>
+
+namespace scholar::serve {
+
+int StaleNolintFixture() {
+  int total = 0;  // NOLINT(raw-stdout)
+  std::mt19937 gen(7);  // NOLINT(unseeded-rng)
+  total += static_cast<int>(gen());
+  total += 1;  // NOLINT(determinism): another tool's rule, not audited here
+  return total;
+}
+
+}  // namespace scholar::serve

@@ -1,0 +1,363 @@
+// Drives the scholar_analyze binary against the committed fixture
+// snippets in tests/analyze_fixtures/, proving each dataflow rule fires
+// on a violation and stays quiet on compliant code, and exercising the
+// SARIF / baseline / cache surfaces end to end. The fixture tree mirrors
+// src/ paths because three of the four rules are path-scoped
+// (hot-loop-alloc to the ranking hot path, determinism to
+// rank/ensemble/stream/serve).
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+#ifndef SCHOLAR_ANALYZE_BIN
+#error "SCHOLAR_ANALYZE_BIN must point at the scholar_analyze executable"
+#endif
+#ifndef SCHOLAR_ANALYZE_FIXTURES
+#error "SCHOLAR_ANALYZE_FIXTURES must point at tests/analyze_fixtures"
+#endif
+
+struct AnalyzeRun {
+  int exit_code;
+  std::string output;
+};
+
+std::string Fixture(const std::string& rel) {
+  return std::string(SCHOLAR_ANALYZE_FIXTURES) + "/" + rel;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "scholar_analyze_test_" + name;
+}
+
+/// Runs the analyzer with raw arguments, capturing stdout+stderr.
+AnalyzeRun RunAnalyzeArgs(const std::vector<std::string>& args) {
+  std::string cmd = std::string(SCHOLAR_ANALYZE_BIN);
+  for (const std::string& a : args) cmd += " " + a;
+  cmd += " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << "popen failed for: " << cmd;
+  AnalyzeRun run{-1, {}};
+  if (pipe == nullptr) return run;
+  char buf[4096];
+  size_t n;
+  while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0) {
+    run.output.append(buf, n);
+  }
+  int status = pclose(pipe);
+  run.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return run;
+}
+
+AnalyzeRun RunAnalyze(const std::vector<std::string>& fixtures) {
+  std::vector<std::string> args;
+  for (const std::string& f : fixtures) args.push_back(Fixture(f));
+  return RunAnalyzeArgs(args);
+}
+
+size_t CountOccurrences(const std::string& haystack,
+                        const std::string& needle) {
+  size_t count = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(is)) << "cannot read " << path;
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+/// Minimal JSON well-formedness check: every string literal closes on its
+/// line of sight (escapes honored), and braces/brackets balance outside
+/// strings and never go negative. Catches the classes of breakage a
+/// hand-rolled serializer can produce (unescaped quote, missing brace)
+/// without needing a JSON library.
+bool JsonIsBalanced(const std::string& text) {
+  int brace = 0;
+  int bracket = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;  // skip the escaped character
+      } else if (c == '"') {
+        in_string = false;
+      } else if (c == '\n') {
+        return false;  // raw newline inside a string literal
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': ++brace; break;
+      case '}': if (--brace < 0) return false; break;
+      case '[': ++bracket; break;
+      case ']': if (--bracket < 0) return false; break;
+      default: break;
+    }
+  }
+  return !in_string && brace == 0 && bracket == 0;
+}
+
+// ---------------------------------------------------------------------------
+// unchecked-status
+// ---------------------------------------------------------------------------
+
+TEST(ScholarAnalyzeTest, UncheckedStatusFiresOnDroppedAndCastValues) {
+  AnalyzeRun run = RunAnalyze({"src/data/status_fire.cc"});
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "unchecked-status:"), 4u)
+      << run.output;
+  // Both discard shapes are diagnosed distinctly.
+  EXPECT_EQ(CountOccurrences(run.output, "discarded with a void cast"), 2u)
+      << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "is ignored"), 2u) << run.output;
+  // Result<T> and Status callees are both resolved.
+  EXPECT_NE(run.output.find("'ParseCount' returns Result"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("'Flush' (Status)"), std::string::npos)
+      << run.output;
+}
+
+TEST(ScholarAnalyzeTest, UncheckedStatusQuietOnConsumedValues) {
+  AnalyzeRun run = RunAnalyze({"src/data/status_clean.cc"});
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "unchecked-status:"), 0u)
+      << run.output;
+}
+
+// ---------------------------------------------------------------------------
+// hot-loop-alloc
+// ---------------------------------------------------------------------------
+
+TEST(ScholarAnalyzeTest, HotLoopAllocFiresInsideKernelLoops) {
+  AnalyzeRun run = RunAnalyze({"src/rank/kernel/alloc_fire.cc"});
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "hot-loop-alloc:"), 4u)
+      << run.output;
+  EXPECT_NE(run.output.find("'new' inside a hot-path loop"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("'malloc' inside a hot-path loop"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("container 'push_back'"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("'to_string' builds a heap string"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(ScholarAnalyzeTest, HotLoopAllocQuietOnInitScopeAndColdPaths) {
+  // A marked function, a marked loop, out-of-loop growth, and return/throw
+  // statements: none may fire.
+  AnalyzeRun run = RunAnalyze({"src/rank/kernel/alloc_clean.cc"});
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "hot-loop-alloc:"), 0u)
+      << run.output;
+}
+
+TEST(ScholarAnalyzeTest, HotLoopAllocScopedToHotPaths) {
+  // The same per-iteration push_back/to_string, under src/eval/: clean.
+  AnalyzeRun run = RunAnalyze({"src/eval/alloc_ok_outside_hot_path.cc"});
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+// ---------------------------------------------------------------------------
+// determinism
+// ---------------------------------------------------------------------------
+
+TEST(ScholarAnalyzeTest, DeterminismFiresOnUnorderedIterationAndWallClock) {
+  AnalyzeRun run = RunAnalyze({"src/ensemble/det_fire.cc"});
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "determinism:"), 3u) << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "unordered container 'weights_'"),
+            2u)
+      << run.output;
+  EXPECT_NE(run.output.find("'time' is wall-clock/PRNG state"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(ScholarAnalyzeTest, DeterminismQuietOnOrderedAndAuditedIteration) {
+  AnalyzeRun run = RunAnalyze({"src/ensemble/det_clean.cc"});
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "determinism:"), 0u) << run.output;
+}
+
+TEST(ScholarAnalyzeTest, NolintWithoutReasonDoesNotSuppress) {
+  // The analyzer's suppression contract requires a ": reason" tail; a bare
+  // NOLINT(determinism) is not an audit record and must not suppress.
+  AnalyzeRun run = RunAnalyze({"src/ensemble/nolint_no_reason.cc"});
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "determinism:"), 1u) << run.output;
+}
+
+// ---------------------------------------------------------------------------
+// lock-order
+// ---------------------------------------------------------------------------
+
+TEST(ScholarAnalyzeTest, LockOrderDetectsTwoMutexCycle) {
+  AnalyzeRun run = RunAnalyze({"src/serve/lock_cycle2.cc"});
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "lock-order cycle:"), 1u)
+      << run.output;
+  // Mutex nodes are class-qualified and the witness names both functions.
+  EXPECT_NE(run.output.find("'PairState::alpha_' -> 'PairState::beta_'"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("PairState::Retire"), std::string::npos)
+      << run.output;
+}
+
+TEST(ScholarAnalyzeTest, LockOrderDetectsThreeMutexCycleThroughCall) {
+  // One edge of the triangle only exists through the may-acquire fixpoint:
+  // RotateC holds c_ and calls AcquireRoot, which locks a_.
+  AnalyzeRun run = RunAnalyze({"src/serve/lock_cycle3.cc"});
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "lock-order cycle:"), 1u)
+      << run.output;
+  EXPECT_NE(run.output.find("'TriadState::b_' -> 'TriadState::c_'"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(
+      run.output.find("calls 'AcquireRoot' which may acquire 'TriadState::a_'"),
+      std::string::npos)
+      << run.output;
+}
+
+TEST(ScholarAnalyzeTest, LockOrderReportsSelfDeadlock) {
+  AnalyzeRun run = RunAnalyze({"src/serve/lock_self.cc"});
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "self-deadlock:"), 1u)
+      << run.output;
+  EXPECT_NE(run.output.find("'Reentrant::mu_'"), std::string::npos)
+      << run.output;
+}
+
+TEST(ScholarAnalyzeTest, LockOrderQuietOnConsistentOrder) {
+  AnalyzeRun run = RunAnalyze({"src/serve/lock_clean.cc"});
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "lock-order"), 0u) << run.output;
+}
+
+TEST(ScholarAnalyzeTest, LockOrderNolintRemovesEdge) {
+  // Identical inversion to lock_cycle2.cc, but the inverted acquisition
+  // carries a reason-bearing NOLINT(lock-order): no cycle may be reported.
+  AnalyzeRun run = RunAnalyze({"src/serve/lock_nolint.cc"});
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST(ScholarAnalyzeTest, LockOrderSeesCrossFixtureGraphInOneRun) {
+  // Whole-program rule: feeding both cycle fixtures together reports both
+  // cycles in one run.
+  AnalyzeRun run =
+      RunAnalyze({"src/serve/lock_cycle2.cc", "src/serve/lock_cycle3.cc"});
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "lock-order cycle:"), 2u)
+      << run.output;
+}
+
+// ---------------------------------------------------------------------------
+// SARIF / baseline / cache surfaces
+// ---------------------------------------------------------------------------
+
+TEST(ScholarAnalyzeTest, SarifOutputIsWellFormedAndCarriesFindings) {
+  const std::string sarif = TempPath("out.sarif");
+  AnalyzeRun run = RunAnalyzeArgs(
+      {"--sarif=" + sarif, Fixture("src/rank/kernel/alloc_fire.cc"),
+       Fixture("src/serve/lock_cycle2.cc")});
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  const std::string text = ReadAll(sarif);
+  EXPECT_TRUE(JsonIsBalanced(text)) << text;
+  EXPECT_NE(text.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\": \"scholar_analyze\""), std::string::npos);
+  // One result per finding: 4 hot-loop-alloc + 1 lock-order cycle.
+  EXPECT_EQ(CountOccurrences(text, "\"ruleId\""), 5u) << text;
+  EXPECT_EQ(CountOccurrences(text, "scholarLineHash/v1"), 5u) << text;
+  EXPECT_NE(text.find("src/rank/kernel/alloc_fire.cc"), std::string::npos);
+  std::remove(sarif.c_str());
+}
+
+TEST(ScholarAnalyzeTest, BaselineRoundTripSuppressesKnownFindings) {
+  const std::string baseline = TempPath("baseline.txt");
+  AnalyzeRun write = RunAnalyzeArgs({"--write-baseline=" + baseline,
+                                     Fixture("src/ensemble/det_fire.cc")});
+  EXPECT_EQ(write.exit_code, 0) << write.output;
+  EXPECT_NE(write.output.find("wrote 3 finding(s)"), std::string::npos)
+      << write.output;
+
+  AnalyzeRun gated = RunAnalyzeArgs(
+      {"--baseline=" + baseline, Fixture("src/ensemble/det_fire.cc")});
+  EXPECT_EQ(gated.exit_code, 0) << gated.output;
+  EXPECT_NE(gated.output.find("0 finding(s) (3 baselined)"),
+            std::string::npos)
+      << gated.output;
+
+  // A finding not in the baseline still fails the gate.
+  AnalyzeRun mixed = RunAnalyzeArgs({"--baseline=" + baseline,
+                                     Fixture("src/ensemble/det_fire.cc"),
+                                     Fixture("src/serve/lock_self.cc")});
+  EXPECT_EQ(mixed.exit_code, 1) << mixed.output;
+  EXPECT_EQ(CountOccurrences(mixed.output, "self-deadlock:"), 1u)
+      << mixed.output;
+  std::remove(baseline.c_str());
+}
+
+TEST(ScholarAnalyzeTest, BaselinedFindingsAreMarkedSuppressedInSarif) {
+  const std::string baseline = TempPath("sup_baseline.txt");
+  const std::string sarif = TempPath("sup.sarif");
+  AnalyzeRun write = RunAnalyzeArgs({"--write-baseline=" + baseline,
+                                     Fixture("src/serve/lock_self.cc")});
+  EXPECT_EQ(write.exit_code, 0) << write.output;
+  AnalyzeRun gated =
+      RunAnalyzeArgs({"--baseline=" + baseline, "--sarif=" + sarif,
+                      Fixture("src/serve/lock_self.cc")});
+  EXPECT_EQ(gated.exit_code, 0) << gated.output;
+  const std::string text = ReadAll(sarif);
+  EXPECT_TRUE(JsonIsBalanced(text)) << text;
+  EXPECT_EQ(CountOccurrences(text, "\"suppressions\""), 1u) << text;
+  EXPECT_NE(text.find("\"kind\": \"external\""), std::string::npos) << text;
+  std::remove(baseline.c_str());
+  std::remove(sarif.c_str());
+}
+
+TEST(ScholarAnalyzeTest, CacheRoundTripIsFindingStable) {
+  const std::string cache = TempPath("cache.bin");
+  std::remove(cache.c_str());
+  const std::vector<std::string> args = {
+      "--cache=" + cache, Fixture("src/rank/kernel/alloc_fire.cc"),
+      Fixture("src/serve/lock_cycle3.cc"), Fixture("src/data/status_fire.cc")};
+  AnalyzeRun cold = RunAnalyzeArgs(args);
+  EXPECT_EQ(cold.exit_code, 1) << cold.output;
+  AnalyzeRun warm = RunAnalyzeArgs(args);
+  EXPECT_EQ(warm.exit_code, 1) << warm.output;
+  // Bit-identical diagnostics whether findings come from rules or cache.
+  EXPECT_EQ(cold.output, warm.output);
+  std::remove(cache.c_str());
+}
+
+TEST(ScholarAnalyzeTest, MissingFileExitsWithUsageError) {
+  AnalyzeRun run = RunAnalyze({"src/does_not_exist.cc"});
+  EXPECT_EQ(run.exit_code, 2) << run.output;
+}
+
+TEST(ScholarAnalyzeTest, UnknownFlagExitsWithUsageError) {
+  AnalyzeRun run = RunAnalyzeArgs({"--frobnicate", Fixture("src/data/status_clean.cc")});
+  EXPECT_EQ(run.exit_code, 2) << run.output;
+}
+
+}  // namespace

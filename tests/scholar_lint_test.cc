@@ -118,6 +118,31 @@ TEST(ScholarLintTest, NolintWithWrongRuleDoesNotSuppress) {
   LintRun run = RunLint({Fixture("src/serve/nolint_mismatch.cc")});
   EXPECT_EQ(run.exit_code, 1) << run.output;
   EXPECT_EQ(CountOccurrences(run.output, "raw-stdout:"), 1u) << run.output;
+  // The wrong-rule marker also suppresses nothing, so it is itself stale.
+  EXPECT_EQ(CountOccurrences(run.output, "stale-nolint:"), 1u) << run.output;
+}
+
+TEST(ScholarLintTest, StaleNolintFiresOnDeadSuppressionOnly) {
+  // One dead NOLINT(raw-stdout) fires; the live NOLINT(unseeded-rng) and a
+  // marker naming another tool's rule (determinism) stay quiet.
+  LintRun run = RunLint({Fixture("src/serve/stale_nolint.cc")});
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "stale-nolint:"), 1u) << run.output;
+  EXPECT_NE(run.output.find("NOLINT(raw-stdout) suppresses nothing"),
+            std::string::npos)
+      << run.output;
+  EXPECT_EQ(run.output.find("unseeded-rng:"), std::string::npos)
+      << run.output;
+  EXPECT_EQ(run.output.find("determinism"), std::string::npos) << run.output;
+}
+
+TEST(ScholarLintTest, StaleNolintQuietWhenEveryMarkerIsLive) {
+  // All-live suppression fixtures must stay clean under the audit.
+  LintRun run = RunLint({Fixture("src/serve/nolint_suppressed.cc"),
+                         Fixture("src/rank/nolint_intrinsics.cc"),
+                         Fixture("src/serve/nolint_layering.cc")});
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(run.output, "");
 }
 
 TEST(ScholarLintTest, MaterializeSnapshotFiresOutsideTimeSlicer) {

@@ -1,0 +1,80 @@
+// Baseline gating: `tools/analyze_baseline.txt` lists accepted findings
+// as `rule path hex-line-hash`. The hash is of the trimmed source line, so
+// an entry keeps matching when unrelated edits shift line numbers, and
+// stops matching (re-raising the finding) the moment the flagged line
+// itself changes. The checked-in baseline is empty — every finding was
+// fixed or NOLINT'd with a reason at merge — but the mechanism lets a
+// future large refactor land incrementally without losing the gate.
+
+#include "analyze/output.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace analyze {
+
+namespace {
+
+std::string Key(const std::string& rule, const std::string& file,
+                uint64_t hash) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return rule + " " + file + " " + buf;
+}
+
+}  // namespace
+
+bool Baseline::Load(const std::string& path) {
+  entries_.clear();
+  std::ifstream is(path);
+  if (!is) return true;  // no baseline file == empty baseline
+  std::string line;
+  while (std::getline(is, line)) {
+    size_t b = line.find_first_not_of(" \t\r");
+    if (b == std::string::npos) continue;
+    if (line[b] == '#') continue;
+    std::istringstream ls(line);
+    std::string rule, file, hash;
+    if (!(ls >> rule >> file >> hash) || hash.size() != 16 ||
+        hash.find_first_not_of("0123456789abcdef") != std::string::npos) {
+      return false;
+    }
+    ++entries_[rule + " " + file + " " + hash];
+  }
+  return true;
+}
+
+size_t Baseline::Apply(std::vector<Finding>* findings) const {
+  std::map<std::string, int> remaining = entries_;
+  size_t suppressed = 0;
+  for (Finding& f : *findings) {
+    auto it = remaining.find(Key(f.rule, f.file, f.line_hash));
+    if (it != remaining.end() && it->second > 0) {
+      --it->second;
+      f.baseline_suppressed = true;
+      ++suppressed;
+    }
+  }
+  return suppressed;
+}
+
+bool Baseline::Write(const std::string& path,
+                     const std::vector<Finding>& findings) {
+  std::vector<std::string> keys;
+  for (const Finding& f : findings) {
+    if (!f.baseline_suppressed) keys.push_back(Key(f.rule, f.file, f.line_hash));
+  }
+  std::sort(keys.begin(), keys.end());
+  std::ofstream os(path);
+  if (!os) return false;
+  os << "# scholar_analyze baseline: rule path line-content-hash\n"
+     << "# Regenerate with: scholar_analyze --write-baseline=" << path
+     << " <files>\n";
+  for (const std::string& k : keys) os << k << "\n";
+  return static_cast<bool>(os);
+}
+
+}  // namespace analyze

@@ -1,0 +1,200 @@
+// Per-file result cache. A cache entry stores the file's index
+// contribution and (when still valid) its findings, keyed by the FNV-1a
+// hash of the file's bytes. On a warm run only edited files are re-lexed;
+// the rest contribute to the global index straight from the cache. The
+// findings of an unchanged file are additionally keyed by the global
+// index signature, because unchecked-status and determinism resolve
+// names cross-file: editing one header can change another file's
+// findings even though its bytes did not move.
+//
+// The format is line-oriented and versioned; any parse surprise (or a
+// version bump of the analyzer) simply discards the cache — it is a pure
+// accelerator, never a source of truth.
+
+#include "analyze/output.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace analyze {
+
+namespace {
+
+constexpr const char* kMagic = "scholar-analyze-cache 1";
+
+std::vector<std::string> SplitCsv(const std::string& s) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream ss(s);
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+/// Splits `s` on '|' into exactly `n` leading fields; the remainder (which
+/// may itself contain '|') lands in the last slot.
+bool SplitFields(const std::string& s, size_t n, std::vector<std::string>* out) {
+  out->clear();
+  size_t pos = 0;
+  for (size_t k = 0; k + 1 < n; ++k) {
+    size_t bar = s.find('|', pos);
+    if (bar == std::string::npos) return false;
+    out->push_back(s.substr(pos, bar - pos));
+    pos = bar + 1;
+  }
+  out->push_back(s.substr(pos));
+  return true;
+}
+
+uint64_t ParseHex(const std::string& s, bool* ok) {
+  if (s.empty() || s.find_first_not_of("0123456789abcdef") != std::string::npos) {
+    *ok = false;
+    return 0;
+  }
+  return std::stoull(s, nullptr, 16);
+}
+
+}  // namespace
+
+void Cache::Load(const std::string& path) {
+  entries_.clear();
+  std::ifstream is(path);
+  if (!is) return;
+  std::string line;
+  if (!std::getline(is, line) || line != kMagic) return;
+
+  CacheEntry cur;
+  std::string cur_path;
+  bool in_entry = false;
+  std::vector<std::string> f;
+  bool ok = true;
+
+  auto abort_load = [this]() { entries_.clear(); };
+
+  while (std::getline(is, line)) {
+    if (line.size() < 2 || line[1] != ' ') {
+      if (line == "E") {
+        if (!in_entry) return abort_load();
+        entries_[cur_path] = std::move(cur);
+        cur = CacheEntry();
+        in_entry = false;
+        continue;
+      }
+      return abort_load();
+    }
+    const char tag = line[0];
+    const std::string rest = line.substr(2);
+    switch (tag) {
+      case 'F': {
+        size_t sp = rest.find(' ');
+        if (sp == std::string::npos) return abort_load();
+        cur.file_hash = ParseHex(rest.substr(0, sp), &ok);
+        if (!ok) return abort_load();
+        cur_path = rest.substr(sp + 1);
+        in_entry = true;
+        break;
+      }
+      case 'S': cur.index.status_fns.insert(rest); break;
+      case 'R': cur.index.result_fns.insert(rest); break;
+      case 'U': cur.index.unordered_local.insert(rest); break;
+      case 'D': {
+        if (!SplitFields(rest, 5, &f)) return abort_load();
+        FnSummary fn;
+        fn.qualified = f[0];
+        fn.simple = f[1];
+        fn.file = f[2];
+        fn.line = std::atoi(f[3].c_str());
+        fn.entry_held = SplitCsv(f[4]);
+        cur.index.summaries.push_back(std::move(fn));
+        break;
+      }
+      case 'A':
+      case 'C': {
+        if (cur.index.summaries.empty()) return abort_load();
+        if (!SplitFields(rest, 5, &f)) return abort_load();
+        if (tag == 'A') {
+          LockAcq a;
+          a.mutex = f[0];
+          a.line = std::atoi(f[1].c_str());
+          a.line_hash = ParseHex(f[2], &ok);
+          a.suppressed = f[3] == "1";
+          a.held = SplitCsv(f[4]);
+          if (!ok) return abort_load();
+          cur.index.summaries.back().acqs.push_back(std::move(a));
+        } else {
+          LockCall c;
+          c.callee = f[0];
+          c.line = std::atoi(f[1].c_str());
+          c.line_hash = ParseHex(f[2], &ok);
+          c.suppressed = f[3] == "1";
+          c.held = SplitCsv(f[4]);
+          if (!ok) return abort_load();
+          cur.index.summaries.back().calls.push_back(std::move(c));
+        }
+        break;
+      }
+      case 'G':
+        cur.findings_sig = ParseHex(rest, &ok);
+        if (!ok) return abort_load();
+        cur.has_findings = true;
+        break;
+      case 'X': {
+        if (!SplitFields(rest, 4, &f)) return abort_load();
+        Finding fd;
+        fd.rule = f[0];
+        fd.line = std::atoi(f[1].c_str());
+        fd.line_hash = ParseHex(f[2], &ok);
+        fd.message = f[3];
+        fd.file = cur_path;
+        if (!ok) return abort_load();
+        cur.findings.push_back(std::move(fd));
+        break;
+      }
+      default:
+        return abort_load();
+    }
+  }
+}
+
+bool Cache::Save(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << kMagic << "\n";
+  char buf[24];
+  for (const auto& kv : entries_) {
+    const CacheEntry& e = kv.second;
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(e.file_hash));
+    os << "F " << buf << ' ' << kv.first << "\n";
+    os << SerializeFileIndex(e.index);
+    if (e.has_findings) {
+      std::snprintf(buf, sizeof(buf), "%016llx",
+                    static_cast<unsigned long long>(e.findings_sig));
+      os << "G " << buf << "\n";
+      for (const Finding& fd : e.findings) {
+        std::snprintf(buf, sizeof(buf), "%016llx",
+                      static_cast<unsigned long long>(fd.line_hash));
+        os << "X " << fd.rule << '|' << fd.line << '|' << buf << '|'
+           << fd.message << "\n";
+      }
+    }
+    os << "E\n";
+  }
+  return static_cast<bool>(os);
+}
+
+const CacheEntry* Cache::Lookup(const std::string& norm_path,
+                                uint64_t file_hash) const {
+  auto it = entries_.find(norm_path);
+  if (it == entries_.end() || it->second.file_hash != file_hash) return nullptr;
+  return &it->second;
+}
+
+void Cache::Put(const std::string& norm_path, CacheEntry entry) {
+  entries_[norm_path] = std::move(entry);
+}
+
+}  // namespace analyze

@@ -1,0 +1,372 @@
+#include "analyze/index.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace analyze {
+
+namespace {
+
+bool IsCallKeyword(const std::string& s) {
+  static const std::set<std::string> kNotCalls = {
+      "if",       "for",      "while",    "switch",   "return",  "sizeof",
+      "alignof",  "decltype", "noexcept", "catch",    "new",     "delete",
+      "throw",    "alignas",  "static_assert",        "co_await", "co_return",
+      "assert",   "defined",  "typeid",   "case",     "do",      "else",
+      // Thread-safety annotation macros are attributes, not calls.
+      "ACQUIRE",  "ACQUIRE_SHARED", "RELEASE", "RELEASE_SHARED",
+      "TRY_ACQUIRE", "REQUIRES", "REQUIRES_SHARED", "EXCLUDES",
+      "ASSERT_CAPABILITY", "RETURN_CAPABILITY", "NO_THREAD_SAFETY_ANALYSIS",
+      "GUARDED_BY"};
+  return kNotCalls.count(s) > 0;
+}
+
+/// Skips a template argument list: `i` points at '<'; returns the index
+/// one past the matching '>'. The lexer fuses '>>', which closes two
+/// levels. Gives up (returns i + 1) if the list does not close locally.
+size_t SkipTemplateArgs(const std::vector<Token>& t, size_t i) {
+  int nest = 0;
+  for (size_t j = i; j < t.size() && j < i + 256; ++j) {
+    if (t[j].kind != TokKind::kPunct) continue;
+    if (t[j].text == "<") ++nest;
+    else if (t[j].text == "<<") nest += 2;
+    else if (t[j].text == ">") { if (--nest <= 0) return j + 1; }
+    else if (t[j].text == ">>") { nest -= 2; if (nest <= 0) return j + 1; }
+    else if (t[j].text == ";" || t[j].text == "{") break;  // not template args
+  }
+  return i + 1;
+}
+
+/// Collects names of functions declared or defined as returning Status or
+/// Result<...>: patterns `Status NAME (`, `Status Cls :: NAME (`,
+/// `Result < ... > NAME (`, `Result < ... > Cls :: NAME (`.
+void CollectStatusFns(const std::vector<Token>& t, FileIndex* out) {
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    const bool is_status = t[i].text == "Status";
+    const bool is_result = t[i].text == "Result";
+    if (!is_status && !is_result) continue;
+    size_t j = i + 1;
+    if (is_result) {
+      if (!IsPunct(t, j, "<")) continue;
+      j = SkipTemplateArgs(t, j);
+    }
+    // Identifier chain `A :: B :: NAME` ending right before '('.
+    std::string name;
+    while (j < t.size() && t[j].kind == TokKind::kIdent) {
+      name = t[j].text;
+      if (IsPunct(t, j + 1, "::")) {
+        j += 2;
+        continue;
+      }
+      ++j;
+      break;
+    }
+    if (name.empty() || !IsPunct(t, j, "(")) continue;
+    // `Status :: OK (` and friends are calls, not declarations.
+    if (IsPunct(t, i + 1, "::") && is_status) continue;
+    if (is_status) out->status_fns.insert(name);
+    else out->result_fns.insert(name);
+  }
+}
+
+/// Collects identifiers declared with an unordered container type:
+/// `std::unordered_map<...> NAME` / `std::unordered_set<...> NAME`.
+void CollectUnordered(const std::vector<Token>& t, FileIndex* out) {
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    if (t[i].text != "unordered_map" && t[i].text != "unordered_set" &&
+        t[i].text != "unordered_multimap" && t[i].text != "unordered_multiset") {
+      continue;
+    }
+    size_t j = i + 1;
+    if (!IsPunct(t, j, "<")) continue;
+    j = SkipTemplateArgs(t, j);
+    // Skip ref/pointer declarators.
+    while (j < t.size() && t[j].kind == TokKind::kPunct &&
+           (t[j].text == "&" || t[j].text == "*")) {
+      ++j;
+    }
+    if (j < t.size() && t[j].kind == TokKind::kIdent &&
+        t[j].text != "const") {
+      out->unordered_local.insert(t[j].text);
+    }
+  }
+}
+
+/// Renders a mutex expression (the tokens of a MutexLock / REQUIRES
+/// argument) to a stable name. Member-style single identifiers (trailing
+/// '_') are qualified with the enclosing class so that `mu_` in
+/// ThreadPool::Shutdown and `mu_` in SnapshotManager::Get are distinct
+/// lock-order graph nodes.
+std::string NormalizeMutex(const std::vector<Token>& t, size_t begin,
+                           size_t end, const std::string& class_name) {
+  std::vector<const Token*> toks;
+  for (size_t j = begin; j < end; ++j) {
+    if (IsPunct(t, j, "&") && toks.empty()) continue;  // MutexLock l(&mu_)
+    if (IsIdent(t, j, "this")) {
+      // `this->mu_` == `mu_`: drop `this` and the following arrow.
+      if (IsPunct(t, j + 1, "->")) ++j;
+      continue;
+    }
+    toks.push_back(&t[j]);
+  }
+  if (toks.empty()) return "";
+  if (toks.size() == 1 && toks[0]->kind == TokKind::kIdent) {
+    const std::string& id = toks[0]->text;
+    if (!class_name.empty() && !id.empty() && id.back() == '_') {
+      return class_name + "::" + id;
+    }
+    return id;
+  }
+  std::string joined;
+  for (const Token* tok : toks) {
+    if (!joined.empty() && tok->kind == TokKind::kIdent &&
+        std::isalnum(static_cast<unsigned char>(joined.back()))) {
+      joined += ' ';
+    }
+    joined += tok->text;
+  }
+  return joined;
+}
+
+bool NolintedFor(const LexedFile& f, int line, const char* rule) {
+  auto it = f.nolints.find(line);
+  return it != f.nolints.end() && it->second.rules.count(rule) > 0 &&
+         it->second.has_reason;
+}
+
+/// Builds the lock summary of one function: REQUIRES entry-held mutexes,
+/// MutexLock acquisitions with the held set at each site, and call sites
+/// with the held set. Lambda bodies get a cleared held set — they
+/// typically run deferred on another thread (thread-pool workers), where
+/// the lexically enclosing guard is not held.
+FnSummary Summarize(const LexedFile& f, const FunctionInfo& fn) {
+  const std::vector<Token>& t = f.tokens;
+  FnSummary s;
+  s.qualified = fn.qualified;
+  s.simple = fn.name;
+  s.file = f.norm_path;
+  s.line = fn.line;
+
+  // REQUIRES(...) between the name and the body opens the held set.
+  for (size_t i = fn.name_tok; i < fn.body_begin; ++i) {
+    if (!IsIdent(t, i, "REQUIRES") && !IsIdent(t, i, "REQUIRES_SHARED")) {
+      continue;
+    }
+    if (!IsPunct(t, i + 1, "(")) continue;
+    size_t close = MatchForward(t, i + 1);
+    size_t arg_begin = i + 2;
+    int paren = 0;
+    bool negated = false;
+    for (size_t j = i + 2; j <= close && j < t.size(); ++j) {
+      if (IsPunct(t, j, "(")) ++paren;
+      else if (IsPunct(t, j, ")") && j != close) --paren;
+      if (IsPunct(t, j, "!")) negated = true;  // negative capability
+      if ((IsPunct(t, j, ",") && paren == 0) || j == close) {
+        if (!negated) {
+          std::string m = NormalizeMutex(t, arg_begin, j, fn.class_name);
+          if (!m.empty()) s.entry_held.push_back(m);
+        }
+        arg_begin = j + 1;
+        negated = false;
+      }
+    }
+    i = close;
+  }
+
+  struct Held {
+    std::string mutex;
+    int depth;
+  };
+  std::vector<Held> held;
+  for (const std::string& m : s.entry_held) held.push_back({m, 0});
+  struct LambdaFrame {
+    size_t end;                // token index of the body's '}'
+    std::vector<Held> saved;   // held set to restore
+  };
+  std::vector<LambdaFrame> lambdas;
+  int depth = 0;
+
+  auto held_names = [&held]() {
+    std::vector<std::string> names;
+    names.reserve(held.size());
+    for (const Held& h : held) names.push_back(h.mutex);
+    return names;
+  };
+
+  size_t i = fn.body_begin;
+  while (i < fn.body_end && i < t.size()) {
+    const Token& tok = t[i];
+    if (tok.kind == TokKind::kPunct) {
+      if (tok.text == "{") {
+        ++depth;
+        ++i;
+        continue;
+      }
+      if (tok.text == "}") {
+        while (!held.empty() && held.back().depth == depth) held.pop_back();
+        if (!lambdas.empty() && lambdas.back().end == i) {
+          held = std::move(lambdas.back().saved);
+          lambdas.pop_back();
+        }
+        --depth;
+        ++i;
+        continue;
+      }
+      if (tok.text == "[") {
+        // Lambda introducer? Subscripts follow a value (ident/]/)/literal).
+        bool subscript = false;
+        if (i > 0) {
+          const Token& prev = t[i - 1];
+          subscript = prev.kind == TokKind::kIdent ||
+                      prev.kind == TokKind::kNumber ||
+                      prev.kind == TokKind::kString ||
+                      (prev.kind == TokKind::kPunct &&
+                       (prev.text == ")" || prev.text == "]"));
+        }
+        if (!subscript) {
+          size_t close = MatchForward(t, i);
+          size_t j = close + 1;
+          if (IsPunct(t, j, "(")) j = MatchForward(t, j) + 1;
+          // Specifiers / trailing return before the body.
+          size_t limit = j + 24;
+          while (j < t.size() && j < limit && !IsPunct(t, j, "{") &&
+                 !IsPunct(t, j, ";") && !IsPunct(t, j, ")") &&
+                 !IsPunct(t, j, ",")) {
+            ++j;
+          }
+          if (j < t.size() && IsPunct(t, j, "{")) {
+            lambdas.push_back({MatchForward(t, j), held});
+            held.clear();
+            depth++;  // accounts for the body '{' we now step past
+            i = j + 1;
+            continue;
+          }
+        }
+        ++i;
+        continue;
+      }
+      ++i;
+      continue;
+    }
+    if (tok.kind != TokKind::kIdent) {
+      ++i;
+      continue;
+    }
+    if (tok.text == "MutexLock" && i + 1 < t.size() &&
+        t[i + 1].kind == TokKind::kIdent && IsPunct(t, i + 2, "(")) {
+      size_t close = MatchForward(t, i + 2);
+      std::string m = NormalizeMutex(t, i + 3, close, fn.class_name);
+      if (!m.empty()) {
+        LockAcq acq;
+        acq.mutex = m;
+        acq.line = tok.line;
+        acq.line_hash = LineFingerprint(f, tok.line);
+        acq.suppressed = NolintedFor(f, tok.line, "lock-order");
+        acq.held = held_names();
+        s.acqs.push_back(acq);
+        held.push_back({m, depth});
+      }
+      i = close + 1;
+      continue;
+    }
+    if (IsPunct(t, i + 1, "(") && !IsCallKeyword(tok.text)) {
+      if (s.calls.size() < 512) {
+        LockCall call;
+        call.callee = tok.text;
+        call.line = tok.line;
+        call.line_hash = LineFingerprint(f, tok.line);
+        call.suppressed = NolintedFor(f, tok.line, "lock-order");
+        call.held = held_names();
+        s.calls.push_back(call);
+      }
+      ++i;
+      continue;
+    }
+    ++i;
+  }
+  return s;
+}
+
+std::string JoinCsv(const std::vector<std::string>& v) {
+  std::string out;
+  for (const std::string& s : v) {
+    if (!out.empty()) out += ',';
+    out += s;
+  }
+  return out;
+}
+
+/// '|' and newlines are the serialization delimiters; mutex/callee names
+/// come from source tokens, so they cannot contain either — but guard
+/// anyway so a hostile input cannot corrupt the cache format.
+std::string Sanitize(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    if (c == '|' || c == '\n' || c == '\r') c = '?';
+  }
+  return out;
+}
+
+}  // namespace
+
+FileIndex BuildFileIndex(const LexedFile& f, const FileModel& model) {
+  FileIndex fi;
+  CollectStatusFns(f.tokens, &fi);
+  CollectUnordered(f.tokens, &fi);
+  for (const FunctionInfo& fn : model.functions) {
+    fi.summaries.push_back(Summarize(f, fn));
+  }
+  return fi;
+}
+
+void GlobalIndex::Merge(const FileIndex& fi) {
+  status_fns.insert(fi.status_fns.begin(), fi.status_fns.end());
+  result_fns.insert(fi.result_fns.begin(), fi.result_fns.end());
+  for (const std::string& id : fi.unordered_local) {
+    if (!id.empty() && id.back() == '_') unordered_members.insert(id);
+  }
+  summaries.insert(summaries.end(), fi.summaries.begin(), fi.summaries.end());
+}
+
+void GlobalIndex::Finalize() {
+  by_simple.clear();
+  for (size_t i = 0; i < summaries.size(); ++i) {
+    by_simple[summaries[i].simple].push_back(i);
+  }
+}
+
+std::string SerializeFileIndex(const FileIndex& fi) {
+  std::ostringstream os;
+  for (const std::string& s : fi.status_fns) os << "S " << Sanitize(s) << '\n';
+  for (const std::string& s : fi.result_fns) os << "R " << Sanitize(s) << '\n';
+  for (const std::string& s : fi.unordered_local) {
+    os << "U " << Sanitize(s) << '\n';
+  }
+  for (const FnSummary& fn : fi.summaries) {
+    os << "D " << Sanitize(fn.qualified) << '|' << Sanitize(fn.simple) << '|'
+       << Sanitize(fn.file) << '|' << fn.line << '|';
+    std::vector<std::string> req;
+    for (const std::string& m : fn.entry_held) req.push_back(Sanitize(m));
+    os << JoinCsv(req) << '\n';
+    for (const LockAcq& a : fn.acqs) {
+      std::vector<std::string> h;
+      for (const std::string& m : a.held) h.push_back(Sanitize(m));
+      os << "A " << Sanitize(a.mutex) << '|' << a.line << '|' << std::hex
+         << a.line_hash << std::dec << '|' << (a.suppressed ? 1 : 0) << '|'
+         << JoinCsv(h) << '\n';
+    }
+    for (const LockCall& c : fn.calls) {
+      std::vector<std::string> h;
+      for (const std::string& m : c.held) h.push_back(Sanitize(m));
+      os << "C " << Sanitize(c.callee) << '|' << c.line << '|' << std::hex
+         << c.line_hash << std::dec << '|' << (c.suppressed ? 1 : 0) << '|'
+         << JoinCsv(h) << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace analyze

@@ -1,0 +1,90 @@
+// Cross-file index for scholar_analyze.
+//
+// Pass 1 of the analyzer: every file contributes (a) the names of
+// functions returning Status / Result<T>, (b) identifiers declared with an
+// unordered container type, and (c) a per-function lock summary — which
+// mutexes are acquired (MutexLock), which are required at entry
+// (REQUIRES), and which functions are called while which mutexes are
+// held. Pass 2 rules consume the merged GlobalIndex: unchecked-status
+// resolves call targets against (a), determinism resolves member
+// containers against (b), and lock-order builds the whole-program mutex
+// acquisition graph from (c).
+//
+// FileIndex is serialized into the content-hash cache, so unchanged files
+// contribute to the global index without being re-lexed.
+
+#ifndef SCHOLAR_ANALYZE_INDEX_H_
+#define SCHOLAR_ANALYZE_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/core.h"
+#include "analyze/model.h"
+
+namespace analyze {
+
+/// One MutexLock acquisition site inside a function.
+struct LockAcq {
+  std::string mutex;              // normalized name ("ThreadPool::mu_")
+  int line = 0;
+  uint64_t line_hash = 0;         // baseline fingerprint of the site
+  bool suppressed = false;        // NOLINT(lock-order): reason on the line
+  std::vector<std::string> held;  // mutexes held when acquiring
+};
+
+/// One call site inside a function, with the lock context at the call.
+struct LockCall {
+  std::string callee;             // simple name ("Shutdown")
+  int line = 0;
+  uint64_t line_hash = 0;
+  bool suppressed = false;
+  std::vector<std::string> held;
+};
+
+/// Lock behavior of one function.
+struct FnSummary {
+  std::string qualified;  // "ThreadPool::Shutdown"
+  std::string simple;     // "Shutdown"
+  std::string file;       // normalized path
+  int line = 0;
+  std::vector<std::string> entry_held;  // REQUIRES(...) mutexes
+  std::vector<LockAcq> acqs;
+  std::vector<LockCall> calls;
+};
+
+/// Per-file contribution to the global index.
+struct FileIndex {
+  std::set<std::string> status_fns;       // functions returning Status
+  std::set<std::string> result_fns;       // functions returning Result<T>
+  std::set<std::string> unordered_local;  // all unordered-declared idents
+  std::vector<FnSummary> summaries;
+};
+
+/// Merged view over every file.
+struct GlobalIndex {
+  std::set<std::string> status_fns;
+  std::set<std::string> result_fns;
+  /// Member-style ('_'-suffixed) unordered identifiers from any file —
+  /// members are declared in headers but iterated in .cc files.
+  std::set<std::string> unordered_members;
+  std::vector<FnSummary> summaries;  // all files
+  std::map<std::string, std::vector<size_t>> by_simple;  // name -> indexes
+
+  void Merge(const FileIndex& fi);
+  void Finalize();  // builds by_simple
+};
+
+/// Builds one file's contribution (pass 1).
+FileIndex BuildFileIndex(const LexedFile& f, const FileModel& model);
+
+/// Stable serialization of a FileIndex, used both by the cache and to
+/// compute the global signature that keys cached findings.
+std::string SerializeFileIndex(const FileIndex& fi);
+
+}  // namespace analyze
+
+#endif  // SCHOLAR_ANALYZE_INDEX_H_

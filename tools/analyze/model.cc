@@ -1,0 +1,299 @@
+#include "analyze/model.h"
+
+#include <set>
+
+namespace analyze {
+
+namespace {
+
+const char* kOpenOf(const std::string& close) {
+  if (close == ")") return "(";
+  if (close == "}") return "{";
+  if (close == "]") return "[";
+  return nullptr;
+}
+const char* kCloseOf(const std::string& open) {
+  if (open == "(") return ")";
+  if (open == "{") return "}";
+  if (open == "[") return "]";
+  return nullptr;
+}
+
+/// Thread-safety annotation macros that may sit between a parameter list
+/// and the function body; each takes an optional argument list.
+bool IsAnnotationMacro(const std::string& s) {
+  static const std::set<std::string> kMacros = {
+      "ACQUIRE",        "ACQUIRE_SHARED",  "RELEASE",   "RELEASE_SHARED",
+      "TRY_ACQUIRE",    "REQUIRES",        "REQUIRES_SHARED",
+      "EXCLUDES",       "ASSERT_CAPABILITY", "RETURN_CAPABILITY",
+      "NO_THREAD_SAFETY_ANALYSIS", "GUARDED_BY", "noexcept", "decltype",
+      "throw"};
+  return kMacros.count(s) > 0;
+}
+
+bool IsControlKeyword(const std::string& s) {
+  static const std::set<std::string> kKeywords = {
+      "if",     "for",   "while", "switch",  "catch", "return",
+      "sizeof", "alignof", "new", "delete",  "do",    "else",
+      "try",    "static_assert", "alignas",  "case"};
+  return kKeywords.count(s) > 0;
+}
+
+}  // namespace
+
+size_t MatchForward(const std::vector<Token>& t, size_t open_idx) {
+  const std::string& open = t[open_idx].text;
+  const char* close = kCloseOf(open);
+  if (close == nullptr) return t.size();
+  int nest = 0;
+  for (size_t i = open_idx; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kPunct) continue;
+    if (t[i].text == open) ++nest;
+    else if (t[i].text == close && --nest == 0) return i;
+  }
+  return t.size();
+}
+
+size_t MatchBackward(const std::vector<Token>& t, size_t close_idx) {
+  const std::string& close = t[close_idx].text;
+  const char* open = kOpenOf(close);
+  if (open == nullptr) return SIZE_MAX;
+  int nest = 0;
+  for (size_t i = close_idx + 1; i-- > 0;) {
+    if (t[i].kind != TokKind::kPunct) continue;
+    if (t[i].text == close) ++nest;
+    else if (t[i].text == open && --nest == 0) return i;
+  }
+  return SIZE_MAX;
+}
+
+namespace {
+
+/// Walks backward from the body's `{` to decide whether it opens a
+/// function definition, and if so extracts name + class qualifier.
+/// Handles parameter lists, cv/ref/noexcept/override specifiers,
+/// thread-safety annotation macros, trailing return types, and
+/// constructor initializer lists (paren and brace entries).
+bool ClassifyBrace(const std::vector<Token>& t, size_t brace,
+                   std::string* name, std::string* qual_class) {
+  size_t j = brace;
+  int guard = 0;
+  while (j-- > 0) {
+    if (++guard > 4096) return false;  // pathological; give up
+    const Token& tok = t[j];
+    if (tok.kind == TokKind::kIdent) {
+      if (tok.text == "const" || tok.text == "override" ||
+          tok.text == "final" || tok.text == "mutable" ||
+          tok.text == "noexcept" || tok.text == "try") {
+        continue;
+      }
+      // Trailing return type: `-> Type {`.
+      if (j > 0 && IsPunct(t, j - 1, "->")) {
+        --j;  // consume the '->' as well
+        continue;
+      }
+      return false;  // `do {`, `else {`, type before brace-init, ...
+    }
+    if (tok.kind != TokKind::kPunct) return false;
+    if (tok.text == "&" || tok.text == "&&" || tok.text == ">") {
+      continue;  // ref-qualifier / trailing-return template args (loose)
+    }
+    if (tok.text == ")" || tok.text == "}") {
+      size_t open = MatchBackward(t, j);
+      if (open == SIZE_MAX || open == 0) return false;
+      size_t before = open - 1;
+      if (t[before].kind == TokKind::kIdent) {
+        const std::string& cand = t[before].text;
+        if (IsAnnotationMacro(cand)) {
+          j = before;  // annotation macro: keep walking left
+          continue;
+        }
+        if (before > 0 &&
+            (IsPunct(t, before - 1, ":") || IsPunct(t, before - 1, ","))) {
+          // Constructor init-list entry `a_(x)` / `b_{y}`: skip the entry
+          // and its separator, keep walking toward the parameter list.
+          j = before - 1;
+          continue;
+        }
+        if (IsControlKeyword(cand)) return false;
+        // This is the parameter list and `cand` the function name.
+        *name = cand;
+        *qual_class = "";
+        if (before > 0 && IsPunct(t, before - 1, "::")) {
+          size_t q = before - 2;
+          if (q < t.size() && IsPunct(t, q, ">")) {
+            size_t lt = MatchBackward(t, q);
+            if (lt != SIZE_MAX && lt > 0) q = lt - 1;
+          }
+          if (q < t.size() && t[q].kind == TokKind::kIdent) {
+            *qual_class = t[q].text;
+          }
+        }
+        return true;
+      }
+      if (t[before].kind == TokKind::kPunct && before > 0 &&
+          IsIdent(t, before - 1, "operator")) {
+        *name = "operator" + t[before].text;
+        *qual_class = "";
+        if (before > 1 && IsPunct(t, before - 2, "::") && before > 2 &&
+            t[before - 3].kind == TokKind::kIdent) {
+          *qual_class = t[before - 3].text;
+        }
+        return true;
+      }
+      return false;  // lambda, array subscript, macro soup
+    }
+    if (tok.text == ":") {
+      // `: base_clause {` on a constructor with an empty init list is
+      // already covered by the entry walk; a bare `:` here is a label or
+      // class base clause — not a function.
+      return false;
+    }
+    return false;  // '=', ';', '{', ','... — initializer or aggregate
+  }
+  return false;
+}
+
+}  // namespace
+
+FileModel BuildModel(const LexedFile& f) {
+  FileModel model;
+  const std::vector<Token>& t = f.tokens;
+
+  struct ClassCtx {
+    std::string name;
+    int depth;  // brace depth of the class body
+  };
+  std::vector<ClassCtx> class_stack;
+  int depth = 0;
+  // Pending scope openings decided by lookahead when the keyword is seen.
+  // Values: line-less markers consumed at the next '{' of that lookahead.
+  enum class Pending { kNone, kClass, kTransparent };
+  struct PendingOpen {
+    Pending kind;
+    std::string class_name;
+  };
+  std::vector<PendingOpen> pending;  // consumed in order at each '{'
+
+  size_t i = 0;
+  while (i < t.size()) {
+    const Token& tok = t[i];
+    if (tok.kind == TokKind::kIdent) {
+      if (tok.text == "namespace" ||
+          (tok.text == "extern" && i + 1 < t.size() &&
+           t[i + 1].kind == TokKind::kString)) {
+        // `namespace [name] {` / `extern "C" {`: transparent scope.
+        for (size_t j = i + 1; j < t.size() && j < i + 8; ++j) {
+          if (IsPunct(t, j, ";") || IsPunct(t, j, "=")) break;
+          if (IsPunct(t, j, "{")) {
+            pending.push_back({Pending::kTransparent, ""});
+            break;
+          }
+        }
+        ++i;
+        continue;
+      }
+      if ((tok.text == "class" || tok.text == "struct" ||
+           tok.text == "union" || tok.text == "enum") &&
+          !(i > 0 && IsIdent(t, i - 1, "enum"))) {
+        // Find the body '{' (forward declarations and parameter uses have
+        // a ';' or ')' first). The class name is the last plain ident at
+        // paren-depth 0 before '{', ':' (base clause) or 'final'.
+        std::string cls;
+        int paren = 0;
+        bool is_class = false;
+        for (size_t j = i + 1; j < t.size() && j < i + 96; ++j) {
+          if (t[j].kind == TokKind::kPunct) {
+            if (t[j].text == "(") ++paren;
+            else if (t[j].text == ")") { if (--paren < 0) break; }
+            else if (paren == 0 && (t[j].text == ";" )) break;
+            else if (paren == 0 && t[j].text == ":") {
+              // base clause begins; name is fixed
+              for (size_t k = j + 1; k < t.size() && k < j + 64; ++k) {
+                if (IsPunct(t, k, "{")) { is_class = true; break; }
+                if (IsPunct(t, k, ";")) break;
+              }
+              break;
+            } else if (paren == 0 && t[j].text == "{") {
+              is_class = true;
+              break;
+            }
+          } else if (t[j].kind == TokKind::kIdent && paren == 0 &&
+                     t[j].text != "final" && t[j].text != "alignas") {
+            cls = t[j].text;
+          }
+        }
+        if (is_class) {
+          pending.push_back(
+              {tok.text == "enum" ? Pending::kTransparent : Pending::kClass,
+               cls});
+        }
+        ++i;
+        continue;
+      }
+      ++i;
+      continue;
+    }
+    if (tok.kind != TokKind::kPunct) {
+      ++i;
+      continue;
+    }
+    if (tok.text == "{") {
+      if (!pending.empty()) {
+        PendingOpen p = pending.front();
+        pending.erase(pending.begin());
+        ++depth;
+        if (p.kind == Pending::kClass) {
+          class_stack.push_back({p.class_name, depth});
+        }
+        ++i;
+        continue;
+      }
+      // Unclaimed '{' at namespace/class scope: function body candidate
+      // (or an aggregate initializer, which ClassifyBrace rejects).
+      std::string name, qual;
+      if (ClassifyBrace(t, i, &name, &qual)) {
+        FunctionInfo fn;
+        fn.name = name;
+        fn.class_name =
+            !qual.empty() ? qual
+                          : (!class_stack.empty() ? class_stack.back().name
+                                                  : std::string());
+        fn.qualified =
+            fn.class_name.empty() ? fn.name : fn.class_name + "::" + fn.name;
+        fn.body_begin = i;
+        fn.body_end = MatchForward(t, i);
+        if (fn.body_end < t.size()) ++fn.body_end;
+        // Locate the name token (walk back; best effort for diagnostics).
+        fn.name_tok = i;
+        for (size_t j = i; j-- > 0 && j + 256 > i;) {
+          if (t[j].kind == TokKind::kIdent && t[j].text == name) {
+            fn.name_tok = j;
+            break;
+          }
+        }
+        fn.line = t[fn.name_tok].line;
+        model.functions.push_back(fn);
+        i = fn.body_end;  // bodies are opaque to the model walk
+        continue;
+      }
+      // Aggregate initializer or something unrecognized: skip the group so
+      // its contents do not confuse class tracking.
+      size_t end = MatchForward(t, i);
+      i = end < t.size() ? end + 1 : t.size();
+      continue;
+    }
+    if (tok.text == "}") {
+      if (!class_stack.empty() && class_stack.back().depth == depth) {
+        class_stack.pop_back();
+      }
+      --depth;
+      ++i;
+      continue;
+    }
+    ++i;
+  }
+  return model;
+}
+
+}  // namespace analyze

@@ -1,0 +1,55 @@
+// Scope model: function boundaries, enclosing-class context, and token
+// matching helpers shared by every scholar_analyze rule. This is what the
+// token-level scholar_lint cannot see — rules here reason per function
+// body, with class context for qualifying members (mutexes, callees).
+
+#ifndef SCHOLAR_ANALYZE_MODEL_H_
+#define SCHOLAR_ANALYZE_MODEL_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analyze/core.h"
+
+namespace analyze {
+
+/// One function definition (free function, out-of-line method, or inline
+/// in-class method). Token indexes point into LexedFile::tokens.
+struct FunctionInfo {
+  std::string name;        // simple name: "Shutdown"
+  std::string class_name;  // enclosing/qualifying class, "" for free fns
+  std::string qualified;   // "ThreadPool::Shutdown" / "RunPowerLoop"
+  int line = 0;            // line of the name token
+  size_t name_tok = 0;     // index of the name token
+  size_t body_begin = 0;   // index of the body '{'
+  size_t body_end = 0;     // index one past the matching '}'
+};
+
+struct FileModel {
+  std::vector<FunctionInfo> functions;
+};
+
+/// Extracts every function definition with its class context. Function
+/// bodies are opaque at this level (no nested definitions are reported);
+/// rules walk [body_begin, body_end) themselves.
+FileModel BuildModel(const LexedFile& f);
+
+/// Index of the token matching the opener at `open_idx` ("(" -> ")",
+/// "{" -> "}", "[" -> "]", "<" -> ">"), or tokens.size() when unbalanced.
+size_t MatchForward(const std::vector<Token>& t, size_t open_idx);
+
+/// Index of the token matching the closer at `close_idx`, scanning
+/// backward, or SIZE_MAX when unbalanced.
+size_t MatchBackward(const std::vector<Token>& t, size_t close_idx);
+
+inline bool IsIdent(const std::vector<Token>& t, size_t i, const char* s) {
+  return i < t.size() && t[i].kind == TokKind::kIdent && t[i].text == s;
+}
+inline bool IsPunct(const std::vector<Token>& t, size_t i, const char* s) {
+  return i < t.size() && t[i].kind == TokKind::kPunct && t[i].text == s;
+}
+
+}  // namespace analyze
+
+#endif  // SCHOLAR_ANALYZE_MODEL_H_

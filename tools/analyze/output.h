@@ -1,0 +1,71 @@
+// Output sinks of scholar_analyze: SARIF 2.1.0 export, the line-hash
+// baseline, and the per-file content-hash result cache.
+
+#ifndef SCHOLAR_ANALYZE_OUTPUT_H_
+#define SCHOLAR_ANALYZE_OUTPUT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analyze/core.h"
+#include "analyze/index.h"
+
+namespace analyze {
+
+/// Writes a SARIF 2.1.0 log with one run and one result per finding.
+/// Baseline-suppressed findings are emitted with
+/// `suppressions: [{kind: "external"}]` so SARIF viewers show them as
+/// reviewed. Returns false on I/O failure.
+bool WriteSarif(const std::string& path, const std::vector<Finding>& findings);
+
+/// Baseline file: one `rule <path> <hex-line-hash>` entry per accepted
+/// finding. Matching is by (rule, file, line fingerprint) — immune to
+/// line-number churn, broken by any edit to the flagged line itself.
+class Baseline {
+ public:
+  /// Loads entries; a missing file is an empty baseline (ok=true).
+  /// Malformed lines make Load return false.
+  bool Load(const std::string& path);
+
+  /// Marks findings present in the baseline (consuming multiset entries)
+  /// and returns the number suppressed.
+  size_t Apply(std::vector<Finding>* findings) const;
+
+  static bool Write(const std::string& path,
+                    const std::vector<Finding>& findings);
+
+ private:
+  std::map<std::string, int> entries_;  // serialized key -> multiplicity
+};
+
+/// Per-file result cache, keyed by content hash. Two levels:
+///  - the file's index contribution (Status fns, unordered idents, lock
+///    summaries) is valid whenever the file's own bytes are unchanged;
+///  - the file's findings are valid only when additionally the *global*
+///    index signature matches, since rules resolve names cross-file.
+struct CacheEntry {
+  uint64_t file_hash = 0;
+  FileIndex index;
+  uint64_t findings_sig = 0;  // global signature the findings were made under
+  bool has_findings = false;
+  std::vector<Finding> findings;  // per-file rule findings only
+};
+
+class Cache {
+ public:
+  /// Loads the cache; unreadable or version-mismatched files load empty.
+  void Load(const std::string& path);
+  bool Save(const std::string& path) const;
+
+  const CacheEntry* Lookup(const std::string& norm_path,
+                           uint64_t file_hash) const;
+  void Put(const std::string& norm_path, CacheEntry entry);
+
+ private:
+  std::map<std::string, CacheEntry> entries_;
+};
+
+}  // namespace analyze
+
+#endif  // SCHOLAR_ANALYZE_OUTPUT_H_

@@ -1,0 +1,148 @@
+// determinism: the ranking pipeline must be bit-reproducible.
+//
+// Two sub-checks:
+//  (a) Iteration over std::unordered_{map,set} in src/rank/, src/ensemble/,
+//      src/stream/ and src/serve/. Hash-table iteration order depends on
+//      the libstdc++ version, the insertion history, and (for pointer
+//      keys) ASLR — when it flows into score accumulation, snapshot files
+//      or wire output, two runs over the same corpus disagree. Rank over
+//      sorted/indexed views instead, or suppress a genuinely
+//      order-insensitive site with NOLINT(determinism): reason.
+//  (b) Wall-clock / libc PRNG calls (time, rand, srand, clock) anywhere
+//      outside src/util/rng — randomness and time must be injected
+//      through the seeded utilities so replays reproduce.
+
+#include "analyze/rules.h"
+
+namespace analyze {
+
+namespace {
+
+bool InOrderSensitiveScope(const std::string& path) {
+  for (const char* prefix :
+       {"src/rank/", "src/ensemble/", "src/stream/", "src/serve/"}) {
+    if (path.compare(0, std::string(prefix).size(), prefix) == 0) return true;
+  }
+  return false;
+}
+
+bool IsRngExempt(const std::string& path) {
+  return path.compare(0, 12, "src/util/rng") == 0;
+}
+
+bool IsClockOrRand(const std::string& s) {
+  return s == "time" || s == "rand" || s == "srand" || s == "clock";
+}
+
+}  // namespace
+
+void CheckDeterminism(const LexedFile& f, const FileModel& model,
+                      const GlobalIndex& gi, std::vector<Finding>* out) {
+  (void)model;
+  const std::vector<Token>& t = f.tokens;
+  Reporter reporter(f, out);
+
+  auto is_unordered = [&](const std::string& id) {
+    return gi.unordered_members.count(id) > 0;
+  };
+  // File-local unordered declarations (locals, params, non-member fields).
+  FileIndex local;
+  for (size_t i = 0; i < t.size(); ++i) {
+    // Reuse the index's declaration scan lazily: cheap inline version.
+    if (t[i].kind != TokKind::kIdent) continue;
+    if (t[i].text != "unordered_map" && t[i].text != "unordered_set" &&
+        t[i].text != "unordered_multimap" &&
+        t[i].text != "unordered_multiset") {
+      continue;
+    }
+    if (!IsPunct(t, i + 1, "<")) continue;
+    int nest = 0;
+    size_t j = i + 1;
+    for (; j < t.size() && j < i + 256; ++j) {
+      if (t[j].kind != TokKind::kPunct) continue;
+      if (t[j].text == "<") ++nest;
+      else if (t[j].text == ">") { if (--nest <= 0) { ++j; break; } }
+      else if (t[j].text == ">>") { nest -= 2; if (nest <= 0) { ++j; break; } }
+      else if (t[j].text == ";" || t[j].text == "{") break;
+    }
+    while (j < t.size() && t[j].kind == TokKind::kPunct &&
+           (t[j].text == "&" || t[j].text == "*")) {
+      ++j;
+    }
+    if (j < t.size() && t[j].kind == TokKind::kIdent && t[j].text != "const") {
+      local.unordered_local.insert(t[j].text);
+    }
+  }
+  auto known_unordered = [&](const std::string& id) {
+    return is_unordered(id) || local.unordered_local.count(id) > 0;
+  };
+
+  if (InOrderSensitiveScope(f.norm_path)) {
+    for (size_t i = 0; i < t.size(); ++i) {
+      // (a1) range-for over an unordered container.
+      if (IsIdent(t, i, "for") && IsPunct(t, i + 1, "(")) {
+        size_t close = MatchForward(t, i + 1);
+        int nest = 0;
+        size_t colon = 0;
+        for (size_t j = i + 2; j < close; ++j) {
+          if (t[j].kind != TokKind::kPunct) continue;
+          if (t[j].text == "(" || t[j].text == "[" || t[j].text == "{") ++nest;
+          else if (t[j].text == ")" || t[j].text == "]" || t[j].text == "}") --nest;
+          else if (t[j].text == ":" && nest == 0) {
+            colon = j;
+            break;
+          }
+        }
+        if (colon != 0) {
+          for (size_t j = colon + 1; j < close; ++j) {
+            if (t[j].kind != TokKind::kIdent) continue;
+            if (t[j].text == "this" || t[j].text == "std" ||
+                t[j].text == "const" || t[j].text == "auto") {
+              continue;
+            }
+            if (known_unordered(t[j].text)) {
+              reporter.Report(
+                  t[j].line, "determinism",
+                  "range-for over unordered container '" + t[j].text +
+                      "' in an order-sensitive subsystem; iterate a sorted "
+                      "or indexed view so scores and output are "
+                      "reproducible");
+            }
+            break;  // only the base of the range expression
+          }
+        }
+      }
+      // (a2) explicit iterator loops: X.begin() / X->cbegin().
+      if (t[i].kind == TokKind::kIdent &&
+          (t[i].text == "begin" || t[i].text == "cbegin") &&
+          IsPunct(t, i + 1, "(") && i >= 2 &&
+          (IsPunct(t, i - 1, ".") || IsPunct(t, i - 1, "->")) &&
+          t[i - 2].kind == TokKind::kIdent && known_unordered(t[i - 2].text)) {
+        reporter.Report(t[i].line, "determinism",
+                        "iterating unordered container '" + t[i - 2].text +
+                            "' in an order-sensitive subsystem");
+      }
+    }
+  }
+
+  // (b) time()/rand() outside util/rng.
+  if (!IsRngExempt(f.norm_path)) {
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != TokKind::kIdent || !IsClockOrRand(t[i].text)) continue;
+      if (!IsPunct(t, i + 1, "(")) continue;
+      if (i > 0 && (IsPunct(t, i - 1, ".") || IsPunct(t, i - 1, "->"))) {
+        continue;  // member method named time()/clock(), not libc
+      }
+      if (i > 0 && IsPunct(t, i - 1, "::") && !IsIdent(t, i - 2, "std")) {
+        continue;  // SomeClass::time(...), not the libc function
+      }
+      reporter.Report(
+          t[i].line, "determinism",
+          "'" + t[i].text +
+              "' is wall-clock/PRNG state outside src/util/rng; inject "
+              "time or randomness through the seeded utilities");
+    }
+  }
+}
+
+}  // namespace analyze

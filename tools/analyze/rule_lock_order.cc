@@ -1,0 +1,181 @@
+// lock-order: whole-program mutex acquisition graph.
+//
+// From each function's lock summary (index.cc) the rule derives ordering
+// edges `held -> acquired`:
+//  - direct: a MutexLock on `m` while `h` is held adds h -> m;
+//  - transitive: a call made while `h` is held adds h -> m for every `m`
+//    the callee may acquire, where may-acquire is the fixpoint of direct
+//    acquisitions propagated through the (name-resolved) call graph.
+// A cycle in this graph is a potential ABBA deadlock; the finding carries
+// the full witness path. Acquiring a mutex already in the held set is
+// reported directly as a self-deadlock (Mutex is non-reentrant).
+//
+// Name resolution is by simple callee name, so virtual dispatch and
+// function pointers resolve to every same-named summary — deliberately
+// over-approximate: lock graphs should be judged against any plausible
+// callee. A site audited as safe is excluded with
+// `// NOLINT(lock-order): reason` on the acquisition or call line, which
+// removes that site's edges from the graph.
+
+#include "analyze/rules.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace analyze {
+
+namespace {
+
+struct Witness {
+  std::string file;
+  int line = 0;
+  uint64_t line_hash = 0;
+  std::string desc;  // "Fn (file:line) acquires m while holding h"
+};
+
+using EdgeMap = std::map<std::pair<std::string, std::string>, Witness>;
+
+}  // namespace
+
+std::vector<Finding> CheckLockOrder(const GlobalIndex& gi) {
+  std::vector<Finding> out;
+
+  // May-acquire fixpoint over the call graph.
+  std::vector<std::set<std::string>> may_acquire(gi.summaries.size());
+  for (size_t i = 0; i < gi.summaries.size(); ++i) {
+    for (const LockAcq& a : gi.summaries[i].acqs) may_acquire[i].insert(a.mutex);
+  }
+  for (int pass = 0; pass < 20; ++pass) {
+    bool changed = false;
+    for (size_t i = 0; i < gi.summaries.size(); ++i) {
+      for (const LockCall& c : gi.summaries[i].calls) {
+        auto it = gi.by_simple.find(c.callee);
+        if (it == gi.by_simple.end()) continue;
+        for (size_t callee : it->second) {
+          for (const std::string& m : may_acquire[callee]) {
+            if (may_acquire[i].insert(m).second) changed = true;
+          }
+        }
+      }
+    }
+    if (!changed) break;
+  }
+
+  EdgeMap edges;
+  auto add_edge = [&edges](const std::string& from, const std::string& to,
+                           Witness w) {
+    auto key = std::make_pair(from, to);
+    if (edges.find(key) == edges.end()) edges.emplace(key, std::move(w));
+  };
+
+  for (size_t i = 0; i < gi.summaries.size(); ++i) {
+    const FnSummary& fn = gi.summaries[i];
+    for (const LockAcq& a : fn.acqs) {
+      if (a.suppressed) continue;
+      for (const std::string& h : a.held) {
+        std::string site = fn.qualified + " (" + fn.file + ":" +
+                           std::to_string(a.line) + ")";
+        if (h == a.mutex) {
+          out.push_back({"lock-order", fn.file, a.line, a.line_hash,
+                         "self-deadlock: " + site + " acquires '" + a.mutex +
+                             "' which is already held (Mutex is "
+                             "non-reentrant)",
+                         false});
+          continue;
+        }
+        add_edge(h, a.mutex,
+                 {fn.file, a.line, a.line_hash,
+                  site + " acquires '" + a.mutex + "' holding '" + h + "'"});
+      }
+    }
+    for (const LockCall& c : fn.calls) {
+      if (c.suppressed || c.held.empty()) continue;
+      auto it = gi.by_simple.find(c.callee);
+      if (it == gi.by_simple.end()) continue;
+      std::set<std::string> callee_acquires;
+      for (size_t callee : it->second) {
+        callee_acquires.insert(may_acquire[callee].begin(),
+                               may_acquire[callee].end());
+      }
+      for (const std::string& m : callee_acquires) {
+        for (const std::string& h : c.held) {
+          // h == m through a call is usually a different object of the
+          // same class (name-level aliasing); only the direct case above
+          // is a confident self-deadlock.
+          if (h == m) continue;
+          add_edge(h, m,
+                   {fn.file, c.line, c.line_hash,
+                    fn.qualified + " (" + fn.file + ":" +
+                        std::to_string(c.line) + ") calls '" + c.callee +
+                        "' which may acquire '" + m + "' holding '" + h +
+                        "'"});
+        }
+      }
+    }
+  }
+
+  // Adjacency + cycle enumeration. Each elementary cycle is discovered
+  // from its lexicographically smallest node only, so duplicates (and
+  // rotations) are never reported twice.
+  std::map<std::string, std::vector<std::string>> adj;
+  std::set<std::string> nodes;
+  for (const auto& e : edges) {
+    adj[e.first.first].push_back(e.first.second);
+    nodes.insert(e.first.first);
+    nodes.insert(e.first.second);
+  }
+  for (auto& a : adj) std::sort(a.second.begin(), a.second.end());
+
+  std::set<std::string> reported_keys;
+  std::vector<std::string> path;
+
+  std::function<void(const std::string&, const std::string&)> dfs =
+      [&](const std::string& start, const std::string& cur) {
+        if (path.size() > 16) return;  // depth guard; graphs here are tiny
+        auto it = adj.find(cur);
+        if (it == adj.end()) return;
+        for (const std::string& next : it->second) {
+          if (next == start) {
+            std::string key;
+            for (const std::string& n : path) key += n + "->";
+            if (!reported_keys.insert(key).second) continue;
+            // Build the witness message around the cycle.
+            std::string msg = "lock-order cycle: ";
+            const Witness* first_site = nullptr;
+            for (size_t k = 0; k < path.size(); ++k) {
+              const std::string& from = path[k];
+              const std::string& to = path[(k + 1) % path.size()];
+              const Witness& w = edges.at({from, to});
+              if (first_site == nullptr) first_site = &w;
+              msg += "'" + from + "' -> '" + to + "' [" + w.desc + "]";
+              if (k + 1 < path.size()) msg += ", ";
+            }
+            out.push_back({"lock-order", first_site->file, first_site->line,
+                           first_site->line_hash, msg, false});
+            continue;
+          }
+          if (next < start) continue;  // cycle owned by a smaller start
+          if (std::find(path.begin(), path.end(), next) != path.end()) {
+            continue;
+          }
+          path.push_back(next);
+          dfs(start, next);
+          path.pop_back();
+        }
+      };
+
+  for (const std::string& n : nodes) {
+    path.assign(1, n);
+    dfs(n, n);
+  }
+  path.clear();
+
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.message < b.message;
+  });
+  return out;
+}
+
+}  // namespace analyze

@@ -1,0 +1,141 @@
+// unchecked-status: error values must not fall on the floor.
+//
+// The rule walks each function body as a sequence of statements. A
+// statement that is nothing but a call chain whose final callee returns
+// Status or Result<T> — with the value neither assigned, returned,
+// compared, nor passed onward — is a dropped error. `(void)expr` and
+// `static_cast<void>(expr)` wrappers are flagged too: with [[nodiscard]]
+// on Status/Result the compiler already rejects plain discards, and the
+// cast is how people silence the compiler without leaving an audit trail.
+
+#include "analyze/rules.h"
+
+namespace analyze {
+
+namespace {
+
+/// Identifiers that begin declarations / control flow, not discardable
+/// call-chain statements.
+bool IsStmtKeyword(const std::string& s) {
+  static const std::set<std::string> kKeywords = {
+      "return",   "if",       "else",    "for",      "while",   "do",
+      "switch",   "case",     "default", "break",    "continue", "goto",
+      "throw",    "delete",   "new",     "using",    "typedef", "static",
+      "const",    "constexpr", "auto",   "void",     "int",     "bool",
+      "char",     "float",    "double",  "long",     "short",   "unsigned",
+      "signed",   "size_t",   "int64_t", "uint64_t", "int32_t", "uint32_t",
+      "class",    "struct",   "enum",    "union",    "namespace",
+      "template", "try",      "catch",   "co_return", "co_await", "co_yield",
+      "sizeof",   "public",   "private", "protected", "friend",  "extern",
+      "inline",   "volatile", "mutable", "operator", "thread_local"};
+  return kKeywords.count(s) > 0;
+}
+
+}  // namespace
+
+void CheckUncheckedStatus(const LexedFile& f, const FileModel& model,
+                          const GlobalIndex& gi, std::vector<Finding>* out) {
+  const std::vector<Token>& t = f.tokens;
+  Reporter reporter(f, out);
+
+  auto in_sets = [&gi](const std::string& name) {
+    return gi.status_fns.count(name) > 0 || gi.result_fns.count(name) > 0;
+  };
+
+  for (const FunctionInfo& fn : model.functions) {
+    // Statement starts: after '{', '}', ';', 'else', 'do', and after the
+    // ')' that closes an if/for/while/switch condition.
+    std::set<size_t> stmt_starts;
+    bool expect = true;
+    for (size_t i = fn.body_begin; i < fn.body_end && i < t.size(); ++i) {
+      if (expect) stmt_starts.insert(i);
+      const Token& tok = t[i];
+      if (tok.kind == TokKind::kPunct) {
+        expect = tok.text == "{" || tok.text == "}" || tok.text == ";";
+        continue;
+      }
+      if (tok.kind == TokKind::kIdent) {
+        if (tok.text == "else" || tok.text == "do") {
+          expect = true;
+          continue;
+        }
+        if ((tok.text == "if" || tok.text == "for" || tok.text == "while" ||
+             tok.text == "switch") &&
+            IsPunct(t, i + 1, "(")) {
+          size_t close = MatchForward(t, i + 1);
+          if (close < t.size()) stmt_starts.insert(close + 1);
+        }
+      }
+      expect = false;
+    }
+
+    for (size_t s : stmt_starts) {
+      if (s >= fn.body_end || s >= t.size()) continue;
+      bool discard_cast = false;
+      size_t i = s;
+      // `(void)` C-style cast prefix.
+      if (IsPunct(t, i, "(") && IsIdent(t, i + 1, "void") &&
+          IsPunct(t, i + 2, ")")) {
+        discard_cast = true;
+        i += 3;
+      } else if (IsIdent(t, i, "static_cast") && IsPunct(t, i + 1, "<") &&
+                 IsIdent(t, i + 2, "void") && IsPunct(t, i + 3, ">") &&
+                 IsPunct(t, i + 4, "(")) {
+        discard_cast = true;
+        i += 5;
+      }
+      // Call chain: [::] ident ((:: | . | ->) ident)* '(' ... ')'
+      // possibly continued with .member(...) links.
+      if (IsPunct(t, i, "::")) ++i;
+      if (i >= t.size() || t[i].kind != TokKind::kIdent ||
+          IsStmtKeyword(t[i].text)) {
+        continue;
+      }
+      std::string last = t[i].text;
+      size_t pos = i + 1;
+      while (pos + 1 < t.size() && t[pos].kind == TokKind::kPunct &&
+             (t[pos].text == "::" || t[pos].text == "." ||
+              t[pos].text == "->") &&
+             t[pos + 1].kind == TokKind::kIdent) {
+        last = t[pos + 1].text;
+        pos += 2;
+      }
+      if (!IsPunct(t, pos, "(")) continue;
+      // Follow the chain through further member calls: `f().status()...`.
+      int final_line = t[pos].line;
+      while (true) {
+        size_t close = MatchForward(t, pos);
+        if (close >= t.size()) break;
+        size_t nxt = close + 1;
+        if (nxt + 2 < t.size() && t[nxt].kind == TokKind::kPunct &&
+            (t[nxt].text == "." || t[nxt].text == "->") &&
+            t[nxt + 1].kind == TokKind::kIdent && IsPunct(t, nxt + 2, "(")) {
+          last = t[nxt + 1].text;
+          final_line = t[nxt + 1].line;
+          pos = nxt + 2;
+          continue;
+        }
+        // Terminal link of the chain.
+        if (in_sets(last)) {
+          const char* kind =
+              gi.result_fns.count(last) > 0 ? "Result" : "Status";
+          if (discard_cast) {
+            reporter.Report(
+                final_line, "unchecked-status",
+                "'" + last + "' returns " + kind +
+                    " but the value is discarded with a void cast; handle "
+                    "it or suppress with NOLINT(unchecked-status): reason");
+          } else if (IsPunct(t, nxt, ";")) {
+            reporter.Report(
+                final_line, "unchecked-status",
+                "result of '" + last + "' (" + kind +
+                    ") is ignored; assign, return, or inspect it");
+          }
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace analyze

@@ -1,0 +1,49 @@
+// The four scholar_analyze dataflow rules. Per-file rules take the lexed
+// file + scope model (+ the global index where cross-file name resolution
+// is needed); lock-order is whole-program and runs once over the merged
+// index.
+
+#ifndef SCHOLAR_ANALYZE_RULES_H_
+#define SCHOLAR_ANALYZE_RULES_H_
+
+#include <vector>
+
+#include "analyze/core.h"
+#include "analyze/index.h"
+#include "analyze/model.h"
+
+namespace analyze {
+
+/// unchecked-status: a call to a Status / Result<T>-returning function
+/// whose value is neither assigned, returned, nor inspected. Discarding
+/// via `(void)` or `static_cast<void>` is also flagged — the analyzer is
+/// the audit trail, so silent casts are not an escape hatch (use
+/// `// NOLINT(unchecked-status): reason`).
+void CheckUncheckedStatus(const LexedFile& f, const FileModel& model,
+                          const GlobalIndex& gi, std::vector<Finding>* out);
+
+/// hot-loop-alloc: allocation (new/malloc/make_unique), container growth
+/// (push_back/resize/reserve/...), and string construction inside loops of
+/// the ranking hot path (src/rank/kernel/, src/rank/*.cc,
+/// src/stream/frontier_rank.cc). Loops and functions under an
+/// `// analyze:init-scope` marker are exempt; so are return/throw
+/// statements (cold error paths).
+void CheckHotLoopAlloc(const LexedFile& f, const FileModel& model,
+                       std::vector<Finding>* out);
+
+/// determinism: (a) iteration over unordered containers in score-affecting
+/// subsystems (src/rank/, src/ensemble/, src/stream/, src/serve/) —
+/// iteration order varies across libstdc++ versions and hash seeds, so it
+/// must never flow into scores, snapshots, or wire output; (b) wall-clock
+/// and libc PRNG calls anywhere outside src/util/rng.
+void CheckDeterminism(const LexedFile& f, const FileModel& model,
+                      const GlobalIndex& gi, std::vector<Finding>* out);
+
+/// lock-order: builds the cross-file mutex acquisition graph (direct
+/// MutexLock sites plus transitive may-acquire sets through calls) and
+/// reports every cycle with a witness path, plus direct self-deadlocks.
+std::vector<Finding> CheckLockOrder(const GlobalIndex& gi);
+
+}  // namespace analyze
+
+#endif  // SCHOLAR_ANALYZE_RULES_H_

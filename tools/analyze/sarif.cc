@@ -1,0 +1,115 @@
+// SARIF 2.1.0 writer. Hand-rolled JSON emission (no JSON library in the
+// toolchain); every dynamic string goes through Escape so the output is
+// valid JSON for any finding message.
+
+#include "analyze/output.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace analyze {
+
+namespace {
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+struct RuleMeta {
+  const char* id;
+  const char* desc;
+};
+
+const RuleMeta kRules[] = {
+    {"unchecked-status",
+     "Status/Result<T> return values must be assigned, returned, or "
+     "inspected; void casts are flagged too."},
+    {"hot-loop-alloc",
+     "No allocation, container growth, or string construction inside "
+     "ranking hot-path loops (init-scope exempt)."},
+    {"lock-order",
+     "The cross-file mutex acquisition graph must be acyclic; acquiring a "
+     "held mutex is a self-deadlock."},
+    {"determinism",
+     "No unordered-container iteration in order-sensitive subsystems and "
+     "no wall-clock/PRNG calls outside src/util/rng."},
+};
+
+}  // namespace
+
+bool WriteSarif(const std::string& path,
+                const std::vector<Finding>& findings) {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << "{\n"
+     << "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+        "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [\n"
+     << "    {\n"
+     << "      \"tool\": {\n"
+     << "        \"driver\": {\n"
+     << "          \"name\": \"scholar_analyze\",\n"
+     << "          \"informationUri\": \"tools/scholar_analyze.cc\",\n"
+     << "          \"version\": \"1.0.0\",\n"
+     << "          \"rules\": [\n";
+  for (size_t i = 0; i < sizeof(kRules) / sizeof(kRules[0]); ++i) {
+    os << "            {\"id\": \"" << kRules[i].id
+       << "\", \"shortDescription\": {\"text\": \"" << Escape(kRules[i].desc)
+       << "\"}}" << (i + 1 < sizeof(kRules) / sizeof(kRules[0]) ? "," : "")
+       << "\n";
+  }
+  os << "          ]\n"
+     << "        }\n"
+     << "      },\n"
+     << "      \"results\": [\n";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    os << "        {\n"
+       << "          \"ruleId\": \"" << Escape(f.rule) << "\",\n"
+       << "          \"level\": \"error\",\n"
+       << "          \"message\": {\"text\": \"" << Escape(f.message)
+       << "\"},\n"
+       << "          \"locations\": [\n"
+       << "            {\"physicalLocation\": {\"artifactLocation\": "
+          "{\"uri\": \""
+       << Escape(f.file) << "\"}, \"region\": {\"startLine\": " << f.line
+       << "}}}\n"
+       << "          ],\n"
+       << "          \"partialFingerprints\": {\"scholarLineHash/v1\": \"";
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(f.line_hash));
+    os << buf << "\"}";
+    if (f.baseline_suppressed) {
+      os << ",\n          \"suppressions\": [{\"kind\": \"external\"}]";
+    }
+    os << "\n        }" << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  os << "      ]\n"
+     << "    }\n"
+     << "  ]\n"
+     << "}\n";
+  return static_cast<bool>(os);
+}
+
+}  // namespace analyze

@@ -20,11 +20,23 @@
 #           replay test; commit it together with the parser fix. Skipped
 #           with a note when no clang++ is on PATH.
 #
+#   analyze opt-in via --analyze: the static-analysis source gate —
+#           scholar_lint plus the scholar_analyze dataflow analyzer
+#           (unchecked-status, hot-loop-alloc, lock-order, determinism)
+#           over every src/ and tools/ source, gated against
+#           tools/analyze_baseline.txt, emitting SARIF to
+#           build-check-analyze/analyze.sarif. Both gates also run inside
+#           the plain flavor's ctest pass (labels tier1;analysis), so the
+#           --fast lane covers them; this flavor is the standalone entry
+#           point that produces the SARIF artifact without a test build.
+#
 # Usage: tools/check_analysis.sh [--fast] [--fuzz[=seconds]] [--bench-gate]
-#                                [flavor...]
+#                                [--analyze] [flavor...]
 #   --fast     run only tier1-labeled tests (which include the fuzz_replay
-#              corpus tests) instead of the full suite
+#              corpus tests and the lint/analyzer source gates) instead of
+#              the full suite
 #   --fuzz[=N] also run the fuzz flavor, N seconds per harness (default 30)
+#   --analyze  also run the analyze flavor (see above)
 #   --bench-gate
 #              also run the bench-gate flavor: rank_scaling --smoke across
 #              the full iteration-engine variant matrix (scalar/simd x
@@ -48,6 +60,7 @@ CTEST_ARGS=("--output-on-failure" "-j" "$JOBS")
 FAST=0
 FUZZ=0
 BENCH_GATE=0
+ANALYZE=0
 FUZZ_SECONDS=30
 FLAVORS=()
 for arg in "$@"; do
@@ -62,14 +75,16 @@ for arg in "$@"; do
       esac
       ;;
     --bench-gate) BENCH_GATE=1 ;;
+    --analyze) ANALYZE=1 ;;
     plain|asan|tsan|ubsan|tsa) FLAVORS+=("$arg") ;;
+    analyze) ANALYZE=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
 if [ ${#FLAVORS[@]} -eq 0 ]; then
-  # --fuzz / --bench-gate alone mean "just that gate", not "everything
-  # plus it".
-  if [ "$FUZZ" -eq 1 ] || [ "$BENCH_GATE" -eq 1 ]; then
+  # --fuzz / --bench-gate / --analyze alone mean "just that gate", not
+  # "everything plus it".
+  if [ "$FUZZ" -eq 1 ] || [ "$BENCH_GATE" -eq 1 ] || [ "$ANALYZE" -eq 1 ]; then
     FLAVORS=()
   else
     FLAVORS=(plain asan tsan ubsan tsa)
@@ -77,6 +92,7 @@ if [ ${#FLAVORS[@]} -eq 0 ]; then
 fi
 [ "$FUZZ" -eq 1 ] && FLAVORS+=(fuzz)
 [ "$BENCH_GATE" -eq 1 ] && FLAVORS+=(bench-gate)
+[ "$ANALYZE" -eq 1 ] && FLAVORS+=(analyze)
 # fuzz_replay is a subset of tier1, so the fast lane replays the corpora
 # too; the label is spelled out to keep that property grep-able.
 [ "$FAST" -eq 1 ] && CTEST_ARGS+=("-L" "tier1|bench_smoke|fuzz_replay")
@@ -92,6 +108,7 @@ cmake_flags_for() {
     tsa)   echo "-DSCHOLAR_ENABLE_THREAD_SAFETY_ANALYSIS=ON" ;;
     fuzz)  echo "-DSCHOLAR_ENABLE_FUZZERS=ON -DSCHOLARRANK_BUILD_BENCHMARKS=OFF -DSCHOLARRANK_BUILD_EXAMPLES=OFF" ;;
     bench-gate) echo "" ;;
+    analyze) echo "" ;;
   esac
 }
 
@@ -156,7 +173,12 @@ run_flavor() {
     return 1
   fi
   echo "=== [$flavor] build ==="
-  if ! cmake --build "$build_dir" -j "$JOBS"; then
+  local build_args=()
+  if [ "$flavor" = "analyze" ]; then
+    # The source gates are self-contained binaries; no library build needed.
+    build_args+=("--target" "scholar_lint" "scholar_analyze")
+  fi
+  if ! cmake --build "$build_dir" -j "$JOBS" "${build_args[@]}"; then
     RESULT[$flavor]="FAIL (build)"
     return 1
   fi
@@ -171,6 +193,27 @@ run_flavor() {
       return 1
     fi
     RESULT[$flavor]="PASS (${FUZZ_SECONDS}s/harness, no crashers)"
+    return 0
+  fi
+  if [ "$flavor" = "analyze" ]; then
+    local sarif="$build_dir/analyze.sarif"
+    local sources=()
+    while IFS= read -r f; do sources+=("$f"); done \
+      < <(find "$ROOT/src" "$ROOT/tools" \( -name '*.cc' -o -name '*.h' \) | sort)
+    echo "=== [analyze] scholar_lint over ${#sources[@]} sources ==="
+    if ! "$build_dir/tools/scholar_lint" "${sources[@]}"; then
+      RESULT[$flavor]="FAIL (scholar_lint violations)"
+      return 1
+    fi
+    echo "=== [analyze] scholar_analyze over ${#sources[@]} sources ==="
+    if ! "$build_dir/tools/scholar_analyze" \
+        --baseline="$ROOT/tools/analyze_baseline.txt" \
+        --cache="$build_dir/analyze.cache" \
+        --sarif="$sarif" "${sources[@]}"; then
+      RESULT[$flavor]="FAIL (scholar_analyze findings; SARIF at $sarif)"
+      return 1
+    fi
+    RESULT[$flavor]="PASS (both gates clean; SARIF at $sarif)"
     return 0
   fi
   if [ "$flavor" = "bench-gate" ]; then

@@ -24,8 +24,8 @@
 //                  itself; ranking code must consume zero-copy
 //                  TemporalCsr/SnapshotView prefixes. Materializing costs
 //                  O(V+E) per snapshot and is reserved for oracle checks
-//                  and the legacy fallback, which say so with
-//                  NOLINT(materialize-snapshot).
+//                  and the legacy fallback, which say so with a
+//                  marker: NOLINT(materialize-snapshot).
 //   include-layering
 //                  the module DAG util -> graph -> {data, rank} ->
 //                  {ensemble, eval} -> core -> stream -> serve -> cli
@@ -36,17 +36,24 @@
 //   unchecked-read no raw memcpy() / mutable reinterpret_cast in the
 //                  files that decode untrusted bytes; every conversion
 //                  goes through the bounds-checked util/byte_reader.h
-//                  (whose own two low-level sites are the sanctioned
-//                  NOLINT(unchecked-read) exceptions).
+//                  (whose own two low-level sites are the
+//                  sanctioned NOLINT(unchecked-read) exceptions).
 //   raw-intrinsics no _mm_*/_mm256_*/_mm512_* calls, __m128/__m256/__m512
 //                  vector types, or *intrin.h includes outside
 //                  src/rank/kernel/ — SIMD lives behind the iteration
 //                  engine's dispatch seam, next to the scalar oracle that
 //                  proves it bit-identical.
+//   stale-nolint   a NOLINT(rule) naming one of the rules above that
+//                  suppresses nothing on its line is itself a violation:
+//                  dead suppressions hide future regressions at that line
+//                  and rot the audit trail. Suppressions naming other
+//                  tools' rules (e.g. scholar_analyze's) are not audited.
 //
 // Diagnostics are `file:line: rule: message`, exit status is nonzero when
 // any violation survives. A `// NOLINT` comment suppresses every rule on
-// its line; `// NOLINT(rule-a,rule-b)` suppresses just those rules.
+// its line; `// NOLINT(rule-a,rule-b)` suppresses just those rules. The
+// marker must lead its comment — a doc sentence that merely *mentions*
+// NOLINT(...) mid-prose is not a suppression.
 
 #include <algorithm>
 #include <cctype>
@@ -98,10 +105,20 @@ bool IsIdentChar(char c) {
 }
 
 /// Records NOLINT / NOLINT(rule-a,rule-b) markers found in one comment.
+/// The marker must lead the comment: only delimiter and decoration
+/// characters may precede it, so prose that mentions NOLINT(...) is not
+/// accidentally treated as (or audited as) a suppression.
 void ScanCommentForNolint(const std::string& comment, int line,
                           Suppressions* out) {
   size_t pos = comment.find("NOLINT");
   if (pos == std::string::npos) return;
+  for (size_t i = 0; i < pos; ++i) {
+    char c = comment[i];
+    if (c != '/' && c != '*' && c != '!' && c != '<' && c != ' ' &&
+        c != '\t') {
+      return;  // mid-comment mention, not a marker
+    }
+  }
   size_t after = pos + 6;  // strlen("NOLINT")
   std::set<std::string> rules;
   if (after < comment.size() && comment[after] == '(') {
@@ -194,21 +211,29 @@ LexedFile Lex(const std::string& path, const std::string& text) {
           }
         }
       }
-      // Skip the rest of the directive, including spliced lines. The
-      // consumed text is still scanned for NOLINT so a suppression works
-      // on an #include line (include-layering needs that).
-      const size_t directive_start = i;
+      // Skip the rest of the directive, including spliced lines. A
+      // trailing `// ...` comment is still scanned for NOLINT so a
+      // suppression works on an #include line (include-layering needs
+      // that) — only the comment part, so the directive text itself can
+      // never read as a marker.
       const int directive_line = line;
+      size_t comment_at = std::string::npos;
       while (i < n && text[i] != '\n') {
         if (text[i] == '\\' && peek(1) == '\n') {
           ++line;
           i += 2;
           continue;
         }
+        if (text[i] == '/' && peek(1) == '/' &&
+            comment_at == std::string::npos) {
+          comment_at = i;
+        }
         ++i;
       }
-      ScanCommentForNolint(text.substr(directive_start, i - directive_start),
-                           directive_line, &out.suppressions);
+      if (comment_at != std::string::npos) {
+        ScanCommentForNolint(text.substr(comment_at, i - comment_at),
+                             directive_line, &out.suppressions);
+      }
       continue;
     }
     at_line_start = false;
@@ -319,9 +344,17 @@ class Reporter {
     auto it = file_.suppressions.find(line);
     if (it != file_.suppressions.end() &&
         (it->second.empty() || it->second.count(rule) > 0)) {
+      used_[line].insert(rule);  // the suppression earned its keep
       return;  // NOLINT'd
     }
     diagnostics_.push_back({file_.path, line, rule, message});
+  }
+
+  /// True when a diagnostic of `rule` was suppressed at `line`. Valid only
+  /// after every rule pass ran — which is why stale-nolint runs last.
+  bool WasSuppressed(int line, const std::string& rule) const {
+    auto it = used_.find(line);
+    return it != used_.end() && it->second.count(rule) > 0;
   }
 
   const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
@@ -329,6 +362,7 @@ class Reporter {
  private:
   const LexedFile& file_;
   std::vector<Diagnostic> diagnostics_;
+  std::map<int, std::set<std::string>> used_;  // line -> rules suppressed
 };
 
 /// True when `path` contains directory component sequence `needle`
@@ -408,10 +442,27 @@ void CheckMutexGuard(const LexedFile& f, Reporter* rep) {
     if (tok.kind != TokKind::kIdent) continue;
 
     // Class-body detection: `class`/`struct` ... `{` with no intervening
-    // `;` (which would be a forward declaration).
+    // `;` (forward declaration) or `)` (keyword inside a parameter list).
+    // An ALL_CAPS annotation macro's argument list — as in
+    // `class CAPABILITY("mutex") Mutex {` — is skipped wholesale so its
+    // closing paren does not read as a parameter list.
     if ((tok.text == "class" || tok.text == "struct") &&
         !(i > 0 && ident(i - 1, "enum"))) {
       for (size_t j = i + 1; j < t.size() && j < i + 64; ++j) {
+        if (t[j].kind == TokKind::kIdent && punct(j + 1, "(") &&
+            t[j].text.size() >= 2 &&
+            t[j].text.find_first_not_of(
+                "ABCDEFGHIJKLMNOPQRSTUVWXYZ_0123456789") ==
+                std::string::npos) {
+          int nest = 0;
+          size_t k = j + 1;
+          for (; k < t.size() && k < j + 64; ++k) {
+            if (punct(k, "(")) ++nest;
+            else if (punct(k, ")") && --nest == 0) break;
+          }
+          j = k;
+          continue;
+        }
         if (punct(j, ";") || punct(j, ")")) break;  // fwd decl / param
         if (punct(j, "{")) {
           next_brace_is_class = true;
@@ -463,8 +514,8 @@ bool IsFloatLiteral(const std::string& s) {
 /// In src/rank/ and src/ensemble/, flags == / != where either operand is a
 /// floating literal or an identifier the file declares as float/double.
 /// Exact comparison of scores is occasionally *intended* (deterministic
-/// tie-breaks under the bit-identity contract) — those sites say so with
-/// NOLINT(float-compare).
+/// tie-breaks under the bit-identity contract) — those sites say so
+/// with NOLINT(float-compare).
 void CheckFloatCompare(const LexedFile& f, Reporter* rep) {
   if (!PathContains(f.path, "src/rank/") &&
       !PathContains(f.path, "src/ensemble/")) {
@@ -699,8 +750,8 @@ std::string FileModule(const std::string& path) {
 /// eval} -> core -> stream -> serve -> cli at the #include level: a quoted
 /// project include may only name a module on a strictly lower layer (or
 /// the includer's own module). Back-edges and same-layer edges are how
-/// cycles start; a deliberate exception says so with
-/// NOLINT(include-layering) on the #include line.
+/// cycles start; a deliberate exception says so
+/// with NOLINT(include-layering) on the #include line.
 void CheckIncludeLayering(const LexedFile& f, Reporter* rep) {
   const std::string from = FileModule(f.path);
   const int from_layer = ModuleLayer(from);
@@ -833,6 +884,42 @@ void CheckRawIntrinsics(const LexedFile& f, Reporter* rep) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: stale-nolint
+// ---------------------------------------------------------------------------
+
+/// The scholar_lint rule names; only these are audited for staleness.
+/// Other tools share the NOLINT(rule): syntax (scholar_analyze's
+/// unchecked-status / hot-loop-alloc / lock-order / determinism, clang
+/// dialects like runtime/explicit) and must not be second-guessed here.
+const std::set<std::string>& KnownRules() {
+  static const std::set<std::string> kRules = {
+      "mutex-guard",          "float-compare",    "unseeded-rng",
+      "raw-stdout",           "include-order",    "materialize-snapshot",
+      "include-layering",     "unchecked-read",   "raw-intrinsics"};
+  return kRules;
+}
+
+/// A NOLINT(rule) that suppressed nothing is dead weight: it silently
+/// disables the rule for whatever lands on that line next, and it rots
+/// the audit trail (readers assume the exception is still load-bearing).
+/// Bare `// NOLINT` is not audited — it names no rule to hold it to.
+/// Must run after every other rule pass so WasSuppressed is complete.
+void CheckStaleNolint(const LexedFile& f, Reporter* rep) {
+  for (const auto& entry : f.suppressions) {
+    const int line = entry.first;
+    const std::set<std::string>& rules = entry.second;
+    for (const std::string& rule : rules) {
+      if (KnownRules().count(rule) == 0) continue;  // another tool's rule
+      if (rep->WasSuppressed(line, rule)) continue;
+      rep->Report(line, "stale-nolint",
+                  "NOLINT(" + rule +
+                      ") suppresses nothing on this line; remove the stale "
+                      "marker (dead suppressions hide future regressions)");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
 
@@ -855,6 +942,7 @@ int LintFile(const std::string& path, std::vector<Diagnostic>* all) {
   CheckIncludeLayering(lexed, &rep);
   CheckUncheckedRead(lexed, &rep);
   CheckRawIntrinsics(lexed, &rep);
+  CheckStaleNolint(lexed, &rep);  // keep last: audits the passes above
   all->insert(all->end(), rep.diagnostics().begin(), rep.diagnostics().end());
   return 0;
 }
@@ -869,8 +957,10 @@ int main(int argc, char** argv) {
       std::cout << "usage: scholar_lint file...\n"
                 << "rules: mutex-guard float-compare unseeded-rng "
                    "raw-stdout include-order materialize-snapshot "
-                   "include-layering unchecked-read raw-intrinsics\n"
-                << "suppress with // NOLINT or // NOLINT(rule-a,rule-b)\n";
+                   "include-layering unchecked-read raw-intrinsics "
+                   "stale-nolint\n"
+                << "suppress with // NOLINT or // NOLINT(rule-a,rule-b) "
+                   "leading the comment\n";
       return 0;
     }
     files.push_back(std::move(arg));
