@@ -250,10 +250,27 @@ void MakeServeRequestCorpus(const std::filesystem::path& root) {
   WriteFile(root / "seed" / "error_paths",
             "score banana\nrank 99\ntop_k 0\ntop_k -3\nneighbors 1 up\n"
             "reload /etc/passwd\nunknown_verb\n");
+  // Pipelined batches: what the event loop actually receives from a deep
+  // client pipeline — many requests in one recv, answered as one batch.
+  WriteFile(root / "seed" / "pipelined_batch",
+            "score 0\nscore 1\nscore 2\ntop_k 2\nrank 0\nping\n"
+            "percentile 1\nneighbors 0 citers\nscore 3\ninfo\n");
+  // Oversized pipeline of one-byte-ish requests: drives the per-drain
+  // batch budget (max_batch_requests) and the BUSY shed path.
+  std::string flood;
+  for (int i = 0; i < 200; ++i) flood += "ping\n";
+  WriteFile(root / "seed" / "pipelined_flood", flood);
   WriteFile(root / "regression" / "empty_lines", "\n\r\n\n");
   WriteFile(root / "regression" / "oversized_line",
             std::string(1000, 'a'));
   WriteFile(root / "regression" / "split_crlf", "ping\rping\r\nping\n\r");
+  // Partial frames: a recv boundary can land anywhere, including between
+  // the CR and LF of one terminator and mid-token. The framer must carry
+  // the remainder, not answer or reject it early.
+  WriteFile(root / "regression" / "partial_mid_token", "top_k 3\nsco");
+  WriteFile(root / "regression" / "partial_mid_crlf", "score 1\r");
+  WriteFile(root / "regression" / "pipelined_then_partial",
+            "ping\r\nscore 0\nrank 2\ntop_k 5 1");
 }
 
 void MakeCompressedCsrCorpus(const std::filesystem::path& root) {

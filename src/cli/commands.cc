@@ -362,8 +362,8 @@ Status RunStream(const Config& config, std::ostream* out) {
   SCHOLAR_RETURN_NOT_OK(pipeline.Bootstrap());
 
   // With port= the replay doubles as a live server: queries are answered
-  // from the freshest published epoch while batches keep landing.
-  std::optional<serve::QueryEngine> engine;
+  // from the freshest published epoch while batches keep landing. Each
+  // event-loop worker gets its own engine replica over `manager`.
   std::unique_ptr<serve::Server> server;
   if (config.Has("port")) {
     const int64_t port = config.GetIntOr("port", 0);
@@ -373,12 +373,14 @@ Status RunStream(const Config& config, std::ostream* out) {
     serve::QueryEngineOptions engine_options;
     engine_options.cache_entries =
         static_cast<size_t>(config.GetIntOr("cache_entries", 256));
-    engine.emplace(&manager, engine_options);
+    engine_options.topk_shards =
+        static_cast<size_t>(config.GetIntOr("topk_shards", 0));
     serve::ServerOptions server_options;
     server_options.port = static_cast<uint16_t>(port);
-    server_options.num_threads =
-        static_cast<size_t>(config.GetIntOr("threads", 4));
-    server = std::make_unique<serve::Server>(&*engine, server_options);
+    server_options.num_workers = static_cast<size_t>(
+        config.GetIntOr("workers", config.GetIntOr("threads", 4)));
+    server = std::make_unique<serve::Server>(&manager, engine_options,
+                                             server_options);
     SCHOLAR_RETURN_NOT_OK(server->Start());
     *out << "streaming " << corpus.name << " port=" << server->port() << "\n"
          << std::flush;
@@ -448,7 +450,8 @@ Status RunServe(const Config& config, std::ostream* out) {
       static_cast<size_t>(config.GetIntOr("cache_entries", 256));
   engine_options.max_k = static_cast<size_t>(config.GetIntOr("max_k", 1000));
   engine_options.allow_reload = config.GetBoolOr("allow_reload", true);
-  serve::QueryEngine engine(&manager, engine_options);
+  engine_options.topk_shards =
+      static_cast<size_t>(config.GetIntOr("topk_shards", 0));
 
   serve::ServerOptions server_options;
   const int64_t port = config.GetIntOr("port", 7601);
@@ -456,14 +459,18 @@ Status RunServe(const Config& config, std::ostream* out) {
     return Status::InvalidArgument("port must be in [0, 65535]");
   }
   server_options.port = static_cast<uint16_t>(port);
-  server_options.num_threads =
-      static_cast<size_t>(config.GetIntOr("threads", 4));
-  serve::Server server(&engine, server_options);
+  server_options.num_workers = static_cast<size_t>(
+      config.GetIntOr("workers", config.GetIntOr("threads", 4)));
+  server_options.reuse_port = config.GetBoolOr("reuse_port", true);
+  server_options.tcp_nodelay = config.GetBoolOr("tcp_nodelay", true);
+  server_options.max_batch_requests =
+      static_cast<size_t>(config.GetIntOr("max_batch_requests", 1024));
+  serve::Server server(&manager, engine_options, server_options);
   SCHOLAR_RETURN_NOT_OK(server.Start());
   *out << "serving " << live->snapshot.meta().corpus_name << " ("
        << live->snapshot.num_nodes() << " nodes, ranker "
        << live->snapshot.meta().ranker_name << ") port=" << server.port()
-       << " threads=" << server_options.num_threads
+       << " workers=" << server_options.num_workers
        << " — Ctrl-C for graceful shutdown\n"
        << std::flush;
 
@@ -533,9 +540,12 @@ std::string UsageText() {
          "             warm re-rank, republish; base_fraction=<f> batches=<b>\n"
          "             ranker=<name> mode=full|frontier [frontier_tolerance=]\n"
          "             [out_batches=<path>] [port=<p|0>] [oracle=true|false]\n"
-         "  serve      serve a snapshot over line-protocol TCP;\n"
-         "             snapshot=<path> port=<p|0> threads=<t> [max_k=]\n"
-         "             [cache_entries=] [allow_reload=true|false]\n"
+         "  serve      serve a snapshot over line-protocol TCP (N epoll\n"
+         "             workers, one SO_REUSEPORT listener + engine replica\n"
+         "             each); snapshot=<path> port=<p|0> workers=<n>\n"
+         "             [max_k=] [cache_entries=] [allow_reload=true|false]\n"
+         "             [topk_shards=<n>] [reuse_port=] [tcp_nodelay=]\n"
+         "             [max_batch_requests=]\n"
          "  help       this text\n";
 }
 

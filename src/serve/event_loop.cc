@@ -1,0 +1,341 @@
+#include "serve/event_loop.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <utility>
+
+namespace scholar {
+namespace serve {
+namespace {
+
+/// epoll user-data sentinels for the two non-connection fds. Never valid
+/// heap pointers, so they cannot collide with a Connection*.
+void* const kListenTag = reinterpret_cast<void*>(uintptr_t{1});
+void* const kWakeTag = reinterpret_cast<void*>(uintptr_t{2});
+
+}  // namespace
+
+/// Per-connection state, confined to the owning worker thread.
+struct EventLoopWorker::Connection {
+  Connection(EventLoopWorker* worker, int fd_in, size_t max_line_bytes)
+      : fd(fd_in),
+        framer(
+            [worker, this](std::string_view line) {
+              return worker->HandleLine(this, line);
+            },
+            max_line_bytes) {}
+
+  int fd;
+  /// Kernel may hold more readable bytes (edge seen, not yet drained to
+  /// EAGAIN). Left true when a drain pauses for write backpressure, so the
+  /// flush path knows to resume reading.
+  bool read_ready = false;
+  /// Closed during this epoll batch; the entry survives until SweepDead()
+  /// because later events of the same batch may still reference it.
+  bool dead = false;
+  /// Requests answered in the current drain (per-connection backpressure).
+  size_t batch_requests = 0;
+
+  /// Response bytes the kernel has not accepted yet: `carry` holds the
+  /// unsent remainder of earlier batches (first `carry_offset` bytes
+  /// already written), `batch` the responses of the current drain. A flush
+  /// hands both to one sendmsg.
+  std::string carry;
+  size_t carry_offset = 0;
+  std::string batch;
+
+  size_t pending_write_bytes() const {
+    return carry.size() - carry_offset + batch.size();
+  }
+
+  RequestFramer framer;
+};
+
+EventLoopWorker::EventLoopWorker(size_t index, QueryEngine* engine,
+                                 EventLoopOptions options, LineHandler control)
+    : index_(index),
+      engine_(engine),
+      options_(options),
+      control_(std::move(control)),
+      read_buf_(64 * 1024) {}
+
+EventLoopWorker::~EventLoopWorker() {
+  RequestStop();
+  Join();
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+Status EventLoopWorker::Start(int listen_fd) {
+  listen_fd_ = listen_fd;
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    return Status::IOError(std::string("epoll_create1: ") +
+                           std::strerror(errno));
+  }
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) {
+    return Status::IOError(std::string("eventfd: ") + std::strerror(errno));
+  }
+
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLET;
+  ev.data.ptr = kListenTag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) < 0) {
+    return Status::IOError(std::string("epoll_ctl(listener): ") +
+                           std::strerror(errno));
+  }
+  ev.events = EPOLLIN;  // level-triggered: never missed, drained on wake
+  ev.data.ptr = kWakeTag;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
+    return Status::IOError(std::string("epoll_ctl(wakeup): ") +
+                           std::strerror(errno));
+  }
+
+  thread_ = std::thread([this] { Run(); });
+  return Status::OK();
+}
+
+void EventLoopWorker::RequestStop() {
+  stopping_.store(true, std::memory_order_release);
+  if (wake_fd_ >= 0) {
+    const uint64_t one = 1;
+    // Best effort: a full eventfd counter still wakes the loop.
+    [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  }
+}
+
+void EventLoopWorker::Join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void EventLoopWorker::Run() {
+  constexpr int kMaxEvents = 256;
+  epoll_event events[kMaxEvents];
+
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll fd gone; nothing left to serve
+    }
+    cycle_requests_ = 0;
+    for (int i = 0; i < n; ++i) {
+      void* tag = events[i].data.ptr;
+      if (tag == kWakeTag) {
+        uint64_t drained = 0;
+        [[maybe_unused]] ssize_t r =
+            ::read(wake_fd_, &drained, sizeof(drained));
+        continue;  // stopping_ is re-checked by the outer loop
+      }
+      if (tag == kListenTag) {
+        AcceptReady();
+        continue;
+      }
+      auto* conn = static_cast<Connection*>(tag);
+      if (conn->dead) continue;
+      const uint32_t ev = events[i].events;
+      if (ev & (EPOLLHUP | EPOLLERR)) {
+        CloseConnection(conn);
+        continue;
+      }
+      if (ev & EPOLLOUT) {
+        // The socket turned writable again after a short write: push the
+        // carried bytes out, then resume a drain paused on backpressure.
+        FlushConnection(conn);
+        if (!conn->dead && conn->read_ready &&
+            conn->pending_write_bytes() < options_.max_pending_write_bytes) {
+          DrainConnection(conn);
+        }
+      }
+      if (!conn->dead && (ev & (EPOLLIN | EPOLLRDHUP))) DrainConnection(conn);
+    }
+    SweepDead();
+  }
+
+  // Abrupt shutdown: the Server sequences any graceful draining above this
+  // layer; by the time the loop exits the process is going down or tests
+  // are tearing the server apart. The listener closes first so the kernel
+  // stops queueing new connections into a backlog nobody will ever accept.
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (auto& conn : connections_) {
+    if (!conn->dead) ::close(conn->fd);
+  }
+  connections_.clear();
+  dead_connections_ = 0;
+}
+
+void EventLoopWorker::AcceptReady() {
+  // Edge-triggered listener: accept until EAGAIN or the kernel hands the
+  // connection to a sibling worker's SO_REUSEPORT listener.
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN, or a transient per-connection accept failure
+    }
+    counters_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    if (options_.tcp_nodelay) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+    auto conn = std::make_unique<Connection>(this, fd, options_.max_line_bytes);
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLOUT | EPOLLET | EPOLLRDHUP;
+    ev.data.ptr = conn.get();
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      ::close(fd);
+      continue;
+    }
+    connections_.push_back(std::move(conn));
+  }
+}
+
+void EventLoopWorker::DrainConnection(Connection* conn) {
+  conn->read_ready = true;
+  while (conn->read_ready && !conn->dead) {
+    if (conn->pending_write_bytes() >= options_.max_pending_write_bytes) {
+      // Slow reader: stop pulling requests until the flush path brings the
+      // backlog under the bound (read_ready stays true so it resumes us).
+      return;
+    }
+    conn->batch_requests = 0;
+    while (conn->pending_write_bytes() < options_.max_pending_write_bytes) {
+      const ssize_t n = ::recv(conn->fd, read_buf_.data(), read_buf_.size(), 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          conn->read_ready = false;
+          break;
+        }
+        CloseConnection(conn);
+        return;
+      }
+      if (n == 0) {  // peer closed; anything unflushed is undeliverable
+        CloseConnection(conn);
+        return;
+      }
+      // The framer appends one response line per completed request to the
+      // batch buffer; false means the protocol-abuse bound tripped, and the
+      // contract is to drop the connection and its batched responses.
+      if (!conn->framer.HandleRequestBytes(
+              std::string_view(read_buf_.data(), static_cast<size_t>(n)),
+              &conn->batch)) {
+        CloseConnection(conn);
+        return;
+      }
+    }
+    FlushConnection(conn);
+  }
+}
+
+void EventLoopWorker::FlushConnection(Connection* conn) {
+  while (!conn->dead && conn->pending_write_bytes() > 0) {
+    // One vectored write covers the carried remainder plus the fresh batch
+    // (sendmsg is writev with MSG_NOSIGNAL: a dead peer must error out, not
+    // raise SIGPIPE in a serving thread).
+    iovec iov[2];
+    int iovcnt = 0;
+    size_t carry_left = conn->carry.size() - conn->carry_offset;
+    if (carry_left > 0) {
+      iov[iovcnt++] = {conn->carry.data() + conn->carry_offset, carry_left};
+    }
+    if (!conn->batch.empty()) {
+      iov[iovcnt++] = {conn->batch.data(), conn->batch.size()};
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<size_t>(iovcnt);
+    const ssize_t n = ::sendmsg(conn->fd, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;  // ET: EPOLLOUT later
+      CloseConnection(conn);
+      return;
+    }
+    size_t written = static_cast<size_t>(n);
+    const size_t from_carry = std::min(written, carry_left);
+    conn->carry_offset += from_carry;
+    written -= from_carry;
+    if (written > 0) {
+      // The whole carry went out and part of the batch followed: the batch
+      // remainder becomes the new carry.
+      conn->carry.assign(conn->batch, written, std::string::npos);
+      conn->carry_offset = 0;
+      conn->batch.clear();
+    }
+  }
+  if (conn->dead) return;
+  if (conn->carry_offset == conn->carry.size()) {
+    // Fully caught up on the carry; promote any batch remainder so the next
+    // drain starts with an empty batch buffer.
+    conn->carry = std::move(conn->batch);
+    conn->carry_offset = 0;
+  } else if (!conn->batch.empty()) {
+    conn->carry.erase(0, conn->carry_offset);
+    conn->carry_offset = 0;
+    conn->carry += conn->batch;
+  }
+  conn->batch.clear();
+}
+
+void EventLoopWorker::CloseConnection(Connection* conn) {
+  if (conn->dead) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  conn->fd = -1;
+  conn->dead = true;
+  ++dead_connections_;
+}
+
+void EventLoopWorker::SweepDead() {
+  if (dead_connections_ == 0) return;
+  for (size_t i = 0; i < connections_.size();) {
+    if (!connections_[i]->dead) {
+      ++i;
+      continue;
+    }
+    if (i + 1 != connections_.size()) {
+      connections_[i] = std::move(connections_.back());
+    }
+    connections_.pop_back();
+  }
+  dead_connections_ = 0;
+}
+
+std::string EventLoopWorker::HandleLine(Connection* conn,
+                                        std::string_view line) {
+  if (conn->batch_requests >= options_.max_batch_requests ||
+      cycle_requests_ >= options_.max_cycle_requests) {
+    counters_.requests_shed.fetch_add(1, std::memory_order_relaxed);
+    return "BUSY";
+  }
+  ++conn->batch_requests;
+  ++cycle_requests_;
+  counters_.requests_served.fetch_add(1, std::memory_order_relaxed);
+  if (control_) {
+    std::string response = control_(line);
+    if (!response.empty()) return response;
+  }
+  const uint64_t start = NowNanos();
+  std::string response = engine_->Execute(line);
+  histogram_.Record(NowNanos() - start);
+  return response;
+}
+
+}  // namespace serve
+}  // namespace scholar

@@ -1,0 +1,125 @@
+#ifndef SCHOLARRANK_SERVE_EVENT_LOOP_H_
+#define SCHOLARRANK_SERVE_EVENT_LOOP_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "serve/latency_histogram.h"
+#include "serve/query_engine.h"
+#include "serve/request_framer.h"
+#include "util/status.h"
+
+namespace scholar {
+namespace serve {
+
+/// Knobs of one event-loop worker (shared by every worker of a Server).
+struct EventLoopOptions {
+  /// A request line longer than this kills the connection (protocol abuse).
+  size_t max_line_bytes = 1 << 16;
+  /// Backpressure, per connection: requests answered from one socket drain
+  /// beyond this bound are shed with a typed `BUSY` line instead of being
+  /// executed — a pipelining client that outruns the server by a whole
+  /// batch gets an explicit signal, not unbounded queueing.
+  size_t max_batch_requests = 1024;
+  /// Backpressure, per worker: total requests executed in one epoll cycle.
+  /// Bounds a cycle's wall-clock when many connections are ready at once
+  /// with deep pipelines, so shed requests see a fast BUSY instead of
+  /// inflating every connection's tail latency.
+  size_t max_cycle_requests = 8192;
+  /// Flow control for slow readers: once this many unflushed response
+  /// bytes queue on a connection, the worker stops reading new requests
+  /// from it until the kernel accepts the backlog.
+  size_t max_pending_write_bytes = 4 << 20;
+  /// Disable Nagle on accepted sockets. Small single-request responses
+  /// otherwise wait out delayed-ACK timers, inflating p99 by ~40 ms.
+  bool tcp_nodelay = true;
+};
+
+/// Monotonic counters of one worker, readable from any thread (relaxed
+/// atomics; the worker thread is the only writer).
+struct WorkerCounters {
+  std::atomic<uint64_t> connections_accepted{0};
+  std::atomic<uint64_t> requests_served{0};
+  std::atomic<uint64_t> requests_shed{0};
+};
+
+/// One serving worker: an edge-triggered epoll loop owning a SO_REUSEPORT
+/// listener, its private QueryEngine replica, and every connection the
+/// kernel hashes to its listener.
+///
+/// All per-connection state is confined to the worker thread — no mutex on
+/// the request path. Pipelined requests that arrive in one TCP segment are
+/// parsed by the shared fuzz-hardened RequestFramer, answered as a batch,
+/// and flushed with a single writev. Server-level verbs (`stats`) and the
+/// backpressure policy wrap the engine through the framer's LineHandler
+/// seam, so the framer byte-handling the fuzzer exercises is exactly what
+/// runs here.
+class EventLoopWorker {
+ public:
+  /// `engine` is this worker's replica and must outlive the worker.
+  /// `control` answers server-scoped verbs (currently `stats`); empty
+  /// means the verb falls through to the engine.
+  EventLoopWorker(size_t index, QueryEngine* engine, EventLoopOptions options,
+                  LineHandler control);
+  ~EventLoopWorker();
+
+  EventLoopWorker(const EventLoopWorker&) = delete;
+  EventLoopWorker& operator=(const EventLoopWorker&) = delete;
+
+  /// Takes ownership of `listen_fd` (already bound + listening,
+  /// non-blocking) and starts the loop thread.
+  Status Start(int listen_fd);
+
+  /// Asks the loop to exit; returns immediately. Join() completes the
+  /// shutdown (open connections are closed, not drained — the Server
+  /// sequences stop-accepting vs. drain policy above this layer).
+  void RequestStop();
+  void Join();
+
+  const WorkerCounters& counters() const { return counters_; }
+  const LatencyHistogram& histogram() const { return histogram_; }
+
+ private:
+  struct Connection;
+
+  void Run();
+  void AcceptReady();
+  void DrainConnection(Connection* conn);
+  void FlushConnection(Connection* conn);
+  void CloseConnection(Connection* conn);
+  void SweepDead();
+  std::string HandleLine(Connection* conn, std::string_view line);
+
+  const size_t index_;
+  QueryEngine* const engine_;  // not owned
+  const EventLoopOptions options_;
+  const LineHandler control_;
+
+  int epoll_fd_ = -1;
+  int listen_fd_ = -1;
+  int wake_fd_ = -1;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+
+  /// Owned connections. A close during event dispatch only marks the entry
+  /// dead (later events of the same epoll batch may still carry its
+  /// pointer); SweepDead() reclaims entries between batches.
+  std::vector<std::unique_ptr<Connection>> connections_;
+  size_t dead_connections_ = 0;
+  /// Requests executed in the current epoll cycle (worker backpressure).
+  size_t cycle_requests_ = 0;
+  /// recv() scratch, reused across connections (single-threaded loop).
+  std::vector<char> read_buf_;
+
+  WorkerCounters counters_;
+  LatencyHistogram histogram_;
+};
+
+}  // namespace serve
+}  // namespace scholar
+
+#endif  // SCHOLARRANK_SERVE_EVENT_LOOP_H_

@@ -1,0 +1,40 @@
+#include "serve/latency_histogram.h"
+
+#include <chrono>
+
+namespace scholar {
+namespace serve {
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void MergedHistogram::Add(const LatencyHistogram& h) {
+  for (size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    const uint64_t c = h.bucket(i);
+    counts_[i] += c;
+    total_ += c;
+  }
+}
+
+uint64_t MergedHistogram::PercentileNanos(double p) const {
+  if (total_ == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  const double target = p * static_cast<double>(total_);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (static_cast<double>(seen) >= target && counts_[i] > 0) {
+      // Upper boundary of bucket i is 2^(i+1) - 1 ns (bit-width i+1).
+      return (i + 1 >= 64) ? ~uint64_t{0} : (uint64_t{1} << (i + 1)) - 1;
+    }
+  }
+  return ~uint64_t{0};
+}
+
+}  // namespace serve
+}  // namespace scholar

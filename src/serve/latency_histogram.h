@@ -1,0 +1,70 @@
+#ifndef SCHOLARRANK_SERVE_LATENCY_HISTOGRAM_H_
+#define SCHOLARRANK_SERVE_LATENCY_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace scholar {
+namespace serve {
+
+/// The serving tier's only wall-clock read. Everything in src/serve/ that
+/// wants a timestamp calls through here so the scholar_analyze determinism
+/// rule can scope its wall-clock check to exactly one module: latency
+/// measurement is allowed to read the clock, request handling is not.
+/// Monotonic (steady_clock), nanoseconds since an arbitrary epoch.
+uint64_t NowNanos();
+
+/// Log-bucketed latency histogram, one per event-loop worker.
+///
+/// Bucket b counts samples whose nanosecond value has bit-width b, i.e.
+/// bucket boundaries are powers of two (1ns, 2ns, 4ns, ... ~4.6 hours).
+/// Recording is a single relaxed atomic increment, so the hot path never
+/// takes a lock and concurrent scrapes (the STATS verb merges every
+/// worker's histogram) read without stopping the worker. Relaxed ordering
+/// is fine: a scrape needs a consistent-enough snapshot for percentiles,
+/// not a linearizable count.
+class LatencyHistogram {
+ public:
+  /// 64 buckets covers the whole uint64_t nanosecond range.
+  static constexpr size_t kBuckets = 64;
+
+  void Record(uint64_t nanos) {
+    const int width = 64 - __builtin_clzll(nanos | 1);
+    buckets_[static_cast<size_t>(width - 1)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  uint64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+};
+
+/// Scrape-side merge of one or more worker histograms: plain counters,
+/// built fresh per STATS request, no synchronization with the hot path
+/// beyond the relaxed bucket loads.
+class MergedHistogram {
+ public:
+  void Add(const LatencyHistogram& h);
+
+  uint64_t total() const { return total_; }
+
+  /// Upper bucket boundary (in nanoseconds) below which a fraction >= p of
+  /// samples fall; 0 when empty. Log-bucketed, so the answer is exact only
+  /// at power-of-two boundaries — the resolution an overload dashboard
+  /// needs, at one add per request.
+  uint64_t PercentileNanos(double p) const;
+
+ private:
+  std::array<uint64_t, LatencyHistogram::kBuckets> counts_{};
+  uint64_t total_ = 0;
+};
+
+}  // namespace serve
+}  // namespace scholar
+
+#endif  // SCHOLARRANK_SERVE_LATENCY_HISTOGRAM_H_

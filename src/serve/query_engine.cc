@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "serve/topk_merge.h"
 #include "util/string_util.h"
 
 namespace scholar {
@@ -12,6 +13,10 @@ namespace {
 /// Score formatting for wire responses: enough digits that two articles
 /// with different scores render differently on a 20M-node corpus.
 constexpr int kScoreDigits = 10;
+
+/// Shard count for the explicit `top_k_merge` verb when the engine is not
+/// configured for sharded serving (topk_shards == 0).
+constexpr size_t kDefaultMergeShards = 4;
 
 std::string Err(std::string message) { return "ERR " + std::move(message); }
 
@@ -43,6 +48,17 @@ std::string RenderTopPage(const ScoreSnapshot& snap, size_t k,
   for (NodeId id : snap.TopPage(offset, k)) {
     response += ' ';
     AppendIdScore(snap, id, &response);
+  }
+  return response;
+}
+
+std::string RenderMergedTopPage(const ScoreSnapshot& snap, size_t shards,
+                                size_t k, size_t offset) {
+  std::string response = "OK";
+  for (const ScoredId& entry :
+       ScatterGatherTopPage(snap.scores(), shards, offset, k)) {
+    response += ' ';
+    AppendIdScore(snap, entry.id, &response);
   }
   return response;
 }
@@ -82,9 +98,9 @@ std::string QueryEngine::Execute(std::string_view line) {
            " corpus=" + snap.meta().corpus_name;
   }
 
-  if (command == "top_k") {
+  if (command == "top_k" || command == "top_k_merge") {
     if (tokens.size() < 2 || tokens.size() > 3) {
-      return Err("usage: top_k <k> [offset]");
+      return Err("usage: " + std::string(command) + " <k> [offset]");
     }
     size_t k = 0, offset = 0;
     if (!ParseSize(tokens[1], &k)) return Err("bad k");
@@ -94,13 +110,23 @@ std::string QueryEngine::Execute(std::string_view line) {
     if (k > options_.max_k) {
       return Err("k exceeds max_k=" + std::to_string(options_.max_k));
     }
+    // Clamp audit: ParseSize admits at most INT64_MAX, so offset + k stays
+    // below 2^64 (no size_t wraparound), and TopPage / ScatterGatherTopPage
+    // both answer an offset at or past the end with an empty page. The
+    // cache key spells out every bound that shapes the page — generation,
+    // k AND offset — so distinct pages can never collide, and both render
+    // paths produce identical bytes so they may share an entry.
+    const bool merge = command == "top_k_merge" || options_.topk_shards > 0;
     const std::string cache_key = std::to_string(live->generation) + ":" +
                                   std::to_string(k) + ":" +
                                   std::to_string(offset);
     if (std::optional<std::string> cached = top_cache_.Get(cache_key)) {
       return *std::move(cached);
     }
-    std::string response = RenderTopPage(snap, k, offset);
+    const size_t shards =
+        options_.topk_shards > 0 ? options_.topk_shards : kDefaultMergeShards;
+    std::string response = merge ? RenderMergedTopPage(snap, shards, k, offset)
+                                 : RenderTopPage(snap, k, offset);
     top_cache_.Put(cache_key, response);
     return response;
   }

@@ -20,6 +20,13 @@ struct QueryEngineOptions {
   /// When false, the `reload` admin command is rejected (loadgen-facing
   /// deployments may not want file paths accepted over the wire).
   bool allow_reload = true;
+  /// When > 0, `top_k` answers through the scatter-gather merge path with
+  /// this many id-space shards instead of slicing the precomputed order —
+  /// bit-identical output (same score-desc/id-asc convention), exercised
+  /// in production as the serving half of partitioned ranking. 0 keeps the
+  /// O(k) order-slice fast path; `top_k_merge` remains available either
+  /// way for side-by-side comparison.
+  size_t topk_shards = 0;
 };
 
 /// Executes one line-protocol request against the live snapshot.
@@ -27,6 +34,7 @@ struct QueryEngineOptions {
 /// Requests (one per line, space-separated tokens):
 ///
 ///   top_k <k> [offset]            OK <id>:<score> ... (best first)
+///   top_k_merge <k> [offset]      same page via scatter-gather shard merge
 ///   score <id>                    OK <score>
 ///   rank <id>                     OK <rank>            (0 = best)
 ///   percentile <id>               OK <pct>             (1 = best)
@@ -37,9 +45,16 @@ struct QueryEngineOptions {
 ///
 /// Every failure is a one-line `ERR <message>`; the engine never throws and
 /// never closes the connection itself. Responses for paged top-k are
-/// memoized in an LRU cache keyed by (generation, k, offset), so a cache
-/// entry can never outlive a hot-swap: the swap bumps the generation and
-/// old keys just age out.
+/// memoized in an LRU cache; the key spells out every bound that shapes
+/// the page — (generation, k, offset) — so no two distinct pages can ever
+/// collide and a cache entry can never outlive a hot-swap: the swap bumps
+/// the generation and old keys just age out.
+///
+/// The multithreaded server gives each event-loop worker its own
+/// QueryEngine replica over the shared SnapshotManager: each replica pins
+/// the manager's generation per request (the Current() shared_ptr) and
+/// owns a private LRU cache, so the request hot path crosses no
+/// shared-cache mutex.
 class QueryEngine {
  public:
   explicit QueryEngine(SnapshotManager* manager, QueryEngineOptions options = {});

@@ -13,7 +13,7 @@ bool RequestFramer::HandleRequestBytes(std::string_view bytes,
        nl = pending_.find('\n', start)) {
     std::string_view line(pending_.data() + start, nl - start);
     if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
-    *responses += engine_->Execute(line);
+    *responses += handler_(line);
     *responses += '\n';
     start = nl + 1;
   }

@@ -2,19 +2,27 @@
 #define SCHOLARRANK_SERVE_REQUEST_FRAMER_H_
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <string_view>
+#include <utility>
 
 #include "serve/query_engine.h"
 
 namespace scholar {
 namespace serve {
 
+/// Answers one complete request line (no trailing newline) with one
+/// response line (no trailing newline). The event loop installs a handler
+/// that layers backpressure accounting and the STATS verb in front of its
+/// QueryEngine replica; tests and the fuzz harness bind an engine directly.
+using LineHandler = std::function<std::string(std::string_view)>;
+
 /// Socketless framing layer of the line protocol: turns raw bytes received
-/// from an untrusted peer into QueryEngine requests and batched response
-/// lines. Server feeds it each recv() chunk; tests and the fuzz harness
-/// feed it arbitrary byte sequences directly — partial lines, many lines
-/// per chunk, oversized garbage — without a TCP socket in the loop.
+/// from an untrusted peer into request lines and batched response lines.
+/// The server feeds it each recv() chunk; tests and the fuzz harness feed
+/// it arbitrary byte sequences directly — partial lines, many lines per
+/// chunk, oversized garbage — without a TCP socket in the loop.
 ///
 /// The framer owns the incomplete-line carry-over between chunks and the
 /// protocol-abuse bound: when the unterminated tail outgrows
@@ -22,9 +30,18 @@ namespace serve {
 /// ignored.
 class RequestFramer {
  public:
-  /// `engine` must outlive the framer.
+  /// Convenience binding: every complete line goes straight to
+  /// `engine->Execute`. `engine` must outlive the framer.
   RequestFramer(QueryEngine* engine, size_t max_line_bytes)
-      : engine_(engine), max_line_bytes_(max_line_bytes) {}
+      : RequestFramer(
+            [engine](std::string_view line) { return engine->Execute(line); },
+            max_line_bytes) {}
+
+  /// General seam: the event loop wraps its engine replica with
+  /// backpressure/shedding and server-level verbs before the framer sees a
+  /// single byte. `handler` must remain valid for the framer's lifetime.
+  RequestFramer(LineHandler handler, size_t max_line_bytes)
+      : handler_(std::move(handler)), max_line_bytes_(max_line_bytes) {}
 
   /// Consumes one chunk of connection bytes. Every '\n'-terminated request
   /// completed by this chunk is executed in order and its response line
@@ -39,7 +56,7 @@ class RequestFramer {
   size_t pending_bytes() const { return pending_.size(); }
 
  private:
-  QueryEngine* const engine_;  // not owned
+  const LineHandler handler_;
   const size_t max_line_bytes_;
   std::string pending_;
   bool condemned_ = false;

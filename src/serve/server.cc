@@ -1,173 +1,146 @@
 #include "serve/server.h"
 
 #include <netinet/in.h>
-#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
-#include <string>
 #include <string_view>
-#include <vector>
+#include <utility>
 
-#include "serve/request_framer.h"
+#include "serve/latency_histogram.h"
 
 namespace scholar {
 namespace serve {
-namespace {
 
-/// Writes the whole buffer, absorbing short writes. MSG_NOSIGNAL turns a
-/// dead peer into an error return instead of SIGPIPE.
-bool SendAll(int fd, const std::string& data) {
-  size_t sent = 0;
-  while (sent < data.size()) {
-    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
-                       MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<size_t>(n);
+Status ApplyListenerOptions(int fd, const ServerOptions& options) {
+  const int reuse_addr = options.reuse_addr ? 1 : 0;
+  if (::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse_addr,
+                   sizeof(reuse_addr)) < 0) {
+    return Status::IOError(std::string("setsockopt(SO_REUSEADDR): ") +
+                           std::strerror(errno));
   }
-  return true;
+  const int reuse_port = options.reuse_port ? 1 : 0;
+  if (::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &reuse_port,
+                   sizeof(reuse_port)) < 0) {
+    return Status::IOError(std::string("setsockopt(SO_REUSEPORT): ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
 }
 
-}  // namespace
+Server::Server(SnapshotManager* manager, QueryEngineOptions engine_options,
+               ServerOptions options)
+    : manager_(manager),
+      engine_options_(engine_options),
+      options_(options) {
+  EventLoopOptions loop_options;
+  loop_options.max_line_bytes = options_.max_line_bytes;
+  loop_options.max_batch_requests = options_.max_batch_requests;
+  loop_options.max_cycle_requests = options_.max_cycle_requests;
+  loop_options.max_pending_write_bytes = options_.max_pending_write_bytes;
+  loop_options.tcp_nodelay = options_.tcp_nodelay;
 
-Server::Server(QueryEngine* engine, ServerOptions options)
-    : engine_(engine), options_(options), pool_(options.num_threads) {}
+  // Server-scoped verbs, layered in front of every engine replica through
+  // the framer seam. RenderStats reads only atomics, so answering from any
+  // worker thread is safe.
+  LineHandler control = [this](std::string_view line) {
+    if (line == "stats") return RenderStats();
+    return std::string();
+  };
+
+  for (size_t i = 0; i < options_.num_workers; ++i) {
+    engines_.push_back(
+        std::make_unique<QueryEngine>(manager_, engine_options_));
+    workers_.push_back(std::make_unique<EventLoopWorker>(
+        i, engines_.back().get(), loop_options, control));
+  }
+}
 
 Server::~Server() { Stop(); }
 
-Status Server::Start() {
-  if (started_.exchange(true)) {
-    return Status::FailedPrecondition("server already started");
-  }
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
+Status Server::BindListener(uint16_t port, int* fd_out,
+                            uint16_t* bound_port_out) {
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
     return Status::IOError(std::string("socket: ") + std::strerror(errno));
   }
-  int reuse = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  Status status = ApplyListenerOptions(fd, options_);
+  if (!status.ok()) {
+    ::close(fd);
+    return status;
+  }
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_ANY);
-  addr.sin_port = htons(options_.port);
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    Status status = Status::IOError(std::string("bind port ") +
-                                    std::to_string(options_.port) + ": " +
-                                    std::strerror(errno));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    status = Status::IOError(std::string("bind port ") + std::to_string(port) +
+                             ": " + std::strerror(errno));
+    ::close(fd);
     return status;
   }
   socklen_t addr_len = sizeof(addr);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
-                    &addr_len) < 0) {
-    Status status =
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) < 0) {
+    status =
         Status::IOError(std::string("getsockname: ") + std::strerror(errno));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+    ::close(fd);
     return status;
   }
-  port_ = ntohs(addr.sin_port);
-  if (::listen(listen_fd_, options_.backlog) < 0) {
-    Status status =
-        Status::IOError(std::string("listen: ") + std::strerror(errno));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  if (::listen(fd, options_.backlog) < 0) {
+    status = Status::IOError(std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
     return status;
   }
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  *fd_out = fd;
+  *bound_port_out = ntohs(addr.sin_port);
   return Status::OK();
 }
 
-void Server::AcceptLoop() {
-  for (;;) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      // Stop() shut the listening socket down; anything else on a closed
-      // or failing listener also ends the loop.
-      return;
-    }
-    if (stopping_.load(std::memory_order_acquire)) {
-      ::close(fd);
-      return;
-    }
-    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
-    int nodelay = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
-    if (!pool_.Submit([this, fd] { HandleConnection(fd); })) {
-      ::close(fd);
-    }
+Status Server::Start() {
+  if (options_.num_workers == 0) {
+    return Status::InvalidArgument("num_workers must be >= 1");
   }
-}
-
-void Server::HandleConnection(int fd) {
-  {
-    MutexLock lock(conn_mu_);
-    // Checked under conn_mu_ so this cannot race Stop()'s sweep: either the
-    // sweep sees the fd in the set, or we see stopping_ here and bail.
-    if (stopping_.load(std::memory_order_acquire)) {
-      ::close(fd);
-      return;
-    }
-    open_connections_.insert(fd);
+  if (options_.num_workers > 1 && !options_.reuse_port) {
+    return Status::InvalidArgument(
+        "multiple workers need one SO_REUSEPORT listener each; "
+        "set reuse_port or use num_workers=1");
+  }
+  if (started_.exchange(true)) {
+    return Status::FailedPrecondition("server already started");
   }
 
-  // The framer owns line reassembly and the protocol-abuse bound; this loop
-  // only moves bytes. Answering every complete line in a chunk with one
-  // send lets a pipelining client pay one syscall round trip per batch.
-  RequestFramer framer(engine_, options_.max_line_bytes);
-  std::string responses;
-  std::vector<char> buffer(64 * 1024);
-  for (;;) {
-    ssize_t n = ::recv(fd, buffer.data(), buffer.size(), 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;  // peer closed, connection reset, or shut down
-    responses.clear();
-    const bool keep = framer.HandleRequestBytes(
-        std::string_view(buffer.data(), static_cast<size_t>(n)), &responses);
-    if (!keep) break;  // protocol abuse
-    if (!responses.empty() && !SendAll(fd, responses)) break;
+  port_ = options_.port;
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    // The first bind resolves port=0 to a concrete port; siblings then bind
+    // the same resolved port so the kernel balances across them.
+    int listen_fd = -1;
+    uint16_t bound_port = 0;
+    Status status = BindListener(port_, &listen_fd, &bound_port);
+    if (status.ok()) {
+      port_ = bound_port;
+      status = workers_[i]->Start(listen_fd);
+    }
+    if (!status.ok()) {
+      for (size_t j = 0; j < i; ++j) workers_[j]->RequestStop();
+      for (size_t j = 0; j < i; ++j) workers_[j]->Join();
+      return status;
+    }
   }
-
-  UntrackConnection(fd);
-  ::close(fd);
-}
-
-void Server::UntrackConnection(int fd) {
-  MutexLock lock(conn_mu_);
-  open_connections_.erase(fd);
+  return Status::OK();
 }
 
 void Server::Stop() {
   MutexLock stop_lock(stop_mu_);
   if (stopped_) return;
-  stopping_.store(true, std::memory_order_release);
-
-  if (started_.load(std::memory_order_acquire) && listen_fd_ >= 0) {
-    // Wake the accept loop; shutdown() (not just close()) guarantees a
-    // blocked accept(2) returns.
-    ::shutdown(listen_fd_, SHUT_RDWR);
-  }
-  if (accept_thread_.joinable()) accept_thread_.join();
-
-  {
-    // Unblock every in-flight handler read; handlers then drain their
-    // final batch and exit.
-    MutexLock lock(conn_mu_);
-    for (int fd : open_connections_) ::shutdown(fd, SHUT_RDWR);  // NOLINT(determinism): shutdown order is irrelevant, side effects only
-  }
-  pool_.Shutdown();
-
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  if (started_.load(std::memory_order_acquire)) {
+    // Signal every worker first, then join: the loops wind down in
+    // parallel, each closing its own listener and connections.
+    for (auto& worker : workers_) worker->RequestStop();
+    for (auto& worker : workers_) worker->Join();
   }
   stopped_ = true;
   stopped_cv_.NotifyAll();
@@ -176,6 +149,44 @@ void Server::Stop() {
 void Server::Wait() {
   MutexLock lock(stop_mu_);
   while (!stopped_) stopped_cv_.Wait(stop_mu_);
+}
+
+uint64_t Server::connections_accepted() const {
+  uint64_t total = 0;
+  for (const auto& worker : workers_) {
+    total += worker->counters().connections_accepted.load(
+        std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t Server::requests_served() const {
+  uint64_t total = 0;
+  for (const auto& worker : workers_) {
+    total +=
+        worker->counters().requests_served.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t Server::requests_shed() const {
+  uint64_t total = 0;
+  for (const auto& worker : workers_) {
+    total += worker->counters().requests_shed.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::string Server::RenderStats() const {
+  MergedHistogram merged;
+  for (const auto& worker : workers_) merged.Add(worker->histogram());
+  return "OK workers=" + std::to_string(workers_.size()) +
+         " accepted=" + std::to_string(connections_accepted()) +
+         " served=" + std::to_string(requests_served()) +
+         " shed=" + std::to_string(requests_shed()) +
+         " p50_ns=" + std::to_string(merged.PercentileNanos(0.50)) +
+         " p90_ns=" + std::to_string(merged.PercentileNanos(0.90)) +
+         " p99_ns=" + std::to_string(merged.PercentileNanos(0.99));
 }
 
 }  // namespace serve

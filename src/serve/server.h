@@ -3,14 +3,16 @@
 
 #include <atomic>
 #include <cstdint>
-#include <thread>
-#include <unordered_set>
+#include <memory>
+#include <string>
+#include <vector>
 
+#include "serve/event_loop.h"
 #include "serve/query_engine.h"
+#include "serve/snapshot_manager.h"
 #include "util/mutex.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
-#include "util/thread_pool.h"
 
 namespace scholar {
 namespace serve {
@@ -19,73 +21,100 @@ struct ServerOptions {
   /// TCP port to bind on 0.0.0.0; 0 asks the kernel for an ephemeral port
   /// (read the result from Server::port()).
   uint16_t port = 7601;
-  /// Connection-handler threads. Each connection is pinned to one worker
-  /// for its lifetime, so this is also the concurrent-connection limit;
-  /// further accepts queue inside the pool until a handler finishes.
-  size_t num_threads = 4;
-  /// listen(2) backlog.
+  /// Event-loop workers. Each owns its own SO_REUSEPORT listener, epoll
+  /// instance, and QueryEngine replica; the kernel load-balances incoming
+  /// connections across the listeners.
+  size_t num_workers = 4;
+  /// listen(2) backlog, per listener.
   int backlog = 128;
   /// A request line longer than this kills the connection (protocol abuse).
   size_t max_line_bytes = 1 << 16;
+  /// SO_REUSEADDR on listeners: re-bind the port while old connections
+  /// linger in TIME_WAIT (restart-friendly; off for exclusive binds).
+  bool reuse_addr = true;
+  /// SO_REUSEPORT on listeners. Required when num_workers > 1 — the
+  /// per-worker listener design does not exist without it, so Start() fails
+  /// with InvalidArgument rather than silently degrading.
+  bool reuse_port = true;
+  /// TCP_NODELAY on accepted sockets (see EventLoopOptions::tcp_nodelay).
+  bool tcp_nodelay = true;
+  /// Backpressure bounds, forwarded to every worker (see EventLoopOptions).
+  size_t max_batch_requests = 1024;
+  size_t max_cycle_requests = 8192;
+  size_t max_pending_write_bytes = 4 << 20;
 };
 
-/// Line-protocol TCP front end over a QueryEngine.
+/// Applies the listener-level socket options of `options` (SO_REUSEADDR,
+/// SO_REUSEPORT) to `fd`. Split out so tests can verify the plumbing with
+/// getsockopt against both polarities without starting a server.
+Status ApplyListenerOptions(int fd, const ServerOptions& options);
+
+/// Line-protocol TCP front end: N event-loop workers, each an
+/// edge-triggered epoll loop with its own SO_REUSEPORT listener and its own
+/// QueryEngine replica over the shared SnapshotManager. Connections are
+/// load-balanced across workers by the kernel's listener hash and stay on
+/// one worker for life, so the request hot path touches no shared mutex —
+/// each replica pins the snapshot generation per request and owns a private
+/// response cache.
 ///
 /// One request per '\n'-terminated line, one response line back, in order;
-/// clients may pipeline. Lifecycle: Start() binds/listens and spawns the
-/// accept loop, Stop() initiates shutdown (stops accepting, shuts down the
-/// open connections so blocked reads return, drains workers) and is safe to
-/// call from any thread — including a signal-watcher thread implementing
-/// graceful SIGINT. Wait() blocks until Stop() has completed.
+/// clients may pipeline (a batch arriving in one TCP segment is parsed and
+/// answered with a single vectored write). Overload is shed with typed
+/// `BUSY` lines instead of unbounded queueing. The server-level `stats`
+/// verb answers with counters and a latency histogram merged across
+/// workers.
+///
+/// Lifecycle: Start() binds/listens and spawns the worker threads, Stop()
+/// initiates shutdown and is safe to call from any thread — including a
+/// signal-watcher thread implementing graceful SIGINT. Wait() blocks until
+/// Stop() has completed.
 class Server {
  public:
-  /// `engine` must outlive the server.
-  Server(QueryEngine* engine, ServerOptions options);
+  /// `manager` must outlive the server. Each worker gets its own
+  /// QueryEngine replica constructed from `engine_options`.
+  Server(SnapshotManager* manager, QueryEngineOptions engine_options,
+         ServerOptions options);
   ~Server();
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds, listens, and starts accepting. Fails with IOError when the
-  /// port is unavailable.
+  /// Binds the per-worker listeners and starts the loops. Fails with
+  /// IOError when the port is unavailable and InvalidArgument on an
+  /// inconsistent option set (num_workers == 0, or multiple workers
+  /// without reuse_port).
   Status Start();
 
   /// The actually bound port (resolves port=0), valid after Start().
   uint16_t port() const { return port_; }
 
   /// Graceful shutdown; idempotent, callable from any thread.
-  void Stop() EXCLUDES(stop_mu_, conn_mu_);
+  void Stop() EXCLUDES(stop_mu_);
 
   /// Blocks until the server has fully stopped.
   void Wait() EXCLUDES(stop_mu_);
 
-  /// Connections accepted since Start() (diagnostics).
-  uint64_t connections_accepted() const {
-    return connections_accepted_.load(std::memory_order_relaxed);
-  }
+  /// Counters summed across workers (diagnostics; relaxed reads).
+  uint64_t connections_accepted() const;
+  uint64_t requests_served() const;
+  uint64_t requests_shed() const;
+
+  /// The `stats` response line: worker count, summed counters, and
+  /// latency percentiles from the merged per-worker histograms.
+  std::string RenderStats() const;
 
  private:
-  void AcceptLoop();
-  void HandleConnection(int fd) EXCLUDES(conn_mu_);
+  Status BindListener(uint16_t port, int* fd_out, uint16_t* bound_port_out);
 
-  /// Tracks live connection fds so Stop() can shut them down to unblock
-  /// handler reads.
-  void TrackConnection(int fd) EXCLUDES(conn_mu_);
-  void UntrackConnection(int fd) EXCLUDES(conn_mu_);
-
-  QueryEngine* const engine_;  // not owned
+  SnapshotManager* const manager_;  // not owned
+  const QueryEngineOptions engine_options_;
   const ServerOptions options_;
-  ThreadPool pool_;
 
-  int listen_fd_ = -1;
+  std::vector<std::unique_ptr<QueryEngine>> engines_;
+  std::vector<std::unique_ptr<EventLoopWorker>> workers_;
+
   uint16_t port_ = 0;
-  std::thread accept_thread_;
-  std::atomic<bool> stopping_{false};
   std::atomic<bool> started_{false};
-  std::atomic<uint64_t> connections_accepted_{0};
-
-  Mutex conn_mu_;
-  std::unordered_set<int> open_connections_ GUARDED_BY(conn_mu_);
 
   Mutex stop_mu_;  // serializes Stop() callers, guards stopped_
   CondVar stopped_cv_;

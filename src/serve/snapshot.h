@@ -64,6 +64,9 @@ class ScoreSnapshot {
 
   /// Per-article lookups. Callers must pass id < num_nodes().
   double score(NodeId id) const { return scores_[id]; }
+  /// The full score array, indexed by id — the scatter-gather top-k path
+  /// partitions this id space into shards.
+  std::span<const double> scores() const { return scores_; }
   uint32_t rank(NodeId id) const { return ranks_[id]; }
   double percentile(NodeId id) const { return percentiles_[id]; }
   Year year(NodeId id) const { return years_[id]; }

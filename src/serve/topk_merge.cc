@@ -1,0 +1,104 @@
+#include "serve/topk_merge.h"
+
+#include <algorithm>
+
+namespace scholar {
+namespace serve {
+namespace {
+
+/// Heap comparator for the per-shard bounded min-heap: the *worst* entry
+/// sits on top so it can be evicted when a better candidate arrives.
+bool WorstOnTop(const ScoredId& a, const ScoredId& b) {
+  return RanksBefore(a, b);
+}
+
+}  // namespace
+
+std::vector<ScoredId> ShardTopK(std::span<const double> scores, NodeId begin,
+                                NodeId end, size_t k) {
+  std::vector<ScoredId> heap;
+  if (k == 0 || begin >= end) return heap;
+  heap.reserve(std::min<size_t>(k, end - begin));
+  for (NodeId id = begin; id < end; ++id) {
+    const ScoredId candidate{scores[id], id};
+    if (heap.size() < k) {
+      heap.push_back(candidate);
+      std::push_heap(heap.begin(), heap.end(), WorstOnTop);
+      continue;
+    }
+    if (!RanksBefore(candidate, heap.front())) continue;
+    std::pop_heap(heap.begin(), heap.end(), WorstOnTop);
+    heap.back() = candidate;
+    std::push_heap(heap.begin(), heap.end(), WorstOnTop);
+  }
+  // sort_heap produces ascending order under the comparator; "ascending"
+  // under better-than means best first — the return contract.
+  std::sort_heap(heap.begin(), heap.end(), WorstOnTop);
+  return heap;
+}
+
+std::vector<ScoredId> MergeTopK(
+    const std::vector<std::vector<ScoredId>>& partials, size_t k) {
+  // k-way merge over sorted runs; the frontier heap holds one cursor per
+  // shard with the best head on top.
+  struct Cursor {
+    const std::vector<ScoredId>* run;
+    size_t pos;
+  };
+  auto head_worse = [](const Cursor& a, const Cursor& b) {
+    // std::*_heap keeps the max on top, so "max" must mean best head.
+    return RanksBefore((*b.run)[b.pos], (*a.run)[a.pos]);
+  };
+  std::vector<Cursor> frontier;
+  frontier.reserve(partials.size());
+  for (const std::vector<ScoredId>& run : partials) {
+    if (!run.empty()) frontier.push_back({&run, 0});
+  }
+  std::make_heap(frontier.begin(), frontier.end(), head_worse);
+
+  std::vector<ScoredId> merged;
+  merged.reserve(k);
+  while (merged.size() < k && !frontier.empty()) {
+    std::pop_heap(frontier.begin(), frontier.end(), head_worse);
+    Cursor& best = frontier.back();
+    merged.push_back((*best.run)[best.pos]);
+    if (++best.pos < best.run->size()) {
+      std::push_heap(frontier.begin(), frontier.end(), head_worse);
+    } else {
+      frontier.pop_back();
+    }
+  }
+  return merged;
+}
+
+std::vector<ScoredId> ScatterGatherTopPage(std::span<const double> scores,
+                                           size_t shards, size_t offset,
+                                           size_t k) {
+  const size_t n = scores.size();
+  if (n == 0 || k == 0 || offset >= n) return {};
+  shards = std::max<size_t>(1, std::min(shards, n));
+  // A page [offset, offset+k) needs the global best offset+k; every shard
+  // must over-fetch that many since one shard could hold the whole prefix.
+  // offset < n and k <= n after this clamp, so offset + need cannot wrap.
+  const size_t need = std::min(offset + std::min(k, n), n);
+
+  std::vector<std::vector<ScoredId>> partials;
+  partials.reserve(shards);
+  const size_t per_shard = n / shards;
+  const size_t remainder = n % shards;
+  NodeId begin = 0;
+  for (size_t s = 0; s < shards; ++s) {
+    const NodeId end =
+        begin + static_cast<NodeId>(per_shard + (s < remainder ? 1 : 0));
+    partials.push_back(ShardTopK(scores, begin, end, need));
+    begin = end;
+  }
+  std::vector<ScoredId> merged = MergeTopK(partials, need);
+  if (offset >= merged.size()) return {};
+  merged.erase(merged.begin(),
+               merged.begin() + static_cast<ptrdiff_t>(offset));
+  return merged;
+}
+
+}  // namespace serve
+}  // namespace scholar

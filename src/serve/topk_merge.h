@@ -1,0 +1,59 @@
+#ifndef SCHOLARRANK_SERVE_TOPK_MERGE_H_
+#define SCHOLARRANK_SERVE_TOPK_MERGE_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace scholar {
+namespace serve {
+
+/// Scatter-gather top-k over a partitioned id space.
+///
+/// The serving-side half of the ROADMAP partitioning item: when scores are
+/// sharded (per-worker replicas today, per-partition score files at MAG
+/// scale), there is no global precomputed order to slice a page from.
+/// Instead each shard keeps a bounded partial heap of its own best
+/// articles and a gather step merges the per-shard heaps. Results are
+/// bit-identical to the ScoreSnapshot fast path: ordering is score
+/// descending with ascending-id tie-break, the same convention
+/// SortedByScore() bakes into the snapshot's order section.
+
+/// One (score, id) candidate. Ordering: higher score wins, equal scores
+/// fall back to the smaller id.
+struct ScoredId {
+  double score = 0.0;
+  NodeId id = 0;
+};
+
+/// True when `a` ranks strictly better than `b`.
+inline bool RanksBefore(const ScoredId& a, const ScoredId& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.id < b.id;
+}
+
+/// The best `k` articles among ids [begin, end), best first, via a bounded
+/// min-heap (O(range * log k), O(k) memory — never materializes the shard).
+std::vector<ScoredId> ShardTopK(std::span<const double> scores, NodeId begin,
+                                NodeId end, size_t k);
+
+/// Merges per-shard partial results (each sorted best-first, as ShardTopK
+/// returns) into the global best `k`, best first. Heap-based k-way merge:
+/// O(k log s) for s shards.
+std::vector<ScoredId> MergeTopK(
+    const std::vector<std::vector<ScoredId>>& partials, size_t k);
+
+/// Partitions [0, scores.size()) into `shards` contiguous ranges, scatters
+/// ShardTopK over them, and gathers with MergeTopK. Returns the page
+/// [offset, offset + k) of the global order, best first; empty when offset
+/// is past the end. `shards` is clamped to [1, scores.size()].
+std::vector<ScoredId> ScatterGatherTopPage(std::span<const double> scores,
+                                           size_t shards, size_t offset,
+                                           size_t k);
+
+}  // namespace serve
+}  // namespace scholar
+
+#endif  // SCHOLARRANK_SERVE_TOPK_MERGE_H_

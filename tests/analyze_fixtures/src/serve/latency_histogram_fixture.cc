@@ -1,0 +1,22 @@
+// determinism fixture, sub-check (c) exemption: files under the
+// src/serve/latency_histogram* prefix are the one sanctioned clock
+// reader in the order-sensitive scopes — duration measurement never
+// feeds back into ranking output. Must produce no findings.
+
+#include <chrono>
+#include <ctime>
+
+namespace scholar {
+namespace serve {
+
+long NowNanosFixture() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+             .count() +
+         ts.tv_sec;
+}
+
+}  // namespace serve
+}  // namespace scholar

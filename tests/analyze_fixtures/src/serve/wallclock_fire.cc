@@ -1,0 +1,32 @@
+// determinism fixture, sub-check (c): explicit clock reads inside the
+// serving tier — a path-scoped order-sensitive subsystem that is NOT the
+// latency histogram module. Fed to the scholar_analyze binary by
+// scholar_analyze_test; never compiled.
+//
+// Expected findings (4):
+//   clock_gettime(...)
+//   gettimeofday(...)
+//   timerfd_create(...)
+//   steady_clock::now()
+
+#include <chrono>
+#include <ctime>
+#include <sys/time.h>
+#include <sys/timerfd.h>
+
+namespace scholar {
+namespace serve {
+
+long FreshnessStamp() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  timeval tv{};
+  gettimeofday(&tv, nullptr);
+  const int fd = timerfd_create(CLOCK_MONOTONIC, 0);
+  const auto now = std::chrono::steady_clock::now();
+  return ts.tv_sec + tv.tv_sec + fd +
+         now.time_since_epoch().count();
+}
+
+}  // namespace serve
+}  // namespace scholar

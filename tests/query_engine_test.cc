@@ -1,6 +1,10 @@
 #include "serve/query_engine.h"
 
+#include <atomic>
+#include <chrono>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -208,6 +212,137 @@ TEST_F(QueryEngineTest, ReloadCanBeDisabled) {
   options.allow_reload = false;
   QueryEngine engine(&manager_, options);
   EXPECT_EQ(engine.Execute("reload /tmp/x.bin"), "ERR reload disabled");
+}
+
+TEST_F(QueryEngineTest, TopKMergeMatchesPrecomputedOrderBitForBit) {
+  // The scatter-gather path must render exactly the bytes of the
+  // order-slice fast path, across shard routings and page shapes — on a
+  // snapshot with score ties so the id tie-break is load-bearing.
+  CitationGraph graph = testing_util::MakeRandomGraph(64, 2.0, 2000, 8, 11);
+  RankingOutput ranking;
+  ranking.scores.resize(64);
+  for (size_t i = 0; i < 64; ++i) {
+    ranking.scores[i] = static_cast<double>((i * 7) % 16) / 16.0;  // many ties
+  }
+  ranking.ranks = ScoresToRanks(ranking.scores);
+  ranking.percentiles = RankPercentiles(ranking.scores);
+  SnapshotMeta meta;
+  meta.snapshot_id = 3;
+  manager_.Install(
+      ScoreSnapshot::Build(graph, ranking, std::move(meta)).value());
+
+  QueryEngineOptions sharded_options;
+  sharded_options.topk_shards = 5;  // route plain top_k through the merge
+  QueryEngine sharded(&manager_, sharded_options);
+  for (const std::string page :
+       {"1", "3", "64", "1000", "3 0", "3 10", "5 62", "5 64", "5 9999"}) {
+    const std::string fast = engine_.Execute("top_k " + page);
+    EXPECT_EQ(engine_.Execute("top_k_merge " + page), fast) << page;
+    EXPECT_EQ(sharded.Execute("top_k " + page), fast) << page;
+    EXPECT_EQ(sharded.Execute("top_k_merge " + page), fast) << page;
+  }
+}
+
+TEST_F(QueryEngineTest, PagedTopKOffsetCannotWrapAround) {
+  // Regression: offset + k near the integer ceiling must clamp to an empty
+  // page, never wrap around to serve the head of the ranking. ParseSize
+  // rejects anything above INT64_MAX, so the sum stays below 2^64.
+  EXPECT_EQ(engine_.Execute("top_k 10 9223372036854775807"), "OK");
+  EXPECT_EQ(engine_.Execute("top_k_merge 10 9223372036854775807"), "OK");
+  EXPECT_EQ(engine_.Execute("top_k 10 18446744073709551615"),
+            "ERR bad offset");
+  EXPECT_EQ(engine_.Execute("top_k 10 18446744073709551606"),
+            "ERR bad offset");  // would wrap exactly to 0 if parsed raw
+}
+
+TEST_F(QueryEngineTest, CacheKeySeparatesKFromOffset) {
+  // (k=2, offset=0) and (k=0, offset=2) must hit different cache entries:
+  // a key that concatenated the bounds ambiguously would alias them.
+  EXPECT_EQ(engine_.Execute("top_k 2 0"),
+            "OK 0:0.3000000000 2:0.2500000000");
+  EXPECT_EQ(engine_.Execute("top_k 0 2"), "OK");
+  EXPECT_EQ(engine_.cache_misses(), 2u);
+  // Same page again: served from cache, same bytes.
+  EXPECT_EQ(engine_.Execute("top_k 2 0"),
+            "OK 0:0.3000000000 2:0.2500000000");
+  EXPECT_EQ(engine_.cache_hits(), 1u);
+}
+
+/// Satellite regression for per-worker replica serving: N threads, each
+/// owning a private QueryEngine replica over one shared SnapshotManager,
+/// hammer queries while the main thread hot-swaps growing snapshots. Every
+/// response must come from a fully installed generation — observable as a
+/// nondecreasing best score per thread (each install strictly raises it)
+/// and zero errors.
+void HammerReplicasDuringGrowingSwaps(size_t num_threads) {
+  SnapshotManager manager;
+  std::vector<Year> years = {2000, 2001, 2002, 2003, 2004};
+  std::vector<std::pair<NodeId, NodeId>> edges = {
+      {2, 0}, {2, 1}, {3, 0}, {3, 2}, {4, 2}, {4, 3}};
+  std::vector<double> scores = {0.30, 0.10, 0.25, 0.20, 0.15};
+  auto install = [&](uint64_t epoch) {
+    RankingOutput ranking;
+    ranking.scores = scores;
+    ranking.ranks = ScoresToRanks(scores);
+    ranking.percentiles = RankPercentiles(scores);
+    SnapshotMeta meta;
+    meta.snapshot_id = epoch;
+    manager.Install(ScoreSnapshot::Build(testing_util::MakeGraph(years, edges),
+                                         ranking, std::move(meta))
+                        .value());
+  };
+  install(0);
+
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+  std::atomic<uint64_t> responses{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&] {
+      QueryEngine replica(&manager);  // per-thread replica, private cache
+      double last_best = 0.0;
+      while (!done.load(std::memory_order_acquire)) {
+        const std::string top = replica.Execute("top_k 1");
+        responses.fetch_add(1, std::memory_order_relaxed);
+        const size_t colon = top.find(':');
+        if (top.rfind("OK ", 0) != 0 || colon == std::string::npos) {
+          failures.fetch_add(1);
+          return;
+        }
+        const double best = std::stod(top.substr(colon + 1));
+        if (best + 1e-12 < last_best) {
+          failures.fetch_add(1);  // served a page from a superseded epoch
+          return;
+        }
+        last_best = best;
+      }
+    });
+  }
+
+  for (uint64_t epoch = 1; epoch <= 10; ++epoch) {
+    const NodeId newborn = static_cast<NodeId>(years.size());
+    years.push_back(static_cast<Year>(2004 + epoch));
+    edges.push_back({newborn, 0});
+    scores.push_back(0.30 + 0.10 * static_cast<double>(epoch));  // new best
+    install(epoch);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0) << num_threads << " threads";
+  EXPECT_GT(responses.load(), 0u);
+}
+
+TEST(QueryEngineReplicaTest, ConcurrentGrowingSwapsWith2Threads) {
+  HammerReplicasDuringGrowingSwaps(2);
+}
+
+TEST(QueryEngineReplicaTest, ConcurrentGrowingSwapsWith4Threads) {
+  HammerReplicasDuringGrowingSwaps(4);
+}
+
+TEST(QueryEngineReplicaTest, ConcurrentGrowingSwapsWith8Threads) {
+  HammerReplicasDuringGrowingSwaps(8);
 }
 
 }  // namespace

@@ -198,6 +198,34 @@ TEST(ScholarAnalyzeTest, DeterminismQuietOnOrderedAndAuditedIteration) {
   EXPECT_EQ(CountOccurrences(run.output, "determinism:"), 0u) << run.output;
 }
 
+TEST(ScholarAnalyzeTest, DeterminismFiresOnClockReadsInServingTier) {
+  // Sub-check (c): posix clock calls and chrono ::now() inside
+  // rank/ensemble/stream/serve are findings.
+  AnalyzeRun run = RunAnalyze({"src/serve/wallclock_fire.cc"});
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "determinism:"), 4u) << run.output;
+  EXPECT_NE(run.output.find("'clock_gettime' reads the clock"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("'gettimeofday' reads the clock"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("'timerfd_create' reads the clock"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("'steady_clock::now()' reads the clock"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(ScholarAnalyzeTest, DeterminismExemptsLatencyHistogramModule) {
+  // The src/serve/latency_histogram* prefix is the one sanctioned clock
+  // reader: duration measurement never feeds back into results.
+  AnalyzeRun run = RunAnalyze({"src/serve/latency_histogram_fixture.cc"});
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "determinism:"), 0u) << run.output;
+}
+
 TEST(ScholarAnalyzeTest, NolintWithoutReasonDoesNotSuppress) {
   // The analyzer's suppression contract requires a ": reason" tail; a bare
   // NOLINT(determinism) is not an audit record and must not suppress.

@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <thread>
@@ -98,21 +99,21 @@ class TestClient {
   std::string pending_;
 };
 
-/// Manager + engine + server on an ephemeral port, ready to dial.
+/// Manager + per-worker engine replicas + server on an ephemeral port,
+/// ready to dial.
 class ServerTest : public ::testing::Test {
  protected:
-  void StartServer(ServerOptions options = {}) {
+  void StartServer(ServerOptions options = {},
+                   QueryEngineOptions engine_options = {}) {
     manager_.Install(TinySnapshot({0.30, 0.10, 0.25, 0.20, 0.15}, 1));
-    engine_ = std::make_unique<QueryEngine>(&manager_);
     options.port = 0;
-    server_ = std::make_unique<Server>(engine_.get(), options);
+    server_ = std::make_unique<Server>(&manager_, engine_options, options);
     Status status = server_->Start();
     ASSERT_TRUE(status.ok()) << status.ToString();
     ASSERT_NE(server_->port(), 0);
   }
 
   SnapshotManager manager_;
-  std::unique_ptr<QueryEngine> engine_;
   std::unique_ptr<Server> server_;
 };
 
@@ -174,7 +175,7 @@ TEST_F(ServerTest, HotSwapMidConnectionServesNewScoresToOldConnection) {
 
 TEST_F(ServerTest, ConcurrentClientsAllGetConsistentAnswers) {
   ServerOptions options;
-  options.num_threads = 4;
+  options.num_workers = 4;
   StartServer(options);
   constexpr int kClients = 4;
   constexpr int kRequests = 200;
@@ -311,10 +312,9 @@ TEST_F(RequestFramerTest, CompleteLinesInTheAbusiveChunkStillAnswer) {
 
 TEST(ServerLifecycleTest, StartTwiceFails) {
   SnapshotManager manager;
-  QueryEngine engine(&manager);
   ServerOptions options;
   options.port = 0;
-  Server server(&engine, options);
+  Server server(&manager, QueryEngineOptions{}, options);
   ASSERT_TRUE(server.Start().ok());
   EXPECT_FALSE(server.Start().ok());
   server.Stop();
@@ -322,12 +322,196 @@ TEST(ServerLifecycleTest, StartTwiceFails) {
 
 TEST(ServerLifecycleTest, DestructorStopsCleanly) {
   SnapshotManager manager;
-  QueryEngine engine(&manager);
   ServerOptions options;
   options.port = 0;
-  auto server = std::make_unique<Server>(&engine, options);
+  auto server = std::make_unique<Server>(&manager, QueryEngineOptions{},
+                                         options);
   ASSERT_TRUE(server->Start().ok());
   server.reset();  // no hang, no leak (ASan-verified)
+}
+
+TEST(ServerLifecycleTest, MultipleWorkersRequireReusePort) {
+  SnapshotManager manager;
+  ServerOptions options;
+  options.port = 0;
+  options.num_workers = 2;
+  options.reuse_port = false;
+  Server server(&manager, QueryEngineOptions{}, options);
+  Status status = server.Start();
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << status.ToString();
+}
+
+TEST(ServerLifecycleTest, ZeroWorkersIsInvalid) {
+  SnapshotManager manager;
+  ServerOptions options;
+  options.port = 0;
+  options.num_workers = 0;
+  Server server(&manager, QueryEngineOptions{}, options);
+  EXPECT_EQ(server.Start().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServerLifecycleTest, SingleWorkerWithoutReusePortStillServes) {
+  SnapshotManager manager;
+  ServerOptions options;
+  options.port = 0;
+  options.num_workers = 1;
+  options.reuse_port = false;
+  Server server(&manager, QueryEngineOptions{}, options);
+  ASSERT_TRUE(server.Start().ok());
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  EXPECT_EQ(client.Query("ping"), "OK pong");
+  server.Stop();
+}
+
+/// Option-plumbing coverage: the listener-level ServerOptions fields must
+/// actually land on the socket, both polarities, observable via getsockopt.
+class ListenerOptionsTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(ListenerOptionsTest, ReuseFlagsReachTheSocket) {
+  const bool enabled = GetParam();
+  ServerOptions options;
+  options.reuse_addr = enabled;
+  options.reuse_port = enabled;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(ApplyListenerOptions(fd, options).ok());
+
+  int value = -1;
+  socklen_t len = sizeof(value);
+  ASSERT_EQ(::getsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &value, &len), 0);
+  EXPECT_EQ(value != 0, enabled);
+  value = -1;
+  len = sizeof(value);
+  ASSERT_EQ(::getsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &value, &len), 0);
+  EXPECT_EQ(value != 0, enabled);
+  ::close(fd);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothPolarities, ListenerOptionsTest,
+                         ::testing::Values(false, true));
+
+TEST_F(ServerTest, NodelayOffStillAnswers) {
+  // TCP_NODELAY is applied per accepted socket inside the worker; the
+  // observable contract for the off-polarity is simply that the server
+  // still answers correctly (just with Nagle re-enabled).
+  ServerOptions options;
+  options.tcp_nodelay = false;
+  StartServer(options);
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server_->port()));
+  EXPECT_EQ(client.Query("ping"), "OK pong");
+}
+
+TEST_F(ServerTest, StatsVerbReportsMergedCounters) {
+  ServerOptions options;
+  options.num_workers = 2;
+  StartServer(options);
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server_->port()));
+  EXPECT_EQ(client.Query("ping"), "OK pong");
+  EXPECT_EQ(client.Query("score 0"), "OK 0.3000000000");
+
+  const std::string stats = client.Query("stats");
+  EXPECT_EQ(stats.rfind("OK workers=2 ", 0), 0u) << stats;
+  // ping + score + this stats request have all been counted by the time
+  // the response renders.
+  EXPECT_NE(stats.find(" served=3 "), std::string::npos) << stats;
+  EXPECT_NE(stats.find(" shed=0 "), std::string::npos) << stats;
+  EXPECT_NE(stats.find(" p99_ns="), std::string::npos) << stats;
+}
+
+TEST_F(ServerTest, OverloadShedsWithTypedBusyResponses) {
+  // A per-connection batch bound of 8 with a 100-deep pipeline forces the
+  // server to shed: every request is answered (in order), none silently
+  // dropped, and everything beyond the bound in one drain is a BUSY line.
+  ServerOptions options;
+  options.max_batch_requests = 8;
+  StartServer(options);
+  TestClient client;
+  ASSERT_TRUE(client.Connect(server_->port()));
+
+  constexpr int kPipeline = 100;
+  std::string burst;
+  for (int i = 0; i < kPipeline; ++i) burst += "ping\n";
+  ASSERT_TRUE(client.Send(burst));
+
+  int ok = 0, busy = 0;
+  std::string line;
+  for (int i = 0; i < kPipeline; ++i) {
+    ASSERT_TRUE(client.ReadLine(&line)) << "response " << i;
+    if (line == "OK pong") {
+      ++ok;
+    } else if (line == "BUSY") {
+      ++busy;
+    } else {
+      FAIL() << "unexpected response " << i << ": " << line;
+    }
+  }
+  // TCP may split the burst across several drains (each re-arming the
+  // batch budget), so the exact split is not deterministic — but the
+  // accounting invariants are.
+  EXPECT_EQ(ok + busy, kPipeline);
+  EXPECT_GE(ok, 8);
+  EXPECT_GT(busy, 0) << "a 100-deep pipeline must overflow a bound of 8";
+  EXPECT_EQ(server_->requests_shed(), static_cast<uint64_t>(busy));
+  EXPECT_EQ(server_->requests_served(), static_cast<uint64_t>(ok));
+}
+
+TEST_F(ServerTest, MultiWorkerHotSwapServesOnlyLiveGenerations) {
+  // Satellite regression: per-worker replicas hammered over TCP while the
+  // shared manager hot-swaps growing snapshots. No response may be dropped
+  // and no client may observe time going backwards — the best score grows
+  // with each install, so each connection's view must be nondecreasing.
+  ServerOptions options;
+  options.num_workers = 2;
+  StartServer(options);
+
+  constexpr int kClients = 4;
+  constexpr int kSwaps = 12;
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([this, &done, &failures] {
+      TestClient client;
+      if (!client.Connect(server_->port())) {
+        failures.fetch_add(1);
+        return;
+      }
+      double last_best = 0.0;
+      while (!done.load(std::memory_order_acquire)) {
+        const std::string top = client.Query("top_k 1");
+        if (top.rfind("OK ", 0) != 0) {
+          failures.fetch_add(1);
+          return;
+        }
+        const size_t colon = top.find(':');
+        if (colon == std::string::npos) {
+          failures.fetch_add(1);
+          return;
+        }
+        const double best = std::stod(top.substr(colon + 1));
+        if (best + 1e-12 < last_best) {
+          failures.fetch_add(1);  // stale page from before a swap
+          return;
+        }
+        last_best = best;
+      }
+    });
+  }
+
+  std::vector<double> scores = {0.30, 0.10, 0.25, 0.20, 0.15};
+  for (int swap = 1; swap <= kSwaps; ++swap) {
+    scores[0] = 0.30 + 0.05 * swap;  // node 0 stays best, score grows
+    manager_.Install(TinySnapshot(scores, static_cast<uint64_t>(swap)));
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server_->requests_shed(), 0u);
 }
 
 }  // namespace

@@ -163,11 +163,10 @@ TEST(StreamE2eTest, LiveServerObservesEveryEpochWithZeroDroppedQueries) {
   EpochPipeline pipeline(&streaming, &ranker, std::move(publisher));
   ASSERT_TRUE(pipeline.Bootstrap().ok());
 
-  serve::QueryEngine engine(&manager);
   serve::ServerOptions server_options;
   server_options.port = 0;
-  server_options.num_threads = 4;
-  serve::Server server(&engine, server_options);
+  server_options.num_workers = 2;
+  serve::Server server(&manager, serve::QueryEngineOptions(), server_options);
   ASSERT_TRUE(server.Start().ok());
 
   // Background hammer clients: queries that are valid at every epoch. Any

@@ -1,0 +1,111 @@
+#include "serve/topk_merge.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace scholar {
+namespace serve {
+namespace {
+
+/// Reference order: full sort under the serving convention (score
+/// descending, id ascending on ties) — the same order the snapshot's
+/// precomputed index uses.
+std::vector<ScoredId> OracleOrder(const std::vector<double>& scores) {
+  std::vector<ScoredId> all;
+  for (NodeId id = 0; id < scores.size(); ++id) {
+    all.push_back({scores[id], id});
+  }
+  std::sort(all.begin(), all.end(), RanksBefore);
+  return all;
+}
+
+/// Scores with deliberate duplicates so the id tie-break is exercised.
+std::vector<double> TiedScores(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> scores(n);
+  for (double& s : scores) {
+    s = static_cast<double>(rng.NextBounded(n / 4 + 1)) / 8.0;
+  }
+  return scores;
+}
+
+TEST(ShardTopKTest, ReturnsBestFirstWithinRange) {
+  const std::vector<double> scores = {0.1, 0.9, 0.5, 0.9, 0.2, 0.7};
+  // Whole range, k=3: ties on 0.9 break toward the smaller id.
+  std::vector<ScoredId> top = ShardTopK(scores, 0, 6, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].id, 1u);
+  EXPECT_EQ(top[1].id, 3u);
+  EXPECT_EQ(top[2].id, 5u);
+  // Sub-range excludes the global best.
+  top = ShardTopK(scores, 2, 6, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].id, 3u);
+  EXPECT_EQ(top[1].id, 5u);
+}
+
+TEST(ShardTopKTest, KLargerThanRangeReturnsWholeRangeSorted) {
+  const std::vector<double> scores = {0.3, 0.1, 0.2};
+  std::vector<ScoredId> top = ShardTopK(scores, 0, 3, 100);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].id, 0u);
+  EXPECT_EQ(top[1].id, 2u);
+  EXPECT_EQ(top[2].id, 1u);
+  EXPECT_TRUE(ShardTopK(scores, 0, 3, 0).empty());
+  EXPECT_TRUE(ShardTopK(scores, 2, 2, 5).empty());
+}
+
+TEST(MergeTopKTest, InterleavesSortedRuns) {
+  const std::vector<std::vector<ScoredId>> partials = {
+      {{0.9, 10}, {0.4, 11}},
+      {{0.8, 3}, {0.6, 4}, {0.1, 5}},
+      {},
+      {{0.9, 2}},
+  };
+  std::vector<ScoredId> merged = MergeTopK(partials, 4);
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged[0].id, 2u);   // 0.9 tie: id 2 before id 10
+  EXPECT_EQ(merged[1].id, 10u);
+  EXPECT_EQ(merged[2].id, 3u);
+  EXPECT_EQ(merged[3].id, 4u);
+  EXPECT_TRUE(MergeTopK(partials, 0).empty());
+  EXPECT_EQ(MergeTopK(partials, 100).size(), 6u);
+}
+
+TEST(ScatterGatherTest, MatchesOracleAcrossShardCountsAndPages) {
+  const std::vector<double> scores = TiedScores(257, /*seed=*/7);
+  const std::vector<ScoredId> oracle = OracleOrder(scores);
+  for (size_t shards : {1u, 2u, 5u, 16u, 300u}) {
+    for (size_t offset : {0u, 1u, 100u, 250u, 257u, 400u}) {
+      for (size_t k : {0u, 1u, 7u, 64u, 1000u}) {
+        const std::vector<ScoredId> page =
+            ScatterGatherTopPage(scores, shards, offset, k);
+        const size_t expect =
+            offset >= oracle.size() ? 0
+                                    : std::min(k, oracle.size() - offset);
+        ASSERT_EQ(page.size(), expect)
+            << "shards=" << shards << " offset=" << offset << " k=" << k;
+        for (size_t i = 0; i < page.size(); ++i) {
+          EXPECT_EQ(page[i].id, oracle[offset + i].id)
+              << "shards=" << shards << " offset=" << offset << " k=" << k
+              << " i=" << i;
+          EXPECT_EQ(page[i].score, oracle[offset + i].score);
+        }
+      }
+    }
+  }
+}
+
+TEST(ScatterGatherTest, EmptyScoresYieldEmptyPages) {
+  const std::vector<double> none;
+  EXPECT_TRUE(ScatterGatherTopPage(none, 4, 0, 10).empty());
+  EXPECT_TRUE(ScatterGatherTopPage(none, 0, 0, 10).empty());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace scholar

@@ -1,6 +1,6 @@
 // determinism: the ranking pipeline must be bit-reproducible.
 //
-// Two sub-checks:
+// Three sub-checks:
 //  (a) Iteration over std::unordered_{map,set} in src/rank/, src/ensemble/,
 //      src/stream/ and src/serve/. Hash-table iteration order depends on
 //      the libstdc++ version, the insertion history, and (for pointer
@@ -11,6 +11,12 @@
 //  (b) Wall-clock / libc PRNG calls (time, rand, srand, clock) anywhere
 //      outside src/util/rng — randomness and time must be injected
 //      through the seeded utilities so replays reproduce.
+//  (c) Clock reads (clock_gettime, gettimeofday, timerfd_*, and the
+//      std::chrono clocks' ::now()) inside the order-sensitive subsystems
+//      of (a). Request handling, ranking and snapshot production must not
+//      branch on the time of day; the single sanctioned reader is the
+//      serving tier's latency histogram (src/serve/latency_histogram*),
+//      which measures durations without feeding them back into results.
 
 #include "analyze/rules.h"
 
@@ -32,6 +38,23 @@ bool IsRngExempt(const std::string& path) {
 
 bool IsClockOrRand(const std::string& s) {
   return s == "time" || s == "rand" || s == "srand" || s == "clock";
+}
+
+/// The one module allowed to read a clock inside the order-sensitive
+/// scopes: latency measurement never feeds back into ranking output.
+bool IsHistogramExempt(const std::string& path) {
+  const std::string prefix = "src/serve/latency_histogram";
+  return path.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool IsPosixClockCall(const std::string& s) {
+  return s == "clock_gettime" || s == "gettimeofday" ||
+         s.compare(0, 8, "timerfd_") == 0;
+}
+
+bool IsChronoClockName(const std::string& s) {
+  return s == "steady_clock" || s == "system_clock" ||
+         s == "high_resolution_clock";
 }
 
 }  // namespace
@@ -121,6 +144,35 @@ void CheckDeterminism(const LexedFile& f, const FileModel& model,
         reporter.Report(t[i].line, "determinism",
                         "iterating unordered container '" + t[i - 2].text +
                             "' in an order-sensitive subsystem");
+      }
+    }
+  }
+
+  // (c) Explicit clock reads inside the order-sensitive subsystems. The
+  // latency histogram is the sanctioned wall-clock module; everything else
+  // in serve/rank/ensemble/stream must take timestamps as inputs.
+  if (InOrderSensitiveScope(f.norm_path) && !IsHistogramExempt(f.norm_path)) {
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != TokKind::kIdent) continue;
+      // clock_gettime(...) / gettimeofday(...) / timerfd_*(...)
+      if (IsPosixClockCall(t[i].text) && IsPunct(t, i + 1, "(")) {
+        reporter.Report(
+            t[i].line, "determinism",
+            "'" + t[i].text +
+                "' reads the clock inside an order-sensitive subsystem; "
+                "only src/serve/latency_histogram may read time — take "
+                "timestamps as inputs instead");
+        continue;
+      }
+      // steady_clock::now() and friends.
+      if (IsChronoClockName(t[i].text) && IsPunct(t, i + 1, "::") &&
+          IsIdent(t, i + 2, "now") && IsPunct(t, i + 3, "(")) {
+        reporter.Report(
+            t[i].line, "determinism",
+            "'" + t[i].text +
+                "::now()' reads the clock inside an order-sensitive "
+                "subsystem; only src/serve/latency_histogram may read "
+                "time — take timestamps as inputs instead");
       }
     }
   }

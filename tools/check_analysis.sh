@@ -40,9 +40,12 @@
 #   --bench-gate
 #              also run the bench-gate flavor: rank_scaling --smoke across
 #              the full iteration-engine variant matrix (scalar/simd x
-#              double/float x plain/compressed x fixed/adaptive). The
-#              binary itself asserts scalar-vs-SIMD bit-identity at every
-#              thread count and the <= 1e-6 float drift bound; any
+#              double/float x plain/compressed x fixed/adaptive), then
+#              serve_scaling --smoke against a live event-loop server. The
+#              binaries assert their own contracts (scalar-vs-SIMD
+#              bit-identity at every thread count and the <= 1e-6 float
+#              drift bound; zero errors / zero dropped responses across
+#              mid-run hot swaps and BUSY shedding under overload); any
 #              violation fails the gate. Smoke timings are not
 #              measurements — this gate checks contracts, not speed.
 #   flavor...  subset of: plain asan tsan ubsan tsa (default: all)
@@ -220,7 +223,9 @@ run_flavor() {
     # rank_scaling --smoke sweeps the whole engine variant matrix and
     # SCHOLAR_CHECKs bit-identity (double variants, every thread count)
     # and the float drift bound internally; a nonzero exit is a contract
-    # violation, not a slow machine.
+    # violation, not a slow machine. serve_scaling --smoke does the same
+    # for the serving tier: zero errors / zero dropped responses across
+    # mid-run hot swaps and BUSY shedding under a tiny batch bound.
     local gate_work="$build_dir/bench-gate-work"
     mkdir -p "$gate_work"
     echo "=== [bench-gate] rank_scaling --smoke (variant matrix contracts) ==="
@@ -228,7 +233,12 @@ run_flavor() {
       RESULT[$flavor]="FAIL (engine variant contract violated)"
       return 1
     fi
-    RESULT[$flavor]="PASS (identity/drift contracts across variant matrix)"
+    echo "=== [bench-gate] serve_scaling --smoke (serving-tier contracts) ==="
+    if ! (cd "$gate_work" && "$build_dir/bench/serve_scaling" --smoke); then
+      RESULT[$flavor]="FAIL (serving-tier contract violated)"
+      return 1
+    fi
+    RESULT[$flavor]="PASS (engine variant + serving-tier contracts)"
     return 0
   fi
   echo "=== [$flavor] test ==="

@@ -16,7 +16,10 @@
 //                     calls, seeded by REQUIRES annotations) must be
 //                     acyclic; cycles are reported with a witness path.
 //   determinism       no unordered-container iteration in rank/ensemble/
-//                     stream/serve, no time()/rand() outside util/rng.
+//                     stream/serve, no time()/rand() outside util/rng,
+//                     and no clock reads (clock_gettime, gettimeofday,
+//                     timerfd_*, chrono ::now()) in those subsystems
+//                     outside src/serve/latency_histogram*.
 //
 // Suppression: `// NOLINT(rule): reason` on the flagged line — the rule
 // list and a non-empty reason are both mandatory (scholar_lint's bare

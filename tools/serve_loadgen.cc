@@ -1,14 +1,33 @@
 /// Load generator for `scholar serve`: replays a weighted synthetic query
-/// mix over N pipelined TCP connections and reports throughput and latency.
+/// mix over N TCP connections and reports throughput and latency.
 ///
 ///   serve_loadgen port=7601 [host=127.0.0.1] [connections=4] [pipeline=32]
-///                 [requests=200000] [k=10] [seed=1]
+///                 [requests=200000] [k=10] [seed=1] [zipf=0]
+///                 [rate=0] [duration=0]
 ///                 [mix=score:40,top_k:25,percentile:15,rank:10,neighbors:10]
 ///
-/// `requests` is the total across all connections. Latency is measured per
-/// request, send-to-response (so with pipeline > 1 it includes in-batch
-/// queueing, like a real burst client). Prints a human summary and a CSV
-/// line for scripting.
+/// `requests` is the total across all connections. `zipf=<s>` skews the
+/// queried article ids Zipf(s) toward the low ids (0 = uniform) — real
+/// scholarly traffic concentrates on a head of famous papers, which is
+/// exactly what makes per-replica response caches earn their keep.
+///
+/// Two driving modes:
+///   closed loop (default): each connection keeps `pipeline` requests in
+///     flight; latency is send-to-response per batch, so it includes
+///     in-batch queueing. Throughput is whatever the server sustains.
+///   open loop (rate=<qps>): requests are scheduled at Poisson arrivals of
+///     the given aggregate rate, split evenly across connections, and sent
+///     on schedule regardless of response progress (a paced sender thread
+///     and a reader thread per connection). Latency is measured from the
+///     *scheduled* send time, so server lag shows up as queueing delay
+///     instead of silently slowing the offered load — the honest way to
+///     measure p99 at a fixed rate. `duration=<seconds>` bounds the run
+///     (0 = until `requests` are sent).
+///
+/// `BUSY` responses (server load shedding) are counted separately from
+/// errors; dropped requests (sent but never answered before the connection
+/// died) are reported and make the run fail. Prints a human summary and a
+/// CSV line for scripting.
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -16,9 +35,12 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <deque>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -41,6 +63,8 @@ struct MixEntry {
 struct WorkerResult {
   std::vector<int64_t> latencies_ns;
   uint64_t errors = 0;
+  uint64_t shed = 0;     // typed BUSY responses (server backpressure)
+  uint64_t dropped = 0;  // sent but never answered (connection died)
   bool connect_failed = false;
 };
 
@@ -103,8 +127,10 @@ class LineClient {
 };
 
 std::string MakeRequest(const std::string& kind, uint64_t num_nodes,
-                        size_t k, Rng* rng) {
-  const uint64_t id = rng->NextBounded(num_nodes);
+                        size_t k, double zipf, Rng* rng) {
+  // NextZipf(n, 0) is uniform; s > 0 skews toward the low ids, standing in
+  // for the head-heavy popularity of real article traffic.
+  const uint64_t id = rng->NextZipf(num_nodes, zipf);
   if (kind == "top_k") {
     // Pages near the head, like a leaderboard UI: offsets 0..9 pages.
     return "top_k " + std::to_string(k) + " " +
@@ -118,8 +144,17 @@ std::string MakeRequest(const std::string& kind, uint64_t num_nodes,
   return kind + " " + std::to_string(id);  // score | rank | percentile
 }
 
+void CountResponse(const std::string& line, WorkerResult* result) {
+  if (line.rfind("OK", 0) == 0) return;
+  if (line == "BUSY") {
+    ++result->shed;
+  } else {
+    ++result->errors;
+  }
+}
+
 void RunWorker(const std::string& host, uint16_t port, uint64_t num_nodes,
-               size_t num_requests, size_t pipeline, size_t k,
+               size_t num_requests, size_t pipeline, size_t k, double zipf,
                const std::vector<MixEntry>& mix, uint64_t seed,
                WorkerResult* result) {
   LineClient client;
@@ -143,27 +178,112 @@ void RunWorker(const std::string& host, uint16_t port, uint64_t num_nodes,
       const size_t pick = rng.NextDiscrete(weights);
       const std::string& kind =
           mix[pick < mix.size() ? pick : 0].kind;
-      batch += MakeRequest(kind, num_nodes, k, &rng);
+      batch += MakeRequest(kind, num_nodes, k, zipf, &rng);
       batch += '\n';
     }
     const auto sent_at = std::chrono::steady_clock::now();
     if (!client.SendAll(batch)) {
-      result->errors += remaining;
+      result->dropped += remaining;
       return;
     }
     for (size_t i = 0; i < burst; ++i) {
       if (!client.ReadLine(&line)) {
-        result->errors += remaining;
+        result->dropped += remaining - i;
         return;
       }
       result->latencies_ns.push_back(
           std::chrono::duration_cast<std::chrono::nanoseconds>(
               std::chrono::steady_clock::now() - sent_at)
               .count());
-      if (line.rfind("OK", 0) != 0) ++result->errors;
+      CountResponse(line, result);
     }
     remaining -= burst;
   }
+}
+
+/// Open-loop driver for one connection: a paced sender schedules Poisson
+/// arrivals at `rate` QPS and writes each request on time while the reader
+/// (this thread) matches responses in order. Latency is measured from the
+/// scheduled send instant, so when the server falls behind, the backlog
+/// shows up as tail latency — the offered load never self-throttles.
+void RunOpenLoopWorker(const std::string& host, uint16_t port,
+                       uint64_t num_nodes, size_t num_requests, size_t k,
+                       double zipf, double rate, double duration_s,
+                       const std::vector<MixEntry>& mix, uint64_t seed,
+                       WorkerResult* result) {
+  LineClient client;
+  if (!client.Connect(host, port)) {
+    result->connect_failed = true;
+    return;
+  }
+
+  // The sender pushes each request's scheduled timestamp; the reader pops
+  // them in order (responses come back in request order on one connection).
+  std::mutex mu;
+  std::deque<std::chrono::steady_clock::time_point> scheduled;
+  std::atomic<bool> send_done{false};
+  std::atomic<uint64_t> send_failures{0};
+
+  std::thread sender([&] {
+    Rng rng(seed);
+    std::vector<double> weights;
+    weights.reserve(mix.size());
+    for (const MixEntry& entry : mix) weights.push_back(entry.weight);
+    const auto start = std::chrono::steady_clock::now();
+    auto next_send = start;
+    for (size_t i = 0; i < num_requests; ++i) {
+      next_send += std::chrono::nanoseconds(
+          static_cast<int64_t>(rng.NextExponential(rate) * 1e9));
+      if (duration_s > 0 &&
+          next_send - start > std::chrono::duration<double>(duration_s)) {
+        break;
+      }
+      const size_t pick = rng.NextDiscrete(weights);
+      const std::string& kind = mix[pick < mix.size() ? pick : 0].kind;
+      std::string request = MakeRequest(kind, num_nodes, k, zipf, &rng);
+      request += '\n';
+      std::this_thread::sleep_until(next_send);
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        scheduled.push_back(next_send);
+      }
+      if (!client.SendAll(request)) {
+        send_failures.fetch_add(1);
+        break;
+      }
+    }
+    send_done.store(true, std::memory_order_release);
+  });
+
+  std::string line;
+  for (;;) {
+    bool have_outstanding;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      have_outstanding = !scheduled.empty();
+    }
+    if (!have_outstanding) {
+      if (send_done.load(std::memory_order_acquire)) break;
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      continue;
+    }
+    if (!client.ReadLine(&line)) break;  // connection died mid-run
+    std::chrono::steady_clock::time_point sent_at;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      sent_at = scheduled.front();
+      scheduled.pop_front();
+    }
+    result->latencies_ns.push_back(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - sent_at)
+            .count());
+    CountResponse(line, result);
+  }
+  sender.join();
+  std::lock_guard<std::mutex> lock(mu);
+  result->dropped += scheduled.size() - std::min<size_t>(
+      scheduled.size(), send_failures.load());
 }
 
 int64_t Percentile(const std::vector<int64_t>& sorted, double p) {
@@ -191,10 +311,17 @@ int main(int argc, const char** argv) {
       static_cast<size_t>(config->GetIntOr("requests", 200000));
   const size_t k = static_cast<size_t>(config->GetIntOr("k", 10));
   const uint64_t seed = static_cast<uint64_t>(config->GetIntOr("seed", 1));
+  const double zipf = config->GetDoubleOr("zipf", 0.0);
+  const double rate = config->GetDoubleOr("rate", 0.0);
+  const double duration_s = config->GetDoubleOr("duration", 0.0);
   const std::string mix_spec = config->GetStringOr(
       "mix", "score:40,top_k:25,percentile:15,rank:10,neighbors:10");
   if (port <= 0 || port > 65535 || connections == 0 || pipeline == 0) {
     std::fprintf(stderr, "error: bad port/connections/pipeline\n");
+    return 2;
+  }
+  if (zipf < 0 || rate < 0 || duration_s < 0) {
+    std::fprintf(stderr, "error: zipf/rate/duration must be >= 0\n");
     return 2;
   }
 
@@ -245,10 +372,14 @@ int main(int argc, const char** argv) {
     }
   }
 
+  const bool open_loop = rate > 0;
   std::printf(
-      "loadgen: %s:%lld connections=%zu pipeline=%zu requests=%zu mix=%s\n",
-      host.c_str(), static_cast<long long>(port), connections, pipeline,
-      total_requests, mix_spec.c_str());
+      "loadgen: %s:%lld connections=%zu %s requests=%zu zipf=%.2f mix=%s\n",
+      host.c_str(), static_cast<long long>(port), connections,
+      open_loop
+          ? ("open-loop rate=" + std::to_string(rate) + "/s").c_str()
+          : ("pipeline=" + std::to_string(pipeline)).c_str(),
+      total_requests, zipf, mix_spec.c_str());
 
   std::vector<WorkerResult> results(connections);
   std::vector<std::thread> workers;
@@ -258,21 +389,30 @@ int main(int argc, const char** argv) {
     // The first worker also absorbs the division remainder.
     const size_t quota =
         per_connection + (c == 0 ? total_requests % connections : 0);
-    workers.emplace_back(RunWorker, host, static_cast<uint16_t>(port),
-                         num_nodes, quota, pipeline, k, mix,
-                         seed + 1000 * c + 1, &results[c]);
+    if (open_loop) {
+      workers.emplace_back(RunOpenLoopWorker, host,
+                           static_cast<uint16_t>(port), num_nodes, quota, k,
+                           zipf, rate / static_cast<double>(connections),
+                           duration_s, mix, seed + 1000 * c + 1, &results[c]);
+    } else {
+      workers.emplace_back(RunWorker, host, static_cast<uint16_t>(port),
+                           num_nodes, quota, pipeline, k, zipf, mix,
+                           seed + 1000 * c + 1, &results[c]);
+    }
   }
   for (std::thread& w : workers) w.join();
   const double elapsed = timer.ElapsedSeconds();
 
   std::vector<int64_t> latencies;
-  uint64_t errors = 0;
+  uint64_t errors = 0, shed = 0, dropped = 0;
   for (const WorkerResult& r : results) {
     if (r.connect_failed) {
       std::fprintf(stderr, "error: a worker failed to connect\n");
       return 1;
     }
     errors += r.errors;
+    shed += r.shed;
+    dropped += r.dropped;
     latencies.insert(latencies.end(), r.latencies_ns.begin(),
                      r.latencies_ns.end());
   }
@@ -290,10 +430,19 @@ int main(int argc, const char** argv) {
               latencies.size(), elapsed, qps);
   std::printf("latency: p50=%.3f ms p99=%.3f ms max=%.3f ms\n", p50_ms,
               p99_ms, max_ms);
-  std::printf("errors: %llu\n", static_cast<unsigned long long>(errors));
-  std::printf("\ncsv: connections,pipeline,requests,seconds,qps,p50_ms,p99_ms,errors\n");
-  std::printf("csv: %zu,%zu,%zu,%.3f,%.0f,%.3f,%.3f,%llu\n", connections,
-              pipeline, latencies.size(), elapsed, qps, p50_ms, p99_ms,
-              static_cast<unsigned long long>(errors));
-  return errors == 0 ? 0 : 1;
+  std::printf("errors: %llu shed: %llu dropped: %llu\n",
+              static_cast<unsigned long long>(errors),
+              static_cast<unsigned long long>(shed),
+              static_cast<unsigned long long>(dropped));
+  std::printf(
+      "\ncsv: mode,connections,pipeline,rate,zipf,requests,seconds,qps,"
+      "p50_ms,p99_ms,errors,shed,dropped\n");
+  std::printf("csv: %s,%zu,%zu,%.0f,%.2f,%zu,%.3f,%.0f,%.3f,%.3f,%llu,%llu,"
+              "%llu\n",
+              open_loop ? "open" : "closed", connections, pipeline, rate,
+              zipf, latencies.size(), elapsed, qps, p50_ms, p99_ms,
+              static_cast<unsigned long long>(errors),
+              static_cast<unsigned long long>(shed),
+              static_cast<unsigned long long>(dropped));
+  return errors == 0 && dropped == 0 ? 0 : 1;
 }
