@@ -485,7 +485,7 @@ Status RunServe(const Config& config, std::ostream* out) {
   action.sa_handler = ServeSigintHandler;
   ::sigaction(SIGINT, &action, &previous);
 
-  std::thread watcher([&server, read_fd = pipe_fds[0]] {
+  std::thread watcher([&server, read_fd = pipe_fds[0]] {  // NOLINT(dangling-capture): watcher.join() below runs before server leaves scope, so the reference cannot dangle
     char byte;
     while (::read(read_fd, &byte, 1) < 0 && errno == EINTR) {
     }

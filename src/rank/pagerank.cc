@@ -238,7 +238,7 @@ Result<RankResult> WeightedPowerIteration(
       double row = 0.0;
       for (EdgeId e = out_offsets[u]; e < out_offsets[u + 1]; ++e) {
         const double w = edge_weights[e];
-        if (w < 0.0) negative_weight.store(true, std::memory_order_relaxed);
+        if (w < 0.0) negative_weight.store(true, std::memory_order_relaxed);  // NOLINT(atomic-confinement): monotone one-way flag; readers check it only after the ParallelFor join, which orders the stores
         row += w;
       }
       s.dangling[u] = row <= 0.0 ? 1 : 0;
@@ -327,7 +327,7 @@ Result<RankResult> WeightedPowerIterationOnView(
       double row = 0.0;
       for (EdgeId e = a.out_begin[u]; e < a.out_end[u]; ++e) {
         const double w = out_edge_weights[e];
-        if (w < 0.0) negative_weight.store(true, std::memory_order_relaxed);
+        if (w < 0.0) negative_weight.store(true, std::memory_order_relaxed);  // NOLINT(atomic-confinement): monotone one-way flag; readers check it only after the ParallelFor join, which orders the stores
         row += w;
       }
       s.dangling[u] = row <= 0.0 ? 1 : 0;

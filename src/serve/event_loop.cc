@@ -107,7 +107,7 @@ Status EventLoopWorker::Start(int listen_fd) {
 }
 
 void EventLoopWorker::RequestStop() {
-  stopping_.store(true, std::memory_order_release);
+  stopping_.store(true, std::memory_order_release);  // NOLINT(atomic-confinement): release pairs with the acquire load in Run(); the eventfd write below orders the wakeup itself
   if (wake_fd_ >= 0) {
     const uint64_t one = 1;
     // Best effort: a full eventfd counter still wakes the loop.
@@ -123,7 +123,7 @@ void EventLoopWorker::Run() {
   constexpr int kMaxEvents = 256;
   epoll_event events[kMaxEvents];
 
-  while (!stopping_.load(std::memory_order_acquire)) {
+  while (!stopping_.load(std::memory_order_acquire)) {  // NOLINT(atomic-confinement): acquire pairs with the release store in RequestStop(); epoll_wait supplies no ordering of its own
     const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, -1);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -188,7 +188,7 @@ void EventLoopWorker::AcceptReady() {
       if (errno == EINTR) continue;
       return;  // EAGAIN, or a transient per-connection accept failure
     }
-    counters_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    counters_.connections_accepted.fetch_add(1, std::memory_order_relaxed);  // NOLINT(atomic-confinement): monotone stat counter; readers tolerate staleness and never derive control flow needing ordering
     if (options_.tcp_nodelay) {
       int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -321,12 +321,12 @@ std::string EventLoopWorker::HandleLine(Connection* conn,
                                         std::string_view line) {
   if (conn->batch_requests >= options_.max_batch_requests ||
       cycle_requests_ >= options_.max_cycle_requests) {
-    counters_.requests_shed.fetch_add(1, std::memory_order_relaxed);
+    counters_.requests_shed.fetch_add(1, std::memory_order_relaxed);  // NOLINT(atomic-confinement): monotone stat counter; readers tolerate staleness and never derive control flow needing ordering
     return "BUSY";
   }
   ++conn->batch_requests;
   ++cycle_requests_;
-  counters_.requests_served.fetch_add(1, std::memory_order_relaxed);
+  counters_.requests_served.fetch_add(1, std::memory_order_relaxed);  // NOLINT(atomic-confinement): monotone stat counter; readers tolerate staleness and never derive control flow needing ordering
   if (control_) {
     std::string response = control_(line);
     if (!response.empty()) return response;

@@ -136,7 +136,7 @@ Status Server::Start() {
 void Server::Stop() {
   MutexLock stop_lock(stop_mu_);
   if (stopped_) return;
-  if (started_.load(std::memory_order_acquire)) {
+  if (started_.load(std::memory_order_acquire)) {  // NOLINT(atomic-confinement): acquire pairs with the release store in Start(); workers_ writes happen-before it
     // Signal every worker first, then join: the loops wind down in
     // parallel, each closing its own listener and connections.
     for (auto& worker : workers_) worker->RequestStop();
@@ -155,7 +155,7 @@ uint64_t Server::connections_accepted() const {
   uint64_t total = 0;
   for (const auto& worker : workers_) {
     total += worker->counters().connections_accepted.load(
-        std::memory_order_relaxed);
+        std::memory_order_relaxed);  // NOLINT(atomic-confinement): sums monotone stat counters; totals are advisory and tolerate per-worker staleness
   }
   return total;
 }
@@ -164,7 +164,7 @@ uint64_t Server::requests_served() const {
   uint64_t total = 0;
   for (const auto& worker : workers_) {
     total +=
-        worker->counters().requests_served.load(std::memory_order_relaxed);
+        worker->counters().requests_served.load(std::memory_order_relaxed);  // NOLINT(atomic-confinement): sums monotone stat counters; totals are advisory and tolerate per-worker staleness
   }
   return total;
 }
@@ -172,7 +172,7 @@ uint64_t Server::requests_served() const {
 uint64_t Server::requests_shed() const {
   uint64_t total = 0;
   for (const auto& worker : workers_) {
-    total += worker->counters().requests_shed.load(std::memory_order_relaxed);
+    total += worker->counters().requests_shed.load(std::memory_order_relaxed);  // NOLINT(atomic-confinement): sums monotone stat counters; totals are advisory and tolerate per-worker staleness
   }
   return total;
 }

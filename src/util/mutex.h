@@ -69,7 +69,7 @@ class CondVar {
   void Wait(Mutex& mu) REQUIRES(mu) { cv_.wait(mu); }
 
   void NotifyOne() { cv_.notify_one(); }
-  void NotifyAll() { cv_.notify_all(); }
+  void NotifyAll() { cv_.notify_all(); }  // NOLINT(guard-consistency): notify without the lock is the sanctioned pattern; waiters re-check their predicate under mu
 
  private:
   std::condition_variable_any cv_;

@@ -41,7 +41,7 @@ struct ParallelForState {
   std::exception_ptr error GUARDED_BY(mu);  // first exception wins
 
   bool all_chunks_done() const {
-    return done_chunks.load(std::memory_order_acquire) == num_chunks;
+    return done_chunks.load(std::memory_order_acquire) == num_chunks;  // NOLINT(atomic-confinement): acquire pairs with the acq_rel fetch_add below; the caller re-checks under mu before sleeping
   }
 };
 
@@ -71,9 +71,9 @@ void ParallelForChunks(
   auto work = [state, n, grain, &fn] {
     for (;;) {
       const size_t c =
-          state->next_chunk.fetch_add(1, std::memory_order_relaxed);
+          state->next_chunk.fetch_add(1, std::memory_order_relaxed);  // NOLINT(atomic-confinement): chunk claim is a pure ticket counter; chunk data is ordered by done_chunks, not by the claim
       if (c >= state->num_chunks) return;
-      if (!state->failed.load(std::memory_order_acquire)) {
+      if (!state->failed.load(std::memory_order_acquire)) {  // NOLINT(atomic-confinement): acquire pairs with the release store after a failure, so fn never runs on post-failure state
         try {
           fn(c, c * grain, std::min(n, (c + 1) * grain));
         } catch (...) {
@@ -83,11 +83,11 @@ void ParallelForChunks(
               state->error = std::current_exception();
             }
           }
-          state->failed.store(true, std::memory_order_release);
+          state->failed.store(true, std::memory_order_release);  // NOLINT(atomic-confinement): release publishes the stored exception before any claimer skips work on seeing failed
         }
       }
       const size_t done =
-          state->done_chunks.fetch_add(1, std::memory_order_acq_rel) + 1;
+          state->done_chunks.fetch_add(1, std::memory_order_acq_rel) + 1;  // NOLINT(atomic-confinement): acq_rel makes each chunk's writes visible to whoever observes the final count (the blocked caller)
       if (done == state->num_chunks) {
         // Taking mu orders the notify after the caller's predicate check,
         // so the completion wakeup cannot be lost.
@@ -100,7 +100,7 @@ void ParallelForChunks(
   for (size_t i = 0; i < helpers; ++i) {
     // A refused Submit (pool shutting down) just means fewer helpers; the
     // calling thread drains whatever is left.
-    pool->Submit(work);
+    pool->Submit(work);  // NOLINT(dangling-capture): blocking handoff; the caller waits below until done_chunks == num_chunks, so &fn outlives every chunk
   }
   work();
   MutexLock lock(state->mu);

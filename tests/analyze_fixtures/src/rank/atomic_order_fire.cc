@@ -1,0 +1,26 @@
+// atomic-confinement fixture: explicit weak memory orders outside the
+// audited modules (src/serve/latency_histogram*, src/util/thread_pool*).
+// Fed to the scholar_analyze binary by scholar_analyze_test; never
+// compiled.
+//
+// Expected findings (3, all atomic-confinement):
+//   - memory_order_relaxed  (classic spelling)
+//   - memory_order_acquire  (classic spelling)
+//   - memory_order::release (C++20 scoped spelling)
+
+#include <atomic>
+
+namespace scholar {
+
+class Epoch {
+ public:
+  void Bump() { ticks_.fetch_add(1, std::memory_order_relaxed); }
+  long Read() const { return ticks_.load(std::memory_order_acquire); }
+  void Close() { done_.store(true, std::memory_order::release); }
+
+ private:
+  std::atomic<long> ticks_{0};
+  std::atomic<bool> done_{false};
+};
+
+}  // namespace scholar

@@ -1,0 +1,40 @@
+// shared-mutation fixture: every sanctioned shape for sharing state out
+// of a parallel body, none of which may fire. Fed to the scholar_analyze
+// binary by scholar_analyze_test; never compiled.
+//
+// Expected findings: none.
+//   - out[i] = ...        per-chunk subscript derived from the chunk range
+//   - local_sum += ...    lambda-body local (per-invocation state)
+//   - hits += 1           std::atomic<long>
+//   - total += local_sum  under a MutexLock scope
+
+#include <atomic>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/parallel_for.h"
+#include "util/thread_pool.h"
+
+namespace scholar {
+
+void Histogram(ThreadPool* pool, const std::vector<double>& vals,
+               std::vector<double>& out) {
+  Mutex mu;
+  double total = 0.0;
+  std::atomic<long> hits{0};
+  ParallelForChunks(pool, vals.size(), 128,
+                    [&](size_t chunk, size_t begin, size_t end) {
+                      double local_sum = 0.0;
+                      for (size_t i = begin; i < end; ++i) {
+                        local_sum += vals[i];
+                        out[i] = vals[i] * 2.0;
+                      }
+                      hits += 1;
+                      {
+                        MutexLock lock(mu);
+                        total += local_sum;
+                      }
+                    });
+}
+
+}  // namespace scholar

@@ -1,0 +1,45 @@
+// shared-mutation fixture: by-ref captures written inside ParallelFor /
+// ParallelForChunks bodies with no Mutex, no atomic, and no per-chunk
+// subscript. Fed to the scholar_analyze binary by scholar_analyze_test;
+// never compiled.
+//
+// Expected findings (4, all shared-mutation):
+//   - 'total' updated   (compound assignment in a ParallelFor body)
+//   - 'hits' incremented (prefix ++ in a ParallelFor body)
+//   - 'peak' assigned    (plain = in a ParallelFor body)
+//   - 'carry' updated    (compound assignment in a ParallelForChunks body)
+// The `out[i] = carry` store in Merge is per-chunk subscripted and must
+// NOT fire. ParallelFor is blocking, so dangling-capture stays quiet.
+
+#include <vector>
+
+#include "util/parallel_for.h"
+#include "util/thread_pool.h"
+
+namespace scholar {
+
+void Accumulate(ThreadPool* pool, std::vector<double>& vals) {
+  double total = 0.0;
+  long hits = 0;
+  double peak = 0.0;
+  ParallelFor(pool, vals.size(), [&](size_t i) {
+    total += vals[i];
+    ++hits;
+    if (vals[i] > peak) {
+      peak = vals[i];
+    }
+  });
+}
+
+void Merge(ThreadPool* pool, std::vector<long>& out) {
+  long carry = 1;
+  ParallelForChunks(pool, out.size(), 64,
+                    [&](size_t chunk, size_t begin, size_t end) {
+                      for (size_t i = begin; i < end; ++i) {
+                        out[i] = carry;
+                      }
+                      carry *= 3;
+                    });
+}
+
+}  // namespace scholar

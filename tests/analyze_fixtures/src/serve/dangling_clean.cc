@@ -1,0 +1,39 @@
+// dangling-capture fixture: the compliant shapes. Fed to the
+// scholar_analyze binary by scholar_analyze_test; never compiled.
+//
+// Expected findings: none.
+//   - ByValue:  [epoch] copies its capture — safe to outlive the frame
+//   - Blocking: [&] inside ParallelFor, which drains before returning
+//   - Inline:   named ref-capturing lambda invoked in its own scope only
+
+#include <vector>
+
+#include "util/parallel_for.h"
+#include "util/thread_pool.h"
+
+namespace scholar {
+
+void Log(long v);
+
+class Quiet {
+ public:
+  void ByValue(ThreadPool* pool) {
+    long epoch = 7;
+    pool->Submit([epoch] { Log(epoch); });
+  }
+
+  void Blocking(ThreadPool* pool, std::vector<double>& out) {
+    double scale = 2.0;
+    ParallelFor(pool, out.size(), [&](size_t i) { out[i] = out[i] * scale; });
+  }
+
+  void Inline() {
+    long limit = 5;
+    auto check = [&limit](long v) { return v < limit; };
+    if (check(3)) {
+      Log(limit);
+    }
+  }
+};
+
+}  // namespace scholar

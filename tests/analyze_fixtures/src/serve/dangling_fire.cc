@@ -1,0 +1,55 @@
+// dangling-capture fixture: ref-capturing lambdas escaping their frame
+// through each recognized route. Fed to the scholar_analyze binary by
+// scholar_analyze_test; never compiled.
+//
+// Expected findings (4, all dangling-capture):
+//   - Direct:   [&pending] handed straight to ThreadPool::Submit
+//   - Detach:   [&] body given to a std::thread
+//   - Arm:      named lambda 'task' stored into member 'hook_'
+//   - Schedule: [&deadline] passed to RunLater, which forwards its
+//               callable argument to Submit — caught through the
+//               may-outlive summary, not by naming RunLater anywhere.
+// The lambda bodies only read their captures, so shared-mutation must
+// stay quiet here.
+
+#include <functional>
+#include <thread>
+
+#include "util/thread_pool.h"
+
+namespace scholar {
+
+void Log(long v);
+
+class Relay {
+ public:
+  void Direct(ThreadPool* pool) {
+    long pending = 0;
+    pool->Submit([&pending] { Log(pending); });
+  }
+
+  void Detach() {
+    long count = 0;
+    std::thread watcher([&] { Log(count); });
+    watcher.join();
+  }
+
+  void Arm() {
+    long budget = 3;
+    auto task = [&budget] { Log(budget); };
+    hook_ = task;
+  }
+
+  void RunLater(std::function<void()> fn) { pool_->Submit(fn); }
+
+  void Schedule() {
+    long deadline = 9;
+    RunLater([&deadline] { Log(deadline); });
+  }
+
+ private:
+  ThreadPool* pool_ = nullptr;
+  std::function<void()> hook_;
+};
+
+}  // namespace scholar

@@ -1,0 +1,22 @@
+// guard-consistency fixture, TU 2 of 2: the bare half. Gauge::Read
+// touches value_ with no lock, and Export calls Read from inside a
+// ThreadPool::Submit lambda. Fed together with guard_tu_a.cc the
+// analyzer must report the bare read here; fed alone there is no
+// guarded witness and the file is clean. Fed to the scholar_analyze
+// binary by scholar_analyze_test; never compiled.
+
+#include "util/thread_pool.h"
+
+namespace scholar {
+
+void Emit(long v);
+
+class Gauge;
+
+long Gauge::Read() { return value_; }
+
+void Gauge::Export(ThreadPool* pool) {
+  pool->Submit([this] { Emit(Read()); });
+}
+
+}  // namespace scholar

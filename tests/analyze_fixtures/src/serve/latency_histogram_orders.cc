@@ -1,0 +1,22 @@
+// atomic-confinement fixture: the same weak memory orders as
+// atomic_order_fire.cc, but under the audited src/serve/latency_histogram*
+// prefix — the module whose happens-before argument is reviewed as a
+// unit. Fed to the scholar_analyze binary by scholar_analyze_test; never
+// compiled.
+//
+// Expected findings: none.
+
+#include <atomic>
+
+namespace scholar {
+
+class HistogramShard {
+ public:
+  void Record() { count_.fetch_add(1, std::memory_order_relaxed); }
+  long Snapshot() const { return count_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<long> count_{0};
+};
+
+}  // namespace scholar

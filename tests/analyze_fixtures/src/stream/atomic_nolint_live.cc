@@ -1,0 +1,22 @@
+// atomic-confinement fixture: a weak order outside the audited modules,
+// carried by a reason-bearing NOLINT — the per-site audit trail. Fed to
+// the scholar_analyze binary by scholar_analyze_test; never compiled.
+//
+// Expected findings: none. The suppression is live (it covers a real
+// finding on its line), so the stale-nolint audit must stay quiet too.
+
+#include <atomic>
+
+namespace scholar {
+
+class Cursor {
+ public:
+  void Advance() {
+    epoch_.fetch_add(1, std::memory_order_relaxed);  // NOLINT(atomic-confinement): monotone tick; readers only compare values for progress, no data is published through it
+  }
+
+ private:
+  std::atomic<long> epoch_{0};
+};
+
+}  // namespace scholar

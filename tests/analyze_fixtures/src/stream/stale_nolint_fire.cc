@@ -1,0 +1,20 @@
+// stale-nolint fixture: a reason-bearing parallel-pack suppression on a
+// line that no longer produces the finding it names — the loop it once
+// excused was serialized. The audit must flag the marker itself. Fed to
+// the scholar_analyze binary by scholar_analyze_test; never compiled.
+//
+// Expected findings (1): stale-nolint on the marker line.
+
+#include <vector>
+
+namespace scholar {
+
+long Total(const std::vector<long>& xs) {
+  long total = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    total += xs[i];  // NOLINT(shared-mutation): the parallel reduction was serialized; marker kept while the chunked path bakes
+  }
+  return total;
+}
+
+}  // namespace scholar

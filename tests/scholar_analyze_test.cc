@@ -378,6 +378,291 @@ TEST(ScholarAnalyzeTest, CacheRoundTripIsFindingStable) {
   std::remove(cache.c_str());
 }
 
+// ---------------------------------------------------------------------------
+// shared-mutation
+// ---------------------------------------------------------------------------
+
+TEST(ScholarAnalyzeTest, SharedMutationFiresInParallelBodies) {
+  AnalyzeRun run = RunAnalyze({"src/rank/shared_mutation_fire.cc"});
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "shared-mutation:"), 4u)
+      << run.output;
+  // All three write shapes are diagnosed distinctly.
+  EXPECT_NE(run.output.find("'total' is captured by reference and updated"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("'hits' is captured by reference and incremented"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("'peak' is captured by reference and assigned"),
+            std::string::npos)
+      << run.output;
+  // ParallelForChunks bodies are parallel regions too.
+  EXPECT_NE(run.output.find("shared_mutation_fire.cc:41"), std::string::npos)
+      << run.output;
+  // The per-chunk `out[i] = carry` store must not be among the findings.
+  EXPECT_EQ(CountOccurrences(run.output, "'out'"), 0u) << run.output;
+  // Blocking primitives never count as lambda escape routes.
+  EXPECT_EQ(CountOccurrences(run.output, "dangling-capture:"), 0u)
+      << run.output;
+}
+
+TEST(ScholarAnalyzeTest, SharedMutationQuietOnSanctionedShapes) {
+  // Per-chunk subscript, body-local, std::atomic, MutexLock scope: none
+  // may fire.
+  AnalyzeRun run = RunAnalyze({"src/rank/shared_mutation_clean.cc"});
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "shared-mutation:"), 0u)
+      << run.output;
+}
+
+// ---------------------------------------------------------------------------
+// dangling-capture
+// ---------------------------------------------------------------------------
+
+TEST(ScholarAnalyzeTest, DanglingCaptureFiresOnEveryEscapeRoute) {
+  AnalyzeRun run = RunAnalyze({"src/serve/dangling_fire.cc"});
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "dangling-capture:"), 4u)
+      << run.output;
+  EXPECT_NE(run.output.find("escapes via ThreadPool::Submit/Schedule"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("escapes via std::thread"), std::string::npos)
+      << run.output;
+  // The named-lambda walk names both the variable and its member sink.
+  EXPECT_NE(run.output.find(
+                "lambda 'task' (defined at line 39, captures &budget) "
+                "escapes its scope via member 'hook_'"),
+            std::string::npos)
+      << run.output;
+  // Interprocedural: RunLater is dangerous only because the may-outlive
+  // summary sees it forward its callable argument to Submit.
+  EXPECT_NE(run.output.find(
+                "'RunLater' (its callable argument outlives the call)"),
+            std::string::npos)
+      << run.output;
+  // Read-only bodies: the race rule stays quiet.
+  EXPECT_EQ(CountOccurrences(run.output, "shared-mutation:"), 0u)
+      << run.output;
+}
+
+TEST(ScholarAnalyzeTest, DanglingCaptureQuietOnValueBlockingAndInlineUse) {
+  AnalyzeRun run = RunAnalyze({"src/serve/dangling_clean.cc"});
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "dangling-capture:"), 0u)
+      << run.output;
+}
+
+// ---------------------------------------------------------------------------
+// atomic-confinement
+// ---------------------------------------------------------------------------
+
+TEST(ScholarAnalyzeTest, AtomicConfinementFiresOutsideAuditedModules) {
+  AnalyzeRun run = RunAnalyze({"src/rank/atomic_order_fire.cc"});
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "atomic-confinement:"), 3u)
+      << run.output;
+  EXPECT_NE(run.output.find("'memory_order_relaxed'"), std::string::npos)
+      << run.output;
+  // The C++20 scoped spelling is recognized too.
+  EXPECT_NE(run.output.find("'memory_order::release'"), std::string::npos)
+      << run.output;
+}
+
+TEST(ScholarAnalyzeTest, AtomicConfinementExemptsAuditedModules) {
+  // Identical weak orders under src/serve/latency_histogram*: clean.
+  AnalyzeRun run = RunAnalyze({"src/serve/latency_histogram_orders.cc"});
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "atomic-confinement:"), 0u)
+      << run.output;
+}
+
+TEST(ScholarAnalyzeTest, AtomicConfinementReasonedNolintSuppresses) {
+  // A reason-bearing NOLINT(atomic-confinement) is the per-site audit
+  // trail — and because it covers a live finding, the stale-nolint audit
+  // must stay quiet as well.
+  AnalyzeRun run = RunAnalyze({"src/stream/atomic_nolint_live.cc"});
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "atomic-confinement:"), 0u)
+      << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "stale-nolint:"), 0u) << run.output;
+}
+
+// ---------------------------------------------------------------------------
+// guard-consistency
+// ---------------------------------------------------------------------------
+
+TEST(ScholarAnalyzeTest, GuardConsistencyFiresAcrossFunctions) {
+  AnalyzeRun run = RunAnalyze({"src/serve/guard_fire.cc"});
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "guard-consistency:"), 1u)
+      << run.output;
+  // The finding lands on the bare read and cites the guarded witness.
+  EXPECT_NE(run.output.find("guard_fire.cc:24"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("field 'Ledger::balance_' is accessed under a "
+                            "mutex in Ledger::Credit"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(ScholarAnalyzeTest, GuardConsistencySeesAcrossTranslationUnits) {
+  // The guarded witness and the bare access live in different files;
+  // only a run over both can connect them.
+  AnalyzeRun both =
+      RunAnalyze({"src/serve/guard_tu_a.cc", "src/serve/guard_tu_b.cc"});
+  EXPECT_EQ(both.exit_code, 1) << both.output;
+  EXPECT_EQ(CountOccurrences(both.output, "guard-consistency:"), 1u)
+      << both.output;
+  EXPECT_NE(both.output.find("guard_tu_b.cc:16"), std::string::npos)
+      << both.output;
+  EXPECT_NE(both.output.find("Gauge::Set (src/serve/guard_tu_a.cc:23)"),
+            std::string::npos)
+      << both.output;
+
+  // The bare half alone has no guarded witness: clean.
+  AnalyzeRun alone = RunAnalyze({"src/serve/guard_tu_b.cc"});
+  EXPECT_EQ(alone.exit_code, 0) << alone.output;
+}
+
+TEST(ScholarAnalyzeTest, GuardConsistencyQuietOnConsistentDiscipline) {
+  AnalyzeRun run = RunAnalyze({"src/serve/guard_clean.cc"});
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "guard-consistency:"), 0u)
+      << run.output;
+}
+
+// ---------------------------------------------------------------------------
+// stale-nolint
+// ---------------------------------------------------------------------------
+
+TEST(ScholarAnalyzeTest, StaleNolintFiresWhenSuppressionGoesDead) {
+  // A reasoned parallel-pack NOLINT whose line produces no such finding
+  // is itself a finding: the audited risk is gone.
+  AnalyzeRun run = RunAnalyze({"src/stream/stale_nolint_fire.cc"});
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "stale-nolint:"), 1u) << run.output;
+  EXPECT_NE(run.output.find(
+                "NOLINT(shared-mutation) here no longer suppresses"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(ScholarAnalyzeTest, StaleNolintSurvivesWarmCache) {
+  // The audit must reach the same verdicts when nolint markers and
+  // suppressed findings are replayed from the cache instead of re-lexed.
+  const std::string cache = TempPath("stale_cache.bin");
+  std::remove(cache.c_str());
+  const std::vector<std::string> args = {
+      "--cache=" + cache, Fixture("src/stream/stale_nolint_fire.cc"),
+      Fixture("src/stream/atomic_nolint_live.cc")};
+  AnalyzeRun cold = RunAnalyzeArgs(args);
+  EXPECT_EQ(cold.exit_code, 1) << cold.output;
+  EXPECT_EQ(CountOccurrences(cold.output, "stale-nolint:"), 1u)
+      << cold.output;
+  AnalyzeRun warm = RunAnalyzeArgs(args);
+  EXPECT_EQ(warm.exit_code, 1) << warm.output;
+  EXPECT_EQ(cold.output, warm.output);
+  std::remove(cache.c_str());
+}
+
+TEST(ScholarAnalyzeTest, SarifCarriesParallelPackMetadata) {
+  const std::string sarif = TempPath("parallel_pack.sarif");
+  AnalyzeRun run = RunAnalyzeArgs(
+      {"--sarif=" + sarif, Fixture("src/rank/shared_mutation_fire.cc"),
+       Fixture("src/serve/dangling_fire.cc"),
+       Fixture("src/rank/atomic_order_fire.cc"),
+       Fixture("src/serve/guard_fire.cc")});
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  const std::string text = ReadAll(sarif);
+  EXPECT_TRUE(JsonIsBalanced(text)) << text;
+  // Driver metadata describes every parallel-pack rule.
+  for (const char* id : {"shared-mutation", "dangling-capture",
+                         "atomic-confinement", "guard-consistency",
+                         "stale-nolint"}) {
+    EXPECT_NE(text.find("{\"id\": \"" + std::string(id) + "\""),
+              std::string::npos)
+        << "missing rule metadata for " << id;
+  }
+  // One result per finding: 4 shared-mutation + 4 dangling-capture +
+  // 3 atomic-confinement + 1 guard-consistency.
+  EXPECT_EQ(CountOccurrences(text, "\"ruleId\""), 12u) << text;
+  EXPECT_EQ(CountOccurrences(text, "scholarLineHash/v1"), 12u) << text;
+  std::remove(sarif.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// --jobs determinism
+// ---------------------------------------------------------------------------
+
+TEST(ScholarAnalyzeTest, JobsProduceByteIdenticalOutput) {
+  // The contract behind running the analyzer under ThreadPool: stdout and
+  // SARIF bytes are a pure function of the inputs, independent of the
+  // worker count and of whether findings come from rules or cache.
+  std::vector<std::string> targets = {
+      Fixture("src/rank/shared_mutation_fire.cc"),
+      Fixture("src/serve/dangling_fire.cc"),
+      Fixture("src/rank/atomic_order_fire.cc"),
+      Fixture("src/serve/guard_tu_a.cc"),
+      Fixture("src/serve/guard_tu_b.cc"),
+      Fixture("src/stream/stale_nolint_fire.cc"),
+      Fixture("src/stream/atomic_nolint_live.cc"),
+      Fixture("src/ensemble/det_fire.cc"),
+      Fixture("src/serve/lock_cycle2.cc")};
+
+  std::string serial_sarif;
+  std::string serial_stdout;
+  for (const char* jobs : {"1", "2", "8"}) {
+    const std::string sarif = TempPath(std::string("jobs_") + jobs + ".sarif");
+    std::vector<std::string> args = {std::string("--jobs=") + jobs,
+                                     "--sarif=" + sarif};
+    args.insert(args.end(), targets.begin(), targets.end());
+    AnalyzeRun run = RunAnalyzeArgs(args);
+    EXPECT_EQ(run.exit_code, 1) << run.output;
+    // Timing goes to stderr and depends on the run; strip those lines
+    // before comparing the merged capture.
+    std::string cleaned;
+    std::istringstream lines(run.output);
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (line.find("scholar_analyze: timing ") == std::string::npos) {
+        cleaned += line + "\n";
+      }
+    }
+    const std::string text = ReadAll(sarif);
+    if (serial_sarif.empty()) {
+      serial_sarif = text;
+      serial_stdout = cleaned;
+    } else {
+      EXPECT_EQ(text, serial_sarif) << "--jobs=" << jobs;
+      EXPECT_EQ(cleaned, serial_stdout) << "--jobs=" << jobs;
+    }
+    std::remove(sarif.c_str());
+  }
+
+  // Warm cache, parallel run: still the same bytes.
+  const std::string cache = TempPath("jobs_cache.bin");
+  std::remove(cache.c_str());
+  for (int pass = 0; pass < 2; ++pass) {
+    const std::string sarif = TempPath("jobs_warm.sarif");
+    std::vector<std::string> args = {"--jobs=8", "--cache=" + cache,
+                                     "--sarif=" + sarif};
+    args.insert(args.end(), targets.begin(), targets.end());
+    AnalyzeRun run = RunAnalyzeArgs(args);
+    EXPECT_EQ(run.exit_code, 1) << run.output;
+    EXPECT_EQ(ReadAll(sarif), serial_sarif) << "cache pass " << pass;
+    std::remove(sarif.c_str());
+  }
+  std::remove(cache.c_str());
+}
+
+TEST(ScholarAnalyzeTest, MalformedJobsValueExitsWithUsageError) {
+  AnalyzeRun run =
+      RunAnalyzeArgs({"--jobs=two", Fixture("src/data/status_clean.cc")});
+  EXPECT_EQ(run.exit_code, 2) << run.output;
+}
+
 TEST(ScholarAnalyzeTest, MissingFileExitsWithUsageError) {
   AnalyzeRun run = RunAnalyze({"src/does_not_exist.cc"});
   EXPECT_EQ(run.exit_code, 2) << run.output;

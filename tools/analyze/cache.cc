@@ -22,7 +22,7 @@ namespace analyze {
 
 namespace {
 
-constexpr const char* kMagic = "scholar-analyze-cache 1";
+constexpr const char* kMagic = "scholar-analyze-cache 2";
 
 std::vector<std::string> SplitCsv(const std::string& s) {
   std::vector<std::string> out;
@@ -100,40 +100,68 @@ void Cache::Load(const std::string& path) {
       case 'S': cur.index.status_fns.insert(rest); break;
       case 'R': cur.index.result_fns.insert(rest); break;
       case 'U': cur.index.unordered_local.insert(rest); break;
+      case 'T': cur.index.atomic_names.insert(rest); break;
+      case 'N': {
+        if (!SplitFields(rest, 3, &f)) return abort_load();
+        int nline = std::atoi(f[0].c_str());
+        FileIndex::AuditedNolint& audit = cur.index.audited_nolints[nline];
+        audit.line_hash = ParseHex(f[1], &ok);
+        if (!ok) return abort_load();
+        for (const std::string& r : SplitCsv(f[2])) audit.rules.insert(r);
+        break;
+      }
       case 'D': {
-        if (!SplitFields(rest, 5, &f)) return abort_load();
+        if (!SplitFields(rest, 7, &f)) return abort_load();
         FnSummary fn;
         fn.qualified = f[0];
         fn.simple = f[1];
         fn.file = f[2];
         fn.line = std::atoi(f[3].c_str());
-        fn.entry_held = SplitCsv(f[4]);
+        fn.sink_escapes = f[4] == "1";
+        for (const std::string& c : SplitCsv(f[5])) fn.forward_calls.insert(c);
+        fn.entry_held = SplitCsv(f[6]);
         cur.index.summaries.push_back(std::move(fn));
         break;
       }
-      case 'A':
-      case 'C': {
+      case 'A': {
         if (cur.index.summaries.empty()) return abort_load();
         if (!SplitFields(rest, 5, &f)) return abort_load();
-        if (tag == 'A') {
-          LockAcq a;
-          a.mutex = f[0];
-          a.line = std::atoi(f[1].c_str());
-          a.line_hash = ParseHex(f[2], &ok);
-          a.suppressed = f[3] == "1";
-          a.held = SplitCsv(f[4]);
-          if (!ok) return abort_load();
-          cur.index.summaries.back().acqs.push_back(std::move(a));
-        } else {
-          LockCall c;
-          c.callee = f[0];
-          c.line = std::atoi(f[1].c_str());
-          c.line_hash = ParseHex(f[2], &ok);
-          c.suppressed = f[3] == "1";
-          c.held = SplitCsv(f[4]);
-          if (!ok) return abort_load();
-          cur.index.summaries.back().calls.push_back(std::move(c));
-        }
+        LockAcq a;
+        a.mutex = f[0];
+        a.line = std::atoi(f[1].c_str());
+        a.line_hash = ParseHex(f[2], &ok);
+        a.suppressed = f[3] == "1";
+        a.held = SplitCsv(f[4]);
+        if (!ok) return abort_load();
+        cur.index.summaries.back().acqs.push_back(std::move(a));
+        break;
+      }
+      case 'C': {
+        if (cur.index.summaries.empty()) return abort_load();
+        if (!SplitFields(rest, 6, &f)) return abort_load();
+        LockCall c;
+        c.callee = f[0];
+        c.line = std::atoi(f[1].c_str());
+        c.line_hash = ParseHex(f[2], &ok);
+        c.suppressed = f[3] == "1";
+        c.in_parallel = f[4] == "1";
+        c.held = SplitCsv(f[5]);
+        if (!ok) return abort_load();
+        cur.index.summaries.back().calls.push_back(std::move(c));
+        break;
+      }
+      case 'P': {
+        if (cur.index.summaries.empty()) return abort_load();
+        if (!SplitFields(rest, 6, &f)) return abort_load();
+        FieldAccess fa;
+        fa.field = f[0];
+        fa.line = std::atoi(f[1].c_str());
+        fa.line_hash = ParseHex(f[2], &ok);
+        fa.guarded = f[3] == "1";
+        fa.in_parallel = f[4] == "1";
+        fa.suppressed = f[5] == "1";
+        if (!ok) return abort_load();
+        cur.index.summaries.back().fields.push_back(std::move(fa));
         break;
       }
       case 'G':
@@ -142,12 +170,13 @@ void Cache::Load(const std::string& path) {
         cur.has_findings = true;
         break;
       case 'X': {
-        if (!SplitFields(rest, 4, &f)) return abort_load();
+        if (!SplitFields(rest, 5, &f)) return abort_load();
         Finding fd;
         fd.rule = f[0];
         fd.line = std::atoi(f[1].c_str());
         fd.line_hash = ParseHex(f[2], &ok);
-        fd.message = f[3];
+        fd.nolint_suppressed = f[3] == "1";
+        fd.message = f[4];
         fd.file = cur_path;
         if (!ok) return abort_load();
         cur.findings.push_back(std::move(fd));
@@ -178,7 +207,7 @@ bool Cache::Save(const std::string& path) const {
         std::snprintf(buf, sizeof(buf), "%016llx",
                       static_cast<unsigned long long>(fd.line_hash));
         os << "X " << fd.rule << '|' << fd.line << '|' << buf << '|'
-           << fd.message << "\n";
+           << (fd.nolint_suppressed ? 1 : 0) << '|' << fd.message << "\n";
       }
     }
     os << "E\n";

@@ -63,6 +63,11 @@ struct Finding {
   uint64_t line_hash = 0;  // FNV-1a of the trimmed source line text
   std::string message;
   bool baseline_suppressed = false;
+  // True when a reason-carrying NOLINT at the finding's line swallowed it.
+  // Suppressed findings never reach stdout/SARIF/baseline, but they are
+  // kept (and cached) so the stale-nolint audit can tell a suppression
+  // that still suppresses something from one that went stale.
+  bool nolint_suppressed = false;
 };
 
 /// FNV-1a 64-bit. Stable across runs/platforms; used for the per-file
@@ -134,13 +139,14 @@ class Reporter {
       : file_(file), out_(out) {}
 
   void Report(int line, const std::string& rule, const std::string& message) {
+    bool suppressed = false;
     auto it = file_.nolints.find(line);
     if (it != file_.nolints.end() && it->second.rules.count(rule) > 0 &&
         it->second.has_reason) {
-      return;  // suppressed with a reason — the sanctioned escape hatch
+      suppressed = true;  // the sanctioned escape hatch — recorded, not shown
     }
     out_->push_back({rule, file_.norm_path, line, LineFingerprint(file_, line),
-                     message, false});
+                     message, false, suppressed});
   }
 
  private:

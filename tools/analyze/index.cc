@@ -95,6 +95,32 @@ void CollectUnordered(const std::vector<Token>& t, FileIndex* out) {
   }
 }
 
+/// Collects identifiers declared with a std::atomic type:
+/// `std::atomic<...> NAME` and the `std::atomic_*` aliases. Atomic
+/// members are exempt from shared-mutation and guard-consistency.
+void CollectAtomics(const std::vector<Token>& t, FileIndex* out) {
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    size_t j = i + 1;
+    if (t[i].text == "atomic") {
+      if (!IsPunct(t, j, "<")) continue;
+      j = SkipTemplateArgs(t, j);
+    } else if (t[i].text.rfind("atomic_", 0) != 0 ||
+               t[i].text == "atomic_thread_fence" ||
+               t[i].text == "atomic_signal_fence") {
+      continue;
+    }
+    while (j < t.size() && t[j].kind == TokKind::kPunct &&
+           (t[j].text == "&" || t[j].text == "*")) {
+      ++j;
+    }
+    if (j < t.size() && t[j].kind == TokKind::kIdent &&
+        t[j].text != "const") {
+      out->atomic_names.insert(t[j].text);
+    }
+  }
+}
+
 /// Renders a mutex expression (the tokens of a MutexLock / REQUIRES
 /// argument) to a stable name. Member-style single identifiers (trailing
 /// '_') are qualified with the enclosing class so that `mu_` in
@@ -137,6 +163,167 @@ bool NolintedFor(const LexedFile& f, int line, const char* rule) {
          it->second.has_reason;
 }
 
+/// Callee-name wrappers that pass a callable through unchanged; the
+/// meaningful sink is the next frame out.
+bool IsForwardingWrapper(const std::string& s) {
+  return s == "move" || s == "forward" || s == "ref" || s == "cref" ||
+         s == "function" || s == "bind";
+}
+
+/// Callee names that store their callable argument beyond the call:
+/// thread-pool handoff, container push, thread construction.
+bool IsEscapeSink(const std::string& s) {
+  return s == "Submit" || s == "Schedule" || s == "push_back" ||
+         s == "emplace_back" || s == "emplace" || s == "insert" ||
+         s == "push" || s == "thread" || s == "async";
+}
+
+/// Fills FnSummary::sink_escapes / forward_calls: does a function-typed
+/// parameter of `fn` outlive the call frame? Directly (Submit, member
+/// assignment, container push, return) or by forwarding to a callee whose
+/// own summary escapes (resolved later by GlobalIndex::Finalize).
+void AnalyzeSinks(const LexedFile& f, const FunctionInfo& fn,
+                  const std::vector<LambdaInfo>& lambdas, FnSummary* s) {
+  const std::vector<Token>& t = f.tokens;
+  // Function-typed parameters: the last identifier of a parameter entry
+  // whose type tokens read as a callable (std::function, Fn/Callback
+  // template names).
+  std::set<std::string> fn_params;
+  {
+    size_t open = fn.name_tok + 1;
+    if (!IsPunct(t, open, "(")) return;
+    size_t close = MatchForward(t, open);
+    if (close >= t.size()) return;
+    int depth = 0;
+    size_t entry = open + 1;
+    for (size_t j = open + 1; j <= close; ++j) {
+      if (t[j].kind == TokKind::kPunct) {
+        if (t[j].text == "(" || t[j].text == "[" || t[j].text == "{" ||
+            t[j].text == "<") {
+          ++depth;
+        } else if (t[j].text == "]" || t[j].text == "}" || t[j].text == ">" ||
+                   (t[j].text == ")" && j != close)) {
+          --depth;
+        }
+      }
+      if ((IsPunct(t, j, ",") && depth == 0) || j == close) {
+        bool callable = false;
+        std::string name;
+        for (size_t k = entry; k < j; ++k) {
+          if (t[k].kind != TokKind::kIdent) {
+            if (IsPunct(t, k, "=")) break;
+            continue;
+          }
+          const std::string& id = t[k].text;
+          if (id == "function" || id == "Fn" || id == "Callback" ||
+              (id.size() > 2 && id.compare(id.size() - 2, 2, "Fn") == 0)) {
+            callable = true;
+          }
+          if (id != "const") name = t[k].text;
+        }
+        if (callable && !name.empty()) fn_params.insert(name);
+        entry = j + 1;
+      }
+    }
+  }
+  if (fn_params.empty()) return;
+
+  // Local lambda variables (`auto work = [...]...`), so `Submit(work)`
+  // counts as escaping what `work` ref-captures.
+  std::map<std::string, const LambdaInfo*> named;
+  for (const LambdaInfo& lam : lambdas) {
+    if (lam.intro >= 2 && IsPunct(t, lam.intro - 1, "=") &&
+        t[lam.intro - 2].kind == TokKind::kIdent) {
+      named[t[lam.intro - 2].text] = &lam;
+    }
+  }
+  auto lam_refs = [](const LambdaInfo& lam, const std::string& p) {
+    if (lam.by_ref.count(p) > 0) return true;
+    if (!lam.default_ref || lam.by_val.count(p) > 0) return false;
+    for (const std::string& lp : lam.params) {
+      if (lp == p) return false;
+    }
+    return true;
+  };
+  // A lambda handed straight to an escaping region that ref-captures the
+  // parameter escapes it.
+  for (const LambdaInfo& lam : lambdas) {
+    if (lam.region != RegionKind::kSubmit && lam.region != RegionKind::kThread) {
+      continue;
+    }
+    for (const std::string& p : fn_params) {
+      if (lam_refs(lam, p)) s->sink_escapes = true;
+    }
+  }
+
+  struct Frame {
+    std::string callee;
+    size_t close;
+  };
+  std::vector<Frame> frames;
+  size_t stmt_start = fn.body_begin + 1;
+  for (size_t i = fn.body_begin + 1; i < fn.body_end && i < t.size(); ++i) {
+    while (!frames.empty() && i >= frames.back().close) frames.pop_back();
+    const Token& tok = t[i];
+    if (tok.kind == TokKind::kPunct) {
+      if (tok.text == ";" || tok.text == "{" || tok.text == "}") {
+        stmt_start = i + 1;
+      }
+      continue;
+    }
+    if (tok.kind != TokKind::kIdent) continue;
+    if (IsPunct(t, i + 1, "(") && !IsCallKeyword(tok.text)) {
+      size_t close = MatchForward(t, i + 1);
+      bool is_param = fn_params.count(tok.text) > 0;
+      if (close < t.size() && !is_param) {
+        frames.push_back({tok.text, close});
+      }
+      if (is_param) continue;  // invocation of the parameter — harmless
+    }
+    bool mentions_param = fn_params.count(tok.text) > 0;
+    const LambdaInfo* via = nullptr;
+    if (!mentions_param) {
+      auto it = named.find(tok.text);
+      if (it != named.end()) {
+        for (const std::string& p : fn_params) {
+          if (lam_refs(*it->second, p)) via = it->second;
+        }
+      }
+      if (via == nullptr) continue;
+    }
+    if (IsPunct(t, i + 1, "(")) continue;  // direct invocation
+    // Innermost meaningful enclosing call decides the fate.
+    const Frame* sink = nullptr;
+    for (size_t k = frames.size(); k-- > 0;) {
+      if (IsForwardingWrapper(frames[k].callee)) continue;
+      sink = &frames[k];
+      break;
+    }
+    if (sink != nullptr) {
+      if (sink->callee == "ParallelFor" || sink->callee == "ParallelForChunks") {
+        continue;  // blocking primitives: the callable cannot outlive them
+      }
+      if (IsEscapeSink(sink->callee)) {
+        s->sink_escapes = true;
+      } else {
+        s->forward_calls.insert(sink->callee);
+      }
+      continue;
+    }
+    // No enclosing call: statement-level sinks.
+    size_t ss = stmt_start;
+    if (IsIdent(t, ss, "return")) {
+      s->sink_escapes = true;
+      continue;
+    }
+    if (IsIdent(t, ss, "this") && IsPunct(t, ss + 1, "->")) ss += 2;
+    if (ss < i && t[ss].kind == TokKind::kIdent && !t[ss].text.empty() &&
+        t[ss].text.back() == '_' && IsPunct(t, ss + 1, "=")) {
+      s->sink_escapes = true;  // stored into a member
+    }
+  }
+}
+
 /// Builds the lock summary of one function: REQUIRES entry-held mutexes,
 /// MutexLock acquisitions with the held set at each site, and call sites
 /// with the held set. Lambda bodies get a cleared held set — they
@@ -144,6 +331,15 @@ bool NolintedFor(const LexedFile& f, int line, const char* rule) {
 /// the lexically enclosing guard is not held.
 FnSummary Summarize(const LexedFile& f, const FunctionInfo& fn) {
   const std::vector<Token>& t = f.tokens;
+  const std::vector<LambdaInfo> all_lambdas = FindLambdas(f, fn);
+  auto in_parallel = [&all_lambdas](size_t tok) {
+    for (const LambdaInfo& lam : all_lambdas) {
+      if (lam.parallel && tok > lam.body_begin && tok < lam.body_end) {
+        return true;
+      }
+    }
+    return false;
+  };
   FnSummary s;
   s.qualified = fn.qualified;
   s.simple = fn.name;
@@ -279,14 +475,42 @@ FnSummary Summarize(const LexedFile& f, const FunctionInfo& fn) {
         call.line = tok.line;
         call.line_hash = LineFingerprint(f, tok.line);
         call.suppressed = NolintedFor(f, tok.line, "lock-order");
+        call.in_parallel = in_parallel(i);
         call.held = held_names();
         s.calls.push_back(call);
       }
       ++i;
       continue;
     }
+    if (!fn.class_name.empty() && !tok.text.empty() && tok.text.back() == '_') {
+      // Member-field access (not a call — that case continued above).
+      // `other.field_` / `other->field_` belongs to some other object;
+      // `this->field_` and bare `field_` are ours.
+      bool foreign = false;
+      if (i > 0 && t[i - 1].kind == TokKind::kPunct) {
+        const std::string& p = t[i - 1].text;
+        if (p == "::") foreign = true;
+        if ((p == "." || p == "->") &&
+            !(p == "->" && i >= 2 && IsIdent(t, i - 2, "this"))) {
+          foreign = true;
+        }
+      }
+      if (!foreign && s.fields.size() < 1024) {
+        FieldAccess fa;
+        fa.field = fn.class_name + "::" + tok.text;
+        fa.line = tok.line;
+        fa.line_hash = LineFingerprint(f, tok.line);
+        fa.guarded = !held.empty();
+        fa.in_parallel = in_parallel(i);
+        fa.suppressed = NolintedFor(f, tok.line, "guard-consistency");
+        s.fields.push_back(fa);
+      }
+      ++i;
+      continue;
+    }
     ++i;
   }
+  AnalyzeSinks(f, fn, all_lambdas, &s);
   return s;
 }
 
@@ -312,10 +536,25 @@ std::string Sanitize(const std::string& s) {
 
 }  // namespace
 
+bool IsParallelPackRule(const std::string& rule) {
+  return rule == "shared-mutation" || rule == "dangling-capture" ||
+         rule == "atomic-confinement" || rule == "guard-consistency";
+}
+
 FileIndex BuildFileIndex(const LexedFile& f, const FileModel& model) {
   FileIndex fi;
   CollectStatusFns(f.tokens, &fi);
   CollectUnordered(f.tokens, &fi);
+  CollectAtomics(f.tokens, &fi);
+  for (const auto& [line, marker] : f.nolints) {
+    if (!marker.has_reason) continue;
+    for (const std::string& rule : marker.rules) {
+      if (IsParallelPackRule(rule)) {
+        fi.audited_nolints[line].rules.insert(rule);
+        fi.audited_nolints[line].line_hash = LineFingerprint(f, line);
+      }
+    }
+  }
   for (const FunctionInfo& fn : model.functions) {
     fi.summaries.push_back(Summarize(f, fn));
   }
@@ -328,6 +567,9 @@ void GlobalIndex::Merge(const FileIndex& fi) {
   for (const std::string& id : fi.unordered_local) {
     if (!id.empty() && id.back() == '_') unordered_members.insert(id);
   }
+  for (const std::string& id : fi.atomic_names) {
+    if (!id.empty() && id.back() == '_') atomic_members.insert(id);
+  }
   summaries.insert(summaries.end(), fi.summaries.begin(), fi.summaries.end());
 }
 
@@ -336,6 +578,33 @@ void GlobalIndex::Finalize() {
   for (size_t i = 0; i < summaries.size(); ++i) {
     by_simple[summaries[i].simple].push_back(i);
   }
+  // May-outlive fixpoint: a function escapes its callable argument if it
+  // sinks it directly, or forwards it to one that does. Monotone over a
+  // finite set, so the pass count bounds pathological cycles, not correct
+  // inputs.
+  fn_arg_escapers.clear();
+  for (const FnSummary& fn : summaries) {
+    if (fn.sink_escapes) fn_arg_escapers.insert(fn.simple);
+  }
+  for (int pass = 0; pass < 20; ++pass) {
+    bool changed = false;
+    for (const FnSummary& fn : summaries) {
+      if (fn_arg_escapers.count(fn.simple) > 0) continue;
+      for (const std::string& callee : fn.forward_calls) {
+        if (fn_arg_escapers.count(callee) > 0) {
+          fn_arg_escapers.insert(fn.simple);
+          changed = true;
+          break;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  // The blocking iteration primitives drain every submitted chunk before
+  // returning; their callable argument cannot outlive the call even
+  // though the token walk sees a Submit.
+  fn_arg_escapers.erase("ParallelFor");
+  fn_arg_escapers.erase("ParallelForChunks");
 }
 
 std::string SerializeFileIndex(const FileIndex& fi) {
@@ -345,9 +614,20 @@ std::string SerializeFileIndex(const FileIndex& fi) {
   for (const std::string& s : fi.unordered_local) {
     os << "U " << Sanitize(s) << '\n';
   }
+  for (const std::string& s : fi.atomic_names) {
+    os << "T " << Sanitize(s) << '\n';
+  }
+  for (const auto& [line, audit] : fi.audited_nolints) {
+    std::vector<std::string> r(audit.rules.begin(), audit.rules.end());
+    os << "N " << line << '|' << std::hex << audit.line_hash << std::dec
+       << '|' << JoinCsv(r) << '\n';
+  }
   for (const FnSummary& fn : fi.summaries) {
+    std::vector<std::string> fwd;
+    for (const std::string& c : fn.forward_calls) fwd.push_back(Sanitize(c));
     os << "D " << Sanitize(fn.qualified) << '|' << Sanitize(fn.simple) << '|'
-       << Sanitize(fn.file) << '|' << fn.line << '|';
+       << Sanitize(fn.file) << '|' << fn.line << '|'
+       << (fn.sink_escapes ? 1 : 0) << '|' << JoinCsv(fwd) << '|';
     std::vector<std::string> req;
     for (const std::string& m : fn.entry_held) req.push_back(Sanitize(m));
     os << JoinCsv(req) << '\n';
@@ -363,7 +643,13 @@ std::string SerializeFileIndex(const FileIndex& fi) {
       for (const std::string& m : c.held) h.push_back(Sanitize(m));
       os << "C " << Sanitize(c.callee) << '|' << c.line << '|' << std::hex
          << c.line_hash << std::dec << '|' << (c.suppressed ? 1 : 0) << '|'
-         << JoinCsv(h) << '\n';
+         << (c.in_parallel ? 1 : 0) << '|' << JoinCsv(h) << '\n';
+    }
+    for (const FieldAccess& fa : fn.fields) {
+      os << "P " << Sanitize(fa.field) << '|' << fa.line << '|' << std::hex
+         << fa.line_hash << std::dec << '|' << (fa.guarded ? 1 : 0) << '|'
+         << (fa.in_parallel ? 1 : 0) << '|' << (fa.suppressed ? 1 : 0)
+         << '\n';
     }
   }
   return os.str();

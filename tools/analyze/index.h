@@ -42,7 +42,20 @@ struct LockCall {
   int line = 0;
   uint64_t line_hash = 0;
   bool suppressed = false;
+  bool in_parallel = false;       // call site is inside a parallel lambda
   std::vector<std::string> held;
+};
+
+/// One member-field ('_'-suffixed identifier) access inside a member
+/// function, with the lock context at the site. Feeds guard-consistency:
+/// a field guarded somewhere but bare in a parallel-reachable function.
+struct FieldAccess {
+  std::string field;              // class-qualified: "EventLoop::stopping_"
+  int line = 0;
+  uint64_t line_hash = 0;
+  bool guarded = false;           // some mutex held at the access
+  bool in_parallel = false;       // access is inside a parallel lambda body
+  bool suppressed = false;        // reasoned guard-consistency marker here
 };
 
 /// Lock behavior of one function.
@@ -54,6 +67,14 @@ struct FnSummary {
   std::vector<std::string> entry_held;  // REQUIRES(...) mutexes
   std::vector<LockAcq> acqs;
   std::vector<LockCall> calls;
+  std::vector<FieldAccess> fields;
+  /// The function stores a function-typed parameter beyond its own frame
+  /// (Submit/Schedule, member assignment, container push, return). Feeds
+  /// the may-outlive fixpoint behind dangling-capture.
+  bool sink_escapes = false;
+  /// Callees this function forwards a function-typed parameter to; escape
+  /// propagates backward through these edges.
+  std::set<std::string> forward_calls;
 };
 
 /// Per-file contribution to the global index.
@@ -61,6 +82,15 @@ struct FileIndex {
   std::set<std::string> status_fns;       // functions returning Status
   std::set<std::string> result_fns;       // functions returning Result<T>
   std::set<std::string> unordered_local;  // all unordered-declared idents
+  std::set<std::string> atomic_names;     // idents declared std::atomic<...>
+  /// Reason-carrying NOLINT markers naming parallel-pack rules, by line.
+  /// Kept in the index (and thus the cache) so the stale-nolint audit can
+  /// run over files whose findings came from cache without re-lexing.
+  struct AuditedNolint {
+    std::set<std::string> rules;
+    uint64_t line_hash = 0;  // baseline fingerprint of the marker's line
+  };
+  std::map<int, AuditedNolint> audited_nolints;
   std::vector<FnSummary> summaries;
 };
 
@@ -71,12 +101,22 @@ struct GlobalIndex {
   /// Member-style ('_'-suffixed) unordered identifiers from any file —
   /// members are declared in headers but iterated in .cc files.
   std::set<std::string> unordered_members;
+  /// Member-style std::atomic identifiers — declared in headers, written
+  /// in .cc files, so atomic-ness must cross the file boundary too.
+  std::set<std::string> atomic_members;
+  /// Simple names of functions whose function-typed argument may outlive
+  /// the call (directly or through forwarding). Built by Finalize.
+  std::set<std::string> fn_arg_escapers;
   std::vector<FnSummary> summaries;  // all files
   std::map<std::string, std::vector<size_t>> by_simple;  // name -> indexes
 
   void Merge(const FileIndex& fi);
-  void Finalize();  // builds by_simple
+  void Finalize();  // builds by_simple and the may-outlive fixpoint
 };
+
+/// The four parallel-pack rules whose suppressions the analyzer audits
+/// itself (see FileIndex::audited_nolints and the stale-nolint rule).
+bool IsParallelPackRule(const std::string& rule);
 
 /// Builds one file's contribution (pass 1).
 FileIndex BuildFileIndex(const LexedFile& f, const FileModel& model);

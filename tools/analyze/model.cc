@@ -156,6 +156,225 @@ bool ClassifyBrace(const std::vector<Token>& t, size_t brace,
 
 }  // namespace
 
+bool IsLambdaIntro(const std::vector<Token>& t, size_t i) {
+  if (!IsPunct(t, i, "[")) return false;
+  if (i == 0) return true;
+  const Token& prev = t[i - 1];
+  // Subscripts follow a value (ident/]/)/literal); attribute lists follow
+  // another '[' and never carry captures we would misread.
+  return !(prev.kind == TokKind::kIdent || prev.kind == TokKind::kNumber ||
+           prev.kind == TokKind::kString ||
+           (prev.kind == TokKind::kPunct &&
+            (prev.text == ")" || prev.text == "]")));
+}
+
+std::vector<std::string> ParamNames(const std::vector<Token>& t,
+                                    const FunctionInfo& fn) {
+  std::vector<std::string> names;
+  // The parameter list is the '('..')' group right after the name token
+  // (ClassifyBrace walked back through it to find the name).
+  size_t open = fn.name_tok + 1;
+  if (open < t.size() && IsPunct(t, open, "<")) {
+    // Rare explicit template args on the name; skip to the paren.
+    while (open < fn.body_begin && !IsPunct(t, open, "(")) ++open;
+  }
+  if (!IsPunct(t, open, "(")) return names;
+  size_t close = MatchForward(t, open);
+  if (close >= t.size()) return names;
+  int depth = 0;
+  std::string last_ident;
+  bool in_default = false;
+  for (size_t j = open + 1; j < close; ++j) {
+    const Token& tok = t[j];
+    if (tok.kind == TokKind::kPunct) {
+      if (tok.text == "(" || tok.text == "[" || tok.text == "{" ||
+          tok.text == "<") {
+        ++depth;
+      } else if (tok.text == ")" || tok.text == "]" || tok.text == "}" ||
+                 tok.text == ">") {
+        --depth;
+      } else if (tok.text == "=" && depth == 0) {
+        in_default = true;  // default argument: the name is already seen
+      } else if (tok.text == "," && depth == 0) {
+        if (!last_ident.empty()) names.push_back(last_ident);
+        last_ident.clear();
+        in_default = false;
+      }
+      continue;
+    }
+    if (tok.kind == TokKind::kIdent && depth == 0 && !in_default &&
+        tok.text != "const" && tok.text != "override" &&
+        tok.text != "struct" && tok.text != "class") {
+      last_ident = tok.text;
+    }
+  }
+  if (!last_ident.empty()) names.push_back(last_ident);
+  return names;
+}
+
+namespace {
+
+/// One active "argument range of a parallel-primitive call": any lambda
+/// introduced inside [open, close) is handed to that primitive.
+struct ParallelCallRange {
+  size_t close;
+  RegionKind kind;
+};
+
+/// True at `i` for the idents that hand their lambda arguments to another
+/// thread. Name-level on purpose: `pool->Submit(...)`, `pool_.Submit(...)`
+/// and a bare `Submit(...)` inside ThreadPool itself all count.
+RegionKind ParallelCalleeKind(const std::vector<Token>& t, size_t i) {
+  if (t[i].kind != TokKind::kIdent) return RegionKind::kNone;
+  const std::string& s = t[i].text;
+  if (s == "ParallelFor" || s == "ParallelForChunks") {
+    return RegionKind::kParallelFor;
+  }
+  if (s == "Submit" || s == "Schedule") return RegionKind::kSubmit;
+  if (s == "thread" && i > 0 && IsPunct(t, i - 1, "::")) {
+    // `std::thread(...)` or `std::thread name(...)` — constructor body.
+    return RegionKind::kThread;
+  }
+  if (s == "async") return RegionKind::kThread;
+  return RegionKind::kNone;
+}
+
+}  // namespace
+
+std::vector<LambdaInfo> FindLambdas(const LexedFile& f,
+                                    const FunctionInfo& fn) {
+  const std::vector<Token>& t = f.tokens;
+  std::vector<LambdaInfo> out;
+  std::vector<ParallelCallRange> calls;   // active primitive-call arg lists
+  std::vector<size_t> open_lambdas;       // indexes into `out`, by body
+
+  for (size_t i = fn.body_begin; i < fn.body_end && i < t.size(); ++i) {
+    while (!calls.empty() && i >= calls.back().close) calls.pop_back();
+    while (!open_lambdas.empty() && i >= out[open_lambdas.back()].body_end) {
+      open_lambdas.pop_back();
+    }
+    RegionKind callee = ParallelCalleeKind(t, i);
+    if (callee != RegionKind::kNone) {
+      size_t open = i + 1;
+      if (callee == RegionKind::kThread && open < t.size() &&
+          t[open].kind == TokKind::kIdent) {
+        ++open;  // `std::thread name(...)`
+      }
+      if (IsPunct(t, open, "(")) {
+        size_t close = MatchForward(t, open);
+        if (close < t.size()) calls.push_back({close, callee});
+      }
+      continue;
+    }
+    if (!IsLambdaIntro(t, i)) continue;
+    size_t close = MatchForward(t, i);
+    if (close >= t.size()) continue;
+    LambdaInfo lam;
+    lam.intro = i;
+    lam.line = t[i].line;
+    // Capture list entries, split on top-level commas.
+    size_t entry = i + 1;
+    int depth = 0;
+    auto flush_entry = [&lam, &t](size_t begin, size_t end) {
+      if (begin >= end) return;
+      bool ref = false;
+      std::string name;
+      for (size_t k = begin; k < end; ++k) {
+        if (IsPunct(t, k, "&") && name.empty()) ref = true;
+        if (IsPunct(t, k, "=")) break;  // init-capture: name is fixed
+        if (t[k].kind == TokKind::kIdent && name.empty()) name = t[k].text;
+      }
+      if (name.empty()) {
+        if (ref) lam.default_ref = true;
+        return;
+      }
+      if (name == "this") {
+        lam.captures_this = true;
+      } else if (ref) {
+        lam.by_ref.insert(name);
+      } else {
+        lam.by_val.insert(name);
+      }
+    };
+    for (size_t k = i + 1; k <= close && k < t.size(); ++k) {
+      if (t[k].kind == TokKind::kPunct) {
+        if (t[k].text == "(" || t[k].text == "[" || t[k].text == "{" ||
+            t[k].text == "<") {
+          ++depth;
+        } else if (t[k].text == ")" || t[k].text == "}" || t[k].text == ">") {
+          --depth;
+        }
+        if ((t[k].text == "," && depth == 0) || k == close) {
+          if (k == i + 1 && k == close) break;  // empty []
+          if (entry == i + 1 && k == close && entry < k &&
+              IsPunct(t, entry, "=") && k - entry == 1) {
+            lam.default_copy = true;
+          } else {
+            // A lone '&' / '=' entry is a capture default.
+            if (k - entry == 1 && IsPunct(t, entry, "&")) {
+              lam.default_ref = true;
+            } else if (k - entry == 1 && IsPunct(t, entry, "=")) {
+              lam.default_copy = true;
+            } else {
+              flush_entry(entry, k);
+            }
+          }
+          entry = k + 1;
+        }
+      }
+    }
+    // Parameter list, then specifiers, then the body.
+    size_t j = close + 1;
+    if (IsPunct(t, j, "(")) {
+      size_t pclose = MatchForward(t, j);
+      if (pclose < t.size()) {
+        int pdepth = 0;
+        std::string last_ident;
+        for (size_t k = j + 1; k < pclose; ++k) {
+          if (t[k].kind == TokKind::kPunct) {
+            if (t[k].text == "(" || t[k].text == "[" || t[k].text == "{" ||
+                t[k].text == "<") {
+              ++pdepth;
+            } else if (t[k].text == ")" || t[k].text == "]" ||
+                       t[k].text == "}" || t[k].text == ">") {
+              --pdepth;
+            } else if (t[k].text == "," && pdepth == 0) {
+              if (!last_ident.empty()) lam.params.push_back(last_ident);
+              last_ident.clear();
+            }
+            continue;
+          }
+          if (t[k].kind == TokKind::kIdent && pdepth == 0 &&
+              t[k].text != "const") {
+            last_ident = t[k].text;
+          }
+        }
+        if (!last_ident.empty()) lam.params.push_back(last_ident);
+        j = pclose + 1;
+      }
+    }
+    size_t limit = j + 24;
+    while (j < t.size() && j < limit && !IsPunct(t, j, "{") &&
+           !IsPunct(t, j, ";") && !IsPunct(t, j, ")") &&
+           !IsPunct(t, j, ",")) {
+      ++j;
+    }
+    if (j >= t.size() || !IsPunct(t, j, "{")) continue;
+    lam.body_begin = j;
+    lam.body_end = MatchForward(t, j);
+    if (lam.body_end >= t.size()) continue;
+    if (!calls.empty()) lam.region = calls.back().kind;
+    if (!open_lambdas.empty()) lam.enclosing = open_lambdas.back();
+    lam.parallel = lam.region != RegionKind::kNone ||
+                   (lam.enclosing != static_cast<size_t>(-1) &&
+                    out[lam.enclosing].parallel);
+    out.push_back(lam);
+    open_lambdas.push_back(out.size() - 1);
+    i = lam.body_begin;  // continue scanning inside the body
+  }
+  return out;
+}
+
 FileModel BuildModel(const LexedFile& f) {
   FileModel model;
   const std::vector<Token>& t = f.tokens;

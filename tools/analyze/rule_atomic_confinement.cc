@@ -1,0 +1,73 @@
+// atomic-confinement: explicit weak memory orders stay in the audited
+// modules.
+//
+// `std::memory_order_relaxed` and friends are correct only relative to a
+// documented happens-before argument; scattered across the codebase they
+// rot into cargo-culted "fast atomics". Two modules have that argument
+// written down and reviewed — the serving tier's latency histogram
+// (monotone counters, read-mostly snapshots) and the ThreadPool /
+// parallel-iteration internals pinned by their drain protocols. Those
+// paths are allowlisted wholesale... except that parallel_for lives
+// outside the allowlist on purpose: its fences are subtle enough that
+// each site carries its own reasoned NOLINT instead (see
+// src/util/parallel_for.cc — the audit trail is per-site there).
+//
+// Everywhere else, the default seq_cst is the contract; a weak order
+// needs `// NOLINT(atomic-confinement): <happens-before argument>`.
+
+#include "analyze/rules.h"
+
+namespace analyze {
+
+namespace {
+
+bool IsWeakOrderName(const std::string& s) {
+  return s == "memory_order_relaxed" || s == "memory_order_acquire" ||
+         s == "memory_order_release" || s == "memory_order_acq_rel" ||
+         s == "memory_order_consume" || s == "relaxed" || s == "acquire" ||
+         s == "release" || s == "acq_rel" || s == "consume";
+}
+
+/// Modules whose weak-order use is audited as a unit.
+bool IsAllowlisted(const std::string& path) {
+  for (const char* prefix :
+       {"src/serve/latency_histogram", "src/util/thread_pool"}) {
+    if (path.compare(0, std::string(prefix).size(), prefix) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void CheckAtomicConfinement(const LexedFile& f, const FileModel& model,
+                            std::vector<Finding>* out) {
+  (void)model;
+  if (IsAllowlisted(f.norm_path)) return;
+  const std::vector<Token>& t = f.tokens;
+  Reporter reporter(f, out);
+
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    const std::string& s = t[i].text;
+    std::string order;
+    if (s.compare(0, 13, "memory_order_") == 0 && IsWeakOrderName(s)) {
+      order = s;
+    } else if (s == "memory_order" && IsPunct(t, i + 1, "::") &&
+               i + 2 < t.size() && t[i + 2].kind == TokKind::kIdent &&
+               IsWeakOrderName(t[i + 2].text)) {
+      order = "memory_order::" + t[i + 2].text;  // C++20 scoped spelling
+    } else {
+      continue;
+    }
+    reporter.Report(
+        t[i].line, "atomic-confinement",
+        "'" + order +
+            "' outside the audited modules "
+            "(src/serve/latency_histogram*, src/util/thread_pool*); weak "
+            "memory orders need a happens-before argument — use default "
+            "seq_cst, or keep the order and record the argument in a "
+            "NOLINT(atomic-confinement) reason");
+  }
+}
+
+}  // namespace analyze

@@ -1,0 +1,213 @@
+// dangling-capture: a lambda that captures by reference and escapes the
+// scope that owns the referents.
+//
+// A `[&]` (or `[&x]`) lambda is a bundle of pointers into the defining
+// frame. Handing it to ThreadPool::Submit / Schedule, a std::thread, a
+// member field, a container, or returning it means it can run after that
+// frame is gone. The one sanctioned counter-example is the blocking
+// iteration primitives (ParallelFor / ParallelForChunks), which drain
+// every chunk before returning — by-ref bodies there are the intended
+// idiom and never flagged.
+//
+// Interprocedural part: passing a ref-capturing lambda to a *named*
+// function is only dangerous if that function lets its callable argument
+// outlive the call. That is exactly the may-outlive summary the index
+// computes per function (FnSummary::sink_escapes + forward_calls) and
+// GlobalIndex::Finalize closes over the call graph into
+// `fn_arg_escapers` — so a helper that merely forwards to Submit is
+// caught cross-TU without annotations.
+//
+// `[this]`-only captures are exempt: the object is heap- or
+// member-owned in every current use (worker loops), and member lifetime
+// discipline belongs to shutdown ordering, not this rule.
+
+#include "analyze/rules.h"
+
+namespace analyze {
+
+namespace {
+
+bool IsForwardingWrapper(const std::string& s) {
+  return s == "move" || s == "forward" || s == "ref" || s == "cref" ||
+         s == "function" || s == "bind";
+}
+
+bool IsDirectEscapeSink(const std::string& s) {
+  return s == "Submit" || s == "Schedule" || s == "push_back" ||
+         s == "emplace_back" || s == "emplace" || s == "insert" ||
+         s == "push" || s == "thread" || s == "async";
+}
+
+bool IsBlockingPrimitive(const std::string& s) {
+  return s == "ParallelFor" || s == "ParallelForChunks";
+}
+
+/// Comma-joined list of the by-ref captures, for the message.
+std::string DescribeRefs(const LambdaInfo& lam) {
+  if (lam.default_ref) return "[&] (everything in scope)";
+  std::string out;
+  for (const std::string& n : lam.by_ref) {
+    if (!out.empty()) out += ", ";
+    out += "&" + n;
+  }
+  return out;
+}
+
+}  // namespace
+
+void CheckDanglingCapture(const LexedFile& f, const FileModel& model,
+                          const GlobalIndex& gi, std::vector<Finding>* out) {
+  const std::vector<Token>& t = f.tokens;
+  Reporter reporter(f, out);
+
+  for (const FunctionInfo& fn : model.functions) {
+    std::vector<LambdaInfo> lambdas = FindLambdas(f, fn);
+
+    // Names bound to ref-capturing lambdas: `auto work = [&...]{...}`.
+    struct Named {
+      std::string name;
+      const LambdaInfo* lam;
+    };
+    std::vector<Named> named;
+    for (const LambdaInfo& lam : lambdas) {
+      bool dangerous = lam.default_ref || !lam.by_ref.empty();
+      if (!dangerous) continue;
+      if (lam.intro >= 2 && IsPunct(t, lam.intro - 1, "=") &&
+          t[lam.intro - 2].kind == TokKind::kIdent &&
+          (t[lam.intro - 2].text.empty() ||
+           t[lam.intro - 2].text.back() != '_')) {
+        named.push_back({t[lam.intro - 2].text, &lam});
+      }
+    }
+    auto find_named = [&named](const std::string& id) -> const LambdaInfo* {
+      for (const Named& n : named) {
+        if (n.name == id) return n.lam;
+      }
+      return nullptr;
+    };
+
+    // Call-frame stack over the whole body, so each lambda intro (and
+    // each use of a named lambda variable) knows its enclosing call.
+    struct Frame {
+      std::string callee;
+      size_t close;
+    };
+    std::vector<Frame> frames;
+    size_t stmt_start = fn.body_begin + 1;
+
+    auto escape_route = [&](size_t site) -> std::string {
+      // Innermost meaningful frame at `site` decides. Empty string means
+      // "does not escape here".
+      const Frame* sink = nullptr;
+      for (size_t k = frames.size(); k-- > 0;) {
+        if (IsForwardingWrapper(frames[k].callee)) continue;
+        sink = &frames[k];
+        break;
+      }
+      if (sink != nullptr) {
+        if (IsBlockingPrimitive(sink->callee)) return "";
+        if (IsDirectEscapeSink(sink->callee)) {
+          return "'" + sink->callee + "'";
+        }
+        if (gi.fn_arg_escapers.count(sink->callee) > 0) {
+          return "'" + sink->callee + "' (its callable argument outlives "
+                 "the call)";
+        }
+        return "";
+      }
+      size_t ss = stmt_start;
+      if (IsIdent(t, ss, "return")) return "return";
+      if (IsIdent(t, ss, "this") && IsPunct(t, ss + 1, "->")) ss += 2;
+      if (ss < site && t[ss].kind == TokKind::kIdent &&
+          !t[ss].text.empty() && t[ss].text.back() == '_' &&
+          IsPunct(t, ss + 1, "=")) {
+        return "member '" + t[ss].text + "'";
+      }
+      return "";
+    };
+
+    for (size_t i = fn.body_begin + 1; i < fn.body_end && i < t.size(); ++i) {
+      while (!frames.empty() && i >= frames.back().close) frames.pop_back();
+      const Token& tok = t[i];
+      if (tok.kind == TokKind::kPunct) {
+        if (tok.text == ";" || tok.text == "{" || tok.text == "}") {
+          stmt_start = i + 1;
+        }
+        continue;
+      }
+      if (tok.kind != TokKind::kIdent) continue;
+      if (IsPunct(t, i + 1, "(")) {
+        size_t close = MatchForward(t, i + 1);
+        if (close < t.size()) frames.push_back({tok.text, close});
+        continue;
+      }
+      // A named ref-capturing lambda used as a value.
+      const LambdaInfo* via = find_named(tok.text);
+      if (via == nullptr) continue;
+      if (i + 2 == via->intro) continue;  // its own definition site
+      std::string route = escape_route(i);
+      if (route.empty()) continue;
+      reporter.Report(
+          tok.line, "dangling-capture",
+          "lambda '" + tok.text + "' (defined at line " +
+              std::to_string(via->line) + ", captures " +
+              DescribeRefs(*via) +
+              ") escapes its scope via " + route +
+              "; by-ref captures dangle once the defining frame returns — "
+              "capture by value, or keep the handoff inside a blocking "
+              "ParallelFor/ParallelForChunks");
+    }
+
+    // Literal lambda expressions: region classification covers the
+    // direct Submit/std::thread cases; the frame/statement context is
+    // rebuilt per lambda for the other sinks (member assignment, return,
+    // escaping named callee).
+    for (const LambdaInfo& lam : lambdas) {
+      bool dangerous = lam.default_ref || !lam.by_ref.empty();
+      if (!dangerous) continue;
+      std::string route;
+      if (lam.region == RegionKind::kSubmit) {
+        route = "ThreadPool::Submit/Schedule";
+      } else if (lam.region == RegionKind::kThread) {
+        route = "std::thread";
+      } else {
+        // Rebuild the frame/statement context at the intro token.
+        frames.clear();
+        stmt_start = fn.body_begin + 1;
+        for (size_t i = fn.body_begin + 1; i < lam.intro && i < t.size();
+             ++i) {
+          while (!frames.empty() && i >= frames.back().close) {
+            frames.pop_back();
+          }
+          const Token& tok = t[i];
+          if (tok.kind == TokKind::kPunct) {
+            if (tok.text == ";" || tok.text == "{" || tok.text == "}") {
+              stmt_start = i + 1;
+            }
+            continue;
+          }
+          if (tok.kind == TokKind::kIdent && IsPunct(t, i + 1, "(")) {
+            size_t close = MatchForward(t, i + 1);
+            if (close < t.size()) frames.push_back({tok.text, close});
+          }
+        }
+        while (!frames.empty() && lam.intro >= frames.back().close) {
+          frames.pop_back();
+        }
+        if (lam.intro >= 2 && IsPunct(t, lam.intro - 1, "=")) {
+          continue;  // named definition — handled by the use-site walk
+        }
+        route = escape_route(lam.intro);
+      }
+      if (route.empty()) continue;
+      reporter.Report(
+          lam.line, "dangling-capture",
+          "lambda captures " + DescribeRefs(lam) + " and escapes via " +
+              route +
+              "; by-ref captures dangle once the defining frame returns — "
+              "capture by value (or [this] for owned members) instead");
+    }
+  }
+}
+
+}  // namespace analyze

@@ -1,0 +1,280 @@
+// shared-mutation: a write through a by-reference capture inside a
+// parallel lambda body.
+//
+// The deterministic ParallelFor contract (src/util/parallel_for.h) allows
+// worker bodies to touch shared state in exactly three shapes: under a
+// Mutex, through a std::atomic, or into a per-chunk slot derived from the
+// chunk index (`out[i] = ...` where disjoint chunks own disjoint i). A
+// plain assignment / compound assignment / increment of a by-ref-captured
+// local from inside a ParallelFor body, a ThreadPool::Submit lambda, or a
+// std::thread body is a data race waiting for a second core — the exact
+// bug class TSan only catches on executed schedules.
+//
+// Scope notes:
+//  - Writes to subscripted expressions (`x[i] op ...`) are assumed
+//    per-chunk disjoint and never flagged; that is the sanctioned shape.
+//  - Member fields ('_'-suffixed) are guard-consistency's domain, not
+//    this rule's: `this` capture is ubiquitous and lock discipline for
+//    members is checked cross-TU there.
+//  - A write under a MutexLock scope inside the lambda body is exempt,
+//    as is any identifier declared std::atomic anywhere in the file.
+
+#include "analyze/rules.h"
+
+#include <map>
+
+namespace analyze {
+
+namespace {
+
+const char* RegionName(RegionKind k) {
+  switch (k) {
+    case RegionKind::kParallelFor:
+      return "ParallelFor";
+    case RegionKind::kSubmit:
+      return "ThreadPool::Submit";
+    case RegionKind::kThread:
+      return "std::thread";
+    default:
+      return "parallel";
+  }
+}
+
+bool IsCompoundAssign(const std::string& s) {
+  return s == "=" || s == "+=" || s == "-=" || s == "*=" || s == "/=" ||
+         s == "%=" || s == "^=" || s == "|=" || s == "&=" || s == "<<=" ||
+         s == ">>=";
+}
+
+bool IsDeclStopWord(const std::string& s) {
+  return s == "return" || s == "throw" || s == "new" || s == "delete" ||
+         s == "case" || s == "else" || s == "do" || s == "goto" ||
+         s == "co_return" || s == "co_yield" || s == "operator" ||
+         s == "sizeof" || s == "typename" || s == "using" ||
+         s == "namespace" || s == "template";
+}
+
+/// Names declared inside [begin, end): `Type name`, `Type& name`,
+/// `auto name`, `Tpl<...> name` (the '>' case), and structured bindings.
+/// Heuristic on purpose — a missed declaration yields a triageable false
+/// positive, not a crash.
+void CollectLocalDecls(const std::vector<Token>& t, size_t begin, size_t end,
+                       std::set<std::string>* out) {
+  for (size_t i = begin; i < end && i < t.size(); ++i) {
+    if (t[i].kind == TokKind::kIdent && !IsDeclStopWord(t[i].text)) {
+      size_t j = i + 1;
+      while (j < end && t[j].kind == TokKind::kPunct &&
+             (t[j].text == "&" || t[j].text == "*" || t[j].text == "&&")) {
+        ++j;
+      }
+      if (j < end && t[j].kind == TokKind::kIdent &&
+          t[j].text != "const" && !IsDeclStopWord(t[j].text)) {
+        const std::string& next =
+            j + 1 < t.size() && t[j + 1].kind == TokKind::kPunct
+                ? t[j + 1].text
+                : std::string();
+        if (next == "=" || next == ";" || next == "{" || next == "(" ||
+            next == "," || next == ":" || next == ")") {
+          out->insert(t[j].text);
+        }
+      }
+      // Structured bindings: `auto [a, b] = ...` / `auto& [a, b] : ...`.
+      if (t[i].text == "auto" && j < end && IsPunct(t, j, "[")) {
+        size_t close = MatchForward(t, j);
+        for (size_t k = j + 1; k < close && k < end; ++k) {
+          if (t[k].kind == TokKind::kIdent) out->insert(t[k].text);
+        }
+      }
+    }
+    // `> name` / `>& name` after a template argument list closes a
+    // declaration too.
+    if (IsPunct(t, i, ">")) {
+      size_t j = i + 1;
+      while (j < end && t[j].kind == TokKind::kPunct &&
+             (t[j].text == "&" || t[j].text == "*" || t[j].text == "&&")) {
+        ++j;
+      }
+      if (j < end && t[j].kind == TokKind::kIdent && t[j].text != "const") {
+        const std::string& next =
+            j + 1 < t.size() && t[j + 1].kind == TokKind::kPunct
+                ? t[j + 1].text
+                : std::string();
+        if (next == "=" || next == ";" || next == "{" || next == "(") {
+          out->insert(t[j].text);
+        }
+      }
+    }
+  }
+}
+
+/// Collects every identifier declared std::atomic in the file (locals and
+/// members alike) — writes through them are synchronization, not races.
+void CollectFileAtomics(const std::vector<Token>& t,
+                        std::set<std::string>* out) {
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!IsIdent(t, i, "atomic") || !IsPunct(t, i + 1, "<")) continue;
+    // MatchForward only pairs ()/{}/[], so walk the <...> nesting here;
+    // the lexer fuses '>>', which closes two levels.
+    int nest = 0;
+    size_t j = i + 1;
+    for (; j < t.size(); ++j) {
+      if (t[j].kind != TokKind::kPunct) continue;
+      if (t[j].text == "<") ++nest;
+      else if (t[j].text == "<<") nest += 2;
+      else if (t[j].text == ">" && --nest <= 0) break;
+      else if (t[j].text == ">>" && (nest -= 2) <= 0) break;
+      else if (t[j].text == ";" || t[j].text == "{") break;  // never closed
+    }
+    if (j >= t.size() || t[j].text == ";" || t[j].text == "{") continue;
+    ++j;
+    while (j < t.size() && t[j].kind == TokKind::kPunct &&
+           (t[j].text == "&" || t[j].text == "*")) {
+      ++j;
+    }
+    if (j < t.size() && t[j].kind == TokKind::kIdent &&
+        t[j].text != "const") {
+      out->insert(t[j].text);
+    }
+  }
+}
+
+/// Brace-scoped MutexLock tracking limited to one lambda body: fills
+/// `locked` with the token ranges during which some guard is alive.
+struct LockRange {
+  size_t begin;
+  size_t end;
+};
+std::vector<LockRange> FindLockRanges(const std::vector<Token>& t,
+                                      size_t body_begin, size_t body_end) {
+  std::vector<LockRange> out;
+  struct Open {
+    size_t start;
+    int depth;
+  };
+  std::vector<Open> open;
+  int depth = 0;
+  for (size_t i = body_begin; i < body_end && i < t.size(); ++i) {
+    if (IsPunct(t, i, "{")) ++depth;
+    if (IsPunct(t, i, "}")) {
+      while (!open.empty() && open.back().depth == depth) {
+        out.push_back({open.back().start, i});
+        open.pop_back();
+      }
+      --depth;
+    }
+    if (IsIdent(t, i, "MutexLock")) open.push_back({i, depth});
+  }
+  for (const Open& o : open) out.push_back({o.start, body_end});
+  return out;
+}
+
+bool InAnyRange(const std::vector<LockRange>& rs, size_t i) {
+  for (const LockRange& r : rs) {
+    if (i > r.begin && i < r.end) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void CheckSharedMutation(const LexedFile& f, const FileModel& model,
+                         const GlobalIndex& gi, std::vector<Finding>* out) {
+  const std::vector<Token>& t = f.tokens;
+  Reporter reporter(f, out);
+
+  std::set<std::string> atomics;
+  CollectFileAtomics(t, &atomics);
+  for (const std::string& a : gi.atomic_members) atomics.insert(a);
+
+  for (const FunctionInfo& fn : model.functions) {
+    std::vector<LambdaInfo> lambdas = FindLambdas(f, fn);
+    for (size_t li = 0; li < lambdas.size(); ++li) {
+      const LambdaInfo& lam = lambdas[li];
+      if (!lam.parallel) continue;
+      if (!lam.default_ref && lam.by_ref.empty()) continue;
+      // Nested lambdas inherit parallelism but carry kNone themselves;
+      // name the region of the nearest classified ancestor.
+      RegionKind region = lam.region;
+      for (size_t e = lam.enclosing;
+           region == RegionKind::kNone && e != static_cast<size_t>(-1);
+           e = lambdas[e].enclosing) {
+        region = lambdas[e].region;
+      }
+
+      // Names that are the lambda's own per-invocation state.
+      std::set<std::string> local;
+      for (const std::string& p : lam.params) local.insert(p);
+      CollectLocalDecls(t, lam.body_begin + 1, lam.body_end, &local);
+
+      // Token ranges of directly nested lambdas — their writes are
+      // reported against the innermost lambda, not this one.
+      std::vector<LockRange> nested;
+      for (size_t lj = 0; lj < lambdas.size(); ++lj) {
+        if (lambdas[lj].enclosing == li) {
+          nested.push_back({lambdas[lj].intro, lambdas[lj].body_end});
+        }
+      }
+      std::vector<LockRange> locked =
+          FindLockRanges(t, lam.body_begin, lam.body_end);
+
+      auto is_shared_ref = [&](const std::string& name) {
+        if (name.empty() || name.back() == '_') return false;  // member
+        if (local.count(name) > 0) return false;
+        if (atomics.count(name) > 0) return false;
+        if (lam.by_ref.count(name) > 0) return true;
+        return lam.default_ref && lam.by_val.count(name) == 0;
+      };
+      std::map<int, bool> reported;  // one finding per line
+      auto report_write = [&](size_t name_idx, const char* how) {
+        const std::string& name = t[name_idx].text;
+        if (!is_shared_ref(name)) return;
+        if (InAnyRange(locked, name_idx)) return;
+        if (reported[t[name_idx].line]) return;
+        reported[t[name_idx].line] = true;
+        reporter.Report(
+            t[name_idx].line, "shared-mutation",
+            "'" + name + "' is captured by reference and " + how +
+                " inside a " + RegionName(region) +
+                " body with no Mutex held, no std::atomic type, and no "
+                "per-chunk subscript; chunks of a parallel region may only "
+                "share state through those three shapes");
+      };
+
+      for (size_t i = lam.body_begin + 1; i < lam.body_end && i < t.size();
+           ++i) {
+        if (InAnyRange(nested, i)) continue;
+        if (t[i].kind != TokKind::kPunct) continue;
+        const std::string& op = t[i].text;
+        if (IsCompoundAssign(op)) {
+          if (op == "=" && i > 0 &&
+              (IsPunct(t, i - 1, "<") || IsPunct(t, i - 1, ">") ||
+               IsPunct(t, i - 1, "!"))) {
+            continue;  // unfused comparison remnants — not assignments
+          }
+          // Walk back over a member chain to the base identifier; a ']'
+          // on the path means a subscripted (per-chunk) target.
+          size_t j = i;
+          while (j >= 2 && t[j - 1].kind == TokKind::kIdent &&
+                 (IsPunct(t, j - 2, ".") || IsPunct(t, j - 2, "->"))) {
+            j -= 2;
+          }
+          if (j >= 1 && IsPunct(t, j - 1, "]")) continue;  // x[i] = ...
+          if (j >= 1 && t[j - 1].kind == TokKind::kIdent) {
+            report_write(j - 1, op == "=" ? "assigned" : "updated");
+          }
+          continue;
+        }
+        if (op == "++" || op == "--") {
+          if (i > 0 && t[i - 1].kind == TokKind::kIdent) {
+            report_write(i - 1, "incremented");  // postfix
+          } else if (i + 1 < t.size() && t[i + 1].kind == TokKind::kIdent &&
+                     !IsPunct(t, i + 2, "[")) {
+            report_write(i + 1, "incremented");  // prefix, unsubscripted
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace analyze

@@ -1,11 +1,17 @@
-// The four scholar_analyze dataflow rules. Per-file rules take the lexed
+// The scholar_analyze dataflow rules. Per-file rules take the lexed
 // file + scope model (+ the global index where cross-file name resolution
-// is needed); lock-order is whole-program and runs once over the merged
-// index.
+// is needed); lock-order and guard-consistency are whole-program and run
+// once over the merged index. The parallel-region pack (shared-mutation,
+// dangling-capture, atomic-confinement, guard-consistency) reasons about
+// the repo's own parallel primitives — ParallelFor bodies, ThreadPool
+// Submit/Schedule lambdas, std::thread constructors — via
+// model.h's FindLambdas classification.
 
 #ifndef SCHOLAR_ANALYZE_RULES_H_
 #define SCHOLAR_ANALYZE_RULES_H_
 
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "analyze/core.h"
@@ -43,6 +49,45 @@ void CheckDeterminism(const LexedFile& f, const FileModel& model,
 /// MutexLock sites plus transitive may-acquire sets through calls) and
 /// reports every cycle with a witness path, plus direct self-deadlocks.
 std::vector<Finding> CheckLockOrder(const GlobalIndex& gi);
+
+/// shared-mutation: a write (assignment, compound assignment, ++/--)
+/// through a by-reference capture inside a parallel lambda body, with no
+/// Mutex held at the site, no std::atomic declaration for the name, and
+/// no per-chunk subscript on the write — the sharing shapes the
+/// deterministic ParallelFor contract forbids.
+void CheckSharedMutation(const LexedFile& f, const FileModel& model,
+                         const GlobalIndex& gi, std::vector<Finding>* out);
+
+/// dangling-capture: a lambda that captures locals (or `this`-adjacent
+/// stack state) by reference and escapes its defining scope — handed to
+/// ThreadPool::Submit/Schedule or std::thread directly, stored into a
+/// member, returned, or passed to a function whose may-outlive summary
+/// (GlobalIndex::fn_arg_escapers) says the callable outlives the call.
+void CheckDanglingCapture(const LexedFile& f, const FileModel& model,
+                          const GlobalIndex& gi, std::vector<Finding>* out);
+
+/// atomic-confinement: explicit std::memory_order_{relaxed,acquire,
+/// release,acq_rel,consume} arguments outside the audited modules
+/// (src/serve/latency_histogram*, src/util/thread_pool*) must carry a
+/// reasoned NOLINT. Everywhere else, default seq_cst is the contract.
+void CheckAtomicConfinement(const LexedFile& f, const FileModel& model,
+                            std::vector<Finding>* out);
+
+/// guard-consistency: a member field accessed under a MutexLock in at
+/// least one function but bare in another function reachable from a
+/// parallel context (cross-TU, via the merged field-access summaries and
+/// a parallel-reachability fixpoint over the call graph).
+std::vector<Finding> CheckGuardConsistency(const GlobalIndex& gi);
+
+/// stale-nolint: audits every reason-carrying NOLINT naming a
+/// parallel-pack rule (FileIndex::audited_nolints) against the findings
+/// actually produced this run — including suppressed ones. A marker that
+/// no longer suppresses anything is itself a violation. `findings` must
+/// contain the pre-filter set (nolint_suppressed entries included);
+/// `indexes` pairs each normalized path with its FileIndex.
+std::vector<Finding> CheckStaleNolints(
+    const std::vector<std::pair<std::string, const FileIndex*>>& indexes,
+    const std::vector<Finding>& findings);
 
 }  // namespace analyze
 

@@ -52,6 +52,25 @@ const RuleMeta kRules[] = {
     {"determinism",
      "No unordered-container iteration in order-sensitive subsystems and "
      "no wall-clock/PRNG calls outside src/util/rng."},
+    {"shared-mutation",
+     "By-ref captures written inside parallel bodies (ParallelFor, "
+     "ThreadPool::Submit, std::thread) need a Mutex, a std::atomic, or a "
+     "per-chunk subscript."},
+    {"dangling-capture",
+     "A by-ref-capturing lambda must not escape its defining scope via "
+     "Submit/Schedule, std::thread, member storage, containers, return, or "
+     "a callee whose may-outlive summary escapes its callable argument."},
+    {"atomic-confinement",
+     "Explicit weak memory orders (relaxed/acquire/release/acq_rel/"
+     "consume) are confined to src/serve/latency_histogram* and "
+     "src/util/thread_pool*; elsewhere they need a reasoned NOLINT."},
+    {"guard-consistency",
+     "A field accessed under a MutexLock in one function must not be "
+     "accessed bare in code reachable from a parallel context (cross-TU, "
+     "annotation-free)."},
+    {"stale-nolint",
+     "A reason-carrying NOLINT naming a parallel-pack rule must still "
+     "suppress a live finding; stale markers are violations."},
 };
 
 }  // namespace

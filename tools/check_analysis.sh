@@ -22,19 +22,29 @@
 #
 #   analyze opt-in via --analyze: the static-analysis source gate —
 #           scholar_lint plus the scholar_analyze dataflow analyzer
-#           (unchecked-status, hot-loop-alloc, lock-order, determinism)
-#           over every src/ and tools/ source, gated against
+#           (unchecked-status, hot-loop-alloc, lock-order, determinism,
+#           and the parallel pack: shared-mutation, dangling-capture,
+#           atomic-confinement, guard-consistency, stale-nolint) over
+#           every src/ and tools/ source, gated against
 #           tools/analyze_baseline.txt, emitting SARIF to
-#           build-check-analyze/analyze.sarif. Both gates also run inside
-#           the plain flavor's ctest pass (labels tier1;analysis), so the
-#           --fast lane covers them; this flavor is the standalone entry
-#           point that produces the SARIF artifact without a test build.
+#           build-check-analyze/analyze.sarif. The analyzer runs twice —
+#           cold-serial (--jobs=1, empty cache) then warm-parallel
+#           (--jobs=$(nproc), cache primed by the first run) — asserts
+#           the two SARIF outputs are byte-identical, and prints both
+#           wall times plus the speedup ratio (informative only; on a
+#           1-core box the ratio hovers near 1). Both gates also run
+#           inside the plain flavor's ctest pass (labels tier1;analysis),
+#           so the --fast lane covers them; this flavor is the standalone
+#           entry point that produces the SARIF artifact without a test
+#           build.
 #
 # Usage: tools/check_analysis.sh [--fast] [--fuzz[=seconds]] [--bench-gate]
 #                                [--analyze] [flavor...]
 #   --fast     run only tier1-labeled tests (which include the fuzz_replay
-#              corpus tests and the lint/analyzer source gates) instead of
-#              the full suite
+#              corpus tests and the lint/analyzer source gates; the
+#              analyzer gate runs with --jobs=0 (auto = nproc) against the
+#              build tree's persistent cache, so repeat --fast runs are
+#              warm) instead of the full suite
 #   --fuzz[=N] also run the fuzz flavor, N seconds per harness (default 30)
 #   --analyze  also run the analyze flavor (see above)
 #   --bench-gate
@@ -208,15 +218,45 @@ run_flavor() {
       RESULT[$flavor]="FAIL (scholar_lint violations)"
       return 1
     fi
-    echo "=== [analyze] scholar_analyze over ${#sources[@]} sources ==="
-    if ! "$build_dir/tools/scholar_analyze" \
+    # Two timed analyzer runs: cold-serial establishes the reference
+    # output and primes the cache; warm-parallel must reproduce it byte
+    # for byte. The wall-time ratio is informative, not a gate — on a
+    # 1-core container warm-parallel still wins via the cache alone.
+    local nproc_jobs
+    nproc_jobs=$(nproc 2>/dev/null || echo 2)
+    rm -f "$build_dir/analyze.cache"
+    echo "=== [analyze] scholar_analyze over ${#sources[@]} sources (cold, --jobs=1) ==="
+    local t0 t1 t2
+    t0=$(date +%s%N)
+    if ! "$build_dir/tools/scholar_analyze" --jobs=1 \
+        --baseline="$ROOT/tools/analyze_baseline.txt" \
+        --cache="$build_dir/analyze.cache" \
+        --sarif="$sarif.cold" "${sources[@]}"; then
+      RESULT[$flavor]="FAIL (scholar_analyze findings; SARIF at $sarif.cold)"
+      return 1
+    fi
+    t1=$(date +%s%N)
+    echo "=== [analyze] scholar_analyze again (warm cache, --jobs=$nproc_jobs) ==="
+    if ! "$build_dir/tools/scholar_analyze" --jobs="$nproc_jobs" \
         --baseline="$ROOT/tools/analyze_baseline.txt" \
         --cache="$build_dir/analyze.cache" \
         --sarif="$sarif" "${sources[@]}"; then
       RESULT[$flavor]="FAIL (scholar_analyze findings; SARIF at $sarif)"
       return 1
     fi
-    RESULT[$flavor]="PASS (both gates clean; SARIF at $sarif)"
+    t2=$(date +%s%N)
+    if ! cmp -s "$sarif.cold" "$sarif"; then
+      RESULT[$flavor]="FAIL (warm --jobs=$nproc_jobs SARIF differs from cold serial run)"
+      return 1
+    fi
+    rm -f "$sarif.cold"
+    local cold_ms=$(( (t1 - t0) / 1000000 ))
+    local warm_ms=$(( (t2 - t1) / 1000000 ))
+    local ratio
+    ratio=$(awk -v c="$cold_ms" -v w="$warm_ms" \
+      'BEGIN { if (w > 0) printf "%.2f", c / w; else print "inf" }')
+    echo "[analyze] cold serial ${cold_ms}ms, warm --jobs=$nproc_jobs ${warm_ms}ms (${ratio}x)"
+    RESULT[$flavor]="PASS (both gates clean; cold ${cold_ms}ms / warm ${warm_ms}ms = ${ratio}x; SARIF at $sarif)"
     return 0
   fi
   if [ "$flavor" = "bench-gate" ]; then

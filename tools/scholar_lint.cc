@@ -47,7 +47,12 @@
 //                  suppresses nothing on its line is itself a violation:
 //                  dead suppressions hide future regressions at that line
 //                  and rot the audit trail. Suppressions naming other
-//                  tools' rules (e.g. scholar_analyze's) are not audited.
+//                  tools' rules (e.g. scholar_analyze's) are not audited
+//                  here — the analyzer runs the same audit itself over
+//                  its parallel-pack rules (shared-mutation,
+//                  dangling-capture, atomic-confinement,
+//                  guard-consistency), so every suppression in the repo
+//                  is policed by exactly one tool.
 //
 // Diagnostics are `file:line: rule: message`, exit status is nonzero when
 // any violation survives. A `// NOLINT` comment suppresses every rule on

@@ -224,7 +224,7 @@ void RunOpenLoopWorker(const std::string& host, uint16_t port,
   std::atomic<bool> send_done{false};
   std::atomic<uint64_t> send_failures{0};
 
-  std::thread sender([&] {
+  std::thread sender([&] {  // NOLINT(dangling-capture): sender.join() below runs before these locals leave scope, so the references cannot dangle
     Rng rng(seed);
     std::vector<double> weights;
     weights.reserve(mix.size());
@@ -252,7 +252,7 @@ void RunOpenLoopWorker(const std::string& host, uint16_t port,
         break;
       }
     }
-    send_done.store(true, std::memory_order_release);
+    send_done.store(true, std::memory_order_release);  // NOLINT(atomic-confinement): release pairs with the reader's acquire load of send_done, publishing the last scheduled push
   });
 
   std::string line;
@@ -263,7 +263,7 @@ void RunOpenLoopWorker(const std::string& host, uint16_t port,
       have_outstanding = !scheduled.empty();
     }
     if (!have_outstanding) {
-      if (send_done.load(std::memory_order_acquire)) break;
+      if (send_done.load(std::memory_order_acquire)) break;  // NOLINT(atomic-confinement): acquire pairs with the sender's release store, ordering the final queue drain after it
       std::this_thread::sleep_for(std::chrono::microseconds(50));
       continue;
     }
